@@ -1,0 +1,52 @@
+//! Simulation-throughput benchmarks: the functional Multi-Scale Systolic
+//! Array and the HBM2 timing model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tender_sim::config::TenderHwConfig;
+use tender_sim::dram::{HbmConfig, HbmModel};
+use tender_sim::msa::{GroupOperand, MultiScaleSystolicArray};
+use tender_tensor::rng::DetRng;
+use tender_tensor::IMatrix;
+
+fn operands(m: usize, n: usize, ks: &[usize]) -> Vec<GroupOperand> {
+    let mut rng = DetRng::new(5);
+    ks.iter()
+        .map(|&k| {
+            GroupOperand::new(
+                IMatrix::from_fn(m, k, |_, _| rng.below(15) as i32 - 7),
+                IMatrix::from_fn(k, n, |_, _| rng.below(15) as i32 - 7),
+            )
+        })
+        .collect()
+}
+
+fn bench_msa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msa_functional_sim");
+    for &dim in &[16_usize, 32] {
+        let msa = MultiScaleSystolicArray::new(&TenderHwConfig::small_test(dim));
+        let ops = operands(dim, dim, &[64, 64, 64, 64]);
+        group.bench_with_input(BenchmarkId::new("tile_4groups", dim), &ops, |b, ops| {
+            b.iter(|| black_box(msa.run_groups(ops, 2)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hbm2_timing");
+    group.bench_function("stream_1MiB_event", |b| {
+        b.iter(|| {
+            let mut hbm = HbmModel::new(HbmConfig::hbm2());
+            black_box(hbm.transfer(0, 1 << 20, 0))
+        })
+    });
+    group.bench_function("stream_estimate", |b| {
+        let cfg = HbmConfig::hbm2();
+        b.iter(|| black_box(HbmModel::stream_cycles_estimate(&cfg, 1 << 30)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_msa, bench_dram);
+criterion_main!(benches);

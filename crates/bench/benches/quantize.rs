@@ -1,0 +1,54 @@
+//! Kernel-level benchmarks of the quantization primitives: per-granularity
+//! fake quantization, Tender calibration (bias + CMax scan + power-of-2
+//! classification), and channel-group operand construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tender_quant::granularity::{fake_quantize_per_row, fake_quantize_weight_per_col};
+use tender_quant::quantizer::{fake_quantize, symmetric_scale};
+use tender_quant::tender::{ChunkCalibration, TenderConfig};
+use tender_tensor::rng::DetRng;
+use tender_tensor::Matrix;
+
+fn outlier_activation(rows: usize, cols: usize) -> Matrix {
+    let mut rng = DetRng::new(11);
+    let mut x = rng.normal_matrix(rows, cols, 0.0, 0.5);
+    for r in 0..rows {
+        x[(r, cols / 3)] = rng.normal(0.0, 30.0);
+        x[(r, (2 * cols) / 3)] = rng.normal(0.0, 18.0);
+    }
+    x
+}
+
+fn bench_fake_quantize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fake_quantize");
+    for &n in &[64_usize, 256] {
+        let x = outlier_activation(n, n);
+        let scale = symmetric_scale(x.abs_max(), 8);
+        group.bench_with_input(BenchmarkId::new("per_tensor", n), &x, |b, x| {
+            b.iter(|| black_box(fake_quantize(x, scale, 8)))
+        });
+        group.bench_with_input(BenchmarkId::new("per_row", n), &x, |b, x| {
+            b.iter(|| black_box(fake_quantize_per_row(x, 8)))
+        });
+        group.bench_with_input(BenchmarkId::new("weight_per_col", n), &x, |b, x| {
+            b.iter(|| black_box(fake_quantize_weight_per_col(x, 8)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tender_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tender_calibration");
+    for &n in &[64_usize, 256] {
+        let x = outlier_activation(n, n);
+        let config = TenderConfig::int4().with_row_chunk(0);
+        group.bench_with_input(BenchmarkId::new("chunk_calibration", n), &x, |b, x| {
+            b.iter(|| black_box(ChunkCalibration::from_activation(x, &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fake_quantize, bench_tender_calibration);
+criterion_main!(benches);

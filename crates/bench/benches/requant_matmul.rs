@@ -1,0 +1,50 @@
+//! Implicit vs explicit requantization kernel cost — the software-side
+//! analogue of Figure 13 (the hardware-side version is in `tender-sim`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tender_quant::tender::{
+    explicit_requant_matmul, implicit_requant_matmul, QuantizedWeight, TenderCalibration,
+    TenderConfig,
+};
+use tender_tensor::rng::DetRng;
+use tender_tensor::Matrix;
+
+fn setup(n: usize, groups: usize) -> (Matrix, QuantizedWeight, TenderCalibration, TenderConfig) {
+    let mut rng = DetRng::new(3);
+    let mut x = rng.normal_matrix(n, n, 0.0, 0.5);
+    for r in 0..n {
+        x[(r, n / 2)] = rng.normal(0.0, 25.0);
+    }
+    let wf = rng.normal_matrix(n, n, 0.0, 0.2);
+    let config = TenderConfig::int8().with_groups(groups).with_row_chunk(0);
+    let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+    let w = QuantizedWeight::per_col(&wf, 8);
+    (x, w, calib, config)
+}
+
+fn bench_requant_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("requant_matmul");
+    for &groups in &[4_usize, 16] {
+        let (x, w, calib, config) = setup(128, groups);
+        group.bench_with_input(
+            BenchmarkId::new("implicit", groups),
+            &(&x, &w, &calib, &config),
+            |b, (x, w, calib, config)| b.iter(|| black_box(implicit_requant_matmul(x, w, calib, config))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("explicit", groups),
+            &(&x, &w, &calib, &config),
+            |b, (x, w, calib, config)| b.iter(|| black_box(explicit_requant_matmul(x, w, calib, config))),
+        );
+    }
+    // Float reference for context.
+    let (x, w, _, _) = setup(128, 4);
+    group.bench_function("f32_reference", |b| {
+        b.iter(|| black_box(x.matmul(w.dequantized()).expect("shapes")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_requant_paths);
+criterion_main!(benches);

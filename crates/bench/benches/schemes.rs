@@ -1,0 +1,45 @@
+//! Per-scheme calibrated-matmul latency on one site: the software cost of
+//! each PTQ scheme's forward path (calibration excluded).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tender::scheme_by_name;
+use tender_tensor::rng::DetRng;
+use tender_tensor::Matrix;
+
+fn outlier_activation(rows: usize, cols: usize) -> Matrix {
+    let mut rng = DetRng::new(21);
+    let mut x = rng.normal_matrix(rows, cols, 0.0, 0.5);
+    for r in 0..rows {
+        x[(r, 5)] = rng.normal(0.0, 30.0);
+    }
+    x
+}
+
+fn bench_scheme_forward(c: &mut Criterion) {
+    let x = outlier_activation(128, 128);
+    let mut rng = DetRng::new(22);
+    let w = rng.normal_matrix(128, 128, 0.0, 0.2);
+    let mut group = c.benchmark_group("scheme_forward_128");
+    for name in [
+        "FP16",
+        "per-tensor@8",
+        "per-row@8",
+        "per-column@8",
+        "SmoothQuant@8",
+        "LLM.int8",
+        "ANT@8",
+        "OliVe@8",
+        "Tender@8",
+        "MSFP12",
+        "SMX4",
+        "MXFP4",
+    ] {
+        let op = scheme_by_name(name).expect("registered").prepare(std::slice::from_ref(&x), &w);
+        group.bench_function(name, |b| b.iter(|| black_box(op.forward(&x))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheme_forward);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs every experiment in paper order (tables I–VII, figures 2–13).
+
+fn main() {
+    let start = std::time::Instant::now();
+    for table in tender_bench::experiments::all() {
+        table.print();
+    }
+    eprintln!("total: {:.1}s", start.elapsed().as_secs_f64());
+}

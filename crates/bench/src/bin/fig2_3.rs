@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig2_3. See EXPERIMENTS.md for paper-vs-measured.
+
+fn main() {
+    for table in tender_bench::experiments::fig2_3() {
+        table.print();
+    }
+}

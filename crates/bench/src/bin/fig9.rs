@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig9. See EXPERIMENTS.md for paper-vs-measured.
+
+fn main() {
+    for table in tender_bench::experiments::fig9() {
+        table.print();
+    }
+}

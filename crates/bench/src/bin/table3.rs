@@ -1,0 +1,7 @@
+//! Regenerates the paper's table3. See EXPERIMENTS.md for paper-vs-measured.
+
+fn main() {
+    for table in tender_bench::experiments::table3() {
+        table.print();
+    }
+}

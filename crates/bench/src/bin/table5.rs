@@ -1,0 +1,7 @@
+//! Regenerates the paper's table5. See EXPERIMENTS.md for paper-vs-measured.
+
+fn main() {
+    for table in tender_bench::experiments::table5() {
+        table.print();
+    }
+}

@@ -1,0 +1,172 @@
+//! Table formatting for experiment output.
+
+/// Formats a perplexity the way the paper's tables do: two decimals below
+/// 1000, scientific (`5E+4`) above.
+pub fn fmt_ppl(p: f64) -> String {
+    if !p.is_finite() {
+        return "inf".to_string();
+    }
+    if p < 1000.0 {
+        format!("{p:.2}")
+    } else {
+        let exp = p.log10().floor() as i32;
+        let mant = p / 10f64.powi(exp);
+        format!("{}E+{}", mant.round() as i64, exp)
+    }
+}
+
+/// Formats an accuracy as a percentage with two decimals.
+pub fn fmt_acc(a: f64) -> String {
+    format!("{:.2}", a * 100.0)
+}
+
+/// Formats a ratio (speedup / normalized latency) with two decimals and a
+/// trailing `x`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// A printable text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a free-form note printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The rows (for tests and downstream processing).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Looks up the cell at (row label, column header), where the row label
+    /// is the row's first cell.
+    pub fn cell(&self, row_label: &str, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        let row = self.rows.iter().find(|r| r[0] == row_label)?;
+        Some(&row[col])
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppl_formatting_matches_paper_style() {
+        assert_eq!(fmt_ppl(10.934), "10.93");
+        assert_eq!(fmt_ppl(999.99), "999.99");
+        assert_eq!(fmt_ppl(52_340.0), "5E+4");
+        assert_eq!(fmt_ppl(9.4e8), "9E+8");
+        assert_eq!(fmt_ppl(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn acc_and_ratio_formatting() {
+        assert_eq!(fmt_acc(0.9312), "93.12");
+        assert_eq!(fmt_ratio(2.63), "2.63x");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["Model", "Wiki"]);
+        t.row(vec!["OPT-6.7B".into(), "10.93".into()]);
+        t.note("lower is better");
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("OPT-6.7B"));
+        assert!(s.contains("note: lower is better"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = Table::new("Demo", &["Scheme", "Wiki", "PTB"]);
+        t.row(vec!["Tender".into(), "10.93".into(), "13.14".into()]);
+        assert_eq!(t.cell("Tender", "PTB"), Some("13.14"));
+        assert_eq!(t.cell("Tender", "nope"), None);
+        assert_eq!(t.cell("nope", "Wiki"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("Demo", &["A", "B"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Command implementations for `tender-cli`.
+//!
+//! Each subcommand is a function from parsed arguments to a printable
+//! report string, so the binary stays a thin argument parser and the
+//! behaviour is unit-testable.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use tender::model::calibration::CorpusKind;
+use tender::model::ModelShape;
+use tender::sim::accel::{speedups_over, AcceleratorKind};
+use tender::sim::config::TenderHwConfig;
+use tender::sim::dataflow::Dataflow;
+use tender::sim::generation::{decode_tokens_per_second, decode_utilization};
+use tender::sim::workload::PrefillWorkload;
+use tender::{scheme_by_name, Experiment, ExperimentOptions};
+
+/// Error for bad command-line input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The model presets the CLI exposes, in paper order.
+pub fn model_presets() -> Vec<ModelShape> {
+    vec![
+        ModelShape::opt_6_7b(),
+        ModelShape::opt_13b(),
+        ModelShape::opt_66b(),
+        ModelShape::llama2_7b(),
+        ModelShape::llama2_13b(),
+        ModelShape::llama2_70b(),
+        ModelShape::llama_7b(),
+        ModelShape::llama_13b(),
+        ModelShape::llama_65b(),
+        ModelShape::bert_large(),
+    ]
+}
+
+/// Resolves a model preset by (case-insensitive) name.
+///
+/// # Errors
+///
+/// Returns [`CliError`] listing the valid names when unknown.
+pub fn model_by_name(name: &str) -> Result<ModelShape, CliError> {
+    model_presets()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            err(format!(
+                "unknown model '{name}'; valid: {}",
+                model_presets().iter().map(|m| m.name.clone()).collect::<Vec<_>>().join(", ")
+            ))
+        })
+}
+
+/// Parsed `--key value` flags.
+pub type Flags = HashMap<String, String>;
+
+/// Parses `args` (after the subcommand) into a flag map.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on a flag without a value or a stray positional.
+pub fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| err(format!("expected --flag, got '{a}'")))?;
+        let value = it
+            .next()
+            .ok_or_else(|| err(format!("flag --{key} needs a value")))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag_parse<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, CliError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| err(format!("invalid value for --{key}: '{v}'"))),
+    }
+}
+
+/// `tender-cli models` — lists the synthetic model presets.
+pub fn cmd_models() -> String {
+    let mut out = String::from("available model presets:\n");
+    for m in model_presets() {
+        out.push_str(&format!(
+            "  {:<12} d_model {:>5}  ffn {:>6}  heads {:>3}  layers {:>3}  {:?}/{:?}\n",
+            m.name, m.d_model, m.ffn_dim, m.heads, m.layers, m.activation, m.norm
+        ));
+    }
+    out
+}
+
+/// `tender-cli schemes` — lists the quantization scheme names.
+pub fn cmd_schemes() -> String {
+    let names = [
+        "FP32", "FP16", "per-tensor@B", "per-row@B", "per-column@B", "SmoothQuant@B",
+        "LLM.int8", "ANT@B", "OliVe@B", "Tender@B", "Tender-all@B", "MSFP12", "MSFP12-OL",
+        "SMX4", "MXFP4",
+    ];
+    format!(
+        "available schemes (B = bit width, e.g. Tender@4):\n  {}\n",
+        names.join("\n  ")
+    )
+}
+
+/// `tender-cli ppl --model M --scheme S [--seq N] [--seed N] [--fast true]`
+/// — proxy perplexity of a scheme on a scaled synthetic model.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown model/scheme or bad flags.
+pub fn cmd_ppl(flags: &Flags) -> Result<String, CliError> {
+    let model_name = flags.get("model").ok_or_else(|| err("--model is required"))?;
+    let scheme_name = flags.get("scheme").ok_or_else(|| err("--scheme is required"))?;
+    let base_shape = model_by_name(model_name)?;
+    let fast: bool = flag_parse(flags, "fast", false)?;
+    let shape = if fast { base_shape.scaled_for_eval(32, 2) } else { base_shape.eval_preset() };
+    let mut opts = if fast { ExperimentOptions::fast() } else { ExperimentOptions::standard() };
+    opts.seq_len = flag_parse(flags, "seq", opts.seq_len)?;
+    opts = opts.with_seed(flag_parse(flags, "seed", opts.seed)?);
+
+    let scheme =
+        scheme_by_name(scheme_name).ok_or_else(|| err(format!("unknown scheme '{scheme_name}'")))?;
+    let exp = Experiment::new(&shape, opts);
+    let base_wiki = exp.reference_perplexity(CorpusKind::Wiki);
+    let base_ptb = exp.reference_perplexity(CorpusKind::Ptb);
+    let (wiki, ptb) = exp.perplexities_of(scheme);
+    Ok(format!(
+        "model {} (eval scale d={}, {} layers), scheme {}\n\
+         proxy ppl   Wiki: {:.2} (FP32 base {:.2})\n\
+         proxy ppl   PTB:  {:.2} (FP32 base {:.2})\n",
+        shape.name, shape.d_model, shape.layers, scheme_name, wiki, base_wiki, ptb, base_ptb
+    ))
+}
+
+/// `tender-cli simulate --model M [--seq N] [--groups G]` — iso-area
+/// accelerator comparison on the full-size model (Fig. 10 style).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown model or bad flags.
+pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
+    let model_name = flags.get("model").ok_or_else(|| err("--model is required"))?;
+    let shape = model_by_name(model_name)?;
+    let seq: usize = flag_parse(flags, "seq", 2048)?;
+    let groups: usize = flag_parse(flags, "groups", 8)?;
+    let hw = TenderHwConfig::paper();
+    let w = PrefillWorkload::new(&shape, seq);
+    let speedups = speedups_over(AcceleratorKind::Ant, &hw, groups, &w);
+    let mut out = format!(
+        "prefill {} @ seq {seq}, batch 1, {groups} channel groups (iso-area, speedup over ANT):\n",
+        shape.name
+    );
+    for (kind, s) in speedups {
+        out.push_str(&format!("  {:<8} {s:.2}x\n", kind.label()));
+    }
+    Ok(out)
+}
+
+/// `tender-cli decode --model M [--cache N] [--batch B]` — generation-stage
+/// throughput and utilization across dataflows (§V-A / §VI-D).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown model or bad flags.
+pub fn cmd_decode(flags: &Flags) -> Result<String, CliError> {
+    let model_name = flags.get("model").ok_or_else(|| err("--model is required"))?;
+    let shape = model_by_name(model_name)?;
+    let cache: usize = flag_parse(flags, "cache", 2048)?;
+    let batch: usize = flag_parse(flags, "batch", 1)?;
+    let hw = TenderHwConfig::paper();
+    let mut out = format!("decode {} @ cache {cache}, batch {batch}:\n", shape.name);
+    for df in [Dataflow::OutputStationary, Dataflow::WeightStationary] {
+        let tps = decode_tokens_per_second(&hw, &shape, cache, batch, df);
+        let util = decode_utilization(&hw, &shape, cache, batch, df);
+        out.push_str(&format!(
+            "  {:<18} {tps:>10.1} tok/s   array utilization {:>5.1}%\n",
+            df.label(),
+            util * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "tender-cli — Tender (ISCA 2024) reproduction toolkit\n\
+     \n\
+     USAGE: tender-cli <command> [--flag value ...]\n\
+     \n\
+     COMMANDS:\n\
+     \x20 models                          list synthetic model presets\n\
+     \x20 schemes                         list quantization schemes\n\
+     \x20 ppl      --model M --scheme S   proxy perplexity on a scaled model\n\
+     \x20          [--seq N] [--seed N] [--fast true]\n\
+     \x20 simulate --model M [--seq N]    iso-area accelerator speedups\n\
+     \x20          [--groups G]\n\
+     \x20 decode   --model M [--cache N]  generation-stage throughput\n\
+     \x20          [--batch B]\n"
+        .to_string()
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands or bad arguments.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| err(usage()))?;
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "models" => Ok(cmd_models()),
+        "schemes" => Ok(cmd_schemes()),
+        "ppl" => cmd_ppl(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "decode" => cmd_decode(&flags),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(err(format!("unknown command '{other}'\n\n{}", usage()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn models_lists_all_presets() {
+        let out = cmd_models();
+        for name in ["OPT-6.7B", "Llama-2-70B", "BERT-Large"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn model_lookup_is_case_insensitive() {
+        assert_eq!(model_by_name("opt-6.7b").unwrap().name, "OPT-6.7B");
+        assert!(model_by_name("GPT-5").is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let f = parse_flags(&args(&["--model", "OPT-6.7B", "--seq", "48"])).unwrap();
+        assert_eq!(f.get("model").map(String::as_str), Some("OPT-6.7B"));
+        assert_eq!(f.get("seq").map(String::as_str), Some("48"));
+        assert!(parse_flags(&args(&["--model"])).is_err());
+        assert!(parse_flags(&args(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn ppl_command_runs_fast_mode() {
+        let f = parse_flags(&args(&[
+            "--model", "OPT-6.7B", "--scheme", "Tender@8", "--fast", "true",
+        ]))
+        .unwrap();
+        let out = cmd_ppl(&f).expect("runs");
+        assert!(out.contains("Wiki"));
+        assert!(out.contains("Tender@8"));
+    }
+
+    #[test]
+    fn ppl_requires_model_and_scheme() {
+        assert!(cmd_ppl(&Flags::new()).is_err());
+        let f = parse_flags(&args(&["--model", "OPT-6.7B", "--scheme", "nope"])).unwrap();
+        assert!(cmd_ppl(&f).is_err());
+    }
+
+    #[test]
+    fn simulate_reports_all_accelerators() {
+        let f = parse_flags(&args(&["--model", "OPT-6.7B", "--seq", "512"])).unwrap();
+        let out = cmd_simulate(&f).expect("runs");
+        for label in ["Tender", "ANT", "OliVe", "OLAccel"] {
+            assert!(out.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn decode_reports_both_dataflows() {
+        let f = parse_flags(&args(&["--model", "Llama-2-7B", "--batch", "4"])).unwrap();
+        let out = cmd_decode(&f).expect("runs");
+        assert!(out.contains("output-stationary"));
+        assert!(out.contains("weight-stationary"));
+    }
+
+    #[test]
+    fn dispatch_and_usage() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&args(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&args(&["models"])).is_ok());
+    }
+}

@@ -1,0 +1,66 @@
+//! End-to-end tests of the `tender-cli` binary (the real executable,
+//! via `CARGO_BIN_EXE`).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tender-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("simulate"));
+}
+
+#[test]
+fn no_args_fails_with_usage_on_stderr() {
+    let (ok, _, stderr) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn models_and_schemes_listings() {
+    let (ok, stdout, _) = run(&["models"]);
+    assert!(ok);
+    assert!(stdout.contains("OPT-66B"));
+    let (ok, stdout, _) = run(&["schemes"]);
+    assert!(ok);
+    assert!(stdout.contains("Tender@B"));
+}
+
+#[test]
+fn simulate_prints_speedups() {
+    let (ok, stdout, _) = run(&["simulate", "--model", "OPT-6.7B", "--seq", "256"]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("Tender"));
+    assert!(stdout.contains("x"));
+}
+
+#[test]
+fn ppl_fast_mode_runs_end_to_end() {
+    let (ok, stdout, stderr) = run(&[
+        "ppl", "--model", "OPT-6.7B", "--scheme", "Tender@8", "--fast", "true",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Wiki"), "stdout: {stdout}");
+}
+
+#[test]
+fn unknown_model_is_a_clean_error() {
+    let (ok, _, stderr) = run(&["simulate", "--model", "GPT-17"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"));
+    assert!(stderr.contains("OPT-6.7B"), "error must list valid names");
+}

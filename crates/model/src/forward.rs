@@ -1,0 +1,471 @@
+//! Transformer forward pass with pluggable quantized matmul sites.
+//!
+//! Every weight matmul in a block — Q, K, V, O, FC1, (Gate,) FC2 — is a
+//! *site* that a [`Scheme`] can replace with a calibrated quantized
+//! operator. Activation×activation matmuls (`X_Q × X_K^T`, `X_S × X_V`)
+//! are routed through [`Scheme::act_act_matmul`] per head, so the
+//! "Tender (all)" variant can quantize them too (Table III). The LM head
+//! and the norms/softmax stay in floating point, matching the paper's
+//! setup (the VPU handles those).
+
+use std::collections::HashMap;
+
+use tender_quant::scheme::{QuantMatmul, Scheme};
+use tender_tensor::{ops, Matrix};
+
+use crate::shape::{Activation, ModelKind, NormKind};
+use crate::weights::TransformerWeights;
+
+/// A quantizable matmul site within a Transformer block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Query projection.
+    Q,
+    /// Key projection.
+    K,
+    /// Value projection.
+    V,
+    /// Attention output projection.
+    O,
+    /// First FFN projection.
+    Fc1,
+    /// Gate projection (SiLU-gated FFNs only).
+    Gate,
+    /// Second FFN projection.
+    Fc2,
+}
+
+impl Site {
+    /// All sites a layer can have (Gate is skipped for ungated FFNs).
+    pub const ALL: [Site; 7] = [Site::Q, Site::K, Site::V, Site::O, Site::Fc1, Site::Gate, Site::Fc2];
+}
+
+type SiteKey = (usize, Site);
+type CaptureMap = HashMap<SiteKey, Vec<Matrix>>;
+
+/// LM-head logit gain. With a random (untied) head, logits ≈ N(0, σ²) with
+/// σ ≈ `LOGIT_SCALE`; the value is chosen so the reference model's proxy
+/// perplexity sits far below vocabulary size (a confidently-predicting
+/// model, like a trained LLM) while leaving orders of magnitude of headroom
+/// for catastrophically quantized models to degrade into.
+const LOGIT_SCALE: f32 = 2.5;
+
+enum Exec<'a> {
+    Reference,
+    Quantized {
+        ops: &'a HashMap<SiteKey, Box<dyn QuantMatmul>>,
+        scheme: &'a dyn Scheme,
+    },
+}
+
+fn apply_norm(x: &Matrix, gamma: &[f32], beta: &[f32], norm: NormKind) -> Matrix {
+    match norm {
+        NormKind::LayerNorm => ops::layer_norm(x, gamma, beta, 1e-5),
+        NormKind::RmsNorm => ops::rms_norm(x, gamma, 1e-5),
+    }
+}
+
+fn elementwise_mul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "elementwise product shape mismatch");
+    Matrix::from_fn(a.rows(), a.cols(), |r, c| a[(r, c)] * b[(r, c)])
+}
+
+/// The shared forward pass. Returns the final (normed) hidden states.
+fn forward_internal(
+    w: &TransformerWeights,
+    tokens: &[usize],
+    exec: &Exec<'_>,
+    mut capture: Option<&mut CaptureMap>,
+) -> Matrix {
+    let shape = &w.shape;
+    let n = tokens.len();
+    assert!(n > 0, "empty token sequence");
+    assert!(n <= shape.max_seq, "sequence longer than max_seq");
+    for &t in tokens {
+        assert!(t < shape.vocab, "token id {t} out of vocabulary");
+    }
+
+    let mm = |li: usize, site: Site, x: &Matrix, weight: &Matrix| -> Matrix {
+        match exec {
+            Exec::Reference => x.matmul(weight).expect("weight shapes validated"),
+            Exec::Quantized { ops, .. } => ops
+                .get(&(li, site))
+                .unwrap_or_else(|| panic!("missing operator for layer {li} site {site:?}"))
+                .forward(x),
+        }
+    };
+    let act_act = |a: &Matrix, b: &Matrix| -> Matrix {
+        match exec {
+            Exec::Reference => a.matmul(b).expect("attention shapes"),
+            Exec::Quantized { scheme, .. } => scheme.act_act_matmul(a, b),
+        }
+    };
+
+    // Embedding lookup.
+    let mut h = Matrix::from_fn(n, shape.d_model, |r, c| {
+        w.tok_emb[(tokens[r], c)] + w.pos_emb[(r, c)]
+    });
+
+    let dh = shape.head_dim();
+    let scale = 1.0 / (dh as f32).sqrt();
+
+    for (li, layer) in w.layers.iter().enumerate() {
+        // Attention sub-block.
+        let a = apply_norm(&h, &layer.ln1_gamma, &layer.ln1_beta, shape.norm);
+        if let Some(cap) = capture.as_deref_mut() {
+            for site in [Site::Q, Site::K, Site::V] {
+                cap.entry((li, site)).or_default().push(a.clone());
+            }
+        }
+        let q = mm(li, Site::Q, &a, &layer.wq);
+        let k = mm(li, Site::K, &a, &layer.wk);
+        let v = mm(li, Site::V, &a, &layer.wv);
+
+        let mut ao = Matrix::zeros(n, shape.d_model);
+        for head in 0..shape.heads {
+            let c0 = head * dh;
+            let c1 = c0 + dh;
+            let qh = q.slice_cols(c0, c1).scale(scale);
+            let kh_t = k.slice_cols(c0, c1).transpose();
+            let mut scores = act_act(&qh, &kh_t);
+            if shape.kind == ModelKind::Decoder {
+                ops::causal_mask_inplace(&mut scores);
+            }
+            let probs = ops::softmax_rows(&scores);
+            let attn = act_act(&probs, &v.slice_cols(c0, c1));
+            for r in 0..n {
+                for c in 0..dh {
+                    ao[(r, c0 + c)] = attn[(r, c)];
+                }
+            }
+        }
+        if let Some(cap) = capture.as_deref_mut() {
+            cap.entry((li, Site::O)).or_default().push(ao.clone());
+        }
+        let o = mm(li, Site::O, &ao, &layer.wo);
+        h = h.add(&o).expect("residual shapes");
+
+        // FFN sub-block.
+        let b = apply_norm(&h, &layer.ln2_gamma, &layer.ln2_beta, shape.norm);
+        if let Some(cap) = capture.as_deref_mut() {
+            cap.entry((li, Site::Fc1)).or_default().push(b.clone());
+            if layer.w_gate.is_some() {
+                cap.entry((li, Site::Gate)).or_default().push(b.clone());
+            }
+        }
+        let f = match shape.activation {
+            Activation::Relu => ops::relu(&mm(li, Site::Fc1, &b, &layer.w_fc1)),
+            Activation::Gelu => ops::gelu(&mm(li, Site::Fc1, &b, &layer.w_fc1)),
+            Activation::SiluGated => {
+                let gate_w = layer.w_gate.as_ref().expect("gated FFN has a gate weight");
+                let gated = ops::silu(&mm(li, Site::Gate, &b, gate_w));
+                elementwise_mul(&gated, &mm(li, Site::Fc1, &b, &layer.w_fc1))
+            }
+        };
+        if let Some(cap) = capture.as_deref_mut() {
+            cap.entry((li, Site::Fc2)).or_default().push(f.clone());
+        }
+        let ffn_out = mm(li, Site::Fc2, &f, &layer.w_fc2);
+        h = h.add(&ffn_out).expect("residual shapes");
+    }
+
+    apply_norm(&h, &w.final_gamma, &w.final_beta, shape.norm)
+}
+
+/// The FP32 reference model (the paper's "Base" rows, modulo FP16
+/// rounding, which [`tender_quant::scheme::Fp16Scheme`] models separately).
+#[derive(Debug, Clone)]
+pub struct ReferenceModel {
+    w: TransformerWeights,
+    emb_t: Matrix,
+}
+
+impl ReferenceModel {
+    /// Wraps weights into a runnable reference model.
+    pub fn new(w: TransformerWeights) -> Self {
+        w.validate();
+        let emb_t = w.lm_head.transpose();
+        Self { w, emb_t }
+    }
+
+    /// The underlying weights.
+    pub fn weights(&self) -> &TransformerWeights {
+        &self.w
+    }
+
+    /// Next-token logits for every position, `n × vocab`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, longer than `max_seq`, or contains an
+    /// out-of-vocabulary id.
+    pub fn forward(&self, tokens: &[usize]) -> Matrix {
+        let hidden = forward_internal(&self.w, tokens, &Exec::Reference, None);
+        let scale = LOGIT_SCALE / (self.w.shape.d_model as f32).sqrt();
+        hidden.matmul(&self.emb_t).expect("LM head shape").scale(scale)
+    }
+
+    /// Final hidden states (after the last norm), `n × d_model`.
+    pub fn forward_hidden(&self, tokens: &[usize]) -> Matrix {
+        forward_internal(&self.w, tokens, &Exec::Reference, None)
+    }
+
+    /// Captures the activations entering every matmul site.
+    pub fn capture_site_activations(&self, batches: &[Vec<usize>]) -> HashMap<(usize, Site), Vec<Matrix>> {
+        let mut cap = CaptureMap::new();
+        for batch in batches {
+            forward_internal(&self.w, batch, &Exec::Reference, Some(&mut cap));
+        }
+        cap
+    }
+
+    /// The activation entering the QKV projections of `layer` — the tensor
+    /// Figure 2/3 of the paper plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= shape.layers`.
+    pub fn qkv_input_activation(&self, tokens: &[usize], layer: usize) -> Matrix {
+        assert!(layer < self.w.shape.layers, "layer out of range");
+        let mut cap = CaptureMap::new();
+        forward_internal(&self.w, tokens, &Exec::Reference, Some(&mut cap));
+        cap.remove(&(layer, Site::Q)).expect("captured").remove(0)
+    }
+}
+
+/// A model whose weight matmuls run through calibrated quantized operators.
+pub struct QuantizedModel {
+    w: TransformerWeights,
+    emb_t: Matrix,
+    ops: HashMap<SiteKey, Box<dyn QuantMatmul>>,
+    scheme: Box<dyn Scheme>,
+}
+
+impl QuantizedModel {
+    /// Calibrates `scheme` on the given token batches (via a reference
+    /// forward pass that captures every site's input activations) and
+    /// builds the quantized model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib_batches` is empty.
+    pub fn build(
+        weights: &TransformerWeights,
+        scheme: Box<dyn Scheme>,
+        calib_batches: &[Vec<usize>],
+    ) -> Self {
+        assert!(!calib_batches.is_empty(), "calibration requires at least one batch");
+        let reference = ReferenceModel::new(weights.clone());
+        let captured = reference.capture_site_activations(calib_batches);
+        Self::build_with_capture(weights, scheme, &captured)
+    }
+
+    /// Like [`QuantizedModel::build`], but reusing activations captured by
+    /// [`ReferenceModel::capture_site_activations`] — so one reference pass
+    /// can calibrate many schemes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `captured` is missing any site of this model.
+    pub fn build_with_capture(
+        weights: &TransformerWeights,
+        scheme: Box<dyn Scheme>,
+        captured: &HashMap<(usize, Site), Vec<Matrix>>,
+    ) -> Self {
+        let mut captured = captured.clone();
+        let mut ops: HashMap<SiteKey, Box<dyn QuantMatmul>> = HashMap::new();
+        for (li, layer) in weights.layers.iter().enumerate() {
+            let mut bind = |site: Site, weight: &Matrix| {
+                let acts = captured
+                    .remove(&(li, site))
+                    .unwrap_or_else(|| panic!("no captured activations for layer {li} {site:?}"));
+                ops.insert((li, site), scheme.prepare(&acts, weight));
+            };
+            bind(Site::Q, &layer.wq);
+            bind(Site::K, &layer.wk);
+            bind(Site::V, &layer.wv);
+            bind(Site::O, &layer.wo);
+            bind(Site::Fc1, &layer.w_fc1);
+            if let Some(g) = &layer.w_gate {
+                bind(Site::Gate, g);
+            }
+            bind(Site::Fc2, &layer.w_fc2);
+        }
+        Self {
+            w: weights.clone(),
+            emb_t: weights.lm_head.transpose(),
+            ops,
+            scheme,
+        }
+    }
+
+    /// The scheme this model was quantized with.
+    pub fn scheme_name(&self) -> String {
+        self.scheme.name()
+    }
+
+    /// Next-token logits for every position, `n × vocab`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`ReferenceModel::forward`].
+    pub fn forward(&self, tokens: &[usize]) -> Matrix {
+        let exec = Exec::Quantized {
+            ops: &self.ops,
+            scheme: self.scheme.as_ref(),
+        };
+        let hidden = forward_internal(&self.w, tokens, &exec, None);
+        let scale = LOGIT_SCALE / (self.w.shape.d_model as f32).sqrt();
+        hidden.matmul(&self.emb_t).expect("LM head shape").scale(scale)
+    }
+
+    /// Final hidden states (after the last norm), `n × d_model`.
+    pub fn forward_hidden(&self, tokens: &[usize]) -> Matrix {
+        let exec = Exec::Quantized {
+            ops: &self.ops,
+            scheme: self.scheme.as_ref(),
+        };
+        forward_internal(&self.w, tokens, &exec, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::ModelShape;
+    use crate::synthetic::SyntheticLlm;
+    use tender_quant::scheme::ExactScheme;
+    use tender_quant::tender::{TenderConfig, TenderScheme};
+    use tender_tensor::stats::sqnr_db;
+
+    fn tiny() -> (ModelShape, SyntheticLlm) {
+        let shape = ModelShape::tiny_test();
+        let model = SyntheticLlm::generate(&shape, 11);
+        (shape, model)
+    }
+
+    fn tokens(n: usize, vocab: usize, salt: usize) -> Vec<usize> {
+        (0..n).map(|i| (i * 31 + salt * 17 + 5) % vocab).collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let t = tokens(16, shape.vocab, 0);
+        assert_eq!(reference.forward(&t).shape(), (16, shape.vocab));
+        assert_eq!(reference.forward_hidden(&t).shape(), (16, shape.d_model));
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_finite() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let t = tokens(12, shape.vocab, 1);
+        let a = reference.forward(&t);
+        let b = reference.forward(&t);
+        assert_eq!(a, b);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn causal_mask_means_prefix_invariance() {
+        // Decoder: logits at position i must not depend on tokens after i.
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let mut t1 = tokens(10, shape.vocab, 2);
+        let l1 = reference.forward(&t1);
+        // Change the final token; logits at earlier positions must be equal.
+        t1[9] = (t1[9] + 1) % shape.vocab;
+        let l2 = reference.forward(&t1);
+        for c in 0..shape.vocab {
+            assert_eq!(l1[(5, c)], l2[(5, c)], "position 5 must ignore token 9");
+        }
+        assert_ne!(l1.row(9), l2.row(9), "position 9 must see its own token");
+    }
+
+    #[test]
+    fn encoder_has_no_causal_mask() {
+        let shape = ModelShape::tiny_encoder_test();
+        let model = SyntheticLlm::generate(&shape, 12);
+        let reference = model.reference();
+        let mut t = tokens(10, shape.vocab, 3);
+        let h1 = reference.forward_hidden(&t);
+        t[9] = (t[9] + 1) % shape.vocab;
+        let h2 = reference.forward_hidden(&t);
+        // Bidirectional: early positions DO change.
+        assert_ne!(h1.row(0), h2.row(0));
+    }
+
+    #[test]
+    fn quantized_model_with_exact_scheme_matches_reference() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let calib = vec![tokens(16, shape.vocab, 4)];
+        let qm = QuantizedModel::build(model.weights(), Box::new(ExactScheme::new()), &calib);
+        let t = tokens(16, shape.vocab, 5);
+        let lr = reference.forward(&t);
+        let lq = qm.forward(&t);
+        assert!(lr.approx_eq(&lq, lr.abs_max() * 1e-5), "exact scheme must match");
+    }
+
+    #[test]
+    fn tender_int8_model_close_to_reference() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let calib = vec![tokens(24, shape.vocab, 6), tokens(24, shape.vocab, 7)];
+        let qm = QuantizedModel::build(
+            model.weights(),
+            Box::new(TenderScheme::new(TenderConfig::int8().with_row_chunk(0))),
+            &calib,
+        );
+        let t = tokens(24, shape.vocab, 8);
+        // The tiny test model has far denser outliers (5% of channels)
+        // than a real LLM, so logit SQNR is modest — but must stay well
+        // above the garbage regime (~0 dB).
+        let sqnr = sqnr_db(&reference.forward(&t), &qm.forward(&t));
+        assert!(sqnr > 10.0, "tender INT8 logits sqnr {sqnr}");
+        assert_eq!(qm.scheme_name(), "Tender INT8");
+    }
+
+    #[test]
+    fn gated_ffn_forward_works() {
+        let mut shape = ModelShape::tiny_test();
+        shape.activation = Activation::SiluGated;
+        shape.norm = NormKind::RmsNorm;
+        let model = SyntheticLlm::generate(&shape, 13);
+        let reference = model.reference();
+        let t = tokens(8, shape.vocab, 9);
+        assert!(reference.forward(&t).is_finite());
+        // Quantized build covers the Gate site.
+        let qm = QuantizedModel::build(model.weights(), Box::new(ExactScheme::new()), &[t.clone()]);
+        assert!(qm.forward(&t).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_out_of_vocab_token() {
+        let (shape, model) = tiny();
+        let _ = model.reference().forward(&[shape.vocab]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty token sequence")]
+    fn rejects_empty_sequence() {
+        let (_, model) = tiny();
+        let _ = model.reference().forward(&[]);
+    }
+
+    #[test]
+    fn capture_covers_all_sites() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let cap = reference.capture_site_activations(&[tokens(8, shape.vocab, 10)]);
+        for li in 0..shape.layers {
+            for site in [Site::Q, Site::K, Site::V, Site::O, Site::Fc1, Site::Fc2] {
+                assert!(cap.contains_key(&(li, site)), "missing {li} {site:?}");
+            }
+            assert!(!cap.contains_key(&(li, Site::Gate)), "ungated FFN has no Gate");
+        }
+    }
+}

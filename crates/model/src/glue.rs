@@ -1,0 +1,275 @@
+//! Synthetic GLUE-like classification tasks for encoder evaluation
+//! (Table IV).
+//!
+//! Each task is a `k`-way classification problem over token sequences:
+//! every class has a prototype sequence, and items are prototypes with
+//! tokens randomly resampled at a task-specific noise rate. A model is
+//! scored by nearest-centroid classification in its own mean-pooled
+//! final-hidden-state space, with centroids estimated from a train split
+//! **by the FP32 reference model** — so quantization error shows up as
+//! embedding drift away from the reference centroids, degrading accuracy
+//! exactly the way logit drift degrades GLUE scores.
+
+use tender_tensor::rng::DetRng;
+use tender_tensor::Matrix;
+
+use crate::forward::ReferenceModel;
+
+/// A synthetic classification task.
+#[derive(Debug, Clone)]
+pub struct GlueTask {
+    name: String,
+    train: Vec<(Vec<usize>, usize)>,
+    test: Vec<(Vec<usize>, usize)>,
+    num_classes: usize,
+}
+
+/// Generation parameters for one task.
+#[derive(Debug, Clone, Copy)]
+pub struct GlueParams {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Probability that each prototype token is replaced by a random one.
+    pub noise: f32,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Items per split.
+    pub items_per_split: usize,
+}
+
+impl GlueTask {
+    /// Generates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.num_classes < 2` or `noise` outside `[0, 1]`.
+    pub fn generate(name: &str, vocab: usize, params: GlueParams, seed: u64) -> Self {
+        assert!(params.num_classes >= 2, "need at least two classes");
+        assert!((0.0..=1.0).contains(&params.noise), "noise must be in [0, 1]");
+        let mut rng = DetRng::new(seed ^ 0x61_0e);
+        let prototypes: Vec<Vec<usize>> = (0..params.num_classes)
+            .map(|_| (0..params.seq_len).map(|_| rng.below(vocab)).collect())
+            .collect();
+        let make_split = |rng: &mut DetRng| -> Vec<(Vec<usize>, usize)> {
+            (0..params.items_per_split)
+                .map(|i| {
+                    let label = i % params.num_classes;
+                    let item = prototypes[label]
+                        .iter()
+                        .map(|&t| if rng.uniform() < params.noise { rng.below(vocab) } else { t })
+                        .collect();
+                    (item, label)
+                })
+                .collect()
+        };
+        let train = make_split(&mut rng);
+        let test = make_split(&mut rng);
+        Self {
+            name: name.to_string(),
+            train,
+            test,
+            num_classes: params.num_classes,
+        }
+    }
+
+    /// The six tasks used for the Table IV reproduction, with noise rates
+    /// chosen so the FP32 baseline spans a range of difficulties like the
+    /// real GLUE suite.
+    pub fn standard_suite(vocab: usize, seed: u64) -> Vec<GlueTask> {
+        let base = GlueParams {
+            num_classes: 2,
+            noise: 0.5,
+            seq_len: 24,
+            items_per_split: 40,
+        };
+        [
+            ("CoLA", GlueParams { noise: 0.62, ..base }),
+            ("SST-2", GlueParams { noise: 0.45, ..base }),
+            ("MRPC", GlueParams { noise: 0.50, ..base }),
+            ("STS-B", GlueParams { num_classes: 5, noise: 0.45, ..base }),
+            ("QQP", GlueParams { noise: 0.48, ..base }),
+            ("QNLI", GlueParams { noise: 0.46, ..base }),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, (name, p))| GlueTask::generate(name, vocab, *p, seed.wrapping_add(i as u64)))
+        .collect()
+    }
+
+    /// The task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The test split.
+    pub fn test_items(&self) -> &[(Vec<usize>, usize)] {
+        &self.test
+    }
+
+    /// Computes per-class centroids of mean-pooled reference embeddings on
+    /// the train split.
+    pub fn reference_centroids(&self, reference: &ReferenceModel) -> Vec<Vec<f32>> {
+        let d = reference.weights().shape.d_model;
+        let mut sums = vec![vec![0.0_f32; d]; self.num_classes];
+        let mut counts = vec![0_usize; self.num_classes];
+        for (tokens, label) in &self.train {
+            let emb = mean_pool(&reference.forward_hidden(tokens));
+            for (s, e) in sums[*label].iter_mut().zip(&emb) {
+                *s += e;
+            }
+            counts[*label] += 1;
+        }
+        for (s, &c) in sums.iter_mut().zip(&counts) {
+            assert!(c > 0, "every class needs train items");
+            for x in s.iter_mut() {
+                *x /= c as f32;
+            }
+        }
+        sums
+    }
+
+    /// Accuracy of a model (`hidden_forward`: tokens → final hidden states)
+    /// under nearest-centroid classification against reference centroids.
+    pub fn accuracy<F: Fn(&[usize]) -> Matrix>(
+        &self,
+        hidden_forward: F,
+        centroids: &[Vec<f32>],
+    ) -> f64 {
+        assert_eq!(centroids.len(), self.num_classes, "one centroid per class");
+        let mut correct = 0_usize;
+        for (tokens, label) in &self.test {
+            let emb = mean_pool(&hidden_forward(tokens));
+            let pred = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    dist2(&emb, a).partial_cmp(&dist2(&emb, b)).expect("finite")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty centroids");
+            if pred == *label {
+                correct += 1;
+            }
+        }
+        correct as f64 / self.test.len() as f64
+    }
+}
+
+fn mean_pool(hidden: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0_f32; hidden.cols()];
+    for row in hidden.iter_rows() {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    for o in &mut out {
+        *o /= hidden.rows() as f32;
+    }
+    out
+}
+
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::ModelShape;
+    use crate::synthetic::SyntheticLlm;
+    use crate::QuantizedModel;
+    use tender_quant::granularity::{Granularity, GranularityScheme};
+    use tender_quant::scheme::ExactScheme;
+
+    fn task_and_model() -> (GlueTask, SyntheticLlm) {
+        let shape = ModelShape::tiny_encoder_test();
+        let model = SyntheticLlm::generate(&shape, 31);
+        let task = GlueTask::generate(
+            "test-task",
+            shape.vocab,
+            GlueParams {
+                num_classes: 2,
+                noise: 0.3,
+                seq_len: 16,
+                items_per_split: 20,
+            },
+            5,
+        );
+        (task, model)
+    }
+
+    #[test]
+    fn reference_beats_chance() {
+        let (task, model) = task_and_model();
+        let reference = model.reference();
+        let centroids = task.reference_centroids(&reference);
+        let acc = task.accuracy(|t| reference.forward_hidden(t), &centroids);
+        assert!(acc > 0.6, "reference accuracy {acc} should be well above chance (0.5)");
+    }
+
+    #[test]
+    fn exact_scheme_matches_reference_accuracy() {
+        let (task, model) = task_and_model();
+        let reference = model.reference();
+        let centroids = task.reference_centroids(&reference);
+        let calib: Vec<Vec<usize>> = task.test_items().iter().take(2).map(|(t, _)| t.clone()).collect();
+        let qm = QuantizedModel::build(model.weights(), Box::new(ExactScheme::new()), &calib);
+        let a_ref = task.accuracy(|t| reference.forward_hidden(t), &centroids);
+        let a_q = task.accuracy(|t| qm.forward_hidden(t), &centroids);
+        assert_eq!(a_ref, a_q);
+    }
+
+    #[test]
+    fn int4_per_tensor_degrades_accuracy() {
+        let (task, model) = task_and_model();
+        let reference = model.reference();
+        let centroids = task.reference_centroids(&reference);
+        let calib: Vec<Vec<usize>> = task.test_items().iter().take(4).map(|(t, _)| t.clone()).collect();
+        let qm = QuantizedModel::build(
+            model.weights(),
+            Box::new(GranularityScheme::new(3, Granularity::PerTensor)),
+            &calib,
+        );
+        let a_ref = task.accuracy(|t| reference.forward_hidden(t), &centroids);
+        let a_q = task.accuracy(|t| qm.forward_hidden(t), &centroids);
+        assert!(a_q <= a_ref, "coarse quantization cannot beat reference here");
+    }
+
+    #[test]
+    fn suite_has_six_named_tasks() {
+        let suite = GlueTask::standard_suite(128, 3);
+        let names: Vec<&str> = suite.iter().map(GlueTask::name).collect();
+        assert_eq!(names, vec!["CoLA", "SST-2", "MRPC", "STS-B", "QQP", "QNLI"]);
+        assert_eq!(suite[3].num_classes(), 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = GlueParams {
+            num_classes: 2,
+            noise: 0.4,
+            seq_len: 8,
+            items_per_split: 6,
+        };
+        let a = GlueTask::generate("x", 64, p, 9);
+        let b = GlueTask::generate("x", 64, p, 9);
+        assert_eq!(a.test_items(), b.test_items());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn rejects_single_class() {
+        let p = GlueParams {
+            num_classes: 1,
+            noise: 0.1,
+            seq_len: 4,
+            items_per_split: 2,
+        };
+        let _ = GlueTask::generate("bad", 10, p, 0);
+    }
+}

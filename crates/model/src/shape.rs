@@ -1,0 +1,314 @@
+//! Model architecture descriptions and the paper's model presets.
+
+/// FFN activation function family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// ReLU, as in the OPT family.
+    Relu,
+    /// GeLU, as in BERT.
+    Gelu,
+    /// SiLU with a gated FFN (`fc2(silu(gate(x)) * fc1(x))`), as in
+    /// LLaMA / Llama-2.
+    SiluGated,
+}
+
+/// Normalization layer family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormKind {
+    /// LayerNorm (OPT, BERT).
+    LayerNorm,
+    /// RMSNorm (LLaMA family).
+    RmsNorm,
+}
+
+/// Decoder (causal LM) or encoder (bidirectional) architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Autoregressive decoder with causal attention masking.
+    Decoder,
+    /// Bidirectional encoder (BERT-style).
+    Encoder,
+}
+
+/// Architecture + outlier-structure description of a synthetic model.
+///
+/// The `outlier_*` fields steer the synthetic weight generator
+/// ([`crate::SyntheticLlm`]): `outlier_channels` fixed feature dimensions
+/// get (Layer|RMS)Norm gains `outlier_gain` times larger than usual, which
+/// makes the activations entering QKV and FC1 carry channel outliers of the
+/// kind Figure 2/3 of the paper shows. Severity differs per model family
+/// (OPT ≫ Llama ≫ BERT), which is what makes, e.g., per-tensor INT8
+/// catastrophic on OPT but survivable on Llama-2 (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelShape {
+    /// Human-readable name used in experiment tables.
+    pub name: String,
+    /// Embedding / hidden dimension.
+    pub d_model: usize,
+    /// FFN inner dimension.
+    pub ffn_dim: usize,
+    /// Number of attention heads (must divide `d_model`).
+    pub heads: usize,
+    /// Number of Transformer blocks.
+    pub layers: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum sequence length (positional embedding table size).
+    pub max_seq: usize,
+    /// FFN activation.
+    pub activation: Activation,
+    /// Normalization kind.
+    pub norm: NormKind,
+    /// Decoder or encoder.
+    pub kind: ModelKind,
+    /// Number of fixed outlier channels.
+    pub outlier_channels: usize,
+    /// Norm-gain multiplier for outlier channels.
+    pub outlier_gain: f32,
+}
+
+impl ModelShape {
+    /// Head dimension (`d_model / heads`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `d_model`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.d_model % self.heads, 0, "heads must divide d_model");
+        self.d_model / self.heads
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `heads` does not divide
+    /// `d_model`.
+    pub fn validate(&self) {
+        assert!(self.d_model > 0 && self.ffn_dim > 0 && self.layers > 0);
+        assert!(self.heads > 0 && self.vocab > 0 && self.max_seq > 0);
+        assert_eq!(self.d_model % self.heads, 0, "heads must divide d_model");
+        assert!(self.outlier_channels <= self.d_model);
+    }
+
+    fn decoder(
+        name: &str,
+        d_model: usize,
+        ffn_dim: usize,
+        heads: usize,
+        layers: usize,
+        activation: Activation,
+        norm: NormKind,
+        outlier_channels: usize,
+        outlier_gain: f32,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            d_model,
+            ffn_dim,
+            heads,
+            layers,
+            vocab: 50272,
+            max_seq: 2048,
+            activation,
+            norm,
+            kind: ModelKind::Decoder,
+            outlier_channels,
+            outlier_gain,
+        }
+    }
+
+    /// OPT-6.7B (full size: 4096/16384, 32 heads, 32 layers).
+    pub fn opt_6_7b() -> Self {
+        Self::decoder("OPT-6.7B", 4096, 16384, 32, 32, Activation::Relu, NormKind::LayerNorm, 24, 26.0)
+    }
+
+    /// OPT-13B.
+    pub fn opt_13b() -> Self {
+        Self::decoder("OPT-13B", 5120, 20480, 40, 40, Activation::Relu, NormKind::LayerNorm, 36, 34.0)
+    }
+
+    /// OPT-66B.
+    pub fn opt_66b() -> Self {
+        Self::decoder("OPT-66B", 9216, 36864, 72, 64, Activation::Relu, NormKind::LayerNorm, 56, 30.0)
+    }
+
+    /// Llama-2-7B.
+    pub fn llama2_7b() -> Self {
+        Self::decoder("Llama-2-7B", 4096, 11008, 32, 32, Activation::SiluGated, NormKind::RmsNorm, 12, 16.0)
+    }
+
+    /// Llama-2-13B.
+    pub fn llama2_13b() -> Self {
+        Self::decoder("Llama-2-13B", 5120, 13824, 40, 40, Activation::SiluGated, NormKind::RmsNorm, 14, 15.0)
+    }
+
+    /// Llama-2-70B.
+    pub fn llama2_70b() -> Self {
+        Self::decoder("Llama-2-70B", 8192, 28672, 64, 80, Activation::SiluGated, NormKind::RmsNorm, 20, 14.0)
+    }
+
+    /// LLaMA-7B.
+    pub fn llama_7b() -> Self {
+        Self::decoder("LLaMA-7B", 4096, 11008, 32, 32, Activation::SiluGated, NormKind::RmsNorm, 14, 18.0)
+    }
+
+    /// LLaMA-13B.
+    pub fn llama_13b() -> Self {
+        Self::decoder("LLaMA-13B", 5120, 13824, 40, 40, Activation::SiluGated, NormKind::RmsNorm, 16, 17.0)
+    }
+
+    /// LLaMA-65B.
+    pub fn llama_65b() -> Self {
+        Self::decoder("LLaMA-65B", 8192, 22016, 64, 80, Activation::SiluGated, NormKind::RmsNorm, 18, 16.0)
+    }
+
+    /// BERT-Large (encoder; much milder outliers, per the paper §V-B).
+    pub fn bert_large() -> Self {
+        Self {
+            name: "BERT-Large".to_string(),
+            d_model: 1024,
+            ffn_dim: 4096,
+            heads: 16,
+            layers: 24,
+            vocab: 30522,
+            max_seq: 512,
+            activation: Activation::Gelu,
+            norm: NormKind::LayerNorm,
+            kind: ModelKind::Encoder,
+            outlier_channels: 6,
+            outlier_gain: 3.0,
+        }
+    }
+
+    /// Scales the architecture down for laptop-scale evaluation while
+    /// preserving the outlier structure (same *number* of outlier channels
+    /// relative to width, same gain, same activation/norm family).
+    ///
+    /// `width_div` divides `d_model`/`ffn_dim`; `layers` replaces the layer
+    /// count. Heads are reduced to keep `head_dim ≥ 16`.
+    pub fn scaled_for_eval(&self, width_div: usize, layers: usize) -> Self {
+        assert!(width_div > 0 && layers > 0, "invalid scaling");
+        let d_model = (self.d_model / width_div).max(64);
+        let mut heads = self.heads;
+        while heads > 1 && (d_model / heads < 16 || d_model % heads != 0) {
+            heads /= 2;
+        }
+        Self {
+            name: self.name.clone(),
+            d_model,
+            ffn_dim: (self.ffn_dim / width_div).max(128),
+            heads,
+            layers,
+            vocab: 512,
+            max_seq: 256,
+            activation: self.activation,
+            norm: self.norm,
+            kind: self.kind,
+            outlier_channels: (self.outlier_channels * d_model / self.d_model).max(2),
+            outlier_gain: self.outlier_gain,
+        }
+    }
+
+    /// The default evaluation scale used by the experiment binaries:
+    /// width ÷ 16, 4 layers.
+    pub fn eval_preset(&self) -> Self {
+        self.scaled_for_eval(16, 4)
+    }
+
+    /// A minimal shape for fast unit tests.
+    pub fn tiny_test() -> Self {
+        Self {
+            name: "tiny-test".to_string(),
+            d_model: 64,
+            ffn_dim: 128,
+            heads: 4,
+            layers: 2,
+            vocab: 128,
+            max_seq: 64,
+            activation: Activation::Relu,
+            norm: NormKind::LayerNorm,
+            kind: ModelKind::Decoder,
+            outlier_channels: 3,
+            outlier_gain: 40.0,
+        }
+    }
+
+    /// A minimal encoder shape for fast unit tests.
+    pub fn tiny_encoder_test() -> Self {
+        Self {
+            kind: ModelKind::Encoder,
+            activation: Activation::Gelu,
+            outlier_gain: 8.0,
+            name: "tiny-encoder".to_string(),
+            ..Self::tiny_test()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for shape in [
+            ModelShape::opt_6_7b(),
+            ModelShape::opt_13b(),
+            ModelShape::opt_66b(),
+            ModelShape::llama2_7b(),
+            ModelShape::llama2_13b(),
+            ModelShape::llama2_70b(),
+            ModelShape::llama_7b(),
+            ModelShape::llama_13b(),
+            ModelShape::llama_65b(),
+            ModelShape::bert_large(),
+            ModelShape::tiny_test(),
+        ] {
+            shape.validate();
+        }
+    }
+
+    #[test]
+    fn opt_dimensions_match_published_architecture() {
+        let opt = ModelShape::opt_6_7b();
+        assert_eq!(opt.d_model, 4096);
+        assert_eq!(opt.ffn_dim, 16384);
+        assert_eq!(opt.head_dim(), 128);
+        assert_eq!(opt.activation, Activation::Relu);
+    }
+
+    #[test]
+    fn llama_uses_rmsnorm_and_gated_ffn() {
+        let l = ModelShape::llama2_7b();
+        assert_eq!(l.norm, NormKind::RmsNorm);
+        assert_eq!(l.activation, Activation::SiluGated);
+        assert_eq!(l.ffn_dim, 11008);
+    }
+
+    #[test]
+    fn outlier_severity_ordering_opt_llama_bert() {
+        // The paper's observation: OPT outliers ≫ Llama outliers ≫ BERT.
+        assert!(ModelShape::opt_6_7b().outlier_gain > ModelShape::llama2_7b().outlier_gain);
+        assert!(ModelShape::llama2_7b().outlier_gain > ModelShape::bert_large().outlier_gain);
+    }
+
+    #[test]
+    fn scaled_shapes_remain_valid_and_preserve_structure() {
+        for base in [ModelShape::opt_6_7b(), ModelShape::llama2_70b(), ModelShape::bert_large()] {
+            let s = base.eval_preset();
+            s.validate();
+            assert_eq!(s.activation, base.activation);
+            assert_eq!(s.norm, base.norm);
+            assert_eq!(s.outlier_gain, base.outlier_gain);
+            assert!(s.head_dim() >= 16);
+            assert!(s.outlier_channels >= 2);
+        }
+    }
+
+    #[test]
+    fn bert_is_encoder() {
+        assert_eq!(ModelShape::bert_large().kind, ModelKind::Encoder);
+        assert_eq!(ModelShape::opt_6_7b().kind, ModelKind::Decoder);
+    }
+}

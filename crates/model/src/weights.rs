@@ -1,0 +1,120 @@
+//! Weight containers for the synthetic Transformer.
+
+use tender_tensor::Matrix;
+
+use crate::shape::ModelShape;
+
+/// Weights of one Transformer block.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Pre-attention norm gain (per feature).
+    pub ln1_gamma: Vec<f32>,
+    /// Pre-attention norm bias (unused for RMSNorm).
+    pub ln1_beta: Vec<f32>,
+    /// Query projection, `d_model × d_model`.
+    pub wq: Matrix,
+    /// Key projection, `d_model × d_model`.
+    pub wk: Matrix,
+    /// Value projection, `d_model × d_model`.
+    pub wv: Matrix,
+    /// Output projection, `d_model × d_model`.
+    pub wo: Matrix,
+    /// Pre-FFN norm gain.
+    pub ln2_gamma: Vec<f32>,
+    /// Pre-FFN norm bias (unused for RMSNorm).
+    pub ln2_beta: Vec<f32>,
+    /// First FFN projection, `d_model × ffn_dim`.
+    pub w_fc1: Matrix,
+    /// Gate projection for SiLU-gated FFNs, `d_model × ffn_dim`.
+    pub w_gate: Option<Matrix>,
+    /// Second FFN projection, `ffn_dim × d_model`.
+    pub w_fc2: Matrix,
+}
+
+/// Complete weights of a synthetic Transformer LM.
+#[derive(Debug, Clone)]
+pub struct TransformerWeights {
+    /// The architecture these weights instantiate.
+    pub shape: ModelShape,
+    /// Token embedding table, `vocab × d_model`.
+    pub tok_emb: Matrix,
+    /// LM head, `vocab × d_model`. Untied from `tok_emb`: with random
+    /// (untrained) weights a tied head hands every position a large
+    /// self-token logit through the residual stream, collapsing the
+    /// next-token distribution — an artifact real trained models do not
+    /// have.
+    pub lm_head: Matrix,
+    /// Positional embedding table, `max_seq × d_model`.
+    pub pos_emb: Matrix,
+    /// Per-block weights.
+    pub layers: Vec<LayerWeights>,
+    /// Final norm gain.
+    pub final_gamma: Vec<f32>,
+    /// Final norm bias.
+    pub final_beta: Vec<f32>,
+}
+
+impl TransformerWeights {
+    /// Validates that every weight has the dimensions the shape promises.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency.
+    pub fn validate(&self) {
+        let d = self.shape.d_model;
+        let f = self.shape.ffn_dim;
+        assert_eq!(self.tok_emb.shape(), (self.shape.vocab, d));
+        assert_eq!(self.lm_head.shape(), (self.shape.vocab, d));
+        assert_eq!(self.pos_emb.shape(), (self.shape.max_seq, d));
+        assert_eq!(self.layers.len(), self.shape.layers);
+        assert_eq!(self.final_gamma.len(), d);
+        for (i, l) in self.layers.iter().enumerate() {
+            assert_eq!(l.ln1_gamma.len(), d, "layer {i} ln1");
+            assert_eq!(l.wq.shape(), (d, d), "layer {i} wq");
+            assert_eq!(l.wk.shape(), (d, d), "layer {i} wk");
+            assert_eq!(l.wv.shape(), (d, d), "layer {i} wv");
+            assert_eq!(l.wo.shape(), (d, d), "layer {i} wo");
+            assert_eq!(l.w_fc1.shape(), (d, f), "layer {i} fc1");
+            assert_eq!(l.w_fc2.shape(), (f, d), "layer {i} fc2");
+            if let Some(g) = &l.w_gate {
+                assert_eq!(g.shape(), (d, f), "layer {i} gate");
+            }
+        }
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        let mut n =
+            self.tok_emb.len() + self.lm_head.len() + self.pos_emb.len() + self.final_gamma.len() * 2;
+        for l in &self.layers {
+            n += l.ln1_gamma.len() * 2 + l.ln2_gamma.len() * 2;
+            n += l.wq.len() + l.wk.len() + l.wv.len() + l.wo.len();
+            n += l.w_fc1.len() + l.w_fc2.len();
+            n += l.w_gate.as_ref().map_or(0, Matrix::len);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticLlm;
+
+    #[test]
+    fn generated_weights_validate() {
+        let shape = ModelShape::tiny_test();
+        let model = SyntheticLlm::generate(&shape, 1);
+        model.weights().validate();
+    }
+
+    #[test]
+    fn param_count_is_plausible() {
+        let shape = ModelShape::tiny_test();
+        let model = SyntheticLlm::generate(&shape, 1);
+        let n = model.weights().num_params();
+        // 2 layers × (4·64² + 2·64·128) + embeddings.
+        assert!(n > 60_000, "param count {n}");
+        assert!(n < 200_000, "param count {n}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Synthetic zero-shot multiple-choice tasks (Table VII).
+//!
+//! Each item is a context plus `k` candidate continuations, scored by the
+//! model's total log-likelihood of the continuation tokens given the
+//! context — the lm-evaluation-harness protocol. Ground-truth answers are
+//! the FP32 reference model's choices with task-specific label noise mixed
+//! in, so the reference model's accuracy lands below 100% (like the FP32
+//! columns of Table VII) and quantized models degrade from there as their
+//! likelihoods drift.
+
+use tender_tensor::rng::DetRng;
+use tender_tensor::{ops, Matrix};
+
+use crate::calibration::{token_batches, CorpusKind};
+use crate::forward::ReferenceModel;
+
+/// One multiple-choice item.
+#[derive(Debug, Clone)]
+pub struct ZeroshotItem {
+    /// Context tokens.
+    pub context: Vec<usize>,
+    /// Candidate continuations.
+    pub choices: Vec<Vec<usize>>,
+    /// Ground-truth choice index.
+    pub answer: usize,
+}
+
+/// A zero-shot task: a named set of items.
+#[derive(Debug, Clone)]
+pub struct ZeroshotTask {
+    name: String,
+    items: Vec<ZeroshotItem>,
+}
+
+/// Generation parameters for one task.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroshotParams {
+    /// Number of items.
+    pub num_items: usize,
+    /// Choices per item.
+    pub num_choices: usize,
+    /// Context length.
+    pub ctx_len: usize,
+    /// Continuation length.
+    pub choice_len: usize,
+    /// Probability that the ground-truth label is randomized (controls the
+    /// FP32 baseline accuracy).
+    pub label_noise: f32,
+}
+
+impl ZeroshotTask {
+    /// Generates a task whose answers come from `reference` (with label
+    /// noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_choices < 2`.
+    pub fn generate(
+        name: &str,
+        reference: &ReferenceModel,
+        params: ZeroshotParams,
+        seed: u64,
+    ) -> Self {
+        assert!(params.num_choices >= 2, "need at least two choices");
+        let vocab = reference.weights().shape.vocab;
+        let mut rng = DetRng::new(seed ^ 0x2e05_07);
+        let contexts = token_batches(CorpusKind::Wiki, vocab, params.num_items, params.ctx_len, seed);
+        let items = contexts
+            .into_iter()
+            .map(|context| {
+                let choices: Vec<Vec<usize>> = (0..params.num_choices)
+                    .map(|_| (0..params.choice_len).map(|_| rng.below(vocab)).collect())
+                    .collect();
+                let ref_best = argmax_choice(|t| reference.forward(t), &context, &choices);
+                let answer = if rng.uniform() < params.label_noise {
+                    rng.below(params.num_choices)
+                } else {
+                    ref_best
+                };
+                ZeroshotItem {
+                    context,
+                    choices,
+                    answer,
+                }
+            })
+            .collect();
+        Self {
+            name: name.to_string(),
+            items,
+        }
+    }
+
+    /// The task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The items.
+    pub fn items(&self) -> &[ZeroshotItem] {
+        &self.items
+    }
+
+    /// Accuracy of a model (`forward`: tokens → logits) on this task.
+    pub fn accuracy<F: Fn(&[usize]) -> Matrix>(&self, forward: F) -> f64 {
+        let correct = self
+            .items
+            .iter()
+            .filter(|item| argmax_choice(&forward, &item.context, &item.choices) == item.answer)
+            .count();
+        correct as f64 / self.items.len() as f64
+    }
+}
+
+/// Log-likelihood of `choice` as a continuation of `context` under the
+/// model's logits.
+pub fn choice_log_likelihood<F: Fn(&[usize]) -> Matrix>(
+    forward: F,
+    context: &[usize],
+    choice: &[usize],
+) -> f64 {
+    let mut full = context.to_vec();
+    full.extend_from_slice(choice);
+    let logits = forward(&full);
+    let logp = ops::log_softmax_rows(&logits);
+    // Position ctx_len-1+i predicts choice token i.
+    (0..choice.len())
+        .map(|i| logp[(context.len() - 1 + i, choice[i])] as f64)
+        .sum()
+}
+
+fn argmax_choice<F: Fn(&[usize]) -> Matrix>(
+    forward: F,
+    context: &[usize],
+    choices: &[Vec<usize>],
+) -> usize {
+    let mut best = (0, f64::NEG_INFINITY);
+    for (i, choice) in choices.iter().enumerate() {
+        let ll = choice_log_likelihood(&forward, context, choice);
+        if ll > best.1 {
+            best = (i, ll);
+        }
+    }
+    best.0
+}
+
+/// The ten tasks of Table VII with label noise calibrated to the paper's
+/// FP32 accuracy levels.
+pub fn standard_suite(reference: &ReferenceModel, seed: u64) -> Vec<ZeroshotTask> {
+    let base = ZeroshotParams {
+        num_items: 12,
+        num_choices: 4,
+        ctx_len: 16,
+        choice_len: 6,
+        label_noise: 0.3,
+    };
+    [
+        ("Hellaswag", ZeroshotParams { label_noise: 0.35, ..base }),
+        ("WIC", ZeroshotParams { num_choices: 2, label_noise: 0.95, ..base }),
+        ("Anli-r2", ZeroshotParams { num_choices: 3, label_noise: 0.9, ..base }),
+        ("Winogrande", ZeroshotParams { num_choices: 2, label_noise: 0.6, ..base }),
+        ("ARC easy", ZeroshotParams { label_noise: 0.45, ..base }),
+        ("ARC challenge", ZeroshotParams { label_noise: 0.85, ..base }),
+        ("Lambada", ZeroshotParams { label_noise: 0.35, ..base }),
+        ("College CS", ZeroshotParams { label_noise: 0.85, ..base }),
+        ("Int. law", ZeroshotParams { label_noise: 0.8, ..base }),
+        ("Jurisprudence", ZeroshotParams { label_noise: 0.95, ..base }),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, (name, p))| ZeroshotTask::generate(name, reference, *p, seed.wrapping_add(i as u64)))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::ModelShape;
+    use crate::synthetic::SyntheticLlm;
+    use crate::QuantizedModel;
+    use tender_quant::granularity::{Granularity, GranularityScheme};
+    use tender_quant::scheme::ExactScheme;
+
+    fn setup(label_noise: f32) -> (SyntheticLlm, ZeroshotTask) {
+        let shape = ModelShape::tiny_test();
+        let model = SyntheticLlm::generate(&shape, 41);
+        let task = ZeroshotTask::generate(
+            "t",
+            &model.reference(),
+            ZeroshotParams {
+                num_items: 8,
+                num_choices: 3,
+                ctx_len: 8,
+                choice_len: 4,
+                label_noise,
+            },
+            3,
+        );
+        (model, task)
+    }
+
+    #[test]
+    fn reference_is_perfect_without_label_noise() {
+        let (model, task) = setup(0.0);
+        let reference = model.reference();
+        assert_eq!(task.accuracy(|t| reference.forward(t)), 1.0);
+    }
+
+    #[test]
+    fn label_noise_lowers_reference_accuracy() {
+        let (model, task) = setup(0.9);
+        let reference = model.reference();
+        let acc = task.accuracy(|t| reference.forward(t));
+        assert!(acc < 1.0, "accuracy {acc} must drop under label noise");
+    }
+
+    #[test]
+    fn exact_scheme_matches_reference_choices() {
+        let (model, task) = setup(0.3);
+        let reference = model.reference();
+        let calib = vec![task.items()[0].context.clone()];
+        let qm = QuantizedModel::build(model.weights(), Box::new(ExactScheme::new()), &calib);
+        assert_eq!(
+            task.accuracy(|t| reference.forward(t)),
+            task.accuracy(|t| qm.forward(t))
+        );
+    }
+
+    #[test]
+    fn destroyed_model_falls_toward_chance() {
+        let shape = ModelShape::tiny_test();
+        let model = SyntheticLlm::generate(&shape, 41);
+        let reference = model.reference();
+        let task = ZeroshotTask::generate(
+            "t",
+            &reference,
+            ZeroshotParams {
+                num_items: 24,
+                num_choices: 4,
+                ctx_len: 8,
+                choice_len: 4,
+                label_noise: 0.0,
+            },
+            3,
+        );
+        let calib = vec![task.items()[0].context.clone()];
+        // 2-bit per-tensor: essentially constant logits on this model.
+        let qm = QuantizedModel::build(
+            model.weights(),
+            Box::new(GranularityScheme::new(2, Granularity::PerTensor)),
+            &calib,
+        );
+        let a_ref = task.accuracy(|t| reference.forward(t));
+        let a_q = task.accuracy(|t| qm.forward(t));
+        assert!(a_q < a_ref, "destroyed model {a_q} vs reference {a_ref}");
+    }
+
+    #[test]
+    fn choice_likelihood_is_additive_and_negative() {
+        let (model, task) = setup(0.0);
+        let reference = model.reference();
+        let item = &task.items()[0];
+        let ll = choice_log_likelihood(|t| reference.forward(t), &item.context, &item.choices[0]);
+        assert!(ll < 0.0);
+        assert!(ll.is_finite());
+    }
+
+    #[test]
+    fn suite_has_ten_tasks() {
+        let shape = ModelShape::tiny_test();
+        let model = SyntheticLlm::generate(&shape, 42);
+        let suite = standard_suite(&model.reference(), 1);
+        assert_eq!(suite.len(), 10);
+        assert_eq!(suite[0].name(), "Hellaswag");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the Transformer substrate.
+
+use proptest::prelude::*;
+use tender_model::{ModelKind, ModelShape, SyntheticLlm};
+use tender_quant::scheme::ExactScheme;
+use tender_model::QuantizedModel;
+
+fn tiny(seed: u64) -> SyntheticLlm {
+    SyntheticLlm::generate(&ModelShape::tiny_test(), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Causality: in a decoder, logits at position p depend only on tokens
+    /// 0..=p.
+    #[test]
+    fn causal_prefix_invariance(
+        seed in any::<u64>(),
+        tokens in proptest::collection::vec(0_usize..128, 4..16),
+        change_pos_frac in 0.0_f32..1.0,
+        delta in 1_usize..127,
+    ) {
+        let model = tiny(seed);
+        let reference = model.reference();
+        let n = tokens.len();
+        let p = ((n - 1) as f32 * change_pos_frac) as usize;
+        let mut altered = tokens.clone();
+        altered[p] = (altered[p] + delta) % 128;
+        prop_assume!(altered[p] != tokens[p]);
+
+        let a = reference.forward(&tokens);
+        let b = reference.forward(&altered);
+        // Positions before p unaffected.
+        for pos in 0..p {
+            prop_assert_eq!(a.row(pos), b.row(pos), "position {} changed", pos);
+        }
+        // Position p sees its own token.
+        prop_assert_ne!(a.row(p), b.row(p));
+    }
+
+    /// Determinism: the same tokens always produce the same logits.
+    #[test]
+    fn forward_is_pure(
+        seed in any::<u64>(),
+        tokens in proptest::collection::vec(0_usize..128, 1..12),
+    ) {
+        let model = tiny(seed);
+        let reference = model.reference();
+        prop_assert_eq!(reference.forward(&tokens), reference.forward(&tokens));
+    }
+
+    /// Logits are always finite, whatever the token stream.
+    #[test]
+    fn forward_is_finite(
+        seed in any::<u64>(),
+        tokens in proptest::collection::vec(0_usize..128, 1..20),
+    ) {
+        let model = tiny(seed);
+        prop_assert!(model.reference().forward(&tokens).is_finite());
+    }
+
+    /// The quantized-model plumbing with an exact scheme is a no-op.
+    #[test]
+    fn exact_scheme_roundtrip(
+        seed in any::<u64>(),
+        tokens in proptest::collection::vec(0_usize..128, 2..10),
+    ) {
+        let model = tiny(seed);
+        let reference = model.reference();
+        let qm = QuantizedModel::build(
+            model.weights(),
+            Box::new(ExactScheme::new()),
+            std::slice::from_ref(&tokens),
+        );
+        let a = reference.forward(&tokens);
+        let b = qm.forward(&tokens);
+        prop_assert!(a.approx_eq(&b, a.abs_max().max(1.0) * 1e-5));
+    }
+
+    /// Encoders are *not* causal: a late token influences early positions.
+    #[test]
+    fn encoder_is_bidirectional(seed in any::<u64>()) {
+        let shape = ModelShape::tiny_encoder_test();
+        prop_assert_eq!(shape.kind, ModelKind::Encoder);
+        let model = SyntheticLlm::generate(&shape, seed);
+        let reference = model.reference();
+        let tokens: Vec<usize> = (0..10).map(|i| (i * 11 + 3) % shape.vocab).collect();
+        let mut altered = tokens.clone();
+        altered[9] = (altered[9] + 1) % shape.vocab;
+        let a = reference.forward_hidden(&tokens);
+        let b = reference.forward_hidden(&altered);
+        prop_assert_ne!(a.row(0), b.row(0));
+    }
+}

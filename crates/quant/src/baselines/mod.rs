@@ -1,0 +1,105 @@
+//! Baseline quantization schemes the paper compares against.
+//!
+//! * [`SmoothQuantScheme`] — software-only difficulty migration from
+//!   activations to weights (Xiao et al., ICML 2023).
+//! * [`MixedPrecisionScheme`] — LLM.int8()-style decomposition keeping
+//!   outlier channels in FP16 (Dettmers et al., NeurIPS 2022).
+//! * [`AntScheme`] — per-tensor adaptive datatype selection between `int`
+//!   and `flint` grids (Guo et al., MICRO 2022).
+//! * [`OliveScheme`] — outlier-victim pair encoding: the element adjacent
+//!   to an outlier is pruned so the outlier can borrow its encoding space
+//!   (Guo et al., ISCA 2023).
+//! * [`MsfpScheme`] — Microsoft floating point (block floating point with a
+//!   shared 8-bit exponent), row-wise (`MSFP12`) or column-wise
+//!   (`MSFP12-OL`) blocks (Table VI).
+//! * [`MxScheme`] — microscaling formats `SMX4` (shared microexponents)
+//!   and `MXFP4` (OCP MX with FP4 elements) (Table VII).
+//!
+//! Every scheme implements [`crate::scheme::Scheme`] and is evaluated with
+//! *fake quantization* (quantize → dequantize → float matmul): numerically
+//! identical to the integer pipeline for accuracy purposes. The performance
+//! differences between schemes are modelled separately in `tender-sim`.
+
+mod ant;
+mod llm_int8;
+mod msfp;
+mod mx;
+mod olive;
+mod rptq;
+mod smoothquant;
+
+pub use ant::{flint_grid, int_grid, AntScheme};
+pub use llm_int8::MixedPrecisionScheme;
+pub use msfp::{bfp_quantize_block, bfp_quantize_colwise, bfp_quantize_rowwise, MsfpScheme, MsfpVariant};
+pub use mx::{fp4_grid, mxfp4_quantize_block, smx4_quantize_block, MxFormat, MxScheme};
+pub use olive::OliveScheme;
+pub use rptq::{kmeans_min_max, RptqScheme};
+pub use smoothquant::SmoothQuantScheme;
+
+/// Quantizes `x` to the nearest value of `scale * g` for `g` in the signed
+/// extension of `grid` (a sorted list of non-negative normalized values
+/// whose maximum is the full scale).
+///
+/// This is the shared primitive behind datatype-grid schemes (ANT's `int` /
+/// `flint` types, OliVe's outlier encodings).
+///
+/// # Panics
+///
+/// Panics if `grid` is empty.
+pub fn grid_quantize_value(x: f32, scale: f32, grid: &[f32]) -> f32 {
+    assert!(!grid.is_empty(), "empty datatype grid");
+    if scale <= 0.0 || !x.is_finite() {
+        return 0.0;
+    }
+    let target = x.abs() / scale;
+    // Binary search the sorted grid for the nearest value.
+    let idx = match grid.binary_search_by(|g| g.partial_cmp(&target).expect("finite grid")) {
+        Ok(i) => i,
+        Err(i) => {
+            if i == 0 {
+                0
+            } else if i >= grid.len() {
+                grid.len() - 1
+            } else if (target - grid[i - 1]) <= (grid[i] - target) {
+                i - 1
+            } else {
+                i
+            }
+        }
+    };
+    grid[idx] * scale * x.signum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_quantize_picks_nearest() {
+        let grid = [0.0, 1.0, 2.0, 4.0];
+        assert_eq!(grid_quantize_value(0.4, 1.0, &grid), 0.0);
+        assert_eq!(grid_quantize_value(0.6, 1.0, &grid), 1.0);
+        assert_eq!(grid_quantize_value(2.9, 1.0, &grid), 2.0);
+        assert_eq!(grid_quantize_value(3.1, 1.0, &grid), 4.0);
+        assert_eq!(grid_quantize_value(100.0, 1.0, &grid), 4.0);
+    }
+
+    #[test]
+    fn grid_quantize_preserves_sign() {
+        let grid = [0.0, 1.0, 2.0];
+        assert_eq!(grid_quantize_value(-1.7, 1.0, &grid), -2.0);
+    }
+
+    #[test]
+    fn grid_quantize_scales() {
+        let grid = [0.0, 0.5, 1.0];
+        assert_eq!(grid_quantize_value(5.2, 10.0, &grid), 5.0);
+    }
+
+    #[test]
+    fn grid_quantize_degenerate_inputs() {
+        let grid = [0.0, 1.0];
+        assert_eq!(grid_quantize_value(1.0, 0.0, &grid), 0.0);
+        assert_eq!(grid_quantize_value(f32::NAN, 1.0, &grid), 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Uniform symmetric quantization primitives.
+//!
+//! This module implements the quantization function from §II-C of the paper:
+//!
+//! ```text
+//! s = x_max / (2^(b-1) - 1);    x_q = round(x_f / s)
+//! ```
+//!
+//! and its inverse (dequantization by multiplying with `s`). All other
+//! schemes in the crate build on these primitives.
+
+use tender_tensor::{IMatrix, Matrix};
+
+/// Largest representable magnitude at bit width `bits`:
+/// `2^(b-1) - 1` (127 for INT8, 7 for INT4).
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `2..=31`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tender_quant::qmax(8), 127);
+/// assert_eq!(tender_quant::qmax(4), 7);
+/// ```
+pub fn qmax(bits: u32) -> i32 {
+    assert!((2..=31).contains(&bits), "unsupported bit width {bits}");
+    (1 << (bits - 1)) - 1
+}
+
+/// Symmetric scale factor for a value range with absolute maximum `abs_max`
+/// at bit width `bits`.
+///
+/// Returns a tiny positive scale for an all-zero range so that division by
+/// the scale is always defined.
+pub fn symmetric_scale(abs_max: f32, bits: u32) -> f32 {
+    let k = qmax(bits) as f32;
+    if abs_max <= 0.0 || !abs_max.is_finite() {
+        return f32::MIN_POSITIVE / f32::EPSILON; // tiny but safely non-zero
+    }
+    abs_max / k
+}
+
+/// Quantizes a single value: `clamp(round(x / scale))` to the signed range
+/// of `bits`.
+pub fn quantize_value(x: f32, scale: f32, bits: u32) -> i32 {
+    let k = qmax(bits);
+    let q = (x / scale).round();
+    // f32 → i32 with saturation; NaN maps to 0 per Rust `as` semantics.
+    (q as i32).clamp(-k, k)
+}
+
+/// Dequantizes a single value.
+pub fn dequantize(q: i32, scale: f32) -> f32 {
+    q as f32 * scale
+}
+
+/// Quantizes a whole matrix with a single scale factor.
+pub fn quantize_matrix(m: &Matrix, scale: f32, bits: u32) -> IMatrix {
+    IMatrix::from_fn(m.rows(), m.cols(), |r, c| quantize_value(m[(r, c)], scale, bits))
+}
+
+/// Fake-quantization: quantize and immediately dequantize, returning the
+/// value the integer pipeline would effectively compute with.
+pub fn fake_quantize(m: &Matrix, scale: f32, bits: u32) -> Matrix {
+    m.map(|x| dequantize(quantize_value(x, scale, bits), scale))
+}
+
+/// Rounds every element through IEEE 754 half precision (FP16).
+///
+/// The paper's baseline is FP16 inference; routing reference computations
+/// through this keeps the "FP16 base" rows honest about half-precision
+/// rounding.
+pub fn round_to_f16(m: &Matrix) -> Matrix {
+    m.map(f16_round)
+}
+
+/// Rounds a single `f32` to the nearest representable FP16 value
+/// (round-to-nearest-even), saturating to ±65504 and preserving NaN.
+pub fn f16_round(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    const F16_MAX: f32 = 65504.0;
+    if x.abs() > F16_MAX {
+        return F16_MAX.copysign(x);
+    }
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000;
+    let exp = ((bits >> 23) & 0xFF) as i32 - 127;
+    if exp < -24 {
+        // Below half subnormal range → ±0.
+        return f32::from_bits(sign);
+    }
+    if exp < -14 {
+        // Half subnormal: quantize mantissa to a multiple of 2^-24.
+        let step = 2.0_f32.powi(-24);
+        return (x / step).round() * step;
+    }
+    // Normal range: keep 10 mantissa bits with round-to-nearest-even.
+    let mant_shift = 13; // 23 - 10
+    let lsb = 1_u32 << mant_shift;
+    let halfway = lsb >> 1;
+    let mant = bits & 0x007F_FFFF;
+    let rounded = {
+        let down = bits & !(lsb - 1);
+        let rem = mant & (lsb - 1);
+        if rem > halfway || (rem == halfway && (down >> mant_shift) & 1 == 1) {
+            down + lsb
+        } else {
+            down
+        }
+    };
+    let y = f32::from_bits(rounded);
+    if y.abs() > F16_MAX {
+        F16_MAX.copysign(x)
+    } else {
+        y
+    }
+}
+
+/// A quantized tensor: integer values plus the scale that dequantizes them.
+///
+/// The scale layout depends on the granularity the producer used; see
+/// [`crate::granularity`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    /// Quantized integer values (logical width ≤ the chosen bit width).
+    pub values: IMatrix,
+    /// Scale factor(s); length 1 for per-tensor, `rows` for per-row,
+    /// `cols` for per-column.
+    pub scales: Vec<f32>,
+    /// Logical bit width of the values.
+    pub bits: u32,
+}
+
+impl QuantizedTensor {
+    /// Dequantizes with per-tensor scale layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales.len() != 1`.
+    pub fn dequantize_per_tensor(&self) -> Matrix {
+        assert_eq!(self.scales.len(), 1, "expected a per-tensor scale");
+        self.values.to_f32(self.scales[0])
+    }
+
+    /// Dequantizes with per-row scale layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales.len() != values.rows()`.
+    pub fn dequantize_per_row(&self) -> Matrix {
+        assert_eq!(self.scales.len(), self.values.rows(), "expected per-row scales");
+        Matrix::from_fn(self.values.rows(), self.values.cols(), |r, c| {
+            self.values[(r, c)] as f32 * self.scales[r]
+        })
+    }
+
+    /// Dequantizes with per-column scale layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales.len() != values.cols()`.
+    pub fn dequantize_per_col(&self) -> Matrix {
+        assert_eq!(self.scales.len(), self.values.cols(), "expected per-column scales");
+        Matrix::from_fn(self.values.rows(), self.values.cols(), |r, c| {
+            self.values[(r, c)] as f32 * self.scales[c]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qmax_known_values() {
+        assert_eq!(qmax(8), 127);
+        assert_eq!(qmax(4), 7);
+        assert_eq!(qmax(2), 1);
+        assert_eq!(qmax(16), 32767);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported bit width")]
+    fn qmax_rejects_one_bit() {
+        let _ = qmax(1);
+    }
+
+    #[test]
+    fn scale_maps_absmax_to_qmax() {
+        let s = symmetric_scale(12.7, 8);
+        assert_eq!(quantize_value(12.7, s, 8), 127);
+        assert_eq!(quantize_value(-12.7, s, 8), -127);
+    }
+
+    #[test]
+    fn zero_range_scale_is_positive() {
+        let s = symmetric_scale(0.0, 8);
+        assert!(s > 0.0);
+        assert_eq!(quantize_value(0.0, s, 8), 0);
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        let s = symmetric_scale(1.0, 4);
+        assert_eq!(quantize_value(100.0, s, 4), 7);
+        assert_eq!(quantize_value(-100.0, s, 4), -7);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_scale() {
+        let s = symmetric_scale(10.0, 8);
+        for i in 0..1000 {
+            let x = -10.0 + 0.02 * i as f32;
+            let err = (dequantize(quantize_value(x, s, 8), s) - x).abs();
+            assert!(err <= s / 2.0 + 1e-6, "x={x} err={err} s={s}");
+        }
+    }
+
+    #[test]
+    fn fake_quantize_idempotent() {
+        let m = Matrix::from_rows(&[vec![0.31, -0.77, 0.1]]).unwrap();
+        let s = symmetric_scale(1.0, 8);
+        let fq = fake_quantize(&m, s, 8);
+        let fq2 = fake_quantize(&fq, s, 8);
+        assert!(fq.approx_eq(&fq2, 1e-7));
+    }
+
+    #[test]
+    fn f16_round_exact_values_unchanged() {
+        for x in [0.0_f32, 1.0, -2.5, 0.5, 1024.0, -0.125] {
+            assert_eq!(f16_round(x), x, "{x} is exactly representable in f16");
+        }
+    }
+
+    #[test]
+    fn f16_round_known_rounding() {
+        // 1 + 2^-11 rounds to 1.0 (10 mantissa bits, round to even).
+        let x = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(f16_round(x), 1.0);
+        // 1 + 2^-10 is representable.
+        let y = 1.0 + 2.0_f32.powi(-10);
+        assert_eq!(f16_round(y), y);
+    }
+
+    #[test]
+    fn f16_round_saturates() {
+        assert_eq!(f16_round(1e6), 65504.0);
+        assert_eq!(f16_round(-1e6), -65504.0);
+    }
+
+    #[test]
+    fn f16_round_flushes_tiny() {
+        assert_eq!(f16_round(1e-9), 0.0);
+        // Subnormal half value survives (coarsely).
+        let sub = 2.0_f32.powi(-20);
+        let r = f16_round(sub);
+        assert!(r > 0.0 && (r - sub).abs() <= 2.0_f32.powi(-24));
+    }
+
+    #[test]
+    fn f16_round_preserves_nan() {
+        assert!(f16_round(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn quantized_tensor_dequant_layouts() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let bits = 8;
+        // Per-tensor
+        let s = symmetric_scale(4.0, bits);
+        let qt = QuantizedTensor {
+            values: quantize_matrix(&m, s, bits),
+            scales: vec![s],
+            bits,
+        };
+        assert!(qt.dequantize_per_tensor().approx_eq(&m, s / 2.0 + 1e-6));
+        // Per-row
+        let scales: Vec<f32> = vec![symmetric_scale(2.0, bits), symmetric_scale(4.0, bits)];
+        let values = IMatrix::from_fn(2, 2, |r, c| quantize_value(m[(r, c)], scales[r], bits));
+        let qt = QuantizedTensor {
+            values,
+            scales: scales.clone(),
+            bits,
+        };
+        assert!(qt.dequantize_per_row().approx_eq(&m, scales[1] / 2.0 + 1e-6));
+    }
+}

@@ -1,0 +1,144 @@
+//! Configuration for the Tender algorithm.
+
+/// Parameters of the Tender decomposed quantization algorithm.
+///
+/// The defaults follow the paper: α = 2 (so requantization is a 1-bit
+/// shift), row chunks of 256, and a group count in the regime where Fig. 9
+/// shows perplexity has saturated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenderConfig {
+    /// Quantization bit width (4 or 8 in the paper; any 2..=16 works).
+    pub bits: u32,
+    /// Number of channel groups `G` (Eq. 3). Fig. 9 sweeps this.
+    pub num_groups: usize,
+    /// Ratio α between consecutive group thresholds. The hardware shift
+    /// path requires α = 2; other integer values are supported by the
+    /// extended rescale datapath (§IV-B) and by this software model.
+    pub alpha: u32,
+    /// Row-chunk size for per-chunk calibration (§III-B "Optimization").
+    /// `0` disables chunking (one chunk spanning all rows).
+    pub row_chunk: usize,
+    /// Whether activation×activation matmuls (`X_Q × X_K^T`, `X_S × X_V`)
+    /// are quantized too ("Tender (all)" in Table III).
+    pub quant_act_act: bool,
+    /// Whether the per-channel bias `(max+min)/2` is subtracted before
+    /// quantization (Figure 4 step 1). Always on in the paper; exposed so
+    /// the ablation harness can measure what the bias buys on
+    /// sign-consistent outlier channels.
+    pub subtract_bias: bool,
+}
+
+impl TenderConfig {
+    /// INT8 configuration used in the paper's Table II.
+    pub fn int8() -> Self {
+        Self {
+            bits: 8,
+            num_groups: 4,
+            alpha: 2,
+            row_chunk: 256,
+            quant_act_act: false,
+            subtract_bias: true,
+        }
+    }
+
+    /// INT4 configuration used in the paper's Table II.
+    pub fn int4() -> Self {
+        Self {
+            bits: 4,
+            num_groups: 12,
+            alpha: 2,
+            row_chunk: 256,
+            quant_act_act: false,
+            subtract_bias: true,
+        }
+    }
+
+    /// Builder-style override of the group count.
+    pub fn with_groups(mut self, num_groups: usize) -> Self {
+        self.num_groups = num_groups;
+        self
+    }
+
+    /// Builder-style override of the row-chunk size (`0` disables).
+    pub fn with_row_chunk(mut self, row_chunk: usize) -> Self {
+        self.row_chunk = row_chunk;
+        self
+    }
+
+    /// Builder-style enable of activation×activation quantization.
+    pub fn with_act_act(mut self, quant_act_act: bool) -> Self {
+        self.quant_act_act = quant_act_act;
+        self
+    }
+
+    /// Builder-style toggle of the channel-bias subtraction (ablation).
+    pub fn with_bias(mut self, subtract_bias: bool) -> Self {
+        self.subtract_bias = subtract_bias;
+        self
+    }
+
+    /// Validates invariants the algorithm relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`, `num_groups == 0`, or
+    /// `alpha < 2`.
+    pub fn validate(&self) {
+        assert!((2..=16).contains(&self.bits), "unsupported bit width {}", self.bits);
+        assert!(self.num_groups >= 1, "need at least one group");
+        assert!(self.alpha >= 2, "alpha must be an integer ≥ 2");
+    }
+
+    /// Effective chunk size for a tensor with `rows` rows.
+    pub fn chunk_rows(&self, rows: usize) -> usize {
+        if self.row_chunk == 0 {
+            rows.max(1)
+        } else {
+            self.row_chunk
+        }
+    }
+}
+
+impl Default for TenderConfig {
+    fn default() -> Self {
+        Self::int8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let c8 = TenderConfig::int8();
+        assert_eq!(c8.bits, 8);
+        assert_eq!(c8.alpha, 2);
+        assert_eq!(c8.row_chunk, 256);
+        assert!(!c8.quant_act_act);
+        let c4 = TenderConfig::int4();
+        assert_eq!(c4.bits, 4);
+        assert!(c4.num_groups >= c8.num_groups, "INT4 needs more groups");
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = TenderConfig::int8().with_groups(16).with_row_chunk(0).with_act_act(true);
+        assert_eq!(c.num_groups, 16);
+        assert_eq!(c.row_chunk, 0);
+        assert!(c.quant_act_act);
+        assert_eq!(c.chunk_rows(100), 100);
+        assert_eq!(TenderConfig::int8().chunk_rows(1000), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn validate_rejects_zero_groups() {
+        TenderConfig::int8().with_groups(0).validate();
+    }
+
+    #[test]
+    fn default_is_int8() {
+        assert_eq!(TenderConfig::default(), TenderConfig::int8());
+    }
+}

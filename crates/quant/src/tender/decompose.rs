@@ -1,0 +1,203 @@
+//! "Power of 2" channel decomposition (Eq. 3 of the paper).
+//!
+//! Channels are *classified* (not clustered) against thresholds obtained by
+//! repeatedly halving the tensor's absolute maximum: channel `i` lands in
+//! group `g` when `TMax/α^g < CMax_i ≤ TMax/α^(g-1)`. Classification is a
+//! single comparison per channel, cheap enough for runtime use, and the
+//! power-of-two spacing is what makes requantization a 1-bit shift.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::quantizer::qmax;
+
+/// Error raised when decomposition inputs are degenerate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompositionError {
+    /// No channels were provided.
+    NoChannels,
+    /// The group count was zero.
+    NoGroups,
+}
+
+impl fmt::Display for DecompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompositionError::NoChannels => write!(f, "no channels to decompose"),
+            DecompositionError::NoGroups => write!(f, "group count must be at least one"),
+        }
+    }
+}
+
+impl Error for DecompositionError {}
+
+/// Classifies each channel into a group index in `0..num_groups`
+/// (0 = largest-scale group) using the power-of-α rule.
+///
+/// Group `g` (0-indexed) holds channels with
+/// `TMax/α^(g+1) < CMax ≤ TMax/α^g`; the final group also absorbs every
+/// smaller channel so the mapping is total.
+///
+/// # Errors
+///
+/// Returns [`DecompositionError`] if `cmax` is empty or `num_groups == 0`.
+///
+/// # Example
+///
+/// The paper's walking example (Fig. 4): six channels, `TMax = 22.4`,
+/// three groups.
+///
+/// ```
+/// use tender_quant::tender::classify_channels;
+///
+/// let cmax = [3.1, 22.4, 2.0, 8.4, 4.9, 10.3];
+/// let groups = classify_channels(&cmax, 22.4, 3, 2).unwrap();
+/// // Channel 2 (CMax 22.4) → group A1; channels 4 & 6 → A2; rest → A3.
+/// assert_eq!(groups, vec![2, 0, 2, 1, 2, 1]);
+/// ```
+pub fn classify_channels(
+    cmax: &[f32],
+    tmax: f32,
+    num_groups: usize,
+    alpha: u32,
+) -> Result<Vec<usize>, DecompositionError> {
+    if cmax.is_empty() {
+        return Err(DecompositionError::NoChannels);
+    }
+    if num_groups == 0 {
+        return Err(DecompositionError::NoGroups);
+    }
+    let alpha = alpha as f32;
+    let groups = cmax
+        .iter()
+        .map(|&c| {
+            let mut threshold = tmax;
+            for g in 0..num_groups {
+                threshold /= alpha;
+                if c > threshold {
+                    return g;
+                }
+            }
+            num_groups - 1
+        })
+        .collect();
+    Ok(groups)
+}
+
+/// Scale factor for every group: `TMax / (α^g · (2^(b-1) - 1))`, descending
+/// with `g` (group 0 has the largest scale).
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `2..=31`.
+pub fn group_scales(tmax: f32, num_groups: usize, alpha: u32, bits: u32) -> Vec<f32> {
+    let k = qmax(bits) as f32;
+    let tmax = if tmax > 0.0 && tmax.is_finite() { tmax } else { k * f32::MIN_POSITIVE };
+    let mut scales = Vec::with_capacity(num_groups);
+    let mut numer = tmax;
+    for _ in 0..num_groups {
+        scales.push(numer / k);
+        numer /= alpha as f32;
+    }
+    scales
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_channel_in_exactly_one_group() {
+        let cmax = [0.01, 5.0, 2.4, 9.9, 0.0, 10.0];
+        let g = classify_channels(&cmax, 10.0, 4, 2).unwrap();
+        assert_eq!(g.len(), cmax.len());
+        assert!(g.iter().all(|&gi| gi < 4));
+    }
+
+    #[test]
+    fn classification_respects_thresholds() {
+        // TMax = 16, α = 2, 4 groups: thresholds 8, 4, 2 (then catch-all).
+        let cmax = [16.0, 8.1, 8.0, 4.1, 4.0, 2.1, 2.0, 0.1];
+        let g = classify_channels(&cmax, 16.0, 4, 2).unwrap();
+        assert_eq!(g, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn max_channel_is_group_zero() {
+        let cmax = [1.0, 100.0, 3.0];
+        let g = classify_channels(&cmax, 100.0, 8, 2).unwrap();
+        assert_eq!(g[1], 0);
+    }
+
+    #[test]
+    fn single_group_collapses_to_per_tensor() {
+        let cmax = [0.5, 100.0];
+        let g = classify_channels(&cmax, 100.0, 1, 2).unwrap();
+        assert_eq!(g, vec![0, 0]);
+    }
+
+    #[test]
+    fn alpha_four_widens_bins() {
+        // α = 4: thresholds 25, 6.25 for TMax = 100, 3 groups.
+        let cmax = [100.0, 25.1, 25.0, 6.3, 6.2, 0.1];
+        let g = classify_channels(&cmax, 100.0, 3, 4).unwrap();
+        assert_eq!(g, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert_eq!(
+            classify_channels(&[], 1.0, 2, 2).unwrap_err(),
+            DecompositionError::NoChannels
+        );
+        assert_eq!(
+            classify_channels(&[1.0], 1.0, 0, 2).unwrap_err(),
+            DecompositionError::NoGroups
+        );
+    }
+
+    #[test]
+    fn scales_are_powers_of_two_apart() {
+        let s = group_scales(22.4, 3, 2, 8);
+        assert_eq!(s.len(), 3);
+        assert!((s[0] - 22.4 / 127.0).abs() < 1e-6);
+        assert!((s[0] / s[1] - 2.0).abs() < 1e-6);
+        assert!((s[1] / s[2] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn walking_example_scale_values() {
+        // Paper Fig. 4: S1 = 22.4/k, S2 = 11.2/k, S3 = 5.6/k.
+        let s = group_scales(22.4, 3, 2, 4);
+        let k = 7.0;
+        assert!((s[0] - 22.4 / k).abs() < 1e-6);
+        assert!((s[1] - 11.2 / k).abs() < 1e-6);
+        assert!((s[2] - 5.6 / k).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_tmax_yields_positive_scales() {
+        let s = group_scales(0.0, 4, 2, 8);
+        assert!(s.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lower_bound_of_quantization_level() {
+        // "Power of 2" guarantee: a channel assigned to group g has
+        // CMax > threshold/2, so at least n-1 bits are used. Verify the
+        // quantized absolute max is ≥ (qmax+1)/2 - 1.
+        let tmax = 64.0;
+        let bits = 8;
+        let groups = 4;
+        let scales = group_scales(tmax, groups, 2, bits);
+        // Channel barely above each group's lower threshold:
+        for g in 0..groups - 1 {
+            let lower = tmax / 2.0_f32.powi(g as i32 + 1);
+            let cmax = lower * 1.0001;
+            let assigned = classify_channels(&[cmax], tmax, groups, 2).unwrap()[0];
+            assert_eq!(assigned, g);
+            let q = (cmax / scales[g]).round() as i32;
+            assert!(q >= (qmax(bits) + 1) / 2 - 1, "group {g}: q = {q}");
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Decomposed matmul with implicit (runtime) or explicit requantization.
+//!
+//! Both paths compute the same mathematical quantity (Eqs. 1 and 2 of the
+//! paper are equivalent):
+//!
+//! * **Explicit** (Figure 5(a)): each channel group's partial product is
+//!   dequantized to floating point and summed — the costly software path
+//!   that motivates the hardware design.
+//! * **Implicit** (Figure 5(b)): groups are processed from the largest
+//!   scale; between groups the *integer* accumulator is multiplied by α
+//!   (a 1-bit left shift for α = 2); only the final result is dequantized,
+//!   once, with the smallest scale. This is what the Multi-Scale Systolic
+//!   Array executes, and this module is its arithmetic reference model.
+//!
+//! The implicit path accumulates in `i64` and *reports* (rather than clips)
+//! values that would not fit the hardware's 32-bit accumulator, so the
+//! paper's "sufficiently large bit width" claim is checkable.
+
+use tender_tensor::{stats, IMatrix, Matrix};
+
+use super::calib::TenderCalibration;
+use super::config::TenderConfig;
+use crate::quantizer::{quantize_value, symmetric_scale};
+
+/// A weight quantized per output column, ready for the integer pipeline.
+#[derive(Debug, Clone)]
+pub struct QuantizedWeight {
+    q: IMatrix,
+    scales: Vec<f32>,
+    deq: Matrix,
+    bits: u32,
+}
+
+impl QuantizedWeight {
+    /// Quantizes `w` symmetrically per output column at `bits`.
+    pub fn per_col(w: &Matrix, bits: u32) -> Self {
+        let col_max = stats::col_abs_max(w);
+        let scales: Vec<f32> = col_max
+            .iter()
+            .map(|&m| symmetric_scale(m, bits))
+            .collect();
+        let q = IMatrix::from_fn(w.rows(), w.cols(), |r, c| {
+            quantize_value(w[(r, c)], scales[c], bits)
+        });
+        let deq = Matrix::from_fn(w.rows(), w.cols(), |r, c| q[(r, c)] as f32 * scales[c]);
+        Self { q, scales, deq, bits }
+    }
+
+    /// The integer weight values.
+    pub fn values(&self) -> &IMatrix {
+        &self.q
+    }
+
+    /// Per-column scale factors.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The dequantized (fake-quantized) weight.
+    pub fn dequantized(&self) -> &Matrix {
+        &self.deq
+    }
+
+    /// The weight bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+/// Result of a decomposed matmul plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct MatmulStats {
+    /// The (approximately) quantized product.
+    pub result: Matrix,
+    /// Number of (element, group-boundary) observations where the integer
+    /// accumulator exceeded the 32-bit range the hardware provides.
+    /// Zero for every workload the paper models.
+    pub overflow_events: usize,
+    /// Number of row chunks processed.
+    pub chunks_processed: usize,
+}
+
+/// Bias-correction row: `bias · W_deq`, added to every output row of a chunk
+/// (the "+ Bias × Weight" step in Figure 4).
+fn bias_correction(bias: &[f32], w_deq: &Matrix) -> Vec<f32> {
+    let mut corr = vec![0.0_f32; w_deq.cols()];
+    for (j, &b) in bias.iter().enumerate() {
+        if b == 0.0 {
+            continue;
+        }
+        for (c, corr_c) in corr.iter_mut().enumerate() {
+            *corr_c += b * w_deq[(j, c)];
+        }
+    }
+    corr
+}
+
+/// Integer accumulation of one chunk with *implicit* requantization:
+/// groups in ascending index (descending scale), accumulator multiplied by
+/// α between groups.
+#[doc(hidden)]
+pub fn accumulate_chunk_implicit(
+    x_chunk: &Matrix,
+    cc: &super::calib::ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+) -> (Vec<i64>, usize) {
+    let m = x_chunk.rows();
+    let n = w.q.cols();
+    let alpha = config.alpha as i64;
+    let mut acc = vec![0_i64; m * n];
+    let mut overflow = 0_usize;
+    for g in 0..config.num_groups {
+        if g > 0 {
+            for a in &mut acc {
+                *a *= alpha;
+            }
+        }
+        let s_g = cc.scales[g];
+        for &ch in &cc.order[g] {
+            let b = cc.bias[ch];
+            let w_row = w.q.row(ch);
+            for r in 0..m {
+                let xq = quantize_value(x_chunk[(r, ch)] - b, s_g, config.bits) as i64;
+                if xq == 0 {
+                    continue;
+                }
+                let a_row = &mut acc[r * n..(r + 1) * n];
+                for (a, &wv) in a_row.iter_mut().zip(w_row) {
+                    *a += xq * wv as i64;
+                }
+            }
+        }
+        overflow += acc
+            .iter()
+            .filter(|&&a| a > i32::MAX as i64 || a < i32::MIN as i64)
+            .count();
+    }
+    (acc, overflow)
+}
+
+/// Integer accumulation of one chunk with *explicit* shifted accumulation:
+/// `Σ_g P_g · α^(G-1-g)`. Mathematically identical to the implicit path;
+/// used by tests (including cross-crate property tests) to prove
+/// bit-exactness.
+#[doc(hidden)]
+pub fn accumulate_chunk_explicit_shifted(
+    x_chunk: &Matrix,
+    cc: &super::calib::ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+) -> Vec<i64> {
+    let m = x_chunk.rows();
+    let n = w.q.cols();
+    let g_count = config.num_groups;
+    let mut acc = vec![0_i64; m * n];
+    for g in 0..g_count {
+        let weight_pow = (config.alpha as i64).pow((g_count - 1 - g) as u32);
+        let s_g = cc.scales[g];
+        for &ch in &cc.order[g] {
+            let b = cc.bias[ch];
+            let w_row = w.q.row(ch);
+            for r in 0..m {
+                let xq = quantize_value(x_chunk[(r, ch)] - b, s_g, config.bits) as i64;
+                if xq == 0 {
+                    continue;
+                }
+                let a_row = &mut acc[r * n..(r + 1) * n];
+                for (a, &wv) in a_row.iter_mut().zip(w_row) {
+                    *a += xq * wv as i64 * weight_pow;
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Builds the per-group integer operands `(A_g, B_g)` that the Multi-Scale
+/// Systolic Array consumes for one chunk: the activation's group-`g`
+/// channels, bias-subtracted and quantized with the group scale, and the
+/// weight rows for those channels (in the Index Buffer's channel order).
+///
+/// Feeding these to the hardware model in `tender-sim` and shift-
+/// accumulating group by group reproduces [`implicit_requant_matmul`]'s
+/// integer accumulator exactly.
+pub fn quantized_group_operands(
+    x_chunk: &Matrix,
+    cc: &super::calib::ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+) -> Vec<(IMatrix, IMatrix)> {
+    let m = x_chunk.rows();
+    (0..config.num_groups)
+        .map(|g| {
+            let chans = &cc.order[g];
+            let s_g = cc.scales[g];
+            let a = IMatrix::from_fn(m, chans.len(), |r, j| {
+                let ch = chans[j];
+                quantize_value(x_chunk[(r, ch)] - cc.bias[ch], s_g, config.bits)
+            });
+            let b = w.q.gather_rows(chans);
+            (a, b)
+        })
+        .collect()
+}
+
+/// Tender matmul via **implicit runtime requantization** (Eq. 2 / Fig. 5(b)).
+///
+/// Splits `x` into row chunks, runs the integer group-by-group accumulation
+/// with α-shifts between groups, dequantizes once with the smallest scale,
+/// and adds the bias-correction term.
+///
+/// # Panics
+///
+/// Panics if `x.cols()` does not match the calibrated channel count or the
+/// weight's row count.
+pub fn implicit_requant_matmul(
+    x: &Matrix,
+    w: &QuantizedWeight,
+    calib: &TenderCalibration,
+    config: &TenderConfig,
+) -> MatmulStats {
+    check_shapes(x, w, calib);
+    let n = w.q.cols();
+    let chunk_rows = calib.chunk_rows();
+    let mut result = Matrix::zeros(x.rows(), n);
+    let mut overflow_events = 0;
+    let mut chunks_processed = 0;
+    let mut r0 = 0;
+    while r0 < x.rows() {
+        let r1 = (r0 + chunk_rows).min(x.rows());
+        let cc = calib.chunk_for_row(r0);
+        let x_chunk = x.slice_rows(r0, r1);
+        let (acc, overflow) = accumulate_chunk_implicit(&x_chunk, cc, w, config);
+        overflow_events += overflow;
+        let corr = bias_correction(&cc.bias, &w.deq);
+        let s_last = cc.scales[config.num_groups - 1];
+        for r in 0..(r1 - r0) {
+            for c in 0..n {
+                result[(r0 + r, c)] = acc[r * n + c] as f32 * s_last * w.scales[c] + corr[c];
+            }
+        }
+        chunks_processed += 1;
+        r0 = r1;
+    }
+    MatmulStats {
+        result,
+        overflow_events,
+        chunks_processed,
+    }
+}
+
+/// Tender matmul via **explicit requantization** (Eq. 1 / Fig. 5(a)): each
+/// group's partial product is dequantized to `f32` and summed.
+///
+/// Numerically this matches [`implicit_requant_matmul`] up to `f32`
+/// rounding; the point of the paper is that it costs far more on hardware
+/// (shortened reduction axis + floating-point traffic), which
+/// `tender-sim` models.
+///
+/// # Panics
+///
+/// Panics if `x.cols()` does not match the calibrated channel count or the
+/// weight's row count.
+pub fn explicit_requant_matmul(
+    x: &Matrix,
+    w: &QuantizedWeight,
+    calib: &TenderCalibration,
+    config: &TenderConfig,
+) -> MatmulStats {
+    check_shapes(x, w, calib);
+    let n = w.q.cols();
+    let chunk_rows = calib.chunk_rows();
+    let mut result = Matrix::zeros(x.rows(), n);
+    let mut chunks_processed = 0;
+    let mut r0 = 0;
+    while r0 < x.rows() {
+        let r1 = (r0 + chunk_rows).min(x.rows());
+        let cc = calib.chunk_for_row(r0);
+        let m = r1 - r0;
+        let corr = bias_correction(&cc.bias, &w.deq);
+        for g in 0..config.num_groups {
+            let s_g = cc.scales[g];
+            for &ch in &cc.order[g] {
+                let b = cc.bias[ch];
+                for r in 0..m {
+                    let xq = quantize_value(x[(r0 + r, ch)] - b, s_g, config.bits);
+                    if xq == 0 {
+                        continue;
+                    }
+                    // Dequantized activation value for this channel.
+                    let xf = xq as f32 * s_g;
+                    for c in 0..n {
+                        result[(r0 + r, c)] += xf * w.deq[(ch, c)];
+                    }
+                }
+            }
+        }
+        for r in 0..m {
+            for c in 0..n {
+                result[(r0 + r, c)] += corr[c];
+            }
+        }
+        chunks_processed += 1;
+        r0 = r1;
+    }
+    MatmulStats {
+        result,
+        overflow_events: 0,
+        chunks_processed,
+    }
+}
+
+/// Dynamic Tender matmul between two runtime activations (e.g.
+/// `X_Q × X_K^T`), used by the "Tender (all)" variant.
+///
+/// The left operand is decomposed with metadata computed *from the runtime
+/// tensor itself* (the software analogue of the per-head calibrated path);
+/// the right operand is quantized per column.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn tender_dynamic_matmul(a: &Matrix, b: &Matrix, config: &TenderConfig) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "tender_dynamic_matmul shape mismatch");
+    let calib = TenderCalibration::from_samples(std::slice::from_ref(a), config);
+    let w = QuantizedWeight::per_col(b, config.bits);
+    implicit_requant_matmul(a, &w, &calib, config).result
+}
+
+fn check_shapes(x: &Matrix, w: &QuantizedWeight, calib: &TenderCalibration) {
+    assert_eq!(
+        x.cols(),
+        w.q.rows(),
+        "activation channels must match weight rows"
+    );
+    assert_eq!(
+        x.cols(),
+        calib.chunks()[0].num_channels(),
+        "activation channels must match calibration"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tender_tensor::rng::DetRng;
+    use tender_tensor::stats::{mse, sqnr_db};
+
+    fn outlier_activation(rng: &mut DetRng, rows: usize, cols: usize) -> Matrix {
+        let mut x = rng.normal_matrix(rows, cols, 0.0, 0.5);
+        for r in 0..rows {
+            x[(r, 1)] = rng.normal(3.0, 25.0);
+            x[(r, 6)] = rng.normal(0.0, 12.0);
+        }
+        x
+    }
+
+    fn setup(
+        seed: u64,
+        bits: u32,
+        groups: usize,
+    ) -> (Matrix, QuantizedWeight, TenderCalibration, TenderConfig) {
+        let mut rng = DetRng::new(seed);
+        let x = outlier_activation(&mut rng, 24, 16);
+        let wf = rng.normal_matrix(16, 8, 0.0, 0.2);
+        let config = TenderConfig {
+            bits,
+            num_groups: groups,
+            alpha: 2,
+            row_chunk: 8,
+            quant_act_act: false,
+            subtract_bias: true,
+        };
+        let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+        let w = QuantizedWeight::per_col(&wf, bits);
+        (x, w, calib, config)
+    }
+
+    #[test]
+    fn implicit_equals_explicit_shifted_bit_exactly() {
+        // The paper's central arithmetic claim: Eq. 2 (shift-accumulate)
+        // equals Eq. 1 (sum of scaled partial products) exactly in integers.
+        for (bits, groups) in [(8, 4), (4, 8), (8, 1), (4, 3)] {
+            let (x, w, calib, config) = setup(7 + bits as u64, bits, groups);
+            let x_chunk = x.slice_rows(0, 8);
+            let cc = calib.chunk_for_row(0);
+            let (implicit, _) = accumulate_chunk_implicit(&x_chunk, cc, &w, &config);
+            let explicit = accumulate_chunk_explicit_shifted(&x_chunk, cc, &w, &config);
+            assert_eq!(implicit, explicit, "bits={bits} groups={groups}");
+        }
+    }
+
+    #[test]
+    fn implicit_equals_explicit_float_within_rounding() {
+        let (x, w, calib, config) = setup(11, 8, 4);
+        let imp = implicit_requant_matmul(&x, &w, &calib, &config);
+        let exp = explicit_requant_matmul(&x, &w, &calib, &config);
+        let scale = imp.result.abs_max().max(1.0);
+        assert!(
+            imp.result.approx_eq(&exp.result, scale * 1e-4),
+            "implicit and explicit paths diverged beyond f32 rounding"
+        );
+    }
+
+    #[test]
+    fn alpha_three_also_exact() {
+        let mut rng = DetRng::new(13);
+        let x = outlier_activation(&mut rng, 8, 12);
+        let wf = rng.normal_matrix(12, 4, 0.0, 0.2);
+        let config = TenderConfig {
+            bits: 8,
+            num_groups: 3,
+            alpha: 3,
+            row_chunk: 0,
+            quant_act_act: false,
+            subtract_bias: true,
+        };
+        let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+        let w = QuantizedWeight::per_col(&wf, 8);
+        let cc = calib.chunk_for_row(0);
+        let (implicit, _) = accumulate_chunk_implicit(&x, cc, &w, &config);
+        let explicit = accumulate_chunk_explicit_shifted(&x, cc, &w, &config);
+        assert_eq!(implicit, explicit);
+    }
+
+    #[test]
+    fn result_is_close_to_exact_matmul() {
+        let (x, w, calib, config) = setup(17, 8, 4);
+        let exact = x.matmul(w.dequantized()).unwrap();
+        // Compare against x · W_deq (isolating activation-quantization error).
+        let got = implicit_requant_matmul(&x, &w, &calib, &config).result;
+        assert!(sqnr_db(&exact, &got) > 30.0);
+    }
+
+    #[test]
+    fn no_overflow_for_modelled_shapes() {
+        let (x, w, calib, config) = setup(19, 8, 4);
+        let stats = implicit_requant_matmul(&x, &w, &calib, &config);
+        assert_eq!(stats.overflow_events, 0);
+        assert_eq!(stats.chunks_processed, 3); // 24 rows / chunk 8
+    }
+
+    #[test]
+    fn more_groups_reduce_error() {
+        // Fig. 9: perplexity (error) decreases as groups increase.
+        let mut rng = DetRng::new(23);
+        let x = outlier_activation(&mut rng, 32, 16);
+        let wf = rng.normal_matrix(16, 8, 0.0, 0.2);
+        let exact = x.matmul(&wf).unwrap();
+        let mut errs = vec![];
+        for groups in [1, 2, 4, 8] {
+            let config = TenderConfig::int4().with_groups(groups).with_row_chunk(0);
+            let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+            let w = QuantizedWeight::per_col(&wf, 4);
+            errs.push(mse(&exact, &implicit_requant_matmul(&x, &w, &calib, &config).result));
+        }
+        assert!(errs[1] < errs[0], "2 groups {} !< 1 group {}", errs[1], errs[0]);
+        assert!(errs[3] < errs[1], "8 groups {} !< 2 groups {}", errs[3], errs[1]);
+    }
+
+    #[test]
+    fn row_chunking_reduces_error_under_intra_channel_variance() {
+        // Rows 0..16 small, rows 16..32 large: per-chunk calibration must
+        // beat a single global chunk (the INT4 optimization of §III-B).
+        let mut rng = DetRng::new(29);
+        let x = Matrix::from_fn(32, 16, |r, c| {
+            let base = rng.normal(0.0, 0.3);
+            let scale = if r < 16 { 1.0 } else { 40.0 };
+            if c == 2 {
+                rng.normal(0.0, 20.0) * scale / 40.0 + scale / 10.0
+            } else {
+                base * scale
+            }
+        });
+        let wf = rng.normal_matrix(16, 8, 0.0, 0.2);
+        let exact = x.matmul(&wf).unwrap();
+        let w = QuantizedWeight::per_col(&wf, 4);
+
+        let cfg_nochunk = TenderConfig::int4().with_row_chunk(0);
+        let cal_nochunk = TenderCalibration::from_samples(std::slice::from_ref(&x), &cfg_nochunk);
+        let e_nochunk = mse(&exact, &implicit_requant_matmul(&x, &w, &cal_nochunk, &cfg_nochunk).result);
+
+        let cfg_chunk = TenderConfig::int4().with_row_chunk(16);
+        let cal_chunk = TenderCalibration::from_samples(std::slice::from_ref(&x), &cfg_chunk);
+        let e_chunk = mse(&exact, &implicit_requant_matmul(&x, &w, &cal_chunk, &cfg_chunk).result);
+
+        assert!(e_chunk < e_nochunk, "chunked {e_chunk} !< unchunked {e_nochunk}");
+    }
+
+    #[test]
+    fn dynamic_matmul_close_to_exact() {
+        let mut rng = DetRng::new(31);
+        let a = rng.normal_matrix(12, 16, 0.0, 1.0);
+        let b = rng.normal_matrix(16, 12, 0.0, 1.0);
+        let exact = a.matmul(&b).unwrap();
+        let got = tender_dynamic_matmul(&a, &b, &TenderConfig::int8().with_row_chunk(0));
+        assert!(sqnr_db(&exact, &got) > 25.0);
+    }
+
+    #[test]
+    fn quantized_weight_round_trip() {
+        let mut rng = DetRng::new(37);
+        let w = rng.normal_matrix(8, 8, 0.0, 0.5);
+        let qw = QuantizedWeight::per_col(&w, 8);
+        assert_eq!(qw.bits(), 8);
+        assert_eq!(qw.scales().len(), 8);
+        for r in 0..8 {
+            for c in 0..8 {
+                let err = (w[(r, c)] - qw.dequantized()[(r, c)]).abs();
+                assert!(err <= qw.scales()[c] / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "activation channels must match")]
+    fn shape_mismatch_panics() {
+        let (x, w, calib, config) = setup(41, 8, 4);
+        let bad = Matrix::zeros(4, x.cols() + 1);
+        let _ = implicit_requant_matmul(&bad, &w, &calib, &config);
+    }
+}

@@ -1,0 +1,243 @@
+//! Binary serialization of calibration metadata.
+//!
+//! Tender's deployment flow computes channel groups, biases, and scale
+//! factors *offline* (§III-B) and programs them into the accelerator's
+//! Index Buffer and VPU registers at runtime (Figure 8 "① Program"). This
+//! module defines the artifact in between: a compact, versioned binary
+//! encoding of a [`TenderCalibration`] together with its
+//! [`TenderConfig`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+use super::calib::{ChunkCalibration, TenderCalibration};
+use super::config::TenderConfig;
+use super::decompose::group_scales;
+
+/// Magic bytes + format version.
+const MAGIC: &[u8; 6] = b"TNDRC1";
+
+/// Error decoding a calibration blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The blob does not start with the expected magic/version.
+    BadMagic,
+    /// The blob ended before all announced data was read.
+    Truncated,
+    /// A decoded field violated an invariant (e.g. group out of range).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a Tender calibration blob"),
+            DecodeError::Truncated => write!(f, "calibration blob is truncated"),
+            DecodeError::Corrupt(what) => write!(f, "calibration blob is corrupt: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Encodes a calibration (plus its config) into a binary blob.
+pub fn encode_calibration(config: &TenderConfig, calib: &TenderCalibration) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32(config.bits);
+    buf.put_u32(config.num_groups as u32);
+    buf.put_u32(config.alpha);
+    buf.put_u64(config.row_chunk as u64);
+    let flags = (config.quant_act_act as u8) | ((config.subtract_bias as u8) << 1);
+    buf.put_u8(flags);
+    buf.put_u64(calib.chunk_rows() as u64);
+    buf.put_u32(calib.chunks().len() as u32);
+    for chunk in calib.chunks() {
+        buf.put_u32(chunk.num_channels() as u32);
+        buf.put_f32(chunk.tmax);
+        for &b in &chunk.bias {
+            buf.put_f32(b);
+        }
+        for &g in &chunk.group_of {
+            buf.put_u32(g as u32);
+        }
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Decodes a calibration blob produced by [`encode_calibration`].
+///
+/// Scale factors and per-group channel orders are *rederived* from the
+/// stored `TMax` and group assignments, so the blob stays minimal and the
+/// derived state cannot disagree with the stored metadata.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on wrong magic, truncation, or invariant
+/// violations.
+pub fn decode_calibration(blob: &[u8]) -> Result<(TenderConfig, TenderCalibration), DecodeError> {
+    let mut buf = blob;
+    need(&buf, MAGIC.len())?;
+    let mut magic = [0_u8; 6];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    need(&buf, 4 + 4 + 4 + 8 + 1 + 8 + 4)?;
+    let bits = buf.get_u32();
+    let num_groups = buf.get_u32() as usize;
+    let alpha = buf.get_u32();
+    let row_chunk = buf.get_u64() as usize;
+    let flags = buf.get_u8();
+    let config = TenderConfig {
+        bits,
+        num_groups,
+        alpha,
+        row_chunk,
+        quant_act_act: flags & 1 != 0,
+        subtract_bias: flags & 2 != 0,
+    };
+    if !(2..=16).contains(&bits) || num_groups == 0 || alpha < 2 {
+        return Err(DecodeError::Corrupt("invalid configuration"));
+    }
+    let chunk_rows = buf.get_u64() as usize;
+    if chunk_rows == 0 {
+        return Err(DecodeError::Corrupt("zero chunk rows"));
+    }
+    let n_chunks = buf.get_u32() as usize;
+    if n_chunks == 0 {
+        return Err(DecodeError::Corrupt("no chunks"));
+    }
+    let mut chunks = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        need(&buf, 4 + 4)?;
+        let n_channels = buf.get_u32() as usize;
+        if n_channels == 0 {
+            return Err(DecodeError::Corrupt("chunk with no channels"));
+        }
+        let tmax = buf.get_f32();
+        if !tmax.is_finite() || tmax < 0.0 {
+            return Err(DecodeError::Corrupt("invalid TMax"));
+        }
+        need(&buf, n_channels * 4)?;
+        let bias: Vec<f32> = (0..n_channels).map(|_| buf.get_f32()).collect();
+        if bias.iter().any(|b| !b.is_finite()) {
+            return Err(DecodeError::Corrupt("non-finite bias"));
+        }
+        need(&buf, n_channels * 4)?;
+        let group_of: Vec<usize> = (0..n_channels).map(|_| buf.get_u32() as usize).collect();
+        if group_of.iter().any(|&g| g >= num_groups) {
+            return Err(DecodeError::Corrupt("group index out of range"));
+        }
+        let scales = group_scales(tmax, num_groups, alpha, bits);
+        let mut order = vec![Vec::new(); num_groups];
+        for (ch, &g) in group_of.iter().enumerate() {
+            order[g].push(ch);
+        }
+        chunks.push(ChunkCalibration {
+            bias,
+            group_of,
+            scales,
+            order,
+            tmax,
+        });
+    }
+    Ok((config, TenderCalibration::from_parts(chunks, chunk_rows)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tender_tensor::rng::DetRng;
+
+    fn sample() -> (TenderConfig, TenderCalibration) {
+        let mut rng = DetRng::new(44);
+        let mut x = rng.normal_matrix(24, 12, 0.0, 0.7);
+        for r in 0..24 {
+            x[(r, 5)] = rng.normal(0.0, 30.0);
+        }
+        let config = TenderConfig::int4().with_row_chunk(8);
+        let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+        (config, calib)
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let (config, calib) = sample();
+        let blob = encode_calibration(&config, &calib);
+        let (config2, calib2) = decode_calibration(&blob).expect("valid blob");
+        assert_eq!(config, config2);
+        assert_eq!(calib.chunk_rows(), calib2.chunk_rows());
+        assert_eq!(calib.chunks().len(), calib2.chunks().len());
+        for (a, b) in calib.chunks().iter().zip(calib2.chunks()) {
+            assert_eq!(a.bias, b.bias);
+            assert_eq!(a.group_of, b.group_of);
+            assert_eq!(a.order, b.order);
+            assert_eq!(a.tmax, b.tmax);
+            assert_eq!(a.scales, b.scales);
+        }
+    }
+
+    #[test]
+    fn decoded_calibration_produces_identical_matmuls() {
+        use super::super::matmul::{implicit_requant_matmul, QuantizedWeight};
+        let (config, calib) = sample();
+        let blob = encode_calibration(&config, &calib);
+        let (config2, calib2) = decode_calibration(&blob).expect("valid blob");
+        let mut rng = DetRng::new(45);
+        let x = rng.normal_matrix(24, 12, 0.0, 0.7);
+        let wf = rng.normal_matrix(12, 6, 0.0, 0.3);
+        let w = QuantizedWeight::per_col(&wf, config.bits);
+        let a = implicit_requant_matmul(&x, &w, &calib, &config).result;
+        let b = implicit_requant_matmul(&x, &w, &calib2, &config2).result;
+        assert_eq!(a, b, "deployment blob must reproduce the computation");
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let (config, calib) = sample();
+        let mut blob = encode_calibration(&config, &calib).to_vec();
+        blob[0] = b'X';
+        assert_eq!(decode_calibration(&blob), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let (config, calib) = sample();
+        let blob = encode_calibration(&config, &calib);
+        for cut in [3, 10, 30, blob.len() - 1] {
+            let r = decode_calibration(&blob[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_groups() {
+        let (config, calib) = sample();
+        let blob = encode_calibration(&config, &calib).to_vec();
+        // Group indices sit after magic(6)+config(21)+chunk header fields;
+        // corrupt the last 4 bytes (a group index in the final chunk).
+        let mut bad = blob.clone();
+        let n = bad.len();
+        bad[n - 4..].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            decode_calibration(&bad),
+            Err(DecodeError::Corrupt("group index out of range"))
+        );
+    }
+
+    #[test]
+    fn error_messages_are_meaningful() {
+        assert!(DecodeError::BadMagic.to_string().contains("not a Tender"));
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+    }
+}

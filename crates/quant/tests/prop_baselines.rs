@@ -1,0 +1,123 @@
+//! Property-based tests for the baseline quantization schemes.
+
+use proptest::prelude::*;
+use tender_quant::baselines::{
+    bfp_quantize_block, grid_quantize_value, mxfp4_quantize_block, smx4_quantize_block,
+    OliveScheme, SmoothQuantScheme,
+};
+use tender_quant::quantizer::qmax;
+use tender_tensor::{stats, Matrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Grid quantization returns a representable value whose error never
+    /// exceeds the local grid spacing.
+    #[test]
+    fn grid_quantize_error_bounded_by_spacing(
+        x in -10.0_f32..10.0,
+        scale in 0.1_f32..10.0,
+    ) {
+        let grid = [0.0_f32, 0.1, 0.25, 0.5, 1.0];
+        let q = grid_quantize_value(x, scale, &grid);
+        // q is ± a grid point times scale.
+        prop_assert!(grid.iter().any(|&g| (q.abs() - g * scale).abs() < 1e-5));
+        // Error bounded by the largest spacing (or by clipping at the top).
+        if x.abs() <= scale {
+            let max_gap = 0.5 * scale;
+            prop_assert!((q - x).abs() <= max_gap + 1e-5, "x={x} q={q}");
+        }
+    }
+
+    /// Block floating point: values within a block are reconstructed to
+    /// within half a step of the shared-exponent grid.
+    #[test]
+    fn bfp_block_error_bound(
+        vals in proptest::collection::vec(-100.0_f32..100.0, 1..20),
+        mant_bits in 2_u32..6,
+    ) {
+        let q = bfp_quantize_block(&vals, mant_bits);
+        let absmax = vals.iter().fold(0.0_f32, |a, &b| a.max(b.abs()));
+        prop_assume!(absmax > 0.0);
+        let e = absmax.log2().ceil();
+        let step = 2.0_f32.powf(e - mant_bits as f32);
+        for (&x, &xq) in vals.iter().zip(&q) {
+            prop_assert!((x - xq).abs() <= step / 2.0 + absmax * 1e-5,
+                "x={x} xq={xq} step={step}");
+        }
+    }
+
+    /// MXFP4 blocks: every element lands on the scaled FP4 grid and the
+    /// block maximum is never clipped away by more than an FP4 step.
+    #[test]
+    fn mxfp4_respects_grid_and_max(
+        vals in proptest::collection::vec(-50.0_f32..50.0, 1..33),
+    ) {
+        let q = mxfp4_quantize_block(&vals);
+        let absmax = vals.iter().fold(0.0_f32, |a, &b| a.max(b.abs()));
+        prop_assume!(absmax > 1e-3);
+        let qmax_val = q.iter().fold(0.0_f32, |a, &b| a.max(b.abs()));
+        // The representable max covers the block max.
+        prop_assert!(qmax_val >= absmax / 2.0, "max {absmax} -> {qmax_val}");
+        prop_assert!(qmax_val <= absmax * 1.5 + 1e-5);
+    }
+
+    /// SMX4: reconstruction error is bounded by half the coarser subgroup
+    /// step.
+    #[test]
+    fn smx4_error_bound(
+        vals in proptest::collection::vec(-50.0_f32..50.0, 2..17),
+    ) {
+        let q = smx4_quantize_block(&vals);
+        let absmax = vals.iter().fold(0.0_f32, |a, &b| a.max(b.abs()));
+        prop_assume!(absmax > 1e-3);
+        let full = 2.0_f32.powf(absmax.log2().ceil());
+        let coarse_step = full / 3.0;
+        for (&x, &xq) in vals.iter().zip(&q) {
+            prop_assert!((x - xq).abs() <= coarse_step / 2.0 + absmax * 1e-4,
+                "x={x} xq={xq}");
+        }
+    }
+
+    /// SmoothQuant's migration is exactly transparent before quantization:
+    /// (X ∘ 1/f)(f ∘ W) == X·W.
+    #[test]
+    fn smoothquant_migration_is_transparent(seed in any::<u64>(), alpha in 0.0_f32..=1.0) {
+        use tender_tensor::rng::DetRng;
+        let mut rng = DetRng::new(seed);
+        let x = rng.normal_matrix(6, 10, 0.0, 1.0);
+        let w = rng.normal_matrix(10, 4, 0.0, 1.0);
+        let f = SmoothQuantScheme::smoothing_factors(
+            &stats::col_abs_max(&x),
+            &stats::row_abs_max(&w),
+            alpha,
+        );
+        let inv: Vec<f32> = f.iter().map(|&v| 1.0 / v).collect();
+        let lhs = x.scale_cols(&inv).matmul(&w.scale_rows(&f)).expect("shapes");
+        let rhs = x.matmul(&w).expect("shapes");
+        let tol = rhs.abs_max().max(1.0) * 1e-4;
+        prop_assert!(lhs.approx_eq(&rhs, tol));
+    }
+
+    /// OliVe: elements within the normal range survive with ordinary
+    /// quantization error unless they were sacrificed as the victim of an
+    /// adjacent outlier.
+    #[test]
+    fn olive_preserves_isolated_normals(
+        seed in any::<u64>(),
+        bits in 4_u32..9,
+    ) {
+        use tender_tensor::rng::DetRng;
+        let mut rng = DetRng::new(seed);
+        // Strictly in-range values: no outliers at all.
+        let scale = 0.1_f32;
+        let k = qmax(bits) as f32;
+        let m = Matrix::from_fn(4, 8, |_, _| rng.uniform_range(-0.9, 0.9) * scale * k);
+        let q = OliveScheme::fake_quantize_ovp(&m, scale, bits);
+        for r in 0..4 {
+            for c in 0..8 {
+                prop_assert!((m[(r, c)] - q[(r, c)]).abs() <= scale / 2.0 + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Hardware configuration of the Tender accelerator (paper Table V setup).
+
+/// Configuration of the Tender accelerator.
+///
+/// Defaults follow §IV / Table V: a 64×64 output-stationary systolic array
+/// of 4-bit MAC PEs at 1 GHz, a SIMD VPU with 64 FPUs, double-buffered
+/// 256 KB scratchpads, a double-buffered 16 KB index buffer, and a 64 KB
+/// output buffer, backed by HBM2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenderHwConfig {
+    /// Systolic array dimension (PEs per side).
+    pub sa_dim: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Number of 4-bit PEs ganged per 8-bit MAC (4 in the paper).
+    pub pes_per_int8_mac: usize,
+    /// VPU lane count (FPUs).
+    pub vpu_lanes: usize,
+    /// Scratchpad size per buffer, bytes (double-buffered).
+    pub scratchpad_bytes: usize,
+    /// Index buffer size per buffer, bytes (double-buffered).
+    pub index_buffer_bytes: usize,
+    /// Output buffer size, bytes.
+    pub output_buffer_bytes: usize,
+    /// Accumulator width in bits.
+    pub accumulator_bits: u32,
+}
+
+impl TenderHwConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self {
+            sa_dim: 64,
+            clock_hz: 1.0e9,
+            pes_per_int8_mac: 4,
+            vpu_lanes: 64,
+            scratchpad_bytes: 256 * 1024,
+            index_buffer_bytes: 16 * 1024,
+            output_buffer_bytes: 64 * 1024,
+            accumulator_bits: 32,
+        }
+    }
+
+    /// A small configuration for fast functional simulation in tests.
+    pub fn small_test(sa_dim: usize) -> Self {
+        Self {
+            sa_dim,
+            ..Self::paper()
+        }
+    }
+
+    /// Peak INT4 MACs per cycle (one per PE).
+    pub fn peak_int4_macs_per_cycle(&self) -> usize {
+        self.sa_dim * self.sa_dim
+    }
+
+    /// Peak INT8 MACs per cycle (PEs ganged in groups).
+    pub fn peak_int8_macs_per_cycle(&self) -> usize {
+        self.sa_dim * self.sa_dim / self.pes_per_int8_mac
+    }
+
+    /// Effective square-array dimension at a given precision: the full
+    /// `sa_dim` for INT4; halved for INT8 (2×2 PE gangs form one 8-bit
+    /// MAC).
+    ///
+    /// # Panics
+    ///
+    /// Panics for bit widths other than 4 or 8.
+    pub fn effective_dim(&self, bits: u32) -> usize {
+        match bits {
+            4 => self.sa_dim,
+            8 => self.sa_dim / (self.pes_per_int8_mac as f64).sqrt() as usize,
+            _ => panic!("hardware supports INT4/INT8 datapaths, got {bits}"),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is degenerate.
+    pub fn validate(&self) {
+        assert!(self.sa_dim > 0 && self.vpu_lanes > 0);
+        assert!(self.clock_hz > 0.0);
+        assert!(self.pes_per_int8_mac == 4, "paper design gangs 4 PEs for INT8");
+        assert!(self.scratchpad_bytes > 0 && self.output_buffer_bytes > 0);
+        assert!(self.accumulator_bits >= 16);
+    }
+}
+
+impl Default for TenderHwConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_v() {
+        let c = TenderHwConfig::paper();
+        c.validate();
+        assert_eq!(c.sa_dim, 64);
+        assert_eq!(c.vpu_lanes, 64);
+        assert_eq!(c.scratchpad_bytes, 256 * 1024);
+        assert_eq!(c.index_buffer_bytes, 16 * 1024);
+        assert_eq!(c.output_buffer_bytes, 64 * 1024);
+        assert_eq!(c.clock_hz, 1.0e9);
+    }
+
+    #[test]
+    fn throughput_scaling_by_precision() {
+        let c = TenderHwConfig::paper();
+        assert_eq!(c.peak_int4_macs_per_cycle(), 4096);
+        assert_eq!(c.peak_int8_macs_per_cycle(), 1024);
+        assert_eq!(c.effective_dim(4), 64);
+        assert_eq!(c.effective_dim(8), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "INT4/INT8")]
+    fn rejects_unsupported_precision() {
+        let _ = TenderHwConfig::paper().effective_dim(16);
+    }
+}

@@ -1,0 +1,176 @@
+//! Output-stationary vs weight-stationary dataflows (§VI-D).
+//!
+//! Tender's shipped design is output stationary (OS): each PE owns one
+//! output element, and rescaling is a local accumulator shift. §VI-D argues
+//! Tender also maps onto weight-stationary (WS) arrays — with a shifter in
+//! the external accumulators as well — and discusses when each dataflow
+//! wins during the *generation* (decode) stage:
+//!
+//! * **OS**: batching is only useful up to the array's row count; each new
+//!   weight tile must be streamed through the array (repeated weight
+//!   loading), but high-precision partial sums never move.
+//! * **WS**: weights stay resident while any number of batched rows stream
+//!   through, so with ample batching WS amortizes weight loads; with little
+//!   batching it wastes its loads and moves INT32 partial sums around.
+//!
+//! This module models both dataflows for decode-style GEMMs and reproduces
+//! the crossover.
+
+
+/// Systolic-array dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataflow {
+    /// Output stationary (the paper's main design).
+    OutputStationary,
+    /// Weight stationary (the §VI-D alternative).
+    WeightStationary,
+}
+
+impl Dataflow {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dataflow::OutputStationary => "output-stationary",
+            Dataflow::WeightStationary => "weight-stationary",
+        }
+    }
+}
+
+/// Cycles for one decode-stage GEMM (`batch × k × n`) with `groups`
+/// Tender channel groups on an array of dimension `dim`.
+///
+/// Both dataflows implement implicit requantization (per §VI-D Tender works
+/// on either); what differs is how weight reloads and batch rows amortize.
+pub fn decode_gemm_cycles(
+    dim: usize,
+    batch: usize,
+    k: usize,
+    n: usize,
+    groups: usize,
+    dataflow: Dataflow,
+) -> u64 {
+    assert!(dim > 0 && batch > 0 && k > 0 && n > 0 && groups > 0);
+    let tiles_n = n.div_ceil(dim) as u64;
+    let bubbles = groups as u64 - 1;
+    match dataflow {
+        Dataflow::OutputStationary => {
+            // Tiles over (batch rows × n columns); every tile streams the
+            // full reduction (weights re-enter the array per tile row).
+            let tiles_m = batch.div_ceil(dim) as u64;
+            let m_t = batch.min(dim) as u64;
+            let n_t = n.min(dim) as u64;
+            tiles_m * tiles_n * (k as u64 + bubbles + m_t + n_t - 2)
+        }
+        Dataflow::WeightStationary => {
+            // Per (k-tile, n-tile): load dim×dim weights (dim cycles,
+            // double-buffered against compute), then stream all batch rows
+            // through; partial sums for each k-tile pass the external
+            // accumulator, which applies the group rescale.
+            let tiles_k = k.div_ceil(dim) as u64;
+            let load = dim as u64;
+            let stream = batch as u64 + (dim as u64 - 1);
+            tiles_k * tiles_n * (load.max(stream)) + bubbles + dim as u64
+        }
+    }
+}
+
+/// Bytes of high-precision (INT32) partial-sum traffic a decode GEMM moves
+/// outside the PE array — the quantity §VI-D says output-stationary
+/// minimizes.
+pub fn decode_psum_bytes(
+    dim: usize,
+    batch: usize,
+    k: usize,
+    n: usize,
+    dataflow: Dataflow,
+) -> u64 {
+    assert!(dim > 0 && batch > 0 && k > 0 && n > 0);
+    match dataflow {
+        // OS: only the final outputs leave the array.
+        Dataflow::OutputStationary => (batch * n * 4) as u64,
+        // WS: every k-tile's partial sums stream to/from the external
+        // accumulator (read + write per intermediate tile).
+        Dataflow::WeightStationary => {
+            let tiles_k = k.div_ceil(dim) as u64;
+            (2 * tiles_k - 1) * (batch * n * 4) as u64
+        }
+    }
+}
+
+/// The batch size at which weight-stationary first beats output-stationary
+/// *decisively* (by more than 2%, beyond fill/drain noise) for a decode
+/// GEMM, or `None` if it never does up to `max_batch`.
+pub fn ws_crossover_batch(
+    dim: usize,
+    k: usize,
+    n: usize,
+    groups: usize,
+    max_batch: usize,
+) -> Option<usize> {
+    (1..=max_batch).find(|&b| {
+        let ws = decode_gemm_cycles(dim, b, k, n, groups, Dataflow::WeightStationary) as f64;
+        let os = decode_gemm_cycles(dim, b, k, n, groups, Dataflow::OutputStationary) as f64;
+        ws < 0.98 * os
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIM: usize = 64;
+    const K: usize = 4096;
+    const N: usize = 4096;
+
+    #[test]
+    fn limited_batching_makes_os_as_efficient_as_ws() {
+        // §VI-D: "when batching is limited … output stationary could be as
+        // efficient as weight stationary since it minimizes the movement
+        // of high-precision partial sums": cycles within a few percent,
+        // partial-sum traffic dramatically lower for OS.
+        let os = decode_gemm_cycles(DIM, 1, K, N, 8, Dataflow::OutputStationary);
+        let ws = decode_gemm_cycles(DIM, 1, K, N, 8, Dataflow::WeightStationary);
+        let ratio = os as f64 / ws as f64;
+        assert!((0.9..=1.1).contains(&ratio), "OS {os} vs WS {ws}");
+        let os_psum = decode_psum_bytes(DIM, 1, K, N, Dataflow::OutputStationary);
+        let ws_psum = decode_psum_bytes(DIM, 1, K, N, Dataflow::WeightStationary);
+        assert!(os_psum * 50 < ws_psum, "OS psums {os_psum} vs WS {ws_psum}");
+    }
+
+    #[test]
+    fn ample_batching_favors_weight_stationary() {
+        // §VI-D: "If there are ample batching opportunities, weight
+        // stationary can be more efficient": OS pays per-output-tile
+        // fill/drain that grows with the batch, WS pays a fixed per-weight-
+        // tile load, so WS pulls ahead once the batch far exceeds the
+        // reduction length.
+        let batch = 2 * K;
+        let os = decode_gemm_cycles(DIM, batch, K, N, 8, Dataflow::OutputStationary);
+        let ws = decode_gemm_cycles(DIM, batch, K, N, 8, Dataflow::WeightStationary);
+        assert!(ws < os, "WS {ws} vs OS {os}");
+    }
+
+    #[test]
+    fn crossover_exists_and_exceeds_array_dim() {
+        // OS stays competitive while the batch fits the array's rows (and
+        // well beyond).
+        let cross = ws_crossover_batch(DIM, K, N, 8, 4 * K).expect("crossover exists");
+        assert!(cross > DIM, "crossover {cross} should exceed the array dim {DIM}");
+    }
+
+    #[test]
+    fn group_count_is_cheap_on_both_dataflows() {
+        for df in [Dataflow::OutputStationary, Dataflow::WeightStationary] {
+            let g1 = decode_gemm_cycles(DIM, 64, K, N, 1, df);
+            let g16 = decode_gemm_cycles(DIM, 64, K, N, 16, df);
+            let overhead = g16 as f64 / g1 as f64 - 1.0;
+            assert!(overhead < 0.02, "{df:?}: group overhead {overhead}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Dataflow::OutputStationary.label(), "output-stationary");
+        assert_eq!(Dataflow::WeightStationary.label(), "weight-stationary");
+    }
+}

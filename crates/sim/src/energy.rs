@@ -1,0 +1,220 @@
+//! Energy model (Figure 11) built on 28 nm / HBM2 per-operation constants.
+//!
+//! Energy splits into: MAC operations (scaled by each design's precision
+//! mix and decode overhead), DRAM traffic (per byte, from the FG-DRAM
+//! energy model the paper uses), on-chip SRAM traffic, FIFO toggling, and
+//! leakage/background power over the runtime. The constants reproduce the
+//! paper's Figure 11 fleet averages (Tender 1.84× / 1.53× / 1.24× more
+//! energy-efficient than ANT / OLAccel / OliVe); the per-model variation
+//! emerges from each workload's compute/traffic mix.
+
+use crate::accel::{Accelerator, AcceleratorKind};
+use crate::perf::WorkloadCost;
+use crate::workload::PrefillWorkload;
+
+/// Energy breakdown of one run, in joules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// MAC (PE array) energy.
+    pub compute_j: f64,
+    /// Off-chip DRAM energy.
+    pub dram_j: f64,
+    /// On-chip SRAM (scratchpad/output/index buffer) energy.
+    pub sram_j: f64,
+    /// Input/weight FIFO energy.
+    pub fifo_j: f64,
+    /// Leakage + clock over the runtime.
+    pub background_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.dram_j + self.sram_j + self.fifo_j + self.background_j
+    }
+}
+
+/// Per-operation constants (28 nm logic, HBM2 DRAM).
+mod unit {
+    /// Energy per INT4 MAC in a plain PE, joules (≈0.27 pJ from the
+    /// Table V power model: 1.09 W / 4096 PEs / 1 GHz).
+    pub const MAC4_J: f64 = 0.27e-12;
+    /// DRAM energy per byte (HBM2, FG-DRAM model: ≈3.9 pJ/bit).
+    pub const DRAM_J_PER_BYTE: f64 = 31e-12;
+    /// On-chip SRAM energy per byte.
+    pub const SRAM_J_PER_BYTE: f64 = 1.2e-12;
+    /// FIFO energy per lane-cycle (0.34 W / 128 lanes / 1 GHz).
+    pub const FIFO_J_PER_LANE_CYCLE: f64 = 2.66e-12;
+    /// Background (leakage + clock tree) power in watts.
+    pub const BACKGROUND_W: f64 = 0.12;
+}
+
+/// Per-MAC energy multiplier of each design relative to a plain INT4 MAC:
+/// decoders, exponent adders, and outlier datapaths all burn extra energy
+/// per operation.
+pub fn mac_energy_factor(kind: AcceleratorKind) -> f64 {
+    match kind {
+        AcceleratorKind::Tender => 1.0, // +shifter, negligible
+        // Edge decoders amortize over the array; exponent adders in-PE.
+        AcceleratorKind::Ant => 1.10,
+        // Outlier-victim decode + exponent shift path.
+        AcceleratorKind::Olive => 1.15,
+        // ~3% of values on 16-bit outlier PEs (≈16× the 4-bit MAC energy):
+        // 0.97 + 0.03·16 ≈ 1.45.
+        AcceleratorKind::OlAccel => 1.45,
+    }
+}
+
+/// Computes the energy of a run on `accel` with the given cost breakdown.
+///
+/// `cost` must come from [`Accelerator::run`] on the same workload so the
+/// precision mix and runtime are consistent.
+pub fn run_energy(accel: &Accelerator, w: &PrefillWorkload, cost: &WorkloadCost) -> EnergyBreakdown {
+    let kind = accel.kind();
+    // MAC energy: an INT8 MAC costs ≈3× an INT4 MAC (multiplier energy
+    // grows a bit less than quadratically with operand width).
+    let f8 = accel.int8_fraction();
+    let macs = cost.macs as f64;
+    let mac_mix = (1.0 - f8) + f8 * 3.0;
+    let compute_j = macs * mac_mix * unit::MAC4_J * mac_energy_factor(kind);
+    // DRAM traffic from the run.
+    let dram_j = cost.dram_bytes as f64 * unit::DRAM_J_PER_BYTE;
+    // SRAM traffic: every DRAM byte is written to and read from the
+    // scratchpad at least once; outputs pass the output buffer.
+    let out_bytes: f64 = w
+        .per_layer
+        .iter()
+        .map(|g| (g.m * g.n * g.count) as f64 * 4.0)
+        .sum::<f64>()
+        * w.layers as f64;
+    let sram_j = (2.0 * cost.dram_bytes as f64 + out_bytes) * unit::SRAM_J_PER_BYTE;
+    // FIFOs toggle on every array-busy cycle across 2×dim lanes.
+    let lanes = (accel.hw().sa_dim * 2) as f64;
+    let fifo_j = cost.compute_cycles as f64 * lanes * unit::FIFO_J_PER_LANE_CYCLE;
+    let background_j = cost.seconds * unit::BACKGROUND_W;
+    EnergyBreakdown {
+        compute_j,
+        dram_j,
+        sram_j,
+        fifo_j,
+        background_j,
+    }
+}
+
+/// Energy efficiency of every design relative to `baseline` on a workload
+/// (higher is better; Fig. 11 normalizes to ANT).
+pub fn efficiency_over(
+    baseline: AcceleratorKind,
+    base_hw: &crate::config::TenderHwConfig,
+    groups: usize,
+    w: &PrefillWorkload,
+) -> Vec<(AcceleratorKind, f64)> {
+    let energy = |kind: AcceleratorKind| {
+        let a = Accelerator::iso_area(kind, base_hw, groups);
+        let cost = a.run(w);
+        run_energy(&a, w, &cost).total_j()
+    };
+    let base = energy(baseline);
+    AcceleratorKind::ALL
+        .iter()
+        .map(|&k| (k, base / energy(k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TenderHwConfig;
+    use tender_model::ModelShape;
+
+    fn workloads() -> Vec<PrefillWorkload> {
+        [
+            ModelShape::opt_6_7b(),
+            ModelShape::opt_13b(),
+            ModelShape::opt_66b(),
+            ModelShape::llama2_7b(),
+            ModelShape::llama2_13b(),
+            ModelShape::llama2_70b(),
+        ]
+        .iter()
+        .map(|s| PrefillWorkload::new(s, 2048))
+        .collect()
+    }
+
+    fn mean_efficiency_over(kind: AcceleratorKind) -> f64 {
+        let hw = TenderHwConfig::paper();
+        let ws = workloads();
+        let mut total = 0.0;
+        for w in &ws {
+            let eff = efficiency_over(kind, &hw, 8, w);
+            total += eff
+                .iter()
+                .find(|(k, _)| *k == AcceleratorKind::Tender)
+                .unwrap()
+                .1;
+        }
+        total / ws.len() as f64
+    }
+
+    #[test]
+    fn fig11_average_efficiency_over_ant() {
+        let e = mean_efficiency_over(AcceleratorKind::Ant);
+        // Paper: 1.84×.
+        assert!(e > 1.4 && e < 2.4, "Tender over ANT {e}");
+    }
+
+    #[test]
+    fn fig11_average_efficiency_over_olaccel() {
+        let e = mean_efficiency_over(AcceleratorKind::OlAccel);
+        // Paper: 1.53×.
+        assert!(e > 1.2 && e < 1.9, "Tender over OLAccel {e}");
+    }
+
+    #[test]
+    fn fig11_average_efficiency_over_olive() {
+        let e = mean_efficiency_over(AcceleratorKind::Olive);
+        // Paper: 1.24×.
+        assert!(e > 1.05 && e < 1.6, "Tender over OliVe {e}");
+    }
+
+    #[test]
+    fn efficiency_ordering_matches_figure_11() {
+        let hw = TenderHwConfig::paper();
+        let w = PrefillWorkload::new(&ModelShape::opt_66b(), 2048);
+        let eff = efficiency_over(AcceleratorKind::Ant, &hw, 8, &w);
+        let get = |k: AcceleratorKind| eff.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        assert!(get(AcceleratorKind::Tender) > get(AcceleratorKind::Olive));
+        assert!(get(AcceleratorKind::Olive) > get(AcceleratorKind::OlAccel));
+        assert!(get(AcceleratorKind::OlAccel) > get(AcceleratorKind::Ant));
+    }
+
+    #[test]
+    fn breakdown_components_are_positive() {
+        let hw = TenderHwConfig::paper();
+        let w = PrefillWorkload::new(&ModelShape::opt_6_7b(), 2048);
+        let a = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 8);
+        let cost = a.run(&w);
+        let e = run_energy(&a, &w, &cost);
+        assert!(e.compute_j > 0.0);
+        assert!(e.dram_j > 0.0);
+        assert!(e.sram_j > 0.0);
+        assert!(e.fifo_j > 0.0);
+        assert!(e.background_j > 0.0);
+        assert!(e.total_j() > e.dram_j);
+    }
+
+    #[test]
+    fn prefill_energy_is_compute_dominated_but_dram_scales_with_bytes() {
+        // Prefill at batch 1 is compute-bound on a 4 mm² accelerator, so
+        // MAC energy dominates; DRAM energy must still scale linearly with
+        // traffic (the term INT4 halves relative to INT8).
+        let hw = TenderHwConfig::paper();
+        let w = PrefillWorkload::new(&ModelShape::opt_66b(), 2048);
+        let a = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 8);
+        let cost = a.run(&w);
+        let e = run_energy(&a, &w, &cost);
+        assert!(e.compute_j > e.dram_j);
+        let expected = cost.dram_bytes as f64 * 31e-12;
+        assert!((e.dram_j - expected).abs() / expected < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! Generation-stage (decode) simulation with a growing KV cache (§V-A).
+//!
+//! The paper's speedup evaluation uses a 2048:1 input:output split and
+//! notes that the generation stage under-utilizes most accelerators — the
+//! motivation for batched decoding (Orca/FlexGen, cited as synergistic).
+//! This module expands a decode step into its GEMV/GEMM workload (QKV
+//! projections of one token, attention against the cached K/V of all
+//! previous positions, FFN), costs it on the Tender configuration across
+//! dataflows and batch sizes, and exposes the utilization cliff.
+
+use crate::config::TenderHwConfig;
+use crate::dataflow::{decode_gemm_cycles, Dataflow};
+use crate::workload::Gemm;
+use tender_model::ModelShape;
+
+/// The GEMMs of one decode step at KV-cache length `cache_len` with
+/// `batch` concurrent sequences.
+pub fn decode_step_gemms(shape: &ModelShape, cache_len: usize, batch: usize) -> Vec<Gemm> {
+    shape.validate();
+    assert!(cache_len > 0 && batch > 0);
+    let d = shape.d_model;
+    let dh = shape.head_dim();
+    let h = shape.heads;
+    let f = shape.ffn_dim;
+    let mut gemms = vec![
+        Gemm { name: "QKV", m: batch, k: d, n: d, count: 3, weight_resident: true },
+        Gemm { name: "Score", m: batch, k: dh, n: cache_len, count: h, weight_resident: false },
+        Gemm { name: "AttnV", m: batch, k: cache_len, n: dh, count: h, weight_resident: false },
+        Gemm { name: "Out", m: batch, k: d, n: d, count: 1, weight_resident: true },
+        Gemm { name: "FC1", m: batch, k: d, n: f, count: 1, weight_resident: true },
+    ];
+    if matches!(shape.activation, tender_model::Activation::SiluGated) {
+        gemms.push(Gemm { name: "Gate", m: batch, k: d, n: f, count: 1, weight_resident: true });
+    }
+    gemms.push(Gemm { name: "FC2", m: batch, k: f, n: d, count: 1, weight_resident: true });
+    gemms
+}
+
+/// Compute cycles for one decode step on one layer under a dataflow.
+pub fn decode_step_cycles(
+    hw: &TenderHwConfig,
+    shape: &ModelShape,
+    cache_len: usize,
+    batch: usize,
+    groups: usize,
+    dataflow: Dataflow,
+) -> u64 {
+    decode_step_gemms(shape, cache_len, batch)
+        .iter()
+        .map(|g| {
+            g.count as u64
+                * decode_gemm_cycles(hw.effective_dim(4), g.m, g.k, g.n, groups, dataflow)
+        })
+        .sum()
+}
+
+/// Achieved MAC utilization of one decode step (achieved MACs/cycle over
+/// the array's peak).
+pub fn decode_utilization(
+    hw: &TenderHwConfig,
+    shape: &ModelShape,
+    cache_len: usize,
+    batch: usize,
+    dataflow: Dataflow,
+) -> f64 {
+    let macs: u64 = decode_step_gemms(shape, cache_len, batch).iter().map(Gemm::macs).sum();
+    let cycles = decode_step_cycles(hw, shape, cache_len, batch, 8, dataflow);
+    macs as f64 / (cycles as f64 * hw.peak_int4_macs_per_cycle() as f64)
+}
+
+/// KV-cache footprint in bytes for one sequence at `cache_len` positions,
+/// with keys and values stored at `bits` precision (the "large intermediate
+/// states" §VI-D says limit batching).
+pub fn kv_cache_bytes(shape: &ModelShape, cache_len: usize, bits: u32) -> u64 {
+    // K and V, each cache_len × d_model, per layer.
+    2 * (cache_len as u64) * (shape.d_model as u64) * (shape.layers as u64) * bits as u64 / 8
+}
+
+/// Largest decode batch whose KV cache fits an HBM budget of
+/// `hbm_bytes` after reserving space for the (quantized) weights.
+pub fn max_batch_for_memory(
+    shape: &ModelShape,
+    cache_len: usize,
+    kv_bits: u32,
+    weight_bits: u32,
+    hbm_bytes: u64,
+) -> u64 {
+    let weights =
+        crate::workload::PrefillWorkload::new(shape, 1).total_weight_elems() * weight_bits as u64 / 8;
+    let per_seq = kv_cache_bytes(shape, cache_len, kv_bits);
+    hbm_bytes.saturating_sub(weights) / per_seq.max(1)
+}
+
+/// Decode throughput in tokens/second for a full model (all layers).
+pub fn decode_tokens_per_second(
+    hw: &TenderHwConfig,
+    shape: &ModelShape,
+    cache_len: usize,
+    batch: usize,
+    dataflow: Dataflow,
+) -> f64 {
+    let cycles_per_step = decode_step_cycles(hw, shape, cache_len, batch, 8, dataflow)
+        * shape.layers as u64;
+    batch as f64 * hw.clock_hz / cycles_per_step as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> TenderHwConfig {
+        TenderHwConfig::paper()
+    }
+
+    #[test]
+    fn decode_step_inventory_matches_prefill_structure() {
+        let shape = ModelShape::opt_6_7b();
+        let gemms = decode_step_gemms(&shape, 2048, 1);
+        let names: Vec<&str> = gemms.iter().map(|g| g.name).collect();
+        assert_eq!(names, vec!["QKV", "Score", "AttnV", "Out", "FC1", "FC2"]);
+        // Attention reduces over the cache, not the single new token.
+        let attnv = gemms.iter().find(|g| g.name == "AttnV").unwrap();
+        assert_eq!(attnv.k, 2048);
+        assert_eq!(attnv.m, 1);
+    }
+
+    #[test]
+    fn single_token_decode_underutilizes_the_array() {
+        // §V-A: "the under-utilization issue of most commercial
+        // accelerators can be large" in the generation stage.
+        let shape = ModelShape::opt_6_7b();
+        let util = decode_utilization(&hw(), &shape, 2048, 1, Dataflow::OutputStationary);
+        assert!(util < 0.05, "batch-1 decode utilization {util}");
+    }
+
+    #[test]
+    fn batching_restores_utilization() {
+        // Batching decode requests (Orca/FlexGen, §V-A) recovers
+        // utilization — Tender "can work synergistically with those
+        // schemes".
+        let shape = ModelShape::opt_6_7b();
+        let u1 = decode_utilization(&hw(), &shape, 2048, 1, Dataflow::OutputStationary);
+        let u64b = decode_utilization(&hw(), &shape, 2048, 64, Dataflow::OutputStationary);
+        assert!(u64b > 10.0 * u1, "batch 64 {u64b} vs batch 1 {u1}");
+    }
+
+    #[test]
+    fn throughput_grows_sublinearly_then_saturates() {
+        let shape = ModelShape::opt_6_7b();
+        let t1 = decode_tokens_per_second(&hw(), &shape, 1024, 1, Dataflow::OutputStationary);
+        let t64 = decode_tokens_per_second(&hw(), &shape, 1024, 64, Dataflow::OutputStationary);
+        let t128 = decode_tokens_per_second(&hw(), &shape, 1024, 128, Dataflow::OutputStationary);
+        assert!(t64 > 10.0 * t1);
+        // Beyond the array's row count, OS gains level off per §VI-D.
+        let gain = t128 / t64;
+        assert!(gain < 1.6, "64→128 gain {gain}");
+    }
+
+    #[test]
+    fn ws_beats_os_for_heavily_batched_decode() {
+        let shape = ModelShape::opt_6_7b();
+        let batch = 8192;
+        let os = decode_step_cycles(&hw(), &shape, 512, batch, 8, Dataflow::OutputStationary);
+        let ws = decode_step_cycles(&hw(), &shape, 512, batch, 8, Dataflow::WeightStationary);
+        assert!(ws < os, "WS {ws} vs OS {os}");
+    }
+
+    #[test]
+    fn kv_cache_limits_batching_as_vi_d_argues() {
+        // §VI-D: batching can be "limited by the memory size of large
+        // intermediate states (i.e., key-value cache)". On an 80 GB HBM
+        // budget, OPT-66B at INT4 weights and INT8 KV supports only a
+        // bounded decode batch at 2048 cache — far below the thousands of
+        // rows weight-stationary would want.
+        let shape = ModelShape::opt_66b();
+        let hbm = 80_u64 << 30; // A100-class capacity
+        let batch = max_batch_for_memory(&shape, 2048, 8, 4, hbm);
+        assert!(batch > 0, "some batching must fit");
+        assert!(batch < 4096, "KV cache must bound the batch, got {batch}");
+        // Quantizing the KV cache to INT4 doubles the feasible batch.
+        let batch4 = max_batch_for_memory(&shape, 2048, 4, 4, hbm);
+        assert_eq!(batch4, batch * 2);
+    }
+
+    #[test]
+    fn kv_cache_bytes_scale_linearly() {
+        let shape = ModelShape::opt_6_7b();
+        assert_eq!(
+            kv_cache_bytes(&shape, 2048, 8),
+            2 * kv_cache_bytes(&shape, 1024, 8)
+        );
+        assert_eq!(
+            kv_cache_bytes(&shape, 1024, 16),
+            2 * kv_cache_bytes(&shape, 1024, 8)
+        );
+    }
+
+    #[test]
+    fn longer_cache_costs_more() {
+        let shape = ModelShape::opt_6_7b();
+        let short = decode_step_cycles(&hw(), &shape, 256, 1, 8, Dataflow::OutputStationary);
+        let long = decode_step_cycles(&hw(), &shape, 2048, 1, 8, Dataflow::OutputStationary);
+        assert!(long > short);
+    }
+}

@@ -1,0 +1,246 @@
+//! GPU latency model for software quantization schemes (Figure 12, §VI-A).
+//!
+//! The paper measures CUTLASS-based implementations on an RTX 3090
+//! (OPT-6.7B) and an A100 (OPT-66B). This analytic model reproduces the
+//! timeline of each scheme from first principles: quantization kernels are
+//! memory-bound elementwise passes, GEMMs run at the tensor-core rate of
+//! their precision, per-subtensor execution pays kernel-launch and
+//! output-accumulation traffic per channel group, and INT GEMM kernels
+//! require 128-bit-aligned operands, so each Tender subtensor's reduction
+//! length is padded to a multiple of 16 (§VI-A).
+
+/// A GPU performance envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Device name.
+    pub name: &'static str,
+    /// FP16 tensor-core FLOP/s (FP32 accumulate).
+    pub fp16_flops: f64,
+    /// INT8 tensor-core OP/s.
+    pub int8_ops: f64,
+    /// Memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Kernel launch overhead, seconds.
+    pub launch_s: f64,
+}
+
+impl GpuConfig {
+    /// NVIDIA RTX 3090 envelope.
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "RTX 3090",
+            fp16_flops: 71e12,
+            int8_ops: 142e12,
+            mem_bw: 936e9,
+            launch_s: 5e-6,
+        }
+    }
+
+    /// NVIDIA A100 80GB envelope.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100 80GB",
+            fp16_flops: 312e12,
+            int8_ops: 624e12,
+            mem_bw: 2039e9,
+            launch_s: 5e-6,
+        }
+    }
+}
+
+/// A software quantization scheme running on the GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GpuScheme {
+    /// FP16 GEMM baseline.
+    Fp16,
+    /// Static per-tensor INT8.
+    PerTensorInt8,
+    /// Dynamic per-row (per-token) INT8.
+    PerRowInt8,
+    /// Per-channel INT8 — not executable in the integer pipeline (each
+    /// element would need scaling inside the reduction), so it falls back
+    /// to fake-quantized FP16 compute. Shown as the accuracy oracle.
+    PerChannelInt8,
+    /// LLM.int8()-style mixed decomposition: thin FP16 GEMM over outlier
+    /// channels + INT8 GEMM over the rest + combine.
+    LlmInt8 {
+        /// Fraction of channels kept in FP16.
+        outlier_frac: f64,
+    },
+    /// Tender in software: per-group INT8 sub-GEMMs with explicit
+    /// dequantize-accumulate epilogues and 16-channel alignment padding.
+    TenderSw {
+        /// Number of channel groups.
+        groups: usize,
+    },
+}
+
+impl GpuScheme {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            GpuScheme::Fp16 => "FP16".into(),
+            GpuScheme::PerTensorInt8 => "per-tensor".into(),
+            GpuScheme::PerRowInt8 => "per-row".into(),
+            GpuScheme::PerChannelInt8 => "per-channel".into(),
+            GpuScheme::LlmInt8 { .. } => "LLM.int8()".into(),
+            GpuScheme::TenderSw { groups } => format!("Tender SW (G={groups})"),
+        }
+    }
+}
+
+fn gemm_time(flops_rate: f64, m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64 / flops_rate
+}
+
+/// Time of an elementwise pass touching `bytes` of memory.
+fn mem_pass(gpu: &GpuConfig, bytes: f64) -> f64 {
+    bytes / gpu.mem_bw
+}
+
+/// Latency of one `m × k × n` matmul under a scheme, in seconds.
+pub fn scheme_latency(gpu: &GpuConfig, scheme: GpuScheme, m: usize, k: usize, n: usize) -> f64 {
+    let mf = m as f64;
+    let kf = k as f64;
+    let nf = n as f64;
+    match scheme {
+        GpuScheme::Fp16 => gpu.launch_s + gemm_time(gpu.fp16_flops, m, k, n),
+        GpuScheme::PerTensorInt8 => {
+            // Quantize X (read fp16, write int8) + INT8 GEMM + dequant
+            // epilogue folded into the GEMM (scalar alpha).
+            gpu.launch_s * 2.0
+                + mem_pass(gpu, mf * kf * 3.0)
+                + gemm_time(gpu.int8_ops, m, k, n)
+        }
+        GpuScheme::PerRowInt8 => {
+            // Extra reduction pass to find per-row maxima.
+            gpu.launch_s * 3.0
+                + mem_pass(gpu, mf * kf * 2.0)
+                + mem_pass(gpu, mf * kf * 3.0)
+                + gemm_time(gpu.int8_ops, m, k, n)
+        }
+        GpuScheme::PerChannelInt8 => {
+            // Fake-quantize pass + FP16 GEMM (cannot use the int pipeline).
+            gpu.launch_s * 2.0
+                + mem_pass(gpu, mf * kf * 4.0)
+                + gemm_time(gpu.fp16_flops, m, k, n)
+        }
+        GpuScheme::LlmInt8 { outlier_frac } => {
+            let k_out = (kf * outlier_frac).ceil();
+            let k_norm = kf - k_out;
+            // Decompose/gather pass + thin FP16 GEMM (poor efficiency on a
+            // skinny K) + INT8 GEMM + FP32 combine pass over the output.
+            let thin_eff = 0.25;
+            gpu.launch_s * 4.0
+                + mem_pass(gpu, mf * kf * 3.0)
+                + gemm_time(gpu.fp16_flops * thin_eff, m, k_out as usize, n)
+                + gemm_time(gpu.int8_ops, m, k_norm as usize, n)
+                + mem_pass(gpu, mf * nf * 3.0 * 4.0)
+        }
+        GpuScheme::TenderSw { groups } => {
+            assert!(groups >= 1, "need at least one group");
+            // Quantize + per-group sub-GEMM with K padded to 16 for
+            // 128-bit-aligned int8 operands; every sub-GEMM after the
+            // first accumulates into the FP32 output buffer (beta = 1),
+            // which costs a read+write of C per group.
+            let k_per = (k.div_ceil(groups)).div_ceil(16) * 16;
+            let mut t = gpu.launch_s * (groups as f64 + 1.0) + mem_pass(gpu, mf * kf * 3.0);
+            for _ in 0..groups {
+                t += gemm_time(gpu.int8_ops, m, k_per, n);
+            }
+            // C accumulate traffic for groups beyond the first + final
+            // dequant epilogue.
+            t += (groups as f64 - 1.0) * mem_pass(gpu, mf * nf * 2.0 * 4.0);
+            t += mem_pass(gpu, mf * nf * 4.0);
+            t
+        }
+    }
+}
+
+/// Latency of a scheme normalized to FP16 (the Figure 12 y-axis).
+pub fn normalized_latency(gpu: &GpuConfig, scheme: GpuScheme, m: usize, k: usize, n: usize) -> f64 {
+    scheme_latency(gpu, scheme, m, k, n) / scheme_latency(gpu, GpuScheme::Fp16, m, k, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: usize = 2048;
+
+    #[test]
+    fn per_tensor_int8_is_much_faster_than_fp16_on_3090() {
+        let g = GpuConfig::rtx3090();
+        let nl = normalized_latency(&g, GpuScheme::PerTensorInt8, M, 4096, 4096);
+        assert!(nl < 0.75, "per-tensor {nl}");
+        assert!(nl > 0.4, "per-tensor {nl}");
+    }
+
+    #[test]
+    fn tender_sw_beats_fp16_but_not_per_tensor() {
+        // Fig. 12's message: Tender SW gives a slight benefit over FP16 but
+        // does not realize the full INT8 potential due to explicit
+        // dequantization and sub-GEMM overheads.
+        let g = GpuConfig::rtx3090();
+        let tender = normalized_latency(&g, GpuScheme::TenderSw { groups: 4 }, M, 4096, 4096);
+        let pt = normalized_latency(&g, GpuScheme::PerTensorInt8, M, 4096, 4096);
+        assert!(tender < 1.0, "Tender SW {tender} must beat FP16");
+        assert!(tender > pt, "Tender SW {tender} must trail per-tensor {pt}");
+    }
+
+    #[test]
+    fn tender_sw_overhead_grows_with_groups() {
+        let g = GpuConfig::rtx3090();
+        let t4 = scheme_latency(&g, GpuScheme::TenderSw { groups: 4 }, M, 4096, 4096);
+        let t16 = scheme_latency(&g, GpuScheme::TenderSw { groups: 16 }, M, 4096, 4096);
+        assert!(t16 > t4);
+    }
+
+    #[test]
+    fn llm_int8_is_slower_than_plain_int8() {
+        let g = GpuConfig::rtx3090();
+        let mixed = normalized_latency(
+            &g,
+            GpuScheme::LlmInt8 { outlier_frac: 0.01 },
+            M,
+            4096,
+            4096,
+        );
+        let pt = normalized_latency(&g, GpuScheme::PerTensorInt8, M, 4096, 4096);
+        assert!(mixed > pt, "mixed {mixed} vs per-tensor {pt}");
+    }
+
+    #[test]
+    fn per_channel_fallback_is_no_faster_than_fp16() {
+        let g = GpuConfig::a100();
+        let nl = normalized_latency(&g, GpuScheme::PerChannelInt8, M, 9216, 9216);
+        assert!(nl >= 1.0, "per-channel fallback {nl}");
+    }
+
+    #[test]
+    fn a100_results_hold_at_66b_scale() {
+        let g = GpuConfig::a100();
+        let tender = normalized_latency(&g, GpuScheme::TenderSw { groups: 4 }, M, 9216, 9216);
+        assert!(tender < 1.0, "Tender SW on A100 {tender}");
+        let pr = normalized_latency(&g, GpuScheme::PerRowInt8, M, 9216, 9216);
+        assert!(pr < 0.8);
+    }
+
+    #[test]
+    fn padding_is_applied_to_subtensors() {
+        // K = 100, 8 groups → k_per = ceil(ceil(100/8)=13 → 16): padded
+        // work exceeds the unpadded total.
+        let g = GpuConfig::rtx3090();
+        let t = scheme_latency(&g, GpuScheme::TenderSw { groups: 8 }, 64, 100, 64);
+        let unpadded_gemm = 8.0 * gemm_time(g.int8_ops, 64, 13, 64);
+        let padded_gemm = 8.0 * gemm_time(g.int8_ops, 64, 16, 64);
+        assert!(t > unpadded_gemm);
+        let _ = padded_gemm;
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(GpuScheme::Fp16.label(), "FP16");
+        assert_eq!(GpuScheme::TenderSw { groups: 4 }.label(), "Tender SW (G=4)");
+    }
+}

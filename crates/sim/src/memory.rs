@@ -1,0 +1,228 @@
+//! On-chip buffer models: Scratchpad, Index Buffer, Output Buffer (§IV-D/E).
+//!
+//! These track capacity and access traffic. The Index Buffer implements the
+//! paper's *implicit channel reordering* (Figure 8): instead of physically
+//! reordering activations in memory, the Execution Controller looks up the
+//! calibrated channel order and generates gather addresses, so the MSA
+//! receives channels group-by-group with zero data movement.
+
+/// A double-buffered on-chip SRAM with access accounting.
+#[derive(Debug, Clone)]
+pub struct DoubleBuffer {
+    name: &'static str,
+    bytes_per_buffer: usize,
+    active: usize,
+    reads: u64,
+    writes: u64,
+}
+
+impl DoubleBuffer {
+    /// Creates a double buffer of two `bytes_per_buffer` halves.
+    pub fn new(name: &'static str, bytes_per_buffer: usize) -> Self {
+        assert!(bytes_per_buffer > 0, "buffer must have capacity");
+        Self {
+            name,
+            bytes_per_buffer,
+            active: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The buffer's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity of one half.
+    pub fn capacity(&self) -> usize {
+        self.bytes_per_buffer
+    }
+
+    /// Whether one half can hold `bytes`.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes <= self.bytes_per_buffer
+    }
+
+    /// Index of the half currently feeding the compute unit.
+    pub fn active_half(&self) -> usize {
+        self.active
+    }
+
+    /// Swaps halves (compute starts consuming what was being filled).
+    pub fn swap(&mut self) {
+        self.active ^= 1;
+    }
+
+    /// Records a read of `bytes`.
+    pub fn record_read(&mut self, bytes: u64) {
+        self.reads += bytes;
+    }
+
+    /// Records a write of `bytes`.
+    pub fn record_write(&mut self, bytes: u64) {
+        self.writes += bytes;
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// The Index Buffer: holds the calibrated channel processing order and
+/// serves gather indices to the Execution Controller.
+#[derive(Debug, Clone)]
+pub struct IndexBuffer {
+    storage: DoubleBuffer,
+    /// Channel order currently programmed into the active half.
+    order: Vec<u16>,
+}
+
+impl IndexBuffer {
+    /// Bytes per stored channel index.
+    pub const BYTES_PER_INDEX: usize = 2;
+
+    /// Creates an index buffer with two halves of `bytes_per_buffer`.
+    pub fn new(bytes_per_buffer: usize) -> Self {
+        Self {
+            storage: DoubleBuffer::new("Index Buffer", bytes_per_buffer),
+            order: Vec::new(),
+        }
+    }
+
+    /// Maximum channels one half can hold.
+    pub fn max_channels(&self) -> usize {
+        self.storage.capacity() / Self::BYTES_PER_INDEX
+    }
+
+    /// Programs a channel order ("① Program" in Figure 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns the required byte count if the order does not fit one half.
+    pub fn program(&mut self, order: &[usize]) -> Result<(), usize> {
+        let needed = order.len() * Self::BYTES_PER_INDEX;
+        if !self.storage.fits(needed) {
+            return Err(needed);
+        }
+        self.order = order.iter().map(|&c| c as u16).collect();
+        self.storage.record_write(needed as u64);
+        Ok(())
+    }
+
+    /// Looks up the `i`-th channel to process ("②/③" in Figure 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is beyond the programmed order.
+    pub fn lookup(&mut self, i: usize) -> usize {
+        assert!(i < self.order.len(), "index {i} beyond programmed order");
+        self.storage.record_read(Self::BYTES_PER_INDEX as u64);
+        self.order[i] as usize
+    }
+
+    /// Applies the programmed order as a gather permutation over channel
+    /// ids `0..n`, verifying it is a permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the programmed order is not a permutation of `0..n`.
+    pub fn reorder_check(&self, n: usize) -> Vec<usize> {
+        assert_eq!(self.order.len(), n, "order length must equal channel count");
+        let mut seen = vec![false; n];
+        for &c in &self.order {
+            let c = c as usize;
+            assert!(c < n, "channel id out of range");
+            assert!(!seen[c], "duplicate channel id {c}");
+            seen[c] = true;
+        }
+        self.order.iter().map(|&c| c as usize).collect()
+    }
+
+    /// Swaps the double-buffered halves (prefetch of the next row group's
+    /// order completes while the current one is in use).
+    pub fn swap(&mut self) {
+        self.storage.swap();
+    }
+
+    /// Underlying storage accounting.
+    pub fn storage(&self) -> &DoubleBuffer {
+        &self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_buffer_swaps() {
+        let mut b = DoubleBuffer::new("Scratchpad", 1024);
+        assert_eq!(b.active_half(), 0);
+        b.swap();
+        assert_eq!(b.active_half(), 1);
+        b.swap();
+        assert_eq!(b.active_half(), 0);
+    }
+
+    #[test]
+    fn capacity_checks() {
+        let b = DoubleBuffer::new("Scratchpad", 256 * 1024);
+        assert!(b.fits(256 * 1024));
+        assert!(!b.fits(256 * 1024 + 1));
+    }
+
+    #[test]
+    fn access_accounting() {
+        let mut b = DoubleBuffer::new("Output Buffer", 64 * 1024);
+        b.record_read(100);
+        b.record_write(40);
+        b.record_read(1);
+        assert_eq!(b.bytes_read(), 101);
+        assert_eq!(b.bytes_written(), 40);
+    }
+
+    #[test]
+    fn index_buffer_capacity_matches_paper() {
+        // 16 KB per half → 8192 channel indices, enough for one chunk of
+        // every evaluated model (larger widths split across row groups).
+        let ib = IndexBuffer::new(16 * 1024);
+        assert_eq!(ib.max_channels(), 8192);
+    }
+
+    #[test]
+    fn program_and_lookup() {
+        let mut ib = IndexBuffer::new(64);
+        ib.program(&[3, 1, 0, 2]).unwrap();
+        assert_eq!(ib.lookup(0), 3);
+        assert_eq!(ib.lookup(3), 2);
+        assert!(ib.storage().bytes_read() > 0);
+    }
+
+    #[test]
+    fn program_rejects_overflow() {
+        let mut ib = IndexBuffer::new(4); // 2 indices max
+        assert_eq!(ib.program(&[0, 1, 2]), Err(6));
+    }
+
+    #[test]
+    fn reorder_check_accepts_permutations() {
+        let mut ib = IndexBuffer::new(64);
+        ib.program(&[2, 0, 1]).unwrap();
+        assert_eq!(ib.reorder_check(3), vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate channel id")]
+    fn reorder_check_rejects_duplicates() {
+        let mut ib = IndexBuffer::new(64);
+        ib.program(&[1, 1, 0]).unwrap();
+        let _ = ib.reorder_check(3);
+    }
+}

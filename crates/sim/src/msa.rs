@@ -1,0 +1,453 @@
+//! Functional, cycle-accurate model of the Multi-Scale Systolic Array
+//! (paper §IV-B, Figures 6 and 7).
+//!
+//! The MSA is an output-stationary mesh: activations flow rightward,
+//! weights flow downward, and each PE accumulates one output element in a
+//! 32-bit register. Inputs enter skewed (row `i` delayed by `i` cycles,
+//! column `j` by `j`), so stream element `t` meets at PE `(i, j)` exactly
+//! at cycle `t + i + j`. Tender's extension is a 1-bit **rescale** slot:
+//! a one-cycle bubble inserted between channel groups whose flag, travelling
+//! with the input wavefront, makes each PE shift its accumulator left by
+//! one bit — the implicit requantization of Eq. 2.
+//!
+//! The model is *functional* (it produces the actual INT32 outputs, checked
+//! bit-exactly against the algorithmic reference in `tender-quant`) and
+//! *cycle-accurate* (each PE processes exactly one stream slot per cycle;
+//! the cycle count validates the closed-form model in [`crate::perf`]).
+
+use tender_tensor::IMatrix;
+
+use crate::config::TenderHwConfig;
+
+/// One channel group's integer operands: activations `a` (`m × k_g`) and
+/// weights `b` (`k_g × n`).
+#[derive(Debug, Clone)]
+pub struct GroupOperand {
+    /// Quantized activation columns of this group.
+    pub a: IMatrix,
+    /// Weight rows for this group's channels.
+    pub b: IMatrix,
+}
+
+impl GroupOperand {
+    /// Creates a group operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn new(a: IMatrix, b: IMatrix) -> Self {
+        assert_eq!(a.cols(), b.rows(), "group reduction lengths must match");
+        Self { a, b }
+    }
+}
+
+/// Result of running a tile through the MSA.
+#[derive(Debug, Clone)]
+pub struct MsaRunResult {
+    /// Accumulator values per output element (`m × n`, row-major). `i64`
+    /// so overflow beyond the modelled accumulator width is *observable*
+    /// rather than wrapped.
+    pub outputs: Vec<i64>,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Total cycles from first injection to the last PE's final operation.
+    pub cycles: u64,
+    /// MAC operations performed (for energy accounting).
+    pub macs: u64,
+    /// Rescale (shift) operations performed.
+    pub rescale_ops: u64,
+    /// Number of accumulator observations exceeding the configured width.
+    pub overflow_events: u64,
+}
+
+impl MsaRunResult {
+    /// The accumulator at output position `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at(&self, r: usize, c: usize) -> i64 {
+        assert!(r < self.m && c < self.n, "output index out of range");
+        self.outputs[r * self.n + c]
+    }
+}
+
+/// One slot of the skewed input stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamSlot {
+    /// MAC cycle consuming global reduction index `k` of the concatenated
+    /// group stream.
+    Mac { group: usize, k_in_group: usize },
+    /// Rescale bubble (1-bit flag set, zero operands). Applies the whole
+    /// multiply-by-α; any additional timing bubbles follow as [`StreamSlot::Idle`].
+    Rescale { factor: i64 },
+    /// Timing-only bubble: for non-power-of-two α the accumulator is split
+    /// into 4-bit parts and multiplied one part per cycle (§IV-B), so the
+    /// rescale occupies multiple wavefront slots.
+    Idle,
+}
+
+/// The Multi-Scale Systolic Array functional model.
+#[derive(Debug, Clone)]
+pub struct MultiScaleSystolicArray {
+    dim: usize,
+    accumulator_bits: u32,
+}
+
+impl MultiScaleSystolicArray {
+    /// Creates an MSA model from the hardware configuration.
+    pub fn new(config: &TenderHwConfig) -> Self {
+        config.validate();
+        Self {
+            dim: config.sa_dim,
+            accumulator_bits: config.accumulator_bits,
+        }
+    }
+
+    /// Array dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Runs one output tile (`m × n`, both ≤ the array dimension) over a
+    /// sequence of channel groups, rescaling the accumulators by α between
+    /// groups. For power-of-two α the rescale is a single-cycle shift
+    /// bubble; for other integer α it is the §IV-B extension — the
+    /// accumulator is processed in 4-bit parts, one per cycle, so the
+    /// rescale occupies `accumulator_bits / 4` wavefront slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile exceeds the array, shapes are inconsistent,
+    /// `groups` is empty, or `alpha < 2`.
+    pub fn run_groups(&self, groups: &[GroupOperand], alpha: u32) -> MsaRunResult {
+        assert!(!groups.is_empty(), "need at least one channel group");
+        assert!(alpha >= 2, "rescale factor must be an integer >= 2");
+        let rescale_slots = if alpha.is_power_of_two() {
+            1
+        } else {
+            (self.accumulator_bits as usize).div_ceil(4)
+        };
+        let m = groups[0].a.rows();
+        let n = groups[0].b.cols();
+        assert!(m > 0 && n > 0, "empty tile");
+        assert!(m <= self.dim && n <= self.dim, "tile exceeds array dimension");
+        for g in groups {
+            assert_eq!(g.a.rows(), m, "all groups share the tile's rows");
+            assert_eq!(g.b.cols(), n, "all groups share the tile's columns");
+        }
+
+        // Build the stream: group 0 (largest scale) first, one rescale
+        // bubble before each subsequent group — even empty ones, since the
+        // scale ladder advances regardless of group population.
+        let mut stream: Vec<StreamSlot> = Vec::new();
+        for (gi, g) in groups.iter().enumerate() {
+            if gi > 0 {
+                stream.push(StreamSlot::Rescale { factor: alpha as i64 });
+                for _ in 1..rescale_slots {
+                    stream.push(StreamSlot::Idle);
+                }
+            }
+            for k in 0..g.a.cols() {
+                stream.push(StreamSlot::Mac { group: gi, k_in_group: k });
+            }
+        }
+
+        let mut acc = vec![0_i64; m * n];
+        let mut macs = 0_u64;
+        let mut rescale_ops = 0_u64;
+        let mut overflow_events = 0_u64;
+        let acc_limit = 1_i64 << (self.accumulator_bits - 1);
+
+        // Element t reaches PE (i, j) at cycle t + i + j; iterate cycles so
+        // the wavefront behaviour (e.g. rescale timing per PE) is explicit.
+        let total_cycles = stream.len() + m + n - 2;
+        for cycle in 0..total_cycles {
+            for i in 0..m {
+                // t = cycle - i - j ≥ 0  ⇒  j ≤ cycle - i.
+                if cycle < i {
+                    continue;
+                }
+                let j_max = (cycle - i).min(n - 1);
+                for j in 0..=j_max {
+                    let t = cycle - i - j;
+                    if t >= stream.len() {
+                        continue;
+                    }
+                    let a = &mut acc[i * n + j];
+                    match stream[t] {
+                        StreamSlot::Mac { group, k_in_group } => {
+                            let av = groups[group].a[(i, k_in_group)] as i64;
+                            let bv = groups[group].b[(k_in_group, j)] as i64;
+                            *a += av * bv;
+                            macs += 1;
+                        }
+                        StreamSlot::Rescale { factor } => {
+                            *a *= factor;
+                            rescale_ops += 1;
+                        }
+                        StreamSlot::Idle => {}
+                    }
+                    if *a >= acc_limit || *a < -acc_limit {
+                        overflow_events += 1;
+                    }
+                }
+            }
+        }
+
+        MsaRunResult {
+            outputs: acc,
+            m,
+            n,
+            cycles: total_cycles as u64,
+            macs,
+            rescale_ops,
+            overflow_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tender_quant::tender::{
+        accumulate_chunk_implicit, quantized_group_operands, QuantizedWeight, TenderCalibration,
+        TenderConfig,
+    };
+    use tender_tensor::rng::DetRng;
+
+    fn msa(dim: usize) -> MultiScaleSystolicArray {
+        MultiScaleSystolicArray::new(&TenderHwConfig::small_test(dim))
+    }
+
+    #[test]
+    fn single_group_is_plain_matmul() {
+        let a = IMatrix::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let b = IMatrix::from_vec(3, 2, vec![7, 8, 9, 10, 11, 12]).unwrap();
+        let expect = a.matmul(&b).unwrap();
+        let res = msa(8).run_groups(&[GroupOperand::new(a, b)], 2);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(res.at(r, c), expect[(r, c)] as i64);
+            }
+        }
+        assert_eq!(res.rescale_ops, 0);
+        assert_eq!(res.macs, 2 * 2 * 3);
+    }
+
+    #[test]
+    fn rescale_between_groups_shifts_earlier_partials() {
+        // Group 0 contributes P0, group 1 contributes P1; result must be
+        // P0·2 + P1 (one shift between two groups).
+        let a0 = IMatrix::from_vec(1, 1, vec![3]).unwrap();
+        let b0 = IMatrix::from_vec(1, 1, vec![5]).unwrap();
+        let a1 = IMatrix::from_vec(1, 1, vec![7]).unwrap();
+        let b1 = IMatrix::from_vec(1, 1, vec![11]).unwrap();
+        let res = msa(4).run_groups(
+            &[GroupOperand::new(a0, b0), GroupOperand::new(a1, b1)],
+            2,
+        );
+        assert_eq!(res.at(0, 0), 3 * 5 * 2 + 7 * 11);
+        assert_eq!(res.rescale_ops, 1);
+    }
+
+    #[test]
+    fn empty_group_still_advances_the_scale_ladder() {
+        let a0 = IMatrix::from_vec(1, 1, vec![1]).unwrap();
+        let b0 = IMatrix::from_vec(1, 1, vec![1]).unwrap();
+        let empty_a = IMatrix::zeros(1, 0);
+        let empty_b = IMatrix::zeros(0, 1);
+        let a2 = IMatrix::from_vec(1, 1, vec![1]).unwrap();
+        let b2 = IMatrix::from_vec(1, 1, vec![1]).unwrap();
+        let res = msa(4).run_groups(
+            &[
+                GroupOperand::new(a0, b0),
+                GroupOperand::new(empty_a, empty_b),
+                GroupOperand::new(a2, b2),
+            ],
+            2,
+        );
+        // 1·1 shifted twice (two bubbles) + 1·1 = 5.
+        assert_eq!(res.at(0, 0), 5);
+        assert_eq!(res.rescale_ops, 2);
+    }
+
+    #[test]
+    fn arbitrary_alpha_multiplies_and_costs_multiple_slots() {
+        // §IV-B extension: α = 3 rescales by integer multiply, occupying
+        // accumulator_bits/4 = 8 wavefront slots per group boundary.
+        let mk = |v: i32| IMatrix::from_vec(1, 1, vec![v]).unwrap();
+        let groups = [
+            GroupOperand::new(mk(5), mk(7)),
+            GroupOperand::new(mk(2), mk(3)),
+        ];
+        let res = msa(4).run_groups(&groups, 3);
+        assert_eq!(res.at(0, 0), 5 * 7 * 3 + 2 * 3);
+        assert_eq!(res.rescale_ops, 1);
+        // Stream: 1 MAC + 8 rescale slots + 1 MAC; single PE tile.
+        assert_eq!(res.cycles, 1 + 8 + 1);
+        // Power-of-two α stays a single-cycle bubble.
+        let res2 = msa(4).run_groups(&groups, 2);
+        assert_eq!(res2.cycles, 3);
+        // And matches the algorithmic reference for a real decomposition.
+        let mut rng = DetRng::new(9);
+        let mut x = rng.normal_matrix(4, 8, 0.0, 0.6);
+        for r in 0..4 {
+            x[(r, 1)] = rng.normal(0.0, 20.0);
+        }
+        let wf = rng.normal_matrix(8, 3, 0.0, 0.3);
+        let config = TenderConfig {
+            bits: 8,
+            num_groups: 3,
+            alpha: 3,
+            row_chunk: 0,
+            quant_act_act: false,
+            subtract_bias: true,
+        };
+        let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+        let w = QuantizedWeight::per_col(&wf, 8);
+        let cc = calib.chunk_for_row(0);
+        let (reference, _) = accumulate_chunk_implicit(&x, cc, &w, &config);
+        let operands: Vec<GroupOperand> = quantized_group_operands(&x, cc, &w, &config)
+            .into_iter()
+            .map(|(a, b)| GroupOperand::new(a, b))
+            .collect();
+        assert_eq!(msa(8).run_groups(&operands, 3).outputs, reference);
+    }
+
+    #[test]
+    fn alpha_four_uses_two_bit_shift() {
+        let a0 = IMatrix::from_vec(1, 1, vec![1]).unwrap();
+        let b0 = IMatrix::from_vec(1, 1, vec![1]).unwrap();
+        let a1 = IMatrix::from_vec(1, 1, vec![0]).unwrap();
+        let b1 = IMatrix::from_vec(1, 1, vec![0]).unwrap();
+        let res = msa(4).run_groups(
+            &[GroupOperand::new(a0, b0), GroupOperand::new(a1, b1)],
+            4,
+        );
+        assert_eq!(res.at(0, 0), 4);
+    }
+
+    #[test]
+    fn bit_exact_against_algorithmic_reference() {
+        // The paper's hardware/algorithm contract: the MSA's accumulators
+        // equal the implicit-requantization reference exactly.
+        let mut rng = DetRng::new(7);
+        for (bits, num_groups) in [(8, 4), (4, 6), (8, 1)] {
+            let mut x = rng.normal_matrix(6, 12, 0.0, 0.6);
+            for r in 0..6 {
+                x[(r, 5)] = rng.normal(0.0, 30.0);
+            }
+            let wf = rng.normal_matrix(12, 5, 0.0, 0.2);
+            let config = TenderConfig {
+                bits,
+                num_groups,
+                alpha: 2,
+                row_chunk: 0,
+                quant_act_act: false,
+            subtract_bias: true,
+            };
+            let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+            let w = QuantizedWeight::per_col(&wf, bits);
+            let cc = calib.chunk_for_row(0);
+
+            let (reference, _) = accumulate_chunk_implicit(&x, cc, &w, &config);
+            let operands: Vec<GroupOperand> = quantized_group_operands(&x, cc, &w, &config)
+                .into_iter()
+                .map(|(a, b)| GroupOperand::new(a, b))
+                .collect();
+            let res = msa(16).run_groups(&operands, 2);
+            assert_eq!(res.outputs, reference, "bits={bits} groups={num_groups}");
+        }
+    }
+
+    #[test]
+    fn cycle_count_closed_form() {
+        // cycles = stream length + m + n - 2, where the stream is
+        // K_total + (G - 1) bubbles.
+        let mut rng = DetRng::new(8);
+        let m = 5;
+        let n = 7;
+        let ks = [4_usize, 3, 6];
+        let groups: Vec<GroupOperand> = ks
+            .iter()
+            .map(|&k| {
+                GroupOperand::new(
+                    IMatrix::from_fn(m, k, |_, _| rng.below(5) as i32 - 2),
+                    IMatrix::from_fn(k, n, |_, _| rng.below(5) as i32 - 2),
+                )
+            })
+            .collect();
+        let res = msa(8).run_groups(&groups, 2);
+        let k_total: usize = ks.iter().sum();
+        let g = ks.len();
+        assert_eq!(res.cycles, (k_total + g - 1 + m + n - 2) as u64);
+    }
+
+    #[test]
+    fn rescale_cost_is_one_cycle_per_group() {
+        // Fig. 13's premise: G groups cost only G-1 extra cycles.
+        let m = 4;
+        let n = 4;
+        let make = |ks: &[usize]| -> Vec<GroupOperand> {
+            ks.iter()
+                .map(|&k| {
+                    GroupOperand::new(IMatrix::zeros(m, k), IMatrix::zeros(k, n))
+                })
+                .collect()
+        };
+        let one = msa(8).run_groups(&make(&[16]), 2);
+        let four = msa(8).run_groups(&make(&[4, 4, 4, 4]), 2);
+        assert_eq!(four.cycles - one.cycles, 3);
+    }
+
+    #[test]
+    fn mistimed_rescale_corrupts_results() {
+        // Negative control for the wavefront synchronization the paper
+        // emphasizes (§IV-B / §VI-E): if the rescale bubble is applied at
+        // the wrong point in the stream (here: before group 0 instead of
+        // between groups), earlier partial sums get the wrong weight and
+        // the result no longer matches the algorithmic reference.
+        let mk = |v: i32| IMatrix::from_vec(1, 1, vec![v]).unwrap();
+        let correct = msa(4)
+            .run_groups(&[GroupOperand::new(mk(3), mk(5)), GroupOperand::new(mk(7), mk(11))], 2)
+            .at(0, 0);
+        // Mis-timed: empty group first injects the bubble before any MACs,
+        // so the shift hits a zero accumulator and the *second* boundary
+        // shift is missing — equivalent to shifting the wrong partials.
+        let mistimed = msa(4)
+            .run_groups(
+                &[
+                    GroupOperand::new(IMatrix::zeros(1, 0), IMatrix::zeros(0, 1)),
+                    GroupOperand::new(mk(3), mk(5)),
+                ],
+                2,
+            )
+            .at(0, 0)
+            + 7 * 11; // naively adding group 1's partial without its shift
+        assert_eq!(correct, 3 * 5 * 2 + 7 * 11);
+        assert_ne!(correct, mistimed, "mis-timed rescale must corrupt the sum");
+    }
+
+    #[test]
+    fn overflow_is_observed_not_wrapped() {
+        let mut cfg = TenderHwConfig::small_test(4);
+        cfg.accumulator_bits = 16; // tiny accumulator to force overflow
+        let msa = MultiScaleSystolicArray::new(&cfg);
+        let a = IMatrix::from_vec(1, 3, vec![127, 127, 127]).unwrap();
+        let b = IMatrix::from_vec(3, 1, vec![127, 127, 127]).unwrap();
+        let res = msa.run_groups(&[GroupOperand::new(a, b)], 2);
+        assert_eq!(res.at(0, 0), 3 * 127 * 127); // value correct (i64)
+        assert!(res.overflow_events > 0); // but flagged vs 16-bit limit
+    }
+
+    #[test]
+    #[should_panic(expected = "tile exceeds array")]
+    fn rejects_oversized_tile() {
+        let a = IMatrix::zeros(9, 2);
+        let b = IMatrix::zeros(2, 2);
+        let _ = msa(8).run_groups(&[GroupOperand::new(a, b)], 2);
+    }
+}

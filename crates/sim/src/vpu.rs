@@ -1,0 +1,133 @@
+//! Vector Processing Unit timing model (§IV-C).
+//!
+//! The VPU is a SIMD array of FPUs that handles everything the systolic
+//! array does not: scaling INT32 matmul results back to INT4/INT8 with the
+//! calibrated scale factors (plus optional activation function), and the
+//! softmax / LayerNorm operations of the Transformer block. This module
+//! costs those operations so the end-to-end layer time can account for
+//! the non-GEMM work.
+
+use crate::config::TenderHwConfig;
+use tender_model::ModelShape;
+
+/// Cycles for an elementwise pass over `elems` values on `lanes` FPUs,
+/// with `ops_per_elem` dependent FPU operations per value.
+pub fn elementwise_cycles(lanes: usize, elems: u64, ops_per_elem: u64) -> u64 {
+    assert!(lanes > 0, "need at least one lane");
+    elems.div_ceil(lanes as u64) * ops_per_elem
+}
+
+/// Cycles to rescale + requantize one matmul output tile (`elems` INT32
+/// values → INT4/INT8), optionally fused with an activation function.
+///
+/// One multiply (scale) + one round/clamp per element, plus one more op
+/// when an activation (ReLU/GeLU) is fused.
+pub fn requant_cycles(hw: &TenderHwConfig, elems: u64, fused_activation: bool) -> u64 {
+    let ops = if fused_activation { 3 } else { 2 };
+    elementwise_cycles(hw.vpu_lanes, elems, ops)
+}
+
+/// Cycles for a row-wise softmax over an `rows × cols` score matrix:
+/// three passes (max-reduce, exp + sum-reduce, normalize), with `exp`
+/// costing several FPU operations.
+pub fn softmax_cycles(hw: &TenderHwConfig, rows: u64, cols: u64) -> u64 {
+    let elems = rows * cols;
+    let max_pass = elementwise_cycles(hw.vpu_lanes, elems, 1);
+    let exp_sum_pass = elementwise_cycles(hw.vpu_lanes, elems, 5); // exp ≈ 4 ops + add
+    let norm_pass = elementwise_cycles(hw.vpu_lanes, elems, 1);
+    max_pass + exp_sum_pass + norm_pass
+}
+
+/// Cycles for a row-wise LayerNorm/RMSNorm over `rows × cols`:
+/// two reduction passes (mean, variance) plus a normalize-affine pass.
+pub fn layernorm_cycles(hw: &TenderHwConfig, rows: u64, cols: u64) -> u64 {
+    let elems = rows * cols;
+    elementwise_cycles(hw.vpu_lanes, elems, 2) + elementwise_cycles(hw.vpu_lanes, elems, 3)
+}
+
+/// Total VPU cycles for one Transformer block at sequence length `seq`:
+/// two norms, per-head softmax, and requantization of every GEMM output.
+pub fn layer_vpu_cycles(hw: &TenderHwConfig, shape: &ModelShape, seq: usize) -> u64 {
+    let d = shape.d_model as u64;
+    let f = shape.ffn_dim as u64;
+    let h = shape.heads as u64;
+    let n = seq as u64;
+    let mut cycles = 0;
+    // Pre-attention + pre-FFN norms.
+    cycles += 2 * layernorm_cycles(hw, n, d);
+    // Softmax per head over n × n scores.
+    cycles += h * softmax_cycles(hw, n, n);
+    // Requantize GEMM outputs: QKV (3·n·d), scores (h·n·n), attn-out
+    // (n·d), O (n·d), FC1 (n·f, fused activation), FC2 (n·d).
+    cycles += requant_cycles(hw, 3 * n * d, false);
+    cycles += requant_cycles(hw, h * n * n, false);
+    cycles += requant_cycles(hw, n * d, false);
+    cycles += requant_cycles(hw, n * d, false);
+    cycles += requant_cycles(hw, n * f, true);
+    cycles += requant_cycles(hw, n * d, false);
+    cycles
+}
+
+/// Fraction of a layer's total time spent on the VPU when the MSA handles
+/// the GEMMs (the justification for the paper sizing the VPU at just
+/// 64 lanes, Table V).
+pub fn vpu_share_of_layer(hw: &TenderHwConfig, shape: &ModelShape, seq: usize) -> f64 {
+    use crate::perf::{gemm_compute_cycles, RequantMode};
+    use crate::workload::layer_gemms;
+    let vpu = layer_vpu_cycles(hw, shape, seq) as f64;
+    let msa: u64 = layer_gemms(shape, seq)
+        .iter()
+        .map(|g| gemm_compute_cycles(hw.effective_dim(4), hw.vpu_lanes, g, RequantMode::Implicit { groups: 8 }))
+        .sum();
+    vpu / (vpu + msa as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> TenderHwConfig {
+        TenderHwConfig::paper()
+    }
+
+    #[test]
+    fn elementwise_rounds_up_partial_vectors() {
+        assert_eq!(elementwise_cycles(64, 64, 1), 1);
+        assert_eq!(elementwise_cycles(64, 65, 1), 2);
+        assert_eq!(elementwise_cycles(64, 1, 4), 4);
+    }
+
+    #[test]
+    fn softmax_costs_more_than_requant() {
+        let s = softmax_cycles(&hw(), 128, 128);
+        let r = requant_cycles(&hw(), 128 * 128, false);
+        assert!(s > r, "softmax {s} vs requant {r}");
+    }
+
+    #[test]
+    fn fused_activation_adds_a_pass() {
+        let plain = requant_cycles(&hw(), 4096, false);
+        let fused = requant_cycles(&hw(), 4096, true);
+        assert!(fused > plain);
+        assert_eq!(fused, plain / 2 * 3);
+    }
+
+    #[test]
+    fn vpu_is_a_small_fraction_of_prefill_time() {
+        // The design point of Table V: 64 FPUs suffice because GEMMs
+        // dominate — VPU work stays well under 20% of a prefill layer.
+        let shape = tender_model::ModelShape::opt_6_7b();
+        let share = vpu_share_of_layer(&hw(), &shape, 2048);
+        assert!(share < 0.20, "VPU share {share}");
+        assert!(share > 0.001, "VPU share {share} suspiciously small");
+    }
+
+    #[test]
+    fn layer_cycles_scale_with_sequence_length() {
+        let shape = tender_model::ModelShape::opt_6_7b();
+        let short = layer_vpu_cycles(&hw(), &shape, 256);
+        let long = layer_vpu_cycles(&hw(), &shape, 2048);
+        // Softmax is quadratic in seq, so growth exceeds 8x.
+        assert!(long > 8 * short);
+    }
+}

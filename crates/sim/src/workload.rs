@@ -1,0 +1,168 @@
+//! Transformer workload generation: the GEMM list of a prefill pass.
+//!
+//! The performance evaluation (Fig. 10/11/13) runs full-size models
+//! (OPT-6.7B…Llama-2-70B) at batch 1 with a 2048:1 input:output sequence
+//! split, following the paper's §V-A. This module expands a
+//! [`ModelShape`] into the per-layer GEMMs with their dimensions, which the
+//! accelerator models cost out analytically.
+
+use tender_model::ModelShape;
+
+/// One GEMM: `(m × k) · (k × n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gemm {
+    /// Which matmul this is (e.g. `"QKV"`, `"FC1"`).
+    pub name: &'static str,
+    /// Output rows.
+    pub m: usize,
+    /// Reduction length.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// How many identical instances run (e.g. per-head attention GEMMs).
+    pub count: usize,
+    /// Whether the stationary operand is a weight (streamed from DRAM once
+    /// per layer) or another activation.
+    pub weight_resident: bool,
+}
+
+impl Gemm {
+    /// Multiply-accumulate operations across all instances.
+    pub fn macs(&self) -> u64 {
+        (self.m as u64) * (self.k as u64) * (self.n as u64) * self.count as u64
+    }
+
+    /// Weight elements streamed from DRAM (0 for activation×activation).
+    pub fn weight_elems(&self) -> u64 {
+        if self.weight_resident {
+            (self.k as u64) * (self.n as u64) * self.count as u64
+        } else {
+            0
+        }
+    }
+
+    /// Activation elements read (left operand) plus written (output).
+    pub fn act_elems(&self) -> u64 {
+        let read = (self.m as u64) * (self.k as u64);
+        let write = (self.m as u64) * (self.n as u64);
+        (read + write) * self.count as u64
+        // The non-resident right operand of act×act GEMMs stays on chip
+        // (it was just produced); scratchpad traffic is counted by the
+        // performance model, not here.
+    }
+}
+
+/// The GEMMs of one Transformer block at sequence length `seq`.
+pub fn layer_gemms(shape: &ModelShape, seq: usize) -> Vec<Gemm> {
+    shape.validate();
+    let d = shape.d_model;
+    let dh = shape.head_dim();
+    let h = shape.heads;
+    let f = shape.ffn_dim;
+    let mut gemms = vec![
+        Gemm { name: "QKV", m: seq, k: d, n: d, count: 3, weight_resident: true },
+        Gemm { name: "Score", m: seq, k: dh, n: seq, count: h, weight_resident: false },
+        Gemm { name: "AttnV", m: seq, k: seq, n: dh, count: h, weight_resident: false },
+        Gemm { name: "Out", m: seq, k: d, n: d, count: 1, weight_resident: true },
+        Gemm { name: "FC1", m: seq, k: d, n: f, count: 1, weight_resident: true },
+    ];
+    if matches!(shape.activation, tender_model::Activation::SiluGated) {
+        gemms.push(Gemm { name: "Gate", m: seq, k: d, n: f, count: 1, weight_resident: true });
+    }
+    gemms.push(Gemm { name: "FC2", m: seq, k: f, n: d, count: 1, weight_resident: true });
+    gemms
+}
+
+/// A full prefill workload: every layer's GEMMs.
+#[derive(Debug, Clone)]
+pub struct PrefillWorkload {
+    /// The model this workload runs.
+    pub model_name: String,
+    /// Number of identical layers.
+    pub layers: usize,
+    /// GEMMs of one layer.
+    pub per_layer: Vec<Gemm>,
+}
+
+impl PrefillWorkload {
+    /// Builds the prefill workload for a model at sequence length `seq`.
+    pub fn new(shape: &ModelShape, seq: usize) -> Self {
+        Self {
+            model_name: shape.name.clone(),
+            layers: shape.layers,
+            per_layer: layer_gemms(shape, seq),
+        }
+    }
+
+    /// Total MACs across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers as u64 * self.per_layer.iter().map(Gemm::macs).sum::<u64>()
+    }
+
+    /// Total weight elements streamed per full pass.
+    pub fn total_weight_elems(&self) -> u64 {
+        self.layers as u64 * self.per_layer.iter().map(Gemm::weight_elems).sum::<u64>()
+    }
+
+    /// Total activation elements moved per full pass.
+    pub fn total_act_elems(&self) -> u64 {
+        self.layers as u64 * self.per_layer.iter().map(Gemm::act_elems).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_layer_gemm_inventory() {
+        let shape = ModelShape::opt_6_7b();
+        let gemms = layer_gemms(&shape, 2048);
+        let names: Vec<&str> = gemms.iter().map(|g| g.name).collect();
+        assert_eq!(names, vec!["QKV", "Score", "AttnV", "Out", "FC1", "FC2"]);
+        // QKV: 3 GEMMs of 2048×4096×4096.
+        assert_eq!(gemms[0].macs(), 3 * 2048 * 4096 * 4096);
+        // Attention is per head.
+        assert_eq!(gemms[1].count, 32);
+    }
+
+    #[test]
+    fn llama_has_gate_gemm() {
+        let shape = ModelShape::llama2_7b();
+        let gemms = layer_gemms(&shape, 2048);
+        assert!(gemms.iter().any(|g| g.name == "Gate"));
+    }
+
+    #[test]
+    fn attention_gemms_move_no_weights() {
+        let shape = ModelShape::opt_6_7b();
+        let gemms = layer_gemms(&shape, 128);
+        for g in gemms {
+            if g.name == "Score" || g.name == "AttnV" {
+                assert_eq!(g.weight_elems(), 0);
+            } else {
+                assert!(g.weight_elems() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn opt_6_7b_weight_count_is_roughly_6_7b() {
+        // Transformer-block weights only (no embeddings): ~6.4B for
+        // OPT-6.7B.
+        let w = PrefillWorkload::new(&ModelShape::opt_6_7b(), 2048);
+        let params = w.total_weight_elems();
+        assert!(params > 6_000_000_000, "params {params}");
+        assert!(params < 7_000_000_000, "params {params}");
+    }
+
+    #[test]
+    fn macs_scale_linearly_with_layers() {
+        let shape = ModelShape::opt_6_7b();
+        let w = PrefillWorkload::new(&shape, 256);
+        let mut half = shape.clone();
+        half.layers /= 2;
+        let w_half = PrefillWorkload::new(&half, 256);
+        assert_eq!(w.total_macs(), 2 * w_half.total_macs());
+    }
+}

@@ -1,0 +1,46 @@
+//! # tender-tensor
+//!
+//! Dense tensor substrate for the [Tender (ISCA 2024)] reproduction.
+//!
+//! This crate provides the numeric foundation that every other crate in the
+//! workspace builds on:
+//!
+//! * [`Matrix`] — a dense, row-major `f32` matrix with the linear-algebra and
+//!   neural-network operations a Transformer forward pass needs (GEMM,
+//!   softmax, LayerNorm, GeLU, …).
+//! * [`IMatrix`] — a dense integer matrix holding quantized values (INT4/INT8
+//!   elements, INT32 accumulators) with exact integer GEMM.
+//! * [`stats`] — per-row/per-column absolute-maximum scans, error metrics
+//!   (MSE, SQNR, KL divergence) used throughout the evaluation.
+//! * [`rng`] — deterministic random sampling (normal / log-normal /
+//!   heavy-tailed) built on a seedable generator, so every experiment in the
+//!   reproduction is bit-reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use tender_tensor::Matrix;
+//!
+//! # fn main() -> Result<(), tender_tensor::ShapeError> {
+//! let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+//! let b = Matrix::identity(3);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c, a);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [Tender (ISCA 2024)]: https://dl.acm.org/doi/10.1109/ISCA59077.2024.00059
+
+#![warn(missing_docs)]
+
+mod error;
+mod imatrix;
+mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use error::ShapeError;
+pub use imatrix::IMatrix;
+pub use matrix::Matrix;

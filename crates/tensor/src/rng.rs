@@ -1,0 +1,245 @@
+//! Deterministic random sampling for reproducible experiments.
+//!
+//! Everything in this reproduction that involves randomness (synthetic model
+//! weights, token sampling, calibration data) flows through [`DetRng`], a
+//! seedable generator with the handful of distributions the experiments need.
+//! Normal sampling uses Box–Muller so no extra distribution crate is needed.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random number generator for experiments.
+///
+/// Wraps [`StdRng`] with convenience samplers. Two `DetRng`s created with the
+/// same seed produce identical streams, making every table and figure in the
+/// reproduction bit-reproducible.
+///
+/// # Example
+///
+/// ```
+/// use tender_tensor::rng::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+    /// Cached second Box–Muller sample.
+    spare: Option<f32>,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Derives an independent child generator, so subsystems can draw without
+    /// perturbing each other's streams.
+    pub fn fork(&mut self, salt: u64) -> DetRng {
+        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::new(seed)
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A normal sample with the given mean and standard deviation
+    /// (Box–Muller).
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        if let Some(z) = self.spare.take() {
+            return mean + std * z;
+        }
+        // Box–Muller: two uniforms → two independent standard normals.
+        let u1 = self.uniform().max(f32::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        mean + std * r * theta.cos()
+    }
+
+    /// A log-normal sample: `exp(N(mu, sigma))`.
+    pub fn log_normal(&mut self, mu: f32, sigma: f32) -> f32 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// A Laplace (double-exponential) sample — heavier tails than normal,
+    /// a reasonable model for LLM activation magnitudes within a channel.
+    pub fn laplace(&mut self, mean: f32, scale: f32) -> f32 {
+        let u = self.uniform() - 0.5;
+        mean - scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f32::MIN_POSITIVE).ln()
+    }
+
+    /// Samples an index from a discrete probability distribution.
+    ///
+    /// `probs` need not be exactly normalized; residual mass lands on the
+    /// final index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty.
+    pub fn categorical(&mut self, probs: &[f32]) -> usize {
+        assert!(!probs.is_empty(), "categorical over empty distribution");
+        let mut t = self.uniform();
+        for (i, &p) in probs.iter().enumerate() {
+            if t < p {
+                return i;
+            }
+            t -= p;
+        }
+        probs.len() - 1
+    }
+
+    /// A matrix with i.i.d. normal entries.
+    pub fn normal_matrix(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.normal(mean, std))
+    }
+
+    /// A matrix with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn uniform_matrix(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.uniform_range(lo, hi))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (k ≤ n) in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let xa: Vec<f32> = (0..8).map(|_| a.uniform()).collect();
+        let xb: Vec<f32> = (0..8).map(|_| b.uniform()).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = DetRng::new(3);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn laplace_heavier_tail_than_normal() {
+        let mut rng = DetRng::new(5);
+        let n = 20_000;
+        let beyond_normal = (0..n).filter(|_| rng.normal(0.0, 1.0).abs() > 4.0).count();
+        let beyond_laplace = (0..n)
+            .filter(|_| (rng.laplace(0.0, 1.0) / std::f32::consts::SQRT_2).abs() > 4.0)
+            .count();
+        assert!(beyond_laplace > beyond_normal);
+    }
+
+    #[test]
+    fn categorical_respects_probabilities() {
+        let mut rng = DetRng::new(11);
+        let probs = [0.1, 0.7, 0.2];
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[rng.categorical(&probs)] += 1;
+        }
+        assert!((counts[1] as f32 / n as f32 - 0.7).abs() < 0.02);
+        assert!((counts[0] as f32 / n as f32 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = DetRng::new(13);
+        let idx = rng.sample_indices(100, 20);
+        assert_eq!(idx.len(), 20);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = DetRng::new(99);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let xa: Vec<f32> = (0..8).map(|_| a.uniform()).collect();
+        let xb: Vec<f32> = (0..8).map(|_| b.uniform()).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn normal_matrix_shape() {
+        let mut rng = DetRng::new(17);
+        let m = rng.normal_matrix(4, 5, 0.0, 1.0);
+        assert_eq!(m.shape(), (4, 5));
+        assert!(m.is_finite());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(23);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,59 @@
+//! Deployment flow: calibrate offline, serialize the metadata blob, and
+//! reload it for bit-identical quantized inference — the software analogue
+//! of programming the accelerator's Index Buffer and VPU registers
+//! (Figure 8, "① Program").
+//!
+//! Run with: `cargo run --release --example calibration_deploy`
+
+use tender::quant::tender::{
+    decode_calibration, encode_calibration, implicit_requant_matmul, QuantizedWeight,
+    TenderCalibration, TenderConfig,
+};
+use tender::tensor::rng::DetRng;
+
+fn main() {
+    // --- Offline: calibrate on sample activations ----------------------
+    let mut rng = DetRng::new(99);
+    let mut calib_act = rng.normal_matrix(64, 32, 0.0, 0.6);
+    for r in 0..64 {
+        calib_act[(r, 11)] = 35.0 + rng.normal(0.0, 2.0); // outlier channel
+    }
+    let config = TenderConfig::int4().with_row_chunk(16);
+    let calibration = TenderCalibration::from_samples(std::slice::from_ref(&calib_act), &config);
+
+    let blob = encode_calibration(&config, &calibration);
+    println!(
+        "calibrated {} chunks x {} channels -> {} byte blob",
+        calibration.chunks().len(),
+        calibration.chunks()[0].num_channels(),
+        blob.len()
+    );
+    for (i, chunk) in calibration.chunks().iter().enumerate().take(2) {
+        println!(
+            "  chunk {i}: TMax {:.2}, group sizes {:?}",
+            chunk.tmax,
+            chunk.group_sizes()
+        );
+    }
+
+    // --- Runtime: reload the blob and run quantized inference ----------
+    let (config2, calibration2) = decode_calibration(&blob).expect("blob we just wrote");
+    let weight = QuantizedWeight::per_col(&rng.normal_matrix(32, 16, 0.0, 0.2), config2.bits);
+    let x = {
+        let mut x = rng.normal_matrix(48, 32, 0.0, 0.6);
+        for r in 0..48 {
+            x[(r, 11)] = 35.0 + rng.normal(0.0, 2.0);
+        }
+        x
+    };
+
+    let offline = implicit_requant_matmul(&x, &weight, &calibration, &config);
+    let deployed = implicit_requant_matmul(&x, &weight, &calibration2, &config2);
+    assert_eq!(offline.result, deployed.result, "deployment must be bit-identical");
+    println!(
+        "deployed inference matches offline bit-exactly ({} x {} output, {} chunks)",
+        deployed.result.rows(),
+        deployed.result.cols(),
+        deployed.chunks_processed
+    );
+}

@@ -1,0 +1,50 @@
+//! End-to-end LLM quantization: build a synthetic OPT-like model, quantize
+//! it with several PTQ schemes, and compare proxy perplexity — a miniature
+//! Table II.
+//!
+//! Run with: `cargo run --release --example llm_quantization`
+
+use tender::model::calibration::CorpusKind;
+use tender::model::ModelShape;
+use tender::quant::tender::{TenderConfig, TenderScheme};
+use tender::{scheme_by_name, Experiment, ExperimentOptions};
+
+fn main() {
+    // An OPT-6.7B-shaped model scaled to laptop size, with the activation
+    // outlier structure the paper analyzes (a few fixed channels with
+    // ~48x the usual magnitude, induced by LayerNorm gains).
+    let shape = ModelShape::opt_6_7b().scaled_for_eval(16, 4);
+    println!(
+        "model: {} (d_model {}, ffn {}, {} layers, {} outlier channels)",
+        shape.name, shape.d_model, shape.ffn_dim, shape.layers, shape.outlier_channels
+    );
+
+    let exp = Experiment::new(&shape, ExperimentOptions::standard());
+    let base = exp.reference_perplexity(CorpusKind::Wiki);
+    println!("FP32 baseline proxy perplexity: {base:.2}\n");
+
+    println!("{:<16} {:>10} {:>10}", "scheme", "INT8", "INT4");
+    for name in ["per-tensor", "SmoothQuant", "ANT", "OliVe"] {
+        let p8 = exp.perplexity_of(
+            scheme_by_name(&format!("{name}@8")).expect("registered"),
+            CorpusKind::Wiki,
+        );
+        let p4 = exp.perplexity_of(
+            scheme_by_name(&format!("{name}@4")).expect("registered"),
+            CorpusKind::Wiki,
+        );
+        println!("{name:<16} {p8:>10.2} {p4:>10.2}");
+    }
+    for (label, bits) in [("Tender", 8), ("Tender", 4)] {
+        let cfg = if bits == 8 { TenderConfig::int8() } else { TenderConfig::int4() };
+        let ppl = exp.perplexity_of(
+            Box::new(TenderScheme::new(cfg.with_row_chunk(exp.options().seq_len / 8))),
+            CorpusKind::Wiki,
+        );
+        println!("{label:<16} INT{bits}: {ppl:>8.2}");
+    }
+
+    println!("\nExpected shape (paper Table II): Tender tracks the FP32 baseline");
+    println!("at INT8 and degrades most gracefully at INT4, while per-tensor");
+    println!("quantization collapses on outlier-heavy OPT-style activations.");
+}

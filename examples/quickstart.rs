@@ -1,0 +1,68 @@
+//! Quickstart: quantize one matmul with Tender and compare against naive
+//! per-tensor quantization.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tender::quant::granularity::{Granularity, GranularityScheme};
+use tender::quant::scheme::Scheme;
+use tender::quant::tender::{TenderConfig, TenderScheme};
+use tender::tensor::rng::DetRng;
+use tender::tensor::stats;
+
+fn main() {
+    // 1. Build an activation with LLM-style channel outliers: most
+    //    channels are small, a few fixed channels are ~40x larger.
+    let mut rng = DetRng::new(2024);
+    let rows = 128;
+    let cols = 64;
+    let mut x = rng.normal_matrix(rows, cols, 0.0, 0.5);
+    for r in 0..rows {
+        x[(r, 7)] = rng.normal(0.0, 20.0);
+        x[(r, 33)] = rng.normal(0.0, 12.0);
+    }
+    let w = rng.normal_matrix(cols, 32, 0.0, 0.2);
+    let exact = x.matmul(&w).expect("shapes match");
+
+    println!("activation |max| = {:.1}, median channel |max| = {:.2}", x.abs_max(), {
+        let mut c = stats::col_abs_max(&x);
+        c.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        c[cols / 2]
+    });
+
+    // 2. Quantize the matmul with INT4 per-tensor quantization (what
+    //    commodity pipelines support) and with Tender's decomposed
+    //    quantization (power-of-2 channel groups + implicit runtime
+    //    requantization).
+    for (name, scheme) in [
+        (
+            "INT4 per-tensor",
+            Box::new(GranularityScheme::new(4, Granularity::PerTensor)) as Box<dyn Scheme>,
+        ),
+        (
+            "INT4 Tender    ",
+            Box::new(TenderScheme::new(TenderConfig::int4().with_row_chunk(32))),
+        ),
+        (
+            "INT8 per-tensor",
+            Box::new(GranularityScheme::new(8, Granularity::PerTensor)),
+        ),
+        (
+            "INT8 Tender    ",
+            Box::new(TenderScheme::new(TenderConfig::int8().with_row_chunk(32))),
+        ),
+    ] {
+        // Calibrate on the activation itself (static PTQ-style), then run.
+        let op = scheme.prepare(std::slice::from_ref(&x), &w);
+        let y = op.forward(&x);
+        println!(
+            "{name}  ->  SQNR {:6.1} dB   MSE {:.4e}",
+            stats::sqnr_db(&exact, &y),
+            stats::mse(&exact, &y),
+        );
+    }
+
+    println!();
+    println!("Tender isolates the outlier channels into their own power-of-2");
+    println!("scale groups, so the normal channels keep their precision —");
+    println!("while the integer pipeline only needs a 1-bit shift per group.");
+}

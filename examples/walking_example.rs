@@ -1,0 +1,87 @@
+//! The paper's "walking example" (Figure 4), executed for real: six
+//! channels, three power-of-2 groups, bias subtraction, classification,
+//! and implicit runtime requantization — printed step by step.
+//!
+//! Run with: `cargo run --release --example walking_example`
+
+use tender::quant::tender::{
+    classify_channels, group_scales, implicit_requant_matmul, QuantizedWeight,
+    TenderCalibration, TenderConfig,
+};
+use tender::tensor::{stats, Matrix};
+
+fn main() {
+    // Six channels whose absolute maxima (after bias subtraction) match
+    // the figure: channel 2 is the outlier at 22.4.
+    let cmax_targets = [3.1_f32, 22.4, 2.0, 8.4, 4.9, 10.3];
+    let x = Matrix::from_fn(4, 6, |r, c| {
+        // Rows alternate sign so (max+min)/2 ≈ 0 and CMax hits the target.
+        let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+        let frac = 1.0 - 0.1 * (r / 2) as f32;
+        sign * cmax_targets[c] * frac
+    });
+
+    println!("step 1 — channel statistics (after bias subtraction):");
+    let observed = stats::col_abs_max(&x);
+    for (c, m) in observed.iter().enumerate() {
+        println!("  channel {}: CMax = {m:.1}", c + 1);
+    }
+    let tmax = observed.iter().fold(0.0_f32, |a, &b| a.max(b));
+    println!("  TMax = {tmax:.1}");
+
+    println!("\nstep 2 — power-of-2 classification into 3 groups:");
+    let groups = classify_channels(&observed, tmax, 3, 2).expect("valid inputs");
+    let scales = group_scales(tmax, 3, 2, 4);
+    for g in 0..3 {
+        let members: Vec<String> = groups
+            .iter()
+            .enumerate()
+            .filter(|&(_, gg)| *gg == g)
+            .map(|(c, _)| format!("ch{}", c + 1))
+            .collect();
+        println!(
+            "  group A{} (scale S{} = {:.3} = {:.1}/7): {}",
+            g + 1,
+            g + 1,
+            scales[g],
+            scales[g] * 7.0,
+            members.join(", ")
+        );
+    }
+    assert_eq!(groups, vec![2, 0, 2, 1, 2, 1], "matches the figure");
+
+    println!("\nstep 3 — implicit runtime requantization (INT4):");
+    let config = TenderConfig {
+        bits: 4,
+        num_groups: 3,
+        alpha: 2,
+        row_chunk: 0,
+        quant_act_act: false,
+            subtract_bias: true,
+    };
+    let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+    let wf = Matrix::identity(6);
+    let w = QuantizedWeight::per_col(&wf, 4);
+    let out = implicit_requant_matmul(&x, &w, &calib, &config);
+    println!("  (through an identity weight, the output is the effectively");
+    println!("   quantized activation)");
+    for r in 0..1 {
+        print!("  row {r}: original  ");
+        for c in 0..6 {
+            print!("{:7.2}", x[(r, c)]);
+        }
+        print!("\n  row {r}: quantized ");
+        for c in 0..6 {
+            print!("{:7.2}", out.result[(r, c)]);
+        }
+        println!();
+    }
+    println!(
+        "\n  max quantization error: {:.3} (vs per-tensor step {:.3})",
+        (0..6)
+            .map(|c| (x[(0, c)] - out.result[(0, c)]).abs())
+            .fold(0.0_f32, f32::max),
+        tmax / 7.0
+    );
+    println!("  accumulator overflow events: {}", out.overflow_events);
+}

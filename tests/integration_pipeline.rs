@@ -1,0 +1,143 @@
+//! End-to-end integration tests spanning all crates: synthetic model →
+//! calibration → quantized inference → evaluation, with the key orderings
+//! from the paper's tables asserted at test scale.
+
+use tender::model::calibration::CorpusKind;
+use tender::model::{ModelShape, SyntheticLlm};
+use tender::quant::tender::{TenderConfig, TenderScheme};
+use tender::tensor::stats;
+use tender::{scheme_by_name, Experiment, ExperimentOptions};
+
+/// A mid-size shape: large enough for stable orderings, small enough for CI.
+fn test_shape() -> ModelShape {
+    ModelShape::opt_6_7b().scaled_for_eval(32, 3)
+}
+
+fn options() -> ExperimentOptions {
+    ExperimentOptions {
+        seed: 0x7E4D_E600,
+        calib_samples: 16,
+        seq_len: 48,
+        eval_seqs: 3,
+    }
+}
+
+#[test]
+fn tender_int8_tracks_fp32_baseline() {
+    let exp = Experiment::new(&test_shape(), options());
+    let base = exp.reference_perplexity(CorpusKind::Wiki);
+    let tender = exp.perplexity_of(
+        Box::new(TenderScheme::new(TenderConfig::int8().with_row_chunk(0))),
+        CorpusKind::Wiki,
+    );
+    assert!(
+        tender < base * 1.25,
+        "Tender INT8 ppl {tender} should stay within ~25% of base {base}"
+    );
+}
+
+#[test]
+fn int4_granularity_ordering_holds_at_model_level() {
+    // Table I: per-column < per-row and per-column < per-tensor at INT4.
+    let exp = Experiment::new(&test_shape(), options());
+    let ppl = |name: &str| {
+        exp.perplexity_of(scheme_by_name(name).expect("registered"), CorpusKind::Wiki)
+    };
+    let col = ppl("per-column@4");
+    let row = ppl("per-row@4");
+    let tensor = ppl("per-tensor@4");
+    assert!(col < row, "per-column {col} must beat per-row {row}");
+    assert!(col < tensor, "per-column {col} must beat per-tensor {tensor}");
+}
+
+#[test]
+fn tender_int4_beats_smoothquant_int4() {
+    // Table II's INT4 block: SmoothQuant collapses, Tender degrades
+    // gracefully.
+    let exp = Experiment::new(&test_shape(), options());
+    let tender = exp.perplexity_of(
+        Box::new(TenderScheme::new(TenderConfig::int4().with_row_chunk(0))),
+        CorpusKind::Wiki,
+    );
+    let sq = exp.perplexity_of(scheme_by_name("SmoothQuant@4").expect("sq"), CorpusKind::Wiki);
+    assert!(tender < sq, "Tender INT4 {tender} must beat SmoothQuant INT4 {sq}");
+}
+
+#[test]
+fn more_groups_do_not_hurt_int4() {
+    // Fig. 9: perplexity is non-increasing (to noise) in group count.
+    let exp = Experiment::new(&test_shape(), options());
+    let ppl_at = |groups: usize| {
+        exp.perplexity_of(
+            Box::new(TenderScheme::new(
+                TenderConfig::int4().with_groups(groups).with_row_chunk(0),
+            )),
+            CorpusKind::Ptb,
+        )
+    };
+    let one = ppl_at(1);
+    let eight = ppl_at(8);
+    assert!(
+        eight <= one * 1.05,
+        "8 groups ({eight}) must not be worse than 1 group ({one})"
+    );
+}
+
+#[test]
+fn synthetic_outliers_match_figure_2_structure() {
+    // The activation entering QKV has fixed channels tens of times larger
+    // than the median channel, and the weights do not.
+    let shape = test_shape();
+    let model = SyntheticLlm::generate(&shape, 1);
+    let reference = model.reference();
+    let tokens: Vec<usize> = (0..32).map(|i| (i * 13 + 7) % shape.vocab).collect();
+    let acts = reference.qkv_input_activation(&tokens, shape.layers / 2);
+    let cmax = stats::col_abs_max(&acts);
+    let mut sorted = cmax.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = sorted[sorted.len() / 2];
+    let max = sorted[sorted.len() - 1];
+    assert!(
+        max > 20.0 * median,
+        "outlier/median ratio {} too small",
+        max / median
+    );
+    // Weight tensors stay homogeneous.
+    let w = &model.weights().layers[0].wq;
+    let wmax = stats::col_abs_max(w);
+    let mut ws = wmax.clone();
+    ws.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    assert!(ws[ws.len() - 1] < 5.0 * ws[ws.len() / 2], "weights must be homogeneous");
+}
+
+#[test]
+fn eval_sets_differ_by_corpus_but_are_reproducible() {
+    let exp_a = Experiment::new(&test_shape(), options());
+    let exp_b = Experiment::new(&test_shape(), options());
+    let wiki_a = exp_a.reference_perplexity(CorpusKind::Wiki);
+    let wiki_b = exp_b.reference_perplexity(CorpusKind::Wiki);
+    assert_eq!(wiki_a, wiki_b, "same options must reproduce exactly");
+    let ptb = exp_a.reference_perplexity(CorpusKind::Ptb);
+    assert_ne!(wiki_a, ptb);
+}
+
+#[test]
+fn tender_all_variant_quantizes_attention_with_bounded_cost() {
+    // Table III: Tender (all) adds act×act quantization with only a small
+    // perplexity increase over plain Tender.
+    let exp = Experiment::new(&test_shape(), options());
+    let plain = exp.perplexity_of(
+        Box::new(TenderScheme::new(TenderConfig::int8().with_row_chunk(0))),
+        CorpusKind::Wiki,
+    );
+    let all = exp.perplexity_of(
+        Box::new(TenderScheme::new(
+            TenderConfig::int8().with_row_chunk(0).with_act_act(true),
+        )),
+        CorpusKind::Wiki,
+    );
+    assert!(
+        all < plain * 1.3,
+        "Tender(all) {all} should stay close to Tender {plain}"
+    );
+}
