@@ -1,0 +1,73 @@
+//! Persistent pool vs spawn-per-call parallel matmul.
+//!
+//! The worker pool exists so that every parallel matmul in the hot loop
+//! reuses the same threads instead of paying a `thread::spawn` per call.
+//! This bench quantifies that: `pooled` is `Matrix::matmul` (which routes
+//! row blocks through `tender_tensor::pool`), `spawn_per_call` is the same
+//! row-partitioned kernel but with a fresh `thread::scope` + spawn set on
+//! every invocation. Run with `TENDER_THREADS` > 1 to see the spawn
+//! overhead; at 1 thread both degrade to the serial loop.
+//!
+//! Snapshot: `BENCH_SNAPSHOT=BENCH_pool.json cargo bench --bench pool_matmul`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tender_tensor::pool;
+use tender_tensor::rng::DetRng;
+use tender_tensor::Matrix;
+
+/// Row-partitioned matmul that spawns a fresh scoped thread set per call —
+/// the anti-pattern the persistent pool replaces.
+fn matmul_spawn_per_call(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows(), "shape mismatch");
+    let mut out = Matrix::zeros(m, n);
+    let block = m.div_ceil(threads.max(1));
+    std::thread::scope(|s| {
+        for (t, chunk) in out.as_mut_slice().chunks_mut(block * n).enumerate() {
+            s.spawn(move || {
+                for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+                    let i = t * block + r;
+                    for (ch, &av) in a.row(i).iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for (o, &bv) in out_row.iter_mut().zip(b.row(ch)) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    let threads = pool::current_threads();
+    let mut group = c.benchmark_group("pool_matmul");
+    for &n in &[256_usize, 512, 1024] {
+        let mut rng = DetRng::new(7);
+        let a = rng.normal_matrix(n, n, 0.0, 1.0);
+        let b = rng.normal_matrix(n, n, 0.0, 1.0);
+        // Sanity: the two paths must agree before we time them.
+        let pooled = a.matmul(&b).expect("shapes");
+        let spawned = matmul_spawn_per_call(&a, &b, threads);
+        assert_eq!(
+            pooled.as_slice(),
+            spawned.as_slice(),
+            "paths disagree at n={n}"
+        );
+
+        group.bench_with_input(BenchmarkId::new("pooled", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b).expect("shapes")))
+        });
+        group.bench_with_input(BenchmarkId::new("spawn_per_call", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_spawn_per_call(&a, &b, threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_vs_spawn);
+criterion_main!(benches);

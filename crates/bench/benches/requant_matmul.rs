@@ -30,12 +30,16 @@ fn bench_requant_paths(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("implicit", groups),
             &(&x, &w, &calib, &config),
-            |b, (x, w, calib, config)| b.iter(|| black_box(implicit_requant_matmul(x, w, calib, config))),
+            |b, (x, w, calib, config)| {
+                b.iter(|| black_box(implicit_requant_matmul(x, w, calib, config)))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("explicit", groups),
             &(&x, &w, &calib, &config),
-            |b, (x, w, calib, config)| b.iter(|| black_box(explicit_requant_matmul(x, w, calib, config))),
+            |b, (x, w, calib, config)| {
+                b.iter(|| black_box(explicit_requant_matmul(x, w, calib, config)))
+            },
         );
     }
     // Float reference for context.

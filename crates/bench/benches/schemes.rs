@@ -35,7 +35,9 @@ fn bench_scheme_forward(c: &mut Criterion) {
         "SMX4",
         "MXFP4",
     ] {
-        let op = scheme_by_name(name).expect("registered").prepare(std::slice::from_ref(&x), &w);
+        let op = scheme_by_name(name)
+            .expect("registered")
+            .prepare(std::slice::from_ref(&x), &w);
         group.bench_function(name, |b| b.iter(|| black_box(op.forward(&x))));
     }
     group.finish();

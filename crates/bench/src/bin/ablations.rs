@@ -35,7 +35,10 @@ fn main() {
     t1.row(vec!["FP32 base".into(), fmt_ppl(base)]);
     for (label, bias) in [("with bias (paper)", true), ("without bias", false)] {
         let cfg = TenderConfig::int4().with_row_chunk(seq / 8).with_bias(bias);
-        t1.row(vec![label.into(), fmt_ppl(ppl_of(Box::new(TenderScheme::new(cfg))))]);
+        t1.row(vec![
+            label.into(),
+            fmt_ppl(ppl_of(Box::new(TenderScheme::new(cfg)))),
+        ]);
     }
     t1.note("the bias reclaims the range sign-consistent outlier channels waste (Fig. 4 step 1)");
     t1.print();
@@ -66,15 +69,24 @@ fn main() {
             cost,
         ]);
     }
-    t2.note("alpha = 2 keeps single-cycle shifts; larger alpha trades finer ladders for rescale cycles");
+    t2.note(
+        "alpha = 2 keeps single-cycle shifts; larger alpha trades finer ladders for rescale cycles",
+    );
     t2.print();
 
     // --- Ablation 3: row-chunk size -----------------------------------
     let mut t3 = Table::new("Ablation: row-chunk size (INT4)", &["chunk", "ppl"]);
     for chunk in [0_usize, seq / 2, seq / 4, seq / 8] {
         let cfg = TenderConfig::int4().with_row_chunk(chunk);
-        let label = if chunk == 0 { "none".to_string() } else { chunk.to_string() };
-        t3.row(vec![label, fmt_ppl(ppl_of(Box::new(TenderScheme::new(cfg))))]);
+        let label = if chunk == 0 {
+            "none".to_string()
+        } else {
+            chunk.to_string()
+        };
+        t3.row(vec![
+            label,
+            fmt_ppl(ppl_of(Box::new(TenderScheme::new(cfg)))),
+        ]);
     }
     t3.note("chunking matters most under intra-channel (position-dependent) variance");
     t3.print();
@@ -109,7 +121,9 @@ fn main() {
     t4.row(vec![
         "Tender classification".into(),
         "12".into(),
-        fmt_ppl(ppl_of(Box::new(TenderScheme::new(TenderConfig::int4().with_row_chunk(0))))),
+        fmt_ppl(ppl_of(Box::new(TenderScheme::new(
+            TenderConfig::int4().with_row_chunk(0),
+        )))),
         format!("{:.1} us/site", t_class * 1e6),
     ]);
     t4.row(vec![

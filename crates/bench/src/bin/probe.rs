@@ -15,15 +15,31 @@ fn main() {
     let ch = outl[0];
     let col = a.col(ch);
     let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
-    let sd: f32 = (col.iter().map(|&x| (x-mean)*(x-mean)).sum::<f32>()/col.len() as f32).sqrt();
-    let mut normals: Vec<f32> = (0..shape.d_model).filter(|c| !outl.contains(c)).map(|c| cmax[c]).collect();
+    let sd: f32 =
+        (col.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / col.len() as f32).sqrt();
+    let mut normals: Vec<f32> = (0..shape.d_model)
+        .filter(|c| !outl.contains(c))
+        .map(|c| cmax[c])
+        .collect();
     normals.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    println!("outlier ch {ch}: mean {mean:.2} sd {sd:.2}; ratio {:.0}x (median normal {:.2})",
-        cmax[ch] / normals[normals.len()/2], normals[normals.len()/2]);
+    println!(
+        "outlier ch {ch}: mean {mean:.2} sd {sd:.2}; ratio {:.0}x (median normal {:.2})",
+        cmax[ch] / normals[normals.len() / 2],
+        normals[normals.len() / 2]
+    );
 
     let calib = token_batches(CorpusKind::Pile, shape.vocab, 32, 96, 0x7E4D_E600 ^ 0xCA11B);
     let lr = r.forward(&toks[0]);
-    for name in ["per-tensor@8", "per-row@8", "per-column@8", "Tender@8", "per-tensor@4", "per-row@4", "per-column@4", "Tender@4"] {
+    for name in [
+        "per-tensor@8",
+        "per-row@8",
+        "per-column@8",
+        "Tender@8",
+        "per-tensor@4",
+        "per-row@4",
+        "per-column@4",
+        "Tender@4",
+    ] {
         let qm = QuantizedModel::build(m.weights(), scheme_by_name(name).unwrap(), &calib);
         let lq = qm.forward(&toks[0]);
         let pr = ops::softmax_rows(&lr);

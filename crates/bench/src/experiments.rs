@@ -32,7 +32,11 @@ fn eval_shape(base: ModelShape) -> ModelShape {
 /// Tender scheme with the row-chunk size scaled to the evaluation sequence
 /// length, preserving the paper's 2048-token / 256-row-chunk ratio.
 fn tender_scheme(bits: u32, seq_len: usize, act_act: bool) -> Box<dyn Scheme> {
-    let base = if bits == 8 { TenderConfig::int8() } else { TenderConfig::int4() };
+    let base = if bits == 8 {
+        TenderConfig::int8()
+    } else {
+        TenderConfig::int4()
+    };
     let cfg = base
         .with_row_chunk((seq_len / 8).max(8))
         .with_act_act(act_act);
@@ -110,8 +114,14 @@ pub fn fig2_3() -> Vec<Table> {
         format!("Figure 2/3: value ranges, layer {layer} (OPT-6.7B preset)"),
         &["Quantity", "Value"],
     );
-    t.row(vec!["activation |max| (X)".into(), format!("{:.2}", acts.abs_max())]);
-    t.row(vec!["activation median channel |max|".into(), format!("{median:.3}")]);
+    t.row(vec![
+        "activation |max| (X)".into(),
+        format!("{:.2}", acts.abs_max()),
+    ]);
+    t.row(vec![
+        "activation median channel |max|".into(),
+        format!("{median:.3}"),
+    ]);
     t.row(vec![
         "outlier/median channel ratio".into(),
         format!("{:.1}x", sorted[0].1 / median.max(1e-6)),
@@ -137,7 +147,11 @@ pub fn fig2_3() -> Vec<Table> {
         ]);
     }
     let injected = exp.model().outlier_channels();
-    let top: Vec<usize> = sorted.iter().take(injected.len()).map(|&(c, _)| c).collect();
+    let top: Vec<usize> = sorted
+        .iter()
+        .take(injected.len())
+        .map(|&(c, _)| c)
+        .collect();
     let recovered = top.iter().filter(|c| injected.contains(c)).count();
     stripes.note(format!(
         "{recovered}/{} injected outlier channels appear among the top-{} observed",
@@ -181,8 +195,8 @@ pub fn table2() -> Vec<Table> {
         "Model", "FP16", "SQ@8", "ANT@8", "OliVe@8", "Tender@8", "SQ@4", "ANT@4", "OliVe@4",
         "Tender@4",
     ];
-    let mut wiki = Table::new("Table II (Wiki proxy ppl)", &headers.iter().copied().collect::<Vec<_>>());
-    let mut ptb = Table::new("Table II (PTB proxy ppl)", &headers.iter().copied().collect::<Vec<_>>());
+    let mut wiki = Table::new("Table II (Wiki proxy ppl)", headers.as_ref());
+    let mut ptb = Table::new("Table II (PTB proxy ppl)", headers.as_ref());
     for base in &models {
         let shape = eval_shape(base.clone());
         let exp = Experiment::new(&shape, options());
@@ -195,9 +209,18 @@ pub fn table2() -> Vec<Table> {
         ptb_row.push(fmt_ppl(p));
         for bits in [8_u32, 4] {
             let schemes: Vec<(String, Box<dyn Scheme>)> = vec![
-                (format!("SQ@{bits}"), scheme_by_name(&format!("SmoothQuant@{bits}")).expect("sq")),
-                (format!("ANT@{bits}"), scheme_by_name(&format!("ANT@{bits}")).expect("ant")),
-                (format!("OliVe@{bits}"), scheme_by_name(&format!("OliVe@{bits}")).expect("olive")),
+                (
+                    format!("SQ@{bits}"),
+                    scheme_by_name(&format!("SmoothQuant@{bits}")).expect("sq"),
+                ),
+                (
+                    format!("ANT@{bits}"),
+                    scheme_by_name(&format!("ANT@{bits}")).expect("ant"),
+                ),
+                (
+                    format!("OliVe@{bits}"),
+                    scheme_by_name(&format!("OliVe@{bits}")).expect("olive"),
+                ),
                 (format!("Tender@{bits}"), tender_scheme(bits, seq, false)),
             ];
             for (_, scheme) in schemes {
@@ -230,7 +253,13 @@ pub fn table3() -> Vec<Table> {
     let reference = model.reference();
     // Single calibration at the longest length, reused across lengths
     // (matching the paper's protocol).
-    let calib = token_batches(CorpusKind::Pile, shape.vocab, opts.calib_samples, calib_seq, opts.seed ^ 0xCA11B);
+    let calib = token_batches(
+        CorpusKind::Pile,
+        shape.vocab,
+        opts.calib_samples,
+        calib_seq,
+        opts.seed ^ 0xCA11B,
+    );
     let captured = reference.capture_site_activations(&calib);
 
     let mut headers: Vec<String> = vec!["Scheme".into()];
@@ -239,15 +268,30 @@ pub fn table3() -> Vec<Table> {
         headers.push(format!("PTB@{s}"));
     }
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut t = Table::new("Table III: sequence-length sensitivity (OPT-6.7B preset)", &headers_ref);
+    let mut t = Table::new(
+        "Table III: sequence-length sensitivity (OPT-6.7B preset)",
+        &headers_ref,
+    );
 
     let eval_sets: Vec<(usize, EvalSet, EvalSet)> = seq_lens
         .iter()
         .map(|&s| {
             (
                 s,
-                EvalSet::build(&reference, CorpusKind::Wiki, opts.eval_seqs, s, opts.seed ^ 1),
-                EvalSet::build(&reference, CorpusKind::Ptb, opts.eval_seqs, s, opts.seed ^ 2),
+                EvalSet::build(
+                    &reference,
+                    CorpusKind::Wiki,
+                    opts.eval_seqs,
+                    s,
+                    opts.seed ^ 1,
+                ),
+                EvalSet::build(
+                    &reference,
+                    CorpusKind::Ptb,
+                    opts.eval_seqs,
+                    s,
+                    opts.seed ^ 2,
+                ),
             )
         })
         .collect();
@@ -274,11 +318,26 @@ pub fn table3() -> Vec<Table> {
 
     add_scheme("FP32 Base".into(), None);
     for bits in [8_u32, 4] {
-        add_scheme(format!("SmoothQuant@{bits}"), scheme_by_name(&format!("SmoothQuant@{bits}")));
-        add_scheme(format!("ANT@{bits}"), scheme_by_name(&format!("ANT@{bits}")));
-        add_scheme(format!("OliVe@{bits}"), scheme_by_name(&format!("OliVe@{bits}")));
-        add_scheme(format!("Tender(all)@{bits}"), Some(tender_scheme(bits, calib_seq, true)));
-        add_scheme(format!("Tender@{bits}"), Some(tender_scheme(bits, calib_seq, false)));
+        add_scheme(
+            format!("SmoothQuant@{bits}"),
+            scheme_by_name(&format!("SmoothQuant@{bits}")),
+        );
+        add_scheme(
+            format!("ANT@{bits}"),
+            scheme_by_name(&format!("ANT@{bits}")),
+        );
+        add_scheme(
+            format!("OliVe@{bits}"),
+            scheme_by_name(&format!("OliVe@{bits}")),
+        );
+        add_scheme(
+            format!("Tender(all)@{bits}"),
+            Some(tender_scheme(bits, calib_seq, true)),
+        );
+        add_scheme(
+            format!("Tender@{bits}"),
+            Some(tender_scheme(bits, calib_seq, false)),
+        );
     }
     t.note("single calibration at the longest length, reused at shorter lengths (paper protocol)");
     vec![t]
@@ -291,7 +350,10 @@ pub fn table4() -> Vec<Table> {
     let model = SyntheticLlm::generate(&shape, opts.seed);
     let reference = model.reference();
     let tasks = GlueTask::standard_suite(shape.vocab, opts.seed ^ 0x61);
-    let centroids: Vec<_> = tasks.iter().map(|t| t.reference_centroids(&reference)).collect();
+    let centroids: Vec<_> = tasks
+        .iter()
+        .map(|t| t.reference_centroids(&reference))
+        .collect();
     let calib: Vec<Vec<usize>> = tasks[0]
         .test_items()
         .iter()
@@ -303,14 +365,19 @@ pub fn table4() -> Vec<Table> {
     let mut headers: Vec<&str> = vec!["Scheme"];
     let names: Vec<String> = tasks.iter().map(|t| t.name().to_string()).collect();
     headers.extend(names.iter().map(String::as_str));
-    let mut t = Table::new("Table IV: GLUE-proxy accuracy on BERT-Large preset (higher is better)", &headers);
+    let mut t = Table::new(
+        "Table IV: GLUE-proxy accuracy on BERT-Large preset (higher is better)",
+        &headers,
+    );
 
     let mut add = |label: String, scheme: Option<Box<dyn Scheme>>| {
         let mut row = vec![label];
         match scheme {
             None => {
                 for (task, cents) in tasks.iter().zip(&centroids) {
-                    row.push(fmt_acc(task.accuracy(|tk| reference.forward_hidden(tk), cents)));
+                    row.push(fmt_acc(
+                        task.accuracy(|tk| reference.forward_hidden(tk), cents),
+                    ));
                 }
             }
             Some(s) => {
@@ -324,9 +391,18 @@ pub fn table4() -> Vec<Table> {
     };
     add("FP32 Base".into(), None);
     for bits in [8_u32, 4] {
-        add(format!("ANT@{bits}"), scheme_by_name(&format!("ANT@{bits}")));
-        add(format!("OliVe@{bits}"), scheme_by_name(&format!("OliVe@{bits}")));
-        add(format!("Tender@{bits}"), Some(tender_scheme(bits, 24, true)));
+        add(
+            format!("ANT@{bits}"),
+            scheme_by_name(&format!("ANT@{bits}")),
+        );
+        add(
+            format!("OliVe@{bits}"),
+            scheme_by_name(&format!("OliVe@{bits}")),
+        );
+        add(
+            format!("Tender@{bits}"),
+            Some(tender_scheme(bits, 24, true)),
+        );
     }
     t.note("all schemes quantize every matmul in the block (paper Table IV setting)");
     vec![t]
@@ -349,8 +425,14 @@ pub fn fig9() -> Vec<Table> {
     for &g in &groups {
         let mut row = vec![format!("{g}")];
         for bits in [4_u32, 8] {
-            let base = if bits == 8 { TenderConfig::int8() } else { TenderConfig::int4() };
-            let cfg = base.with_groups(g).with_row_chunk((opts.seq_len / 8).max(8));
+            let base = if bits == 8 {
+                TenderConfig::int8()
+            } else {
+                TenderConfig::int4()
+            };
+            let cfg = base
+                .with_groups(g)
+                .with_row_chunk((opts.seq_len / 8).max(8));
             let ppl = exp.perplexity_of(Box::new(TenderScheme::new(cfg)), CorpusKind::Ptb);
             row.push(fmt_ppl(ppl));
         }
@@ -458,7 +540,9 @@ pub fn fig11() -> Vec<Table> {
             fmt_ratio(get(AcceleratorKind::Tender)),
         ]);
     }
-    t.note("paper averages: Tender 1.84x / 1.53x / 1.24x more efficient than ANT / OLAccel / OliVe");
+    t.note(
+        "paper averages: Tender 1.84x / 1.53x / 1.24x more efficient than ANT / OLAccel / OliVe",
+    );
     vec![t]
 }
 
@@ -479,11 +563,23 @@ pub fn fig12() -> Vec<Table> {
     };
     let mses = [
         ("FP16", mse_of(scheme_by_name("FP16").expect("fp16"))),
-        ("per-tensor", mse_of(scheme_by_name("per-tensor@8").expect("pt"))),
+        (
+            "per-tensor",
+            mse_of(scheme_by_name("per-tensor@8").expect("pt")),
+        ),
         ("per-row", mse_of(scheme_by_name("per-row@8").expect("pr"))),
-        ("per-channel", mse_of(scheme_by_name("per-column@8").expect("pc"))),
-        ("LLM.int8()", mse_of(scheme_by_name("LLM.int8").expect("mp"))),
-        ("Tender SW (G=4)", mse_of(tender_scheme(8, tokens.len(), false))),
+        (
+            "per-channel",
+            mse_of(scheme_by_name("per-column@8").expect("pc")),
+        ),
+        (
+            "LLM.int8()",
+            mse_of(scheme_by_name("LLM.int8").expect("mp")),
+        ),
+        (
+            "Tender SW (G=4)",
+            mse_of(tender_scheme(8, tokens.len(), false)),
+        ),
     ];
 
     let mut t = Table::new(
@@ -522,12 +618,18 @@ pub fn fig13() -> Vec<Table> {
         "Figure 13: execution time normalized to per-tensor base (INT4)",
         &["Model", "Groups", "Base", "Tender (Implicit)", "Explicit"],
     );
-    for shape in [ModelShape::opt_6_7b(), ModelShape::opt_66b(), ModelShape::llama2_70b()] {
+    for shape in [
+        ModelShape::opt_6_7b(),
+        ModelShape::opt_66b(),
+        ModelShape::llama2_70b(),
+    ] {
         let w = PrefillWorkload::new(&shape, 2048);
         let base = workload_cost(&hw, &hbm, &w, 4, 4, RequantMode::Single).cycles as f64;
         for groups in [4_usize, 16] {
-            let imp = workload_cost(&hw, &hbm, &w, 4, 4, RequantMode::Implicit { groups }).cycles as f64;
-            let exp = workload_cost(&hw, &hbm, &w, 4, 4, RequantMode::Explicit { groups }).cycles as f64;
+            let imp =
+                workload_cost(&hw, &hbm, &w, 4, 4, RequantMode::Implicit { groups }).cycles as f64;
+            let exp =
+                workload_cost(&hw, &hbm, &w, 4, 4, RequantMode::Explicit { groups }).cycles as f64;
             t.row(vec![
                 shape.name.clone(),
                 format!("{groups}"),
@@ -543,7 +645,11 @@ pub fn fig13() -> Vec<Table> {
 
 /// Table VI — Tender-INT4 vs MSFP12 / MSFP12-OL.
 pub fn table6() -> Vec<Table> {
-    let models = [ModelShape::opt_66b(), ModelShape::llama2_70b(), ModelShape::llama_65b()];
+    let models = [
+        ModelShape::opt_66b(),
+        ModelShape::llama2_70b(),
+        ModelShape::llama_65b(),
+    ];
     let mut t = Table::new(
         "Table VI: Tender vs MSFP (Wiki proxy ppl)",
         &["Scheme", "OPT-66B", "Llama-2-70B", "LLaMA-65B"],
@@ -560,10 +666,16 @@ pub fn table6() -> Vec<Table> {
         ];
         for scheme in schemes {
             let qm = exp.quantize(scheme);
-            cols[mi].push(fmt_ppl(perplexity(|tk| qm.forward(tk), exp.eval_set(CorpusKind::Wiki))));
+            cols[mi].push(fmt_ppl(perplexity(
+                |tk| qm.forward(tk),
+                exp.eval_set(CorpusKind::Wiki),
+            )));
         }
     }
-    for (ri, label) in ["FP16", "MSFP12", "MSFP12-OL", "Tender-INT4"].iter().enumerate() {
+    for (ri, label) in ["FP16", "MSFP12", "MSFP12-OL", "Tender-INT4"]
+        .iter()
+        .enumerate()
+    {
         let mut row = vec![label.to_string()];
         for col in &cols {
             row.push(col[ri].clone());
@@ -582,7 +694,13 @@ pub fn table7() -> Vec<Table> {
         let model = SyntheticLlm::generate(&shape, opts.seed);
         let reference = model.reference();
         let tasks = zeroshot::standard_suite(&reference, opts.seed ^ 0x25);
-        let calib = token_batches(CorpusKind::Pile, shape.vocab, opts.calib_samples, 24, opts.seed);
+        let calib = token_batches(
+            CorpusKind::Pile,
+            shape.vocab,
+            opts.calib_samples,
+            24,
+            opts.seed,
+        );
         let captured = reference.capture_site_activations(&calib);
 
         let mut t = Table::new(
@@ -618,20 +736,21 @@ pub fn table7() -> Vec<Table> {
 }
 
 /// Every experiment, in paper order.
+///
+/// Experiments are mutually independent (each generates its own models and
+/// calibrations deterministically), so the scheduler fans the cells across
+/// the shared worker pool and flattens the results back in paper order —
+/// the output is byte-identical at any `TENDER_THREADS` setting. Inside a
+/// pool worker, nested parallel kernels degrade to their serial paths, so
+/// experiment-level parallelism is the outermost (and most profitable)
+/// level.
 pub fn all() -> Vec<Table> {
-    let mut out = Vec::new();
-    out.extend(fig2_3());
-    out.extend(table1());
-    out.extend(table2());
-    out.extend(table3());
-    out.extend(table4());
-    out.extend(fig9());
-    out.extend(table5());
-    out.extend(fig10());
-    out.extend(fig11());
-    out.extend(fig12());
-    out.extend(fig13());
-    out.extend(table6());
-    out.extend(table7());
-    out
+    let cells: [fn() -> Vec<Table>; 13] = [
+        fig2_3, table1, table2, table3, table4, fig9, table5, fig10, fig11, fig12, fig13, table6,
+        table7,
+    ];
+    tender::pool::par_map(cells.len(), |i| cells[i]())
+        .into_iter()
+        .flatten()
+        .collect()
 }

@@ -32,7 +32,9 @@ pub fn options() -> ExperimentOptions {
 
 /// Whether `TENDER_FAST=1` is set.
 pub fn fast_mode() -> bool {
-    std::env::var("TENDER_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("TENDER_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Width divisor / layer count for `ModelShape::scaled_for_eval` under the

@@ -63,7 +63,11 @@ pub fn model_by_name(name: &str) -> Result<ModelShape, CliError> {
         .ok_or_else(|| {
             err(format!(
                 "unknown model '{name}'; valid: {}",
-                model_presets().iter().map(|m| m.name.clone()).collect::<Vec<_>>().join(", ")
+                model_presets()
+                    .iter()
+                    .map(|m| m.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ))
         })
 }
@@ -94,7 +98,9 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
 fn flag_parse<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, CliError> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| err(format!("invalid value for --{key}: '{v}'"))),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("invalid value for --{key}: '{v}'"))),
     }
 }
 
@@ -113,9 +119,21 @@ pub fn cmd_models() -> String {
 /// `tender-cli schemes` — lists the quantization scheme names.
 pub fn cmd_schemes() -> String {
     let names = [
-        "FP32", "FP16", "per-tensor@B", "per-row@B", "per-column@B", "SmoothQuant@B",
-        "LLM.int8", "ANT@B", "OliVe@B", "Tender@B", "Tender-all@B", "MSFP12", "MSFP12-OL",
-        "SMX4", "MXFP4",
+        "FP32",
+        "FP16",
+        "per-tensor@B",
+        "per-row@B",
+        "per-column@B",
+        "SmoothQuant@B",
+        "LLM.int8",
+        "ANT@B",
+        "OliVe@B",
+        "Tender@B",
+        "Tender-all@B",
+        "MSFP12",
+        "MSFP12-OL",
+        "SMX4",
+        "MXFP4",
     ];
     format!(
         "available schemes (B = bit width, e.g. Tender@4):\n  {}\n",
@@ -130,17 +148,29 @@ pub fn cmd_schemes() -> String {
 ///
 /// Returns [`CliError`] on unknown model/scheme or bad flags.
 pub fn cmd_ppl(flags: &Flags) -> Result<String, CliError> {
-    let model_name = flags.get("model").ok_or_else(|| err("--model is required"))?;
-    let scheme_name = flags.get("scheme").ok_or_else(|| err("--scheme is required"))?;
+    let model_name = flags
+        .get("model")
+        .ok_or_else(|| err("--model is required"))?;
+    let scheme_name = flags
+        .get("scheme")
+        .ok_or_else(|| err("--scheme is required"))?;
     let base_shape = model_by_name(model_name)?;
     let fast: bool = flag_parse(flags, "fast", false)?;
-    let shape = if fast { base_shape.scaled_for_eval(32, 2) } else { base_shape.eval_preset() };
-    let mut opts = if fast { ExperimentOptions::fast() } else { ExperimentOptions::standard() };
+    let shape = if fast {
+        base_shape.scaled_for_eval(32, 2)
+    } else {
+        base_shape.eval_preset()
+    };
+    let mut opts = if fast {
+        ExperimentOptions::fast()
+    } else {
+        ExperimentOptions::standard()
+    };
     opts.seq_len = flag_parse(flags, "seq", opts.seq_len)?;
     opts = opts.with_seed(flag_parse(flags, "seed", opts.seed)?);
 
-    let scheme =
-        scheme_by_name(scheme_name).ok_or_else(|| err(format!("unknown scheme '{scheme_name}'")))?;
+    let scheme = scheme_by_name(scheme_name)
+        .ok_or_else(|| err(format!("unknown scheme '{scheme_name}'")))?;
     let exp = Experiment::new(&shape, opts);
     let base_wiki = exp.reference_perplexity(CorpusKind::Wiki);
     let base_ptb = exp.reference_perplexity(CorpusKind::Ptb);
@@ -160,7 +190,9 @@ pub fn cmd_ppl(flags: &Flags) -> Result<String, CliError> {
 ///
 /// Returns [`CliError`] on unknown model or bad flags.
 pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
-    let model_name = flags.get("model").ok_or_else(|| err("--model is required"))?;
+    let model_name = flags
+        .get("model")
+        .ok_or_else(|| err("--model is required"))?;
     let shape = model_by_name(model_name)?;
     let seq: usize = flag_parse(flags, "seq", 2048)?;
     let groups: usize = flag_parse(flags, "groups", 8)?;
@@ -184,7 +216,9 @@ pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
 ///
 /// Returns [`CliError`] on unknown model or bad flags.
 pub fn cmd_decode(flags: &Flags) -> Result<String, CliError> {
-    let model_name = flags.get("model").ok_or_else(|| err("--model is required"))?;
+    let model_name = flags
+        .get("model")
+        .ok_or_else(|| err("--model is required"))?;
     let shape = model_by_name(model_name)?;
     let cache: usize = flag_parse(flags, "cache", 2048)?;
     let batch: usize = flag_parse(flags, "batch", 1)?;
@@ -206,7 +240,12 @@ pub fn cmd_decode(flags: &Flags) -> Result<String, CliError> {
 pub fn usage() -> String {
     "tender-cli — Tender (ISCA 2024) reproduction toolkit\n\
      \n\
-     USAGE: tender-cli <command> [--flag value ...]\n\
+     USAGE: tender-cli [--threads N] <command> [--flag value ...]\n\
+     \n\
+     GLOBAL FLAGS:\n\
+     \x20 --threads N                     size the shared worker pool (default:\n\
+     \x20                                 TENDER_THREADS env or all cores);\n\
+     \x20                                 results are identical at any N\n\
      \n\
      COMMANDS:\n\
      \x20 models                          list synthetic model presets\n\
@@ -220,12 +259,45 @@ pub fn usage() -> String {
         .to_string()
 }
 
+/// Strips a global `--threads N` flag (valid anywhere in `args`) and returns
+/// the remaining arguments plus the requested pool size, if any.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the value is missing, non-numeric, or zero.
+pub fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it
+                .next()
+                .ok_or_else(|| err("flag --threads needs a value"))?;
+            let n: usize = v
+                .parse()
+                .map_err(|_| err(format!("invalid value for --threads: '{v}'")))?;
+            if n == 0 {
+                return Err(err("--threads must be at least 1"));
+            }
+            threads = Some(n);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, threads))
+}
+
 /// Dispatches a full argument vector (without the program name).
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] for unknown commands or bad arguments.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (args, threads) = extract_threads(args)?;
+    if let Some(n) = threads {
+        tender::pool::set_threads(n);
+    }
     let (cmd, rest) = args.split_first().ok_or_else(|| err(usage()))?;
     let flags = parse_flags(rest)?;
     match cmd.as_str() {
@@ -311,5 +383,32 @@ mod tests {
         assert!(run(&args(&["bogus"])).is_err());
         assert!(run(&[]).is_err());
         assert!(run(&args(&["models"])).is_ok());
+    }
+
+    #[test]
+    fn threads_flag_is_extracted_anywhere() {
+        let (rest, n) = extract_threads(&args(&["--threads", "4", "models"])).unwrap();
+        assert_eq!(rest, args(&["models"]));
+        assert_eq!(n, Some(4));
+        let (rest, n) =
+            extract_threads(&args(&["simulate", "--threads", "2", "--seq", "512"])).unwrap();
+        assert_eq!(rest, args(&["simulate", "--seq", "512"]));
+        assert_eq!(n, Some(2));
+        let (rest, n) = extract_threads(&args(&["models"])).unwrap();
+        assert_eq!(rest, args(&["models"]));
+        assert_eq!(n, None);
+    }
+
+    #[test]
+    fn threads_flag_rejects_bad_values() {
+        assert!(extract_threads(&args(&["--threads"])).is_err());
+        assert!(extract_threads(&args(&["--threads", "zero"])).is_err());
+        assert!(extract_threads(&args(&["--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_dispatches() {
+        assert!(run(&args(&["--threads", "1", "models"])).is_ok());
+        assert!(run(&args(&["--threads", "0", "models"])).is_err());
     }
 }

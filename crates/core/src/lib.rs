@@ -45,6 +45,10 @@ pub use tender_quant as quant;
 pub use tender_sim as sim;
 pub use tender_tensor as tensor;
 
+/// The shared worker pool (re-exported so embedders and the CLI can size it
+/// via [`pool::set_threads`] without depending on `tender-tensor` directly).
+pub use tender_tensor::pool;
+
 mod experiment;
 mod registry;
 

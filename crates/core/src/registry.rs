@@ -56,7 +56,9 @@ fn tender_config(bits: u32) -> TenderConfig {
 /// SmoothQuant, ANT, OliVe, Tender.
 pub fn table2_schemes(bits: u32) -> Vec<NamedScheme> {
     vec![
-        NamedScheme::new("SmoothQuant", move || Box::new(SmoothQuantScheme::new(bits))),
+        NamedScheme::new("SmoothQuant", move || {
+            Box::new(SmoothQuantScheme::new(bits))
+        }),
         NamedScheme::new("ANT", move || Box::new(AntScheme::new(bits))),
         NamedScheme::new("OliVe", move || Box::new(OliveScheme::new(bits))),
         NamedScheme::new("Tender", move || {

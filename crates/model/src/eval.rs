@@ -11,7 +11,7 @@
 //! perplexity tables (see `DESIGN.md` §2).
 
 use tender_tensor::rng::DetRng;
-use tender_tensor::{ops, Matrix};
+use tender_tensor::{ops, pool, Matrix};
 
 use crate::calibration::{token_batches, CorpusKind};
 use crate::forward::ReferenceModel;
@@ -40,12 +40,20 @@ impl EvalSet {
         assert!(num_seqs > 0, "need at least one sequence");
         let vocab = reference.weights().shape.vocab;
         let contexts = token_batches(kind, vocab, num_seqs, seq_len, seed);
-        let mut rng = DetRng::new(seed ^ 0x7A26_E7);
+        // Forward passes fan out across the pool; sampling stays serial and
+        // in context order so the RNG stream (and thus every target token)
+        // is identical at any thread count.
+        let prob_mats = pool::par_map(contexts.len(), |i| {
+            ops::softmax_rows(&reference.forward(&contexts[i]))
+        });
+        let mut rng = DetRng::new(seed ^ 0x007A_26E7);
         let targets = contexts
             .iter()
-            .map(|ctx| {
-                let probs = ops::softmax_rows(&reference.forward(ctx));
-                (0..ctx.len()).map(|p| rng.categorical(probs.row(p))).collect()
+            .zip(&prob_mats)
+            .map(|(ctx, probs)| {
+                (0..ctx.len())
+                    .map(|p| rng.categorical(probs.row(p)))
+                    .collect()
             })
             .collect();
         Self { contexts, targets }
@@ -75,20 +83,29 @@ impl EvalSet {
 /// # Panics
 ///
 /// Panics if `forward` returns logits with the wrong shape.
-pub fn perplexity<F: Fn(&[usize]) -> Matrix>(forward: F, eval: &EvalSet) -> f64 {
-    let mut total_nll = 0.0_f64;
-    let mut count = 0_usize;
-    for (ctx, tgt) in eval.contexts.iter().zip(&eval.targets) {
+pub fn perplexity<F: Fn(&[usize]) -> Matrix + Sync>(forward: F, eval: &EvalSet) -> f64 {
+    // One forward pass per context, fanned across the pool. Per-context
+    // subtotals are folded in context order, so the f64 summation order —
+    // and therefore the reported perplexity — is bit-identical at any
+    // thread count.
+    let per_context: Vec<(f64, usize)> = pool::par_map(eval.contexts.len(), |i| {
+        let ctx = &eval.contexts[i];
         let logits = forward(ctx);
         assert_eq!(logits.rows(), ctx.len(), "one logit row per position");
         let logp = ops::log_softmax_rows(&logits);
-        for (p, &t) in tgt.iter().enumerate() {
+        let mut nll = 0.0_f64;
+        let mut count = 0_usize;
+        for (p, &t) in eval.targets[i].iter().enumerate() {
             let lp = logp[(p, t)] as f64;
             // Guard against -inf from schemes that zero entire rows.
-            total_nll -= lp.max(-27.7); // exp(-27.7) ≈ 1e-12
+            nll -= lp.max(-27.7); // exp(-27.7) ≈ 1e-12
             count += 1;
         }
-    }
+        (nll, count)
+    });
+    let (total_nll, count) = per_context
+        .iter()
+        .fold((0.0_f64, 0_usize), |(a, c), &(n, k)| (a + n, c + k));
     (total_nll / count as f64).exp().min(1e12)
 }
 
@@ -129,7 +146,11 @@ mod tests {
     fn exact_scheme_matches_reference_perplexity() {
         let (model, eval) = setup();
         let reference = model.reference();
-        let qm = QuantizedModel::build(model.weights(), Box::new(ExactScheme::new()), eval.contexts());
+        let qm = QuantizedModel::build(
+            model.weights(),
+            Box::new(ExactScheme::new()),
+            eval.contexts(),
+        );
         let p_ref = reference_perplexity(&reference, &eval);
         let p_q = perplexity(|t| qm.forward(t), &eval);
         assert!((p_ref - p_q).abs() / p_ref < 1e-3);
@@ -139,9 +160,16 @@ mod tests {
     fn fp16_close_to_reference() {
         let (model, eval) = setup();
         let p_ref = reference_perplexity(&model.reference(), &eval);
-        let qm = QuantizedModel::build(model.weights(), Box::new(Fp16Scheme::new()), eval.contexts());
+        let qm = QuantizedModel::build(
+            model.weights(),
+            Box::new(Fp16Scheme::new()),
+            eval.contexts(),
+        );
         let p16 = perplexity(|t| qm.forward(t), &eval);
-        assert!((p16 - p_ref).abs() / p_ref < 0.05, "fp16 {p16} vs ref {p_ref}");
+        assert!(
+            (p16 - p_ref).abs() / p_ref < 0.05,
+            "fp16 {p16} vs ref {p_ref}"
+        );
     }
 
     #[test]
@@ -200,9 +228,8 @@ mod tests {
         let (model, eval) = setup();
         let vocab = model.weights().shape.vocab;
         // A "model" that outputs pathological logits.
-        let garbage = |t: &[usize]| {
-            Matrix::from_fn(t.len(), vocab, |_, c| if c == 0 { 1e30 } else { -1e30 })
-        };
+        let garbage =
+            |t: &[usize]| Matrix::from_fn(t.len(), vocab, |_, c| if c == 0 { 1e30 } else { -1e30 });
         let ppl = perplexity(garbage, &eval);
         assert!(ppl.is_finite());
         assert!(ppl > 1e6);

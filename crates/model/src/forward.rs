@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use tender_quant::scheme::{QuantMatmul, Scheme};
-use tender_tensor::{ops, Matrix};
+use tender_tensor::{ops, pool, Matrix};
 
 use crate::shape::{Activation, ModelKind, NormKind};
 use crate::weights::TransformerWeights;
@@ -37,7 +37,15 @@ pub enum Site {
 
 impl Site {
     /// All sites a layer can have (Gate is skipped for ungated FFNs).
-    pub const ALL: [Site; 7] = [Site::Q, Site::K, Site::V, Site::O, Site::Fc1, Site::Gate, Site::Fc2];
+    pub const ALL: [Site; 7] = [
+        Site::Q,
+        Site::K,
+        Site::V,
+        Site::O,
+        Site::Fc1,
+        Site::Gate,
+        Site::Fc2,
+    ];
 }
 
 type SiteKey = (usize, Site);
@@ -202,7 +210,10 @@ impl ReferenceModel {
     pub fn forward(&self, tokens: &[usize]) -> Matrix {
         let hidden = forward_internal(&self.w, tokens, &Exec::Reference, None);
         let scale = LOGIT_SCALE / (self.w.shape.d_model as f32).sqrt();
-        hidden.matmul(&self.emb_t).expect("LM head shape").scale(scale)
+        hidden
+            .matmul(&self.emb_t)
+            .expect("LM head shape")
+            .scale(scale)
     }
 
     /// Final hidden states (after the last norm), `n × d_model`.
@@ -211,12 +222,25 @@ impl ReferenceModel {
     }
 
     /// Captures the activations entering every matmul site.
-    pub fn capture_site_activations(&self, batches: &[Vec<usize>]) -> HashMap<(usize, Site), Vec<Matrix>> {
-        let mut cap = CaptureMap::new();
-        for batch in batches {
-            forward_internal(&self.w, batch, &Exec::Reference, Some(&mut cap));
+    pub fn capture_site_activations(
+        &self,
+        batches: &[Vec<usize>],
+    ) -> HashMap<(usize, Site), Vec<Matrix>> {
+        // One capture pass per batch across the pool; merging in batch
+        // order keeps every site's activation list identical to the serial
+        // traversal.
+        let maps = pool::par_map(batches.len(), |i| {
+            let mut cap = CaptureMap::new();
+            forward_internal(&self.w, &batches[i], &Exec::Reference, Some(&mut cap));
+            cap
+        });
+        let mut merged = CaptureMap::new();
+        for cap in maps {
+            for (key, mats) in cap {
+                merged.entry(key).or_default().extend(mats);
+            }
         }
-        cap
+        merged
     }
 
     /// The activation entering the QKV projections of `layer` — the tensor
@@ -254,7 +278,10 @@ impl QuantizedModel {
         scheme: Box<dyn Scheme>,
         calib_batches: &[Vec<usize>],
     ) -> Self {
-        assert!(!calib_batches.is_empty(), "calibration requires at least one batch");
+        assert!(
+            !calib_batches.is_empty(),
+            "calibration requires at least one batch"
+        );
         let reference = ReferenceModel::new(weights.clone());
         let captured = reference.capture_site_activations(calib_batches);
         Self::build_with_capture(weights, scheme, &captured)
@@ -272,25 +299,29 @@ impl QuantizedModel {
         scheme: Box<dyn Scheme>,
         captured: &HashMap<(usize, Site), Vec<Matrix>>,
     ) -> Self {
-        let mut captured = captured.clone();
-        let mut ops: HashMap<SiteKey, Box<dyn QuantMatmul>> = HashMap::new();
+        let mut sites: Vec<(SiteKey, &Matrix)> = Vec::new();
         for (li, layer) in weights.layers.iter().enumerate() {
-            let mut bind = |site: Site, weight: &Matrix| {
-                let acts = captured
-                    .remove(&(li, site))
-                    .unwrap_or_else(|| panic!("no captured activations for layer {li} {site:?}"));
-                ops.insert((li, site), scheme.prepare(&acts, weight));
-            };
-            bind(Site::Q, &layer.wq);
-            bind(Site::K, &layer.wk);
-            bind(Site::V, &layer.wv);
-            bind(Site::O, &layer.wo);
-            bind(Site::Fc1, &layer.w_fc1);
+            sites.push(((li, Site::Q), &layer.wq));
+            sites.push(((li, Site::K), &layer.wk));
+            sites.push(((li, Site::V), &layer.wv));
+            sites.push(((li, Site::O), &layer.wo));
+            sites.push(((li, Site::Fc1), &layer.w_fc1));
             if let Some(g) = &layer.w_gate {
-                bind(Site::Gate, g);
+                sites.push(((li, Site::Gate), g));
             }
-            bind(Site::Fc2, &layer.w_fc2);
+            sites.push(((li, Site::Fc2), &layer.w_fc2));
         }
+        // Per-site calibration is independent, so `prepare` fans out across
+        // the pool; results come back in site order.
+        let prepared = pool::par_map(sites.len(), |i| {
+            let ((li, site), weight) = sites[i];
+            let acts = captured
+                .get(&(li, site))
+                .unwrap_or_else(|| panic!("no captured activations for layer {li} {site:?}"));
+            scheme.prepare(acts, weight)
+        });
+        let ops: HashMap<SiteKey, Box<dyn QuantMatmul>> =
+            sites.iter().map(|&(key, _)| key).zip(prepared).collect();
         Self {
             w: weights.clone(),
             emb_t: weights.lm_head.transpose(),
@@ -316,7 +347,10 @@ impl QuantizedModel {
         };
         let hidden = forward_internal(&self.w, tokens, &exec, None);
         let scale = LOGIT_SCALE / (self.w.shape.d_model as f32).sqrt();
-        hidden.matmul(&self.emb_t).expect("LM head shape").scale(scale)
+        hidden
+            .matmul(&self.emb_t)
+            .expect("LM head shape")
+            .scale(scale)
     }
 
     /// Final hidden states (after the last norm), `n × d_model`.
@@ -406,7 +440,10 @@ mod tests {
         let t = tokens(16, shape.vocab, 5);
         let lr = reference.forward(&t);
         let lq = qm.forward(&t);
-        assert!(lr.approx_eq(&lq, lr.abs_max() * 1e-5), "exact scheme must match");
+        assert!(
+            lr.approx_eq(&lq, lr.abs_max() * 1e-5),
+            "exact scheme must match"
+        );
     }
 
     #[test]
@@ -438,7 +475,11 @@ mod tests {
         let t = tokens(8, shape.vocab, 9);
         assert!(reference.forward(&t).is_finite());
         // Quantized build covers the Gate site.
-        let qm = QuantizedModel::build(model.weights(), Box::new(ExactScheme::new()), &[t.clone()]);
+        let qm = QuantizedModel::build(
+            model.weights(),
+            Box::new(ExactScheme::new()),
+            std::slice::from_ref(&t),
+        );
         assert!(qm.forward(&t).is_finite());
     }
 
@@ -465,7 +506,10 @@ mod tests {
             for site in [Site::Q, Site::K, Site::V, Site::O, Site::Fc1, Site::Fc2] {
                 assert!(cap.contains_key(&(li, site)), "missing {li} {site:?}");
             }
-            assert!(!cap.contains_key(&(li, Site::Gate)), "ungated FFN has no Gate");
+            assert!(
+                !cap.contains_key(&(li, Site::Gate)),
+                "ungated FFN has no Gate"
+            );
         }
     }
 }

@@ -45,7 +45,10 @@ impl GlueTask {
     /// Panics if `params.num_classes < 2` or `noise` outside `[0, 1]`.
     pub fn generate(name: &str, vocab: usize, params: GlueParams, seed: u64) -> Self {
         assert!(params.num_classes >= 2, "need at least two classes");
-        assert!((0.0..=1.0).contains(&params.noise), "noise must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&params.noise),
+            "noise must be in [0, 1]"
+        );
         let mut rng = DetRng::new(seed ^ 0x61_0e);
         let prototypes: Vec<Vec<usize>> = (0..params.num_classes)
             .map(|_| (0..params.seq_len).map(|_| rng.below(vocab)).collect())
@@ -56,7 +59,13 @@ impl GlueTask {
                     let label = i % params.num_classes;
                     let item = prototypes[label]
                         .iter()
-                        .map(|&t| if rng.uniform() < params.noise { rng.below(vocab) } else { t })
+                        .map(|&t| {
+                            if rng.uniform() < params.noise {
+                                rng.below(vocab)
+                            } else {
+                                t
+                            }
+                        })
                         .collect();
                     (item, label)
                 })
@@ -83,12 +92,49 @@ impl GlueTask {
             items_per_split: 40,
         };
         [
-            ("CoLA", GlueParams { noise: 0.62, ..base }),
-            ("SST-2", GlueParams { noise: 0.45, ..base }),
-            ("MRPC", GlueParams { noise: 0.50, ..base }),
-            ("STS-B", GlueParams { num_classes: 5, noise: 0.45, ..base }),
-            ("QQP", GlueParams { noise: 0.48, ..base }),
-            ("QNLI", GlueParams { noise: 0.46, ..base }),
+            (
+                "CoLA",
+                GlueParams {
+                    noise: 0.62,
+                    ..base
+                },
+            ),
+            (
+                "SST-2",
+                GlueParams {
+                    noise: 0.45,
+                    ..base
+                },
+            ),
+            (
+                "MRPC",
+                GlueParams {
+                    noise: 0.50,
+                    ..base
+                },
+            ),
+            (
+                "STS-B",
+                GlueParams {
+                    num_classes: 5,
+                    noise: 0.45,
+                    ..base
+                },
+            ),
+            (
+                "QQP",
+                GlueParams {
+                    noise: 0.48,
+                    ..base
+                },
+            ),
+            (
+                "QNLI",
+                GlueParams {
+                    noise: 0.46,
+                    ..base
+                },
+            ),
         ]
         .iter()
         .enumerate()
@@ -209,7 +255,10 @@ mod tests {
         let reference = model.reference();
         let centroids = task.reference_centroids(&reference);
         let acc = task.accuracy(|t| reference.forward_hidden(t), &centroids);
-        assert!(acc > 0.6, "reference accuracy {acc} should be well above chance (0.5)");
+        assert!(
+            acc > 0.6,
+            "reference accuracy {acc} should be well above chance (0.5)"
+        );
     }
 
     #[test]
@@ -217,7 +266,12 @@ mod tests {
         let (task, model) = task_and_model();
         let reference = model.reference();
         let centroids = task.reference_centroids(&reference);
-        let calib: Vec<Vec<usize>> = task.test_items().iter().take(2).map(|(t, _)| t.clone()).collect();
+        let calib: Vec<Vec<usize>> = task
+            .test_items()
+            .iter()
+            .take(2)
+            .map(|(t, _)| t.clone())
+            .collect();
         let qm = QuantizedModel::build(model.weights(), Box::new(ExactScheme::new()), &calib);
         let a_ref = task.accuracy(|t| reference.forward_hidden(t), &centroids);
         let a_q = task.accuracy(|t| qm.forward_hidden(t), &centroids);
@@ -229,7 +283,12 @@ mod tests {
         let (task, model) = task_and_model();
         let reference = model.reference();
         let centroids = task.reference_centroids(&reference);
-        let calib: Vec<Vec<usize>> = task.test_items().iter().take(4).map(|(t, _)| t.clone()).collect();
+        let calib: Vec<Vec<usize>> = task
+            .test_items()
+            .iter()
+            .take(4)
+            .map(|(t, _)| t.clone())
+            .collect();
         let qm = QuantizedModel::build(
             model.weights(),
             Box::new(GranularityScheme::new(3, Granularity::PerTensor)),
@@ -237,7 +296,10 @@ mod tests {
         );
         let a_ref = task.accuracy(|t| reference.forward_hidden(t), &centroids);
         let a_q = task.accuracy(|t| qm.forward_hidden(t), &centroids);
-        assert!(a_q <= a_ref, "coarse quantization cannot beat reference here");
+        assert!(
+            a_q <= a_ref,
+            "coarse quantization cannot beat reference here"
+        );
     }
 
     #[test]

@@ -91,6 +91,7 @@ impl ModelShape {
         assert!(self.outlier_channels <= self.d_model);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn decoder(
         name: &str,
         d_model: usize,
@@ -120,47 +121,137 @@ impl ModelShape {
 
     /// OPT-6.7B (full size: 4096/16384, 32 heads, 32 layers).
     pub fn opt_6_7b() -> Self {
-        Self::decoder("OPT-6.7B", 4096, 16384, 32, 32, Activation::Relu, NormKind::LayerNorm, 24, 26.0)
+        Self::decoder(
+            "OPT-6.7B",
+            4096,
+            16384,
+            32,
+            32,
+            Activation::Relu,
+            NormKind::LayerNorm,
+            24,
+            26.0,
+        )
     }
 
     /// OPT-13B.
     pub fn opt_13b() -> Self {
-        Self::decoder("OPT-13B", 5120, 20480, 40, 40, Activation::Relu, NormKind::LayerNorm, 36, 34.0)
+        Self::decoder(
+            "OPT-13B",
+            5120,
+            20480,
+            40,
+            40,
+            Activation::Relu,
+            NormKind::LayerNorm,
+            36,
+            34.0,
+        )
     }
 
     /// OPT-66B.
     pub fn opt_66b() -> Self {
-        Self::decoder("OPT-66B", 9216, 36864, 72, 64, Activation::Relu, NormKind::LayerNorm, 56, 30.0)
+        Self::decoder(
+            "OPT-66B",
+            9216,
+            36864,
+            72,
+            64,
+            Activation::Relu,
+            NormKind::LayerNorm,
+            56,
+            30.0,
+        )
     }
 
     /// Llama-2-7B.
     pub fn llama2_7b() -> Self {
-        Self::decoder("Llama-2-7B", 4096, 11008, 32, 32, Activation::SiluGated, NormKind::RmsNorm, 12, 16.0)
+        Self::decoder(
+            "Llama-2-7B",
+            4096,
+            11008,
+            32,
+            32,
+            Activation::SiluGated,
+            NormKind::RmsNorm,
+            12,
+            16.0,
+        )
     }
 
     /// Llama-2-13B.
     pub fn llama2_13b() -> Self {
-        Self::decoder("Llama-2-13B", 5120, 13824, 40, 40, Activation::SiluGated, NormKind::RmsNorm, 14, 15.0)
+        Self::decoder(
+            "Llama-2-13B",
+            5120,
+            13824,
+            40,
+            40,
+            Activation::SiluGated,
+            NormKind::RmsNorm,
+            14,
+            15.0,
+        )
     }
 
     /// Llama-2-70B.
     pub fn llama2_70b() -> Self {
-        Self::decoder("Llama-2-70B", 8192, 28672, 64, 80, Activation::SiluGated, NormKind::RmsNorm, 20, 14.0)
+        Self::decoder(
+            "Llama-2-70B",
+            8192,
+            28672,
+            64,
+            80,
+            Activation::SiluGated,
+            NormKind::RmsNorm,
+            20,
+            14.0,
+        )
     }
 
     /// LLaMA-7B.
     pub fn llama_7b() -> Self {
-        Self::decoder("LLaMA-7B", 4096, 11008, 32, 32, Activation::SiluGated, NormKind::RmsNorm, 14, 18.0)
+        Self::decoder(
+            "LLaMA-7B",
+            4096,
+            11008,
+            32,
+            32,
+            Activation::SiluGated,
+            NormKind::RmsNorm,
+            14,
+            18.0,
+        )
     }
 
     /// LLaMA-13B.
     pub fn llama_13b() -> Self {
-        Self::decoder("LLaMA-13B", 5120, 13824, 40, 40, Activation::SiluGated, NormKind::RmsNorm, 16, 17.0)
+        Self::decoder(
+            "LLaMA-13B",
+            5120,
+            13824,
+            40,
+            40,
+            Activation::SiluGated,
+            NormKind::RmsNorm,
+            16,
+            17.0,
+        )
     }
 
     /// LLaMA-65B.
     pub fn llama_65b() -> Self {
-        Self::decoder("LLaMA-65B", 8192, 22016, 64, 80, Activation::SiluGated, NormKind::RmsNorm, 18, 16.0)
+        Self::decoder(
+            "LLaMA-65B",
+            8192,
+            22016,
+            64,
+            80,
+            Activation::SiluGated,
+            NormKind::RmsNorm,
+            18,
+            16.0,
+        )
     }
 
     /// BERT-Large (encoder; much milder outliers, per the paper §V-B).
@@ -191,7 +282,7 @@ impl ModelShape {
         assert!(width_div > 0 && layers > 0, "invalid scaling");
         let d_model = (self.d_model / width_div).max(64);
         let mut heads = self.heads;
-        while heads > 1 && (d_model / heads < 16 || d_model % heads != 0) {
+        while heads > 1 && (d_model / heads < 16 || !d_model.is_multiple_of(heads)) {
             heads /= 2;
         }
         Self {
@@ -295,7 +386,11 @@ mod tests {
 
     #[test]
     fn scaled_shapes_remain_valid_and_preserve_structure() {
-        for base in [ModelShape::opt_6_7b(), ModelShape::llama2_70b(), ModelShape::bert_large()] {
+        for base in [
+            ModelShape::opt_6_7b(),
+            ModelShape::llama2_70b(),
+            ModelShape::bert_large(),
+        ] {
             let s = base.eval_preset();
             s.validate();
             assert_eq!(s.activation, base.activation);

@@ -60,14 +60,16 @@ impl SyntheticLlm {
                 // the residual stream sets its sign-consistency/compactness.
                 // Post-norm, a channel's normalized value is capped near
                 // √(d/n_outliers), so γ controls the outlier:normal ratio.
-                g[c] = (shape.outlier_gain * GAMMA_OUT_FACTOR).max(1.5) * (1.0 + rng.normal(0.0, 0.15).abs());
+                g[c] = (shape.outlier_gain * GAMMA_OUT_FACTOR).max(1.5)
+                    * (1.0 + rng.normal(0.0, 0.15).abs());
             }
             g
         };
         // Real LayerNorm biases are substantial (O(0.5)), making per-channel
         // activation ranges asymmetric — the range Tender's channel bias
         // reclaims and symmetric formats waste.
-        let beta = |rng: &mut DetRng| -> Vec<f32> { (0..d).map(|_| rng.normal(0.0, 0.5)).collect() };
+        let beta =
+            |rng: &mut DetRng| -> Vec<f32> { (0..d).map(|_| rng.normal(0.0, 0.5)).collect() };
 
         let layers = (0..shape.layers)
             .map(|_| {
@@ -192,9 +194,8 @@ impl SyntheticLlm {
                     .collect();
                 for r in 0..shape.vocab {
                     for (oi, &c) in outlier_channels.iter().enumerate() {
-                        e[(r, c)] = shape.outlier_gain
-                            * signs[oi]
-                            * (1.0 + 0.05 * rng.normal(0.0, 1.0));
+                        e[(r, c)] =
+                            shape.outlier_gain * signs[oi] * (1.0 + 0.05 * rng.normal(0.0, 1.0));
                     }
                 }
                 e
@@ -332,7 +333,10 @@ mod tests {
         // stripes of Fig. 3 are solidly red or blue).
         let pos = acts.col(ch).iter().filter(|&&x| x > 0.0).count();
         let majority = pos.max(48 - pos);
-        assert!(majority >= 36, "sign should be ~consistent, got {pos}/48 positive");
+        assert!(
+            majority >= 36,
+            "sign should be ~consistent, got {pos}/48 positive"
+        );
     }
 
     #[test]
@@ -377,8 +381,12 @@ mod tests {
     #[test]
     fn gated_ffn_only_for_silu() {
         let mut shape = ModelShape::tiny_test();
-        assert!(SyntheticLlm::generate(&shape, 1).weights().layers[0].w_gate.is_none());
+        assert!(SyntheticLlm::generate(&shape, 1).weights().layers[0]
+            .w_gate
+            .is_none());
         shape.activation = Activation::SiluGated;
-        assert!(SyntheticLlm::generate(&shape, 1).weights().layers[0].w_gate.is_some());
+        assert!(SyntheticLlm::generate(&shape, 1).weights().layers[0]
+            .w_gate
+            .is_some());
     }
 }

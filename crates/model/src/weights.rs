@@ -84,8 +84,10 @@ impl TransformerWeights {
 
     /// Total parameter count.
     pub fn num_params(&self) -> usize {
-        let mut n =
-            self.tok_emb.len() + self.lm_head.len() + self.pos_emb.len() + self.final_gamma.len() * 2;
+        let mut n = self.tok_emb.len()
+            + self.lm_head.len()
+            + self.pos_emb.len()
+            + self.final_gamma.len() * 2;
         for l in &self.layers {
             n += l.ln1_gamma.len() * 2 + l.ln2_gamma.len() * 2;
             n += l.wq.len() + l.wk.len() + l.wv.len() + l.wo.len();

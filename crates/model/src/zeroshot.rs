@@ -63,8 +63,14 @@ impl ZeroshotTask {
     ) -> Self {
         assert!(params.num_choices >= 2, "need at least two choices");
         let vocab = reference.weights().shape.vocab;
-        let mut rng = DetRng::new(seed ^ 0x2e05_07);
-        let contexts = token_batches(CorpusKind::Wiki, vocab, params.num_items, params.ctx_len, seed);
+        let mut rng = DetRng::new(seed ^ 0x002e_0507);
+        let contexts = token_batches(
+            CorpusKind::Wiki,
+            vocab,
+            params.num_items,
+            params.ctx_len,
+            seed,
+        );
         let items = contexts
             .into_iter()
             .map(|context| {
@@ -154,16 +160,79 @@ pub fn standard_suite(reference: &ReferenceModel, seed: u64) -> Vec<ZeroshotTask
         label_noise: 0.3,
     };
     [
-        ("Hellaswag", ZeroshotParams { label_noise: 0.35, ..base }),
-        ("WIC", ZeroshotParams { num_choices: 2, label_noise: 0.95, ..base }),
-        ("Anli-r2", ZeroshotParams { num_choices: 3, label_noise: 0.9, ..base }),
-        ("Winogrande", ZeroshotParams { num_choices: 2, label_noise: 0.6, ..base }),
-        ("ARC easy", ZeroshotParams { label_noise: 0.45, ..base }),
-        ("ARC challenge", ZeroshotParams { label_noise: 0.85, ..base }),
-        ("Lambada", ZeroshotParams { label_noise: 0.35, ..base }),
-        ("College CS", ZeroshotParams { label_noise: 0.85, ..base }),
-        ("Int. law", ZeroshotParams { label_noise: 0.8, ..base }),
-        ("Jurisprudence", ZeroshotParams { label_noise: 0.95, ..base }),
+        (
+            "Hellaswag",
+            ZeroshotParams {
+                label_noise: 0.35,
+                ..base
+            },
+        ),
+        (
+            "WIC",
+            ZeroshotParams {
+                num_choices: 2,
+                label_noise: 0.95,
+                ..base
+            },
+        ),
+        (
+            "Anli-r2",
+            ZeroshotParams {
+                num_choices: 3,
+                label_noise: 0.9,
+                ..base
+            },
+        ),
+        (
+            "Winogrande",
+            ZeroshotParams {
+                num_choices: 2,
+                label_noise: 0.6,
+                ..base
+            },
+        ),
+        (
+            "ARC easy",
+            ZeroshotParams {
+                label_noise: 0.45,
+                ..base
+            },
+        ),
+        (
+            "ARC challenge",
+            ZeroshotParams {
+                label_noise: 0.85,
+                ..base
+            },
+        ),
+        (
+            "Lambada",
+            ZeroshotParams {
+                label_noise: 0.35,
+                ..base
+            },
+        ),
+        (
+            "College CS",
+            ZeroshotParams {
+                label_noise: 0.85,
+                ..base
+            },
+        ),
+        (
+            "Int. law",
+            ZeroshotParams {
+                label_noise: 0.8,
+                ..base
+            },
+        ),
+        (
+            "Jurisprudence",
+            ZeroshotParams {
+                label_noise: 0.95,
+                ..base
+            },
+        ),
     ]
     .iter()
     .enumerate()

@@ -1,9 +1,9 @@
 //! Property-based tests of the Transformer substrate.
 
 use proptest::prelude::*;
+use tender_model::QuantizedModel;
 use tender_model::{ModelKind, ModelShape, SyntheticLlm};
 use tender_quant::scheme::ExactScheme;
-use tender_model::QuantizedModel;
 
 fn tiny(seed: u64) -> SyntheticLlm {
     SyntheticLlm::generate(&ModelShape::tiny_test(), seed)

@@ -95,7 +95,8 @@ struct AntMatmul {
 impl QuantMatmul for AntMatmul {
     fn forward(&self, x: &Matrix) -> Matrix {
         let xq = x.map(|v| grid_quantize_value(v, self.act_scale, &self.act_grid));
-        xq.matmul(&self.wq).expect("activation/weight shape mismatch")
+        xq.matmul(&self.wq)
+            .expect("activation/weight shape mismatch")
     }
 
     fn weight_bits(&self) -> f32 {
@@ -114,7 +115,11 @@ impl Scheme for AntScheme {
 
     fn prepare(&self, calib_acts: &[Matrix], w: &Matrix) -> Box<dyn QuantMatmul> {
         let stacked = stack_samples(calib_acts);
-        assert_eq!(stacked.cols(), w.rows(), "activation channels must match weight rows");
+        assert_eq!(
+            stacked.cols(),
+            w.rows(),
+            "activation channels must match weight rows"
+        );
         let (wq, _) = Self::adapt_quantize(w, self.bits);
         // Select the activation grid on calibration data; keep the scale static.
         let act_scale = stacked.abs_max();
@@ -188,7 +193,7 @@ mod tests {
         let x = rng.normal_matrix(32, 16, 0.0, 1.0);
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
         let exact = x.matmul(&w).unwrap();
-        let op = AntScheme::new(8).prepare(&[x.clone()], &w);
+        let op = AntScheme::new(8).prepare(std::slice::from_ref(&x), &w);
         assert!(sqnr_db(&exact, &op.forward(&x)) > 20.0);
     }
 
@@ -204,13 +209,16 @@ mod tests {
         }
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
 
-        let op_clean = AntScheme::new(4).prepare(&[clean.clone()], &w);
-        let op_dirty = AntScheme::new(4).prepare(&[dirty.clone()], &w);
+        let op_clean = AntScheme::new(4).prepare(std::slice::from_ref(&clean), &w);
+        let op_dirty = AntScheme::new(4).prepare(std::slice::from_ref(&dirty), &w);
         // Compare error on the normal channels' contribution by zeroing the
         // outlier channel in both runs' references.
         let e_clean = mse(&clean.matmul(&w).unwrap(), &op_clean.forward(&clean));
         let e_dirty = mse(&dirty.matmul(&w).unwrap(), &op_dirty.forward(&dirty));
-        assert!(e_dirty > e_clean * 10.0, "dirty {e_dirty} vs clean {e_clean}");
+        assert!(
+            e_dirty > e_clean * 10.0,
+            "dirty {e_dirty} vs clean {e_clean}"
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ impl Scheme for MixedPrecisionScheme {
 
     fn prepare(&self, calib_acts: &[Matrix], w: &Matrix) -> Box<dyn QuantMatmul> {
         let stacked = stack_samples(calib_acts);
-        assert_eq!(stacked.cols(), w.rows(), "activation channels must match weight rows");
+        assert_eq!(
+            stacked.cols(),
+            w.rows(),
+            "activation channels must match weight rows"
+        );
         let cmax = stats::col_abs_max(&stacked);
         let (outlier_cols, normal_cols): (Vec<usize>, Vec<usize>) =
             (0..cmax.len()).partition(|&c| cmax[c] > self.threshold);
@@ -132,7 +136,7 @@ mod tests {
         let x = outlier_activation(&mut rng, 32, 16);
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
         let exact = x.matmul(&w).unwrap();
-        let op = MixedPrecisionScheme::new(8).prepare(&[x.clone()], &w);
+        let op = MixedPrecisionScheme::new(8).prepare(std::slice::from_ref(&x), &w);
         assert!(sqnr_db(&exact, &op.forward(&x)) > 25.0);
     }
 
@@ -141,7 +145,7 @@ mod tests {
         let mut rng = DetRng::new(61);
         let x = outlier_activation(&mut rng, 32, 16);
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
-        let op = MixedPrecisionScheme::new(8).prepare(&[x.clone()], &w);
+        let op = MixedPrecisionScheme::new(8).prepare(std::slice::from_ref(&x), &w);
         // Average weight bits must exceed 8 because channel 4 stays FP16.
         assert!(op.weight_bits() > 8.0);
         assert!(op.weight_bits() < 16.0);
@@ -152,7 +156,7 @@ mod tests {
         let mut rng = DetRng::new(62);
         let x = rng.normal_matrix(16, 8, 0.0, 0.5);
         let w = rng.normal_matrix(8, 4, 0.0, 0.2);
-        let op = MixedPrecisionScheme::new(8).prepare(&[x.clone()], &w);
+        let op = MixedPrecisionScheme::new(8).prepare(std::slice::from_ref(&x), &w);
         assert_eq!(op.weight_bits(), 8.0);
     }
 
@@ -161,7 +165,7 @@ mod tests {
         let x = Matrix::filled(4, 4, 100.0);
         let mut rng = DetRng::new(63);
         let w = rng.normal_matrix(4, 4, 0.0, 0.2);
-        let op = MixedPrecisionScheme::new(8).prepare(&[x.clone()], &w);
+        let op = MixedPrecisionScheme::new(8).prepare(std::slice::from_ref(&x), &w);
         assert_eq!(op.weight_bits(), 16.0);
         let exact = x.matmul(&w).unwrap();
         assert!(sqnr_db(&exact, &op.forward(&x)) > 40.0);
@@ -172,7 +176,7 @@ mod tests {
         let mut rng = DetRng::new(64);
         let x = outlier_activation(&mut rng, 10, 12);
         let w = rng.normal_matrix(12, 5, 0.0, 0.2);
-        let op = MixedPrecisionScheme::new(8).prepare(&[x.clone()], &w);
+        let op = MixedPrecisionScheme::new(8).prepare(std::slice::from_ref(&x), &w);
         assert_eq!(op.forward(&x).shape(), (10, 5));
     }
 }

@@ -30,7 +30,9 @@ mod smoothquant;
 
 pub use ant::{flint_grid, int_grid, AntScheme};
 pub use llm_int8::MixedPrecisionScheme;
-pub use msfp::{bfp_quantize_block, bfp_quantize_colwise, bfp_quantize_rowwise, MsfpScheme, MsfpVariant};
+pub use msfp::{
+    bfp_quantize_block, bfp_quantize_colwise, bfp_quantize_rowwise, MsfpScheme, MsfpVariant,
+};
 pub use mx::{fp4_grid, mxfp4_quantize_block, smx4_quantize_block, MxFormat, MxScheme};
 pub use olive::OliveScheme;
 pub use rptq::{kmeans_min_max, RptqScheme};

@@ -231,11 +231,11 @@ mod tests {
         let w = rng.normal_matrix(64, 16, 0.0, 0.2);
         let exact = x.matmul(&w).unwrap();
         let e_smx = {
-            let op = MxScheme::new(MxFormat::Smx4).prepare(&[x.clone()], &w);
+            let op = MxScheme::new(MxFormat::Smx4).prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         let e_mx = {
-            let op = MxScheme::new(MxFormat::Mxfp4).prepare(&[x.clone()], &w);
+            let op = MxScheme::new(MxFormat::Mxfp4).prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         assert!(e_smx > e_mx, "SMX4 {e_smx} must be worse than MXFP4 {e_mx}");
@@ -253,7 +253,7 @@ mod tests {
         let x = rng.normal_matrix(8, 40, 0.0, 1.0); // not a multiple of 16/32
         let w = rng.normal_matrix(40, 4, 0.0, 0.2);
         for fmt in [MxFormat::Smx4, MxFormat::Mxfp4] {
-            let op = MxScheme::new(fmt).prepare(&[x.clone()], &w);
+            let op = MxScheme::new(fmt).prepare(std::slice::from_ref(&x), &w);
             let y = op.forward(&x);
             assert_eq!(y.shape(), (8, 4));
             assert!(y.is_finite());

@@ -142,7 +142,8 @@ struct OliveMatmul {
 impl QuantMatmul for OliveMatmul {
     fn forward(&self, x: &Matrix) -> Matrix {
         let xq = OliveScheme::fake_quantize_ovp(x, self.act_scale, self.bits);
-        xq.matmul(&self.wq).expect("activation/weight shape mismatch")
+        xq.matmul(&self.wq)
+            .expect("activation/weight shape mismatch")
     }
 
     fn weight_bits(&self) -> f32 {
@@ -161,7 +162,11 @@ impl Scheme for OliveScheme {
 
     fn prepare(&self, calib_acts: &[Matrix], w: &Matrix) -> Box<dyn QuantMatmul> {
         let stacked = stack_samples(calib_acts);
-        assert_eq!(stacked.cols(), w.rows(), "activation channels must match weight rows");
+        assert_eq!(
+            stacked.cols(),
+            w.rows(),
+            "activation channels must match weight rows"
+        );
         let act_scale = Self::normal_scale(&stacked, self.bits);
         let w_scale = Self::normal_scale(w, self.bits);
         let wq = Self::fake_quantize_ovp(w, w_scale, self.bits);
@@ -235,7 +240,7 @@ mod tests {
         let x = outlier_activation(&mut rng, 32, 16);
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
         let exact = x.matmul(&w).unwrap();
-        let op = OliveScheme::new(8).prepare(&[x.clone()], &w);
+        let op = OliveScheme::new(8).prepare(std::slice::from_ref(&x), &w);
         assert!(sqnr_db(&exact, &op.forward(&x)) > 20.0);
     }
 
@@ -246,11 +251,11 @@ mod tests {
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
         let exact = x.matmul(&w).unwrap();
         let e8 = {
-            let op = OliveScheme::new(8).prepare(&[x.clone()], &w);
+            let op = OliveScheme::new(8).prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         let e4 = {
-            let op = OliveScheme::new(4).prepare(&[x.clone()], &w);
+            let op = OliveScheme::new(4).prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         assert!(e4 > e8 * 10.0, "INT4 {e4} vs INT8 {e8}");

@@ -117,7 +117,8 @@ impl QuantMatmul for RptqMatmul {
             let q = ((x[(r, c)] - zp) / s).round().clamp(-(k + 1.0), k);
             q * s + zp
         });
-        xq.matmul(&self.wq).expect("activation/weight shape mismatch")
+        xq.matmul(&self.wq)
+            .expect("activation/weight shape mismatch")
     }
 
     fn weight_bits(&self) -> f32 {
@@ -136,7 +137,11 @@ impl Scheme for RptqScheme {
 
     fn prepare(&self, calib_acts: &[Matrix], w: &Matrix) -> Box<dyn QuantMatmul> {
         let stacked = stack_samples(calib_acts);
-        assert_eq!(stacked.cols(), w.rows(), "activation channels must match weight rows");
+        assert_eq!(
+            stacked.cols(),
+            w.rows(),
+            "activation channels must match weight rows"
+        );
         let min_max = stats::col_min_max(&stacked);
         let assign = kmeans_min_max(&min_max, self.clusters, 20);
         let k = qmax(self.bits) as f32;
@@ -216,7 +221,7 @@ mod tests {
         let x = outlier_activation(&mut rng, 32, 16);
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
         let exact = x.matmul(&w).unwrap();
-        let op = RptqScheme::new(8, 4).prepare(&[x.clone()], &w);
+        let op = RptqScheme::new(8, 4).prepare(std::slice::from_ref(&x), &w);
         assert!(sqnr_db(&exact, &op.forward(&x)) > 25.0);
     }
 
@@ -227,11 +232,11 @@ mod tests {
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
         let exact = x.matmul(&w).unwrap();
         let e1 = {
-            let op = RptqScheme::new(4, 1).prepare(&[x.clone()], &w);
+            let op = RptqScheme::new(4, 1).prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         let e4 = {
-            let op = RptqScheme::new(4, 4).prepare(&[x.clone()], &w);
+            let op = RptqScheme::new(4, 4).prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         assert!(e4 < e1, "4 clusters {e4} !< 1 cluster {e1}");
@@ -241,7 +246,7 @@ mod tests {
     fn asymmetric_params_center_sign_consistent_channels() {
         // A channel living in [10, 30] must get zp ≈ 20, like Tender's bias.
         let x = Matrix::from_rows(&[vec![10.0, -1.0], vec![30.0, 1.0]]).unwrap();
-        let op = RptqScheme::new(8, 2).prepare(&[x.clone()], &Matrix::identity(2));
+        let op = RptqScheme::new(8, 2).prepare(std::slice::from_ref(&x), &Matrix::identity(2));
         let y = op.forward(&x);
         // Reconstruction error for the big channel well below its range.
         assert!((y[(0, 0)] - 10.0).abs() < 0.2);

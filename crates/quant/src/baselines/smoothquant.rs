@@ -72,7 +72,8 @@ impl QuantMatmul for SmoothQuantMatmul {
     fn forward(&self, x: &Matrix) -> Matrix {
         let smoothed = x.scale_cols(&self.inv_factors);
         let xq = fake_quantize_per_row(&smoothed, self.bits);
-        xq.matmul(&self.wq).expect("activation/weight shape mismatch")
+        xq.matmul(&self.wq)
+            .expect("activation/weight shape mismatch")
     }
 
     fn weight_bits(&self) -> f32 {
@@ -91,7 +92,11 @@ impl Scheme for SmoothQuantScheme {
 
     fn prepare(&self, calib_acts: &[Matrix], w: &Matrix) -> Box<dyn QuantMatmul> {
         let stacked = stack_samples(calib_acts);
-        assert_eq!(stacked.cols(), w.rows(), "activation channels must match weight rows");
+        assert_eq!(
+            stacked.cols(),
+            w.rows(),
+            "activation channels must match weight rows"
+        );
         let act_max = stats::col_abs_max(&stacked);
         // Per-channel weight maxima along the *input* dimension = row maxima.
         let w_row_max = stats::row_abs_max(w);
@@ -146,7 +151,7 @@ mod tests {
         let x = outlier_activation(&mut rng, 32, 16);
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
         let exact = x.matmul(&w).unwrap();
-        let op = SmoothQuantScheme::new(8).prepare(&[x.clone()], &w);
+        let op = SmoothQuantScheme::new(8).prepare(std::slice::from_ref(&x), &w);
         assert!(sqnr_db(&exact, &op.forward(&x)) > 20.0);
     }
 
@@ -160,11 +165,11 @@ mod tests {
         let w = rng.normal_matrix(16, 8, 0.0, 0.2);
         let exact = x.matmul(&w).unwrap();
         let e8 = {
-            let op = SmoothQuantScheme::new(8).prepare(&[x.clone()], &w);
+            let op = SmoothQuantScheme::new(8).prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         let e4 = {
-            let op = SmoothQuantScheme::new(4).prepare(&[x.clone()], &w);
+            let op = SmoothQuantScheme::new(4).prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         assert!(e4 > e8 * 100.0, "INT4 {e4} vs INT8 {e8}");
@@ -189,7 +194,10 @@ mod tests {
             let min = v.iter().fold(f32::INFINITY, |a, &b| a.min(b.max(1e-6)));
             max / min
         };
-        assert!(spread(&after) < spread(&before), "smoothing must reduce channel spread");
+        assert!(
+            spread(&after) < spread(&before),
+            "smoothing must reduce channel spread"
+        );
     }
 
     #[test]

@@ -118,7 +118,8 @@ impl QuantMatmul for GranularityMatmul {
             Granularity::PerRow => fake_quantize_per_row(x, self.bits),
             Granularity::PerCol => fake_quantize_per_col(x, &self.col_scales, self.bits),
         };
-        xq.matmul(&self.wq).expect("activation/weight shape mismatch")
+        xq.matmul(&self.wq)
+            .expect("activation/weight shape mismatch")
     }
 
     fn weight_bits(&self) -> f32 {
@@ -192,17 +193,36 @@ mod tests {
         let x_normal = x.gather_cols(&normal_cols);
 
         let mut errs = vec![];
-        for g in [Granularity::PerTensor, Granularity::PerRow, Granularity::PerCol] {
+        for g in [
+            Granularity::PerTensor,
+            Granularity::PerRow,
+            Granularity::PerCol,
+        ] {
             let op = GranularityScheme::new(4, g).prepare(&calib, &w);
             let xq_normal = op.forward(&x).gather_cols(&normal_cols);
             errs.push(mse(&x_normal, &xq_normal));
         }
         // Per-column error on normal channels is orders of magnitude lower.
-        assert!(errs[2] * 50.0 < errs[1], "per-col {} !≪ per-row {}", errs[2], errs[1]);
-        assert!(errs[2] * 50.0 < errs[0], "per-col {} !≪ per-tensor {}", errs[2], errs[0]);
+        assert!(
+            errs[2] * 50.0 < errs[1],
+            "per-col {} !≪ per-row {}",
+            errs[2],
+            errs[1]
+        );
+        assert!(
+            errs[2] * 50.0 < errs[0],
+            "per-col {} !≪ per-tensor {}",
+            errs[2],
+            errs[0]
+        );
         // Per-row (scale from the row's outlier) ≤ per-tensor (scale from
         // the global maximum).
-        assert!(errs[1] <= errs[0] * 1.05, "per-row {} > per-tensor {}", errs[1], errs[0]);
+        assert!(
+            errs[1] <= errs[0] * 1.05,
+            "per-row {} > per-tensor {}",
+            errs[1],
+            errs[0]
+        );
     }
 
     #[test]
@@ -211,7 +231,8 @@ mod tests {
         let x = outlier_activation(&mut rng, 32, 32);
         let w = rng.normal_matrix(32, 8, 0.0, 0.1);
         let exact = x.matmul(&w).unwrap();
-        let op = GranularityScheme::new(8, Granularity::PerCol).prepare(&[x.clone()], &w);
+        let op =
+            GranularityScheme::new(8, Granularity::PerCol).prepare(std::slice::from_ref(&x), &w);
         assert!(sqnr_db(&exact, &op.forward(&x)) > 35.0);
     }
 
@@ -222,11 +243,13 @@ mod tests {
         let w = rng.normal_matrix(32, 8, 0.0, 0.1);
         let exact = x.matmul(&w).unwrap();
         let e_tensor = {
-            let op = GranularityScheme::new(8, Granularity::PerTensor).prepare(&[x.clone()], &w);
+            let op = GranularityScheme::new(8, Granularity::PerTensor)
+                .prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         let e_col = {
-            let op = GranularityScheme::new(8, Granularity::PerCol).prepare(&[x.clone()], &w);
+            let op = GranularityScheme::new(8, Granularity::PerCol)
+                .prepare(std::slice::from_ref(&x), &w);
             mse(&exact, &op.forward(&x))
         };
         // Within ~4x of each other when the distribution is homogeneous.

@@ -58,7 +58,9 @@ pub fn dequantize(q: i32, scale: f32) -> f32 {
 
 /// Quantizes a whole matrix with a single scale factor.
 pub fn quantize_matrix(m: &Matrix, scale: f32, bits: u32) -> IMatrix {
-    IMatrix::from_fn(m.rows(), m.cols(), |r, c| quantize_value(m[(r, c)], scale, bits))
+    IMatrix::from_fn(m.rows(), m.cols(), |r, c| {
+        quantize_value(m[(r, c)], scale, bits)
+    })
 }
 
 /// Fake-quantization: quantize and immediately dequantize, returning the
@@ -152,7 +154,11 @@ impl QuantizedTensor {
     ///
     /// Panics if `scales.len() != values.rows()`.
     pub fn dequantize_per_row(&self) -> Matrix {
-        assert_eq!(self.scales.len(), self.values.rows(), "expected per-row scales");
+        assert_eq!(
+            self.scales.len(),
+            self.values.rows(),
+            "expected per-row scales"
+        );
         Matrix::from_fn(self.values.rows(), self.values.cols(), |r, c| {
             self.values[(r, c)] as f32 * self.scales[r]
         })
@@ -164,7 +170,11 @@ impl QuantizedTensor {
     ///
     /// Panics if `scales.len() != values.cols()`.
     pub fn dequantize_per_col(&self) -> Matrix {
-        assert_eq!(self.scales.len(), self.values.cols(), "expected per-column scales");
+        assert_eq!(
+            self.scales.len(),
+            self.values.cols(),
+            "expected per-column scales"
+        );
         Matrix::from_fn(self.values.rows(), self.values.cols(), |r, c| {
             self.values[(r, c)] as f32 * self.scales[c]
         })
@@ -286,6 +296,8 @@ mod tests {
             scales: scales.clone(),
             bits,
         };
-        assert!(qt.dequantize_per_row().approx_eq(&m, scales[1] / 2.0 + 1e-6));
+        assert!(qt
+            .dequantize_per_row()
+            .approx_eq(&m, scales[1] / 2.0 + 1e-6));
     }
 }

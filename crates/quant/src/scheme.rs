@@ -80,10 +80,15 @@ pub trait Scheme: Send + Sync + fmt::Debug {
 ///
 /// Panics if `samples` is empty or the column counts differ.
 pub fn stack_samples(samples: &[Matrix]) -> Matrix {
-    assert!(!samples.is_empty(), "calibration requires at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "calibration requires at least one sample"
+    );
     let mut acc = samples[0].clone();
     for s in &samples[1..] {
-        acc = acc.vstack(s).expect("calibration samples must share column count");
+        acc = acc
+            .vstack(s)
+            .expect("calibration samples must share column count");
     }
     acc
 }
@@ -129,9 +134,7 @@ impl Scheme for Fp16Scheme {
     }
 
     fn prepare(&self, _calib_acts: &[Matrix], w: &Matrix) -> Box<dyn QuantMatmul> {
-        Box::new(Fp16Matmul {
-            w: round_to_f16(w),
-        })
+        Box::new(Fp16Matmul { w: round_to_f16(w) })
     }
 }
 

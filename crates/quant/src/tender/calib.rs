@@ -36,7 +36,10 @@ impl ChunkCalibration {
     /// Panics if `x` has no columns or the config is invalid.
     pub fn from_activation(x: &Matrix, config: &TenderConfig) -> Self {
         config.validate();
-        assert!(x.cols() > 0, "cannot calibrate an activation with no channels");
+        assert!(
+            x.cols() > 0,
+            "cannot calibrate an activation with no channels"
+        );
         let min_max = stats::col_min_max(x);
         let bias: Vec<f32> = if config.subtract_bias {
             min_max.iter().map(|&(lo, hi)| (lo + hi) / 2.0).collect()
@@ -101,11 +104,18 @@ impl TenderCalibration {
     ///
     /// Panics if `samples` is empty or sample shapes are inconsistent.
     pub fn from_samples(samples: &[Matrix], config: &TenderConfig) -> Self {
-        assert!(!samples.is_empty(), "calibration requires at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "calibration requires at least one sample"
+        );
         let rows = samples[0].rows();
         let cols = samples[0].cols();
         for s in samples {
-            assert_eq!(s.cols(), cols, "calibration samples must share channel count");
+            assert_eq!(
+                s.cols(),
+                cols,
+                "calibration samples must share channel count"
+            );
         }
         let chunk_rows = config.chunk_rows(rows);
         let n_chunks = rows.div_ceil(chunk_rows).max(1);

@@ -84,7 +84,11 @@ impl TenderConfig {
     /// Panics if `bits` is outside `2..=16`, `num_groups == 0`, or
     /// `alpha < 2`.
     pub fn validate(&self) {
-        assert!((2..=16).contains(&self.bits), "unsupported bit width {}", self.bits);
+        assert!(
+            (2..=16).contains(&self.bits),
+            "unsupported bit width {}",
+            self.bits
+        );
         assert!(self.num_groups >= 1, "need at least one group");
         assert!(self.alpha >= 2, "alpha must be an integer ≥ 2");
     }
@@ -123,7 +127,10 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let c = TenderConfig::int8().with_groups(16).with_row_chunk(0).with_act_act(true);
+        let c = TenderConfig::int8()
+            .with_groups(16)
+            .with_row_chunk(0)
+            .with_act_act(true);
         assert_eq!(c.num_groups, 16);
         assert_eq!(c.row_chunk, 0);
         assert!(c.quant_act_act);

@@ -92,7 +92,11 @@ pub fn classify_channels(
 /// Panics if `bits` is outside `2..=31`.
 pub fn group_scales(tmax: f32, num_groups: usize, alpha: u32, bits: u32) -> Vec<f32> {
     let k = qmax(bits) as f32;
-    let tmax = if tmax > 0.0 && tmax.is_finite() { tmax } else { k * f32::MIN_POSITIVE };
+    let tmax = if tmax > 0.0 && tmax.is_finite() {
+        tmax
+    } else {
+        k * f32::MIN_POSITIVE
+    };
     let mut scales = Vec::with_capacity(num_groups);
     let mut numer = tmax;
     for _ in 0..num_groups {
@@ -191,12 +195,12 @@ mod tests {
         let groups = 4;
         let scales = group_scales(tmax, groups, 2, bits);
         // Channel barely above each group's lower threshold:
-        for g in 0..groups - 1 {
+        for (g, &scale) in scales.iter().enumerate().take(groups - 1) {
             let lower = tmax / 2.0_f32.powi(g as i32 + 1);
             let cmax = lower * 1.0001;
             let assigned = classify_channels(&[cmax], tmax, groups, 2).unwrap()[0];
             assert_eq!(assigned, g);
-            let q = (cmax / scales[g]).round() as i32;
+            let q = (cmax / scale).round() as i32;
             assert!(q >= (qmax(bits) + 1) / 2 - 1, "group {g}: q = {q}");
         }
     }

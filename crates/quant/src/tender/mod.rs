@@ -25,14 +25,14 @@ mod serialize;
 
 pub use calib::{ChunkCalibration, TenderCalibration};
 pub use config::TenderConfig;
-pub use serialize::{decode_calibration, encode_calibration, DecodeError};
 pub use decompose::{classify_channels, group_scales, DecompositionError};
+#[doc(hidden)]
+pub use matmul::{accumulate_chunk_explicit_shifted, accumulate_chunk_implicit};
 pub use matmul::{
     explicit_requant_matmul, implicit_requant_matmul, quantized_group_operands,
     tender_dynamic_matmul, MatmulStats, QuantizedWeight,
 };
-#[doc(hidden)]
-pub use matmul::{accumulate_chunk_explicit_shifted, accumulate_chunk_implicit};
+pub use serialize::{decode_calibration, encode_calibration, DecodeError};
 
 use tender_tensor::Matrix;
 
@@ -50,7 +50,7 @@ use crate::scheme::{QuantMatmul, Scheme};
 /// let mut rng = DetRng::new(0);
 /// let x = rng.normal_matrix(8, 16, 0.0, 1.0);
 /// let w = rng.normal_matrix(16, 4, 0.0, 0.1);
-/// let op = TenderScheme::new(TenderConfig::int8()).prepare(&[x.clone()], &w);
+/// let op = TenderScheme::new(TenderConfig::int8()).prepare(std::slice::from_ref(&x), &w);
 /// let y = op.forward(&x);
 /// assert_eq!(y.shape(), (8, 4));
 /// ```
@@ -157,7 +157,7 @@ mod tests {
         let x = outlier_activation(&mut rng, 64, 32);
         let w = rng.normal_matrix(32, 16, 0.0, 0.1);
         let exact = x.matmul(&w).unwrap();
-        let op = TenderScheme::new(TenderConfig::int8()).prepare(&[x.clone()], &w);
+        let op = TenderScheme::new(TenderConfig::int8()).prepare(std::slice::from_ref(&x), &w);
         let sqnr = sqnr_db(&exact, &op.forward(&x));
         assert!(sqnr > 30.0, "sqnr {sqnr}");
     }
@@ -189,7 +189,10 @@ mod tests {
 
     #[test]
     fn scheme_name_reflects_variant() {
-        assert_eq!(TenderScheme::new(TenderConfig::int8()).name(), "Tender INT8");
+        assert_eq!(
+            TenderScheme::new(TenderConfig::int8()).name(),
+            "Tender INT8"
+        );
         let mut cfg = TenderConfig::int4();
         cfg.quant_act_act = true;
         assert_eq!(TenderScheme::new(cfg).name(), "Tender (all) INT4");

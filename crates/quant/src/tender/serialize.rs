@@ -7,7 +7,6 @@
 //! encoding of a [`TenderCalibration`] together with its
 //! [`TenderConfig`].
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::error::Error;
 use std::fmt;
 
@@ -41,37 +40,80 @@ impl fmt::Display for DecodeError {
 
 impl Error for DecodeError {}
 
-/// Encodes a calibration (plus its config) into a binary blob.
-pub fn encode_calibration(config: &TenderConfig, calib: &TenderCalibration) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u32(config.bits);
-    buf.put_u32(config.num_groups as u32);
-    buf.put_u32(config.alpha);
-    buf.put_u64(config.row_chunk as u64);
-    let flags = (config.quant_act_act as u8) | ((config.subtract_bias as u8) << 1);
-    buf.put_u8(flags);
-    buf.put_u64(calib.chunk_rows() as u64);
-    buf.put_u32(calib.chunks().len() as u32);
-    for chunk in calib.chunks() {
-        buf.put_u32(chunk.num_channels() as u32);
-        buf.put_f32(chunk.tmax);
-        for &b in &chunk.bias {
-            buf.put_f32(b);
-        }
-        for &g in &chunk.group_of {
-            buf.put_u32(g as u32);
-        }
-    }
-    buf.freeze()
+/// Big-endian reader over a byte slice (the dependency-free stand-in for a
+/// `bytes::Buf`); all multi-byte fields in the blob are big-endian.
+struct Reader<'a> {
+    buf: &'a [u8],
 }
 
-fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
-    if buf.remaining() < n {
-        Err(DecodeError::Truncated)
-    } else {
-        Ok(())
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
     }
+
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn get_f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Encodes a calibration (plus its config) into a binary blob.
+pub fn encode_calibration(config: &TenderConfig, calib: &TenderCalibration) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, config.bits);
+    put_u32(&mut buf, config.num_groups as u32);
+    put_u32(&mut buf, config.alpha);
+    put_u64(&mut buf, config.row_chunk as u64);
+    let flags = (config.quant_act_act as u8) | ((config.subtract_bias as u8) << 1);
+    buf.push(flags);
+    put_u64(&mut buf, calib.chunk_rows() as u64);
+    put_u32(&mut buf, calib.chunks().len() as u32);
+    for chunk in calib.chunks() {
+        put_u32(&mut buf, chunk.num_channels() as u32);
+        put_f32(&mut buf, chunk.tmax);
+        for &b in &chunk.bias {
+            put_f32(&mut buf, b);
+        }
+        for &g in &chunk.group_of {
+            put_u32(&mut buf, g as u32);
+        }
+    }
+    buf
 }
 
 /// Decodes a calibration blob produced by [`encode_calibration`].
@@ -85,19 +127,16 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
 /// Returns [`DecodeError`] on wrong magic, truncation, or invariant
 /// violations.
 pub fn decode_calibration(blob: &[u8]) -> Result<(TenderConfig, TenderCalibration), DecodeError> {
-    let mut buf = blob;
-    need(&buf, MAGIC.len())?;
-    let mut magic = [0_u8; 6];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let mut buf = Reader { buf: blob };
+    let magic = buf.take(MAGIC.len())?;
+    if magic != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    need(&buf, 4 + 4 + 4 + 8 + 1 + 8 + 4)?;
-    let bits = buf.get_u32();
-    let num_groups = buf.get_u32() as usize;
-    let alpha = buf.get_u32();
-    let row_chunk = buf.get_u64() as usize;
-    let flags = buf.get_u8();
+    let bits = buf.get_u32()?;
+    let num_groups = buf.get_u32()? as usize;
+    let alpha = buf.get_u32()?;
+    let row_chunk = buf.get_u64()? as usize;
+    let flags = buf.get_u8()?;
     let config = TenderConfig {
         bits,
         num_groups,
@@ -109,32 +148,33 @@ pub fn decode_calibration(blob: &[u8]) -> Result<(TenderConfig, TenderCalibratio
     if !(2..=16).contains(&bits) || num_groups == 0 || alpha < 2 {
         return Err(DecodeError::Corrupt("invalid configuration"));
     }
-    let chunk_rows = buf.get_u64() as usize;
+    let chunk_rows = buf.get_u64()? as usize;
     if chunk_rows == 0 {
         return Err(DecodeError::Corrupt("zero chunk rows"));
     }
-    let n_chunks = buf.get_u32() as usize;
+    let n_chunks = buf.get_u32()? as usize;
     if n_chunks == 0 {
         return Err(DecodeError::Corrupt("no chunks"));
     }
     let mut chunks = Vec::with_capacity(n_chunks);
     for _ in 0..n_chunks {
-        need(&buf, 4 + 4)?;
-        let n_channels = buf.get_u32() as usize;
+        let n_channels = buf.get_u32()? as usize;
         if n_channels == 0 {
             return Err(DecodeError::Corrupt("chunk with no channels"));
         }
-        let tmax = buf.get_f32();
+        let tmax = buf.get_f32()?;
         if !tmax.is_finite() || tmax < 0.0 {
             return Err(DecodeError::Corrupt("invalid TMax"));
         }
-        need(&buf, n_channels * 4)?;
-        let bias: Vec<f32> = (0..n_channels).map(|_| buf.get_f32()).collect();
+        let bias: Vec<f32> = (0..n_channels)
+            .map(|_| buf.get_f32())
+            .collect::<Result<_, _>>()?;
         if bias.iter().any(|b| !b.is_finite()) {
             return Err(DecodeError::Corrupt("non-finite bias"));
         }
-        need(&buf, n_channels * 4)?;
-        let group_of: Vec<usize> = (0..n_channels).map(|_| buf.get_u32() as usize).collect();
+        let group_of: Vec<usize> = (0..n_channels)
+            .map(|_| buf.get_u32().map(|g| g as usize))
+            .collect::<Result<_, _>>()?;
         if group_of.iter().any(|&g| g >= num_groups) {
             return Err(DecodeError::Corrupt("group index out of range"));
         }

@@ -144,8 +144,8 @@ impl Accelerator {
 
     fn gemm_cost_at(&self, g: &Gemm, bits: u32, mode: RequantMode) -> (f64, f64, u64) {
         let dim = self.hw.effective_dim(bits);
-        let compute =
-            gemm_compute_cycles(dim, self.hw.vpu_lanes, g, mode) as f64 / self.params.compute_derate;
+        let compute = gemm_compute_cycles(dim, self.hw.vpu_lanes, g, mode) as f64
+            / self.params.compute_derate;
         let bytes = g.weight_elems() * bits as u64 / 8 + g.act_elems() * bits as u64 / 8;
         let dram = if bytes > 0 {
             HbmModel::stream_cycles_estimate(&self.hbm, bytes) as f64 / self.params.dram_derate
@@ -202,7 +202,9 @@ pub fn speedups_over(
     groups: usize,
     w: &PrefillWorkload,
 ) -> Vec<(AcceleratorKind, f64)> {
-    let base_cycles = Accelerator::iso_area(baseline, base_hw, groups).run(w).cycles as f64;
+    let base_cycles = Accelerator::iso_area(baseline, base_hw, groups)
+        .run(w)
+        .cycles as f64;
     AcceleratorKind::ALL
         .iter()
         .map(|&k| {
@@ -248,10 +250,14 @@ mod tests {
         let hw = TenderHwConfig::paper();
         let tender = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 8);
         assert_eq!(tender.hw().sa_dim, 64);
-        for k in [AcceleratorKind::Ant, AcceleratorKind::Olive, AcceleratorKind::OlAccel] {
+        for k in [
+            AcceleratorKind::Ant,
+            AcceleratorKind::Olive,
+            AcceleratorKind::OlAccel,
+        ] {
             let a = Accelerator::iso_area(k, &hw, 8);
             assert!(a.hw().sa_dim < 64, "{k:?} must afford fewer PEs");
-            assert!(a.hw().sa_dim % 2 == 0);
+            assert!(a.hw().sa_dim.is_multiple_of(2));
         }
     }
 
@@ -301,9 +307,17 @@ mod tests {
         let w = PrefillWorkload::new(&ModelShape::llama2_7b(), 2048);
         let s = speedups_over(AcceleratorKind::Ant, &hw, 8, &w);
         assert_eq!(s.len(), 4);
-        let ant = s.iter().find(|(k, _)| *k == AcceleratorKind::Ant).unwrap().1;
+        let ant = s
+            .iter()
+            .find(|(k, _)| *k == AcceleratorKind::Ant)
+            .unwrap()
+            .1;
         assert!((ant - 1.0).abs() < 1e-9, "baseline speedup must be 1.0");
-        let tender = s.iter().find(|(k, _)| *k == AcceleratorKind::Tender).unwrap().1;
+        let tender = s
+            .iter()
+            .find(|(k, _)| *k == AcceleratorKind::Tender)
+            .unwrap()
+            .1;
         assert!(tender > 1.5);
     }
 
@@ -312,8 +326,12 @@ mod tests {
         // §VI-F: implicit requantization means group count is ~free.
         let hw = TenderHwConfig::paper();
         let w = PrefillWorkload::new(&ModelShape::opt_6_7b(), 2048);
-        let c4 = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 4).run(&w).cycles as f64;
-        let c16 = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 16).run(&w).cycles as f64;
+        let c4 = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 4)
+            .run(&w)
+            .cycles as f64;
+        let c16 = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 16)
+            .run(&w)
+            .cycles as f64;
         assert!((c16 / c4 - 1.0).abs() < 0.01, "ratio {}", c16 / c4);
     }
 }

@@ -173,8 +173,16 @@ mod tests {
         ];
         for (c, (name, area, power)) in comps.iter().zip(expect) {
             assert_eq!(c.name, name);
-            assert!((c.area_mm2 - area).abs() < 0.01, "{name} area {}", c.area_mm2);
-            assert!((c.power_w - power).abs() < 0.01, "{name} power {}", c.power_w);
+            assert!(
+                (c.area_mm2 - area).abs() < 0.01,
+                "{name} area {}",
+                c.area_mm2
+            );
+            assert!(
+                (c.power_w - power).abs() < 0.01,
+                "{name} power {}",
+                c.power_w
+            );
         }
     }
 
@@ -192,7 +200,11 @@ mod tests {
     #[test]
     fn baseline_pes_cost_more_area() {
         assert_eq!(relative_pe_area(AcceleratorKind::Tender), 1.0);
-        for k in [AcceleratorKind::Ant, AcceleratorKind::Olive, AcceleratorKind::OlAccel] {
+        for k in [
+            AcceleratorKind::Ant,
+            AcceleratorKind::Olive,
+            AcceleratorKind::OlAccel,
+        ] {
             assert!(relative_pe_area(k) > 1.0);
         }
     }

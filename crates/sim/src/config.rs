@@ -82,7 +82,10 @@ impl TenderHwConfig {
     pub fn validate(&self) {
         assert!(self.sa_dim > 0 && self.vpu_lanes > 0);
         assert!(self.clock_hz > 0.0);
-        assert!(self.pes_per_int8_mac == 4, "paper design gangs 4 PEs for INT8");
+        assert!(
+            self.pes_per_int8_mac == 4,
+            "paper design gangs 4 PEs for INT8"
+        );
         assert!(self.scratchpad_bytes > 0 && self.output_buffer_bytes > 0);
         assert!(self.accumulator_bits >= 16);
     }

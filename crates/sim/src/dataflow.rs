@@ -16,7 +16,6 @@
 //! This module models both dataflows for decode-style GEMMs and reproduces
 //! the crossover.
 
-
 /// Systolic-array dataflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dataflow {
@@ -77,13 +76,7 @@ pub fn decode_gemm_cycles(
 /// Bytes of high-precision (INT32) partial-sum traffic a decode GEMM moves
 /// outside the PE array — the quantity §VI-D says output-stationary
 /// minimizes.
-pub fn decode_psum_bytes(
-    dim: usize,
-    batch: usize,
-    k: usize,
-    n: usize,
-    dataflow: Dataflow,
-) -> u64 {
+pub fn decode_psum_bytes(dim: usize, batch: usize, k: usize, n: usize, dataflow: Dataflow) -> u64 {
     assert!(dim > 0 && batch > 0 && k > 0 && n > 0);
     match dataflow {
         // OS: only the final outputs leave the array.
@@ -155,7 +148,10 @@ mod tests {
         // OS stays competitive while the batch fits the array's rows (and
         // well beyond).
         let cross = ws_crossover_batch(DIM, K, N, 8, 4 * K).expect("crossover exists");
-        assert!(cross > DIM, "crossover {cross} should exceed the array dim {DIM}");
+        assert!(
+            cross > DIM,
+            "crossover {cross} should exceed the array dim {DIM}"
+        );
     }
 
     #[test]

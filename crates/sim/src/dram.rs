@@ -65,7 +65,10 @@ impl HbmConfig {
         assert!(self.channels > 0 && self.banks_per_channel > 0);
         assert!(self.burst_bytes > 0 && self.row_bytes >= self.burst_bytes);
         assert!(self.bus_bytes_per_cycle > 0);
-        assert!(self.t_refi > self.t_rfc, "refresh must not consume the whole interval");
+        assert!(
+            self.t_refi > self.t_rfc,
+            "refresh must not consume the whole interval"
+        );
     }
 
     /// Fraction of time lost to refresh.
@@ -244,7 +247,12 @@ mod tests {
         assert!(hbm.stats().refresh_stalls > 0, "long streams hit refreshes");
         // Mostly row hits.
         let s = hbm.stats();
-        assert!(s.row_hits > 10 * s.row_misses, "hits {} misses {}", s.row_hits, s.row_misses);
+        assert!(
+            s.row_hits > 10 * s.row_misses,
+            "hits {} misses {}",
+            s.row_hits,
+            s.row_misses
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn mac_energy_factor(kind: AcceleratorKind) -> f64 {
 ///
 /// `cost` must come from [`Accelerator::run`] on the same workload so the
 /// precision mix and runtime are consistent.
-pub fn run_energy(accel: &Accelerator, w: &PrefillWorkload, cost: &WorkloadCost) -> EnergyBreakdown {
+pub fn run_energy(
+    accel: &Accelerator,
+    w: &PrefillWorkload,
+    cost: &WorkloadCost,
+) -> EnergyBreakdown {
     let kind = accel.kind();
     // MAC energy: an INT8 MAC costs ≈3× an INT4 MAC (multiplier energy
     // grows a bit less than quadratically with operand width).

@@ -23,16 +23,65 @@ pub fn decode_step_gemms(shape: &ModelShape, cache_len: usize, batch: usize) -> 
     let h = shape.heads;
     let f = shape.ffn_dim;
     let mut gemms = vec![
-        Gemm { name: "QKV", m: batch, k: d, n: d, count: 3, weight_resident: true },
-        Gemm { name: "Score", m: batch, k: dh, n: cache_len, count: h, weight_resident: false },
-        Gemm { name: "AttnV", m: batch, k: cache_len, n: dh, count: h, weight_resident: false },
-        Gemm { name: "Out", m: batch, k: d, n: d, count: 1, weight_resident: true },
-        Gemm { name: "FC1", m: batch, k: d, n: f, count: 1, weight_resident: true },
+        Gemm {
+            name: "QKV",
+            m: batch,
+            k: d,
+            n: d,
+            count: 3,
+            weight_resident: true,
+        },
+        Gemm {
+            name: "Score",
+            m: batch,
+            k: dh,
+            n: cache_len,
+            count: h,
+            weight_resident: false,
+        },
+        Gemm {
+            name: "AttnV",
+            m: batch,
+            k: cache_len,
+            n: dh,
+            count: h,
+            weight_resident: false,
+        },
+        Gemm {
+            name: "Out",
+            m: batch,
+            k: d,
+            n: d,
+            count: 1,
+            weight_resident: true,
+        },
+        Gemm {
+            name: "FC1",
+            m: batch,
+            k: d,
+            n: f,
+            count: 1,
+            weight_resident: true,
+        },
     ];
     if matches!(shape.activation, tender_model::Activation::SiluGated) {
-        gemms.push(Gemm { name: "Gate", m: batch, k: d, n: f, count: 1, weight_resident: true });
+        gemms.push(Gemm {
+            name: "Gate",
+            m: batch,
+            k: d,
+            n: f,
+            count: 1,
+            weight_resident: true,
+        });
     }
-    gemms.push(Gemm { name: "FC2", m: batch, k: f, n: d, count: 1, weight_resident: true });
+    gemms.push(Gemm {
+        name: "FC2",
+        m: batch,
+        k: f,
+        n: d,
+        count: 1,
+        weight_resident: true,
+    });
     gemms
 }
 
@@ -63,7 +112,10 @@ pub fn decode_utilization(
     batch: usize,
     dataflow: Dataflow,
 ) -> f64 {
-    let macs: u64 = decode_step_gemms(shape, cache_len, batch).iter().map(Gemm::macs).sum();
+    let macs: u64 = decode_step_gemms(shape, cache_len, batch)
+        .iter()
+        .map(Gemm::macs)
+        .sum();
     let cycles = decode_step_cycles(hw, shape, cache_len, batch, 8, dataflow);
     macs as f64 / (cycles as f64 * hw.peak_int4_macs_per_cycle() as f64)
 }
@@ -85,8 +137,9 @@ pub fn max_batch_for_memory(
     weight_bits: u32,
     hbm_bytes: u64,
 ) -> u64 {
-    let weights =
-        crate::workload::PrefillWorkload::new(shape, 1).total_weight_elems() * weight_bits as u64 / 8;
+    let weights = crate::workload::PrefillWorkload::new(shape, 1).total_weight_elems()
+        * weight_bits as u64
+        / 8;
     let per_seq = kv_cache_bytes(shape, cache_len, kv_bits);
     hbm_bytes.saturating_sub(weights) / per_seq.max(1)
 }
@@ -99,8 +152,8 @@ pub fn decode_tokens_per_second(
     batch: usize,
     dataflow: Dataflow,
 ) -> f64 {
-    let cycles_per_step = decode_step_cycles(hw, shape, cache_len, batch, 8, dataflow)
-        * shape.layers as u64;
+    let cycles_per_step =
+        decode_step_cycles(hw, shape, cache_len, batch, 8, dataflow) * shape.layers as u64;
     batch as f64 * hw.clock_hz / cycles_per_step as f64
 }
 

@@ -108,9 +108,7 @@ pub fn scheme_latency(gpu: &GpuConfig, scheme: GpuScheme, m: usize, k: usize, n:
         GpuScheme::PerTensorInt8 => {
             // Quantize X (read fp16, write int8) + INT8 GEMM + dequant
             // epilogue folded into the GEMM (scalar alpha).
-            gpu.launch_s * 2.0
-                + mem_pass(gpu, mf * kf * 3.0)
-                + gemm_time(gpu.int8_ops, m, k, n)
+            gpu.launch_s * 2.0 + mem_pass(gpu, mf * kf * 3.0) + gemm_time(gpu.int8_ops, m, k, n)
         }
         GpuScheme::PerRowInt8 => {
             // Extra reduction pass to find per-row maxima.
@@ -121,9 +119,7 @@ pub fn scheme_latency(gpu: &GpuConfig, scheme: GpuScheme, m: usize, k: usize, n:
         }
         GpuScheme::PerChannelInt8 => {
             // Fake-quantize pass + FP16 GEMM (cannot use the int pipeline).
-            gpu.launch_s * 2.0
-                + mem_pass(gpu, mf * kf * 4.0)
-                + gemm_time(gpu.fp16_flops, m, k, n)
+            gpu.launch_s * 2.0 + mem_pass(gpu, mf * kf * 4.0) + gemm_time(gpu.fp16_flops, m, k, n)
         }
         GpuScheme::LlmInt8 { outlier_frac } => {
             let k_out = (kf * outlier_frac).ceil();
@@ -199,13 +195,8 @@ mod tests {
     #[test]
     fn llm_int8_is_slower_than_plain_int8() {
         let g = GpuConfig::rtx3090();
-        let mixed = normalized_latency(
-            &g,
-            GpuScheme::LlmInt8 { outlier_frac: 0.01 },
-            M,
-            4096,
-            4096,
-        );
+        let mixed =
+            normalized_latency(&g, GpuScheme::LlmInt8 { outlier_frac: 0.01 }, M, 4096, 4096);
         let pt = normalized_latency(&g, GpuScheme::PerTensorInt8, M, 4096, 4096);
         assert!(mixed > pt, "mixed {mixed} vs per-tensor {pt}");
     }

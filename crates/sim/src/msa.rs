@@ -133,7 +133,10 @@ impl MultiScaleSystolicArray {
         let m = groups[0].a.rows();
         let n = groups[0].b.cols();
         assert!(m > 0 && n > 0, "empty tile");
-        assert!(m <= self.dim && n <= self.dim, "tile exceeds array dimension");
+        assert!(
+            m <= self.dim && n <= self.dim,
+            "tile exceeds array dimension"
+        );
         for g in groups {
             assert_eq!(g.a.rows(), m, "all groups share the tile's rows");
             assert_eq!(g.b.cols(), n, "all groups share the tile's columns");
@@ -145,13 +148,18 @@ impl MultiScaleSystolicArray {
         let mut stream: Vec<StreamSlot> = Vec::new();
         for (gi, g) in groups.iter().enumerate() {
             if gi > 0 {
-                stream.push(StreamSlot::Rescale { factor: alpha as i64 });
+                stream.push(StreamSlot::Rescale {
+                    factor: alpha as i64,
+                });
                 for _ in 1..rescale_slots {
                     stream.push(StreamSlot::Idle);
                 }
             }
             for k in 0..g.a.cols() {
-                stream.push(StreamSlot::Mac { group: gi, k_in_group: k });
+                stream.push(StreamSlot::Mac {
+                    group: gi,
+                    k_in_group: k,
+                });
             }
         }
 
@@ -245,10 +253,7 @@ mod tests {
         let b0 = IMatrix::from_vec(1, 1, vec![5]).unwrap();
         let a1 = IMatrix::from_vec(1, 1, vec![7]).unwrap();
         let b1 = IMatrix::from_vec(1, 1, vec![11]).unwrap();
-        let res = msa(4).run_groups(
-            &[GroupOperand::new(a0, b0), GroupOperand::new(a1, b1)],
-            2,
-        );
+        let res = msa(4).run_groups(&[GroupOperand::new(a0, b0), GroupOperand::new(a1, b1)], 2);
         assert_eq!(res.at(0, 0), 3 * 5 * 2 + 7 * 11);
         assert_eq!(res.rescale_ops, 1);
     }
@@ -323,10 +328,7 @@ mod tests {
         let b0 = IMatrix::from_vec(1, 1, vec![1]).unwrap();
         let a1 = IMatrix::from_vec(1, 1, vec![0]).unwrap();
         let b1 = IMatrix::from_vec(1, 1, vec![0]).unwrap();
-        let res = msa(4).run_groups(
-            &[GroupOperand::new(a0, b0), GroupOperand::new(a1, b1)],
-            4,
-        );
+        let res = msa(4).run_groups(&[GroupOperand::new(a0, b0), GroupOperand::new(a1, b1)], 4);
         assert_eq!(res.at(0, 0), 4);
     }
 
@@ -347,7 +349,7 @@ mod tests {
                 alpha: 2,
                 row_chunk: 0,
                 quant_act_act: false,
-            subtract_bias: true,
+                subtract_bias: true,
             };
             let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
             let w = QuantizedWeight::per_col(&wf, bits);
@@ -393,9 +395,7 @@ mod tests {
         let n = 4;
         let make = |ks: &[usize]| -> Vec<GroupOperand> {
             ks.iter()
-                .map(|&k| {
-                    GroupOperand::new(IMatrix::zeros(m, k), IMatrix::zeros(k, n))
-                })
+                .map(|&k| GroupOperand::new(IMatrix::zeros(m, k), IMatrix::zeros(k, n)))
                 .collect()
         };
         let one = msa(8).run_groups(&make(&[16]), 2);
@@ -412,7 +412,13 @@ mod tests {
         // the result no longer matches the algorithmic reference.
         let mk = |v: i32| IMatrix::from_vec(1, 1, vec![v]).unwrap();
         let correct = msa(4)
-            .run_groups(&[GroupOperand::new(mk(3), mk(5)), GroupOperand::new(mk(7), mk(11))], 2)
+            .run_groups(
+                &[
+                    GroupOperand::new(mk(3), mk(5)),
+                    GroupOperand::new(mk(7), mk(11)),
+                ],
+                2,
+            )
             .at(0, 0);
         // Mis-timed: empty group first injects the bubble before any MACs,
         // so the shift hits a zero accumulator and the *second* boundary

@@ -62,12 +62,7 @@ pub fn tile_cycles(m_t: usize, n_t: usize, k: usize, mode: RequantMode, vpu_lane
 
 /// Compute cycles for a full GEMM (`m × k × n`, `count` instances) on an
 /// array with effective dimension `dim` at the operating precision.
-pub fn gemm_compute_cycles(
-    dim: usize,
-    vpu_lanes: usize,
-    g: &Gemm,
-    mode: RequantMode,
-) -> u64 {
+pub fn gemm_compute_cycles(dim: usize, vpu_lanes: usize, g: &Gemm, mode: RequantMode) -> u64 {
     assert!(dim > 0);
     let tiles_m = g.m.div_ceil(dim);
     let tiles_n = g.n.div_ceil(dim);

@@ -10,6 +10,10 @@
 //! (§IV-B: "each PE handling either upper or lower 4 bits") is modelled
 //! and verified over the full 8-bit × 8-bit input space.
 
+// Per-bit index loops mirror the wire-by-wire RTL structure on purpose;
+// iterator/copy_from_slice rewrites would obscure the datapath.
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
 /// A fixed-width two's-complement bit vector (LSB first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bits<const N: usize> {
@@ -187,7 +191,10 @@ impl ProcessingElement {
 /// on the 4-bit multiplier's sign-extended datapath (the gang's glue
 /// logic), so each partial product is exact.
 pub fn mul8_via_4bit_gang(a: i64, b: i64) -> i64 {
-    assert!((-128..=127).contains(&a) && (-128..=127).contains(&b), "INT8 range");
+    assert!(
+        (-128..=127).contains(&a) && (-128..=127).contains(&b),
+        "INT8 range"
+    );
     let split = |x: i64| -> (i64, i64) {
         let lo = x & 0xF; // unsigned low nibble, 0..=15
         let hi = (x - lo) >> 4; // signed high part
@@ -243,7 +250,9 @@ mod tests {
     fn ripple_add_matches_wrapping_semantics() {
         for a in -8..=7_i64 {
             for b in -8..=7_i64 {
-                let sum = Bits::<4>::from_i64(a).ripple_add(Bits::<4>::from_i64(b)).to_i64();
+                let sum = Bits::<4>::from_i64(a)
+                    .ripple_add(Bits::<4>::from_i64(b))
+                    .to_i64();
                 // 4-bit wrap-around.
                 let expect = (((a + b) + 8).rem_euclid(16)) - 8;
                 assert_eq!(sum, expect, "{a}+{b}");

@@ -77,7 +77,14 @@ pub fn vpu_share_of_layer(hw: &TenderHwConfig, shape: &ModelShape, seq: usize) -
     let vpu = layer_vpu_cycles(hw, shape, seq) as f64;
     let msa: u64 = layer_gemms(shape, seq)
         .iter()
-        .map(|g| gemm_compute_cycles(hw.effective_dim(4), hw.vpu_lanes, g, RequantMode::Implicit { groups: 8 }))
+        .map(|g| {
+            gemm_compute_cycles(
+                hw.effective_dim(4),
+                hw.vpu_lanes,
+                g,
+                RequantMode::Implicit { groups: 8 },
+            )
+        })
         .sum();
     vpu / (vpu + msa as f64)
 }

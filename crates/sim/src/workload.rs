@@ -60,16 +60,65 @@ pub fn layer_gemms(shape: &ModelShape, seq: usize) -> Vec<Gemm> {
     let h = shape.heads;
     let f = shape.ffn_dim;
     let mut gemms = vec![
-        Gemm { name: "QKV", m: seq, k: d, n: d, count: 3, weight_resident: true },
-        Gemm { name: "Score", m: seq, k: dh, n: seq, count: h, weight_resident: false },
-        Gemm { name: "AttnV", m: seq, k: seq, n: dh, count: h, weight_resident: false },
-        Gemm { name: "Out", m: seq, k: d, n: d, count: 1, weight_resident: true },
-        Gemm { name: "FC1", m: seq, k: d, n: f, count: 1, weight_resident: true },
+        Gemm {
+            name: "QKV",
+            m: seq,
+            k: d,
+            n: d,
+            count: 3,
+            weight_resident: true,
+        },
+        Gemm {
+            name: "Score",
+            m: seq,
+            k: dh,
+            n: seq,
+            count: h,
+            weight_resident: false,
+        },
+        Gemm {
+            name: "AttnV",
+            m: seq,
+            k: seq,
+            n: dh,
+            count: h,
+            weight_resident: false,
+        },
+        Gemm {
+            name: "Out",
+            m: seq,
+            k: d,
+            n: d,
+            count: 1,
+            weight_resident: true,
+        },
+        Gemm {
+            name: "FC1",
+            m: seq,
+            k: d,
+            n: f,
+            count: 1,
+            weight_resident: true,
+        },
     ];
     if matches!(shape.activation, tender_model::Activation::SiluGated) {
-        gemms.push(Gemm { name: "Gate", m: seq, k: d, n: f, count: 1, weight_resident: true });
+        gemms.push(Gemm {
+            name: "Gate",
+            m: seq,
+            k: d,
+            n: f,
+            count: 1,
+            weight_resident: true,
+        });
     }
-    gemms.push(Gemm { name: "FC2", m: seq, k: f, n: d, count: 1, weight_resident: true });
+    gemms.push(Gemm {
+        name: "FC2",
+        m: seq,
+        k: f,
+        n: d,
+        count: 1,
+        weight_resident: true,
+    });
     gemms
 }
 

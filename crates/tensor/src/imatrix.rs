@@ -1,5 +1,6 @@
 //! Dense integer matrix for quantized values and accumulators.
 
+use crate::pool::PAR_THRESHOLD;
 use crate::{Matrix, ShapeError};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -129,9 +130,8 @@ impl IMatrix {
         }
         let mut out = IMatrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
-        for i in 0..self.rows {
+        let row_product = |i: usize, out_row: &mut [i32]| {
             let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0 {
                     continue;
@@ -141,6 +141,14 @@ impl IMatrix {
                     *o += a * b;
                 }
             }
+        };
+        // Row-partitioned: identical op order per row at any thread count.
+        if self.rows * self.cols * n < PAR_THRESHOLD || self.rows < 2 {
+            for i in 0..self.rows {
+                row_product(i, &mut out.data[i * n..(i + 1) * n]);
+            }
+        } else {
+            crate::pool::par_chunks_mut(&mut out.data, n, row_product);
         }
         Ok(out)
     }
@@ -156,16 +164,23 @@ impl IMatrix {
         }
         let n = rhs.cols;
         let mut out = vec![0_i64; self.rows * n];
-        for i in 0..self.rows {
+        let row_product = |i: usize, out_row: &mut [i64]| {
             for k in 0..self.cols {
                 let a = self[(i, k)] as i64;
                 if a == 0 {
                     continue;
                 }
-                for j in 0..n {
-                    out[i * n + j] += a * rhs[(k, j)] as i64;
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o += a * rhs[(k, j)] as i64;
                 }
             }
+        };
+        if self.rows * self.cols * n < PAR_THRESHOLD || self.rows < 2 {
+            for i in 0..self.rows {
+                row_product(i, &mut out[i * n..(i + 1) * n]);
+            }
+        } else {
+            crate::pool::par_chunks_mut(&mut out, n, row_product);
         }
         Ok(out)
     }
@@ -179,7 +194,12 @@ impl IMatrix {
         if self.shape() != rhs.shape() {
             return Err(ShapeError::new("add", self.shape(), rhs.shape()));
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Ok(Self {
             rows: self.rows,
             cols: self.cols,
@@ -239,14 +259,20 @@ impl Index<(usize, usize)> for IMatrix {
     type Output = i32;
 
     fn index(&self, (r, c): (usize, usize)) -> &i32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for IMatrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

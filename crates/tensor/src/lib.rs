@@ -15,6 +15,9 @@
 //! * [`rng`] — deterministic random sampling (normal / log-normal /
 //!   heavy-tailed) built on a seedable generator, so every experiment in the
 //!   reproduction is bit-reproducible.
+//! * [`pool`] — a persistent worker pool with a strict determinism contract
+//!   (bit-identical results at any thread count) that every data-parallel
+//!   hot path in the workspace shares.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@ mod error;
 mod imatrix;
 mod matrix;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 

@@ -118,7 +118,7 @@ pub fn gelu(m: &Matrix) -> Matrix {
 
 /// Scalar GeLU (tanh approximation).
 pub fn gelu_scalar(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
 }
 
@@ -199,7 +199,12 @@ mod tests {
         let beta = vec![0.0; 4];
         let out = layer_norm(&m, &gamma, &beta, 1e-5);
         let mean: f32 = out.row(0).iter().sum::<f32>() / 4.0;
-        let var: f32 = out.row(0).iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        let var: f32 = out
+            .row(0)
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

@@ -1,0 +1,475 @@
+//! Persistent worker pool for deterministic data parallelism.
+//!
+//! Every data-parallel hot path in the workspace (f32/integer matmuls, the
+//! decomposed requantizing matmul, perplexity evaluation, the experiment
+//! scheduler) runs through one shared pool whose threads are spawned once
+//! and reused, instead of paying `thread::spawn` on every call.
+//!
+//! # Determinism contract
+//!
+//! The pool only ever *partitions* work: each index in `0..n` is claimed by
+//! exactly one thread and executed with the same intra-item operation order
+//! as the serial loop. No reduction order crosses a partition boundary, so
+//! results are **bit-identical** for every thread count, including 1. Any
+//! cross-item aggregation (e.g. overflow counters) must be commutative and
+//! exact (integer sums), which callers uphold.
+//!
+//! # Sizing
+//!
+//! Total parallelism (workers + the calling thread) defaults to
+//! [`std::thread::available_parallelism`], overridable by the
+//! `TENDER_THREADS` environment variable or programmatically with
+//! [`set_threads`] (the CLI's `--threads` flag). `TENDER_THREADS=1` disables
+//! the pool entirely: every operation runs inline on the caller.
+//!
+//! # Re-entrancy
+//!
+//! Nested calls from inside a pool worker execute inline and serially on
+//! that worker. This keeps the outer level (e.g. one experiment per worker)
+//! parallel while inner levels (matmuls inside the experiment) degrade to
+//! the serial path, and makes deadlock impossible by construction.
+
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Minimum scalar-op count (`rows * inner * cols` for a matmul) below which
+/// the data-parallel kernels stay on the serial path: smaller products don't
+/// amortize even the pool's dispatch cost. Public so the parity tests can
+/// generate shapes straddling the threshold.
+pub const PAR_THRESHOLD: usize = 1 << 21;
+
+/// Requested size for the global pool before first use (0 = unset).
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// Sets the global pool's total thread count (workers + caller).
+///
+/// Must be called before the first parallel operation; once the global pool
+/// has spawned its workers the size is fixed and later calls have no
+/// effect. Takes precedence over `TENDER_THREADS`.
+pub fn set_threads(n: usize) {
+    REQUESTED_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The global pool, spawning its workers on first use.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        let n = match REQUESTED_THREADS.load(Ordering::Relaxed) {
+            0 => std::env::var("TENDER_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&v| v >= 1)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get())),
+            n => n,
+        };
+        Pool::new(n)
+    })
+}
+
+/// The number of threads (workers + caller) the global pool uses.
+pub fn current_threads() -> usize {
+    global().threads()
+}
+
+/// Runs `f(i)` for every `i in 0..n` on the global pool.
+///
+/// See the module docs for the determinism contract. Panics in `f` are
+/// propagated to the caller after all claimed items finish.
+pub fn run(n: usize, f: impl Fn(usize) + Sync) {
+    global().run(n, &f);
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// may be shorter) and runs `f(chunk_index, chunk)` for each on the global
+/// pool. Chunks are disjoint, so this is safe to parallelize and the
+/// determinism contract holds as long as `f` only writes through its chunk.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "chunk_len must be non-zero");
+    let len = data.len();
+    let n_chunks = len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    run(n_chunks, |i| {
+        let start = i * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunks [start, end) are disjoint across i and in-bounds;
+        // the pool guarantees each i is executed exactly once and `data`
+        // outlives the call (run() blocks until all items complete).
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(i, chunk);
+    });
+}
+
+/// Computes `f(i)` for every `i in 0..n` on the global pool and returns the
+/// results in index order.
+pub fn par_map<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let mut slots: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, MaybeUninit::uninit);
+    let base = SendPtr(slots.as_mut_ptr());
+    run(n, |i| {
+        // SAFETY: slot i is written exactly once, by the single thread that
+        // claimed item i; `slots` outlives the call.
+        unsafe { (*base.get().add(i)).write(f(i)) };
+    });
+    // All n items completed (run would have propagated a panic otherwise),
+    // so every slot is initialized.
+    let ptr = slots.as_mut_ptr() as *mut R;
+    let cap = slots.capacity();
+    std::mem::forget(slots);
+    // SAFETY: same allocation, every element initialized, MaybeUninit<R>
+    // has the same layout as R.
+    unsafe { Vec::from_raw_parts(ptr, n, cap) }
+}
+
+/// Raw-pointer wrapper that lets disjoint-access closures capture a base
+/// pointer across threads. Soundness is argued at each use site.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `SendPtr` — edition-2021 precise capture would otherwise grab the
+    /// raw pointer field itself, which is not `Sync`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// One injected unit of fan-out work: a lifetime-erased task plus claim and
+/// completion counters.
+struct Batch {
+    /// The task, valid until `completed == total` (the injector blocks until
+    /// then, keeping the underlying closure alive).
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed item index.
+    next: AtomicUsize,
+    /// Number of items fully executed (or panicked).
+    completed: AtomicUsize,
+    total: usize,
+    /// First panic payload observed while executing items.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Lock + condvar pair the injector waits on for completion.
+    wait_lock: Mutex<()>,
+    done: Condvar,
+}
+
+// SAFETY: `task` points into the injector's stack frame, which outlives all
+// dereferences (see `Batch::task`); everything else is Sync.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// Claims and executes items until none remain. Returns whether this
+    /// thread executed at least one item.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            // SAFETY: i < total, so the injector is still blocked in
+            // `wait_done` and the task pointer is alive.
+            let task = unsafe { &*self.task };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            // Release pairs with the injector's Acquire load: all writes
+            // made by item i happen-before the injector observes completion.
+            if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+                let _guard = self.wait_lock.lock().unwrap();
+                self.done.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+
+    fn wait_done(&self) {
+        let mut guard = self.wait_lock.lock().unwrap();
+        while self.completed.load(Ordering::Acquire) < self.total {
+            guard = self.done.wait(guard).unwrap();
+        }
+    }
+}
+
+struct State {
+    queue: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+/// A persistent pool of worker threads executing injected batches.
+///
+/// The workspace shares one instance via [`global`]; standalone pools exist
+/// for tests. Dropping a pool signals shutdown and joins every worker.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool with `threads` total parallelism: `threads - 1`
+    /// workers are spawned and the calling thread participates in every
+    /// [`Pool::run`]. `threads <= 1` spawns nothing and runs inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tender-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles: Mutex::new(handles),
+            threads,
+        }
+    }
+
+    /// Total parallelism (workers + caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, partitioned across the pool.
+    ///
+    /// Blocks until all items complete; propagates the first panic. Nested
+    /// calls from worker threads run inline (see module docs).
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        if n == 1 || self.threads == 1 || IN_WORKER.with(|w| w.get()) {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: erase the closure's lifetime; `wait_done` below keeps this
+        // frame alive until every dereference has finished.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let batch = Arc::new(Batch {
+            task: erased as *const _,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            total: n,
+            panic: Mutex::new(None),
+            wait_lock: Mutex::new(()),
+            done: Condvar::new(),
+        });
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.queue.push_back(Arc::clone(&batch));
+        }
+        self.shared.available.notify_all();
+        // The injector works too, so a saturated pool still makes progress.
+        batch.work();
+        batch.wait_done();
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.queue.retain(|b| !Arc::ptr_eq(b, &batch));
+        }
+        let payload = batch.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_WORKER.with(|w| w.set(true));
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                while state.queue.front().is_some_and(|b| b.exhausted()) {
+                    state.queue.pop_front();
+                }
+                if let Some(batch) = state.queue.front() {
+                    break Arc::clone(batch);
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).unwrap();
+            }
+        };
+        batch.work();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let pool = Pool::new(4);
+        pool.run(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let pool = Pool::new(4);
+        let caller = std::thread::current().id();
+        pool.run(1, &|i| {
+            assert_eq!(i, 0);
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let caller = std::thread::current().id();
+        let count = AtomicUsize::new(0);
+        pool.run(64, &|_| {
+            assert_eq!(std::thread::current().id(), caller);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn nested_use_is_safe_and_complete() {
+        let pool = Pool::new(4);
+        let total = AtomicU64::new(0);
+        pool.run(8, &|i| {
+            // Nested run on the *global* pool from a worker of a local pool
+            // is inline only when the thread is marked as a worker; local
+            // nesting exercises the same IN_WORKER path.
+            pool.run(8, &|j| {
+                total.fetch_add((i * 8 + j) as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(100, &|i| {
+                if i == 37 {
+                    panic!("item 37 exploded");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("exploded"), "unexpected payload");
+        // The pool must remain usable after a propagated panic.
+        let count = AtomicUsize::new(0);
+        pool.run(50, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        for _ in 0..8 {
+            let pool = Pool::new(4);
+            pool.run(16, &|_| {});
+            drop(pool); // must not hang or leak threads
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let squares = par_map(257, |i| i * i);
+        assert_eq!(squares.len(), 257);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn par_map_zero_and_one() {
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_ragged_tail() {
+        let mut data = vec![0_u32; 103];
+        par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for x in chunk.iter_mut() {
+                *x = ci as u32 + 1;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, (i / 10) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_input() {
+        let mut data: Vec<u32> = vec![];
+        par_chunks_mut(&mut data, 8, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one() {
+        // Only exercises the clamp; the global pool may already be running.
+        set_threads(0);
+        assert!(REQUESTED_THREADS.load(Ordering::Relaxed) >= 1);
+    }
+}

@@ -3,17 +3,54 @@
 //! Everything in this reproduction that involves randomness (synthetic model
 //! weights, token sampling, calibration data) flows through [`DetRng`], a
 //! seedable generator with the handful of distributions the experiments need.
-//! Normal sampling uses Box–Muller so no extra distribution crate is needed.
+//! The generator is a self-contained xoshiro256++ (seeded through SplitMix64)
+//! so the crate carries no external RNG dependency, and normal sampling uses
+//! Box–Muller so no extra distribution crate is needed.
 
 use crate::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// xoshiro256++ core state.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expands a 64-bit seed into the full state with SplitMix64, the
+    /// recommended seeding procedure for the xoshiro family.
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A deterministic random number generator for experiments.
 ///
-/// Wraps [`StdRng`] with convenience samplers. Two `DetRng`s created with the
-/// same seed produce identical streams, making every table and figure in the
-/// reproduction bit-reproducible.
+/// Wraps a seedable xoshiro256++ core with convenience samplers. Two
+/// `DetRng`s created with the same seed produce identical streams, making
+/// every table and figure in the reproduction bit-reproducible.
 ///
 /// # Example
 ///
@@ -26,7 +63,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    inner: Xoshiro256,
     /// Cached second Box–Muller sample.
     spare: Option<f32>,
 }
@@ -35,7 +72,7 @@ impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256::from_seed(seed),
             spare: None,
         }
     }
@@ -43,13 +80,14 @@ impl DetRng {
     /// Derives an independent child generator, so subsystems can draw without
     /// perturbing each other's streams.
     pub fn fork(&mut self, salt: u64) -> DetRng {
-        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DetRng::new(seed)
     }
 
     /// A uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // 24 high bits → every value representable exactly in f32.
+        (self.inner.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// A uniform sample in `[lo, hi)`.
@@ -64,7 +102,16 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        self.inner.gen_range(0..n)
+        // Rejection sampling over the largest multiple of `n` that fits in
+        // u64, so the result is exactly uniform.
+        let n64 = n as u64;
+        let zone = u64::MAX - u64::MAX % n64;
+        loop {
+            let v = self.inner.next_u64();
+            if v < zone {
+                return (v % n64) as usize;
+            }
+        }
     }
 
     /// A normal sample with the given mean and standard deviation
@@ -174,7 +221,11 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f32> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
         let mean = samples.iter().sum::<f32>() / n as f32;
-        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        let var = samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n as f32;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
         assert!((var - 9.0).abs() < 0.5, "var {var}");
     }

@@ -60,7 +60,10 @@ fn main() {
 
     // --- Part 2: iso-area accelerator comparison (Fig. 10 style) -------
     println!("\nprefill @ seq 2048, batch 1, iso-area compute budget:");
-    println!("{:<14} {:>10} {:>14} {:>12}", "design", "array", "cycles", "vs Tender");
+    println!(
+        "{:<14} {:>10} {:>14} {:>12}",
+        "design", "array", "cycles", "vs Tender"
+    );
     let hw = TenderHwConfig::paper();
     let workload = PrefillWorkload::new(&ModelShape::opt_6_7b(), 2048);
     let tender_cycles = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 8)

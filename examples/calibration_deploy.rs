@@ -49,7 +49,10 @@ fn main() {
 
     let offline = implicit_requant_matmul(&x, &weight, &calibration, &config);
     let deployed = implicit_requant_matmul(&x, &weight, &calibration2, &config2);
-    assert_eq!(offline.result, deployed.result, "deployment must be bit-identical");
+    assert_eq!(
+        offline.result, deployed.result,
+        "deployment must be bit-identical"
+    );
     println!(
         "deployed inference matches offline bit-exactly ({} x {} output, {} chunks)",
         deployed.result.rows(),

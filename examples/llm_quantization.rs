@@ -36,9 +36,15 @@ fn main() {
         println!("{name:<16} {p8:>10.2} {p4:>10.2}");
     }
     for (label, bits) in [("Tender", 8), ("Tender", 4)] {
-        let cfg = if bits == 8 { TenderConfig::int8() } else { TenderConfig::int4() };
+        let cfg = if bits == 8 {
+            TenderConfig::int8()
+        } else {
+            TenderConfig::int4()
+        };
         let ppl = exp.perplexity_of(
-            Box::new(TenderScheme::new(cfg.with_row_chunk(exp.options().seq_len / 8))),
+            Box::new(TenderScheme::new(
+                cfg.with_row_chunk(exp.options().seq_len / 8),
+            )),
             CorpusKind::Wiki,
         );
         println!("{label:<16} INT{bits}: {ppl:>8.2}");

@@ -23,11 +23,15 @@ fn main() {
     let w = rng.normal_matrix(cols, 32, 0.0, 0.2);
     let exact = x.matmul(&w).expect("shapes match");
 
-    println!("activation |max| = {:.1}, median channel |max| = {:.2}", x.abs_max(), {
-        let mut c = stats::col_abs_max(&x);
-        c.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        c[cols / 2]
-    });
+    println!(
+        "activation |max| = {:.1}, median channel |max| = {:.2}",
+        x.abs_max(),
+        {
+            let mut c = stats::col_abs_max(&x);
+            c.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            c[cols / 2]
+        }
+    );
 
     // 2. Quantize the matmul with INT4 per-tensor quantization (what
     //    commodity pipelines support) and with Tender's decomposed

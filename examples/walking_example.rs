@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example walking_example`
 
 use tender::quant::tender::{
-    classify_channels, group_scales, implicit_requant_matmul, QuantizedWeight,
-    TenderCalibration, TenderConfig,
+    classify_channels, group_scales, implicit_requant_matmul, QuantizedWeight, TenderCalibration,
+    TenderConfig,
 };
 use tender::tensor::{stats, Matrix};
 
@@ -32,7 +32,7 @@ fn main() {
     println!("\nstep 2 — power-of-2 classification into 3 groups:");
     let groups = classify_channels(&observed, tmax, 3, 2).expect("valid inputs");
     let scales = group_scales(tmax, 3, 2, 4);
-    for g in 0..3 {
+    for (g, &scale) in scales.iter().enumerate().take(3) {
         let members: Vec<String> = groups
             .iter()
             .enumerate()
@@ -43,8 +43,8 @@ fn main() {
             "  group A{} (scale S{} = {:.3} = {:.1}/7): {}",
             g + 1,
             g + 1,
-            scales[g],
-            scales[g] * 7.0,
+            scale,
+            scale * 7.0,
             members.join(", ")
         );
     }
@@ -57,7 +57,7 @@ fn main() {
         alpha: 2,
         row_chunk: 0,
         quant_act_act: false,
-            subtract_bias: true,
+        subtract_bias: true,
     };
     let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
     let wf = Matrix::identity(6);

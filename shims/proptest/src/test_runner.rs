@@ -1,0 +1,99 @@
+//! Test-case execution: configuration, seeding, and pass/reject/fail
+//! accounting for the `proptest!` macro.
+
+use crate::rng::TestRng;
+
+/// How many cases each property runs (and, implicitly, the reject budget).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: retry with fresh inputs, don't count the case.
+    Reject,
+    /// A `prop_assert*!` failed: the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Drives one property: samples inputs until the case budget is spent.
+#[derive(Debug)]
+pub struct TestRunner {
+    name: &'static str,
+    config: ProptestConfig,
+    rng: TestRng,
+    passed: u32,
+    rejected: u64,
+    case: u32,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // FNV-1a over the test name: deterministic, but distinct per test so
+        // sibling properties explore different input streams.
+        let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            name,
+            config,
+            rng: TestRng::new(seed),
+            passed: 0,
+            rejected: 0,
+            case: 0,
+        }
+    }
+
+    pub fn keep_going(&self) -> bool {
+        self.passed < self.config.cases
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        self.case += 1;
+        &mut self.rng
+    }
+
+    /// Records one case outcome; panics on failure or on too many rejects.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.passed += 1,
+            Err(TestCaseError::Reject) => {
+                self.rejected += 1;
+                let budget = 64 * self.config.cases as u64 + 64;
+                assert!(
+                    self.rejected <= budget,
+                    "property `{}` gave up: {} cases rejected (passed {})",
+                    self.name,
+                    self.rejected,
+                    self.passed,
+                );
+            }
+            Err(TestCaseError::Fail(message)) => panic!(
+                "property `{}` failed at case {} (after {} passes): {}",
+                self.name, self.case, self.passed, message
+            ),
+        }
+    }
+}

@@ -91,7 +91,10 @@ fn index_buffer_reordering_is_transparent() {
     // leaves the product invariant.
     let wf = rng.normal_matrix(16, 8, 0.0, 0.3);
     let direct = x.matmul(&wf).expect("shapes");
-    let reordered = x.gather_cols(&order).matmul(&wf.gather_rows(&order)).expect("shapes");
+    let reordered = x
+        .gather_cols(&order)
+        .matmul(&wf.gather_rows(&order))
+        .expect("shapes");
     assert!(reordered.approx_eq(&direct, direct.abs_max() * 1e-5));
 }
 

@@ -40,14 +40,16 @@ fn tender_int8_tracks_fp32_baseline() {
 fn int4_granularity_ordering_holds_at_model_level() {
     // Table I: per-column < per-row and per-column < per-tensor at INT4.
     let exp = Experiment::new(&test_shape(), options());
-    let ppl = |name: &str| {
-        exp.perplexity_of(scheme_by_name(name).expect("registered"), CorpusKind::Wiki)
-    };
+    let ppl =
+        |name: &str| exp.perplexity_of(scheme_by_name(name).expect("registered"), CorpusKind::Wiki);
     let col = ppl("per-column@4");
     let row = ppl("per-row@4");
     let tensor = ppl("per-tensor@4");
     assert!(col < row, "per-column {col} must beat per-row {row}");
-    assert!(col < tensor, "per-column {col} must beat per-tensor {tensor}");
+    assert!(
+        col < tensor,
+        "per-column {col} must beat per-tensor {tensor}"
+    );
 }
 
 #[test]
@@ -59,8 +61,14 @@ fn tender_int4_beats_smoothquant_int4() {
         Box::new(TenderScheme::new(TenderConfig::int4().with_row_chunk(0))),
         CorpusKind::Wiki,
     );
-    let sq = exp.perplexity_of(scheme_by_name("SmoothQuant@4").expect("sq"), CorpusKind::Wiki);
-    assert!(tender < sq, "Tender INT4 {tender} must beat SmoothQuant INT4 {sq}");
+    let sq = exp.perplexity_of(
+        scheme_by_name("SmoothQuant@4").expect("sq"),
+        CorpusKind::Wiki,
+    );
+    assert!(
+        tender < sq,
+        "Tender INT4 {tender} must beat SmoothQuant INT4 {sq}"
+    );
 }
 
 #[test]
@@ -107,7 +115,10 @@ fn synthetic_outliers_match_figure_2_structure() {
     let wmax = stats::col_abs_max(w);
     let mut ws = wmax.clone();
     ws.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    assert!(ws[ws.len() - 1] < 5.0 * ws[ws.len() / 2], "weights must be homogeneous");
+    assert!(
+        ws[ws.len() - 1] < 5.0 * ws[ws.len() / 2],
+        "weights must be homogeneous"
+    );
 }
 
 #[test]
