@@ -1,9 +1,47 @@
 //! Runs every experiment in paper order (tables I–VII, figures 2–13).
+//!
+//! Flags:
+//!
+//! * `--metrics-json <path>` — write the full metrics report (counters +
+//!   timings) to `path` after the suite completes.
+//!
+//! The trailing `kernel overflow events` line is part of stdout on purpose:
+//! overflow counts are exact integer sums, so the line is byte-identical at
+//! any pool size (pinned by `tests/determinism.rs`), and the metrics smoke
+//! test cross-checks it against the JSON report.
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metrics-json" => {
+                let p = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --metrics-json needs a path");
+                    std::process::exit(2);
+                });
+                metrics_path = Some(p.clone());
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
     let start = std::time::Instant::now();
     for table in tender_bench::experiments::all() {
         table.print();
     }
+    println!(
+        "kernel overflow events: {}",
+        tender_metrics::kernel::OVERFLOW_EVENTS.get()
+    );
     eprintln!("total: {:.1}s", start.elapsed().as_secs_f64());
+    if let Some(path) = metrics_path {
+        if let Err(e) = std::fs::write(&path, tender_metrics::report().to_json()) {
+            eprintln!("error: cannot write metrics report to '{path}': {e}");
+            std::process::exit(1);
+        }
+    }
 }

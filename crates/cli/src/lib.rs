@@ -12,9 +12,10 @@ use std::fmt;
 
 use tender::model::calibration::CorpusKind;
 use tender::model::ModelShape;
-use tender::sim::accel::{speedups_over, AcceleratorKind};
+use tender::sim::accel::{speedups_over_with_hbm, AcceleratorKind};
 use tender::sim::config::TenderHwConfig;
 use tender::sim::dataflow::Dataflow;
+use tender::sim::dram::HbmConfig;
 use tender::sim::generation::{decode_tokens_per_second, decode_utilization};
 use tender::sim::workload::PrefillWorkload;
 use tender::{scheme_by_name, Experiment, ExperimentOptions};
@@ -183,12 +184,36 @@ pub fn cmd_ppl(flags: &Flags) -> Result<String, CliError> {
     ))
 }
 
-/// `tender-cli simulate --model M [--seq N] [--groups G]` — iso-area
-/// accelerator comparison on the full-size model (Fig. 10 style).
+/// Builds an [`HbmConfig`] from optional `--hbm-*` overrides on top of the
+/// stock HBM2 stack.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] on unknown model or bad flags.
+/// Returns [`CliError`] on a non-numeric value; degenerate *combinations*
+/// are caught later by `HbmConfig::validate` via the simulator.
+pub fn hbm_config_from_flags(flags: &Flags) -> Result<HbmConfig, CliError> {
+    let base = HbmConfig::hbm2();
+    Ok(HbmConfig {
+        channels: flag_parse(flags, "hbm-channels", base.channels)?,
+        banks_per_channel: flag_parse(flags, "hbm-banks", base.banks_per_channel)?,
+        row_bytes: flag_parse(flags, "hbm-row-bytes", base.row_bytes)?,
+        burst_bytes: flag_parse(flags, "hbm-burst-bytes", base.burst_bytes)?,
+        bus_bytes_per_cycle: flag_parse(flags, "hbm-bus-bytes", base.bus_bytes_per_cycle)?,
+        t_rp: flag_parse(flags, "hbm-trp", base.t_rp)?,
+        t_rcd: flag_parse(flags, "hbm-trcd", base.t_rcd)?,
+        t_cas: flag_parse(flags, "hbm-tcas", base.t_cas)?,
+        t_refi: flag_parse(flags, "hbm-trefi", base.t_refi)?,
+        t_rfc: flag_parse(flags, "hbm-trfc", base.t_rfc)?,
+    })
+}
+
+/// `tender-cli simulate --model M [--seq N] [--groups G] [--hbm-* V]` —
+/// iso-area accelerator comparison on the full-size model (Fig. 10 style).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown model, bad flags, or a degenerate HBM
+/// configuration (reported with the validator's message, not a panic).
 pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let model_name = flags
         .get("model")
@@ -196,9 +221,11 @@ pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let shape = model_by_name(model_name)?;
     let seq: usize = flag_parse(flags, "seq", 2048)?;
     let groups: usize = flag_parse(flags, "groups", 8)?;
+    let hbm = hbm_config_from_flags(flags)?;
     let hw = TenderHwConfig::paper();
     let w = PrefillWorkload::new(&shape, seq);
-    let speedups = speedups_over(AcceleratorKind::Ant, &hw, groups, &w);
+    let speedups = speedups_over_with_hbm(AcceleratorKind::Ant, &hw, groups, &hbm, &w)
+        .map_err(|e| err(format!("invalid HBM configuration: {e}")))?;
     let mut out = format!(
         "prefill {} @ seq {seq}, batch 1, {groups} channel groups (iso-area, speedup over ANT):\n",
         shape.name
@@ -246,6 +273,8 @@ pub fn usage() -> String {
      \x20 --threads N                     size the shared worker pool (default:\n\
      \x20                                 TENDER_THREADS env or all cores);\n\
      \x20                                 results are identical at any N\n\
+     \x20 --metrics-json PATH             write a structured metrics report\n\
+     \x20                                 (counters + timings) after the run\n\
      \n\
      COMMANDS:\n\
      \x20 models                          list synthetic model presets\n\
@@ -253,7 +282,10 @@ pub fn usage() -> String {
      \x20 ppl      --model M --scheme S   proxy perplexity on a scaled model\n\
      \x20          [--seq N] [--seed N] [--fast true]\n\
      \x20 simulate --model M [--seq N]    iso-area accelerator speedups\n\
-     \x20          [--groups G]\n\
+     \x20          [--groups G] [--hbm-channels C] [--hbm-banks B]\n\
+     \x20          [--hbm-row-bytes N] [--hbm-burst-bytes N] [--hbm-bus-bytes N]\n\
+     \x20          [--hbm-trp N] [--hbm-trcd N] [--hbm-tcas N]\n\
+     \x20          [--hbm-trefi N] [--hbm-trfc N]\n\
      \x20 decode   --model M [--cache N]  generation-stage throughput\n\
      \x20          [--batch B]\n"
         .to_string()
@@ -288,19 +320,48 @@ pub fn extract_threads(args: &[String]) -> Result<(Vec<String>, Option<usize>), 
     Ok((rest, threads))
 }
 
-/// Dispatches a full argument vector (without the program name).
+/// Strips a global `--metrics-json PATH` flag (valid anywhere in `args`)
+/// and returns the remaining arguments plus the report path, if any.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] for unknown commands or bad arguments.
+/// Returns [`CliError`] when the value is missing.
+pub fn extract_metrics_json(args: &[String]) -> Result<(Vec<String>, Option<String>), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--metrics-json" {
+            let v = it
+                .next()
+                .ok_or_else(|| err("flag --metrics-json needs a path"))?;
+            path = Some(v.clone());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, path))
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// When `--metrics-json PATH` is given, one structured report of every
+/// metric recorded during the run (pool, kernel, model, simulator) is
+/// written to `PATH` after the command completes.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, bad arguments, or an
+/// unwritable metrics path.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (args, threads) = extract_threads(args)?;
+    let (args, metrics_path) = extract_metrics_json(&args)?;
     if let Some(n) = threads {
         tender::pool::set_threads(n);
     }
     let (cmd, rest) = args.split_first().ok_or_else(|| err(usage()))?;
     let flags = parse_flags(rest)?;
-    match cmd.as_str() {
+    let out = match cmd.as_str() {
         "models" => Ok(cmd_models()),
         "schemes" => Ok(cmd_schemes()),
         "ppl" => cmd_ppl(&flags),
@@ -308,7 +369,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "decode" => cmd_decode(&flags),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command '{other}'\n\n{}", usage()))),
+    }?;
+    if let Some(path) = metrics_path {
+        let json = tender::metrics::report().to_json();
+        std::fs::write(&path, json)
+            .map_err(|e| err(format!("cannot write metrics report to '{path}': {e}")))?;
     }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -397,6 +464,83 @@ mod tests {
         let (rest, n) = extract_threads(&args(&["models"])).unwrap();
         assert_eq!(rest, args(&["models"]));
         assert_eq!(n, None);
+    }
+
+    #[test]
+    fn simulate_rejects_degenerate_hbm_config_gracefully() {
+        // tRFC >= tREFI: the old code hit an assert! deep in the simulator;
+        // now the typed error surfaces as a CliError.
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--seq",
+            "128",
+            "--hbm-trfc",
+            "4000",
+        ]))
+        .unwrap();
+        let e = cmd_simulate(&f).unwrap_err();
+        assert!(e.0.contains("invalid HBM configuration"), "{e}");
+        assert!(e.0.contains("refresh"), "{e}");
+    }
+
+    #[test]
+    fn simulate_accepts_hbm_overrides() {
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--seq",
+            "128",
+            "--hbm-channels",
+            "4",
+        ]))
+        .unwrap();
+        assert!(cmd_simulate(&f).is_ok());
+        assert_eq!(hbm_config_from_flags(&f).unwrap().channels, 4);
+        let bad = parse_flags(&args(&["--hbm-channels", "many"])).unwrap();
+        assert!(hbm_config_from_flags(&bad).is_err());
+    }
+
+    #[test]
+    fn metrics_json_flag_is_extracted_anywhere() {
+        let (rest, p) =
+            extract_metrics_json(&args(&["--metrics-json", "/tmp/m.json", "models"])).unwrap();
+        assert_eq!(rest, args(&["models"]));
+        assert_eq!(p.as_deref(), Some("/tmp/m.json"));
+        let (rest, p) = extract_metrics_json(&args(&["models"])).unwrap();
+        assert_eq!(rest, args(&["models"]));
+        assert_eq!(p, None);
+        assert!(extract_metrics_json(&args(&["--metrics-json"])).is_err());
+    }
+
+    #[test]
+    fn metrics_json_report_is_written() {
+        let dir = std::env::temp_dir().join("tender-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(&args(&[
+            "--metrics-json",
+            &path_s,
+            "simulate",
+            "--model",
+            "OPT-6.7B",
+            "--seq",
+            "128",
+        ]))
+        .expect("simulate with metrics runs");
+        assert!(out.contains("Tender"));
+        let json = std::fs::read_to_string(&path).expect("report written");
+        assert!(json.contains("\"sim\""), "sim section present");
+        assert!(json.contains("\"accel_runs\""), "accel counters present");
+        std::fs::remove_file(&path).ok();
+        let e = run(&args(&[
+            "--metrics-json",
+            "/nonexistent-dir/deep/m.json",
+            "models",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("cannot write metrics report"), "{e}");
     }
 
     #[test]

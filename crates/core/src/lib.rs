@@ -16,6 +16,9 @@
 //! * [`sim`] — cycle-level hardware models: the Multi-Scale Systolic
 //!   Array, HBM2 timing, iso-area baseline accelerators, energy/area, and
 //!   a GPU latency model.
+//! * [`metrics`] — std-only observability layer: atomic counters and span
+//!   timers recorded across the stack (pool, kernels, model, simulator),
+//!   exported as one JSON report via `tender-cli --metrics-json <path>`.
 //! * [`Experiment`] — an end-to-end harness tying them together:
 //!   generate a model, calibrate a scheme, evaluate perplexity.
 //!
@@ -40,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub use tender_metrics as metrics;
 pub use tender_model as model;
 pub use tender_quant as quant;
 pub use tender_sim as sim;

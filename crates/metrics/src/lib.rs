@@ -1,0 +1,502 @@
+//! # tender-metrics
+//!
+//! A std-only observability layer for the whole workspace: atomic counters,
+//! gauges, and span timers with **zero hot-path allocation**, plus a
+//! structured JSON report (`tender-cli --metrics-json <path>`,
+//! `all_experiments --metrics-json <path>`).
+//!
+//! # Design
+//!
+//! Every metric is a `static` with interior atomicity, declared centrally in
+//! this crate under a module named for the subsystem that records it
+//! ([`pool`], [`kernel`], [`model`], [`sim`]). Instrumented crates update
+//! them with relaxed atomic adds — one instruction on the hot path, no
+//! locks, no allocation, no registration handshake. The report walks the
+//! same statics, so collection and export cannot drift apart.
+//!
+//! # Determinism contract
+//!
+//! Instrumentation must never perturb computed results: counters are
+//! commutative integer sums (exact under any thread interleaving, so the
+//! *counts* printed to stdout are bit-identical at every pool size, matching
+//! the worker pool's determinism guarantee), and timers measure wall clock
+//! only — timing values appear exclusively in the JSON report, never in
+//! experiment stdout.
+//!
+//! # Example
+//!
+//! ```
+//! use tender_metrics as metrics;
+//!
+//! metrics::kernel::OVERFLOW_EVENTS.add(3);
+//! let t = metrics::model::LAYER_FORWARD.span(0);
+//! drop(t); // records the elapsed time for layer 0
+//! let json = metrics::report().to_json();
+//! assert!(json.contains("\"overflow_events\""));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+mod report;
+
+pub use report::{Report, Section, Value};
+
+/// A monotone event counter (relaxed atomic `u64`).
+///
+/// Adds are commutative and exact, so totals are independent of thread
+/// interleaving — the property the workspace's determinism contract needs.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter, usable in `static` position.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `n` events. `n == 0` is free (no atomic traffic).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and multi-run harnesses).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A last-written-value gauge (e.g. the pool's thread count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge, usable in `static` position.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// A running-maximum gauge (e.g. deepest observed pool queue).
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    /// A zeroed gauge, usable in `static` position.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Folds `v` into the maximum.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Largest observed value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A span timer: event count, total and maximum duration in nanoseconds.
+///
+/// Record either with an RAII [`Span`] (see [`Timer::span`]) or directly
+/// with [`Timer::record_ns`]. All fields are relaxed atomics; recording is
+/// three `fetch_*` instructions and never allocates.
+#[derive(Debug, Default)]
+pub struct Timer {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Timer {
+    /// A zeroed timer, usable in `static` position.
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one span of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Starts an RAII span that records its elapsed time when dropped.
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            timer: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of recorded spans.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds across all spans.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Longest single span in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean span duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Resets all fields to zero.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard returned by [`Timer::span`]; records on drop.
+#[must_use = "a span records its duration when dropped"]
+pub struct Span<'a> {
+    timer: &'a Timer,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.timer
+            .record_ns(self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+}
+
+/// A fixed bank of timers indexed by a small id (e.g. layer index).
+///
+/// Indices past the bank size fold into the last slot, so recording is
+/// always in-bounds and allocation-free regardless of model depth.
+#[derive(Debug)]
+pub struct TimerBank<const N: usize>([Timer; N]);
+
+impl<const N: usize> TimerBank<N> {
+    /// A zeroed bank, usable in `static` position.
+    pub const fn new() -> Self {
+        Self([const { Timer::new() }; N])
+    }
+
+    /// The timer for `idx` (clamped to the last slot).
+    pub fn slot(&self, idx: usize) -> &Timer {
+        &self.0[idx.min(N - 1)]
+    }
+
+    /// Starts an RAII span on slot `idx`.
+    pub fn span(&self, idx: usize) -> Span<'_> {
+        self.slot(idx).span()
+    }
+
+    /// Records `ns` nanoseconds on slot `idx`.
+    #[inline]
+    pub fn record_ns(&self, idx: usize, ns: u64) {
+        self.slot(idx).record_ns(ns);
+    }
+
+    /// All slots, for report export.
+    pub fn slots(&self) -> &[Timer; N] {
+        &self.0
+    }
+
+    /// Resets every slot.
+    pub fn reset(&self) {
+        for t in &self.0 {
+            t.reset();
+        }
+    }
+}
+
+impl<const N: usize> Default for TimerBank<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed bank of counters indexed by a small id (e.g. group index).
+#[derive(Debug)]
+pub struct CounterBank<const N: usize>([Counter; N]);
+
+impl<const N: usize> CounterBank<N> {
+    /// A zeroed bank, usable in `static` position.
+    pub const fn new() -> Self {
+        Self([const { Counter::new() }; N])
+    }
+
+    /// Adds `n` to slot `idx` (clamped to the last slot).
+    #[inline]
+    pub fn add(&self, idx: usize, n: u64) {
+        self.0[idx.min(N - 1)].add(n);
+    }
+
+    /// Value of slot `idx` (clamped to the last slot).
+    pub fn get(&self, idx: usize) -> u64 {
+        self.0[idx.min(N - 1)].get()
+    }
+
+    /// All slots, for report export.
+    pub fn slots(&self) -> &[Counter; N] {
+        &self.0
+    }
+
+    /// Resets every slot.
+    pub fn reset(&self) {
+        for c in &self.0 {
+            c.reset();
+        }
+    }
+}
+
+impl<const N: usize> Default for CounterBank<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-thread slots tracked for the worker pool (slot 0 is the injecting
+/// caller; workers occupy 1..). Larger pools fold into the last slot.
+pub const MAX_POOL_THREADS: usize = 64;
+
+/// Per-layer timing slots; deeper models fold into the last slot.
+pub const MAX_LAYERS: usize = 64;
+
+/// Per-group counter slots; higher group indices fold into the last slot.
+pub const MAX_GROUPS: usize = 16;
+
+/// Worker-pool metrics (`tender_tensor::pool`).
+pub mod pool {
+    use super::*;
+
+    /// Total parallelism of the global pool (workers + caller).
+    pub static THREADS: Gauge = Gauge::new();
+    /// Batches dispatched to the parallel path.
+    pub static PARALLEL_BATCHES: Counter = Counter::new();
+    /// Work items executed through the parallel path.
+    pub static PARALLEL_ITEMS: Counter = Counter::new();
+    /// Work items executed inline (serial path, nested calls, 1-thread pool).
+    pub static INLINE_ITEMS: Counter = Counter::new();
+    /// Deepest injection queue observed (batches waiting at enqueue time).
+    pub static QUEUE_DEPTH_MAX: MaxGauge = MaxGauge::new();
+    /// Injector-side latency of one parallel batch: enqueue → all items done.
+    pub static BATCH_LATENCY: Timer = Timer::new();
+    /// Busy time per thread (slot 0 = the injecting caller, 1.. = workers).
+    pub static THREAD_BUSY_NS: CounterBank<MAX_POOL_THREADS> = CounterBank::new();
+}
+
+/// Tender kernel metrics (`tender_quant::tender`).
+pub mod kernel {
+    use super::*;
+
+    /// Implicit-requantization matmul invocations.
+    pub static IMPLICIT_MATMULS: Counter = Counter::new();
+    /// Explicit-requantization matmul invocations.
+    pub static EXPLICIT_MATMULS: Counter = Counter::new();
+    /// Activation values quantized by the decomposed kernels.
+    pub static QUANTIZED_VALUES: Counter = Counter::new();
+    /// Quantized values that clipped at ±qmax (saturation events).
+    pub static SATURATED_VALUES: Counter = Counter::new();
+    /// Values quantized per channel group (group 0 = largest scale).
+    pub static GROUP_QUANTIZED: CounterBank<MAX_GROUPS> = CounterBank::new();
+    /// Accumulator excursions beyond the hardware's 32-bit range, observed
+    /// after **every** accumulation step (MAC or α-shift) — the
+    /// hardware-faithful count (see `DESIGN.md`).
+    pub static OVERFLOW_EVENTS: Counter = Counter::new();
+    /// Chunks proven overflow-free a priori (per-step checks skipped).
+    pub static CHUNKS_FAST_PATH: Counter = Counter::new();
+    /// Chunks run with per-step overflow checks.
+    pub static CHUNKS_CHECKED: Counter = Counter::new();
+}
+
+/// Model forward-pass metrics (`tender_model`).
+pub mod model {
+    use super::*;
+
+    /// Complete forward passes (reference + quantized).
+    pub static FORWARD_PASSES: Counter = Counter::new();
+    /// Wall-clock per transformer layer, by layer index.
+    pub static LAYER_FORWARD: TimerBank<MAX_LAYERS> = TimerBank::new();
+}
+
+/// Hardware-simulator metrics (`tender_sim`).
+pub mod sim {
+    use super::*;
+
+    /// DRAM bursts that hit an open row.
+    pub static DRAM_ROW_HITS: Counter = Counter::new();
+    /// DRAM bursts that paid precharge + activate.
+    pub static DRAM_ROW_MISSES: Counter = Counter::new();
+    /// Bytes moved through the HBM model.
+    pub static DRAM_BYTES: Counter = Counter::new();
+    /// Bursts delayed by an in-progress refresh.
+    pub static DRAM_REFRESH_STALLS: Counter = Counter::new();
+    /// Accelerator workload runs.
+    pub static ACCEL_RUNS: Counter = Counter::new();
+    /// Total modeled cycles across accelerator runs.
+    pub static ACCEL_CYCLES: Counter = Counter::new();
+    /// Total modeled DRAM traffic across accelerator runs (bytes).
+    pub static ACCEL_DRAM_BYTES: Counter = Counter::new();
+    /// Multi-Scale Systolic Array tile executions.
+    pub static MSA_RUNS: Counter = Counter::new();
+    /// Total MSA cycles across tile executions.
+    pub static MSA_CYCLES: Counter = Counter::new();
+}
+
+/// Snapshot of every metric, ready for JSON export.
+pub fn report() -> Report {
+    report::build()
+}
+
+/// Resets every metric to zero (tests and multi-run harnesses).
+pub fn reset_all() {
+    pool::THREADS.reset();
+    pool::PARALLEL_BATCHES.reset();
+    pool::PARALLEL_ITEMS.reset();
+    pool::INLINE_ITEMS.reset();
+    pool::QUEUE_DEPTH_MAX.reset();
+    pool::BATCH_LATENCY.reset();
+    pool::THREAD_BUSY_NS.reset();
+    kernel::IMPLICIT_MATMULS.reset();
+    kernel::EXPLICIT_MATMULS.reset();
+    kernel::QUANTIZED_VALUES.reset();
+    kernel::SATURATED_VALUES.reset();
+    kernel::GROUP_QUANTIZED.reset();
+    kernel::OVERFLOW_EVENTS.reset();
+    kernel::CHUNKS_FAST_PATH.reset();
+    kernel::CHUNKS_CHECKED.reset();
+    model::FORWARD_PASSES.reset();
+    model::LAYER_FORWARD.reset();
+    sim::DRAM_ROW_HITS.reset();
+    sim::DRAM_ROW_MISSES.reset();
+    sim::DRAM_BYTES.reset();
+    sim::DRAM_REFRESH_STALLS.reset();
+    sim::ACCEL_RUNS.reset();
+    sim::ACCEL_CYCLES.reset();
+    sim::ACCEL_DRAM_BYTES.reset();
+    sim::MSA_RUNS.reset();
+    sim::MSA_CYCLES.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_and_reset() {
+        let c = Counter::new();
+        c.add(0); // free path
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn max_gauge_keeps_maximum() {
+        let g = MaxGauge::new();
+        g.observe(3);
+        g.observe(1);
+        g.observe(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn timer_records_spans() {
+        let t = Timer::new();
+        t.record_ns(10);
+        t.record_ns(30);
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.total_ns(), 40);
+        assert_eq!(t.max_ns(), 30);
+        assert_eq!(t.mean_ns(), 20);
+        {
+            let _s = t.span();
+        }
+        assert_eq!(t.count(), 3);
+    }
+
+    #[test]
+    fn banks_clamp_out_of_range_indices() {
+        let b: CounterBank<4> = CounterBank::new();
+        b.add(2, 5);
+        b.add(99, 7); // folds into slot 3
+        assert_eq!(b.get(2), 5);
+        assert_eq!(b.get(3), 7);
+        let t: TimerBank<4> = TimerBank::new();
+        t.record_ns(99, 1);
+        assert_eq!(t.slot(3).count(), 1);
+    }
+
+    #[test]
+    fn counters_are_exact_under_concurrency() {
+        static C: Counter = Counter::new();
+        C.reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        C.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(C.get(), 40_000);
+    }
+}

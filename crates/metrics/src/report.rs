@@ -1,0 +1,295 @@
+//! Structured metrics snapshot and hand-rolled JSON emission.
+//!
+//! The workspace is dependency-free, so JSON is written by hand. Keys are
+//! static identifiers (no escaping needed beyond the standard string rules,
+//! which [`escape`] applies anyway), ordering is fixed, and the output is
+//! valid JSON by construction — the bench suite re-parses it with an
+//! independent minimal parser to keep this honest.
+
+use crate::{kernel, model, pool, sim, Counter, Timer};
+
+/// A single exported metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counters, gauges, nanoseconds).
+    U64(u64),
+    /// Array of unsigned integers (per-thread / per-group banks).
+    Array(Vec<u64>),
+    /// Nested object (timer breakdowns).
+    Object(Vec<(String, Value)>),
+}
+
+/// One named subsystem in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Subsystem name (`pool`, `kernel`, `model`, `sim`).
+    pub name: &'static str,
+    /// Ordered metric fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Section {
+    /// Looks up a top-level `u64` field by name.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            Value::U64(n) if k == key => Some(*n),
+            _ => None,
+        })
+    }
+}
+
+/// A point-in-time snapshot of every metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Ordered subsystem sections.
+    pub sections: Vec<Section>,
+}
+
+impl Report {
+    /// The section named `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        for (si, sec) in self.sections.iter().enumerate() {
+            out.push_str(&format!("  \"{}\": {{\n", escape(sec.name)));
+            for (fi, (k, v)) in sec.fields.iter().enumerate() {
+                out.push_str(&format!("    \"{}\": ", escape(k)));
+                write_value(&mut out, v, 4);
+                out.push_str(if fi + 1 < sec.fields.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  }");
+            out.push_str(if si + 1 < self.sections.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::Array(xs) => {
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&x.to_string());
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            let pad = " ".repeat(indent + 2);
+            out.push_str("{\n");
+            for (i, (k, fv)) in fields.iter().enumerate() {
+                out.push_str(&format!("{pad}\"{}\": ", escape(k)));
+                write_value(out, fv, indent + 2);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn timer_value(t: &Timer) -> Value {
+    Value::Object(vec![
+        ("count".into(), Value::U64(t.count())),
+        ("total_ns".into(), Value::U64(t.total_ns())),
+        ("mean_ns".into(), Value::U64(t.mean_ns())),
+        ("max_ns".into(), Value::U64(t.max_ns())),
+    ])
+}
+
+/// Trims trailing zero slots from a counter bank (keeps at least one entry).
+fn bank_values<const N: usize>(bank: &[Counter; N]) -> Vec<u64> {
+    let vals: Vec<u64> = bank.iter().map(Counter::get).collect();
+    let last = vals.iter().rposition(|&v| v != 0).map_or(0, |i| i + 1);
+    vals[..last.max(1)].to_vec()
+}
+
+pub(crate) fn build() -> Report {
+    let pool_section = Section {
+        name: "pool",
+        fields: vec![
+            ("threads".into(), Value::U64(pool::THREADS.get())),
+            (
+                "parallel_batches".into(),
+                Value::U64(pool::PARALLEL_BATCHES.get()),
+            ),
+            (
+                "parallel_items".into(),
+                Value::U64(pool::PARALLEL_ITEMS.get()),
+            ),
+            ("inline_items".into(), Value::U64(pool::INLINE_ITEMS.get())),
+            (
+                "queue_depth_max".into(),
+                Value::U64(pool::QUEUE_DEPTH_MAX.get()),
+            ),
+            ("batch_latency".into(), timer_value(&pool::BATCH_LATENCY)),
+            (
+                "thread_busy_ns".into(),
+                Value::Array(bank_values(pool::THREAD_BUSY_NS.slots())),
+            ),
+        ],
+    };
+    let kernel_section = Section {
+        name: "kernel",
+        fields: vec![
+            (
+                "implicit_matmuls".into(),
+                Value::U64(kernel::IMPLICIT_MATMULS.get()),
+            ),
+            (
+                "explicit_matmuls".into(),
+                Value::U64(kernel::EXPLICIT_MATMULS.get()),
+            ),
+            (
+                "quantized_values".into(),
+                Value::U64(kernel::QUANTIZED_VALUES.get()),
+            ),
+            (
+                "saturated_values".into(),
+                Value::U64(kernel::SATURATED_VALUES.get()),
+            ),
+            (
+                "group_quantized".into(),
+                Value::Array(bank_values(kernel::GROUP_QUANTIZED.slots())),
+            ),
+            (
+                "overflow_events".into(),
+                Value::U64(kernel::OVERFLOW_EVENTS.get()),
+            ),
+            (
+                "chunks_fast_path".into(),
+                Value::U64(kernel::CHUNKS_FAST_PATH.get()),
+            ),
+            (
+                "chunks_checked".into(),
+                Value::U64(kernel::CHUNKS_CHECKED.get()),
+            ),
+        ],
+    };
+    // Per-layer timers: export only layers that actually ran, as an array of
+    // {layer, count, total_ns, mean_ns, max_ns} objects.
+    let layers: Vec<(String, Value)> = model::LAYER_FORWARD
+        .slots()
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.count() > 0)
+        .map(|(i, t)| (format!("layer_{i}"), timer_value(t)))
+        .collect();
+    let model_section = Section {
+        name: "model",
+        fields: vec![
+            (
+                "forward_passes".into(),
+                Value::U64(model::FORWARD_PASSES.get()),
+            ),
+            ("layer_forward".into(), Value::Object(layers)),
+        ],
+    };
+    let sim_section = Section {
+        name: "sim",
+        fields: vec![
+            ("dram_row_hits".into(), Value::U64(sim::DRAM_ROW_HITS.get())),
+            (
+                "dram_row_misses".into(),
+                Value::U64(sim::DRAM_ROW_MISSES.get()),
+            ),
+            ("dram_bytes".into(), Value::U64(sim::DRAM_BYTES.get())),
+            (
+                "dram_refresh_stalls".into(),
+                Value::U64(sim::DRAM_REFRESH_STALLS.get()),
+            ),
+            ("accel_runs".into(), Value::U64(sim::ACCEL_RUNS.get())),
+            ("accel_cycles".into(), Value::U64(sim::ACCEL_CYCLES.get())),
+            (
+                "accel_dram_bytes".into(),
+                Value::U64(sim::ACCEL_DRAM_BYTES.get()),
+            ),
+            ("msa_runs".into(), Value::U64(sim::MSA_RUNS.get())),
+            ("msa_cycles".into(), Value::U64(sim::MSA_CYCLES.get())),
+        ],
+    };
+    Report {
+        sections: vec![pool_section, kernel_section, model_section, sim_section],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_all_sections_in_order() {
+        let r = crate::report();
+        let names: Vec<&str> = r.sections.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["pool", "kernel", "model", "sim"]);
+    }
+
+    #[test]
+    fn section_lookup_and_counters_round_trip() {
+        kernel::OVERFLOW_EVENTS.reset();
+        kernel::OVERFLOW_EVENTS.add(42);
+        let r = crate::report();
+        let k = r.section("kernel").unwrap();
+        assert_eq!(k.get_u64("overflow_events"), Some(42));
+        assert!(r.section("nope").is_none());
+        kernel::OVERFLOW_EVENTS.reset();
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let json = crate::report().to_json();
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"overflow_events\""));
+        assert!(json.contains("\"thread_busy_ns\""));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("\n"), "\\u000a");
+    }
+
+    #[test]
+    fn bank_values_trim_trailing_zeros() {
+        let bank: crate::CounterBank<8> = crate::CounterBank::new();
+        bank.add(0, 1);
+        bank.add(2, 3);
+        assert_eq!(bank_values(bank.slots()), vec![1, 0, 3]);
+        let empty: crate::CounterBank<8> = crate::CounterBank::new();
+        assert_eq!(bank_values(empty.slots()), vec![0]);
+    }
+}

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use tender_metrics::model as metrics;
 use tender_quant::scheme::{QuantMatmul, Scheme};
 use tender_tensor::{ops, pool, Matrix};
 
@@ -117,7 +118,11 @@ fn forward_internal(
     let dh = shape.head_dim();
     let scale = 1.0 / (dh as f32).sqrt();
 
+    metrics::FORWARD_PASSES.incr();
     for (li, layer) in w.layers.iter().enumerate() {
+        // Wall-clock per layer goes to the JSON report only; it never
+        // influences computed values or experiment stdout.
+        let _layer_span = metrics::LAYER_FORWARD.span(li);
         // Attention sub-block.
         let a = apply_norm(&h, &layer.ln1_gamma, &layer.ln1_beta, shape.norm);
         if let Some(cap) = capture.as_deref_mut() {

@@ -48,5 +48,7 @@ pub mod quantizer;
 pub mod scheme;
 pub mod tender;
 
-pub use quantizer::{dequantize, qmax, quantize_matrix, quantize_value, symmetric_scale};
+pub use quantizer::{
+    dequantize, qmax, quantize_matrix, quantize_value, quantize_value_saturating, symmetric_scale,
+};
 pub use scheme::{QuantMatmul, Scheme};

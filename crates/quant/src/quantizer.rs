@@ -51,6 +51,21 @@ pub fn quantize_value(x: f32, scale: f32, bits: u32) -> i32 {
     (q as i32).clamp(-k, k)
 }
 
+/// Quantizes a single value and reports whether it **saturated** — i.e. the
+/// rounded value fell outside `[-qmax, qmax]` and the clamp changed it.
+///
+/// The decomposed kernels use this to count saturation events (hardware
+/// clipping) without a second comparison pass; for in-range values the
+/// result is identical to [`quantize_value`].
+pub fn quantize_value_saturating(x: f32, scale: f32, bits: u32) -> (i32, bool) {
+    let k = qmax(bits);
+    let q = (x / scale).round();
+    // Compare in f32 so out-of-i32-range values register as saturated
+    // instead of relying on the `as` cast's clipping alone.
+    let saturated = q > k as f32 || q < -k as f32;
+    ((q as i32).clamp(-k, k), saturated)
+}
+
 /// Dequantizes a single value.
 pub fn dequantize(q: i32, scale: f32) -> f32 {
     q as f32 * scale

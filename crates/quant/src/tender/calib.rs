@@ -10,7 +10,7 @@
 use tender_tensor::{stats, Matrix};
 
 use super::config::TenderConfig;
-use super::decompose::{classify_channels, group_scales};
+use super::decompose::{classify_channels, group_scales, DecompositionError};
 
 /// Calibration metadata for one row chunk.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,8 +53,24 @@ impl ChunkCalibration {
             .map(|(&(lo, hi), &b)| (hi - b).abs().max((lo - b).abs()))
             .collect();
         let tmax = cmax.iter().fold(0.0_f32, |a, &b| a.max(b));
-        let group_of = classify_channels(&cmax, tmax, config.num_groups, config.alpha)
-            .expect("non-empty channels and groups");
+        let group_of = match classify_channels(&cmax, tmax, config.num_groups, config.alpha) {
+            Ok(g) => g,
+            Err(DecompositionError::NonFinite { .. }) => {
+                // NaN/Inf activations cannot be ranked by magnitude.
+                // Degrade gracefully: treat the offending channels as
+                // unbounded and classify them into group 0 (the
+                // largest-scale group — the only safe placement), leaving
+                // finite channels thresholded as usual. f32::MAX outranks
+                // every finite threshold, so the substitution is exact.
+                let sane: Vec<f32> = cmax
+                    .iter()
+                    .map(|&c| if c.is_finite() { c } else { f32::MAX })
+                    .collect();
+                classify_channels(&sane, tmax, config.num_groups, config.alpha)
+                    .expect("sanitized CMax values are finite")
+            }
+            Err(e) => unreachable!("validated config and non-empty input: {e}"),
+        };
         let scales = group_scales(tmax, config.num_groups, config.alpha, config.bits);
         let mut order = vec![Vec::new(); config.num_groups];
         for (ch, &g) in group_of.iter().enumerate() {
@@ -180,6 +196,25 @@ mod tests {
 
     fn cfg() -> TenderConfig {
         TenderConfig::int8().with_groups(4).with_row_chunk(8)
+    }
+
+    #[test]
+    fn non_finite_activation_channel_lands_in_group_zero() {
+        // A NaN channel must not fall through to the smallest-scale group
+        // (the pre-fix behaviour) and must not panic calibration.
+        let x = Matrix::from_rows(&[
+            vec![4.9, f32::NAN, 0.1, 8.0],
+            vec![-4.9, f32::NAN, -0.1, -8.0],
+        ])
+        .unwrap();
+        let cc = ChunkCalibration::from_activation(&x, &cfg().with_row_chunk(0));
+        assert_eq!(cc.group_of[1], 0, "NaN channel → largest-scale group");
+        assert_eq!(cc.group_of[3], 0, "true max channel keeps group 0");
+        assert!(
+            cc.group_of[2] > cc.group_of[0],
+            "finite channels still rank by magnitude"
+        );
+        assert!(cc.scales.iter().all(|s| s.is_finite() && *s > 0.0));
     }
 
     #[test]

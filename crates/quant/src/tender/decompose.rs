@@ -18,6 +18,12 @@ pub enum DecompositionError {
     NoChannels,
     /// The group count was zero.
     NoGroups,
+    /// A channel's `CMax` was NaN or infinite and cannot be ranked by
+    /// magnitude.
+    NonFinite {
+        /// Index of the first offending channel.
+        channel: usize,
+    },
 }
 
 impl fmt::Display for DecompositionError {
@@ -25,11 +31,25 @@ impl fmt::Display for DecompositionError {
         match self {
             DecompositionError::NoChannels => write!(f, "no channels to decompose"),
             DecompositionError::NoGroups => write!(f, "group count must be at least one"),
+            DecompositionError::NonFinite { channel } => {
+                write!(f, "channel {channel} has a non-finite CMax")
+            }
         }
     }
 }
 
 impl Error for DecompositionError {}
+
+/// The degenerate-`tmax` guard, shared with [`group_scales`]: a `TMax` that
+/// is zero, negative, NaN, or infinite is replaced by a tiny positive value
+/// so thresholding (and scale division) stays well-defined.
+fn sanitize_tmax(tmax: f32) -> f32 {
+    if tmax > 0.0 && tmax.is_finite() {
+        tmax
+    } else {
+        f32::MIN_POSITIVE
+    }
+}
 
 /// Classifies each channel into a group index in `0..num_groups`
 /// (0 = largest-scale group) using the power-of-α rule.
@@ -38,9 +58,17 @@ impl Error for DecompositionError {}
 /// `TMax/α^(g+1) < CMax ≤ TMax/α^g`; the final group also absorbs every
 /// smaller channel so the mapping is total.
 ///
+/// A degenerate `tmax` (zero, negative, NaN, infinite) is sanitized with
+/// the same guard [`group_scales`] applies, so classification and scale
+/// generation always agree on the effective `TMax`.
+///
 /// # Errors
 ///
-/// Returns [`DecompositionError`] if `cmax` is empty or `num_groups == 0`.
+/// Returns [`DecompositionError`] if `cmax` is empty, `num_groups == 0`, or
+/// any channel's `CMax` is non-finite ([`DecompositionError::NonFinite`] —
+/// NaN/Inf cannot be ranked by magnitude; earlier revisions silently
+/// dropped such channels into the *smallest-scale* group via comparison
+/// fall-through, the worst possible placement for an unbounded channel).
 ///
 /// # Example
 ///
@@ -67,6 +95,10 @@ pub fn classify_channels(
     if num_groups == 0 {
         return Err(DecompositionError::NoGroups);
     }
+    if let Some(channel) = cmax.iter().position(|c| !c.is_finite()) {
+        return Err(DecompositionError::NonFinite { channel });
+    }
+    let tmax = sanitize_tmax(tmax);
     let alpha = alpha as f32;
     let groups = cmax
         .iter()
@@ -92,10 +124,13 @@ pub fn classify_channels(
 /// Panics if `bits` is outside `2..=31`.
 pub fn group_scales(tmax: f32, num_groups: usize, alpha: u32, bits: u32) -> Vec<f32> {
     let k = qmax(bits) as f32;
+    // Shared degenerate-TMax guard (see `sanitize_tmax`): a sanitized TMax
+    // of MIN_POSITIVE yields a smallest representable group-0 scale of
+    // MIN_POSITIVE after the division by k below.
     let tmax = if tmax > 0.0 && tmax.is_finite() {
         tmax
     } else {
-        k * f32::MIN_POSITIVE
+        k * sanitize_tmax(tmax)
     };
     let mut scales = Vec::with_capacity(num_groups);
     let mut numer = tmax;
@@ -158,6 +193,37 @@ mod tests {
             classify_channels(&[1.0], 1.0, 0, 2).unwrap_err(),
             DecompositionError::NoGroups
         );
+    }
+
+    #[test]
+    fn non_finite_cmax_is_a_typed_error() {
+        // Regression: NaN/Inf CMax used to fall through every `c > threshold`
+        // comparison and land in the smallest-scale group — the worst
+        // placement for an unbounded channel. Now it is a typed error.
+        assert_eq!(
+            classify_channels(&[1.0, f32::NAN, 2.0], 2.0, 4, 2).unwrap_err(),
+            DecompositionError::NonFinite { channel: 1 }
+        );
+        assert_eq!(
+            classify_channels(&[f32::INFINITY], 1.0, 2, 2).unwrap_err(),
+            DecompositionError::NonFinite { channel: 0 }
+        );
+        let msg = DecompositionError::NonFinite { channel: 3 }.to_string();
+        assert!(msg.contains("channel 3"), "{msg}");
+    }
+
+    #[test]
+    fn degenerate_tmax_guard_matches_group_scales() {
+        // NaN / zero / negative TMax must not panic or produce NaN
+        // thresholds; the sanitized TMax mirrors group_scales' guard, so
+        // any finite positive channel outranks it into group 0.
+        for bad in [f32::NAN, 0.0, -3.0, f32::INFINITY] {
+            let g = classify_channels(&[5.0, 0.0], bad, 3, 2).unwrap();
+            assert_eq!(g[0], 0, "tmax={bad}: positive channel → group 0");
+            assert_eq!(g[1], 2, "tmax={bad}: zero channel → last group");
+            let s = group_scales(bad, 3, 2, 8);
+            assert!(s.iter().all(|&x| x > 0.0 && x.is_finite()), "tmax={bad}");
+        }
     }
 
     #[test]

@@ -15,15 +15,34 @@
 //! The implicit path accumulates in `i64` and *reports* (rather than clips)
 //! values that would not fit the hardware's 32-bit accumulator, so the
 //! paper's "sufficiently large bit width" claim is checkable.
+//!
+//! # Overflow semantics (hardware-faithful)
+//!
+//! The paper's PE accumulator is 32 bits wide (§IV-B); an excursion past
+//! `i32` range at **any** accumulation step would clip on silicon, even if
+//! later steps of opposite sign bring the value back in range. The software
+//! model therefore checks after *every* accumulator mutation — each MAC and
+//! each α-shift — and counts every observation outside `[i32::MIN,
+//! i32::MAX]` as one overflow event. (An earlier revision only sampled the
+//! accumulator at group boundaries, silently missing exactly the mid-chunk
+//! excursions the hardware would corrupt.)
+//!
+//! Per-step checking is free for every workload the paper models: before a
+//! chunk runs, [`chunk_accumulator_bound`] computes a sound worst-case bound
+//! on `|accumulator|` from the group sizes and operand bit widths. When the
+//! bound fits in `i32` — true for all paper-scale shapes — no step can
+//! overflow, the checks are skipped entirely, and the count is exactly zero.
+//! Only chunks whose bound exceeds `i32` pay one compare per step.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use tender_metrics::kernel as metrics;
 use tender_tensor::pool;
 use tender_tensor::{stats, IMatrix, Matrix};
 
-use super::calib::TenderCalibration;
+use super::calib::{ChunkCalibration, TenderCalibration};
 use super::config::TenderConfig;
-use crate::quantizer::{quantize_value, symmetric_scale};
+use crate::quantizer::{qmax, quantize_value, quantize_value_saturating, symmetric_scale};
 
 /// A weight quantized per output column, ready for the integer pipeline.
 #[derive(Debug, Clone)]
@@ -77,12 +96,50 @@ impl QuantizedWeight {
 pub struct MatmulStats {
     /// The (approximately) quantized product.
     pub result: Matrix,
-    /// Number of (element, group-boundary) observations where the integer
-    /// accumulator exceeded the 32-bit range the hardware provides.
-    /// Zero for every workload the paper models.
+    /// Number of accumulation steps (MAC or α-shift) after which an
+    /// element's integer accumulator sat outside the 32-bit range the
+    /// hardware provides — including excursions that cancel before the
+    /// chunk ends (see the module docs). Zero for every workload the paper
+    /// models.
     pub overflow_events: usize,
     /// Number of row chunks processed.
     pub chunks_processed: usize,
+}
+
+/// Whether `a` lies outside the hardware accumulator's 32-bit range.
+#[inline]
+fn outside_i32(a: i64) -> bool {
+    a > i32::MAX as i64 || a < i32::MIN as i64
+}
+
+/// Sound worst-case bound on `|accumulator|` at **any** step of one chunk's
+/// decomposed accumulation (implicit or explicit-shifted order).
+///
+/// Every MAC adds at most `qmax(act_bits) · qmax(w_bits)` in magnitude and
+/// every inter-group rescale multiplies the running magnitude by α, so
+/// folding `bound = bound·α + group_len · step_max` over the groups bounds
+/// each intermediate value (the explicit-shifted order weights each group
+/// by `α^(G-1-g)` up front, which telescopes to the same total). Saturating
+/// `u128` arithmetic keeps the bound itself well-defined for adversarial
+/// configurations.
+#[doc(hidden)]
+pub fn chunk_accumulator_bound(cc: &ChunkCalibration, w_bits: u32, config: &TenderConfig) -> u128 {
+    let step = qmax(config.bits) as u128 * qmax(w_bits) as u128;
+    let alpha = config.alpha as u128;
+    let mut bound: u128 = 0;
+    for chans in &cc.order {
+        bound = bound
+            .saturating_mul(alpha)
+            .saturating_add(chans.len() as u128 * step);
+    }
+    bound
+}
+
+/// Whether a chunk with this calibration can be proven overflow-free, in
+/// which case the kernels skip per-step checks (the documented fast path).
+#[doc(hidden)]
+pub fn chunk_cannot_overflow(cc: &ChunkCalibration, w_bits: u32, config: &TenderConfig) -> bool {
+    chunk_accumulator_bound(cc, w_bits, config) <= i32::MAX as u128
 }
 
 /// Bias-correction row: `bias · W_deq`, added to every output row of a chunk
@@ -115,37 +172,61 @@ pub fn accumulate_chunk_implicit(
     let alpha = config.alpha as i64;
     let mut acc = vec![0_i64; m * n];
     let overflow = AtomicUsize::new(0);
+    let saturated = AtomicUsize::new(0);
+    // Fast path: when the worst-case accumulator bound fits the hardware's
+    // 32 bits, no step can overflow and per-step checks are skipped — the
+    // count of zero is then *exact*, not unsampled.
+    let check_steps = !chunk_cannot_overflow(cc, w.bits, config);
+    if check_steps {
+        metrics::CHUNKS_CHECKED.incr();
+    } else {
+        metrics::CHUNKS_FAST_PATH.incr();
+    }
     // Each accumulator row depends only on its own activation row, so the
     // computation is expressed as a per-row kernel: group ascending, α-shift
     // between groups, channels in Index-Buffer order. Row partitioning plus
-    // a commutative integer overflow sum keeps the result (accumulator bits
-    // *and* overflow count) identical at any thread count.
+    // commutative integer overflow/saturation sums keeps the result
+    // (accumulator bits *and* the counts) identical at any thread count.
     let row_kernel = |r: usize, a_row: &mut [i64]| {
         let mut row_overflow = 0_usize;
+        let mut row_saturated = 0_usize;
         for g in 0..config.num_groups {
             if g > 0 {
-                for a in a_row.iter_mut() {
-                    *a *= alpha;
+                if check_steps {
+                    for a in a_row.iter_mut() {
+                        *a *= alpha;
+                        row_overflow += outside_i32(*a) as usize;
+                    }
+                } else {
+                    for a in a_row.iter_mut() {
+                        *a *= alpha;
+                    }
                 }
             }
             let s_g = cc.scales[g];
             for &ch in &cc.order[g] {
                 let b = cc.bias[ch];
                 let w_row = w.q.row(ch);
-                let xq = quantize_value(x_chunk[(r, ch)] - b, s_g, config.bits) as i64;
+                let (xq, sat) = quantize_value_saturating(x_chunk[(r, ch)] - b, s_g, config.bits);
+                row_saturated += sat as usize;
+                let xq = xq as i64;
                 if xq == 0 {
                     continue;
                 }
-                for (a, &wv) in a_row.iter_mut().zip(w_row) {
-                    *a += xq * wv as i64;
+                if check_steps {
+                    for (a, &wv) in a_row.iter_mut().zip(w_row) {
+                        *a += xq * wv as i64;
+                        row_overflow += outside_i32(*a) as usize;
+                    }
+                } else {
+                    for (a, &wv) in a_row.iter_mut().zip(w_row) {
+                        *a += xq * wv as i64;
+                    }
                 }
             }
-            row_overflow += a_row
-                .iter()
-                .filter(|&&a| a > i32::MAX as i64 || a < i32::MIN as i64)
-                .count();
         }
         overflow.fetch_add(row_overflow, Ordering::Relaxed);
+        saturated.fetch_add(row_saturated, Ordering::Relaxed);
     };
     if m * x_chunk.cols() * n < pool::PAR_THRESHOLD || m < 2 {
         for r in 0..m {
@@ -154,24 +235,40 @@ pub fn accumulate_chunk_implicit(
     } else {
         pool::par_chunks_mut(&mut acc, n, row_kernel);
     }
-    (acc, overflow.into_inner())
+    // Every (row, channel) pair is quantized exactly once per chunk.
+    for (g, chans) in cc.order.iter().enumerate() {
+        metrics::GROUP_QUANTIZED.add(g, (m * chans.len()) as u64);
+    }
+    metrics::QUANTIZED_VALUES.add((m * cc.num_channels()) as u64);
+    metrics::SATURATED_VALUES.add(saturated.into_inner() as u64);
+    let overflow = overflow.into_inner();
+    metrics::OVERFLOW_EVENTS.add(overflow as u64);
+    (acc, overflow)
 }
 
 /// Integer accumulation of one chunk with *explicit* shifted accumulation:
 /// `Σ_g P_g · α^(G-1-g)`. Mathematically identical to the implicit path;
 /// used by tests (including cross-crate property tests) to prove
 /// bit-exactness.
+///
+/// Returns the accumulator plus the per-step overflow-event count under the
+/// same hardware-faithful semantics as [`accumulate_chunk_implicit`]: one
+/// event per MAC whose result lies outside `i32` range, checked at every
+/// step of *this* path's accumulation order (which differs from the
+/// implicit order, so the two paths' counts are reported independently).
 #[doc(hidden)]
 pub fn accumulate_chunk_explicit_shifted(
     x_chunk: &Matrix,
     cc: &super::calib::ChunkCalibration,
     w: &QuantizedWeight,
     config: &TenderConfig,
-) -> Vec<i64> {
+) -> (Vec<i64>, usize) {
     let m = x_chunk.rows();
     let n = w.q.cols();
     let g_count = config.num_groups;
     let mut acc = vec![0_i64; m * n];
+    let mut overflow = 0_usize;
+    let check_steps = !chunk_cannot_overflow(cc, w.bits, config);
     for g in 0..g_count {
         let weight_pow = (config.alpha as i64).pow((g_count - 1 - g) as u32);
         let s_g = cc.scales[g];
@@ -184,13 +281,21 @@ pub fn accumulate_chunk_explicit_shifted(
                     continue;
                 }
                 let a_row = &mut acc[r * n..(r + 1) * n];
-                for (a, &wv) in a_row.iter_mut().zip(w_row) {
-                    *a += xq * wv as i64 * weight_pow;
+                if check_steps {
+                    for (a, &wv) in a_row.iter_mut().zip(w_row) {
+                        *a += xq * wv as i64 * weight_pow;
+                        overflow += outside_i32(*a) as usize;
+                    }
+                } else {
+                    for (a, &wv) in a_row.iter_mut().zip(w_row) {
+                        *a += xq * wv as i64 * weight_pow;
+                    }
                 }
             }
         }
     }
-    acc
+    metrics::OVERFLOW_EVENTS.add(overflow as u64);
+    (acc, overflow)
 }
 
 /// Builds the per-group integer operands `(A_g, B_g)` that the Multi-Scale
@@ -239,6 +344,7 @@ pub fn implicit_requant_matmul(
     config: &TenderConfig,
 ) -> MatmulStats {
     check_shapes(x, w, calib);
+    metrics::IMPLICIT_MATMULS.incr();
     let n = w.q.cols();
     let chunk_rows = calib.chunk_rows();
     let mut result = Matrix::zeros(x.rows(), n);
@@ -296,10 +402,12 @@ pub fn explicit_requant_matmul(
     config: &TenderConfig,
 ) -> MatmulStats {
     check_shapes(x, w, calib);
+    metrics::EXPLICIT_MATMULS.incr();
     let n = w.q.cols();
     let chunk_rows = calib.chunk_rows();
     let mut result = Matrix::zeros(x.rows(), n);
     let chunks_processed = x.rows().div_ceil(chunk_rows);
+    let saturated = AtomicUsize::new(0);
     // Chunks write disjoint result rows with the serial op order inside each
     // chunk, so fanning them across the pool keeps the output bit-identical.
     let chunk_kernel = |ci: usize, out_chunk: &mut [f32]| {
@@ -307,12 +415,19 @@ pub fn explicit_requant_matmul(
         let m = out_chunk.len() / n;
         let cc = calib.chunk_for_row(r0);
         let corr = bias_correction(&cc.bias, &w.deq);
+        let mut chunk_saturated = 0_usize;
+        for (g, chans) in cc.order.iter().enumerate() {
+            metrics::GROUP_QUANTIZED.add(g, (m * chans.len()) as u64);
+        }
+        metrics::QUANTIZED_VALUES.add((m * cc.num_channels()) as u64);
         for g in 0..config.num_groups {
             let s_g = cc.scales[g];
             for &ch in &cc.order[g] {
                 let b = cc.bias[ch];
                 for r in 0..m {
-                    let xq = quantize_value(x[(r0 + r, ch)] - b, s_g, config.bits);
+                    let (xq, sat) =
+                        quantize_value_saturating(x[(r0 + r, ch)] - b, s_g, config.bits);
+                    chunk_saturated += sat as usize;
                     if xq == 0 {
                         continue;
                     }
@@ -331,6 +446,7 @@ pub fn explicit_requant_matmul(
                 *o += c;
             }
         }
+        saturated.fetch_add(chunk_saturated, Ordering::Relaxed);
     };
     if chunks_processed < 2 || x.rows() * x.cols() * n < pool::PAR_THRESHOLD {
         for ci in 0..chunks_processed {
@@ -341,8 +457,11 @@ pub fn explicit_requant_matmul(
     } else {
         pool::par_chunks_mut(result.as_mut_slice(), chunk_rows * n, chunk_kernel);
     }
+    metrics::SATURATED_VALUES.add(saturated.into_inner() as u64);
     MatmulStats {
         result,
+        // Group partial products are dequantized to f32 before summation in
+        // this path, so there is no integer accumulator to overflow.
         overflow_events: 0,
         chunks_processed,
     }
@@ -423,7 +542,7 @@ mod tests {
             let x_chunk = x.slice_rows(0, 8);
             let cc = calib.chunk_for_row(0);
             let (implicit, _) = accumulate_chunk_implicit(&x_chunk, cc, &w, &config);
-            let explicit = accumulate_chunk_explicit_shifted(&x_chunk, cc, &w, &config);
+            let (explicit, _) = accumulate_chunk_explicit_shifted(&x_chunk, cc, &w, &config);
             assert_eq!(implicit, explicit, "bits={bits} groups={groups}");
         }
     }
@@ -457,7 +576,7 @@ mod tests {
         let w = QuantizedWeight::per_col(&wf, 8);
         let cc = calib.chunk_for_row(0);
         let (implicit, _) = accumulate_chunk_implicit(&x, cc, &w, &config);
-        let explicit = accumulate_chunk_explicit_shifted(&x, cc, &w, &config);
+        let (explicit, _) = accumulate_chunk_explicit_shifted(&x, cc, &w, &config);
         assert_eq!(implicit, explicit);
     }
 
@@ -468,6 +587,71 @@ mod tests {
         // Compare against x · W_deq (isolating activation-quantization error).
         let got = implicit_requant_matmul(&x, &w, &calib, &config).result;
         assert!(sqnr_db(&exact, &got) > 30.0);
+    }
+
+    /// Builds a 1×2 activation and 2×1 weight where the first MAC pushes the
+    /// accumulator far past `i32::MAX` and the second brings it back into
+    /// range before the chunk (and its single group) ends.
+    fn mid_chunk_excursion_setup() -> (Matrix, QuantizedWeight, TenderCalibration, TenderConfig) {
+        let config = TenderConfig {
+            bits: 16,
+            num_groups: 1,
+            alpha: 2,
+            row_chunk: 0,
+            quant_act_act: false,
+            subtract_bias: false, // a 1-row chunk would otherwise bias to 0
+        };
+        // Weight quantized at 24 bits: q = [+8388607, -8388607].
+        let wf = Matrix::from_fn(2, 1, |r, _| if r == 0 { 1.0 } else { -1.0 });
+        let w = QuantizedWeight::per_col(&wf, 24);
+        // xq0 = 32767, xq1 = 32603: after channel 0 the accumulator is
+        // 32767 · 8388607 ≈ 2.75e11 (far outside i32); after channel 1 it is
+        // (32767 - 32603) · 8388607 ≈ 1.38e9, back inside i32.
+        let x = Matrix::from_fn(1, 2, |_, c| if c == 0 { 1.0 } else { 0.995 });
+        let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+        (x, w, calib, config)
+    }
+
+    #[test]
+    fn mid_chunk_excursion_is_counted() {
+        // Regression for the group-boundary-sampling blind spot: the
+        // accumulator leaves i32 range mid-chunk and returns before the
+        // group boundary, so the old end-of-group check reported 0.
+        let (x, w, calib, config) = mid_chunk_excursion_setup();
+        let cc = calib.chunk_for_row(0);
+        let (acc, overflow) = accumulate_chunk_implicit(&x, cc, &w, &config);
+        assert!(
+            acc[0] <= i32::MAX as i64 && acc[0] >= i32::MIN as i64,
+            "final accumulator must be back in range (got {})",
+            acc[0]
+        );
+        assert_eq!(
+            overflow, 1,
+            "exactly the channel-0 MAC leaves i32 range mid-chunk"
+        );
+        // The full matmul must surface the same count.
+        let stats = implicit_requant_matmul(&x, &w, &calib, &config);
+        assert_eq!(stats.overflow_events, 1);
+        // The explicit-shifted order hits the same excursion here (single
+        // group, same channel order).
+        let (_, explicit_overflow) = accumulate_chunk_explicit_shifted(&x, cc, &w, &config);
+        assert_eq!(explicit_overflow, 1);
+    }
+
+    #[test]
+    fn overflow_bound_gates_the_fast_path() {
+        // Paper-scale shapes are provably overflow-free…
+        let (x, w, calib, config) = setup(43, 8, 4);
+        let _ = x;
+        let cc = calib.chunk_for_row(0);
+        assert!(chunk_cannot_overflow(cc, w.bits(), &config));
+        // …while the crafted excursion chunk is not.
+        let (_, w2, calib2, config2) = mid_chunk_excursion_setup();
+        let cc2 = calib2.chunk_for_row(0);
+        assert!(!chunk_cannot_overflow(cc2, w2.bits(), &config2));
+        // The bound is sound: it dominates the worst single-step magnitude.
+        let bound = chunk_accumulator_bound(cc2, w2.bits(), &config2);
+        assert!(bound >= 32767_u128 * 8388607 * 2);
     }
 
     #[test]

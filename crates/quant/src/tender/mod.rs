@@ -27,7 +27,10 @@ pub use calib::{ChunkCalibration, TenderCalibration};
 pub use config::TenderConfig;
 pub use decompose::{classify_channels, group_scales, DecompositionError};
 #[doc(hidden)]
-pub use matmul::{accumulate_chunk_explicit_shifted, accumulate_chunk_implicit};
+pub use matmul::{
+    accumulate_chunk_explicit_shifted, accumulate_chunk_implicit, chunk_accumulator_bound,
+    chunk_cannot_overflow,
+};
 pub use matmul::{
     explicit_requant_matmul, implicit_requant_matmul, quantized_group_operands,
     tender_dynamic_matmul, MatmulStats, QuantizedWeight,

@@ -22,9 +22,11 @@
 //! ANT / OLAccel / OliVe); the per-model *variation* emerges from each
 //! model's actual GEMM mix through the analytic model and HBM2 timing.
 
+use tender_metrics::sim as metrics;
+
 use crate::area::relative_pe_area;
 use crate::config::TenderHwConfig;
-use crate::dram::{HbmConfig, HbmModel};
+use crate::dram::{HbmConfig, HbmConfigError, HbmModel};
 use crate::perf::{gemm_compute_cycles, RequantMode, WorkloadCost};
 use crate::workload::{Gemm, PrefillWorkload};
 
@@ -117,19 +119,33 @@ impl Accelerator {
     /// Tender configuration (`base`), with `groups` channel groups for
     /// Tender's decomposition.
     pub fn iso_area(kind: AcceleratorKind, base: &TenderHwConfig, groups: usize) -> Self {
+        Self::iso_area_with_hbm(kind, base, groups, HbmConfig::hbm2())
+            .expect("the stock HBM2 configuration is valid")
+    }
+
+    /// Like [`Accelerator::iso_area`], but against a caller-supplied HBM
+    /// configuration (the CLI's `--hbm-*` flags). A degenerate memory
+    /// configuration is reported, not panicked on.
+    pub fn iso_area_with_hbm(
+        kind: AcceleratorKind,
+        base: &TenderHwConfig,
+        groups: usize,
+        hbm: HbmConfig,
+    ) -> Result<Self, HbmConfigError> {
         base.validate();
+        hbm.validate()?;
         let budget_pes = (base.sa_dim * base.sa_dim) as f64;
         let pes = budget_pes / relative_pe_area(kind);
         // Array dimension must stay even so 2×2 PE gangs can form 8-bit MACs.
         let dim = ((pes.sqrt() as usize) / 2) * 2;
         let mut hw = base.clone();
         hw.sa_dim = dim.max(2);
-        Self {
+        Ok(Self {
             kind,
             hw,
-            hbm: HbmConfig::hbm2(),
+            hbm,
             params: exec_params(kind, groups),
-        }
+        })
     }
 
     /// The design kind.
@@ -173,14 +189,18 @@ impl Accelerator {
             cycles += compute.max(dram);
         }
         let l = w.layers as f64;
-        WorkloadCost {
+        let cost = WorkloadCost {
             cycles: (cycles * l) as u64,
             compute_cycles: (compute_cycles * l) as u64,
             dram_cycles: (dram_cycles * l) as u64,
             dram_bytes: (dram_bytes * l) as u64,
             macs: w.total_macs(),
             seconds: cycles * l / self.hw.clock_hz,
-        }
+        };
+        metrics::ACCEL_RUNS.incr();
+        metrics::ACCEL_CYCLES.add(cost.cycles);
+        metrics::ACCEL_DRAM_BYTES.add(cost.dram_bytes);
+        cost
     }
 
     /// Effective INT8 fraction of this design's MAC work.
@@ -202,16 +222,30 @@ pub fn speedups_over(
     groups: usize,
     w: &PrefillWorkload,
 ) -> Vec<(AcceleratorKind, f64)> {
-    let base_cycles = Accelerator::iso_area(baseline, base_hw, groups)
+    speedups_over_with_hbm(baseline, base_hw, groups, &HbmConfig::hbm2(), w)
+        .expect("the stock HBM2 configuration is valid")
+}
+
+/// Like [`speedups_over`], but against a caller-supplied HBM configuration;
+/// a degenerate configuration is reported as an [`HbmConfigError`].
+pub fn speedups_over_with_hbm(
+    baseline: AcceleratorKind,
+    base_hw: &TenderHwConfig,
+    groups: usize,
+    hbm: &HbmConfig,
+    w: &PrefillWorkload,
+) -> Result<Vec<(AcceleratorKind, f64)>, HbmConfigError> {
+    let base_cycles = Accelerator::iso_area_with_hbm(baseline, base_hw, groups, hbm.clone())?
         .run(w)
         .cycles as f64;
-    AcceleratorKind::ALL
-        .iter()
-        .map(|&k| {
-            let c = Accelerator::iso_area(k, base_hw, groups).run(w).cycles as f64;
-            (k, base_cycles / c)
-        })
-        .collect()
+    let mut speedups = Vec::with_capacity(AcceleratorKind::ALL.len());
+    for &k in AcceleratorKind::ALL.iter() {
+        let c = Accelerator::iso_area_with_hbm(k, base_hw, groups, hbm.clone())?
+            .run(w)
+            .cycles as f64;
+        speedups.push((k, base_cycles / c));
+    }
+    Ok(speedups)
 }
 
 #[cfg(test)]
@@ -319,6 +353,62 @@ mod tests {
             .unwrap()
             .1;
         assert!(tender > 1.5);
+    }
+
+    #[test]
+    fn bad_hbm_config_is_reported_not_panicked() {
+        let hw = TenderHwConfig::paper();
+        let mut hbm = HbmConfig::hbm2();
+        hbm.t_rfc = hbm.t_refi + 1;
+        assert!(
+            Accelerator::iso_area_with_hbm(AcceleratorKind::Tender, &hw, 8, hbm.clone()).is_err()
+        );
+        let w = PrefillWorkload::new(&ModelShape::opt_6_7b(), 128);
+        assert!(speedups_over_with_hbm(AcceleratorKind::Ant, &hw, 8, &hbm, &w).is_err());
+        let ok = speedups_over_with_hbm(AcceleratorKind::Ant, &hw, 8, &HbmConfig::hbm2(), &w);
+        assert_eq!(ok.unwrap().len(), 4);
+    }
+
+    #[test]
+    fn custom_hbm_config_changes_memory_bound_costs() {
+        // One channel instead of eight: 8× less peak bandwidth. The DRAM
+        // half of the cost model must scale accordingly on any workload,
+        // and a short-sequence (memory-bound) workload must slow down
+        // end-to-end. Long prefill stays compute-bound and is allowed to
+        // keep its `max(compute, dram)` total.
+        let hw = TenderHwConfig::paper();
+        let mut narrow = HbmConfig::hbm2();
+        narrow.channels = 1;
+
+        let prefill = PrefillWorkload::new(&ModelShape::opt_66b(), 2048);
+        let fast = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 8).run(&prefill);
+        let slow = Accelerator::iso_area_with_hbm(AcceleratorKind::Tender, &hw, 8, narrow.clone())
+            .unwrap()
+            .run(&prefill);
+        assert!(
+            slow.dram_cycles > 4 * fast.dram_cycles,
+            "narrower HBM must cost DRAM cycles ({} !> 4 × {})",
+            slow.dram_cycles,
+            fast.dram_cycles
+        );
+        assert!(
+            slow.cycles >= fast.cycles,
+            "narrower HBM can never be faster"
+        );
+
+        // seq = 16: weight streaming dominates, so the bandwidth cut must
+        // show up in total cycles, not just in the DRAM component.
+        let short = PrefillWorkload::new(&ModelShape::opt_66b(), 16);
+        let fast_s = Accelerator::iso_area(AcceleratorKind::Tender, &hw, 8).run(&short);
+        let slow_s = Accelerator::iso_area_with_hbm(AcceleratorKind::Tender, &hw, 8, narrow)
+            .unwrap()
+            .run(&short);
+        assert!(
+            slow_s.cycles > fast_s.cycles,
+            "narrower HBM must cost cycles on a memory-bound workload ({} !> {})",
+            slow_s.cycles,
+            fast_s.cycles
+        );
     }
 
     #[test]

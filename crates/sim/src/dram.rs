@@ -8,6 +8,62 @@
 //!
 //! Timing parameters follow JESD235A-class HBM2 at a 1 GHz core clock.
 
+use std::error::Error;
+use std::fmt;
+
+use tender_metrics::sim as metrics;
+
+/// A degenerate [`HbmConfig`] value, reported instead of panicking so a bad
+/// configuration (e.g. from CLI flags) degrades gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbmConfigError {
+    /// `channels` or `banks_per_channel` was zero.
+    NoBanks,
+    /// `burst_bytes` was zero.
+    ZeroBurst,
+    /// `row_bytes` was smaller than `burst_bytes`.
+    RowSmallerThanBurst {
+        /// Configured row (page) size in bytes.
+        row_bytes: u64,
+        /// Configured burst granularity in bytes.
+        burst_bytes: u64,
+    },
+    /// `bus_bytes_per_cycle` was zero.
+    ZeroBus,
+    /// `t_rfc >= t_refi`: refresh would consume the whole interval.
+    RefreshConsumesInterval {
+        /// Configured refresh interval (tREFI) in core cycles.
+        t_refi: u64,
+        /// Configured refresh duration (tRFC) in core cycles.
+        t_rfc: u64,
+    },
+}
+
+impl fmt::Display for HbmConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbmConfigError::NoBanks => {
+                write!(f, "channels and banks_per_channel must be at least one")
+            }
+            HbmConfigError::ZeroBurst => write!(f, "burst_bytes must be positive"),
+            HbmConfigError::RowSmallerThanBurst {
+                row_bytes,
+                burst_bytes,
+            } => write!(
+                f,
+                "row_bytes ({row_bytes}) must be at least burst_bytes ({burst_bytes})"
+            ),
+            HbmConfigError::ZeroBus => write!(f, "bus_bytes_per_cycle must be positive"),
+            HbmConfigError::RefreshConsumesInterval { t_refi, t_rfc } => write!(
+                f,
+                "refresh must not consume the whole interval (t_refi {t_refi} <= t_rfc {t_rfc})"
+            ),
+        }
+    }
+}
+
+impl Error for HbmConfigError {}
+
 /// HBM2 configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HbmConfig {
@@ -56,19 +112,32 @@ impl HbmConfig {
         self.channels as u64 * self.bus_bytes_per_cycle
     }
 
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics on degenerate values.
-    pub fn validate(&self) {
-        assert!(self.channels > 0 && self.banks_per_channel > 0);
-        assert!(self.burst_bytes > 0 && self.row_bytes >= self.burst_bytes);
-        assert!(self.bus_bytes_per_cycle > 0);
-        assert!(
-            self.t_refi > self.t_rfc,
-            "refresh must not consume the whole interval"
-        );
+    /// Validates the configuration, reporting the first degenerate value as
+    /// a typed [`HbmConfigError`] so callers (the simulator, the CLI's
+    /// `--hbm-*` flags) can degrade gracefully instead of panicking.
+    pub fn validate(&self) -> Result<(), HbmConfigError> {
+        if self.channels == 0 || self.banks_per_channel == 0 {
+            return Err(HbmConfigError::NoBanks);
+        }
+        if self.burst_bytes == 0 {
+            return Err(HbmConfigError::ZeroBurst);
+        }
+        if self.row_bytes < self.burst_bytes {
+            return Err(HbmConfigError::RowSmallerThanBurst {
+                row_bytes: self.row_bytes,
+                burst_bytes: self.burst_bytes,
+            });
+        }
+        if self.bus_bytes_per_cycle == 0 {
+            return Err(HbmConfigError::ZeroBus);
+        }
+        if self.t_refi <= self.t_rfc {
+            return Err(HbmConfigError::RefreshConsumesInterval {
+                t_refi: self.t_refi,
+                t_rfc: self.t_rfc,
+            });
+        }
+        Ok(())
     }
 
     /// Fraction of time lost to refresh.
@@ -119,8 +188,19 @@ pub struct HbmModel {
 
 impl HbmModel {
     /// Creates a device in the all-banks-closed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration; use [`HbmModel::try_new`] to
+    /// get the error instead.
     pub fn new(cfg: HbmConfig) -> Self {
-        cfg.validate();
+        Self::try_new(cfg).expect("valid HBM configuration")
+    }
+
+    /// Creates a device in the all-banks-closed state, reporting a
+    /// degenerate configuration as an [`HbmConfigError`].
+    pub fn try_new(cfg: HbmConfig) -> Result<Self, HbmConfigError> {
+        cfg.validate()?;
         let channels = (0..cfg.channels)
             .map(|_| Channel {
                 banks: vec![
@@ -133,11 +213,11 @@ impl HbmModel {
                 bus_free: 0,
             })
             .collect();
-        Self {
+        Ok(Self {
             cfg,
             channels,
             stats: DramStats::default(),
-        }
+        })
     }
 
     /// The configuration.
@@ -183,6 +263,7 @@ impl HbmModel {
         let mut ready = after_refresh(start.max(c.bus_free), &self.cfg, ch);
         if ready > start.max(c.bus_free) {
             self.stats.refresh_stalls += 1;
+            metrics::DRAM_REFRESH_STALLS.incr();
         }
         if b.open_row != Some(row) {
             // Precharge + activate can begin as soon as the bank last went
@@ -191,12 +272,15 @@ impl HbmModel {
             ready = ready.max(act_done);
             b.open_row = Some(row);
             self.stats.row_misses += 1;
+            metrics::DRAM_ROW_MISSES.incr();
         } else {
             self.stats.row_hits += 1;
+            metrics::DRAM_ROW_HITS.incr();
         }
         c.bus_free = ready + burst_cycles;
         b.busy_until = c.bus_free;
         self.stats.bytes += self.cfg.burst_bytes;
+        metrics::DRAM_BYTES.add(self.cfg.burst_bytes);
         ready + self.cfg.t_cas + burst_cycles
     }
 
@@ -311,6 +395,43 @@ mod tests {
         let (c0, _, _) = hbm.map(0);
         let (c1, _, _) = hbm.map(64);
         assert_ne!(c0, c1, "consecutive bursts interleave channels");
+    }
+
+    #[test]
+    fn degenerate_config_is_a_typed_error() {
+        assert!(HbmConfig::hbm2().validate().is_ok());
+
+        let mut cfg = HbmConfig::hbm2();
+        cfg.t_rfc = cfg.t_refi;
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            HbmConfigError::RefreshConsumesInterval { .. }
+        ));
+        assert!(
+            HbmModel::try_new(cfg).is_err(),
+            "try_new surfaces the error"
+        );
+
+        let mut cfg = HbmConfig::hbm2();
+        cfg.channels = 0;
+        assert_eq!(cfg.validate().unwrap_err(), HbmConfigError::NoBanks);
+
+        let mut cfg = HbmConfig::hbm2();
+        cfg.row_bytes = cfg.burst_bytes / 2;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("row_bytes"), "{err}");
+
+        let mut cfg = HbmConfig::hbm2();
+        cfg.bus_bytes_per_cycle = 0;
+        assert_eq!(cfg.validate().unwrap_err(), HbmConfigError::ZeroBus);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid HBM configuration")]
+    fn new_still_panics_on_bad_config() {
+        let mut cfg = HbmConfig::hbm2();
+        cfg.burst_bytes = 0;
+        let _ = HbmModel::new(cfg);
     }
 
     #[test]

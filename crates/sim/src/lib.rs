@@ -49,3 +49,4 @@ pub mod workload;
 
 pub use accel::{Accelerator, AcceleratorKind};
 pub use config::TenderHwConfig;
+pub use dram::{HbmConfig, HbmConfigError, HbmModel};

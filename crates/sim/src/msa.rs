@@ -15,6 +15,7 @@
 //! *cycle-accurate* (each PE processes exactly one stream slot per cycle;
 //! the cycle count validates the closed-form model in [`crate::perf`]).
 
+use tender_metrics::sim as metrics;
 use tender_tensor::IMatrix;
 
 use crate::config::TenderHwConfig;
@@ -205,6 +206,8 @@ impl MultiScaleSystolicArray {
             }
         }
 
+        metrics::MSA_RUNS.incr();
+        metrics::MSA_CYCLES.add(total_cycles as u64);
         MsaRunResult {
             outputs: acc,
             m,

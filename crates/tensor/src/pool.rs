@@ -22,6 +22,13 @@
 //! [`set_threads`] (the CLI's `--threads` flag). `TENDER_THREADS=1` disables
 //! the pool entirely: every operation runs inline on the caller.
 //!
+//! # Observability
+//!
+//! The pool records queue depth, batch latency, inline/parallel item counts,
+//! and per-thread busy time into [`tender_metrics::pool`]. Collection is
+//! relaxed atomic adds and wall-clock spans only — it cannot perturb the
+//! determinism contract, and timing values never reach experiment stdout.
+//!
 //! # Re-entrancy
 //!
 //! Nested calls from inside a pool worker execute inline and serially on
@@ -35,6 +42,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use tender_metrics::pool as metrics;
 
 thread_local! {
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
@@ -71,6 +81,7 @@ pub fn global() -> &'static Pool {
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get())),
             n => n,
         };
+        metrics::THREADS.set(n as u64);
         Pool::new(n)
     })
 }
@@ -250,7 +261,7 @@ impl Pool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("tender-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -275,11 +286,17 @@ impl Pool {
             return;
         }
         if n == 1 || self.threads == 1 || IN_WORKER.with(|w| w.get()) {
+            // One relaxed atomic add total — the inline path stays as close
+            // to free as observation allows (nested kernel calls land here).
+            metrics::INLINE_ITEMS.add(n as u64);
             for i in 0..n {
                 f(i);
             }
             return;
         }
+        metrics::PARALLEL_BATCHES.incr();
+        metrics::PARALLEL_ITEMS.add(n as u64);
+        let batch_span = metrics::BATCH_LATENCY.span();
         // SAFETY: erase the closure's lifetime; `wait_done` below keeps this
         // frame alive until every dereference has finished.
         let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
@@ -295,11 +312,15 @@ impl Pool {
         {
             let mut state = self.shared.state.lock().unwrap();
             state.queue.push_back(Arc::clone(&batch));
+            metrics::QUEUE_DEPTH_MAX.observe(state.queue.len() as u64);
         }
         self.shared.available.notify_all();
         // The injector works too, so a saturated pool still makes progress.
+        let busy = Instant::now();
         batch.work();
+        metrics::THREAD_BUSY_NS.add(0, busy.elapsed().as_nanos() as u64);
         batch.wait_done();
+        drop(batch_span);
         {
             let mut state = self.shared.state.lock().unwrap();
             state.queue.retain(|b| !Arc::ptr_eq(b, &batch));
@@ -324,7 +345,7 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
     IN_WORKER.with(|w| w.set(true));
     loop {
         let batch = {
@@ -342,7 +363,9 @@ fn worker_loop(shared: &Shared) {
                 state = shared.available.wait(state).unwrap();
             }
         };
+        let busy = Instant::now();
         batch.work();
+        metrics::THREAD_BUSY_NS.add(index, busy.elapsed().as_nanos() as u64);
     }
 }
 

@@ -44,8 +44,10 @@ proptest! {
         let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
         let w = QuantizedWeight::per_col(&wf, bits);
         let cc = calib.chunk_for_row(0);
+        // Overflow counts are path-specific (the two paths mutate the
+        // accumulator in different orders), so only the results must match.
         let (implicit, _) = accumulate_chunk_implicit(&x, cc, &w, &config);
-        let explicit = accumulate_chunk_explicit_shifted(&x, cc, &w, &config);
+        let (explicit, _) = accumulate_chunk_explicit_shifted(&x, cc, &w, &config);
         prop_assert_eq!(implicit, explicit);
     }
 
