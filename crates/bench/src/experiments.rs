@@ -744,13 +744,29 @@ pub fn table7() -> Vec<Table> {
 /// pool worker, nested parallel kernels degrade to their serial paths, so
 /// experiment-level parallelism is the outermost (and most profitable)
 /// level.
+///
+/// Each cell is panic-isolated: a failing experiment yields a rendered
+/// error table in its slot and never takes down the rest of the suite, so
+/// no panic ever propagates out of this function. (The `all_experiments`
+/// binary layers retries, watchdog timeouts, and journaling on top via
+/// [`crate::runner`].)
 pub fn all() -> Vec<Table> {
-    let cells: [fn() -> Vec<Table>; 13] = [
-        fig2_3, table1, table2, table3, table4, fig9, table5, fig10, fig11, fig12, fig13, table6,
-        table7,
-    ];
-    tender::pool::par_map(cells.len(), |i| cells[i]())
-        .into_iter()
-        .flatten()
-        .collect()
+    let specs = crate::runner::catalog();
+    tender::pool::par_map(specs.len(), |i| {
+        let spec = &specs[i];
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(spec.run)) {
+            Ok(tables) => tables,
+            Err(payload) => {
+                let msg = crate::runner::panic_message(payload.as_ref());
+                vec![crate::runner::failure_table(
+                    spec.name,
+                    1,
+                    &format!("panicked: {msg}"),
+                )]
+            }
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }

@@ -18,6 +18,7 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod runner;
 
 use tender::ExperimentOptions;
 

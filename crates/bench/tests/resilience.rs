@@ -1,0 +1,243 @@
+//! Fault-injection resilience integration tests.
+//!
+//! These drive the `all_experiments` binary end to end, pinning the three
+//! contracts the resilient runner exists for:
+//!
+//! 1. **Deterministic faults** — a fixed `--fault-seed` produces
+//!    byte-identical stdout and identical fault counters across repeated
+//!    runs *and* across pool sizes, with degradation actually exercised
+//!    (nonzero counters).
+//! 2. **Resumability** — an interrupted run (`--halt-after` + `--journal`)
+//!    resumed with `--resume` replays completed experiments from the
+//!    journal and finishes with stdout equal to an uninterrupted run.
+//! 3. **Isolation** — an injected experiment failure is contained: the
+//!    rest of the suite completes and the failure is reported as a table.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run_with(args: &[&str], threads: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_all_experiments"))
+        .env("TENDER_FAST", "1")
+        .env("TENDER_THREADS", threads)
+        .args(args)
+        .output()
+        .expect("spawn all_experiments")
+}
+
+/// Unique per-test scratch path (the test binary may run tests in parallel).
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tender-resilience-{}-{tag}", std::process::id()))
+}
+
+/// Extracts a `"key": <u64>` counter from the flat metrics JSON.
+fn counter(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in metrics json"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable {key} in metrics json"))
+}
+
+/// The `"faults"` section substring — every field is an exact integer
+/// counter, so this must be byte-identical across deterministic runs.
+fn faults_section(json: &str) -> &str {
+    let start = json.find("\"faults\"").expect("faults section present");
+    let end = json[start..].find('}').expect("faults section closed");
+    &json[start..start + end]
+}
+
+/// Drops the process-scoped `kernel overflow events` line: replayed
+/// experiments do not re-execute kernels, so it is the one line allowed to
+/// differ between a resumed and an uninterrupted run.
+fn strip_overflow_line(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| !l.starts_with("kernel overflow events:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn fault_seed_runs_are_byte_identical_across_runs_and_thread_counts() {
+    let m: Vec<PathBuf> = (0..3).map(|i| scratch(&format!("det-{i}.json"))).collect();
+    let a = run_with(
+        &[
+            "--fault-seed",
+            "7",
+            "--metrics-json",
+            m[0].to_str().unwrap(),
+        ],
+        "1",
+    );
+    let b = run_with(
+        &[
+            "--fault-seed",
+            "7",
+            "--metrics-json",
+            m[1].to_str().unwrap(),
+        ],
+        "1",
+    );
+    let c = run_with(
+        &[
+            "--fault-seed",
+            "7",
+            "--metrics-json",
+            m[2].to_str().unwrap(),
+        ],
+        "4",
+    );
+    for (out, label) in [(&a, "run 1"), (&b, "run 2"), (&c, "run 3 (4 threads)")] {
+        assert!(
+            out.status.success(),
+            "{label} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout),
+        "same fault seed must reproduce stdout byte-for-byte"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&c.stdout),
+        "faulted stdout must not depend on the thread count"
+    );
+
+    let jsons: Vec<String> = m
+        .iter()
+        .map(|p| {
+            let s = std::fs::read_to_string(p).expect("metrics json written");
+            let _ = std::fs::remove_file(p);
+            s
+        })
+        .collect();
+    assert_eq!(faults_section(&jsons[0]), faults_section(&jsons[1]));
+    assert_eq!(faults_section(&jsons[0]), faults_section(&jsons[2]));
+    // The default plan's blob + activation-NaN rates must actually bite:
+    // degradation is exercised, not just plumbed.
+    assert!(
+        counter(&jsons[0], "injected_blob") > 0,
+        "no blob faults injected"
+    );
+    assert!(
+        counter(&jsons[0], "degraded_sites") > 0,
+        "no sites degraded"
+    );
+    assert!(
+        counter(&jsons[0], "fallback_int8") + counter(&jsons[0], "fallback_fp16") > 0,
+        "degraded sites must land on a fallback rung"
+    );
+}
+
+#[test]
+fn halted_run_resumes_from_journal_with_identical_tables() {
+    let journal = scratch("resume.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let j = journal.to_str().unwrap();
+
+    let clean = run_with(&["--fault-seed", "7"], "2");
+    assert!(clean.status.success());
+
+    let halted = run_with(
+        &["--fault-seed", "7", "--journal", j, "--halt-after", "4"],
+        "2",
+    );
+    assert_eq!(
+        halted.status.code(),
+        Some(3),
+        "halted run must exit 3:\n{}",
+        String::from_utf8_lossy(&halted.stderr)
+    );
+
+    let resumed = run_with(&["--fault-seed", "7", "--journal", j, "--resume"], "2");
+    assert!(
+        resumed.status.success(),
+        "resume failed:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    let skips = stderr.matches("replayed from journal (skipped)").count();
+    assert_eq!(
+        skips, 4,
+        "resume must skip exactly the journaled experiments:\n{stderr}"
+    );
+    assert_eq!(
+        strip_overflow_line(&resumed.stdout),
+        strip_overflow_line(&clean.stdout),
+        "resumed table output must match an uninterrupted run byte-for-byte"
+    );
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn injected_experiment_failure_is_isolated_from_the_rest_of_the_suite() {
+    // Pick a seed (in-process, with the same decision function the binary
+    // uses) under which at least one catalog experiment fails its only
+    // attempt — and not all of them do.
+    let names: Vec<&str> = tender_bench::runner::catalog()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    let (seed, failing): (u64, Vec<&str>) = (0..500)
+        .find_map(|s| {
+            let plan = tender_faults::FaultPlan::parse(s, "exp=0.2").unwrap();
+            let failing: Vec<&str> = names
+                .iter()
+                .copied()
+                .filter(|n| plan.experiment_panic(n, 0))
+                .collect();
+            (!failing.is_empty() && failing.len() < names.len()).then_some((s, failing))
+        })
+        .expect("some seed fails a strict subset of experiments");
+
+    let out = run_with(
+        &[
+            "--fault-plan",
+            "exp=0.2",
+            "--fault-seed",
+            &seed.to_string(),
+            "--retries",
+            "0",
+        ],
+        "2",
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "failed suite must exit 1:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in &failing {
+        assert!(
+            stdout.contains(&format!("{name}: FAILED after 1 attempt(s)")),
+            "missing failure table for {name}"
+        );
+    }
+    for name in names.iter().filter(|n| !failing.contains(n)) {
+        assert!(
+            !stdout.contains(&format!("{name}: FAILED")),
+            "{name} should have completed normally"
+        );
+    }
+    // Surviving experiments still print their real tables (a failure renders
+    // exactly one table, so the total must exceed the failure count).
+    let tables = stdout.lines().filter(|l| l.starts_with("== ")).count();
+    assert!(
+        tables > failing.len(),
+        "expected surviving tables beyond {} failure table(s), saw {tables} total",
+        failing.len()
+    );
+    assert!(
+        stdout.contains("isolated by the resilient runner"),
+        "failure tables must carry the isolation note"
+    );
+}

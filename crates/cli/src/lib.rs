@@ -12,7 +12,7 @@ use std::fmt;
 
 use tender::model::calibration::CorpusKind;
 use tender::model::ModelShape;
-use tender::sim::accel::{speedups_over_with_hbm, AcceleratorKind};
+use tender::sim::accel::{speedups_over_with_hbm, AcceleratorKind, SimConfigError};
 use tender::sim::config::TenderHwConfig;
 use tender::sim::dataflow::Dataflow;
 use tender::sim::dram::HbmConfig;
@@ -207,13 +207,31 @@ pub fn hbm_config_from_flags(flags: &Flags) -> Result<HbmConfig, CliError> {
     })
 }
 
-/// `tender-cli simulate --model M [--seq N] [--groups G] [--hbm-* V]` —
-/// iso-area accelerator comparison on the full-size model (Fig. 10 style).
+/// Builds a [`TenderHwConfig`] from optional `--sa-dim` / `--vpu-lanes`
+/// overrides on top of the paper configuration.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] on unknown model, bad flags, or a degenerate HBM
-/// configuration (reported with the validator's message, not a panic).
+/// Returns [`CliError`] on a non-numeric value; degenerate values are
+/// caught by `TenderHwConfig::validate` via the simulator.
+pub fn hw_config_from_flags(flags: &Flags) -> Result<TenderHwConfig, CliError> {
+    let base = TenderHwConfig::paper();
+    Ok(TenderHwConfig {
+        sa_dim: flag_parse(flags, "sa-dim", base.sa_dim)?,
+        vpu_lanes: flag_parse(flags, "vpu-lanes", base.vpu_lanes)?,
+        ..base
+    })
+}
+
+/// `tender-cli simulate --model M [--seq N] [--groups G] [--sa-dim D]
+/// [--vpu-lanes L] [--hbm-* V]` — iso-area accelerator comparison on the
+/// full-size model (Fig. 10 style).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown model, bad flags, or a degenerate
+/// HBM/hardware configuration (reported with the validator's message, not
+/// a panic).
 pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let model_name = flags
         .get("model")
@@ -222,10 +240,14 @@ pub fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let seq: usize = flag_parse(flags, "seq", 2048)?;
     let groups: usize = flag_parse(flags, "groups", 8)?;
     let hbm = hbm_config_from_flags(flags)?;
-    let hw = TenderHwConfig::paper();
+    let hw = hw_config_from_flags(flags)?;
     let w = PrefillWorkload::new(&shape, seq);
-    let speedups = speedups_over_with_hbm(AcceleratorKind::Ant, &hw, groups, &hbm, &w)
-        .map_err(|e| err(format!("invalid HBM configuration: {e}")))?;
+    let speedups = speedups_over_with_hbm(AcceleratorKind::Ant, &hw, groups, &hbm, &w).map_err(
+        |e| match e {
+            SimConfigError::Hbm(e) => err(format!("invalid HBM configuration: {e}")),
+            SimConfigError::Hw(e) => err(format!("invalid hardware configuration: {e}")),
+        },
+    )?;
     let mut out = format!(
         "prefill {} @ seq {seq}, batch 1, {groups} channel groups (iso-area, speedup over ANT):\n",
         shape.name
@@ -275,6 +297,12 @@ pub fn usage() -> String {
      \x20                                 results are identical at any N\n\
      \x20 --metrics-json PATH             write a structured metrics report\n\
      \x20                                 (counters + timings) after the run\n\
+     \x20 --fault-seed N                  install the default deterministic\n\
+     \x20                                 fault plan under seed N (same seed,\n\
+     \x20                                 same faults, same output)\n\
+     \x20 --fault-plan SPEC               override per-site fault rates, e.g.\n\
+     \x20                                 blob=0.25,anan=0.05 (sites: blob wnan\n\
+     \x20                                 anan dram pool exp)\n\
      \n\
      COMMANDS:\n\
      \x20 models                          list synthetic model presets\n\
@@ -282,7 +310,8 @@ pub fn usage() -> String {
      \x20 ppl      --model M --scheme S   proxy perplexity on a scaled model\n\
      \x20          [--seq N] [--seed N] [--fast true]\n\
      \x20 simulate --model M [--seq N]    iso-area accelerator speedups\n\
-     \x20          [--groups G] [--hbm-channels C] [--hbm-banks B]\n\
+     \x20          [--groups G] [--sa-dim D] [--vpu-lanes L]\n\
+     \x20          [--hbm-channels C] [--hbm-banks B]\n\
      \x20          [--hbm-row-bytes N] [--hbm-burst-bytes N] [--hbm-bus-bytes N]\n\
      \x20          [--hbm-trp N] [--hbm-trcd N] [--hbm-tcas N]\n\
      \x20          [--hbm-trefi N] [--hbm-trfc N]\n\
@@ -343,6 +372,55 @@ pub fn extract_metrics_json(args: &[String]) -> Result<(Vec<String>, Option<Stri
     Ok((rest, path))
 }
 
+/// Strips global `--fault-seed N` / `--fault-plan SPEC` flags (valid
+/// anywhere in `args`) and returns the remaining arguments plus the fault
+/// plan they describe, if any.
+///
+/// `--fault-seed` alone selects the default plan (bit-flipped calibration
+/// blobs, NaN calibration activations, DRAM bit errors) under that seed;
+/// `--fault-plan` overrides per-site rates (e.g. `blob=0.25,anan=0.05`)
+/// and is seeded by `--fault-seed` (default 0).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on a missing value, a non-numeric seed, or an
+/// unparsable plan spec.
+pub fn extract_fault_plan(
+    args: &[String],
+) -> Result<(Vec<String>, Option<tender::faults::FaultPlan>), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut seed: Option<u64> = None;
+    let mut spec: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("flag {flag} needs a value")))
+        };
+        match a.as_str() {
+            "--fault-seed" => {
+                let v = value("--fault-seed")?;
+                seed = Some(
+                    v.parse()
+                        .map_err(|_| err(format!("invalid value for --fault-seed: '{v}'")))?,
+                );
+            }
+            "--fault-plan" => spec = Some(value("--fault-plan")?),
+            _ => rest.push(a.clone()),
+        }
+    }
+    let plan = match (seed, spec) {
+        (seed, Some(spec)) => Some(
+            tender::faults::FaultPlan::parse(seed.unwrap_or(0), &spec)
+                .map_err(|e| err(format!("invalid --fault-plan: {e}")))?,
+        ),
+        (Some(seed), None) => Some(tender::faults::FaultPlan::default_plan(seed)),
+        (None, None) => None,
+    };
+    Ok((rest, plan))
+}
+
 /// Dispatches a full argument vector (without the program name).
 ///
 /// When `--metrics-json PATH` is given, one structured report of every
@@ -356,8 +434,14 @@ pub fn extract_metrics_json(args: &[String]) -> Result<(Vec<String>, Option<Stri
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (args, threads) = extract_threads(args)?;
     let (args, metrics_path) = extract_metrics_json(&args)?;
+    let (args, fault_plan) = extract_fault_plan(&args)?;
     if let Some(n) = threads {
         tender::pool::set_threads(n);
+    }
+    // Installed before dispatch so every injection site sees the plan for
+    // the whole command; like the pool size, it is process-lifetime state.
+    if let Some(plan) = fault_plan {
+        tender::faults::install(plan);
     }
     let (cmd, rest) = args.split_first().ok_or_else(|| err(usage()))?;
     let flags = parse_flags(rest)?;
@@ -499,6 +583,82 @@ mod tests {
         assert_eq!(hbm_config_from_flags(&f).unwrap().channels, 4);
         let bad = parse_flags(&args(&["--hbm-channels", "many"])).unwrap();
         assert!(hbm_config_from_flags(&bad).is_err());
+    }
+
+    #[test]
+    fn simulate_rejects_degenerate_hw_config_gracefully() {
+        let f = parse_flags(&args(&[
+            "--model", "OPT-6.7B", "--seq", "128", "--sa-dim", "0",
+        ]))
+        .unwrap();
+        let e = cmd_simulate(&f).unwrap_err();
+        assert!(e.0.contains("invalid hardware configuration"), "{e}");
+    }
+
+    #[test]
+    fn simulate_accepts_hw_overrides() {
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--seq",
+            "128",
+            "--sa-dim",
+            "32",
+            "--vpu-lanes",
+            "32",
+        ]))
+        .unwrap();
+        assert!(cmd_simulate(&f).is_ok());
+        let hw = hw_config_from_flags(&f).unwrap();
+        assert_eq!((hw.sa_dim, hw.vpu_lanes), (32, 32));
+        let bad = parse_flags(&args(&["--sa-dim", "huge"])).unwrap();
+        assert!(hw_config_from_flags(&bad).is_err());
+    }
+
+    #[test]
+    fn fault_flags_are_extracted_and_validated() {
+        let (rest, plan) = extract_fault_plan(&args(&["--fault-seed", "7", "models"])).unwrap();
+        assert_eq!(rest, args(&["models"]));
+        assert_eq!(plan.expect("default plan").seed(), 7);
+
+        let (rest, plan) = extract_fault_plan(&args(&[
+            "simulate",
+            "--fault-plan",
+            "blob=0.5,anan=0.1",
+            "--seq",
+            "128",
+        ]))
+        .unwrap();
+        assert_eq!(rest, args(&["simulate", "--seq", "128"]));
+        assert!(plan.is_some());
+
+        let (_, plan) = extract_fault_plan(&args(&["models"])).unwrap();
+        assert!(plan.is_none());
+        assert!(extract_fault_plan(&args(&["--fault-seed"])).is_err());
+        assert!(extract_fault_plan(&args(&["--fault-seed", "many"])).is_err());
+        assert!(extract_fault_plan(&args(&["--fault-plan", "bogus=1"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags_dispatch_and_install_the_plan() {
+        // A zero-rate plan: exercises the install path (and the lossless
+        // encode/decode round trip it turns on) without perturbing any
+        // concurrently running test.
+        let out = run(&args(&[
+            "--fault-plan",
+            "blob=0.0",
+            "ppl",
+            "--model",
+            "OPT-6.7B",
+            "--scheme",
+            "Tender@8",
+            "--fast",
+            "true",
+        ]))
+        .expect("faulted ppl runs");
+        assert!(out.contains("Wiki"));
+        assert!(tender::faults::active(), "plan must be installed");
+        tender::faults::clear();
     }
 
     #[test]

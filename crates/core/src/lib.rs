@@ -19,6 +19,9 @@
 //! * [`metrics`] — std-only observability layer: atomic counters and span
 //!   timers recorded across the stack (pool, kernels, model, simulator),
 //!   exported as one JSON report via `tender-cli --metrics-json <path>`.
+//! * [`faults`] — seeded deterministic fault injection (bit-flipped
+//!   calibration blobs, NaN weights/activations, DRAM read errors, task
+//!   panics) driving the graceful-degradation paths.
 //! * [`Experiment`] — an end-to-end harness tying them together:
 //!   generate a model, calibrate a scheme, evaluate perplexity.
 //!
@@ -43,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub use tender_faults as faults;
 pub use tender_metrics as metrics;
 pub use tender_model as model;
 pub use tender_quant as quant;

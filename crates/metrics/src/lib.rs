@@ -9,7 +9,8 @@
 //!
 //! Every metric is a `static` with interior atomicity, declared centrally in
 //! this crate under a module named for the subsystem that records it
-//! ([`pool`], [`kernel`], [`model`], [`sim`]). Instrumented crates update
+//! ([`pool`], [`kernel`], [`model`], [`sim`], [`faults`], [`runner`]).
+//! Instrumented crates update
 //! them with relaxed atomic adds — one instruction on the hot path, no
 //! locks, no allocation, no registration handshake. The report walks the
 //! same statics, so collection and export cannot drift apart.
@@ -398,6 +399,50 @@ pub mod sim {
     pub static MSA_CYCLES: Counter = Counter::new();
 }
 
+/// Fault-injection and degradation metrics (`tender_faults` and its
+/// consumers). Injection counters are pure functions of the fault plan's
+/// decisions, so they are identical at any thread count.
+pub mod faults {
+    use super::*;
+
+    /// Calibration blobs bit-flipped by the fault plan.
+    pub static INJECTED_BLOB: Counter = Counter::new();
+    /// NaNs planted in synthetic weights.
+    pub static INJECTED_WEIGHT_NAN: Counter = Counter::new();
+    /// NaNs planted in captured calibration activations.
+    pub static INJECTED_ACT_NAN: Counter = Counter::new();
+    /// DRAM burst reads that suffered an injected bit-error.
+    pub static INJECTED_DRAM: Counter = Counter::new();
+    /// Pool tasks made to panic by the fault plan.
+    pub static INJECTED_POOL: Counter = Counter::new();
+    /// Experiment attempts made to panic by the fault plan.
+    pub static INJECTED_EXP: Counter = Counter::new();
+    /// Matmul sites degraded off the primary scheme (any rung).
+    pub static DEGRADED_SITES: Counter = Counter::new();
+    /// Sites that settled on the per-tensor INT8 fallback rung.
+    pub static FALLBACK_INT8: Counter = Counter::new();
+    /// Sites that fell through to the FP16 fallback rung.
+    pub static FALLBACK_FP16: Counter = Counter::new();
+    /// Forwards rerouted to the FP16 path by the runtime overflow threshold.
+    pub static RUNTIME_FALLBACKS: Counter = Counter::new();
+}
+
+/// Experiment-runner metrics (`tender_bench::runner`).
+pub mod runner {
+    use super::*;
+
+    /// Experiments executed to completion this process.
+    pub static EXPERIMENTS_RUN: Counter = Counter::new();
+    /// Experiment attempts that panicked (injected or genuine).
+    pub static EXPERIMENTS_PANICKED: Counter = Counter::new();
+    /// Retry attempts issued by the bounded-retry policy.
+    pub static EXPERIMENTS_RETRIED: Counter = Counter::new();
+    /// Experiments abandoned by the wall-clock watchdog.
+    pub static EXPERIMENTS_TIMED_OUT: Counter = Counter::new();
+    /// Experiments skipped because the resume journal marked them done.
+    pub static EXPERIMENTS_SKIPPED: Counter = Counter::new();
+}
+
 /// Snapshot of every metric, ready for JSON export.
 pub fn report() -> Report {
     report::build()
@@ -431,6 +476,21 @@ pub fn reset_all() {
     sim::ACCEL_DRAM_BYTES.reset();
     sim::MSA_RUNS.reset();
     sim::MSA_CYCLES.reset();
+    faults::INJECTED_BLOB.reset();
+    faults::INJECTED_WEIGHT_NAN.reset();
+    faults::INJECTED_ACT_NAN.reset();
+    faults::INJECTED_DRAM.reset();
+    faults::INJECTED_POOL.reset();
+    faults::INJECTED_EXP.reset();
+    faults::DEGRADED_SITES.reset();
+    faults::FALLBACK_INT8.reset();
+    faults::FALLBACK_FP16.reset();
+    faults::RUNTIME_FALLBACKS.reset();
+    runner::EXPERIMENTS_RUN.reset();
+    runner::EXPERIMENTS_PANICKED.reset();
+    runner::EXPERIMENTS_RETRIED.reset();
+    runner::EXPERIMENTS_TIMED_OUT.reset();
+    runner::EXPERIMENTS_SKIPPED.reset();
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! valid JSON by construction — the bench suite re-parses it with an
 //! independent minimal parser to keep this honest.
 
-use crate::{kernel, model, pool, sim, Counter, Timer};
+use crate::{faults, kernel, model, pool, runner, sim, Counter, Timer};
 
 /// A single exported metric value.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,7 +22,7 @@ pub enum Value {
 /// One named subsystem in the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Section {
-    /// Subsystem name (`pool`, `kernel`, `model`, `sim`).
+    /// Subsystem name (`pool`, `kernel`, `model`, `sim`, `faults`, `runner`).
     pub name: &'static str,
     /// Ordered metric fields.
     pub fields: Vec<(String, Value)>,
@@ -238,8 +238,85 @@ pub(crate) fn build() -> Report {
             ("msa_cycles".into(), Value::U64(sim::MSA_CYCLES.get())),
         ],
     };
+    let faults_section = Section {
+        name: "faults",
+        fields: vec![
+            (
+                "injected_blob".into(),
+                Value::U64(faults::INJECTED_BLOB.get()),
+            ),
+            (
+                "injected_weight_nan".into(),
+                Value::U64(faults::INJECTED_WEIGHT_NAN.get()),
+            ),
+            (
+                "injected_act_nan".into(),
+                Value::U64(faults::INJECTED_ACT_NAN.get()),
+            ),
+            (
+                "injected_dram".into(),
+                Value::U64(faults::INJECTED_DRAM.get()),
+            ),
+            (
+                "injected_pool".into(),
+                Value::U64(faults::INJECTED_POOL.get()),
+            ),
+            (
+                "injected_exp".into(),
+                Value::U64(faults::INJECTED_EXP.get()),
+            ),
+            (
+                "degraded_sites".into(),
+                Value::U64(faults::DEGRADED_SITES.get()),
+            ),
+            (
+                "fallback_int8".into(),
+                Value::U64(faults::FALLBACK_INT8.get()),
+            ),
+            (
+                "fallback_fp16".into(),
+                Value::U64(faults::FALLBACK_FP16.get()),
+            ),
+            (
+                "runtime_fallbacks".into(),
+                Value::U64(faults::RUNTIME_FALLBACKS.get()),
+            ),
+        ],
+    };
+    let runner_section = Section {
+        name: "runner",
+        fields: vec![
+            (
+                "experiments_run".into(),
+                Value::U64(runner::EXPERIMENTS_RUN.get()),
+            ),
+            (
+                "experiments_panicked".into(),
+                Value::U64(runner::EXPERIMENTS_PANICKED.get()),
+            ),
+            (
+                "experiments_retried".into(),
+                Value::U64(runner::EXPERIMENTS_RETRIED.get()),
+            ),
+            (
+                "experiments_timed_out".into(),
+                Value::U64(runner::EXPERIMENTS_TIMED_OUT.get()),
+            ),
+            (
+                "experiments_skipped".into(),
+                Value::U64(runner::EXPERIMENTS_SKIPPED.get()),
+            ),
+        ],
+    };
     Report {
-        sections: vec![pool_section, kernel_section, model_section, sim_section],
+        sections: vec![
+            pool_section,
+            kernel_section,
+            model_section,
+            sim_section,
+            faults_section,
+            runner_section,
+        ],
     }
 }
 
@@ -251,7 +328,10 @@ mod tests {
     fn report_has_all_sections_in_order() {
         let r = crate::report();
         let names: Vec<&str> = r.sections.iter().map(|s| s.name).collect();
-        assert_eq!(names, vec!["pool", "kernel", "model", "sim"]);
+        assert_eq!(
+            names,
+            vec!["pool", "kernel", "model", "sim", "faults", "runner"]
+        );
     }
 
     #[test]

@@ -9,13 +9,16 @@
 //! setup (the VPU handles those).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use tender_metrics::faults as fault_metrics;
 use tender_metrics::model as metrics;
-use tender_quant::scheme::{QuantMatmul, Scheme};
+use tender_quant::granularity::{Granularity, GranularityScheme};
+use tender_quant::scheme::{Fp16Scheme, QuantMatmul, Scheme};
 use tender_tensor::{ops, pool, Matrix};
 
 use crate::shape::{Activation, ModelKind, NormKind};
-use crate::weights::TransformerWeights;
+use crate::weights::{ShapeError, TransformerWeights};
 
 /// A quantizable matmul site within a Transformer block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,6 +82,50 @@ fn elementwise_mul(a: &Matrix, b: &Matrix) -> Matrix {
     Matrix::from_fn(a.rows(), a.cols(), |r, c| a[(r, c)] * b[(r, c)])
 }
 
+/// Content hash identifying one captured activation matrix (layer mixed in
+/// so identical data at different layers still faults independently).
+fn capture_key(li: usize, m: &Matrix) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + m.rows() * m.cols() * 4);
+    bytes.extend_from_slice(&(li as u64).to_le_bytes());
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            bytes.extend_from_slice(&m[(r, c)].to_bits().to_le_bytes());
+        }
+    }
+    tender_faults::hash_bytes(&bytes)
+}
+
+/// Returns a calibration-capture clone of `m`, poisoned per the installed
+/// fault plan: every channel the plan selects gets a NaN in row 0.
+///
+/// Only *captured* clones pass through here — runtime forwards never do —
+/// so activation faults stress the calibration/degradation path while
+/// evaluation forwards stay finite. The per-channel verdict is a pure
+/// function of (seed, capture content, channel): content-keyed like blob
+/// corruption, so it is identical at any thread count yet independent
+/// across the distinct captures that revisit one layer.
+fn capture_clone(li: usize, m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    if !tender_faults::active() {
+        return out;
+    }
+    let Some(plan) = tender_faults::plan() else {
+        return out;
+    };
+    let key = capture_key(li, m);
+    let mut hits = 0u64;
+    for c in 0..out.cols() {
+        if plan.act_nan(key, c) {
+            out[(0, c)] = f32::NAN;
+            hits += 1;
+        }
+    }
+    if hits > 0 {
+        plan.injected_act_nan(hits);
+    }
+    out
+}
+
 /// The shared forward pass. Returns the final (normed) hidden states.
 fn forward_internal(
     w: &TransformerWeights,
@@ -126,8 +173,9 @@ fn forward_internal(
         // Attention sub-block.
         let a = apply_norm(&h, &layer.ln1_gamma, &layer.ln1_beta, shape.norm);
         if let Some(cap) = capture.as_deref_mut() {
+            let ac = capture_clone(li, &a);
             for site in [Site::Q, Site::K, Site::V] {
-                cap.entry((li, site)).or_default().push(a.clone());
+                cap.entry((li, site)).or_default().push(ac.clone());
             }
         }
         let q = mm(li, Site::Q, &a, &layer.wq);
@@ -153,7 +201,9 @@ fn forward_internal(
             }
         }
         if let Some(cap) = capture.as_deref_mut() {
-            cap.entry((li, Site::O)).or_default().push(ao.clone());
+            cap.entry((li, Site::O))
+                .or_default()
+                .push(capture_clone(li, &ao));
         }
         let o = mm(li, Site::O, &ao, &layer.wo);
         h = h.add(&o).expect("residual shapes");
@@ -161,9 +211,10 @@ fn forward_internal(
         // FFN sub-block.
         let b = apply_norm(&h, &layer.ln2_gamma, &layer.ln2_beta, shape.norm);
         if let Some(cap) = capture.as_deref_mut() {
-            cap.entry((li, Site::Fc1)).or_default().push(b.clone());
+            let bc = capture_clone(li, &b);
+            cap.entry((li, Site::Fc1)).or_default().push(bc.clone());
             if layer.w_gate.is_some() {
-                cap.entry((li, Site::Gate)).or_default().push(b.clone());
+                cap.entry((li, Site::Gate)).or_default().push(bc);
             }
         }
         let f = match shape.activation {
@@ -176,7 +227,9 @@ fn forward_internal(
             }
         };
         if let Some(cap) = capture.as_deref_mut() {
-            cap.entry((li, Site::Fc2)).or_default().push(f.clone());
+            cap.entry((li, Site::Fc2))
+                .or_default()
+                .push(capture_clone(li, &f));
         }
         let ffn_out = mm(li, Site::Fc2, &f, &layer.w_fc2);
         h = h.add(&ffn_out).expect("residual shapes");
@@ -195,10 +248,21 @@ pub struct ReferenceModel {
 
 impl ReferenceModel {
     /// Wraps weights into a runnable reference model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights fail shape validation; use
+    /// [`ReferenceModel::try_new`] to handle malformed weights gracefully.
     pub fn new(w: TransformerWeights) -> Self {
-        w.validate();
+        Self::try_new(w).expect("valid transformer weights")
+    }
+
+    /// Fallible constructor: reports malformed weights as a typed
+    /// [`ShapeError`] instead of panicking.
+    pub fn try_new(w: TransformerWeights) -> Result<Self, ShapeError> {
+        w.validate()?;
         let emb_t = w.lm_head.transpose();
-        Self { w, emb_t }
+        Ok(Self { w, emb_t })
     }
 
     /// The underlying weights.
@@ -262,12 +326,89 @@ impl ReferenceModel {
     }
 }
 
+/// Record of one matmul site that fell down the degradation ladder because
+/// the primary scheme could not calibrate it.
+#[derive(Debug, Clone)]
+pub struct DegradedSite {
+    /// Layer index of the degraded site.
+    pub layer: usize,
+    /// Which matmul within the layer.
+    pub site: Site,
+    /// The scheme actually serving the site: `"INT8"` or `"FP16"`.
+    pub fallback: &'static str,
+    /// Why the primary scheme failed (a [`PrepareError`] rendering or a
+    /// panic note).
+    ///
+    /// [`PrepareError`]: tender_quant::scheme::PrepareError
+    pub reason: String,
+}
+
+/// Replaces non-finite elements with zero so fallback rungs of the
+/// degradation ladder always see valid inputs.
+fn sanitize(m: &Matrix) -> Matrix {
+    Matrix::from_fn(m.rows(), m.cols(), |r, c| {
+        let v = m[(r, c)];
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Calibrates one site, degrading Tender INT4/INT8 → per-tensor INT8 →
+/// FP16 when the primary scheme fails (typed error *or* panic). The ladder
+/// never gives up: FP16 on sanitized inputs always succeeds, so a corrupt
+/// calibration blob or a poisoned channel costs accuracy at one site
+/// instead of aborting the whole experiment.
+fn prepare_with_ladder(
+    scheme: &dyn Scheme,
+    acts: &[Matrix],
+    weight: &Matrix,
+    layer: usize,
+    site: Site,
+) -> (Box<dyn QuantMatmul>, Option<DegradedSite>) {
+    let primary = catch_unwind(AssertUnwindSafe(|| scheme.try_prepare(acts, weight)));
+    let reason = match primary {
+        Ok(Ok(op)) => return (op, None),
+        Ok(Err(e)) => e.to_string(),
+        Err(_) => "panic during calibration".to_string(),
+    };
+    fault_metrics::DEGRADED_SITES.incr();
+    let sw = sanitize(weight);
+    let sacts: Vec<Matrix> = acts.iter().map(sanitize).collect();
+    let int8 = GranularityScheme::new(8, Granularity::PerTensor);
+    if let Ok(Ok(op)) = catch_unwind(AssertUnwindSafe(|| int8.try_prepare(&sacts, &sw))) {
+        fault_metrics::FALLBACK_INT8.incr();
+        return (
+            op,
+            Some(DegradedSite {
+                layer,
+                site,
+                fallback: "INT8",
+                reason,
+            }),
+        );
+    }
+    fault_metrics::FALLBACK_FP16.incr();
+    (
+        Fp16Scheme::new().prepare(&sacts, &sw),
+        Some(DegradedSite {
+            layer,
+            site,
+            fallback: "FP16",
+            reason,
+        }),
+    )
+}
+
 /// A model whose weight matmuls run through calibrated quantized operators.
 pub struct QuantizedModel {
     w: TransformerWeights,
     emb_t: Matrix,
     ops: HashMap<SiteKey, Box<dyn QuantMatmul>>,
     scheme: Box<dyn Scheme>,
+    degraded: Vec<DegradedSite>,
 }
 
 impl QuantizedModel {
@@ -317,22 +458,36 @@ impl QuantizedModel {
             sites.push(((li, Site::Fc2), &layer.w_fc2));
         }
         // Per-site calibration is independent, so `prepare` fans out across
-        // the pool; results come back in site order.
+        // the pool; results come back in site order. Each site runs the
+        // degradation ladder, so one bad site costs accuracy, not the run.
         let prepared = pool::par_map(sites.len(), |i| {
             let ((li, site), weight) = sites[i];
             let acts = captured
                 .get(&(li, site))
                 .unwrap_or_else(|| panic!("no captured activations for layer {li} {site:?}"));
-            scheme.prepare(acts, weight)
+            prepare_with_ladder(scheme.as_ref(), acts, weight, li, site)
         });
-        let ops: HashMap<SiteKey, Box<dyn QuantMatmul>> =
-            sites.iter().map(|&(key, _)| key).zip(prepared).collect();
+        let mut ops: HashMap<SiteKey, Box<dyn QuantMatmul>> = HashMap::new();
+        let mut degraded = Vec::new();
+        for (&(key, _), (op, deg)) in sites.iter().zip(prepared) {
+            ops.insert(key, op);
+            if let Some(d) = deg {
+                degraded.push(d);
+            }
+        }
         Self {
             w: weights.clone(),
             emb_t: weights.lm_head.transpose(),
             ops,
             scheme,
+            degraded,
         }
+    }
+
+    /// Sites the degradation ladder moved off the primary scheme, in
+    /// (layer, site) build order. Empty on a healthy build.
+    pub fn degraded_sites(&self) -> &[DegradedSite] {
+        &self.degraded
     }
 
     /// The scheme this model was quantized with.
@@ -500,6 +655,50 @@ mod tests {
     fn rejects_empty_sequence() {
         let (_, model) = tiny();
         let _ = model.reference().forward(&[]);
+    }
+
+    #[test]
+    fn nan_weight_degrades_site_and_keeps_logits_finite() {
+        let (shape, model) = tiny();
+        let mut w = model.weights().clone();
+        // Poison one projection the way the weight-fault site would.
+        w.layers[1].wv[(0, 3)] = f32::NAN;
+        let calib = vec![tokens(16, shape.vocab, 20)];
+        let before = tender_metrics::faults::DEGRADED_SITES.get();
+        let qm = QuantizedModel::build(
+            &w,
+            Box::new(TenderScheme::new(TenderConfig::int8().with_row_chunk(0))),
+            &calib,
+        );
+        // The NaN weight degrades its own site, and the reference capture
+        // pass propagates NaN into the later activations of that layer, so
+        // O and Fc1 degrade too (with activation reasons). ReLU then maps
+        // NaN to 0, so the Fc2 input is finite again and Fc2 survives.
+        let got: Vec<(usize, Site)> = qm
+            .degraded_sites()
+            .iter()
+            .map(|d| (d.layer, d.site))
+            .collect();
+        assert_eq!(got, vec![(1, Site::V), (1, Site::O), (1, Site::Fc1)]);
+        let d = &qm.degraded_sites()[0];
+        assert_eq!(d.fallback, "INT8");
+        assert!(d.reason.contains("non-finite weight"), "{}", d.reason);
+        assert!(qm.degraded_sites()[1]
+            .reason
+            .contains("non-finite calibration activation"));
+        assert_eq!(tender_metrics::faults::DEGRADED_SITES.get(), before + 3);
+        // The fallback operator sanitized the weight: logits stay finite.
+        assert!(qm.forward(&tokens(12, shape.vocab, 21)).is_finite());
+    }
+
+    #[test]
+    fn reference_try_new_reports_malformed_weights() {
+        let (_, model) = tiny();
+        let mut w = model.weights().clone();
+        let d = w.shape.d_model;
+        w.layers[0].wq = tender_tensor::Matrix::zeros(d - 1, d);
+        let err = ReferenceModel::try_new(w).unwrap_err();
+        assert_eq!(err.what, "layer 0 wq");
     }
 
     #[test]

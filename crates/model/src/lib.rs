@@ -46,7 +46,7 @@ pub mod synthetic;
 pub mod weights;
 pub mod zeroshot;
 
-pub use forward::{QuantizedModel, ReferenceModel, Site};
+pub use forward::{DegradedSite, QuantizedModel, ReferenceModel, Site};
 pub use shape::{Activation, ModelKind, ModelShape, NormKind};
 pub use synthetic::SyntheticLlm;
-pub use weights::{LayerWeights, TransformerWeights};
+pub use weights::{LayerWeights, ShapeError, TransformerWeights};

@@ -227,6 +227,25 @@ impl SyntheticLlm {
             final_gamma: gamma(&mut rng, &[]),
             final_beta: beta(&mut rng),
         };
+        let mut weights = weights;
+        // Fault injection: with a plan installed, the selected
+        // (layer, channel) query-projection weights are poisoned with NaN.
+        // The decision is a pure function of (seed, layer, channel), so the
+        // same plan corrupts the same weights at any thread count; the
+        // degradation ladder in `QuantizedModel::build_with_capture` then
+        // falls back on those sites instead of propagating NaN.
+        if tender_faults::active() {
+            if let Some(plan) = tender_faults::plan() {
+                for (li, layer) in weights.layers.iter_mut().enumerate() {
+                    for c in 0..d {
+                        if plan.weight_nan(li, c) {
+                            layer.wq[(0, c)] = f32::NAN;
+                        }
+                    }
+                }
+            }
+        }
+
         Self {
             weights,
             outlier_channels,

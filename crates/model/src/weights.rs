@@ -4,6 +4,49 @@ use tender_tensor::Matrix;
 
 use crate::shape::ModelShape;
 
+/// A weight tensor whose dimensions contradict the model shape.
+///
+/// Returned by [`TransformerWeights::validate`] so malformed weights degrade
+/// gracefully (skip the model, report the mismatch) instead of aborting the
+/// whole suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Which tensor is malformed, e.g. `"layer 3 wq"`.
+    pub what: String,
+    /// The (rows, cols) the shape promises. Vectors report `(len, 1)`.
+    pub expected: (usize, usize),
+    /// The dimensions actually found.
+    pub got: (usize, usize),
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: expected {}x{}, got {}x{}",
+            self.what, self.expected.0, self.expected.1, self.got.0, self.got.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+fn check(
+    what: impl Into<String>,
+    expected: (usize, usize),
+    got: (usize, usize),
+) -> Result<(), ShapeError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(ShapeError {
+            what: what.into(),
+            expected,
+            got,
+        })
+    }
+}
+
 /// Weights of one Transformer block.
 #[derive(Debug, Clone)]
 pub struct LayerWeights {
@@ -55,31 +98,29 @@ pub struct TransformerWeights {
 }
 
 impl TransformerWeights {
-    /// Validates that every weight has the dimensions the shape promises.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any inconsistency.
-    pub fn validate(&self) {
+    /// Validates that every weight has the dimensions the shape promises,
+    /// reporting the first mismatch as a typed [`ShapeError`].
+    pub fn validate(&self) -> Result<(), ShapeError> {
         let d = self.shape.d_model;
         let f = self.shape.ffn_dim;
-        assert_eq!(self.tok_emb.shape(), (self.shape.vocab, d));
-        assert_eq!(self.lm_head.shape(), (self.shape.vocab, d));
-        assert_eq!(self.pos_emb.shape(), (self.shape.max_seq, d));
-        assert_eq!(self.layers.len(), self.shape.layers);
-        assert_eq!(self.final_gamma.len(), d);
+        check("tok_emb", (self.shape.vocab, d), self.tok_emb.shape())?;
+        check("lm_head", (self.shape.vocab, d), self.lm_head.shape())?;
+        check("pos_emb", (self.shape.max_seq, d), self.pos_emb.shape())?;
+        check("layers", (self.shape.layers, 1), (self.layers.len(), 1))?;
+        check("final_gamma", (d, 1), (self.final_gamma.len(), 1))?;
         for (i, l) in self.layers.iter().enumerate() {
-            assert_eq!(l.ln1_gamma.len(), d, "layer {i} ln1");
-            assert_eq!(l.wq.shape(), (d, d), "layer {i} wq");
-            assert_eq!(l.wk.shape(), (d, d), "layer {i} wk");
-            assert_eq!(l.wv.shape(), (d, d), "layer {i} wv");
-            assert_eq!(l.wo.shape(), (d, d), "layer {i} wo");
-            assert_eq!(l.w_fc1.shape(), (d, f), "layer {i} fc1");
-            assert_eq!(l.w_fc2.shape(), (f, d), "layer {i} fc2");
+            check(format!("layer {i} ln1"), (d, 1), (l.ln1_gamma.len(), 1))?;
+            check(format!("layer {i} wq"), (d, d), l.wq.shape())?;
+            check(format!("layer {i} wk"), (d, d), l.wk.shape())?;
+            check(format!("layer {i} wv"), (d, d), l.wv.shape())?;
+            check(format!("layer {i} wo"), (d, d), l.wo.shape())?;
+            check(format!("layer {i} fc1"), (d, f), l.w_fc1.shape())?;
+            check(format!("layer {i} fc2"), (f, d), l.w_fc2.shape())?;
             if let Some(g) = &l.w_gate {
-                assert_eq!(g.shape(), (d, f), "layer {i} gate");
+                check(format!("layer {i} gate"), (d, f), g.shape())?;
             }
         }
+        Ok(())
     }
 
     /// Total parameter count.
@@ -107,7 +148,25 @@ mod tests {
     fn generated_weights_validate() {
         let shape = ModelShape::tiny_test();
         let model = SyntheticLlm::generate(&shape, 1);
-        model.weights().validate();
+        assert!(model.weights().validate().is_ok());
+    }
+
+    #[test]
+    fn malformed_weights_report_typed_shape_errors() {
+        let shape = ModelShape::tiny_test();
+        let mut w = SyntheticLlm::generate(&shape, 1).into_weights();
+        // Truncate a projection: the error names the tensor and both shapes.
+        let d = w.shape.d_model;
+        w.layers[1].wk = Matrix::zeros(d - 1, d);
+        let err = w.validate().unwrap_err();
+        assert_eq!(err.what, "layer 1 wk");
+        assert_eq!(err.expected, (d, d));
+        assert_eq!(err.got, (d - 1, d));
+        assert!(err.to_string().contains("layer 1 wk"));
+        // Dropping a whole layer is caught before per-layer checks.
+        w.layers[1].wk = Matrix::zeros(d, d);
+        w.layers.pop();
+        assert_eq!(w.validate().unwrap_err().what, "layers");
     }
 
     #[test]

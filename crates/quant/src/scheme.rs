@@ -33,6 +33,58 @@ pub trait QuantMatmul: Send + Sync {
     fn act_bits(&self) -> f32;
 }
 
+/// Why calibrating a matmul site failed — the typed half of the graceful
+/// degradation ladder. A [`PrepareError`] tells the model layer *that* the
+/// primary scheme cannot serve this site and *why*, so it can fall back to a
+/// simpler scheme instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrepareError {
+    /// The site's weight matrix contains NaN or infinity.
+    NonFiniteWeight {
+        /// First offending (row, col).
+        at: (usize, usize),
+    },
+    /// A calibration activation contains NaN or infinity.
+    NonFiniteActivation {
+        /// Index of the offending sample and first offending (row, col).
+        sample: usize,
+        /// First offending (row, col) within that sample.
+        at: (usize, usize),
+    },
+    /// The serialized calibration blob failed to decode (corruption).
+    CorruptCalibration(String),
+}
+
+impl fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteWeight { at } => {
+                write!(f, "non-finite weight at ({}, {})", at.0, at.1)
+            }
+            Self::NonFiniteActivation { sample, at } => write!(
+                f,
+                "non-finite calibration activation in sample {sample} at ({}, {})",
+                at.0, at.1
+            ),
+            Self::CorruptCalibration(msg) => write!(f, "corrupt calibration blob: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// First non-finite element of `m`, if any.
+pub fn first_non_finite(m: &Matrix) -> Option<(usize, usize)> {
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            if !m[(r, c)].is_finite() {
+                return Some((r, c));
+            }
+        }
+    }
+    None
+}
+
 /// A quantization scheme: a factory for calibrated [`QuantMatmul`] operators.
 ///
 /// Schemes are stateless descriptions (bit width, thresholds, …); all
@@ -53,6 +105,28 @@ pub trait Scheme: Send + Sync + fmt::Debug {
     /// Implementations panic if `calib_acts` is empty or if shapes are
     /// inconsistent with `w`.
     fn prepare(&self, calib_acts: &[Matrix], w: &Matrix) -> Box<dyn QuantMatmul>;
+
+    /// Fallible calibration: reports recoverable problems (non-finite
+    /// inputs, corrupt calibration metadata) as a typed [`PrepareError`]
+    /// instead of panicking, so callers can degrade the site to a fallback
+    /// scheme. The default screens both inputs for non-finite values and
+    /// then delegates to [`Scheme::prepare`]; schemes with their own
+    /// failure modes (e.g. Tender's serialized calibration blob) extend it.
+    fn try_prepare(
+        &self,
+        calib_acts: &[Matrix],
+        w: &Matrix,
+    ) -> Result<Box<dyn QuantMatmul>, PrepareError> {
+        if let Some(at) = first_non_finite(w) {
+            return Err(PrepareError::NonFiniteWeight { at });
+        }
+        for (sample, a) in calib_acts.iter().enumerate() {
+            if let Some(at) = first_non_finite(a) {
+                return Err(PrepareError::NonFiniteActivation { sample, at });
+            }
+        }
+        Ok(self.prepare(calib_acts, w))
+    }
 
     /// Approximate product of two runtime activations (e.g. `X_Q × X_K^T`).
     ///

@@ -37,9 +37,11 @@ pub use matmul::{
 };
 pub use serialize::{decode_calibration, encode_calibration, DecodeError};
 
+use tender_metrics as metrics;
 use tender_tensor::Matrix;
 
-use crate::scheme::{QuantMatmul, Scheme};
+use crate::quantizer::round_to_f16;
+use crate::scheme::{first_non_finite, PrepareError, QuantMatmul, Scheme};
 
 /// The Tender quantization scheme (factory for calibrated operators).
 ///
@@ -60,17 +62,48 @@ use crate::scheme::{QuantMatmul, Scheme};
 #[derive(Debug, Clone)]
 pub struct TenderScheme {
     config: TenderConfig,
+    /// Runtime degradation knob: when the kernel reports more saturating
+    /// accumulator events per processed chunk than this threshold, the
+    /// operator reroutes that forward pass to an FP16 fallback weight and
+    /// counts a runtime fallback. `None` (the default) disables the check
+    /// so the hot path is byte-identical to the pre-fault-model kernel.
+    overflow_fallback: Option<f64>,
 }
 
 impl TenderScheme {
     /// Creates a scheme from a configuration.
     pub fn new(config: TenderConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            overflow_fallback: None,
+        }
+    }
+
+    /// Enables the runtime overflow-rate fallback: any forward pass whose
+    /// saturating-accumulator events exceed `events_per_chunk` (events per
+    /// processed row chunk) is rerouted to an FP16 matmul against a
+    /// half-rounded copy of the weight, and
+    /// `tender_metrics::faults::RUNTIME_FALLBACKS` is incremented.
+    pub fn with_overflow_fallback(mut self, events_per_chunk: f64) -> Self {
+        self.overflow_fallback = Some(events_per_chunk);
+        self
     }
 
     /// The configuration this scheme was built with.
     pub fn config(&self) -> &TenderConfig {
         &self.config
+    }
+
+    /// Builds the runtime operator from an already-computed calibration.
+    fn build_op(&self, calibration: TenderCalibration, w: &Matrix) -> Box<dyn QuantMatmul> {
+        Box::new(TenderMatmul {
+            calibration,
+            weight: QuantizedWeight::per_col(w, self.config.bits),
+            config: self.config.clone(),
+            overflow_fallback: self
+                .overflow_fallback
+                .map(|threshold| (threshold, round_to_f16(w))),
+        })
     }
 }
 
@@ -80,6 +113,9 @@ pub struct TenderMatmul {
     /// Per-column quantized weight (integer values + scales).
     weight: QuantizedWeight,
     config: TenderConfig,
+    /// `(events_per_chunk threshold, FP16-rounded weight)` when the runtime
+    /// overflow fallback is enabled; see [`TenderScheme::with_overflow_fallback`].
+    overflow_fallback: Option<(f64, Matrix)>,
 }
 
 impl TenderMatmul {
@@ -96,7 +132,17 @@ impl TenderMatmul {
 
 impl QuantMatmul for TenderMatmul {
     fn forward(&self, x: &Matrix) -> Matrix {
-        implicit_requant_matmul(x, &self.weight, &self.calibration, &self.config).result
+        let stats = implicit_requant_matmul(x, &self.weight, &self.calibration, &self.config);
+        if let Some((threshold, fallback_w)) = &self.overflow_fallback {
+            let chunks = stats.chunks_processed.max(1) as f64;
+            if stats.overflow_events as f64 / chunks > *threshold {
+                metrics::faults::RUNTIME_FALLBACKS.incr();
+                return round_to_f16(x)
+                    .matmul(fallback_w)
+                    .expect("activation/weight shape mismatch");
+            }
+        }
+        stats.result
     }
 
     fn weight_bits(&self) -> f32 {
@@ -119,11 +165,44 @@ impl Scheme for TenderScheme {
 
     fn prepare(&self, calib_acts: &[Matrix], w: &Matrix) -> Box<dyn QuantMatmul> {
         let calibration = TenderCalibration::from_samples(calib_acts, &self.config);
-        Box::new(TenderMatmul {
-            calibration,
-            weight: QuantizedWeight::per_col(w, self.config.bits),
-            config: self.config.clone(),
-        })
+        self.build_op(calibration, w)
+    }
+
+    /// Like the default, screens inputs for non-finite values; additionally
+    /// round-trips the calibration through its serialized blob when a fault
+    /// plan is installed, so injected bit flips surface as a typed
+    /// [`PrepareError::CorruptCalibration`] the model layer can degrade on.
+    fn try_prepare(
+        &self,
+        calib_acts: &[Matrix],
+        w: &Matrix,
+    ) -> Result<Box<dyn QuantMatmul>, PrepareError> {
+        if let Some(at) = first_non_finite(w) {
+            return Err(PrepareError::NonFiniteWeight { at });
+        }
+        for (sample, a) in calib_acts.iter().enumerate() {
+            if let Some(at) = first_non_finite(a) {
+                return Err(PrepareError::NonFiniteActivation { sample, at });
+            }
+        }
+        let mut calibration = TenderCalibration::from_samples(calib_acts, &self.config);
+        if tender_faults::active() {
+            if let Some(plan) = tender_faults::plan() {
+                // Serialize → (maybe) corrupt → decode. The site key is
+                // derived from the blob content, not execution order, so the
+                // same site gets the same verdict at any thread count. The
+                // encoding is lossless, so the decoded calibration is used
+                // either way.
+                let mut blob = encode_calibration(&self.config, &calibration);
+                let key = tender_faults::hash_bytes(&blob);
+                plan.corrupt_blob(key, &mut blob);
+                match decode_calibration(&blob) {
+                    Ok((_, decoded)) => calibration = decoded,
+                    Err(e) => return Err(PrepareError::CorruptCalibration(e.to_string())),
+                }
+            }
+        }
+        Ok(self.build_op(calibration, w))
     }
 
     fn act_act_matmul(&self, a: &Matrix, b: &Matrix) -> Matrix {
@@ -217,6 +296,57 @@ mod tests {
         let approx = all.act_act_matmul(&a, &b);
         assert_ne!(approx, exact); // quantized, so not bit-identical
         assert!(sqnr_db(&exact, &approx) > 25.0); // but close
+    }
+
+    #[test]
+    fn try_prepare_round_trips_blob_and_surfaces_corruption() {
+        let mut rng = DetRng::new(104);
+        let x = outlier_activation(&mut rng, 16, 8);
+        let w = rng.normal_matrix(8, 4, 0.0, 0.1);
+        let scheme = TenderScheme::new(TenderConfig::int8());
+
+        // Fault-free, try_prepare matches the infallible path bit-for-bit.
+        let clean = scheme.try_prepare(std::slice::from_ref(&x), &w).unwrap();
+        let plain = scheme.prepare(std::slice::from_ref(&x), &w);
+        assert_eq!(clean.forward(&x), plain.forward(&x));
+
+        // With every blob corrupted, the typed error surfaces — no panic.
+        let plan = tender_faults::FaultPlan::parse(7, "blob=1").unwrap();
+        let _guard = tender_faults::PlanGuard::install(plan);
+        match scheme.try_prepare(std::slice::from_ref(&x), &w) {
+            Err(PrepareError::CorruptCalibration(_)) => {}
+            Err(other) => panic!("expected corrupt-calibration error, got {other:?}"),
+            Ok(_) => panic!("expected corrupt-calibration error, got Ok"),
+        }
+    }
+
+    #[test]
+    fn overflow_fallback_reroutes_and_counts() {
+        let mut rng = DetRng::new(105);
+        let x = outlier_activation(&mut rng, 16, 8);
+        let w = rng.normal_matrix(8, 4, 0.0, 0.1);
+        let calib = std::slice::from_ref(&x);
+
+        let normal = TenderScheme::new(TenderConfig::int8()).prepare(calib, &w);
+        // A negative threshold trips on every forward (0 events/chunk > -1),
+        // exercising the reroute machinery without needing a real overflow.
+        let tripped = TenderScheme::new(TenderConfig::int8())
+            .with_overflow_fallback(-1.0)
+            .prepare(calib, &w);
+        let before = metrics::faults::RUNTIME_FALLBACKS.get();
+        let y = tripped.forward(&x);
+        assert_eq!(metrics::faults::RUNTIME_FALLBACKS.get(), before + 1);
+        let fp16 = round_to_f16(&x).matmul(&round_to_f16(&w)).unwrap();
+        assert_eq!(y, fp16);
+        assert_ne!(y, normal.forward(&x));
+
+        // A generous threshold never trips on this well-conditioned site.
+        let slack = TenderScheme::new(TenderConfig::int8())
+            .with_overflow_fallback(1e9)
+            .prepare(calib, &w);
+        let before = metrics::faults::RUNTIME_FALLBACKS.get();
+        assert_eq!(slack.forward(&x), normal.forward(&x));
+        assert_eq!(metrics::faults::RUNTIME_FALLBACKS.get(), before);
     }
 
     #[test]

@@ -17,6 +17,13 @@ use super::decompose::group_scales;
 /// Magic bytes + format version.
 const MAGIC: &[u8; 6] = b"TNDRC1";
 
+/// Upper bound on a decodable `num_groups`. With `alpha >= 2` the group
+/// scale is `tmax / alpha^g`, which underflows `f32` to zero after ~150
+/// groups, so anything near this bound can only come from corruption.
+/// Capping it keeps the decoder from sizing per-group state off a
+/// corrupted count field.
+const MAX_DECODE_GROUPS: usize = 4096;
+
 /// Error decoding a calibration blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -47,6 +54,10 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.buf.len() < n {
             return Err(DecodeError::Truncated);
@@ -145,7 +156,7 @@ pub fn decode_calibration(blob: &[u8]) -> Result<(TenderConfig, TenderCalibratio
         quant_act_act: flags & 1 != 0,
         subtract_bias: flags & 2 != 0,
     };
-    if !(2..=16).contains(&bits) || num_groups == 0 || alpha < 2 {
+    if !(2..=16).contains(&bits) || num_groups == 0 || num_groups > MAX_DECODE_GROUPS || alpha < 2 {
         return Err(DecodeError::Corrupt("invalid configuration"));
     }
     let chunk_rows = buf.get_u64()? as usize;
@@ -156,11 +167,28 @@ pub fn decode_calibration(blob: &[u8]) -> Result<(TenderConfig, TenderCalibratio
     if n_chunks == 0 {
         return Err(DecodeError::Corrupt("no chunks"));
     }
+    // Never allocate off an announced count the remaining bytes cannot
+    // possibly back: a flipped bit in a length field must produce a cheap
+    // `Truncated`, not a multi-gigabyte reservation. Each chunk occupies at
+    // least 4 (channel count) + 4 (TMax) + 8 (one channel's bias + group).
+    if n_chunks
+        .checked_mul(16)
+        .is_none_or(|need| need > buf.remaining())
+    {
+        return Err(DecodeError::Truncated);
+    }
     let mut chunks = Vec::with_capacity(n_chunks);
     for _ in 0..n_chunks {
         let n_channels = buf.get_u32()? as usize;
         if n_channels == 0 {
             return Err(DecodeError::Corrupt("chunk with no channels"));
+        }
+        // Same guard per chunk: 8 bytes (bias + group index) per channel.
+        if n_channels
+            .checked_mul(8)
+            .is_none_or(|need| need > buf.remaining())
+        {
+            return Err(DecodeError::Truncated);
         }
         let tmax = buf.get_f32()?;
         if !tmax.is_finite() || tmax < 0.0 {
@@ -272,6 +300,37 @@ mod tests {
         assert_eq!(
             decode_calibration(&bad),
             Err(DecodeError::Corrupt("group index out of range"))
+        );
+    }
+
+    #[test]
+    fn rejects_absurd_counts_without_allocating() {
+        let (config, calib) = sample();
+        let blob = encode_calibration(&config, &calib);
+        // Fixed layout: magic(6) bits(4) num_groups(4) alpha(4) row_chunk(8)
+        // flags(1) chunk_rows(8) n_chunks(4), then per-chunk n_channels(4)...
+        let patch = |at: usize| {
+            let mut b = blob.clone();
+            b[at..at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+            b
+        };
+        // A corrupted count field must fail fast (typed error), not reserve
+        // gigabytes; this test hangs or aborts if the decoder allocates
+        // off the announced size.
+        assert_eq!(
+            decode_calibration(&patch(10)),
+            Err(DecodeError::Corrupt("invalid configuration")),
+            "num_groups"
+        );
+        assert_eq!(
+            decode_calibration(&patch(35)),
+            Err(DecodeError::Truncated),
+            "n_chunks"
+        );
+        assert_eq!(
+            decode_calibration(&patch(39)),
+            Err(DecodeError::Truncated),
+            "n_channels"
         );
     }
 

@@ -1,0 +1,77 @@
+//! Property-based tests for calibration-blob decoding robustness.
+//!
+//! The fault model injects bit flips into serialized calibration blobs;
+//! graceful degradation requires that *no* corruption — truncation, random
+//! bit flips, or arbitrary garbage — ever panics the decoder. It must
+//! either round-trip losslessly or return a typed [`DecodeError`].
+
+use proptest::prelude::*;
+use tender_faults::FaultPlan;
+use tender_quant::tender::{
+    decode_calibration, encode_calibration, TenderCalibration, TenderConfig,
+};
+use tender_tensor::rng::DetRng;
+
+/// A small calibrated site whose blob the properties mutate.
+fn reference_blob(seed: u64, rows: usize, cols: usize) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    let mut x = rng.normal_matrix(rows, cols, 0.0, 0.5);
+    for r in 0..rows {
+        x[(r, 0)] = rng.normal(0.0, 25.0); // an outlier channel
+    }
+    let config = TenderConfig::int8();
+    let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &config);
+    encode_calibration(&config, &calib)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Truncating a valid blob at any point yields a typed error (or, for
+    /// the full length, a successful decode) — never a panic.
+    #[test]
+    fn truncated_blobs_decode_to_typed_errors(
+        seed in 0_u64..32,
+        frac in 0.0_f64..1.0,
+    ) {
+        let blob = reference_blob(seed, 8, 6);
+        let cut = ((blob.len() as f64) * frac) as usize;
+        match decode_calibration(&blob[..cut]) {
+            Ok(_) => prop_assert_eq!(cut, blob.len()),
+            Err(e) => {
+                // The error formats without panicking, too.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Bit-flipped blobs (via the fault plan's own corruption primitive)
+    /// either decode to *some* calibration or return a typed error.
+    #[test]
+    fn bit_flipped_blobs_never_panic(
+        seed in 0_u64..256,
+        key in 0_u64..1024,
+    ) {
+        let mut blob = reference_blob(seed % 8, 6, 5);
+        let plan = FaultPlan::parse(seed, "blob=1").unwrap();
+        prop_assert!(plan.corrupt_blob(key, &mut blob));
+        match decode_calibration(&blob) {
+            Ok((config, calib)) => {
+                // Whatever decoded still upholds the decoder's invariants.
+                prop_assert!(config.num_groups > 0);
+                prop_assert!(calib.chunks().iter().all(|c| !c.group_of.is_empty()));
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the decoder.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in proptest::collection::vec(0_u8..=255, 0..160),
+    ) {
+        if let Err(e) = decode_calibration(&bytes) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+}

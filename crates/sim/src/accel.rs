@@ -25,10 +25,45 @@
 use tender_metrics::sim as metrics;
 
 use crate::area::relative_pe_area;
-use crate::config::TenderHwConfig;
+use crate::config::{HwConfigError, TenderHwConfig};
 use crate::dram::{HbmConfig, HbmConfigError, HbmModel};
 use crate::perf::{gemm_compute_cycles, RequantMode, WorkloadCost};
 use crate::workload::{Gemm, PrefillWorkload};
+
+/// A degenerate simulator configuration — either side of the machine.
+///
+/// Unifies the compute ([`HwConfigError`]) and memory ([`HbmConfigError`])
+/// validation errors so constructors that check both report one typed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// The accelerator's compute configuration is invalid.
+    Hw(HwConfigError),
+    /// The HBM configuration is invalid.
+    Hbm(HbmConfigError),
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Hw(e) => write!(f, "{e}"),
+            Self::Hbm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
+impl From<HwConfigError> for SimConfigError {
+    fn from(e: HwConfigError) -> Self {
+        Self::Hw(e)
+    }
+}
+
+impl From<HbmConfigError> for SimConfigError {
+    fn from(e: HbmConfigError) -> Self {
+        Self::Hbm(e)
+    }
+}
 
 /// Which accelerator design to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,19 +155,19 @@ impl Accelerator {
     /// Tender's decomposition.
     pub fn iso_area(kind: AcceleratorKind, base: &TenderHwConfig, groups: usize) -> Self {
         Self::iso_area_with_hbm(kind, base, groups, HbmConfig::hbm2())
-            .expect("the stock HBM2 configuration is valid")
+            .expect("valid accelerator configuration")
     }
 
-    /// Like [`Accelerator::iso_area`], but against a caller-supplied HBM
-    /// configuration (the CLI's `--hbm-*` flags). A degenerate memory
-    /// configuration is reported, not panicked on.
+    /// Like [`Accelerator::iso_area`], but against caller-supplied hardware
+    /// and HBM configurations (the CLI's `--sa-dim` / `--hbm-*` flags). A
+    /// degenerate configuration is reported, not panicked on.
     pub fn iso_area_with_hbm(
         kind: AcceleratorKind,
         base: &TenderHwConfig,
         groups: usize,
         hbm: HbmConfig,
-    ) -> Result<Self, HbmConfigError> {
-        base.validate();
+    ) -> Result<Self, SimConfigError> {
+        base.validate()?;
         hbm.validate()?;
         let budget_pes = (base.sa_dim * base.sa_dim) as f64;
         let pes = budget_pes / relative_pe_area(kind);
@@ -226,15 +261,15 @@ pub fn speedups_over(
         .expect("the stock HBM2 configuration is valid")
 }
 
-/// Like [`speedups_over`], but against a caller-supplied HBM configuration;
-/// a degenerate configuration is reported as an [`HbmConfigError`].
+/// Like [`speedups_over`], but against caller-supplied configurations; a
+/// degenerate configuration is reported as a [`SimConfigError`].
 pub fn speedups_over_with_hbm(
     baseline: AcceleratorKind,
     base_hw: &TenderHwConfig,
     groups: usize,
     hbm: &HbmConfig,
     w: &PrefillWorkload,
-) -> Result<Vec<(AcceleratorKind, f64)>, HbmConfigError> {
+) -> Result<Vec<(AcceleratorKind, f64)>, SimConfigError> {
     let base_cycles = Accelerator::iso_area_with_hbm(baseline, base_hw, groups, hbm.clone())?
         .run(w)
         .cycles as f64;

@@ -7,7 +7,7 @@
 //! scaling with its configuration parameter. The constants feed the
 //! iso-area PE scaling of the accelerator comparison ([`crate::accel`]).
 
-use crate::config::TenderHwConfig;
+use crate::config::{HwConfigError, TenderHwConfig};
 
 /// Area/power report for one hardware component.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,9 +60,20 @@ pub struct AreaModel {
 
 impl AreaModel {
     /// Creates the model for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate; use
+    /// [`AreaModel::try_new`] to handle that as a value.
     pub fn new(config: TenderHwConfig) -> Self {
-        config.validate();
-        Self { config }
+        Self::try_new(config).expect("valid hardware configuration")
+    }
+
+    /// Fallible constructor: a degenerate configuration is reported as a
+    /// typed [`HwConfigError`] instead of aborting.
+    pub fn try_new(config: TenderHwConfig) -> Result<Self, HwConfigError> {
+        config.validate()?;
+        Ok(Self { config })
     }
 
     /// Per-component breakdown, in Table V order.

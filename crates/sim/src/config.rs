@@ -1,5 +1,44 @@
 //! Hardware configuration of the Tender accelerator (paper Table V setup).
 
+/// Why a [`TenderHwConfig`] is rejected. Mirrors `HbmConfigError`: callers
+/// get a typed, matchable reason instead of an `assert!` abort, so a bad
+/// configuration degrades gracefully (CLI error message, skipped experiment)
+/// rather than taking the process down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwConfigError {
+    /// `sa_dim` is zero — the systolic array has no PEs.
+    ZeroArrayDim,
+    /// `vpu_lanes` is zero — the VPU cannot execute anything.
+    ZeroVpuLanes,
+    /// `clock_hz` is zero, negative, or not finite.
+    NonPositiveClock,
+    /// `pes_per_int8_mac` differs from the paper's 4-PE gang.
+    UnsupportedPeGang(usize),
+    /// A scratchpad or output buffer has zero capacity.
+    ZeroBuffer,
+    /// The accumulator is narrower than the 16 bits any mode needs.
+    AccumulatorTooNarrow(u32),
+}
+
+impl std::fmt::Display for HwConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroArrayDim => write!(f, "systolic array dimension must be positive"),
+            Self::ZeroVpuLanes => write!(f, "VPU lane count must be positive"),
+            Self::NonPositiveClock => write!(f, "core clock must be positive and finite"),
+            Self::UnsupportedPeGang(n) => {
+                write!(f, "paper design gangs 4 PEs per INT8 MAC, got {n}")
+            }
+            Self::ZeroBuffer => write!(f, "scratchpad and output buffers must be non-empty"),
+            Self::AccumulatorTooNarrow(bits) => {
+                write!(f, "accumulator must be at least 16 bits, got {bits}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwConfigError {}
+
 /// Configuration of the Tender accelerator.
 ///
 /// Defaults follow §IV / Table V: a 64×64 output-stationary systolic array
@@ -74,20 +113,28 @@ impl TenderHwConfig {
         }
     }
 
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any field is degenerate.
-    pub fn validate(&self) {
-        assert!(self.sa_dim > 0 && self.vpu_lanes > 0);
-        assert!(self.clock_hz > 0.0);
-        assert!(
-            self.pes_per_int8_mac == 4,
-            "paper design gangs 4 PEs for INT8"
-        );
-        assert!(self.scratchpad_bytes > 0 && self.output_buffer_bytes > 0);
-        assert!(self.accumulator_bits >= 16);
+    /// Validates the configuration, reporting the first degenerate field as
+    /// a typed [`HwConfigError`] instead of aborting.
+    pub fn validate(&self) -> Result<(), HwConfigError> {
+        if self.sa_dim == 0 {
+            return Err(HwConfigError::ZeroArrayDim);
+        }
+        if self.vpu_lanes == 0 {
+            return Err(HwConfigError::ZeroVpuLanes);
+        }
+        if !(self.clock_hz > 0.0 && self.clock_hz.is_finite()) {
+            return Err(HwConfigError::NonPositiveClock);
+        }
+        if self.pes_per_int8_mac != 4 {
+            return Err(HwConfigError::UnsupportedPeGang(self.pes_per_int8_mac));
+        }
+        if self.scratchpad_bytes == 0 || self.output_buffer_bytes == 0 {
+            return Err(HwConfigError::ZeroBuffer);
+        }
+        if self.accumulator_bits < 16 {
+            return Err(HwConfigError::AccumulatorTooNarrow(self.accumulator_bits));
+        }
+        Ok(())
     }
 }
 
@@ -104,7 +151,7 @@ mod tests {
     #[test]
     fn paper_config_matches_table_v() {
         let c = TenderHwConfig::paper();
-        c.validate();
+        assert!(c.validate().is_ok());
         assert_eq!(c.sa_dim, 64);
         assert_eq!(c.vpu_lanes, 64);
         assert_eq!(c.scratchpad_bytes, 256 * 1024);
@@ -126,5 +173,68 @@ mod tests {
     #[should_panic(expected = "INT4/INT8")]
     fn rejects_unsupported_precision() {
         let _ = TenderHwConfig::paper().effective_dim(16);
+    }
+
+    #[test]
+    fn validate_reports_first_degenerate_field() {
+        let ok = TenderHwConfig::paper();
+        let cases = [
+            (
+                TenderHwConfig {
+                    sa_dim: 0,
+                    ..ok.clone()
+                },
+                HwConfigError::ZeroArrayDim,
+            ),
+            (
+                TenderHwConfig {
+                    vpu_lanes: 0,
+                    ..ok.clone()
+                },
+                HwConfigError::ZeroVpuLanes,
+            ),
+            (
+                TenderHwConfig {
+                    clock_hz: 0.0,
+                    ..ok.clone()
+                },
+                HwConfigError::NonPositiveClock,
+            ),
+            (
+                TenderHwConfig {
+                    clock_hz: f64::NAN,
+                    ..ok.clone()
+                },
+                HwConfigError::NonPositiveClock,
+            ),
+            (
+                TenderHwConfig {
+                    pes_per_int8_mac: 2,
+                    ..ok.clone()
+                },
+                HwConfigError::UnsupportedPeGang(2),
+            ),
+            (
+                TenderHwConfig {
+                    scratchpad_bytes: 0,
+                    ..ok.clone()
+                },
+                HwConfigError::ZeroBuffer,
+            ),
+            (
+                TenderHwConfig {
+                    accumulator_bits: 8,
+                    ..ok.clone()
+                },
+                HwConfigError::AccumulatorTooNarrow(8),
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate().unwrap_err(), want);
+        }
+        // Errors render human-readable messages for the CLI.
+        assert!(HwConfigError::UnsupportedPeGang(2)
+            .to_string()
+            .contains("4 PEs"));
     }
 }

@@ -281,7 +281,23 @@ impl HbmModel {
         b.busy_until = c.bus_free;
         self.stats.bytes += self.cfg.burst_bytes;
         metrics::DRAM_BYTES.add(self.cfg.burst_bytes);
-        ready + self.cfg.t_cas + burst_cycles
+        let mut extra = 0;
+        if tender_faults::active() {
+            // Injected read bit-error: the controller's ECC detects it and
+            // re-issues the burst, costing one extra bus occupancy. Keyed on
+            // the burst index alone (a weak cell misbehaves consistently),
+            // so timing stays independent of access order and thread count.
+            if let Some(plan) = tender_faults::plan() {
+                if plan.dram_bit_error(addr / self.cfg.burst_bytes) {
+                    c.bus_free += burst_cycles;
+                    b.busy_until = c.bus_free;
+                    self.stats.bytes += self.cfg.burst_bytes;
+                    metrics::DRAM_BYTES.add(self.cfg.burst_bytes);
+                    extra = burst_cycles;
+                }
+            }
+        }
+        ready + self.cfg.t_cas + burst_cycles + extra
     }
 
     /// Sequential transfer of `bytes` from `addr`, beginning no earlier

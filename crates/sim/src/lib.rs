@@ -47,6 +47,6 @@ pub mod rtl;
 pub mod vpu;
 pub mod workload;
 
-pub use accel::{Accelerator, AcceleratorKind};
-pub use config::TenderHwConfig;
+pub use accel::{Accelerator, AcceleratorKind, SimConfigError};
+pub use config::{HwConfigError, TenderHwConfig};
 pub use dram::{HbmConfig, HbmConfigError, HbmModel};

@@ -18,7 +18,7 @@
 use tender_metrics::sim as metrics;
 use tender_tensor::IMatrix;
 
-use crate::config::TenderHwConfig;
+use crate::config::{HwConfigError, TenderHwConfig};
 
 /// One channel group's integer operands: activations `a` (`m × k_g`) and
 /// weights `b` (`k_g × n`).
@@ -99,12 +99,23 @@ pub struct MultiScaleSystolicArray {
 
 impl MultiScaleSystolicArray {
     /// Creates an MSA model from the hardware configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate; use
+    /// [`MultiScaleSystolicArray::try_new`] to handle that as a value.
     pub fn new(config: &TenderHwConfig) -> Self {
-        config.validate();
-        Self {
+        Self::try_new(config).expect("valid hardware configuration")
+    }
+
+    /// Fallible constructor: a degenerate configuration is reported as a
+    /// typed [`HwConfigError`] instead of aborting.
+    pub fn try_new(config: &TenderHwConfig) -> Result<Self, HwConfigError> {
+        config.validate()?;
+        Ok(Self {
             dim: config.sa_dim,
             accumulator_bits: config.accumulator_bits,
-        }
+        })
     }
 
     /// Array dimension.

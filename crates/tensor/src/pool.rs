@@ -39,8 +39,8 @@
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -48,6 +48,45 @@ use tender_metrics::pool as metrics;
 
 thread_local! {
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// The pool's internal locks guard claim/completion bookkeeping whose
+/// invariants are maintained by atomics, not by the critical sections, so a
+/// poisoned lock carries no torn state — recovering keeps a panicking task
+/// from wedging every subsequent batch.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fault hook consulted before each pool task; may panic to inject a task
+/// fault. Arguments are (batch size, item index).
+pub type TaskFaultHook = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+static FAULT_HOOK_SET: AtomicBool = AtomicBool::new(false);
+static FAULT_HOOK: Mutex<Option<TaskFaultHook>> = Mutex::new(None);
+
+/// Installs (or removes, with `None`) the process-global task fault hook.
+///
+/// The hook runs before every pool item — inline or parallel — and may panic
+/// to simulate a faulting task. While a hook is installed, the inline path
+/// adopts the parallel path's isolation semantics (every item executes, the
+/// first panic is re-raised at the end), so injected panics leave counters
+/// identical at any thread count. Defined here rather than in the faults
+/// crate because the pool cannot depend on its own consumers.
+pub fn set_task_fault_hook(hook: Option<TaskFaultHook>) {
+    let set = hook.is_some();
+    *lock_unpoisoned(&FAULT_HOOK) = hook;
+    FAULT_HOOK_SET.store(set, Ordering::Release);
+}
+
+/// The installed task fault hook, if any (lock-free when absent).
+fn task_fault_hook() -> Option<TaskFaultHook> {
+    if !FAULT_HOOK_SET.load(Ordering::Acquire) {
+        return None;
+    }
+    lock_unpoisoned(&FAULT_HOOK).clone()
 }
 
 /// Minimum scalar-op count (`rows * inner * cols` for a matmul) below which
@@ -199,13 +238,13 @@ impl Batch {
             // `wait_done` and the task pointer is alive.
             let task = unsafe { &*self.task };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
-                let mut slot = self.panic.lock().unwrap();
+                let mut slot = lock_unpoisoned(&self.panic);
                 slot.get_or_insert(payload);
             }
             // Release pairs with the injector's Acquire load: all writes
             // made by item i happen-before the injector observes completion.
             if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
-                let _guard = self.wait_lock.lock().unwrap();
+                let _guard = lock_unpoisoned(&self.wait_lock);
                 self.done.notify_all();
             }
         }
@@ -216,9 +255,12 @@ impl Batch {
     }
 
     fn wait_done(&self) {
-        let mut guard = self.wait_lock.lock().unwrap();
+        let mut guard = lock_unpoisoned(&self.wait_lock);
         while self.completed.load(Ordering::Acquire) < self.total {
-            guard = self.done.wait(guard).unwrap();
+            guard = self
+                .done
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -285,12 +327,43 @@ impl Pool {
         if n == 0 {
             return;
         }
+        if let Some(hook) = task_fault_hook() {
+            // Fault-injection mode: consult the hook before each item (it
+            // may panic to simulate a faulting task). The wrapper lives on
+            // this frame, which outlives run_impl's wait.
+            let faulty = move |i: usize| {
+                hook(n, i);
+                f(i);
+            };
+            self.run_impl(n, &faulty, true);
+            return;
+        }
+        self.run_impl(n, f, false);
+    }
+
+    /// The body of [`Pool::run`]. `isolate_inline` makes the inline path
+    /// mirror the parallel path's panic semantics (execute every item,
+    /// re-raise the first panic afterwards) so injected faults cannot make
+    /// counters diverge between thread counts.
+    fn run_impl(&self, n: usize, f: &(dyn Fn(usize) + Sync), isolate_inline: bool) {
         if n == 1 || self.threads == 1 || IN_WORKER.with(|w| w.get()) {
             // One relaxed atomic add total — the inline path stays as close
             // to free as observation allows (nested kernel calls land here).
             metrics::INLINE_ITEMS.add(n as u64);
-            for i in 0..n {
-                f(i);
+            if isolate_inline {
+                let mut first: Option<Box<dyn std::any::Any + Send>> = None;
+                for i in 0..n {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        first.get_or_insert(payload);
+                    }
+                }
+                if let Some(payload) = first {
+                    resume_unwind(payload);
+                }
+            } else {
+                for i in 0..n {
+                    f(i);
+                }
             }
             return;
         }
@@ -310,7 +383,7 @@ impl Pool {
             done: Condvar::new(),
         });
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.queue.push_back(Arc::clone(&batch));
             metrics::QUEUE_DEPTH_MAX.observe(state.queue.len() as u64);
         }
@@ -322,10 +395,10 @@ impl Pool {
         batch.wait_done();
         drop(batch_span);
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.queue.retain(|b| !Arc::ptr_eq(b, &batch));
         }
-        let payload = batch.panic.lock().unwrap().take();
+        let payload = lock_unpoisoned(&batch.panic).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -335,11 +408,11 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.shutdown = true;
         }
         self.shared.available.notify_all();
-        for handle in self.handles.lock().unwrap().drain(..) {
+        for handle in lock_unpoisoned(&self.handles).drain(..) {
             let _ = handle.join();
         }
     }
@@ -349,7 +422,7 @@ fn worker_loop(shared: &Shared, index: usize) {
     IN_WORKER.with(|w| w.set(true));
     loop {
         let batch = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&shared.state);
             loop {
                 while state.queue.front().is_some_and(|b| b.exhausted()) {
                     state.queue.pop_front();
@@ -360,7 +433,10 @@ fn worker_loop(shared: &Shared, index: usize) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.available.wait(state).unwrap();
+                state = shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let busy = Instant::now();
@@ -487,6 +563,53 @@ mod tests {
     fn par_chunks_mut_empty_input() {
         let mut data: Vec<u32> = vec![];
         par_chunks_mut(&mut data, 8, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn fault_hook_panics_are_deterministic_across_thread_counts() {
+        // The hook is process-global and this crate's tests share a process,
+        // so key the injected fault on a batch size no other test uses.
+        const N: usize = 977;
+        let run_with = |threads: usize| {
+            let pool = Pool::new(threads);
+            let count = AtomicUsize::new(0);
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(N, &|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }));
+            // A batch must still succeed after the panicked batch (the
+            // poison-recovering locks are what make this reliable). Use a
+            // batch size the hook does not match so it runs clean.
+            let after = AtomicUsize::new(0);
+            pool.run(N + 1, &|_| {
+                after.fetch_add(1, Ordering::Relaxed);
+            });
+            (
+                outcome.is_err(),
+                count.load(Ordering::Relaxed),
+                after.load(Ordering::Relaxed),
+            )
+        };
+        set_task_fault_hook(Some(Arc::new(|n, i| {
+            if n == N && (i == 5 || i == 700) {
+                panic!("injected pool task fault");
+            }
+        })));
+        let serial = run_with(1);
+        let parallel = run_with(4);
+        set_task_fault_hook(None);
+        // Both thread counts: the batch panics, every non-faulted item still
+        // executed, and the follow-up batch ran to completion.
+        assert_eq!(serial, (true, N - 2, N + 1));
+        assert_eq!(parallel, serial);
+        // With the hook gone the same batch size runs clean.
+        let pool = Pool::new(2);
+        let clean = AtomicUsize::new(0);
+        pool.run(N, &|_| {
+            clean.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(clean.load(Ordering::Relaxed), N);
     }
 
     #[test]
