@@ -1,0 +1,88 @@
+//! Decode-step latency on the prefill + KV-cache engine.
+//!
+//! Each measurement is the wall-clock of one `DecodeSession::step` at a
+//! given cache length, so `mean_ns` *is* the per-step decode latency and
+//! `1e9 / mean_ns` is single-session tokens/s. The prefill benchmark gives
+//! the amortized cost of prompt ingestion for contrast. CI runs this with
+//! `BENCH_SNAPSHOT=BENCH_decode.json` and asserts the snapshot parses and
+//! reports positive per-step latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tender_model::engine::DecodeSession;
+use tender_model::{ModelShape, QuantizedModel, SyntheticLlm};
+use tender_quant::tender::{TenderConfig, TenderScheme};
+
+fn tokens(n: usize, vocab: usize, salt: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * 31 + salt * 17 + 5) % vocab).collect()
+}
+
+/// A small-but-structured model: big enough that step cost is dominated by
+/// the layer GEMMs, small enough for the bench budget.
+fn bench_shape() -> ModelShape {
+    let mut shape = ModelShape::tiny_test();
+    shape.d_model = 128;
+    shape.ffn_dim = 256;
+    shape.heads = 8;
+    shape.max_seq = 256;
+    shape
+}
+
+fn bench_decode_step(c: &mut Criterion) {
+    let shape = bench_shape();
+    let model = SyntheticLlm::generate(&shape, 41);
+    let reference = model.reference();
+    let calib = vec![tokens(32, shape.vocab, 1)];
+    let tender = QuantizedModel::build(
+        model.weights(),
+        Box::new(TenderScheme::new(TenderConfig::int8().with_row_chunk(8))),
+        &calib,
+    );
+
+    let mut group = c.benchmark_group("decode_step");
+    for cache_len in [16usize, 64, 192] {
+        // Prefill once per configuration; each iteration steps one token on
+        // a clone so the cache length stays fixed across iterations.
+        let mut base = DecodeSession::new(&reference);
+        base.prefill(&tokens(cache_len, shape.vocab, 2));
+        group.bench_with_input(
+            BenchmarkId::new("reference", cache_len),
+            &cache_len,
+            |b, _| {
+                b.iter(|| {
+                    let mut s = base.clone();
+                    black_box(s.step(7))
+                });
+            },
+        );
+        let mut qbase = DecodeSession::new(&tender);
+        qbase.prefill(&tokens(cache_len, shape.vocab, 2));
+        group.bench_with_input(
+            BenchmarkId::new("tender_int8", cache_len),
+            &cache_len,
+            |b, _| {
+                b.iter(|| {
+                    let mut s = qbase.clone();
+                    black_box(s.step(7))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prefill(c: &mut Criterion) {
+    let shape = bench_shape();
+    let model = SyntheticLlm::generate(&shape, 41);
+    let reference = model.reference();
+    let prompt = tokens(64, shape.vocab, 3);
+    c.bench_function("prefill_64", |b| {
+        b.iter(|| {
+            let mut s = DecodeSession::new(&reference);
+            black_box(s.prefill(&prompt))
+        });
+    });
+}
+
+criterion_group!(benches, bench_decode_step, bench_prefill);
+criterion_main!(benches);

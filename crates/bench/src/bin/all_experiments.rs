@@ -19,6 +19,8 @@
 //! * `--halt-after <n>` — stop after executing `n` new experiments (exit
 //!   code 3): a deterministic stand-in for an interrupt, for testing
 //!   `--resume`.
+//! * `--only <name>` — run a single catalog entry (e.g. `generate`,
+//!   `table2`): the smoke-job workhorse.
 //! * `--retries <n>` / `--timeout-secs <n>` — retry policy per experiment.
 //!
 //! Exit codes: 0 success, 1 experiment failure (or I/O error), 2 usage,
@@ -39,7 +41,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: all_experiments [--metrics-json <path>] [--journal <path>] [--resume]\n\
          \x20                      [--fault-seed <u64>] [--fault-plan <spec>]\n\
-         \x20                      [--halt-after <n>] [--retries <n>] [--timeout-secs <n>]"
+         \x20                      [--halt-after <n>] [--only <name>]\n\
+         \x20                      [--retries <n>] [--timeout-secs <n>]"
     );
     std::process::exit(2);
 }
@@ -76,6 +79,7 @@ fn main() {
             "--fault-seed" => fault_seed = Some(parse_or_usage(a, &value("--fault-seed"))),
             "--fault-plan" => fault_spec = Some(value("--fault-plan")),
             "--halt-after" => cfg.halt_after = Some(parse_or_usage(a, &value("--halt-after"))),
+            "--only" => cfg.only = Some(value("--only")),
             "--retries" => cfg.retries = parse_or_usage(a, &value("--retries")),
             "--timeout-secs" => {
                 let secs: u64 = parse_or_usage(a, &value("--timeout-secs"));

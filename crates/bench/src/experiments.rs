@@ -5,6 +5,7 @@
 //! models. See `EXPERIMENTS.md` for paper-vs-measured records.
 
 use tender::model::calibration::{token_batches, CorpusKind};
+use tender::model::engine::{BatchEngine, DecodeSession, ModelRef};
 use tender::model::eval::{perplexity, EvalSet};
 use tender::model::glue::GlueTask;
 use tender::model::zeroshot;
@@ -15,6 +16,7 @@ use tender::sim::accel::{speedups_over, AcceleratorKind};
 use tender::sim::area::AreaModel;
 use tender::sim::config::TenderHwConfig;
 use tender::sim::energy::efficiency_over;
+use tender::sim::generation::{decode_step_macs, kv_cache_bytes};
 use tender::sim::gpu::{normalized_latency, GpuConfig, GpuScheme};
 use tender::sim::perf::{workload_cost, RequantMode};
 use tender::sim::workload::PrefillWorkload;
@@ -733,6 +735,122 @@ pub fn table7() -> Vec<Table> {
         out.push(t);
     }
     out
+}
+
+/// Rolls out `prompts` through a [`BatchEngine`], then replays the first
+/// prompt serially to cross-check parity (decode vs full forward), MACs
+/// (measured vs the simulator's `decode_step_gemms`), and KV footprint
+/// (engine bytes vs the simulator's `kv_cache_bytes`). Returns one table
+/// row: generated tokens, parity verdict, MACs/step, KV bytes.
+fn generate_row(
+    label: &str,
+    model: ModelRef<'_>,
+    forward: &dyn Fn(&[usize]) -> tender::tensor::Matrix,
+    prompts: &[Vec<usize>],
+    steps: usize,
+    shape: &ModelShape,
+) -> Vec<String> {
+    let sessions = prompts.iter().map(|_| DecodeSession::new(model)).collect();
+    let mut engine = BatchEngine::new(sessions);
+    let generated = engine.generate_greedy(prompts, steps);
+
+    // Serial replay of the first rollout captures the final step's logits.
+    let mut session = DecodeSession::new(model);
+    let prefill = session.prefill(&prompts[0]);
+    let mut last = prefill;
+    for &tok in &generated[0] {
+        last = session.step(tok);
+    }
+    let mut full_seq = prompts[0].clone();
+    full_seq.extend_from_slice(&generated[0]);
+    let full = forward(&full_seq);
+    let parity = if last.row(0) == full.row(full_seq.len() - 1) {
+        "bit-exact"
+    } else {
+        "DIVERGED"
+    };
+
+    let cache_len = session.len();
+    let predicted = shape.layers as u64 * decode_step_macs(shape, cache_len, 1);
+    let macs = if session.last_step_macs() == predicted {
+        format!("{} (=sim)", session.last_step_macs())
+    } else {
+        format!("{} (sim {predicted})", session.last_step_macs())
+    };
+    let kv = if session.cache().bytes() == kv_cache_bytes(shape, cache_len, 32) {
+        format!("{} (=sim)", session.cache().bytes())
+    } else {
+        format!("{} (MISMATCH)", session.cache().bytes())
+    };
+    let toks: Vec<String> = generated[0].iter().map(|t| t.to_string()).collect();
+    vec![
+        label.to_string(),
+        toks.join(" "),
+        parity.to_string(),
+        macs,
+        kv,
+    ]
+}
+
+/// Generate — the decode engine end to end: batched greedy generation on a
+/// prefill + KV-cache decode path, with the engine's three cross-checks
+/// (bit parity vs the full forward, measured vs simulated MACs, measured
+/// vs simulated KV bytes) printed per scheme. "Tender (all)" is absent by
+/// design: its act×act quantization calibrates on the runtime left
+/// operand, which the single-row decode shape changes, so it sits outside
+/// the bit-parity contract.
+pub fn generate() -> Vec<Table> {
+    let shape = eval_shape(ModelShape::opt_6_7b());
+    let exp = Experiment::new(&shape, options());
+    let opts = exp.options();
+    let prompt_len = (opts.seq_len / 3).clamp(4, 16);
+    let steps = 5usize;
+    let prompts = token_batches(
+        CorpusKind::Wiki,
+        shape.vocab,
+        2,
+        prompt_len,
+        opts.seed ^ 0x47,
+    );
+
+    let mut t = Table::new(
+        format!(
+            "Generate: prefill + incremental decode ({} sessions, prompt {prompt_len}, {steps} steps)",
+            prompts.len()
+        ),
+        &["Scheme", "Generated", "Parity", "MACs/step", "KV bytes"],
+    );
+
+    let reference = exp.reference();
+    t.row(generate_row(
+        "reference",
+        ModelRef::from(reference),
+        &|tk| reference.forward(tk),
+        &prompts,
+        steps,
+        &shape,
+    ));
+    let schemes: Vec<(&str, Box<dyn Scheme>)> = vec![
+        ("FP16", scheme_by_name("FP16").expect("registered scheme")),
+        (
+            "INT8 per-tensor",
+            scheme_by_name("per-tensor@8").expect("registered scheme"),
+        ),
+        ("Tender-INT8", tender_scheme(8, opts.seq_len, false)),
+    ];
+    for (label, scheme) in schemes {
+        let qm = exp.quantize(scheme);
+        t.row(generate_row(
+            label,
+            ModelRef::from(&qm),
+            &|tk| qm.forward(tk),
+            &prompts,
+            steps,
+            &shape,
+        ));
+    }
+    t.note("parity: last decode step vs full-sequence forward, bitwise; sim: decode_step_gemms / kv_cache_bytes");
+    vec![t]
 }
 
 /// Every experiment, in paper order.

@@ -2,9 +2,11 @@
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! Tender paper's evaluation. Each experiment lives in [`experiments`] as a
-//! function returning a printable [`fmt::Table`]; the `src/bin/*` binaries
-//! are thin wrappers (`cargo run --release -p tender-bench --bin table2`),
-//! and `--bin all_experiments` runs the full suite.
+//! function returning a printable [`fmt::Table`], registered by name in the
+//! [`runner`] catalog. `--bin paper <name>...` regenerates entries directly
+//! (`cargo run --release -p tender-bench --bin paper table2`);
+//! `--bin all_experiments` runs the full suite through the resilient
+//! runner (retries, journaling, `--only <name>`, `--metrics-json`).
 //!
 //! Accuracy experiments run on the scaled-down synthetic models
 //! (`ModelShape::eval_preset`), so absolute perplexities differ from the

@@ -101,6 +101,10 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             name: "table7",
             run: e::table7,
         },
+        ExperimentSpec {
+            name: "generate",
+            run: e::generate,
+        },
     ]
 }
 
@@ -121,6 +125,9 @@ pub struct RunnerConfig {
     /// Stop (exit status [`SuiteResult::halted`]) after executing this many
     /// *new* experiments — a deterministic stand-in for an interrupt.
     pub halt_after: Option<usize>,
+    /// Run only the catalog entry with this name (smoke jobs isolate one
+    /// experiment). `None` runs the whole catalog.
+    pub only: Option<String>,
 }
 
 impl Default for RunnerConfig {
@@ -132,6 +139,7 @@ impl Default for RunnerConfig {
             journal: None,
             resume: false,
             halt_after: None,
+            only: None,
         }
     }
 }
@@ -301,6 +309,17 @@ pub fn run_suite(cfg: &RunnerConfig) -> Result<SuiteResult, String> {
 
 /// [`run_suite`] over an explicit spec list (tests use a tiny catalog).
 pub fn run_specs(specs: &[ExperimentSpec], cfg: &RunnerConfig) -> Result<SuiteResult, String> {
+    let filtered: Vec<ExperimentSpec>;
+    let specs = match &cfg.only {
+        Some(name) => {
+            filtered = specs.iter().filter(|s| s.name == *name).copied().collect();
+            if filtered.is_empty() {
+                return Err(format!("no experiment named '{name}' in the catalog"));
+            }
+            &filtered[..]
+        }
+        None => specs,
+    };
     let journal = match (&cfg.journal, cfg.resume) {
         (Some(path), true) => read_journal(path)?,
         _ => Vec::new(),

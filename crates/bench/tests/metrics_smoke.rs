@@ -196,7 +196,7 @@ fn metrics_report_parses_and_matches_stdout_counters() {
     // Re-parse the JSON report with the independent parser.
     let text = std::fs::read_to_string(&path).expect("report written");
     let root = parse_json(&text).unwrap_or_else(|e| panic!("report is not valid JSON: {e}"));
-    for section in ["pool", "kernel", "model", "sim"] {
+    for section in ["pool", "kernel", "model", "engine", "sim"] {
         assert!(root.has(section), "missing section {section}");
     }
 
@@ -216,6 +216,14 @@ fn metrics_report_parses_and_matches_stdout_counters() {
 
     let model = root.get("model");
     assert!(model.get("forward_passes").as_u64() > 0);
+
+    // The `generate` catalog entry drives the decode engine, so its
+    // counters must be live in the same report.
+    let engine = root.get("engine");
+    assert!(engine.get("prefills").as_u64() > 0);
+    assert!(engine.get("decode_steps").as_u64() > 0);
+    assert!(engine.get("decode_macs").as_u64() > 0);
+    assert!(engine.get("kv_cache_peak_bytes").as_u64() > 0);
 
     let sim = root.get("sim");
     assert!(sim.get("accel_runs").as_u64() > 0);

@@ -10,8 +10,9 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use tender::model::calibration::CorpusKind;
-use tender::model::ModelShape;
+use tender::model::calibration::{token_batches, CorpusKind};
+use tender::model::engine::{BatchEngine, DecodeSession, ModelRef};
+use tender::model::{ModelShape, QuantizedModel};
 use tender::sim::accel::{speedups_over_with_hbm, AcceleratorKind, SimConfigError};
 use tender::sim::config::TenderHwConfig;
 use tender::sim::dataflow::Dataflow;
@@ -285,6 +286,105 @@ pub fn cmd_decode(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `tender-cli generate --model M [--scheme S] [--prompt N] [--generate N]
+/// [--batch B] [--seed N] [--fast true]` — greedy generation through the
+/// prefill + KV-cache decode engine on a scaled synthetic model.
+///
+/// Decode is bit-identical to a full-sequence forward pass for every
+/// weight-quantizing scheme, so the generated tokens match what repeated
+/// full forwards would produce — at O(1) work per step instead of O(n).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown model/scheme, a zero `--prompt` or
+/// `--batch`, or a rollout longer than the model's context window.
+pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
+    let model_name = flags
+        .get("model")
+        .ok_or_else(|| err("--model is required"))?;
+    let base_shape = model_by_name(model_name)?;
+    let fast: bool = flag_parse(flags, "fast", false)?;
+    let shape = if fast {
+        base_shape.scaled_for_eval(32, 2)
+    } else {
+        base_shape.eval_preset()
+    };
+    let opts = if fast {
+        ExperimentOptions::fast()
+    } else {
+        ExperimentOptions::standard()
+    };
+    let opts = opts.with_seed(flag_parse(flags, "seed", opts.seed)?);
+    let prompt_len: usize = flag_parse(flags, "prompt", 8)?;
+    let steps: usize = flag_parse(flags, "generate", 8)?;
+    let batch: usize = flag_parse(flags, "batch", 1)?;
+    if prompt_len == 0 {
+        return Err(err("--prompt must be at least 1"));
+    }
+    if batch == 0 {
+        return Err(err("--batch must be at least 1"));
+    }
+    if prompt_len + steps > shape.max_seq {
+        return Err(err(format!(
+            "prompt ({prompt_len}) + generate ({steps}) exceeds the context window ({})",
+            shape.max_seq
+        )));
+    }
+
+    let scheme_name = flags.get("scheme").map(String::as_str).unwrap_or("FP32");
+    let exp = Experiment::new(&shape, opts);
+    let seed = exp.options().seed;
+    let prompts = token_batches(
+        CorpusKind::Wiki,
+        shape.vocab,
+        batch,
+        prompt_len,
+        seed ^ 0x6E,
+    );
+
+    // The quantized model must outlive the sessions borrowing it.
+    let quantized: Option<QuantizedModel> = if scheme_name.eq_ignore_ascii_case("reference") {
+        None
+    } else {
+        let scheme = scheme_by_name(scheme_name)
+            .ok_or_else(|| err(format!("unknown scheme '{scheme_name}'")))?;
+        Some(exp.quantize(scheme))
+    };
+    let model: ModelRef<'_> = match &quantized {
+        Some(qm) => ModelRef::from(qm),
+        None => ModelRef::from(exp.reference()),
+    };
+
+    let sessions = prompts.iter().map(|_| DecodeSession::new(model)).collect();
+    let mut engine = BatchEngine::new(sessions);
+    let generated = engine.generate_greedy(&prompts, steps);
+    let sessions = engine.into_sessions();
+
+    let mut out = format!(
+        "generate {} (eval scale d={}, {} layers), scheme {scheme_name}\n\
+         prompt {prompt_len} tokens, {steps} decode steps, batch {batch}\n",
+        shape.name, shape.d_model, shape.layers
+    );
+    for (i, (prompt, tokens)) in prompts.iter().zip(&generated).enumerate() {
+        let p: Vec<String> = prompt.iter().map(|t| t.to_string()).collect();
+        let g: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+        out.push_str(&format!(
+            "  session {i}: {} => {}\n",
+            p.join(" "),
+            g.join(" ")
+        ));
+    }
+    if let Some(s) = sessions.first() {
+        out.push_str(&format!(
+            "per-step MACs at cache {}: {}   KV cache: {} bytes\n",
+            s.len(),
+            s.last_step_macs(),
+            s.cache().bytes()
+        ));
+    }
+    Ok(out)
+}
+
 /// Top-level usage text.
 pub fn usage() -> String {
     "tender-cli — Tender (ISCA 2024) reproduction toolkit\n\
@@ -316,7 +416,10 @@ pub fn usage() -> String {
      \x20          [--hbm-trp N] [--hbm-trcd N] [--hbm-tcas N]\n\
      \x20          [--hbm-trefi N] [--hbm-trfc N]\n\
      \x20 decode   --model M [--cache N]  generation-stage throughput\n\
-     \x20          [--batch B]\n"
+     \x20          [--batch B]             (analytic hardware model)\n\
+     \x20 generate --model M [--scheme S] greedy generation through the\n\
+     \x20          [--prompt N]            prefill + KV-cache decode engine\n\
+     \x20          [--generate N] [--batch B] [--seed N] [--fast true]\n"
         .to_string()
 }
 
@@ -451,6 +554,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "ppl" => cmd_ppl(&flags),
         "simulate" => cmd_simulate(&flags),
         "decode" => cmd_decode(&flags),
+        "generate" => cmd_generate(&flags),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command '{other}'\n\n{}", usage()))),
     }?;
@@ -526,6 +630,80 @@ mod tests {
         let out = cmd_decode(&f).expect("runs");
         assert!(out.contains("output-stationary"));
         assert!(out.contains("weight-stationary"));
+    }
+
+    #[test]
+    fn generate_runs_and_is_deterministic() {
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--scheme",
+            "Tender@8",
+            "--prompt",
+            "6",
+            "--generate",
+            "4",
+            "--batch",
+            "2",
+            "--fast",
+            "true",
+        ]))
+        .unwrap();
+        let a = cmd_generate(&f).expect("runs");
+        let b = cmd_generate(&f).expect("runs again");
+        assert_eq!(a, b, "same flags must generate the same tokens");
+        assert!(a.contains("session 0:"));
+        assert!(a.contains("session 1:"));
+        assert!(a.contains("per-step MACs"));
+        assert!(a.contains("KV cache:"));
+    }
+
+    #[test]
+    fn generate_reference_path_runs() {
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--scheme",
+            "reference",
+            "--prompt",
+            "5",
+            "--generate",
+            "3",
+            "--fast",
+            "true",
+        ]))
+        .unwrap();
+        let out = cmd_generate(&f).expect("runs");
+        assert!(out.contains("scheme reference"));
+        assert!(out.contains("session 0:"));
+    }
+
+    #[test]
+    fn generate_rejects_bad_flags() {
+        assert!(cmd_generate(&Flags::new()).is_err());
+        let zero_prompt = parse_flags(&args(&[
+            "--model", "OPT-6.7B", "--prompt", "0", "--fast", "true",
+        ]))
+        .unwrap();
+        assert!(cmd_generate(&zero_prompt).is_err());
+        let too_long = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--prompt",
+            "250",
+            "--generate",
+            "100",
+            "--fast",
+            "true",
+        ]))
+        .unwrap();
+        let e = cmd_generate(&too_long).unwrap_err();
+        assert!(e.0.contains("context window"), "{e}");
+        let bad_scheme = parse_flags(&args(&[
+            "--model", "OPT-6.7B", "--scheme", "nope", "--fast", "true",
+        ]))
+        .unwrap();
+        assert!(cmd_generate(&bad_scheme).is_err());
     }
 
     #[test]

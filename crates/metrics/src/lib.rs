@@ -375,6 +375,30 @@ pub mod model {
     pub static LAYER_FORWARD: TimerBank<MAX_LAYERS> = TimerBank::new();
 }
 
+/// Decode-engine metrics (`tender_model::engine`): prefill vs decode
+/// spans, token counters, KV-cache footprint.
+pub mod engine {
+    use super::*;
+
+    /// Prefill calls (one per session prompt).
+    pub static PREFILLS: Counter = Counter::new();
+    /// Tokens ingested by prefill passes.
+    pub static PREFILL_TOKENS: Counter = Counter::new();
+    /// Incremental decode steps (one token each).
+    pub static DECODE_STEPS: Counter = Counter::new();
+    /// Multiply-accumulates executed by decode steps (per-layer GEMMs,
+    /// attention against the cache included; LM head excluded).
+    pub static DECODE_MACS: Counter = Counter::new();
+    /// Wall-clock per prefill pass.
+    pub static PREFILL_TIME: Timer = Timer::new();
+    /// Wall-clock per decode step (the tokens/step latency).
+    pub static DECODE_STEP_TIME: Timer = Timer::new();
+    /// Current KV-cache footprint across live sessions, bytes.
+    pub static KV_CACHE_BYTES: Gauge = Gauge::new();
+    /// Largest KV-cache footprint observed, bytes.
+    pub static KV_CACHE_PEAK_BYTES: MaxGauge = MaxGauge::new();
+}
+
 /// Hardware-simulator metrics (`tender_sim`).
 pub mod sim {
     use super::*;
@@ -425,6 +449,8 @@ pub mod faults {
     pub static FALLBACK_FP16: Counter = Counter::new();
     /// Forwards rerouted to the FP16 path by the runtime overflow threshold.
     pub static RUNTIME_FALLBACKS: Counter = Counter::new();
+    /// Decode-step activations sanitized after an injected NaN channel.
+    pub static DECODE_SANITIZED: Counter = Counter::new();
 }
 
 /// Experiment-runner metrics (`tender_bench::runner`).
@@ -467,6 +493,14 @@ pub fn reset_all() {
     kernel::CHUNKS_CHECKED.reset();
     model::FORWARD_PASSES.reset();
     model::LAYER_FORWARD.reset();
+    engine::PREFILLS.reset();
+    engine::PREFILL_TOKENS.reset();
+    engine::DECODE_STEPS.reset();
+    engine::DECODE_MACS.reset();
+    engine::PREFILL_TIME.reset();
+    engine::DECODE_STEP_TIME.reset();
+    engine::KV_CACHE_BYTES.reset();
+    engine::KV_CACHE_PEAK_BYTES.reset();
     sim::DRAM_ROW_HITS.reset();
     sim::DRAM_ROW_MISSES.reset();
     sim::DRAM_BYTES.reset();
@@ -486,6 +520,7 @@ pub fn reset_all() {
     faults::FALLBACK_INT8.reset();
     faults::FALLBACK_FP16.reset();
     faults::RUNTIME_FALLBACKS.reset();
+    faults::DECODE_SANITIZED.reset();
     runner::EXPERIMENTS_RUN.reset();
     runner::EXPERIMENTS_PANICKED.reset();
     runner::EXPERIMENTS_RETRIED.reset();

@@ -6,7 +6,7 @@
 //! valid JSON by construction — the bench suite re-parses it with an
 //! independent minimal parser to keep this honest.
 
-use crate::{faults, kernel, model, pool, runner, sim, Counter, Timer};
+use crate::{engine, faults, kernel, model, pool, runner, sim, Counter, Timer};
 
 /// A single exported metric value.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,7 +22,8 @@ pub enum Value {
 /// One named subsystem in the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Section {
-    /// Subsystem name (`pool`, `kernel`, `model`, `sim`, `faults`, `runner`).
+    /// Subsystem name (`pool`, `kernel`, `model`, `engine`, `sim`, `faults`,
+    /// `runner`).
     pub name: &'static str,
     /// Ordered metric fields.
     pub fields: Vec<(String, Value)>,
@@ -215,6 +216,34 @@ pub(crate) fn build() -> Report {
             ("layer_forward".into(), Value::Object(layers)),
         ],
     };
+    let engine_section = Section {
+        name: "engine",
+        fields: vec![
+            ("prefills".into(), Value::U64(engine::PREFILLS.get())),
+            (
+                "prefill_tokens".into(),
+                Value::U64(engine::PREFILL_TOKENS.get()),
+            ),
+            (
+                "decode_steps".into(),
+                Value::U64(engine::DECODE_STEPS.get()),
+            ),
+            ("decode_macs".into(), Value::U64(engine::DECODE_MACS.get())),
+            ("prefill_time".into(), timer_value(&engine::PREFILL_TIME)),
+            (
+                "decode_step_time".into(),
+                timer_value(&engine::DECODE_STEP_TIME),
+            ),
+            (
+                "kv_cache_bytes".into(),
+                Value::U64(engine::KV_CACHE_BYTES.get()),
+            ),
+            (
+                "kv_cache_peak_bytes".into(),
+                Value::U64(engine::KV_CACHE_PEAK_BYTES.get()),
+            ),
+        ],
+    };
     let sim_section = Section {
         name: "sim",
         fields: vec![
@@ -281,6 +310,10 @@ pub(crate) fn build() -> Report {
                 "runtime_fallbacks".into(),
                 Value::U64(faults::RUNTIME_FALLBACKS.get()),
             ),
+            (
+                "decode_sanitized".into(),
+                Value::U64(faults::DECODE_SANITIZED.get()),
+            ),
         ],
     };
     let runner_section = Section {
@@ -313,6 +346,7 @@ pub(crate) fn build() -> Report {
             pool_section,
             kernel_section,
             model_section,
+            engine_section,
             sim_section,
             faults_section,
             runner_section,
@@ -330,7 +364,7 @@ mod tests {
         let names: Vec<&str> = r.sections.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            vec!["pool", "kernel", "model", "sim", "faults", "runner"]
+            vec!["pool", "kernel", "model", "engine", "sim", "faults", "runner"]
         );
     }
 

@@ -1,0 +1,551 @@
+//! Prefill + incremental-decode inference engine with a real KV cache.
+//!
+//! [`DecodeSession`] wraps a model (reference or quantized) and exposes the
+//! two-phase inference shape real serving systems use: [`prefill`] ingests
+//! the prompt in one full-sequence pass while filling a per-layer, per-head
+//! [`KvCache`]; [`step`] then feeds one token at a time, attending against
+//! the cache instead of re-running the whole prefix. [`BatchEngine`] runs
+//! many sessions through the shared worker pool deterministically.
+//!
+//! **Parity guarantee.** `prefill(&t[..n]); step(t[n]); …; step(t[m-1])`
+//! produces logits bit-identical to the last row of a full-sequence
+//! `forward(&t[..m])` for every row-independent scheme (reference, FP32,
+//! FP16, integer granularities, Tender implicit/explicit), at any thread
+//! count. See `crate::pipeline` for the op-order argument and the decode
+//! parity suite for the enforcement.
+//!
+//! [`prefill`]: DecodeSession::prefill
+//! [`step`]: DecodeSession::step
+
+use std::sync::Mutex;
+
+use tender_metrics::engine as metrics;
+use tender_tensor::{pool, Matrix};
+
+use crate::forward::{QuantizedModel, ReferenceModel};
+use crate::pipeline::{self, Exec};
+use crate::shape::ModelShape;
+use crate::weights::TransformerWeights;
+
+/// Per-layer, per-head K/V row storage with preallocated capacity.
+///
+/// Each (layer, head) pair owns two growable `len × head_dim` matrices
+/// built by row appends; all `layers × heads` pairs always hold the same
+/// number of rows (one per cached sequence position).
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    layers: usize,
+    heads: usize,
+    head_dim: usize,
+    /// `layers × heads` K matrices, indexed `li * heads + head`.
+    k: Vec<Matrix>,
+    /// `layers × heads` V matrices, same indexing.
+    v: Vec<Matrix>,
+}
+
+impl KvCache {
+    /// An empty cache for `shape`, preallocated for `shape.max_seq` rows.
+    pub fn new(shape: &ModelShape) -> Self {
+        Self::with_capacity(shape, shape.max_seq)
+    }
+
+    /// An empty cache preallocated for `row_capacity` positions per head.
+    /// Appending beyond the capacity grows the storage transparently.
+    pub fn with_capacity(shape: &ModelShape, row_capacity: usize) -> Self {
+        let dh = shape.head_dim();
+        let slots = shape.layers * shape.heads;
+        let make = || -> Vec<Matrix> {
+            (0..slots)
+                .map(|_| Matrix::with_row_capacity(dh, row_capacity))
+                .collect()
+        };
+        Self {
+            layers: shape.layers,
+            heads: shape.heads,
+            head_dim: dh,
+            k: make(),
+            v: make(),
+        }
+    }
+
+    /// Cached sequence positions (identical across layers and heads).
+    pub fn len(&self) -> usize {
+        self.k.first().map_or(0, Matrix::rows)
+    }
+
+    /// Whether the cache holds no positions yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Positions each head can hold before its storage reallocates.
+    pub fn capacity(&self) -> usize {
+        self.k.first().map_or(0, Matrix::row_capacity)
+    }
+
+    /// Layers the cache spans.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Heads per layer.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Resident K+V bytes (`2 × len × d_model × layers` f32 elements).
+    pub fn bytes(&self) -> u64 {
+        2 * (self.len() * self.heads * self.head_dim * self.layers * 4) as u64
+    }
+
+    /// Appends layer `li`'s freshly projected K/V rows (`n × d_model`
+    /// each), splitting the model dimension across heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `li` is out of range, the shapes disagree with the cache
+    /// geometry, or `k` and `v` have different row counts.
+    pub fn append(&mut self, li: usize, k: &Matrix, v: &Matrix) {
+        assert!(li < self.layers, "layer {li} out of cache range");
+        assert_eq!(k.shape(), v.shape(), "K/V row mismatch");
+        assert_eq!(k.cols(), self.heads * self.head_dim, "d_model mismatch");
+        for r in 0..k.rows() {
+            let krow = k.row(r);
+            let vrow = v.row(r);
+            for head in 0..self.heads {
+                let c0 = head * self.head_dim;
+                let c1 = c0 + self.head_dim;
+                let slot = li * self.heads + head;
+                self.k[slot].push_row(&krow[c0..c1]);
+                self.v[slot].push_row(&vrow[c0..c1]);
+            }
+        }
+    }
+
+    /// Cached keys for `(li, head)`: a `len × head_dim` matrix.
+    pub fn head_k(&self, li: usize, head: usize) -> &Matrix {
+        &self.k[li * self.heads + head]
+    }
+
+    /// Cached values for `(li, head)`: a `len × head_dim` matrix.
+    pub fn head_v(&self, li: usize, head: usize) -> &Matrix {
+        &self.v[li * self.heads + head]
+    }
+}
+
+/// A borrowed model the engine can decode with: either execution path of
+/// the shared pipeline.
+#[derive(Clone, Copy)]
+pub enum ModelRef<'m> {
+    /// The exact FP32 reference model.
+    Reference(&'m ReferenceModel),
+    /// A calibrated quantized model.
+    Quantized(&'m QuantizedModel),
+}
+
+impl<'m> From<&'m ReferenceModel> for ModelRef<'m> {
+    fn from(m: &'m ReferenceModel) -> Self {
+        Self::Reference(m)
+    }
+}
+
+impl<'m> From<&'m QuantizedModel> for ModelRef<'m> {
+    fn from(m: &'m QuantizedModel) -> Self {
+        Self::Quantized(m)
+    }
+}
+
+impl<'m> ModelRef<'m> {
+    fn weights(&self) -> &'m TransformerWeights {
+        match self {
+            Self::Reference(m) => m.weights(),
+            Self::Quantized(m) => m.weights(),
+        }
+    }
+
+    fn emb_t(&self) -> &'m Matrix {
+        match self {
+            Self::Reference(m) => m.emb_t(),
+            Self::Quantized(m) => m.emb_t(),
+        }
+    }
+
+    fn exec(&self) -> Exec<'m> {
+        match self {
+            Self::Reference(m) => m.exec(),
+            Self::Quantized(m) => m.exec(),
+        }
+    }
+}
+
+/// One in-flight generation: a model reference plus its KV cache.
+#[derive(Clone)]
+pub struct DecodeSession<'m> {
+    model: ModelRef<'m>,
+    cache: KvCache,
+    last_step_macs: u64,
+}
+
+impl<'m> DecodeSession<'m> {
+    /// A fresh session over `model` with an empty, `max_seq`-capacity cache.
+    pub fn new(model: impl Into<ModelRef<'m>>) -> Self {
+        let model = model.into();
+        let cache = KvCache::new(&model.weights().shape);
+        Self {
+            model,
+            cache,
+            last_step_macs: 0,
+        }
+    }
+
+    /// Ingests the prompt in one full-sequence pass, filling the KV cache,
+    /// and returns next-token logits for every prompt position
+    /// (`n × vocab` — the last row seeds generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session already holds cached positions, or on the
+    /// same token-validation conditions as the full forward pass.
+    pub fn prefill(&mut self, tokens: &[usize]) -> Matrix {
+        assert!(
+            self.cache.is_empty(),
+            "prefill requires an empty session; this one holds {} positions",
+            self.cache.len()
+        );
+        let _span = metrics::PREFILL_TIME.span();
+        let w = self.model.weights();
+        let exec = self.model.exec();
+        let hidden = pipeline::forward_internal(w, tokens, &exec, None, Some(&mut self.cache));
+        metrics::PREFILLS.incr();
+        metrics::PREFILL_TOKENS.add(tokens.len() as u64);
+        metrics::KV_CACHE_BYTES.set(self.cache.bytes());
+        metrics::KV_CACHE_PEAK_BYTES.observe(self.cache.bytes());
+        pipeline::lm_head(w, self.model.emb_t(), &hidden)
+    }
+
+    /// Feeds one token at the next sequence position and returns its
+    /// next-token logits (`1 × vocab`), attending against the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is empty (prefill first), the sequence would
+    /// exceed `max_seq`, or `token` is out of vocabulary.
+    pub fn step(&mut self, token: usize) -> Matrix {
+        let w = self.model.weights();
+        let shape = &w.shape;
+        let pos = self.cache.len();
+        assert!(pos > 0, "step requires a prefilled session");
+        assert!(pos < shape.max_seq, "sequence longer than max_seq");
+        assert!(token < shape.vocab, "token id {token} out of vocabulary");
+
+        let _span = metrics::DECODE_STEP_TIME.span();
+        let exec = self.model.exec();
+        let mut macs = 0u64;
+        let mut h = pipeline::embed(w, &[token], pos);
+        for (li, layer) in w.layers.iter().enumerate() {
+            h = pipeline::layer_decode(w, li, layer, h, &exec, &mut self.cache, pos, &mut macs);
+        }
+        let hidden = pipeline::apply_norm(&h, &w.final_gamma, &w.final_beta, shape.norm);
+        self.last_step_macs = macs;
+        metrics::DECODE_STEPS.incr();
+        metrics::DECODE_MACS.add(macs);
+        metrics::KV_CACHE_BYTES.set(self.cache.bytes());
+        metrics::KV_CACHE_PEAK_BYTES.observe(self.cache.bytes());
+        pipeline::lm_head(w, self.model.emb_t(), &hidden)
+    }
+
+    /// Cached positions so far (prompt + generated).
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the session has not been prefilled yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The session's KV cache.
+    pub fn cache(&self) -> &KvCache {
+        &self.cache
+    }
+
+    /// Multiply-accumulates executed by the most recent [`step`], measured
+    /// from the operand shapes of the matmuls actually run (per-layer
+    /// GEMMs and attention against the cache; embedding and LM head
+    /// excluded, matching the simulator's `decode_step_gemms` model).
+    ///
+    /// [`step`]: DecodeSession::step
+    pub fn last_step_macs(&self) -> u64 {
+        self.last_step_macs
+    }
+}
+
+/// Greedy argmax over a `1 × vocab` logits row; ties pick the lowest id.
+fn argmax_row(logits: &Matrix, row: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for c in 0..logits.cols() {
+        let v = logits[(row, c)];
+        if v > best_v {
+            best_v = v;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Runs multiple [`DecodeSession`]s through the shared worker pool.
+///
+/// Sessions are independent, so the engine fans each batch operation out
+/// with `pool::par_map`; results come back in session order and every
+/// session is touched exactly once per call, so output is deterministic at
+/// any thread count.
+pub struct BatchEngine<'m> {
+    slots: Vec<Mutex<DecodeSession<'m>>>,
+}
+
+impl<'m> BatchEngine<'m> {
+    /// Wraps the given sessions (typically fresh ones, one per prompt).
+    pub fn new(sessions: Vec<DecodeSession<'m>>) -> Self {
+        Self {
+            slots: sessions.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Sessions under management.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the engine holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Prefills session `i` with `prompts[i]` in parallel, returning each
+    /// session's full-prompt logits in session order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt count differs from the session count.
+    pub fn prefill_all(&mut self, prompts: &[Vec<usize>]) -> Vec<Matrix> {
+        assert_eq!(prompts.len(), self.slots.len(), "one prompt per session");
+        pool::par_map(self.slots.len(), |i| {
+            self.slots[i]
+                .lock()
+                .expect("session lock")
+                .prefill(&prompts[i])
+        })
+    }
+
+    /// Steps session `i` with `tokens[i]` in parallel, returning each
+    /// session's logits in session order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token count differs from the session count.
+    pub fn step_all(&mut self, tokens: &[usize]) -> Vec<Matrix> {
+        assert_eq!(tokens.len(), self.slots.len(), "one token per session");
+        pool::par_map(self.slots.len(), |i| {
+            self.slots[i].lock().expect("session lock").step(tokens[i])
+        })
+    }
+
+    /// Prefills every session with its prompt, then greedily decodes
+    /// `steps` tokens per session (argmax, ties to the lowest id).
+    /// Each session's whole rollout runs as one pool task, so rollouts
+    /// proceed independently and results come back in session order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt count differs from the session count, or if a
+    /// rollout would exceed `max_seq`.
+    pub fn generate_greedy(&mut self, prompts: &[Vec<usize>], steps: usize) -> Vec<Vec<usize>> {
+        assert_eq!(prompts.len(), self.slots.len(), "one prompt per session");
+        pool::par_map(self.slots.len(), |i| {
+            let mut session = self.slots[i].lock().expect("session lock");
+            let logits = session.prefill(&prompts[i]);
+            let mut next = argmax_row(&logits, logits.rows() - 1);
+            let mut out = Vec::with_capacity(steps);
+            for _ in 0..steps {
+                out.push(next);
+                let logits = session.step(next);
+                next = argmax_row(&logits, 0);
+            }
+            out
+        })
+    }
+
+    /// Consumes the engine, returning its sessions in order.
+    pub fn into_sessions(self) -> Vec<DecodeSession<'m>> {
+        self.slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("session lock"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::ModelShape;
+    use crate::synthetic::SyntheticLlm;
+
+    fn tiny() -> (ModelShape, SyntheticLlm) {
+        let shape = ModelShape::tiny_test();
+        let model = SyntheticLlm::generate(&shape, 11);
+        (shape, model)
+    }
+
+    fn tokens(n: usize, vocab: usize, salt: usize) -> Vec<usize> {
+        (0..n).map(|i| (i * 31 + salt * 17 + 5) % vocab).collect()
+    }
+
+    #[test]
+    fn kv_cache_grows_past_preallocated_capacity() {
+        let (shape, _) = tiny();
+        let mut cache = KvCache::with_capacity(&shape, 2);
+        assert_eq!(cache.capacity(), 2);
+        assert!(cache.is_empty());
+        let k = Matrix::filled(4, shape.d_model, 1.0);
+        let v = Matrix::filled(4, shape.d_model, 2.0);
+        for li in 0..shape.layers {
+            cache.append(li, &k, &v);
+        }
+        assert_eq!(cache.len(), 4);
+        assert!(cache.capacity() >= 4, "append past capacity must grow");
+        assert_eq!(
+            cache.bytes(),
+            (2 * 4 * shape.d_model * shape.layers * 4) as u64
+        );
+    }
+
+    #[test]
+    fn kv_cache_splits_rows_per_head() {
+        let (shape, _) = tiny();
+        let dh = shape.head_dim();
+        let mut cache = KvCache::new(&shape);
+        // Column c carries value c so each head slice is recognizable.
+        let k = Matrix::from_fn(1, shape.d_model, |_, c| c as f32);
+        let v = Matrix::from_fn(1, shape.d_model, |_, c| -(c as f32));
+        cache.append(0, &k, &v);
+        for head in 0..shape.heads {
+            let hk = cache.head_k(0, head);
+            let hv = cache.head_v(0, head);
+            assert_eq!(hk.shape(), (1, dh));
+            for c in 0..dh {
+                assert_eq!(hk[(0, c)], (head * dh + c) as f32);
+                assert_eq!(hv[(0, c)], -((head * dh + c) as f32));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d_model mismatch")]
+    fn kv_cache_rejects_wrong_width() {
+        let (shape, _) = tiny();
+        let mut cache = KvCache::new(&shape);
+        let bad = Matrix::zeros(1, shape.d_model + 1);
+        cache.append(0, &bad, &bad);
+    }
+
+    #[test]
+    fn prefill_cache_matches_full_forward_projections() {
+        // After prefill, the cache must hold exactly the K rows the full
+        // pass computes — checked indirectly: step() after prefill equals
+        // the full forward's last row (the parity suite), and directly
+        // here: cache length and geometry match the prompt.
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let t = tokens(9, shape.vocab, 3);
+        let mut session = DecodeSession::new(&reference);
+        let logits = session.prefill(&t);
+        assert_eq!(logits.shape(), (9, shape.vocab));
+        assert_eq!(session.len(), 9);
+        assert_eq!(session.cache().head_k(0, 0).shape(), (9, shape.head_dim()));
+        // Prefill logits are the full forward's logits, bit for bit.
+        assert_eq!(logits, reference.forward(&t));
+    }
+
+    #[test]
+    fn step_matches_full_forward_last_row() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let t = tokens(12, shape.vocab, 5);
+        let mut session = DecodeSession::new(&reference);
+        session.prefill(&t[..8]);
+        let mut last = Matrix::zeros(1, 1);
+        for &tok in &t[8..] {
+            last = session.step(tok);
+        }
+        let full = reference.forward(&t);
+        assert_eq!(last.row(0), full.row(11), "decode must be bit-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "prefilled session")]
+    fn step_requires_prefill() {
+        let (_, model) = tiny();
+        let reference = model.reference();
+        let mut session = DecodeSession::new(&reference);
+        session.step(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty session")]
+    fn prefill_rejects_reuse() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let mut session = DecodeSession::new(&reference);
+        let t = tokens(4, shape.vocab, 6);
+        session.prefill(&t);
+        session.prefill(&t);
+    }
+
+    #[test]
+    fn batch_engine_matches_serial_sessions() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let prompts: Vec<Vec<usize>> = (0..3).map(|s| tokens(6 + s, shape.vocab, s)).collect();
+
+        // Serial rollouts.
+        let mut serial = Vec::new();
+        for p in &prompts {
+            let mut session = DecodeSession::new(&reference);
+            let logits = session.prefill(p);
+            let mut next = argmax_row(&logits, logits.rows() - 1);
+            let mut out = Vec::new();
+            for _ in 0..5 {
+                out.push(next);
+                next = argmax_row(&session.step(next), 0);
+            }
+            serial.push(out);
+        }
+
+        let sessions = prompts
+            .iter()
+            .map(|_| DecodeSession::new(&reference))
+            .collect();
+        let mut engine = BatchEngine::new(sessions);
+        let batched = engine.generate_greedy(&prompts, 5);
+        assert_eq!(batched, serial);
+        for (i, s) in engine.into_sessions().into_iter().enumerate() {
+            assert_eq!(s.len(), prompts[i].len() + 5);
+        }
+    }
+
+    #[test]
+    fn step_reports_measured_macs() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let mut session = DecodeSession::new(&reference);
+        session.prefill(&tokens(5, shape.vocab, 9));
+        session.step(1);
+        let d = shape.d_model;
+        let f = shape.ffn_dim;
+        let len = 6; // cache length after the append
+        let per_layer =
+            (3 * d * d + shape.heads * (shape.head_dim() * len) * 2 + d * d + d * f + f * d) as u64;
+        assert_eq!(session.last_step_macs(), per_layer * shape.layers as u64);
+    }
+}

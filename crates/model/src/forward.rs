@@ -12,12 +12,11 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tender_metrics::faults as fault_metrics;
-use tender_metrics::model as metrics;
 use tender_quant::granularity::{Granularity, GranularityScheme};
 use tender_quant::scheme::{Fp16Scheme, QuantMatmul, Scheme};
-use tender_tensor::{ops, pool, Matrix};
+use tender_tensor::{pool, Matrix};
 
-use crate::shape::{Activation, ModelKind, NormKind};
+use crate::pipeline::{forward_internal, lm_head, CaptureMap, Exec, SiteKey};
 use crate::weights::{ShapeError, TransformerWeights};
 
 /// A quantizable matmul site within a Transformer block.
@@ -52,192 +51,6 @@ impl Site {
     ];
 }
 
-type SiteKey = (usize, Site);
-type CaptureMap = HashMap<SiteKey, Vec<Matrix>>;
-
-/// LM-head logit gain. With a random (untied) head, logits ≈ N(0, σ²) with
-/// σ ≈ `LOGIT_SCALE`; the value is chosen so the reference model's proxy
-/// perplexity sits far below vocabulary size (a confidently-predicting
-/// model, like a trained LLM) while leaving orders of magnitude of headroom
-/// for catastrophically quantized models to degrade into.
-const LOGIT_SCALE: f32 = 2.5;
-
-enum Exec<'a> {
-    Reference,
-    Quantized {
-        ops: &'a HashMap<SiteKey, Box<dyn QuantMatmul>>,
-        scheme: &'a dyn Scheme,
-    },
-}
-
-fn apply_norm(x: &Matrix, gamma: &[f32], beta: &[f32], norm: NormKind) -> Matrix {
-    match norm {
-        NormKind::LayerNorm => ops::layer_norm(x, gamma, beta, 1e-5),
-        NormKind::RmsNorm => ops::rms_norm(x, gamma, 1e-5),
-    }
-}
-
-fn elementwise_mul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.shape(), b.shape(), "elementwise product shape mismatch");
-    Matrix::from_fn(a.rows(), a.cols(), |r, c| a[(r, c)] * b[(r, c)])
-}
-
-/// Content hash identifying one captured activation matrix (layer mixed in
-/// so identical data at different layers still faults independently).
-fn capture_key(li: usize, m: &Matrix) -> u64 {
-    let mut bytes = Vec::with_capacity(8 + m.rows() * m.cols() * 4);
-    bytes.extend_from_slice(&(li as u64).to_le_bytes());
-    for r in 0..m.rows() {
-        for c in 0..m.cols() {
-            bytes.extend_from_slice(&m[(r, c)].to_bits().to_le_bytes());
-        }
-    }
-    tender_faults::hash_bytes(&bytes)
-}
-
-/// Returns a calibration-capture clone of `m`, poisoned per the installed
-/// fault plan: every channel the plan selects gets a NaN in row 0.
-///
-/// Only *captured* clones pass through here — runtime forwards never do —
-/// so activation faults stress the calibration/degradation path while
-/// evaluation forwards stay finite. The per-channel verdict is a pure
-/// function of (seed, capture content, channel): content-keyed like blob
-/// corruption, so it is identical at any thread count yet independent
-/// across the distinct captures that revisit one layer.
-fn capture_clone(li: usize, m: &Matrix) -> Matrix {
-    let mut out = m.clone();
-    if !tender_faults::active() {
-        return out;
-    }
-    let Some(plan) = tender_faults::plan() else {
-        return out;
-    };
-    let key = capture_key(li, m);
-    let mut hits = 0u64;
-    for c in 0..out.cols() {
-        if plan.act_nan(key, c) {
-            out[(0, c)] = f32::NAN;
-            hits += 1;
-        }
-    }
-    if hits > 0 {
-        plan.injected_act_nan(hits);
-    }
-    out
-}
-
-/// The shared forward pass. Returns the final (normed) hidden states.
-fn forward_internal(
-    w: &TransformerWeights,
-    tokens: &[usize],
-    exec: &Exec<'_>,
-    mut capture: Option<&mut CaptureMap>,
-) -> Matrix {
-    let shape = &w.shape;
-    let n = tokens.len();
-    assert!(n > 0, "empty token sequence");
-    assert!(n <= shape.max_seq, "sequence longer than max_seq");
-    for &t in tokens {
-        assert!(t < shape.vocab, "token id {t} out of vocabulary");
-    }
-
-    let mm = |li: usize, site: Site, x: &Matrix, weight: &Matrix| -> Matrix {
-        match exec {
-            Exec::Reference => x.matmul(weight).expect("weight shapes validated"),
-            Exec::Quantized { ops, .. } => ops
-                .get(&(li, site))
-                .unwrap_or_else(|| panic!("missing operator for layer {li} site {site:?}"))
-                .forward(x),
-        }
-    };
-    let act_act = |a: &Matrix, b: &Matrix| -> Matrix {
-        match exec {
-            Exec::Reference => a.matmul(b).expect("attention shapes"),
-            Exec::Quantized { scheme, .. } => scheme.act_act_matmul(a, b),
-        }
-    };
-
-    // Embedding lookup.
-    let mut h = Matrix::from_fn(n, shape.d_model, |r, c| {
-        w.tok_emb[(tokens[r], c)] + w.pos_emb[(r, c)]
-    });
-
-    let dh = shape.head_dim();
-    let scale = 1.0 / (dh as f32).sqrt();
-
-    metrics::FORWARD_PASSES.incr();
-    for (li, layer) in w.layers.iter().enumerate() {
-        // Wall-clock per layer goes to the JSON report only; it never
-        // influences computed values or experiment stdout.
-        let _layer_span = metrics::LAYER_FORWARD.span(li);
-        // Attention sub-block.
-        let a = apply_norm(&h, &layer.ln1_gamma, &layer.ln1_beta, shape.norm);
-        if let Some(cap) = capture.as_deref_mut() {
-            let ac = capture_clone(li, &a);
-            for site in [Site::Q, Site::K, Site::V] {
-                cap.entry((li, site)).or_default().push(ac.clone());
-            }
-        }
-        let q = mm(li, Site::Q, &a, &layer.wq);
-        let k = mm(li, Site::K, &a, &layer.wk);
-        let v = mm(li, Site::V, &a, &layer.wv);
-
-        let mut ao = Matrix::zeros(n, shape.d_model);
-        for head in 0..shape.heads {
-            let c0 = head * dh;
-            let c1 = c0 + dh;
-            let qh = q.slice_cols(c0, c1).scale(scale);
-            let kh_t = k.slice_cols(c0, c1).transpose();
-            let mut scores = act_act(&qh, &kh_t);
-            if shape.kind == ModelKind::Decoder {
-                ops::causal_mask_inplace(&mut scores);
-            }
-            let probs = ops::softmax_rows(&scores);
-            let attn = act_act(&probs, &v.slice_cols(c0, c1));
-            for r in 0..n {
-                for c in 0..dh {
-                    ao[(r, c0 + c)] = attn[(r, c)];
-                }
-            }
-        }
-        if let Some(cap) = capture.as_deref_mut() {
-            cap.entry((li, Site::O))
-                .or_default()
-                .push(capture_clone(li, &ao));
-        }
-        let o = mm(li, Site::O, &ao, &layer.wo);
-        h = h.add(&o).expect("residual shapes");
-
-        // FFN sub-block.
-        let b = apply_norm(&h, &layer.ln2_gamma, &layer.ln2_beta, shape.norm);
-        if let Some(cap) = capture.as_deref_mut() {
-            let bc = capture_clone(li, &b);
-            cap.entry((li, Site::Fc1)).or_default().push(bc.clone());
-            if layer.w_gate.is_some() {
-                cap.entry((li, Site::Gate)).or_default().push(bc);
-            }
-        }
-        let f = match shape.activation {
-            Activation::Relu => ops::relu(&mm(li, Site::Fc1, &b, &layer.w_fc1)),
-            Activation::Gelu => ops::gelu(&mm(li, Site::Fc1, &b, &layer.w_fc1)),
-            Activation::SiluGated => {
-                let gate_w = layer.w_gate.as_ref().expect("gated FFN has a gate weight");
-                let gated = ops::silu(&mm(li, Site::Gate, &b, gate_w));
-                elementwise_mul(&gated, &mm(li, Site::Fc1, &b, &layer.w_fc1))
-            }
-        };
-        if let Some(cap) = capture.as_deref_mut() {
-            cap.entry((li, Site::Fc2))
-                .or_default()
-                .push(capture_clone(li, &f));
-        }
-        let ffn_out = mm(li, Site::Fc2, &f, &layer.w_fc2);
-        h = h.add(&ffn_out).expect("residual shapes");
-    }
-
-    apply_norm(&h, &w.final_gamma, &w.final_beta, shape.norm)
-}
-
 /// The FP32 reference model (the paper's "Base" rows, modulo FP16
 /// rounding, which [`tender_quant::scheme::Fp16Scheme`] models separately).
 #[derive(Debug, Clone)]
@@ -270,6 +83,14 @@ impl ReferenceModel {
         &self.w
     }
 
+    pub(crate) fn emb_t(&self) -> &Matrix {
+        &self.emb_t
+    }
+
+    pub(crate) fn exec(&self) -> Exec<'_> {
+        Exec::Reference
+    }
+
     /// Next-token logits for every position, `n × vocab`.
     ///
     /// # Panics
@@ -277,17 +98,13 @@ impl ReferenceModel {
     /// Panics if `tokens` is empty, longer than `max_seq`, or contains an
     /// out-of-vocabulary id.
     pub fn forward(&self, tokens: &[usize]) -> Matrix {
-        let hidden = forward_internal(&self.w, tokens, &Exec::Reference, None);
-        let scale = LOGIT_SCALE / (self.w.shape.d_model as f32).sqrt();
-        hidden
-            .matmul(&self.emb_t)
-            .expect("LM head shape")
-            .scale(scale)
+        let hidden = forward_internal(&self.w, tokens, &Exec::Reference, None, None);
+        lm_head(&self.w, &self.emb_t, &hidden)
     }
 
     /// Final hidden states (after the last norm), `n × d_model`.
     pub fn forward_hidden(&self, tokens: &[usize]) -> Matrix {
-        forward_internal(&self.w, tokens, &Exec::Reference, None)
+        forward_internal(&self.w, tokens, &Exec::Reference, None, None)
     }
 
     /// Captures the activations entering every matmul site.
@@ -300,7 +117,7 @@ impl ReferenceModel {
         // traversal.
         let maps = pool::par_map(batches.len(), |i| {
             let mut cap = CaptureMap::new();
-            forward_internal(&self.w, &batches[i], &Exec::Reference, Some(&mut cap));
+            forward_internal(&self.w, &batches[i], &Exec::Reference, Some(&mut cap), None);
             cap
         });
         let mut merged = CaptureMap::new();
@@ -321,7 +138,7 @@ impl ReferenceModel {
     pub fn qkv_input_activation(&self, tokens: &[usize], layer: usize) -> Matrix {
         assert!(layer < self.w.shape.layers, "layer out of range");
         let mut cap = CaptureMap::new();
-        forward_internal(&self.w, tokens, &Exec::Reference, Some(&mut cap));
+        forward_internal(&self.w, tokens, &Exec::Reference, Some(&mut cap), None);
         cap.remove(&(layer, Site::Q)).expect("captured").remove(0)
     }
 }
@@ -490,6 +307,22 @@ impl QuantizedModel {
         &self.degraded
     }
 
+    /// The underlying weights.
+    pub fn weights(&self) -> &TransformerWeights {
+        &self.w
+    }
+
+    pub(crate) fn emb_t(&self) -> &Matrix {
+        &self.emb_t
+    }
+
+    pub(crate) fn exec(&self) -> Exec<'_> {
+        Exec::Quantized {
+            ops: &self.ops,
+            scheme: self.scheme.as_ref(),
+        }
+    }
+
     /// The scheme this model was quantized with.
     pub fn scheme_name(&self) -> String {
         self.scheme.name()
@@ -501,32 +334,20 @@ impl QuantizedModel {
     ///
     /// Panics on the same conditions as [`ReferenceModel::forward`].
     pub fn forward(&self, tokens: &[usize]) -> Matrix {
-        let exec = Exec::Quantized {
-            ops: &self.ops,
-            scheme: self.scheme.as_ref(),
-        };
-        let hidden = forward_internal(&self.w, tokens, &exec, None);
-        let scale = LOGIT_SCALE / (self.w.shape.d_model as f32).sqrt();
-        hidden
-            .matmul(&self.emb_t)
-            .expect("LM head shape")
-            .scale(scale)
+        let hidden = forward_internal(&self.w, tokens, &self.exec(), None, None);
+        lm_head(&self.w, &self.emb_t, &hidden)
     }
 
     /// Final hidden states (after the last norm), `n × d_model`.
     pub fn forward_hidden(&self, tokens: &[usize]) -> Matrix {
-        let exec = Exec::Quantized {
-            ops: &self.ops,
-            scheme: self.scheme.as_ref(),
-        };
-        forward_internal(&self.w, tokens, &exec, None)
+        forward_internal(&self.w, tokens, &self.exec(), None, None)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::shape::ModelShape;
+    use crate::shape::{Activation, ModelShape, NormKind};
     use crate::synthetic::SyntheticLlm;
     use tender_quant::scheme::ExactScheme;
     use tender_quant::tender::{TenderConfig, TenderScheme};

@@ -38,14 +38,17 @@
 #![warn(missing_docs)]
 
 pub mod calibration;
+pub mod engine;
 pub mod eval;
 pub mod forward;
 pub mod glue;
+mod pipeline;
 pub mod shape;
 pub mod synthetic;
 pub mod weights;
 pub mod zeroshot;
 
+pub use engine::{BatchEngine, DecodeSession, KvCache, ModelRef};
 pub use forward::{DegradedSite, QuantizedModel, ReferenceModel, Site};
 pub use shape::{Activation, ModelKind, ModelShape, NormKind};
 pub use synthetic::SyntheticLlm;

@@ -86,6 +86,48 @@ fn injected_weight_nans_degrade_instead_of_panicking() {
 }
 
 #[test]
+fn injected_decode_nans_sanitize_instead_of_corrupting_the_cache() {
+    // The anan site also guards the decode path: a poisoned single-token
+    // activation is sanitized (channels zeroed, counted) before it reaches
+    // the projections, so one corrupted step degrades gracefully instead
+    // of writing NaN rows into the KV cache and poisoning every later step.
+    let _lock = LOCK.lock().unwrap();
+    let shape = ModelShape::tiny_test();
+    let model = SyntheticLlm::generate(&shape, 11);
+    let reference = model.reference();
+
+    let _guard = PlanGuard::install(FaultPlan::parse(23, "anan=0.2").unwrap());
+    let sanitized_before = metrics::faults::DECODE_SANITIZED.get();
+    let injected_before = metrics::faults::INJECTED_ACT_NAN.get();
+    let mut session = tender_model::engine::DecodeSession::new(&reference);
+    session.prefill(&tokens(6, shape.vocab, 30));
+    let mut logits = None;
+    for s in 0..8 {
+        logits = Some(session.step((s * 11 + 2) % shape.vocab));
+    }
+    assert!(
+        metrics::faults::DECODE_SANITIZED.get() > sanitized_before,
+        "no decode step was sanitized under anan=0.2"
+    );
+    assert!(metrics::faults::INJECTED_ACT_NAN.get() > injected_before);
+    // Degraded, not corrupted: every step's logits stay finite.
+    assert!(logits.unwrap().is_finite());
+
+    // Determinism: the same plan sanitizes the same steps on a rerun.
+    let count = metrics::faults::DECODE_SANITIZED.get() - sanitized_before;
+    let mut rerun = tender_model::engine::DecodeSession::new(&reference);
+    rerun.prefill(&tokens(6, shape.vocab, 30));
+    for s in 0..8 {
+        rerun.step((s * 11 + 2) % shape.vocab);
+    }
+    assert_eq!(
+        metrics::faults::DECODE_SANITIZED.get() - sanitized_before,
+        2 * count,
+        "fault decisions must be content-keyed, not run-keyed"
+    );
+}
+
+#[test]
 fn same_plan_degrades_identical_sites_on_every_run() {
     // Fault decisions are pure functions of (seed, site keys), never of
     // scheduling, so two builds under the same plan must agree exactly.

@@ -26,6 +26,21 @@ pub trait QuantMatmul: Send + Sync {
     /// count used at calibration.
     fn forward(&self, x: &Matrix) -> Matrix;
 
+    /// Computes the quantized product for activation rows whose first row
+    /// sits at absolute sequence position `row0`.
+    ///
+    /// Position only matters to schemes whose calibration is keyed by row
+    /// index (Tender's row chunking, §III-B): decoding token `p` must use
+    /// the calibration chunk that covered row `p` during prefill, or the
+    /// decode path would not be bit-identical to the full-sequence forward.
+    /// The default ignores the offset — correct for every per-tensor /
+    /// per-row / per-column scheme, whose operators are row-independent.
+    /// `forward_at(x, 0)` must always equal `forward(x)` bit-for-bit.
+    fn forward_at(&self, x: &Matrix, row0: usize) -> Matrix {
+        let _ = row0;
+        self.forward(x)
+    }
+
     /// Average bits per weight element, for memory-traffic modeling.
     fn weight_bits(&self) -> f32;
 

@@ -359,13 +359,7 @@ pub fn implicit_requant_matmul(
         let x_chunk = x.slice_rows(r0, r0 + m);
         let (acc, overflow) = accumulate_chunk_implicit(&x_chunk, cc, w, config);
         overflow_events.fetch_add(overflow, Ordering::Relaxed);
-        let corr = bias_correction(&cc.bias, &w.deq);
-        let s_last = cc.scales[config.num_groups - 1];
-        for r in 0..m {
-            for c in 0..n {
-                out_chunk[r * n + c] = acc[r * n + c] as f32 * s_last * w.scales[c] + corr[c];
-            }
-        }
+        dequant_chunk(&acc, cc, w, config, out_chunk);
     };
     if chunks_processed < 2 || x.rows() * x.cols() * n < pool::PAR_THRESHOLD {
         for ci in 0..chunks_processed {
@@ -379,6 +373,185 @@ pub fn implicit_requant_matmul(
     MatmulStats {
         result,
         overflow_events: overflow_events.into_inner(),
+        chunks_processed,
+    }
+}
+
+/// One chunk of the explicit (Eq. 1) path: group partial products are
+/// dequantized to `f32` per channel and summed into `out_chunk`, then the
+/// bias-correction row is added. Returns the saturation-event count; the
+/// caller folds it into `SATURATED_VALUES`.
+fn explicit_chunk(
+    x_chunk: &Matrix,
+    cc: &ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+    out_chunk: &mut [f32],
+) -> usize {
+    let m = x_chunk.rows();
+    let n = w.q.cols();
+    let corr = bias_correction(&cc.bias, &w.deq);
+    let mut chunk_saturated = 0_usize;
+    for (g, chans) in cc.order.iter().enumerate() {
+        metrics::GROUP_QUANTIZED.add(g, (m * chans.len()) as u64);
+    }
+    metrics::QUANTIZED_VALUES.add((m * cc.num_channels()) as u64);
+    for g in 0..config.num_groups {
+        let s_g = cc.scales[g];
+        for &ch in &cc.order[g] {
+            let b = cc.bias[ch];
+            for r in 0..m {
+                let (xq, sat) = quantize_value_saturating(x_chunk[(r, ch)] - b, s_g, config.bits);
+                chunk_saturated += sat as usize;
+                if xq == 0 {
+                    continue;
+                }
+                // Dequantized activation value for this channel.
+                let xf = xq as f32 * s_g;
+                let out_row = &mut out_chunk[r * n..(r + 1) * n];
+                for (o, &wd) in out_row.iter_mut().zip(w.deq.row(ch)) {
+                    *o += xf * wd;
+                }
+            }
+        }
+    }
+    for r in 0..m {
+        let out_row = &mut out_chunk[r * n..(r + 1) * n];
+        for (o, &c) in out_row.iter_mut().zip(&corr) {
+            *o += c;
+        }
+    }
+    chunk_saturated
+}
+
+/// Maximal consecutive runs of `rows` activation rows that share one
+/// nominal calibration chunk when row 0 sits at absolute sequence position
+/// `row0`. Run boundaries fall on the same `chunk_rows` grid the
+/// full-sequence kernels use, so a run starting mid-chunk (decode) ends at
+/// the same absolute boundary prefill's chunk did.
+fn chunk_runs(rows: usize, row0: usize, calib: &TenderCalibration) -> Vec<(usize, usize)> {
+    let chunk_rows = calib.chunk_rows();
+    let mut runs = Vec::new();
+    let mut r = 0;
+    while r < rows {
+        let ci = (row0 + r) / chunk_rows;
+        let end = ((ci + 1) * chunk_rows - row0).min(rows);
+        runs.push((r, end));
+        r = end;
+    }
+    runs
+}
+
+/// Dequantizes one chunk's integer accumulator into `out_chunk` exactly as
+/// the full-sequence implicit kernel does: one multiply by the last group's
+/// scale and the per-column weight scale, plus the bias-correction row.
+fn dequant_chunk(
+    acc: &[i64],
+    cc: &ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+    out_chunk: &mut [f32],
+) {
+    let n = w.q.cols();
+    let corr = bias_correction(&cc.bias, &w.deq);
+    let s_last = cc.scales[config.num_groups - 1];
+    for (i, o) in out_chunk.iter_mut().enumerate() {
+        let c = i % n;
+        *o = acc[i] as f32 * s_last * w.scales[c] + corr[c];
+    }
+}
+
+/// [`implicit_requant_matmul`] for activation rows starting at absolute
+/// sequence position `row0` — the decode-path entry point.
+///
+/// Each row is quantized against the calibration chunk that covered its
+/// *absolute* row index during prefill (`calib.chunk_for_row(row0 + r)`),
+/// and runs through the identical per-row integer kernel and dequantization,
+/// so a single decoded row is bit-identical to the same row of the
+/// full-sequence product. `row0 == 0` delegates to the plain kernel.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`implicit_requant_matmul`].
+pub fn implicit_requant_matmul_at(
+    x: &Matrix,
+    row0: usize,
+    w: &QuantizedWeight,
+    calib: &TenderCalibration,
+    config: &TenderConfig,
+) -> MatmulStats {
+    if row0 == 0 {
+        return implicit_requant_matmul(x, w, calib, config);
+    }
+    check_shapes(x, w, calib);
+    metrics::IMPLICIT_MATMULS.incr();
+    let n = w.q.cols();
+    let mut result = Matrix::zeros(x.rows(), n);
+    let mut overflow_events = 0;
+    let mut chunks_processed = 0;
+    // Decode steps carry one (or a few) rows, so the runs execute serially;
+    // parallelism comes from running whole sessions across the pool.
+    for (r0, r1) in chunk_runs(x.rows(), row0, calib) {
+        let cc = calib.chunk_for_row(row0 + r0);
+        let x_chunk = x.slice_rows(r0, r1);
+        let (acc, overflow) = accumulate_chunk_implicit(&x_chunk, cc, w, config);
+        overflow_events += overflow;
+        chunks_processed += 1;
+        dequant_chunk(
+            &acc,
+            cc,
+            w,
+            config,
+            &mut result.as_mut_slice()[r0 * n..r1 * n],
+        );
+    }
+    MatmulStats {
+        result,
+        overflow_events,
+        chunks_processed,
+    }
+}
+
+/// [`explicit_requant_matmul`] for activation rows starting at absolute
+/// sequence position `row0`; see [`implicit_requant_matmul_at`] for the
+/// chunk-selection rule and parity contract. `row0 == 0` delegates to the
+/// plain kernel.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`explicit_requant_matmul`].
+pub fn explicit_requant_matmul_at(
+    x: &Matrix,
+    row0: usize,
+    w: &QuantizedWeight,
+    calib: &TenderCalibration,
+    config: &TenderConfig,
+) -> MatmulStats {
+    if row0 == 0 {
+        return explicit_requant_matmul(x, w, calib, config);
+    }
+    check_shapes(x, w, calib);
+    metrics::EXPLICIT_MATMULS.incr();
+    let n = w.q.cols();
+    let mut result = Matrix::zeros(x.rows(), n);
+    let mut saturated = 0_usize;
+    let mut chunks_processed = 0;
+    for (r0, r1) in chunk_runs(x.rows(), row0, calib) {
+        let cc = calib.chunk_for_row(row0 + r0);
+        let x_chunk = x.slice_rows(r0, r1);
+        saturated += explicit_chunk(
+            &x_chunk,
+            cc,
+            w,
+            config,
+            &mut result.as_mut_slice()[r0 * n..r1 * n],
+        );
+        chunks_processed += 1;
+    }
+    metrics::SATURATED_VALUES.add(saturated as u64);
+    MatmulStats {
+        result,
+        overflow_events: 0,
         chunks_processed,
     }
 }
@@ -414,38 +587,8 @@ pub fn explicit_requant_matmul(
         let r0 = ci * chunk_rows;
         let m = out_chunk.len() / n;
         let cc = calib.chunk_for_row(r0);
-        let corr = bias_correction(&cc.bias, &w.deq);
-        let mut chunk_saturated = 0_usize;
-        for (g, chans) in cc.order.iter().enumerate() {
-            metrics::GROUP_QUANTIZED.add(g, (m * chans.len()) as u64);
-        }
-        metrics::QUANTIZED_VALUES.add((m * cc.num_channels()) as u64);
-        for g in 0..config.num_groups {
-            let s_g = cc.scales[g];
-            for &ch in &cc.order[g] {
-                let b = cc.bias[ch];
-                for r in 0..m {
-                    let (xq, sat) =
-                        quantize_value_saturating(x[(r0 + r, ch)] - b, s_g, config.bits);
-                    chunk_saturated += sat as usize;
-                    if xq == 0 {
-                        continue;
-                    }
-                    // Dequantized activation value for this channel.
-                    let xf = xq as f32 * s_g;
-                    let out_row = &mut out_chunk[r * n..(r + 1) * n];
-                    for (o, &wd) in out_row.iter_mut().zip(w.deq.row(ch)) {
-                        *o += xf * wd;
-                    }
-                }
-            }
-        }
-        for r in 0..m {
-            let out_row = &mut out_chunk[r * n..(r + 1) * n];
-            for (o, &c) in out_row.iter_mut().zip(&corr) {
-                *o += c;
-            }
-        }
+        let x_chunk = x.slice_rows(r0, r0 + m);
+        let chunk_saturated = explicit_chunk(&x_chunk, cc, w, config, out_chunk);
         saturated.fetch_add(chunk_saturated, Ordering::Relaxed);
     };
     if chunks_processed < 2 || x.rows() * x.cols() * n < pool::PAR_THRESHOLD {
@@ -578,6 +721,65 @@ mod tests {
         let (implicit, _) = accumulate_chunk_implicit(&x, cc, &w, &config);
         let (explicit, _) = accumulate_chunk_explicit_shifted(&x, cc, &w, &config);
         assert_eq!(implicit, explicit);
+    }
+
+    #[test]
+    fn at_zero_delegates_to_plain_kernels() {
+        let (x, w, calib, config) = setup(51, 8, 4);
+        let imp = implicit_requant_matmul(&x, &w, &calib, &config);
+        let imp_at = implicit_requant_matmul_at(&x, 0, &w, &calib, &config);
+        assert_eq!(imp.result, imp_at.result);
+        assert_eq!(imp.chunks_processed, imp_at.chunks_processed);
+        let exp = explicit_requant_matmul(&x, &w, &calib, &config);
+        let exp_at = explicit_requant_matmul_at(&x, 0, &w, &calib, &config);
+        assert_eq!(exp.result, exp_at.result);
+    }
+
+    #[test]
+    fn single_row_at_matches_full_sequence_row_bitwise() {
+        // The decode-parity contract: row p alone, quantized against the
+        // chunk that covered absolute row p, must reproduce the
+        // full-sequence product's row p bit-for-bit — including rows past
+        // the calibrated range, which reuse the last chunk.
+        for (bits, groups) in [(8, 4), (4, 8)] {
+            let (x, w, calib, config) = setup(61 + bits as u64, bits, groups);
+            let full_imp = implicit_requant_matmul(&x, &w, &calib, &config).result;
+            let full_exp = explicit_requant_matmul(&x, &w, &calib, &config).result;
+            for p in 0..x.rows() {
+                let row = x.slice_rows(p, p + 1);
+                let imp = implicit_requant_matmul_at(&row, p, &w, &calib, &config).result;
+                let exp = explicit_requant_matmul_at(&row, p, &w, &calib, &config).result;
+                assert_eq!(imp.row(0), full_imp.row(p), "implicit row {p}");
+                assert_eq!(exp.row(0), full_exp.row(p), "explicit row {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_sequence_slice_at_matches_full_rows() {
+        // A multi-row slice starting mid-chunk must split on the same
+        // absolute chunk boundaries the full pass used.
+        let (x, w, calib, config) = setup(67, 8, 4); // 24 rows, chunk 8
+        let full = implicit_requant_matmul(&x, &w, &calib, &config).result;
+        let slice = x.slice_rows(5, 21);
+        let got = implicit_requant_matmul_at(&slice, 5, &w, &calib, &config);
+        for r in 0..slice.rows() {
+            assert_eq!(got.result.row(r), full.row(5 + r), "row {}", 5 + r);
+        }
+        // Rows 5..8, 8..16, 16..21 → three runs.
+        assert_eq!(got.chunks_processed, 3);
+    }
+
+    #[test]
+    fn chunk_runs_cover_rows_on_absolute_boundaries() {
+        let (x, _, calib, _) = setup(71, 8, 4); // chunk_rows = 8
+        let _ = x;
+        assert_eq!(chunk_runs(16, 0, &calib), vec![(0, 8), (8, 16)]);
+        assert_eq!(chunk_runs(1, 13, &calib), vec![(0, 1)]);
+        assert_eq!(chunk_runs(10, 6, &calib), vec![(0, 2), (2, 10)]);
+        // Past the calibrated range the nominal grid still applies; the
+        // clamped chunk metadata is identical so results do not change.
+        assert_eq!(chunk_runs(4, 30, &calib), vec![(0, 2), (2, 4)]);
     }
 
     #[test]

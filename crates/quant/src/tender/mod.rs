@@ -32,8 +32,9 @@ pub use matmul::{
     chunk_cannot_overflow,
 };
 pub use matmul::{
-    explicit_requant_matmul, implicit_requant_matmul, quantized_group_operands,
-    tender_dynamic_matmul, MatmulStats, QuantizedWeight,
+    explicit_requant_matmul, explicit_requant_matmul_at, implicit_requant_matmul,
+    implicit_requant_matmul_at, quantized_group_operands, tender_dynamic_matmul, MatmulStats,
+    QuantizedWeight,
 };
 pub use serialize::{decode_calibration, encode_calibration, DecodeError};
 
@@ -68,6 +69,11 @@ pub struct TenderScheme {
     /// counts a runtime fallback. `None` (the default) disables the check
     /// so the hot path is byte-identical to the pre-fault-model kernel.
     overflow_fallback: Option<f64>,
+    /// Run the *explicit* requantization kernel (Eq. 1) at inference time
+    /// instead of the implicit shift-accumulate path — the software
+    /// baseline the paper's hardware obviates. Numerically equivalent up to
+    /// `f32` rounding; useful for end-to-end cost and parity comparisons.
+    explicit: bool,
 }
 
 impl TenderScheme {
@@ -76,7 +82,16 @@ impl TenderScheme {
         Self {
             config,
             overflow_fallback: None,
+            explicit: false,
         }
+    }
+
+    /// Switches runtime inference to the explicit requantization kernel
+    /// (Fig. 5(a)): every group's partial product is dequantized to `f32`
+    /// and summed, instead of the implicit integer shift-accumulate.
+    pub fn with_explicit_requant(mut self) -> Self {
+        self.explicit = true;
+        self
     }
 
     /// Enables the runtime overflow-rate fallback: any forward pass whose
@@ -103,6 +118,7 @@ impl TenderScheme {
             overflow_fallback: self
                 .overflow_fallback
                 .map(|threshold| (threshold, round_to_f16(w))),
+            explicit: self.explicit,
         })
     }
 }
@@ -116,6 +132,8 @@ pub struct TenderMatmul {
     /// `(events_per_chunk threshold, FP16-rounded weight)` when the runtime
     /// overflow fallback is enabled; see [`TenderScheme::with_overflow_fallback`].
     overflow_fallback: Option<(f64, Matrix)>,
+    /// Whether runtime inference uses the explicit (Eq. 1) kernel.
+    explicit: bool,
 }
 
 impl TenderMatmul {
@@ -130,9 +148,15 @@ impl TenderMatmul {
     }
 }
 
-impl QuantMatmul for TenderMatmul {
-    fn forward(&self, x: &Matrix) -> Matrix {
-        let stats = implicit_requant_matmul(x, &self.weight, &self.calibration, &self.config);
+impl TenderMatmul {
+    /// Shared forward body: pick the kernel, then apply the optional
+    /// overflow-rate reroute to the stats it reports.
+    fn run_at(&self, x: &Matrix, row0: usize) -> Matrix {
+        let stats = if self.explicit {
+            explicit_requant_matmul_at(x, row0, &self.weight, &self.calibration, &self.config)
+        } else {
+            implicit_requant_matmul_at(x, row0, &self.weight, &self.calibration, &self.config)
+        };
         if let Some((threshold, fallback_w)) = &self.overflow_fallback {
             let chunks = stats.chunks_processed.max(1) as f64;
             if stats.overflow_events as f64 / chunks > *threshold {
@@ -143,6 +167,19 @@ impl QuantMatmul for TenderMatmul {
             }
         }
         stats.result
+    }
+}
+
+impl QuantMatmul for TenderMatmul {
+    fn forward(&self, x: &Matrix) -> Matrix {
+        self.run_at(x, 0)
+    }
+
+    /// Row-chunk calibration is keyed by absolute row index, so the decode
+    /// path must pass the token's sequence position through here to stay
+    /// bit-identical with the full-sequence forward.
+    fn forward_at(&self, x: &Matrix, row0: usize) -> Matrix {
+        self.run_at(x, row0)
     }
 
     fn weight_bits(&self) -> f32 {
@@ -156,10 +193,15 @@ impl QuantMatmul for TenderMatmul {
 
 impl Scheme for TenderScheme {
     fn name(&self) -> String {
-        if self.config.quant_act_act {
+        let base = if self.config.quant_act_act {
             format!("Tender (all) INT{}", self.config.bits)
         } else {
             format!("Tender INT{}", self.config.bits)
+        };
+        if self.explicit {
+            format!("{base} explicit")
+        } else {
+            base
         }
     }
 
@@ -296,6 +338,45 @@ mod tests {
         let approx = all.act_act_matmul(&a, &b);
         assert_ne!(approx, exact); // quantized, so not bit-identical
         assert!(sqnr_db(&exact, &approx) > 25.0); // but close
+    }
+
+    #[test]
+    fn explicit_mode_runs_the_explicit_kernel() {
+        let mut rng = DetRng::new(106);
+        let x = outlier_activation(&mut rng, 16, 8);
+        let w = rng.normal_matrix(8, 4, 0.0, 0.1);
+        let cfg = TenderConfig::int8().with_row_chunk(8);
+        let scheme = TenderScheme::new(cfg.clone()).with_explicit_requant();
+        assert_eq!(scheme.name(), "Tender INT8 explicit");
+        let op = scheme.prepare(std::slice::from_ref(&x), &w);
+        // Bit-identical to the raw explicit kernel…
+        let calib = TenderCalibration::from_samples(std::slice::from_ref(&x), &cfg);
+        let qw = QuantizedWeight::per_col(&w, cfg.bits);
+        let want = explicit_requant_matmul(&x, &qw, &calib, &cfg).result;
+        assert_eq!(op.forward(&x), want);
+        // …and close (but not identical) to the implicit path.
+        let implicit = TenderScheme::new(cfg).prepare(std::slice::from_ref(&x), &w);
+        let sq = sqnr_db(&implicit.forward(&x), &op.forward(&x));
+        assert!(sq > 40.0, "paths diverged beyond f32 rounding: {sq}");
+    }
+
+    #[test]
+    fn forward_at_matches_full_forward_rows() {
+        let mut rng = DetRng::new(107);
+        let x = outlier_activation(&mut rng, 24, 8);
+        let w = rng.normal_matrix(8, 4, 0.0, 0.1);
+        for explicit in [false, true] {
+            let mut scheme = TenderScheme::new(TenderConfig::int8().with_row_chunk(8));
+            if explicit {
+                scheme = scheme.with_explicit_requant();
+            }
+            let op = scheme.prepare(std::slice::from_ref(&x), &w);
+            let full = op.forward(&x);
+            for p in 0..x.rows() {
+                let row = op.forward_at(&x.slice_rows(p, p + 1), p);
+                assert_eq!(row.row(0), full.row(p), "explicit={explicit} row {p}");
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,21 @@ pub fn decode_step_gemms(shape: &ModelShape, cache_len: usize, batch: usize) -> 
     gemms
 }
 
+/// Multiply-accumulates of one decode step on one layer — the analytic
+/// prediction the measured decode path (`tender_model::engine`) is
+/// cross-checked against.
+pub fn decode_step_macs(shape: &ModelShape, cache_len: usize, batch: usize) -> u64 {
+    decode_step_gemms(shape, cache_len, batch)
+        .iter()
+        .map(Gemm::macs)
+        .sum()
+}
+
+/// Floating-point operations of one decode step on one layer (two per MAC).
+pub fn decode_step_flops(shape: &ModelShape, cache_len: usize, batch: usize) -> u64 {
+    2 * decode_step_macs(shape, cache_len, batch)
+}
+
 /// Compute cycles for one decode step on one layer under a dataflow.
 pub fn decode_step_cycles(
     hw: &TenderHwConfig,
@@ -112,10 +127,7 @@ pub fn decode_utilization(
     batch: usize,
     dataflow: Dataflow,
 ) -> f64 {
-    let macs: u64 = decode_step_gemms(shape, cache_len, batch)
-        .iter()
-        .map(Gemm::macs)
-        .sum();
+    let macs = decode_step_macs(shape, cache_len, batch);
     let cycles = decode_step_cycles(hw, shape, cache_len, batch, 8, dataflow);
     macs as f64 / (cycles as f64 * hw.peak_int4_macs_per_cycle() as f64)
 }
@@ -246,6 +258,22 @@ mod tests {
             kv_cache_bytes(&shape, 1024, 16),
             2 * kv_cache_bytes(&shape, 1024, 8)
         );
+    }
+
+    #[test]
+    fn decode_step_macs_sum_the_gemm_inventory() {
+        let shape = ModelShape::opt_6_7b();
+        let by_hand: u64 = decode_step_gemms(&shape, 512, 2)
+            .iter()
+            .map(Gemm::macs)
+            .sum();
+        assert_eq!(decode_step_macs(&shape, 512, 2), by_hand);
+        assert_eq!(
+            decode_step_flops(&shape, 512, 2),
+            2 * decode_step_macs(&shape, 512, 2)
+        );
+        // Per-step work grows with the cache (attention terms only).
+        assert!(decode_step_macs(&shape, 1024, 1) > decode_step_macs(&shape, 512, 1));
     }
 
     #[test]

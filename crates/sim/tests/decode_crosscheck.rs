@@ -1,0 +1,60 @@
+//! Cross-check: the decode engine's *measured* per-step MACs must equal the
+//! simulator's analytic `decode_step_gemms` prediction.
+//!
+//! The engine counts multiply-accumulates from the operand shapes of the
+//! matmuls it actually executes; the simulator predicts the same quantity
+//! from the model shape and cache length. Agreement at several cache
+//! lengths proves the simulated decode workload models the code that runs.
+
+use tender_model::engine::DecodeSession;
+use tender_model::{ModelShape, SyntheticLlm};
+use tender_sim::generation::{decode_step_flops, decode_step_macs};
+
+#[test]
+fn measured_decode_macs_match_simulated_workload() {
+    let shape = ModelShape::tiny_test();
+    let model = SyntheticLlm::generate(&shape, 17);
+    let reference = model.reference();
+
+    let mut session = DecodeSession::new(&reference);
+    let prompt: Vec<usize> = (0..4).map(|i| (i * 7 + 3) % shape.vocab).collect();
+    session.prefill(&prompt);
+
+    // Step repeatedly; after each step the cache holds `len` positions and
+    // the engine reports the MACs it just executed. ≥ 3 cache lengths.
+    let mut checked = 0;
+    for s in 0..5 {
+        session.step((s * 5 + 1) % shape.vocab);
+        let cache_len = session.len();
+        let predicted = shape.layers as u64 * decode_step_macs(&shape, cache_len, 1);
+        assert_eq!(
+            session.last_step_macs(),
+            predicted,
+            "measured vs predicted MACs diverge at cache length {cache_len}"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "cross-check needs at least three cache lengths"
+    );
+}
+
+#[test]
+fn gated_ffn_decode_macs_include_the_gate_gemm() {
+    let mut shape = ModelShape::tiny_test();
+    shape.activation = tender_model::Activation::SiluGated;
+    shape.norm = tender_model::NormKind::RmsNorm;
+    let model = SyntheticLlm::generate(&shape, 23);
+    let reference = model.reference();
+
+    let mut session = DecodeSession::new(&reference);
+    session.prefill(&[1, 2, 3]);
+    session.step(4);
+    let predicted = shape.layers as u64 * decode_step_macs(&shape, session.len(), 1);
+    assert_eq!(session.last_step_macs(), predicted);
+    assert_eq!(
+        shape.layers as u64 * decode_step_flops(&shape, session.len(), 1),
+        2 * session.last_step_macs()
+    );
+}

@@ -372,6 +372,42 @@ impl Matrix {
         Matrix::from_fn(self.rows, c1 - c0, |r, c| self[(r, c0 + c)])
     }
 
+    /// An empty (0-row) matrix with storage reserved for `row_capacity`
+    /// rows of `cols` columns, for append-heavy consumers (KV caches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0`.
+    pub fn with_row_capacity(cols: usize, row_capacity: usize) -> Self {
+        assert!(cols > 0, "a growable matrix needs at least one column");
+        Self {
+            rows: 0,
+            cols,
+            data: Vec::with_capacity(row_capacity * cols),
+        }
+    }
+
+    /// Appends one row, growing storage (amortized doubling) as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "appended row width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Reserves storage for at least `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols);
+    }
+
+    /// Number of rows the current allocation can hold without regrowing.
+    pub fn row_capacity(&self) -> usize {
+        self.data.capacity().checked_div(self.cols).unwrap_or(0)
+    }
+
     /// Stacks `self` on top of `other`.
     ///
     /// # Errors
@@ -494,6 +530,42 @@ mod tests {
         assert_eq!(m.shape(), (3, 4));
         assert_eq!(m.len(), 12);
         assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn push_row_appends_and_grows() {
+        let mut m = Matrix::with_row_capacity(3, 2);
+        assert_eq!(m.shape(), (0, 3));
+        assert!(m.row_capacity() >= 2);
+        for r in 0..5 {
+            m.push_row(&[r as f32, 0.0, -(r as f32)]);
+        }
+        assert_eq!(m.shape(), (5, 3));
+        assert!(m.row_capacity() >= 5);
+        assert_eq!(m.row(4), &[4.0, 0.0, -4.0]);
+        // Appended rows match an equivalently built from_fn matrix.
+        let want = Matrix::from_fn(5, 3, |r, c| match c {
+            0 => r as f32,
+            1 => 0.0,
+            _ => -(r as f32),
+        });
+        assert_eq!(m, want);
+    }
+
+    #[test]
+    fn reserve_rows_extends_capacity() {
+        let mut m = Matrix::with_row_capacity(4, 1);
+        m.reserve_rows(16);
+        assert!(m.row_capacity() >= 16);
+        m.push_row(&[1.0; 4]);
+        assert_eq!(m.rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "appended row width mismatch")]
+    fn push_row_rejects_wrong_width() {
+        let mut m = Matrix::with_row_capacity(3, 1);
+        m.push_row(&[1.0, 2.0]);
     }
 
     #[test]
