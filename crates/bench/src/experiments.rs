@@ -5,7 +5,7 @@
 //! models. See `EXPERIMENTS.md` for paper-vs-measured records.
 
 use tender::model::calibration::{token_batches, CorpusKind};
-use tender::model::engine::{BatchEngine, DecodeSession, ModelRef};
+use tender::model::engine::{BatchEngine, DecodeSession, KvCacheMode, ModelRef};
 use tender::model::eval::{perplexity, EvalSet};
 use tender::model::glue::GlueTask;
 use tender::model::zeroshot;
@@ -16,7 +16,7 @@ use tender::sim::accel::{speedups_over, AcceleratorKind};
 use tender::sim::area::AreaModel;
 use tender::sim::config::TenderHwConfig;
 use tender::sim::energy::efficiency_over;
-use tender::sim::generation::{decode_step_macs, kv_cache_bytes};
+use tender::sim::generation::{decode_step_macs, kv_cache_bytes, kv_cache_mode_bytes};
 use tender::sim::gpu::{normalized_latency, GpuConfig, GpuScheme};
 use tender::sim::perf::{workload_cost, RequantMode};
 use tender::sim::workload::PrefillWorkload;
@@ -759,7 +759,7 @@ fn generate_row(
     let prefill = session.prefill(&prompts[0]);
     let mut last = prefill;
     for &tok in &generated[0] {
-        last = session.step(tok);
+        last = session.step(tok).expect("rollout stays inside max_seq");
     }
     let mut full_seq = prompts[0].clone();
     full_seq.extend_from_slice(&generated[0]);
@@ -850,6 +850,137 @@ pub fn generate() -> Vec<Table> {
         ));
     }
     t.note("parity: last decode step vs full-sequence forward, bitwise; sim: decode_step_gemms / kv_cache_bytes");
+    vec![t]
+}
+
+/// KV cache — accuracy and memory of the quantized cache modes.
+///
+/// Perplexity is computed *through the decode path* (prefill one token,
+/// then step the rest), so quantized cache reads actually shape the
+/// logits; a full-forward evaluation would never touch the cache. The
+/// `f32` row doubles as a parity check: its decode perplexity must equal
+/// the full-forward perplexity bit for bit. Memory is measured on a
+/// separate 32-position rollout and cross-checked against the simulator's
+/// `kv_cache_mode_bytes`. A row whose INT8 perplexity delta exceeds 1.0 or
+/// whose resident ratio exceeds 0.3× prints `EXCEEDS`, which CI greps for.
+pub fn kv_cache() -> Vec<Table> {
+    const PPL_DELTA_BOUND: f64 = 1.0; // INT8 accuracy budget vs the f32 cache
+    const RATIO_BOUND: f64 = 0.3; // resident-bytes budget vs the f32 cache
+
+    let shape = eval_shape(ModelShape::opt_6_7b());
+    let exp = Experiment::new(&shape, options());
+    let opts = exp.options();
+    let reference = exp.reference();
+    let eval = exp.eval_set(CorpusKind::Wiki);
+
+    let decode_ppl = |mode: KvCacheMode| -> f64 {
+        perplexity(
+            |tk| {
+                let mut s = DecodeSession::with_cache_mode(reference, mode);
+                let mut rows: Vec<Vec<f32>> = Vec::with_capacity(tk.len());
+                let first = s.prefill(&tk[..1]);
+                rows.push(first.row(0).to_vec());
+                for &tok in &tk[1..] {
+                    let logits = s.step(tok).expect("eval context inside max_seq");
+                    rows.push(logits.row(0).to_vec());
+                }
+                tender::tensor::Matrix::from_fn(rows.len(), rows[0].len(), |r, c| rows[r][c])
+            },
+            eval,
+        )
+    };
+    let full_ppl = perplexity(|tk| reference.forward(tk), eval);
+
+    // Memory rollout: one session per mode over the same 32-position
+    // sequence (8-token prompt + 24 greedy-independent steps).
+    let mem_len = 32usize.min(shape.max_seq - 1);
+    let mem_tokens =
+        token_batches(CorpusKind::Wiki, shape.vocab, 1, mem_len, opts.seed ^ 0x51).remove(0);
+    let measure = |mode: KvCacheMode| -> (u64, u64, u64) {
+        let mut s = DecodeSession::with_cache_mode(reference, mode);
+        s.prefill(&mem_tokens[..8]);
+        for &tok in &mem_tokens[8..] {
+            s.step(tok).expect("rollout inside max_seq");
+        }
+        (
+            s.cache().bytes(),
+            s.cache().allocated_bytes(),
+            s.cache().requants(),
+        )
+    };
+
+    let mut t = Table::new(
+        format!(
+            "KV cache: quantized storage modes (decode-path Wiki ppl, resident bytes @{mem_len} positions)"
+        ),
+        &[
+            "Cache",
+            "Wiki ppl",
+            "Δ vs f32",
+            "Resident",
+            "Allocated",
+            "Ratio",
+            "Requants",
+            "Verdict",
+        ],
+    );
+
+    let f32_ppl = decode_ppl(KvCacheMode::F32);
+    let (f32_bytes, _, _) = measure(KvCacheMode::F32);
+    for mode in KvCacheMode::ALL {
+        let ppl = if mode == KvCacheMode::F32 {
+            f32_ppl
+        } else {
+            decode_ppl(mode)
+        };
+        let (resident, allocated, requants) = measure(mode);
+        let sim = kv_cache_mode_bytes(&shape, mem_len, mode);
+        let resident_s = if resident == sim {
+            format!("{resident} (=sim)")
+        } else {
+            format!("{resident} (MISMATCH sim {sim})")
+        };
+        let ratio = resident as f64 / f32_bytes as f64;
+        let delta = ppl - f32_ppl;
+        let verdict = match mode {
+            // f32 decode must reproduce the full forward bit-exactly, so
+            // the perplexities are equal as f64s, not merely close.
+            KvCacheMode::F32 => {
+                if f32_ppl == full_ppl {
+                    "bit-exact".to_string()
+                } else {
+                    "DIVERGED".to_string()
+                }
+            }
+            KvCacheMode::Int8 => {
+                if delta.abs() <= PPL_DELTA_BOUND && ratio <= RATIO_BOUND {
+                    "ok".to_string()
+                } else {
+                    format!("EXCEEDS (|Δ|≤{PPL_DELTA_BOUND}, ratio≤{RATIO_BOUND})")
+                }
+            }
+            // INT4 is bounded on memory only; its accuracy is reported for
+            // the record (the paper positions INT4 as the aggressive point).
+            KvCacheMode::Int4 => {
+                if ratio <= RATIO_BOUND {
+                    "ok".to_string()
+                } else {
+                    format!("EXCEEDS (ratio≤{RATIO_BOUND})")
+                }
+            }
+        };
+        t.row(vec![
+            mode.label().to_string(),
+            fmt_ppl(ppl),
+            format!("{delta:+.4}"),
+            resident_s,
+            allocated.to_string(),
+            fmt_ratio(ratio),
+            requants.to_string(),
+            verdict,
+        ]);
+    }
+    t.note("decode-path ppl: logits collected from prefill(1)+steps; f32 row checks bit-parity vs the full forward");
     vec![t]
 }
 

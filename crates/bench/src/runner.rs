@@ -105,6 +105,10 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             name: "generate",
             run: e::generate,
         },
+        ExperimentSpec {
+            name: "kv_cache",
+            run: e::kv_cache,
+        },
     ]
 }
 

@@ -11,7 +11,7 @@ use std::error::Error;
 use std::fmt;
 
 use tender::model::calibration::{token_batches, CorpusKind};
-use tender::model::engine::{BatchEngine, DecodeSession, ModelRef};
+use tender::model::engine::{BatchEngine, DecodeSession, KvCacheMode, ModelRef};
 use tender::model::{ModelShape, QuantizedModel};
 use tender::sim::accel::{speedups_over_with_hbm, AcceleratorKind, SimConfigError};
 use tender::sim::config::TenderHwConfig;
@@ -286,18 +286,23 @@ pub fn cmd_decode(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `tender-cli generate --model M [--scheme S] [--prompt N] [--generate N]
-/// [--batch B] [--seed N] [--fast true]` — greedy generation through the
-/// prefill + KV-cache decode engine on a scaled synthetic model.
+/// `tender-cli generate --model M [--scheme S] [--kv-cache f32|int8|int4]
+/// [--prompt N] [--generate N] [--batch B] [--seed N] [--fast true]` —
+/// greedy generation through the prefill + KV-cache decode engine on a
+/// scaled synthetic model.
 ///
-/// Decode is bit-identical to a full-sequence forward pass for every
-/// weight-quantizing scheme, so the generated tokens match what repeated
-/// full forwards would produce — at O(1) work per step instead of O(n).
+/// With the default `f32` cache, decode is bit-identical to a full-sequence
+/// forward pass for every weight-quantizing scheme, so the generated tokens
+/// match what repeated full forwards would produce — at O(1) work per step
+/// instead of O(n). Quantized cache modes (`int8`, `int4` with the paper's
+/// power-of-two groups) trade that bit-parity for a packed cache; they stay
+/// bit-deterministic at any thread count.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] on unknown model/scheme, a zero `--prompt` or
-/// `--batch`, or a rollout longer than the model's context window.
+/// Returns [`CliError`] on unknown model/scheme/cache mode, a zero
+/// `--prompt` or `--batch`, or a rollout longer than the model's context
+/// window.
 pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     let model_name = flags
         .get("model")
@@ -332,6 +337,12 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     }
 
     let scheme_name = flags.get("scheme").map(String::as_str).unwrap_or("FP32");
+    let kv_name = flags.get("kv-cache").map(String::as_str).unwrap_or("f32");
+    let kv_mode = KvCacheMode::parse(kv_name).ok_or_else(|| {
+        err(format!(
+            "unknown --kv-cache mode '{kv_name}' (f32, int8, int4)"
+        ))
+    })?;
     let exp = Experiment::new(&shape, opts);
     let seed = exp.options().seed;
     let prompts = token_batches(
@@ -355,15 +366,21 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
         None => ModelRef::from(exp.reference()),
     };
 
-    let sessions = prompts.iter().map(|_| DecodeSession::new(model)).collect();
+    let sessions = prompts
+        .iter()
+        .map(|_| DecodeSession::with_cache_mode(model, kv_mode))
+        .collect();
     let mut engine = BatchEngine::new(sessions);
     let generated = engine.generate_greedy(&prompts, steps);
     let sessions = engine.into_sessions();
 
     let mut out = format!(
-        "generate {} (eval scale d={}, {} layers), scheme {scheme_name}\n\
+        "generate {} (eval scale d={}, {} layers), scheme {scheme_name}, kv-cache {}\n\
          prompt {prompt_len} tokens, {steps} decode steps, batch {batch}\n",
-        shape.name, shape.d_model, shape.layers
+        shape.name,
+        shape.d_model,
+        shape.layers,
+        kv_mode.label()
     );
     for (i, (prompt, tokens)) in prompts.iter().zip(&generated).enumerate() {
         let p: Vec<String> = prompt.iter().map(|t| t.to_string()).collect();
@@ -376,11 +393,16 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     }
     if let Some(s) = sessions.first() {
         out.push_str(&format!(
-            "per-step MACs at cache {}: {}   KV cache: {} bytes\n",
+            "per-step MACs at cache {}: {}   KV cache ({}): {} bytes resident, {} allocated\n",
             s.len(),
             s.last_step_macs(),
-            s.cache().bytes()
+            s.cache().mode().label(),
+            s.cache().bytes(),
+            s.cache().allocated_bytes()
         ));
+        if s.cache().requants() > 0 {
+            out.push_str(&format!("runtime requants: {}\n", s.cache().requants()));
+        }
     }
     Ok(out)
 }
@@ -419,6 +441,7 @@ pub fn usage() -> String {
      \x20          [--batch B]             (analytic hardware model)\n\
      \x20 generate --model M [--scheme S] greedy generation through the\n\
      \x20          [--prompt N]            prefill + KV-cache decode engine\n\
+     \x20          [--kv-cache f32|int8|int4]  cache storage precision\n\
      \x20          [--generate N] [--batch B] [--seed N] [--fast true]\n"
         .to_string()
 }
@@ -655,7 +678,63 @@ mod tests {
         assert!(a.contains("session 0:"));
         assert!(a.contains("session 1:"));
         assert!(a.contains("per-step MACs"));
-        assert!(a.contains("KV cache:"));
+        assert!(a.contains("KV cache (f32):"));
+        assert!(a.contains("bytes resident"));
+    }
+
+    #[test]
+    fn generate_quantized_kv_cache_is_deterministic_and_smaller() {
+        let base = [
+            "--model",
+            "OPT-6.7B",
+            "--scheme",
+            "reference",
+            "--prompt",
+            "8",
+            "--generate",
+            "8",
+            "--fast",
+            "true",
+        ];
+        let resident = |kv: &str| -> (String, u64) {
+            let mut a: Vec<&str> = base.to_vec();
+            a.extend_from_slice(&["--kv-cache", kv]);
+            let out = cmd_generate(&parse_flags(&args(&a)).unwrap()).expect("runs");
+            let bytes = out
+                .lines()
+                .find(|l| l.contains("KV cache ("))
+                .and_then(|l| l.rsplit(": ").next())
+                .and_then(|s| s.split(' ').next())
+                .and_then(|s| s.parse().ok())
+                .expect("resident bytes in output");
+            (out, bytes)
+        };
+        let (f32_out, f32_bytes) = resident("f32");
+        let (int8_out, int8_bytes) = resident("int8");
+        let (int8_again, _) = resident("int8");
+        assert_eq!(int8_out, int8_again, "int8 cache must be deterministic");
+        assert!(int8_out.contains("kv-cache int8"));
+        // The acceptance bar: INT8 resident ≤ 0.3× f32 at equal length.
+        assert!(
+            int8_bytes * 10 <= f32_bytes * 3,
+            "int8 {int8_bytes} vs f32 {f32_bytes}: ratio above 0.3"
+        );
+        assert!(f32_out.contains("kv-cache f32"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_kv_cache_mode() {
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--kv-cache",
+            "int2",
+            "--fast",
+            "true",
+        ]))
+        .unwrap();
+        let e = cmd_generate(&f).expect_err("int2 is not a cache mode");
+        assert!(e.to_string().contains("unknown --kv-cache mode"));
     }
 
     #[test]

@@ -105,6 +105,28 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Adds `n` to the value (aggregate gauges summed across owners).
+    /// `n == 0` is free (no atomic traffic).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n` from the value, saturating at zero so a reset while
+    /// contributors are still live cannot wrap the gauge around.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if n != 0 {
+            let _ = self
+                .0
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(n))
+                });
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -393,10 +415,19 @@ pub mod engine {
     pub static PREFILL_TIME: Timer = Timer::new();
     /// Wall-clock per decode step (the tokens/step latency).
     pub static DECODE_STEP_TIME: Timer = Timer::new();
-    /// Current KV-cache footprint across live sessions, bytes.
+    /// Resident KV-cache bytes summed across live sessions (each session
+    /// adds/subtracts its delta, so the gauge is the aggregate, not the
+    /// last writer's value).
     pub static KV_CACHE_BYTES: Gauge = Gauge::new();
-    /// Largest KV-cache footprint observed, bytes.
+    /// Allocated (preallocated-capacity) KV-cache bytes summed across live
+    /// sessions.
+    pub static KV_CACHE_ALLOCATED_BYTES: Gauge = Gauge::new();
+    /// Largest aggregate resident KV-cache footprint observed, bytes.
     pub static KV_CACHE_PEAK_BYTES: MaxGauge = MaxGauge::new();
+    /// Runtime KV-cache requantization events: appends whose row maximum
+    /// exceeded the head's running `TMax`, forcing stored rows through the
+    /// group-index / 1-bit-shift requantization path.
+    pub static KV_REQUANTS: Counter = Counter::new();
 }
 
 /// Hardware-simulator metrics (`tender_sim`).
@@ -451,6 +482,9 @@ pub mod faults {
     pub static RUNTIME_FALLBACKS: Counter = Counter::new();
     /// Decode-step activations sanitized after an injected NaN channel.
     pub static DECODE_SANITIZED: Counter = Counter::new();
+    /// Greedy-argmax rows with no finite logit (e.g. NaN-poisoned weights),
+    /// replaced by the deterministic fallback token instead of token 0.
+    pub static DECODE_ARGMAX_SANITIZED: Counter = Counter::new();
 }
 
 /// Experiment-runner metrics (`tender_bench::runner`).
@@ -500,7 +534,9 @@ pub fn reset_all() {
     engine::PREFILL_TIME.reset();
     engine::DECODE_STEP_TIME.reset();
     engine::KV_CACHE_BYTES.reset();
+    engine::KV_CACHE_ALLOCATED_BYTES.reset();
     engine::KV_CACHE_PEAK_BYTES.reset();
+    engine::KV_REQUANTS.reset();
     sim::DRAM_ROW_HITS.reset();
     sim::DRAM_ROW_MISSES.reset();
     sim::DRAM_BYTES.reset();
@@ -521,6 +557,7 @@ pub fn reset_all() {
     faults::FALLBACK_FP16.reset();
     faults::RUNTIME_FALLBACKS.reset();
     faults::DECODE_SANITIZED.reset();
+    faults::DECODE_ARGMAX_SANITIZED.reset();
     runner::EXPERIMENTS_RUN.reset();
     runner::EXPERIMENTS_PANICKED.reset();
     runner::EXPERIMENTS_RETRIED.reset();

@@ -239,9 +239,14 @@ pub(crate) fn build() -> Report {
                 Value::U64(engine::KV_CACHE_BYTES.get()),
             ),
             (
+                "kv_cache_allocated_bytes".into(),
+                Value::U64(engine::KV_CACHE_ALLOCATED_BYTES.get()),
+            ),
+            (
                 "kv_cache_peak_bytes".into(),
                 Value::U64(engine::KV_CACHE_PEAK_BYTES.get()),
             ),
+            ("kv_requants".into(), Value::U64(engine::KV_REQUANTS.get())),
         ],
     };
     let sim_section = Section {
@@ -313,6 +318,10 @@ pub(crate) fn build() -> Report {
             (
                 "decode_sanitized".into(),
                 Value::U64(faults::DECODE_SANITIZED.get()),
+            ),
+            (
+                "decode_argmax_sanitized".into(),
+                Value::U64(faults::DECODE_ARGMAX_SANITIZED.get()),
             ),
         ],
     };

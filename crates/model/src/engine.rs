@@ -7,70 +7,404 @@
 //! the cache instead of re-running the whole prefix. [`BatchEngine`] runs
 //! many sessions through the shared worker pool deterministically.
 //!
-//! **Parity guarantee.** `prefill(&t[..n]); step(t[n]); …; step(t[m-1])`
-//! produces logits bit-identical to the last row of a full-sequence
-//! `forward(&t[..m])` for every row-independent scheme (reference, FP32,
-//! FP16, integer granularities, Tender implicit/explicit), at any thread
-//! count. See `crate::pipeline` for the op-order argument and the decode
-//! parity suite for the enforcement.
+//! **Cache modes.** The cache stores K/V rows in one of three
+//! [`KvCacheMode`]s: `f32` (exact, the default), `int8`, or `int4` with the
+//! paper's per-head power-of-two group decomposition. Quantized modes
+//! quantize each row at append time against the head's running `TMax`
+//! (per-channel bias subtracted, as in the calibration path) and
+//! dequantize on read, so decode arithmetic — and thus thread-count
+//! determinism — is unchanged; only the cached values are approximate.
+//! When a new row's residual magnitude exceeds `TMax`, the head
+//! requantizes its stored rows by the paper's runtime rule: double `TMax`,
+//! advance every element's group index, and 1-bit-shift only the values
+//! the index cannot absorb (see [`tender_tensor::QuantRows`]).
+//!
+//! **Parity guarantee.** In `f32` mode, `prefill(&t[..n]); step(t[n]); …;
+//! step(t[m-1])` produces logits bit-identical to the last row of a
+//! full-sequence `forward(&t[..m])` for every row-independent scheme
+//! (reference, FP32, FP16, integer granularities, Tender
+//! implicit/explicit), at any thread count. See `crate::pipeline` for the
+//! op-order argument and the decode parity suite for the enforcement.
+//! Quantized cache modes trade that bit-parity for footprint by design;
+//! they remain bit-deterministic for a fixed mode at any thread count.
 //!
 //! [`prefill`]: DecodeSession::prefill
 //! [`step`]: DecodeSession::step
 
+use std::borrow::Cow;
+use std::error::Error;
+use std::fmt;
 use std::sync::Mutex;
 
 use tender_metrics::engine as metrics;
-use tender_tensor::{pool, Matrix};
+use tender_quant::quantizer::{f16_round, quantize_value};
+use tender_quant::tender::{classify_channels, group_scales};
+use tender_tensor::{pool, Matrix, QuantRows};
 
 use crate::forward::{QuantizedModel, ReferenceModel};
 use crate::pipeline::{self, Exec};
 use crate::shape::ModelShape;
 use crate::weights::TransformerWeights;
 
+/// Group spacing factor: power-of-two thresholds and scales (Eq. 3), the
+/// choice that makes runtime requantization a group-index bump / 1-bit
+/// shift.
+const ALPHA: u32 = 2;
+
+/// Storage precision of the KV cache.
+///
+/// Byte accounting (per cached position, per head, per K or V plane):
+///
+/// | mode | payload                                  | per-head constants |
+/// |------|------------------------------------------|--------------------|
+/// | f32  | `4 × head_dim`                           | none               |
+/// | int8 | `head_dim`                               | `TMax` (4) + f16 bias (`2 × head_dim`) |
+/// | int4 | `⌈head_dim/2⌉ + ⌈head_dim/4⌉` (2-bit group indices) | same |
+///
+/// Group scales are derived from `TMax` on demand and therefore not
+/// counted; the bias is kept at f16 precision (values are rounded through
+/// [`f16_round`]) and counted at two bytes per channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvCacheMode {
+    /// Exact `f32` rows — the bit-parity path.
+    F32,
+    /// INT8 per-head symmetric quantization (one group).
+    Int8,
+    /// INT4 per-head with four power-of-two groups (Tender Eq. 3).
+    Int4,
+}
+
+impl KvCacheMode {
+    /// Every mode, in documentation order.
+    pub const ALL: [KvCacheMode; 3] = [KvCacheMode::F32, KvCacheMode::Int8, KvCacheMode::Int4];
+
+    /// Parses a CLI spelling (`f32` / `int8` / `int4`, case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "f32" | "fp32" => Some(Self::F32),
+            "int8" => Some(Self::Int8),
+            "int4" => Some(Self::Int4),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::F32 => "f32",
+            Self::Int8 => "int8",
+            Self::Int4 => "int4",
+        }
+    }
+
+    /// Element width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Self::F32 => 32,
+            Self::Int8 => 8,
+            Self::Int4 => 4,
+        }
+    }
+
+    /// Power-of-two decomposition groups (1 = plain symmetric).
+    pub fn num_groups(self) -> usize {
+        match self {
+            Self::F32 | Self::Int8 => 1,
+            Self::Int4 => 4,
+        }
+    }
+
+    /// Stored bytes per cached position, per head, per K or V plane.
+    pub fn position_bytes(self, head_dim: usize) -> u64 {
+        match self {
+            Self::F32 => 4 * head_dim as u64,
+            Self::Int8 => head_dim as u64,
+            Self::Int4 => (head_dim.div_ceil(2) + head_dim.div_ceil(4)) as u64,
+        }
+    }
+
+    /// Per-head constant bytes (quantization metadata), per K or V plane.
+    pub fn head_overhead_bytes(self, head_dim: usize) -> u64 {
+        match self {
+            Self::F32 => 0,
+            Self::Int8 | Self::Int4 => 4 + 2 * head_dim as u64,
+        }
+    }
+}
+
+/// One head's quantized K or V plane: packed rows plus the per-head
+/// quantization state (fixed per-channel bias, running `TMax`, derived
+/// group scales).
+#[derive(Debug, Clone)]
+struct QuantHead {
+    bits: u32,
+    groups: usize,
+    rows: QuantRows,
+    /// Per-channel bias `(lo + hi)/2`, f16-rounded, fixed at first append
+    /// from the rows of that append (the prompt acts as the calibration
+    /// set, mirroring `ChunkCalibration::from_activation`).
+    bias: Vec<f32>,
+    /// Running per-head residual absolute maximum; doubles on requant.
+    tmax: f32,
+    /// `group_scales(tmax, groups, ALPHA, bits)`, cached.
+    scales: Vec<f32>,
+    /// Runtime requantization events this head has performed.
+    requants: u64,
+}
+
+impl QuantHead {
+    fn new(head_dim: usize, mode: KvCacheMode, row_capacity: usize) -> Self {
+        let groups = mode.num_groups();
+        Self {
+            bits: mode.bits(),
+            groups,
+            rows: QuantRows::with_row_capacity(head_dim, mode.bits(), groups > 1, row_capacity),
+            bias: Vec::new(),
+            tmax: 0.0,
+            scales: Vec::new(),
+            requants: 0,
+        }
+    }
+
+    fn append_rows(&mut self, new_rows: &[&[f32]]) {
+        if new_rows.is_empty() {
+            return;
+        }
+        if self.bias.is_empty() {
+            let dh = self.rows.cols();
+            let mut bias = vec![0.0f32; dh];
+            for (c, b) in bias.iter_mut().enumerate() {
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for row in new_rows {
+                    let x = row[c];
+                    if x.is_finite() {
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                    }
+                }
+                if lo <= hi {
+                    *b = f16_round(0.5 * (lo + hi));
+                }
+            }
+            self.bias = bias;
+        }
+        for row in new_rows {
+            self.push_row(row);
+        }
+    }
+
+    fn push_row(&mut self, row: &[f32]) {
+        let resid: Vec<f32> = row.iter().zip(&self.bias).map(|(x, b)| x - b).collect();
+        // Magnitudes for classification: a non-finite residual degrades to
+        // group 0 via a MAX sentinel (the calibration path's rule) but is
+        // excluded from TMax growth so one NaN cannot inflate every scale.
+        let mut mags = Vec::with_capacity(resid.len());
+        let mut row_max = 0.0f32;
+        for &x in &resid {
+            if x.is_finite() {
+                let a = x.abs();
+                row_max = row_max.max(a);
+                mags.push(a);
+            } else {
+                mags.push(f32::MAX);
+            }
+        }
+        if self.scales.is_empty() {
+            self.tmax = if row_max > 0.0 {
+                row_max
+            } else {
+                f32::MIN_POSITIVE
+            };
+            self.scales = group_scales(self.tmax, self.groups, ALPHA, self.bits);
+        } else if row_max > self.tmax {
+            // Runtime requantization: double TMax until it covers the new
+            // row, then apply the same number of doublings to stored rows.
+            let mut doublings = 0u32;
+            let mut t = self.tmax;
+            while t < row_max {
+                t *= 2.0;
+                doublings += 1;
+                if !t.is_finite() {
+                    t = row_max;
+                    break;
+                }
+            }
+            self.tmax = t;
+            self.rows.requant_shift(doublings, self.groups);
+            self.scales = group_scales(self.tmax, self.groups, ALPHA, self.bits);
+            self.requants += 1;
+            metrics::KV_REQUANTS.incr();
+        }
+        let gs: Vec<u8> = if self.groups > 1 {
+            classify_channels(&mags, self.tmax, self.groups, ALPHA)
+                .expect("magnitudes are finite by construction")
+                .into_iter()
+                .map(|g| g as u8)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let qs: Vec<i32> = resid
+            .iter()
+            .enumerate()
+            .map(|(c, &x)| {
+                let g = gs.get(c).copied().unwrap_or(0) as usize;
+                quantize_value(x, self.scales[g], self.bits)
+            })
+            .collect();
+        self.rows.push_row(&qs, &gs);
+    }
+
+    fn dequant(&self) -> Matrix {
+        Matrix::from_fn(self.rows.rows(), self.rows.cols(), |r, c| {
+            let (q, g) = self.rows.get(r, c);
+            q as f32 * self.scales[g] + self.bias[c]
+        })
+    }
+}
+
+/// One head's K or V plane in the configured storage mode.
+#[derive(Debug, Clone)]
+enum HeadStore {
+    F32(Matrix),
+    Quant(QuantHead),
+}
+
+impl HeadStore {
+    fn new(head_dim: usize, mode: KvCacheMode, row_capacity: usize) -> Self {
+        match mode {
+            KvCacheMode::F32 => Self::F32(Matrix::with_row_capacity(head_dim, row_capacity)),
+            KvCacheMode::Int8 | KvCacheMode::Int4 => {
+                Self::Quant(QuantHead::new(head_dim, mode, row_capacity))
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::F32(m) => m.rows(),
+            Self::Quant(q) => q.rows.rows(),
+        }
+    }
+
+    fn row_capacity(&self) -> usize {
+        match self {
+            Self::F32(m) => m.row_capacity(),
+            Self::Quant(q) => q.rows.row_capacity(),
+        }
+    }
+
+    fn append_rows(&mut self, new_rows: &[&[f32]]) {
+        match self {
+            Self::F32(m) => {
+                for row in new_rows {
+                    m.push_row(row);
+                }
+            }
+            Self::Quant(q) => q.append_rows(new_rows),
+        }
+    }
+
+    fn matrix(&self) -> Cow<'_, Matrix> {
+        match self {
+            Self::F32(m) => Cow::Borrowed(m),
+            Self::Quant(q) => Cow::Owned(q.dequant()),
+        }
+    }
+
+    fn resident_bytes(&self, mode: KvCacheMode, head_dim: usize) -> u64 {
+        self.len() as u64 * mode.position_bytes(head_dim) + mode.head_overhead_bytes(head_dim)
+    }
+
+    fn allocated_bytes(&self, mode: KvCacheMode, head_dim: usize) -> u64 {
+        self.row_capacity() as u64 * mode.position_bytes(head_dim)
+            + mode.head_overhead_bytes(head_dim)
+    }
+
+    fn requants(&self) -> u64 {
+        match self {
+            Self::F32(_) => 0,
+            Self::Quant(q) => q.requants,
+        }
+    }
+}
+
 /// Per-layer, per-head K/V row storage with preallocated capacity.
 ///
-/// Each (layer, head) pair owns two growable `len × head_dim` matrices
-/// built by row appends; all `layers × heads` pairs always hold the same
-/// number of rows (one per cached sequence position).
+/// Each (layer, head) pair owns two growable `len × head_dim` planes built
+/// by row appends; all `layers × heads` pairs always hold the same number
+/// of rows (one per cached sequence position). Storage precision is chosen
+/// by [`KvCacheMode`]; quantized planes quantize at append and dequantize
+/// on read.
+///
+/// **Growth policy.** The cache itself grows transparently past its
+/// preallocated capacity — it is plain storage and enforces no sequence
+/// limit. The *model's* positional limit (`max_seq` rows of positional
+/// embeddings) is enforced one level up by [`DecodeSession::step`], which
+/// returns [`StepError::SequenceFull`] instead of appending past it.
 #[derive(Debug, Clone)]
 pub struct KvCache {
     layers: usize,
     heads: usize,
     head_dim: usize,
-    /// `layers × heads` K matrices, indexed `li * heads + head`.
-    k: Vec<Matrix>,
-    /// `layers × heads` V matrices, same indexing.
-    v: Vec<Matrix>,
+    mode: KvCacheMode,
+    /// `layers × heads` K planes, indexed `li * heads + head`.
+    k: Vec<HeadStore>,
+    /// `layers × heads` V planes, same indexing.
+    v: Vec<HeadStore>,
 }
 
 impl KvCache {
-    /// An empty cache for `shape`, preallocated for `shape.max_seq` rows.
+    /// An empty `f32` cache for `shape`, preallocated for `shape.max_seq`
+    /// rows.
     pub fn new(shape: &ModelShape) -> Self {
-        Self::with_capacity(shape, shape.max_seq)
+        Self::with_mode_and_capacity(shape, KvCacheMode::F32, shape.max_seq)
     }
 
-    /// An empty cache preallocated for `row_capacity` positions per head.
-    /// Appending beyond the capacity grows the storage transparently.
+    /// An empty cache in `mode`, preallocated for `shape.max_seq` rows.
+    pub fn with_mode(shape: &ModelShape, mode: KvCacheMode) -> Self {
+        Self::with_mode_and_capacity(shape, mode, shape.max_seq)
+    }
+
+    /// An empty `f32` cache preallocated for `row_capacity` positions per
+    /// head. Appending beyond the capacity grows the storage transparently
+    /// (see the growth policy in the type docs).
     pub fn with_capacity(shape: &ModelShape, row_capacity: usize) -> Self {
+        Self::with_mode_and_capacity(shape, KvCacheMode::F32, row_capacity)
+    }
+
+    /// An empty cache in `mode` preallocated for `row_capacity` positions.
+    pub fn with_mode_and_capacity(
+        shape: &ModelShape,
+        mode: KvCacheMode,
+        row_capacity: usize,
+    ) -> Self {
         let dh = shape.head_dim();
         let slots = shape.layers * shape.heads;
-        let make = || -> Vec<Matrix> {
+        let make = || -> Vec<HeadStore> {
             (0..slots)
-                .map(|_| Matrix::with_row_capacity(dh, row_capacity))
+                .map(|_| HeadStore::new(dh, mode, row_capacity))
                 .collect()
         };
         Self {
             layers: shape.layers,
             heads: shape.heads,
             head_dim: dh,
+            mode,
             k: make(),
             v: make(),
         }
     }
 
+    /// The storage precision this cache was built with.
+    pub fn mode(&self) -> KvCacheMode {
+        self.mode
+    }
+
     /// Cached sequence positions (identical across layers and heads).
     pub fn len(&self) -> usize {
-        self.k.first().map_or(0, Matrix::rows)
+        self.k.first().map_or(0, HeadStore::len)
     }
 
     /// Whether the cache holds no positions yet.
@@ -80,7 +414,7 @@ impl KvCache {
 
     /// Positions each head can hold before its storage reallocates.
     pub fn capacity(&self) -> usize {
-        self.k.first().map_or(0, Matrix::row_capacity)
+        self.k.first().map_or(0, HeadStore::row_capacity)
     }
 
     /// Layers the cache spans.
@@ -93,13 +427,39 @@ impl KvCache {
         self.heads
     }
 
-    /// Resident K+V bytes (`2 × len × d_model × layers` f32 elements).
+    /// **Resident** K+V bytes: what the `len` cached positions occupy,
+    /// including per-head quantization constants. In `f32` mode this is
+    /// `2 × len × d_model × layers` elements at 4 bytes; quantized modes
+    /// store packed payloads (see [`KvCacheMode`]). Preallocated-but-unused
+    /// capacity is *not* counted — see [`KvCache::allocated_bytes`].
     pub fn bytes(&self) -> u64 {
-        2 * (self.len() * self.heads * self.head_dim * self.layers * 4) as u64
+        self.k
+            .iter()
+            .chain(&self.v)
+            .map(|s| s.resident_bytes(self.mode, self.head_dim))
+            .sum()
+    }
+
+    /// **Allocated** K+V bytes: what the preallocated storage could hold
+    /// at the current capacity, plus per-head constants. Always ≥
+    /// [`KvCache::bytes`].
+    pub fn allocated_bytes(&self) -> u64 {
+        self.k
+            .iter()
+            .chain(&self.v)
+            .map(|s| s.allocated_bytes(self.mode, self.head_dim))
+            .sum()
+    }
+
+    /// Runtime requantization events summed across every head plane.
+    pub fn requants(&self) -> u64 {
+        self.k.iter().chain(&self.v).map(HeadStore::requants).sum()
     }
 
     /// Appends layer `li`'s freshly projected K/V rows (`n × d_model`
-    /// each), splitting the model dimension across heads.
+    /// each), splitting the model dimension across heads. In quantized
+    /// modes the rows are quantized here, against each head's running
+    /// `TMax` (first append also fixes the head's per-channel bias).
     ///
     /// # Panics
     ///
@@ -109,27 +469,27 @@ impl KvCache {
         assert!(li < self.layers, "layer {li} out of cache range");
         assert_eq!(k.shape(), v.shape(), "K/V row mismatch");
         assert_eq!(k.cols(), self.heads * self.head_dim, "d_model mismatch");
-        for r in 0..k.rows() {
-            let krow = k.row(r);
-            let vrow = v.row(r);
-            for head in 0..self.heads {
-                let c0 = head * self.head_dim;
-                let c1 = c0 + self.head_dim;
-                let slot = li * self.heads + head;
-                self.k[slot].push_row(&krow[c0..c1]);
-                self.v[slot].push_row(&vrow[c0..c1]);
-            }
+        for head in 0..self.heads {
+            let c0 = head * self.head_dim;
+            let c1 = c0 + self.head_dim;
+            let slot = li * self.heads + head;
+            let k_rows: Vec<&[f32]> = (0..k.rows()).map(|r| &k.row(r)[c0..c1]).collect();
+            let v_rows: Vec<&[f32]> = (0..v.rows()).map(|r| &v.row(r)[c0..c1]).collect();
+            self.k[slot].append_rows(&k_rows);
+            self.v[slot].append_rows(&v_rows);
         }
     }
 
-    /// Cached keys for `(li, head)`: a `len × head_dim` matrix.
-    pub fn head_k(&self, li: usize, head: usize) -> &Matrix {
-        &self.k[li * self.heads + head]
+    /// Cached keys for `(li, head)`: a `len × head_dim` matrix. Borrowed
+    /// in `f32` mode; dequantized on the fly in quantized modes.
+    pub fn head_k(&self, li: usize, head: usize) -> Cow<'_, Matrix> {
+        self.k[li * self.heads + head].matrix()
     }
 
-    /// Cached values for `(li, head)`: a `len × head_dim` matrix.
-    pub fn head_v(&self, li: usize, head: usize) -> &Matrix {
-        &self.v[li * self.heads + head]
+    /// Cached values for `(li, head)`: a `len × head_dim` matrix. Borrowed
+    /// in `f32` mode; dequantized on the fly in quantized modes.
+    pub fn head_v(&self, li: usize, head: usize) -> Cow<'_, Matrix> {
+        self.v[li * self.heads + head].matrix()
     }
 }
 
@@ -178,34 +538,116 @@ impl<'m> ModelRef<'m> {
     }
 }
 
+/// Why a [`DecodeSession::step`] could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepError {
+    /// The session holds no cached positions yet — prefill first.
+    NotPrefilled,
+    /// The next position would exceed the model's positional-embedding
+    /// table (`max_seq` rows). The cache *storage* could grow further; the
+    /// model cannot embed the position, so the session refuses the step.
+    SequenceFull {
+        /// The model's context window.
+        max_seq: usize,
+    },
+    /// The fed token id is outside the vocabulary.
+    TokenOutOfVocab {
+        /// The offending token id.
+        token: usize,
+        /// The model's vocabulary size.
+        vocab: usize,
+    },
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPrefilled => write!(f, "step requires a prefilled session"),
+            Self::SequenceFull { max_seq } => {
+                write!(f, "sequence is full: the context window is {max_seq}")
+            }
+            Self::TokenOutOfVocab { token, vocab } => {
+                write!(f, "token id {token} out of vocabulary (size {vocab})")
+            }
+        }
+    }
+}
+
+impl Error for StepError {}
+
 /// One in-flight generation: a model reference plus its KV cache.
-#[derive(Clone)]
+///
+/// The session publishes its cache footprint into the aggregate
+/// `metrics::engine` gauges by delta: every prefill/step adds the growth,
+/// cloning re-adds the clone's bytes, and dropping subtracts what the
+/// session had published — so `KV_CACHE_BYTES` is the summed resident
+/// bytes across *live* sessions, not the last writer's value.
 pub struct DecodeSession<'m> {
     model: ModelRef<'m>,
     cache: KvCache,
     last_step_macs: u64,
+    /// Resident bytes this session has added to `KV_CACHE_BYTES`.
+    published_bytes: u64,
+    /// Allocated bytes this session has added to `KV_CACHE_ALLOCATED_BYTES`.
+    published_allocated: u64,
 }
 
 impl<'m> DecodeSession<'m> {
-    /// A fresh session over `model` with an empty, `max_seq`-capacity cache.
+    /// A fresh session over `model` with an empty, `max_seq`-capacity
+    /// `f32` cache (the bit-parity path).
     pub fn new(model: impl Into<ModelRef<'m>>) -> Self {
+        Self::with_cache_mode(model, KvCacheMode::F32)
+    }
+
+    /// A fresh session whose cache stores K/V in `mode`.
+    pub fn with_cache_mode(model: impl Into<ModelRef<'m>>, mode: KvCacheMode) -> Self {
         let model = model.into();
-        let cache = KvCache::new(&model.weights().shape);
-        Self {
+        let cache = KvCache::with_mode(&model.weights().shape, mode);
+        let mut session = Self {
             model,
             cache,
             last_step_macs: 0,
+            published_bytes: 0,
+            published_allocated: 0,
+        };
+        session.publish_cache_metrics();
+        session
+    }
+
+    /// Folds the session's current footprint into the aggregate gauges by
+    /// delta, and observes the aggregate peak.
+    fn publish_cache_metrics(&mut self) {
+        let resident = self.cache.bytes();
+        if resident >= self.published_bytes {
+            metrics::KV_CACHE_BYTES.add(resident - self.published_bytes);
+        } else {
+            metrics::KV_CACHE_BYTES.sub(self.published_bytes - resident);
         }
+        self.published_bytes = resident;
+        let allocated = self.cache.allocated_bytes();
+        if allocated >= self.published_allocated {
+            metrics::KV_CACHE_ALLOCATED_BYTES.add(allocated - self.published_allocated);
+        } else {
+            metrics::KV_CACHE_ALLOCATED_BYTES.sub(self.published_allocated - allocated);
+        }
+        self.published_allocated = allocated;
+        metrics::KV_CACHE_PEAK_BYTES.observe(metrics::KV_CACHE_BYTES.get());
     }
 
     /// Ingests the prompt in one full-sequence pass, filling the KV cache,
     /// and returns next-token logits for every prompt position
     /// (`n × vocab` — the last row seeds generation).
     ///
+    /// Prefill logits are exact in every cache mode (the full-sequence
+    /// pass attends to its own fresh K/V); quantized modes only affect
+    /// what later [`step`]s read back from the cache.
+    ///
     /// # Panics
     ///
     /// Panics if the session already holds cached positions, or on the
     /// same token-validation conditions as the full forward pass.
+    ///
+    /// [`step`]: DecodeSession::step
     pub fn prefill(&mut self, tokens: &[usize]) -> Matrix {
         assert!(
             self.cache.is_empty(),
@@ -218,25 +660,38 @@ impl<'m> DecodeSession<'m> {
         let hidden = pipeline::forward_internal(w, tokens, &exec, None, Some(&mut self.cache));
         metrics::PREFILLS.incr();
         metrics::PREFILL_TOKENS.add(tokens.len() as u64);
-        metrics::KV_CACHE_BYTES.set(self.cache.bytes());
-        metrics::KV_CACHE_PEAK_BYTES.observe(self.cache.bytes());
+        self.publish_cache_metrics();
         pipeline::lm_head(w, self.model.emb_t(), &hidden)
     }
 
     /// Feeds one token at the next sequence position and returns its
     /// next-token logits (`1 × vocab`), attending against the cache.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the session is empty (prefill first), the sequence would
-    /// exceed `max_seq`, or `token` is out of vocabulary.
-    pub fn step(&mut self, token: usize) -> Matrix {
+    /// Returns [`StepError::NotPrefilled`] on an empty session,
+    /// [`StepError::SequenceFull`] when the next position would exceed the
+    /// model's `max_seq` positional-embedding table (the cache storage
+    /// could grow further, the model cannot embed the position), and
+    /// [`StepError::TokenOutOfVocab`] for an out-of-range token id.
+    pub fn step(&mut self, token: usize) -> Result<Matrix, StepError> {
         let w = self.model.weights();
         let shape = &w.shape;
         let pos = self.cache.len();
-        assert!(pos > 0, "step requires a prefilled session");
-        assert!(pos < shape.max_seq, "sequence longer than max_seq");
-        assert!(token < shape.vocab, "token id {token} out of vocabulary");
+        if pos == 0 {
+            return Err(StepError::NotPrefilled);
+        }
+        if pos >= shape.max_seq {
+            return Err(StepError::SequenceFull {
+                max_seq: shape.max_seq,
+            });
+        }
+        if token >= shape.vocab {
+            return Err(StepError::TokenOutOfVocab {
+                token,
+                vocab: shape.vocab,
+            });
+        }
 
         let _span = metrics::DECODE_STEP_TIME.span();
         let exec = self.model.exec();
@@ -249,9 +704,8 @@ impl<'m> DecodeSession<'m> {
         self.last_step_macs = macs;
         metrics::DECODE_STEPS.incr();
         metrics::DECODE_MACS.add(macs);
-        metrics::KV_CACHE_BYTES.set(self.cache.bytes());
-        metrics::KV_CACHE_PEAK_BYTES.observe(self.cache.bytes());
-        pipeline::lm_head(w, self.model.emb_t(), &hidden)
+        self.publish_cache_metrics();
+        Ok(pipeline::lm_head(w, self.model.emb_t(), &hidden))
     }
 
     /// Cached positions so far (prompt + generated).
@@ -280,18 +734,62 @@ impl<'m> DecodeSession<'m> {
     }
 }
 
-/// Greedy argmax over a `1 × vocab` logits row; ties pick the lowest id.
-fn argmax_row(logits: &Matrix, row: usize) -> usize {
-    let mut best = 0usize;
-    let mut best_v = f32::NEG_INFINITY;
-    for c in 0..logits.cols() {
-        let v = logits[(row, c)];
-        if v > best_v {
-            best_v = v;
-            best = c;
+impl Clone for DecodeSession<'_> {
+    fn clone(&self) -> Self {
+        // The clone owns a full copy of the cache, so its footprint joins
+        // the aggregate gauges alongside the original's.
+        metrics::KV_CACHE_BYTES.add(self.published_bytes);
+        metrics::KV_CACHE_ALLOCATED_BYTES.add(self.published_allocated);
+        metrics::KV_CACHE_PEAK_BYTES.observe(metrics::KV_CACHE_BYTES.get());
+        Self {
+            model: self.model,
+            cache: self.cache.clone(),
+            last_step_macs: self.last_step_macs,
+            published_bytes: self.published_bytes,
+            published_allocated: self.published_allocated,
         }
     }
-    best
+}
+
+impl Drop for DecodeSession<'_> {
+    fn drop(&mut self) {
+        metrics::KV_CACHE_BYTES.sub(self.published_bytes);
+        metrics::KV_CACHE_ALLOCATED_BYTES.sub(self.published_allocated);
+    }
+}
+
+/// Greedy argmax over a `1 × vocab` logits row; ties pick the lowest id.
+/// Returns `None` when no logit is finite (every candidate is NaN or
+/// ±infinity), which greedy decoding must treat as a degraded step rather
+/// than silently emitting token 0.
+fn argmax_row(logits: &Matrix, row: usize) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for c in 0..logits.cols() {
+        let v = logits[(row, c)];
+        if !v.is_finite() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((c, v)),
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+/// Greedy token choice with the degraded-row fallback: an all-non-finite
+/// logits row counts through the degradation ladder
+/// (`decode_argmax_sanitized`) and yields the deterministic token
+/// `pos % vocab` — position-dependent (so a poisoned rollout does not
+/// repeat one token forever) and independent of thread count.
+fn greedy_token(logits: &Matrix, row: usize, pos: usize, vocab: usize) -> usize {
+    match argmax_row(logits, row) {
+        Some(t) => t,
+        None => {
+            tender_metrics::faults::DECODE_ARGMAX_SANITIZED.incr();
+            pos % vocab
+        }
+    }
 }
 
 /// Runs multiple [`DecodeSession`]s through the shared worker pool.
@@ -339,22 +837,31 @@ impl<'m> BatchEngine<'m> {
     }
 
     /// Steps session `i` with `tokens[i]` in parallel, returning each
-    /// session's logits in session order.
+    /// session's logits in session order, or the first session's error in
+    /// session order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StepError`] of the lowest-indexed failing session.
     ///
     /// # Panics
     ///
     /// Panics if the token count differs from the session count.
-    pub fn step_all(&mut self, tokens: &[usize]) -> Vec<Matrix> {
+    pub fn step_all(&mut self, tokens: &[usize]) -> Result<Vec<Matrix>, StepError> {
         assert_eq!(tokens.len(), self.slots.len(), "one token per session");
         pool::par_map(self.slots.len(), |i| {
             self.slots[i].lock().expect("session lock").step(tokens[i])
         })
+        .into_iter()
+        .collect()
     }
 
     /// Prefills every session with its prompt, then greedily decodes
-    /// `steps` tokens per session (argmax, ties to the lowest id).
-    /// Each session's whole rollout runs as one pool task, so rollouts
-    /// proceed independently and results come back in session order.
+    /// `steps` tokens per session (argmax, ties to the lowest id; a row
+    /// with no finite logit degrades to the deterministic fallback token
+    /// and is counted — see `decode_argmax_sanitized`). Each session's
+    /// whole rollout runs as one pool task, so rollouts proceed
+    /// independently and results come back in session order.
     ///
     /// # Panics
     ///
@@ -364,13 +871,16 @@ impl<'m> BatchEngine<'m> {
         assert_eq!(prompts.len(), self.slots.len(), "one prompt per session");
         pool::par_map(self.slots.len(), |i| {
             let mut session = self.slots[i].lock().expect("session lock");
+            let vocab = session.model.weights().shape.vocab;
             let logits = session.prefill(&prompts[i]);
-            let mut next = argmax_row(&logits, logits.rows() - 1);
+            let mut next = greedy_token(&logits, logits.rows() - 1, session.len(), vocab);
             let mut out = Vec::with_capacity(steps);
             for _ in 0..steps {
                 out.push(next);
-                let logits = session.step(next);
-                next = argmax_row(&logits, 0);
+                let logits = session
+                    .step(next)
+                    .expect("rollout exceeds the model's context window");
+                next = greedy_token(&logits, 0, session.len(), vocab);
             }
             out
         })
@@ -403,6 +913,9 @@ mod tests {
 
     #[test]
     fn kv_cache_grows_past_preallocated_capacity() {
+        // Growth policy: the cache is plain storage and grows freely past
+        // its preallocation; the max_seq limit is the *session's* concern
+        // (see `step_past_max_seq_is_sequence_full`).
         let (shape, _) = tiny();
         let mut cache = KvCache::with_capacity(&shape, 2);
         assert_eq!(cache.capacity(), 2);
@@ -418,6 +931,34 @@ mod tests {
             cache.bytes(),
             (2 * 4 * shape.d_model * shape.layers * 4) as u64
         );
+        // Resident counts rows; allocated counts the grown capacity.
+        assert_eq!(
+            cache.allocated_bytes(),
+            (2 * cache.capacity() * shape.d_model * shape.layers * 4) as u64
+        );
+        assert!(cache.allocated_bytes() >= cache.bytes());
+    }
+
+    #[test]
+    fn resident_and_allocated_bytes_are_distinct_when_preallocated() {
+        // The original accounting bug: `bytes()` reported len-based bytes
+        // while storage was preallocated to max_seq. The two quantities
+        // must be reported separately and differ until the cache is full.
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let mut session = DecodeSession::new(&reference);
+        session.prefill(&tokens(5, shape.vocab, 1));
+        let cache = session.cache();
+        assert_eq!(cache.capacity(), shape.max_seq);
+        assert_eq!(
+            cache.bytes(),
+            (2 * 5 * shape.d_model * shape.layers * 4) as u64
+        );
+        assert_eq!(
+            cache.allocated_bytes(),
+            (2 * shape.max_seq * shape.d_model * shape.layers * 4) as u64
+        );
+        assert!(cache.allocated_bytes() > cache.bytes());
     }
 
     #[test]
@@ -450,6 +991,108 @@ mod tests {
     }
 
     #[test]
+    fn quantized_modes_shrink_resident_bytes() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let t = tokens(16, shape.vocab, 2);
+        let mut bytes = Vec::new();
+        for mode in KvCacheMode::ALL {
+            let mut s = DecodeSession::with_cache_mode(&reference, mode);
+            s.prefill(&t[..8]);
+            for &tok in &t[8..] {
+                s.step(tok).expect("step");
+            }
+            assert_eq!(s.cache().mode(), mode);
+            assert_eq!(s.len(), 16);
+            bytes.push(s.cache().bytes());
+        }
+        let (f32b, int8b, int4b) = (bytes[0], bytes[1], bytes[2]);
+        // The acceptance bar: INT8 resident ≤ 0.3× of f32 at equal length.
+        assert!(
+            int8b * 10 <= f32b * 3,
+            "int8 {int8b} vs f32 {f32b}: ratio above 0.3"
+        );
+        assert!(int4b < int8b, "int4 must be smaller than int8");
+    }
+
+    #[test]
+    fn quantized_cache_mode_accounting_matches_formula() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let dh = shape.head_dim();
+        for mode in [KvCacheMode::Int8, KvCacheMode::Int4] {
+            let mut s = DecodeSession::with_cache_mode(&reference, mode);
+            s.prefill(&tokens(7, shape.vocab, 3));
+            let planes = 2 * (shape.layers * shape.heads) as u64;
+            let expect = planes * (7 * mode.position_bytes(dh) + mode.head_overhead_bytes(dh));
+            assert_eq!(s.cache().bytes(), expect);
+            let expect_alloc = planes
+                * (s.cache().capacity() as u64 * mode.position_bytes(dh)
+                    + mode.head_overhead_bytes(dh));
+            assert_eq!(s.cache().allocated_bytes(), expect_alloc);
+        }
+    }
+
+    #[test]
+    fn quantized_cache_tracks_f32_decode() {
+        // Quantized modes are approximate by design, but must stay close:
+        // compare final-step logits against the f32 cache.
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let t = tokens(12, shape.vocab, 5);
+        let run = |mode: KvCacheMode| -> Matrix {
+            let mut s = DecodeSession::with_cache_mode(&reference, mode);
+            s.prefill(&t[..8]);
+            let mut last = Matrix::zeros(1, 1);
+            for &tok in &t[8..] {
+                last = s.step(tok).expect("step");
+            }
+            last
+        };
+        let exact = run(KvCacheMode::F32);
+        let norm: f32 = exact.row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
+        for (mode, bound) in [(KvCacheMode::Int8, 0.05f32), (KvCacheMode::Int4, 0.25f32)] {
+            let approx = run(mode);
+            let err: f32 = exact
+                .row(0)
+                .iter()
+                .zip(approx.row(0))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            assert!(
+                err <= bound * (norm + 1e-6),
+                "{} cache drifted: relative error {} > {bound}",
+                mode.label(),
+                err / (norm + 1e-6)
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_requantization_fires_on_growing_magnitudes() {
+        let (shape, _) = tiny();
+        let mut cache = KvCache::with_mode(&shape, KvCacheMode::Int4);
+        // Rows with doubling magnitude force TMax past its first estimate.
+        for step in 0..4 {
+            let mag = (step as f32 + 1.0) * (1 << step) as f32;
+            let k = Matrix::filled(1, shape.d_model, mag);
+            let v = Matrix::filled(1, shape.d_model, -mag);
+            for li in 0..shape.layers {
+                cache.append(li, &k, &v);
+            }
+        }
+        assert!(
+            cache.requants() > 0,
+            "growing rows never triggered runtime requantization"
+        );
+        // The dequantized view still approximates the stored magnitudes.
+        let hk = cache.head_k(0, 0);
+        assert_eq!(hk.rows(), 4);
+        assert!(hk.as_ref().is_finite());
+    }
+
+    #[test]
     fn prefill_cache_matches_full_forward_projections() {
         // After prefill, the cache must hold exactly the K rows the full
         // pass computes — checked indirectly: step() after prefill equals
@@ -476,19 +1119,51 @@ mod tests {
         session.prefill(&t[..8]);
         let mut last = Matrix::zeros(1, 1);
         for &tok in &t[8..] {
-            last = session.step(tok);
+            last = session.step(tok).expect("in-window step");
         }
         let full = reference.forward(&t);
         assert_eq!(last.row(0), full.row(11), "decode must be bit-identical");
     }
 
     #[test]
-    #[should_panic(expected = "prefilled session")]
-    fn step_requires_prefill() {
+    fn step_without_prefill_is_typed_error() {
         let (_, model) = tiny();
         let reference = model.reference();
         let mut session = DecodeSession::new(&reference);
-        session.step(0);
+        assert_eq!(session.step(0), Err(StepError::NotPrefilled));
+    }
+
+    #[test]
+    fn step_past_max_seq_is_sequence_full() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let mut session = DecodeSession::new(&reference);
+        // Fill the whole context window via prefill, then one more step
+        // must refuse: position max_seq has no positional embedding.
+        session.prefill(&tokens(shape.max_seq, shape.vocab, 7));
+        assert_eq!(
+            session.step(1),
+            Err(StepError::SequenceFull {
+                max_seq: shape.max_seq
+            })
+        );
+        // The cache is intact and still at max_seq positions.
+        assert_eq!(session.len(), shape.max_seq);
+    }
+
+    #[test]
+    fn step_rejects_out_of_vocab_token() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let mut session = DecodeSession::new(&reference);
+        session.prefill(&tokens(3, shape.vocab, 8));
+        assert_eq!(
+            session.step(shape.vocab),
+            Err(StepError::TokenOutOfVocab {
+                token: shape.vocab,
+                vocab: shape.vocab
+            })
+        );
     }
 
     #[test]
@@ -513,11 +1188,12 @@ mod tests {
         for p in &prompts {
             let mut session = DecodeSession::new(&reference);
             let logits = session.prefill(p);
-            let mut next = argmax_row(&logits, logits.rows() - 1);
+            let mut next = argmax_row(&logits, logits.rows() - 1).expect("finite logits");
             let mut out = Vec::new();
             for _ in 0..5 {
                 out.push(next);
-                next = argmax_row(&session.step(next), 0);
+                let logits = session.step(next).expect("in-window step");
+                next = argmax_row(&logits, 0).expect("finite logits");
             }
             serial.push(out);
         }
@@ -535,17 +1211,57 @@ mod tests {
     }
 
     #[test]
+    fn argmax_skips_non_finite_and_flags_hopeless_rows() {
+        let m = Matrix::from_fn(1, 4, |_, c| match c {
+            0 => f32::NAN,
+            1 => 2.0,
+            2 => f32::INFINITY,
+            3 => 5.0,
+            _ => unreachable!(),
+        });
+        // +inf is not a usable argmax (it cannot be ranked meaningfully
+        // against other poisoned values); the best *finite* logit wins.
+        assert_eq!(argmax_row(&m, 0), Some(3));
+
+        let all_nan = Matrix::from_fn(1, 4, |_, _| f32::NAN);
+        assert_eq!(argmax_row(&all_nan, 0), None);
+        let all_neg_inf = Matrix::from_fn(1, 4, |_, _| f32::NEG_INFINITY);
+        assert_eq!(argmax_row(&all_neg_inf, 0), None);
+
+        // The greedy fallback is deterministic and position-dependent.
+        let before = tender_metrics::faults::DECODE_ARGMAX_SANITIZED.get();
+        assert_eq!(greedy_token(&all_nan, 0, 9, 4), 1);
+        assert_eq!(greedy_token(&all_nan, 0, 10, 4), 2);
+        assert_eq!(
+            tender_metrics::faults::DECODE_ARGMAX_SANITIZED.get(),
+            before + 2
+        );
+    }
+
+    #[test]
     fn step_reports_measured_macs() {
         let (shape, model) = tiny();
         let reference = model.reference();
         let mut session = DecodeSession::new(&reference);
         session.prefill(&tokens(5, shape.vocab, 9));
-        session.step(1);
+        session.step(1).expect("in-window step");
         let d = shape.d_model;
         let f = shape.ffn_dim;
         let len = 6; // cache length after the append
         let per_layer =
             (3 * d * d + shape.heads * (shape.head_dim() * len) * 2 + d * d + d * f + f * d) as u64;
         assert_eq!(session.last_step_macs(), per_layer * shape.layers as u64);
+    }
+
+    #[test]
+    fn kv_cache_mode_parses_cli_spellings() {
+        assert_eq!(KvCacheMode::parse("f32"), Some(KvCacheMode::F32));
+        assert_eq!(KvCacheMode::parse("FP32"), Some(KvCacheMode::F32));
+        assert_eq!(KvCacheMode::parse("Int8"), Some(KvCacheMode::Int8));
+        assert_eq!(KvCacheMode::parse("INT4"), Some(KvCacheMode::Int4));
+        assert_eq!(KvCacheMode::parse("int2"), None);
+        for mode in KvCacheMode::ALL {
+            assert_eq!(KvCacheMode::parse(mode.label()), Some(mode));
+        }
     }
 }

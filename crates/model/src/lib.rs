@@ -48,7 +48,7 @@ pub mod synthetic;
 pub mod weights;
 pub mod zeroshot;
 
-pub use engine::{BatchEngine, DecodeSession, KvCache, ModelRef};
+pub use engine::{BatchEngine, DecodeSession, KvCache, KvCacheMode, ModelRef, StepError};
 pub use forward::{DegradedSite, QuantizedModel, ReferenceModel, Site};
 pub use shape::{Activation, ModelKind, ModelShape, NormKind};
 pub use synthetic::SyntheticLlm;

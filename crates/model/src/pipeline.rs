@@ -314,14 +314,14 @@ pub(crate) fn layer_decode(
         let c0 = head * dh;
         let c1 = c0 + dh;
         let qh = q.slice_cols(c0, c1).scale(scale);
-        let kh_t = cache.head_k(li, head).transpose();
+        let kh_t = cache.head_k(li, head).as_ref().transpose();
         let scores = exec.act_act(&qh, &kh_t);
         mac(1, qh.cols(), kh_t.cols());
         // Every cached position is ≤ pos: nothing to mask. The softmax and
         // the value product below see exactly the live columns the full
         // pass sees at row `pos`, in the same order.
         let probs = ops::softmax_rows(&scores);
-        let attn = exec.act_act(&probs, cache.head_v(li, head));
+        let attn = exec.act_act(&probs, cache.head_v(li, head).as_ref());
         mac(1, probs.cols(), dh);
         for c in 0..dh {
             ao[(0, c0 + c)] = attn[(0, c)];

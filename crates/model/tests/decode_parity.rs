@@ -45,7 +45,7 @@ fn assert_decode_parity(
     session.prefill(&t[..split]);
     let mut last = None;
     for &tok in &t[split..] {
-        last = Some(session.step(tok));
+        last = Some(session.step(tok).expect("in-window step"));
     }
     let last = last.expect("at least one decode step");
     assert_eq!(
@@ -134,7 +134,7 @@ proptest! {
             s.prefill(&raw[..split]);
             let mut last = None;
             for &tok in &raw[split..] {
-                last = Some(s.step(tok));
+                last = Some(s.step(tok).expect("in-window step"));
             }
             (full, last.unwrap())
         } else {
@@ -146,7 +146,7 @@ proptest! {
             s.prefill(&raw[..split]);
             let mut last = None;
             for &tok in &raw[split..] {
-                last = Some(s.step(tok));
+                last = Some(s.step(tok).expect("in-window step"));
             }
             (full, last.unwrap())
         };

@@ -1,0 +1,98 @@
+//! Aggregate KV-cache gauge accounting across *multiple live sessions*.
+//!
+//! Regression for the last-writer-wins bug: `prefill`/`step` used to
+//! `set()` the `KV_CACHE_BYTES` gauge to their own session's footprint, so
+//! with several live sessions the gauge reported whichever session
+//! happened to publish last instead of the fleet's total. Sessions now
+//! publish by delta (and un-publish on drop), so the gauge is the summed
+//! resident bytes across live sessions and the peak gauge tracks the
+//! aggregate high-water mark.
+//!
+//! These tests assert exact global gauge values, so they live in their own
+//! test binary (one process) and serialize on a local lock.
+
+use std::sync::Mutex;
+
+use tender_metrics::engine as metrics;
+use tender_model::engine::{DecodeSession, KvCacheMode};
+use tender_model::{ModelShape, SyntheticLlm};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tokens(n: usize, vocab: usize, salt: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * 31 + salt * 17 + 5) % vocab).collect()
+}
+
+#[test]
+fn kv_gauges_sum_resident_bytes_across_live_sessions() {
+    let _lock = LOCK.lock().unwrap();
+    let shape = ModelShape::tiny_test();
+    let model = SyntheticLlm::generate(&shape, 11);
+    let reference = model.reference();
+
+    let base = metrics::KV_CACHE_BYTES.get();
+    let base_alloc = metrics::KV_CACHE_ALLOCATED_BYTES.get();
+
+    let mut s1 = DecodeSession::new(&reference);
+    s1.prefill(&tokens(6, shape.vocab, 1));
+    let b1 = s1.cache().bytes();
+    assert!(b1 > 0);
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + b1);
+
+    // A second live session must *add* to the gauge, not overwrite it.
+    let mut s2 = DecodeSession::new(&reference);
+    s2.prefill(&tokens(4, shape.vocab, 2));
+    let b2 = s2.cache().bytes();
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + b1 + b2);
+    assert_eq!(
+        metrics::KV_CACHE_ALLOCATED_BYTES.get(),
+        base_alloc + s1.cache().allocated_bytes() + s2.cache().allocated_bytes()
+    );
+
+    // Stepping grows only the stepping session's share.
+    s2.step(3).expect("in-window step");
+    let b2_grown = s2.cache().bytes();
+    assert!(b2_grown > b2);
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + b1 + b2_grown);
+
+    // A clone owns a full cache copy and joins the aggregate…
+    let s3 = s1.clone();
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + 2 * b1 + b2_grown);
+    let peak_with_clone = metrics::KV_CACHE_PEAK_BYTES.get();
+    assert!(peak_with_clone >= base + 2 * b1 + b2_grown);
+
+    // …and leaves it on drop, while the peak keeps the high-water mark.
+    drop(s3);
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + b1 + b2_grown);
+    assert_eq!(metrics::KV_CACHE_PEAK_BYTES.get(), peak_with_clone);
+
+    drop(s1);
+    drop(s2);
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base);
+    assert_eq!(metrics::KV_CACHE_ALLOCATED_BYTES.get(), base_alloc);
+}
+
+#[test]
+fn quantized_sessions_publish_their_packed_footprint() {
+    let _lock = LOCK.lock().unwrap();
+    let shape = ModelShape::tiny_test();
+    let model = SyntheticLlm::generate(&shape, 13);
+    let reference = model.reference();
+
+    let base = metrics::KV_CACHE_BYTES.get();
+    let t = tokens(8, shape.vocab, 3);
+
+    let mut f = DecodeSession::new(&reference);
+    f.prefill(&t);
+    let mut q = DecodeSession::with_cache_mode(&reference, KvCacheMode::Int8);
+    q.prefill(&t);
+    // The aggregate is the sum of the two unequal footprints.
+    assert!(q.cache().bytes() < f.cache().bytes());
+    assert_eq!(
+        metrics::KV_CACHE_BYTES.get(),
+        base + f.cache().bytes() + q.cache().bytes()
+    );
+    drop(f);
+    drop(q);
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base);
+}

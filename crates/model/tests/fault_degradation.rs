@@ -103,7 +103,11 @@ fn injected_decode_nans_sanitize_instead_of_corrupting_the_cache() {
     session.prefill(&tokens(6, shape.vocab, 30));
     let mut logits = None;
     for s in 0..8 {
-        logits = Some(session.step((s * 11 + 2) % shape.vocab));
+        logits = Some(
+            session
+                .step((s * 11 + 2) % shape.vocab)
+                .expect("in-window step"),
+        );
     }
     assert!(
         metrics::faults::DECODE_SANITIZED.get() > sanitized_before,
@@ -118,12 +122,60 @@ fn injected_decode_nans_sanitize_instead_of_corrupting_the_cache() {
     let mut rerun = tender_model::engine::DecodeSession::new(&reference);
     rerun.prefill(&tokens(6, shape.vocab, 30));
     for s in 0..8 {
-        rerun.step((s * 11 + 2) % shape.vocab);
+        rerun
+            .step((s * 11 + 2) % shape.vocab)
+            .expect("in-window step");
     }
     assert_eq!(
         metrics::faults::DECODE_SANITIZED.get() - sanitized_before,
         2 * count,
         "fault decisions must be content-keyed, not run-keyed"
+    );
+}
+
+#[test]
+fn all_nan_logits_fall_back_to_a_deterministic_greedy_token() {
+    // Regression: greedy argmax over an all-NaN logits row used to return
+    // token 0 silently (`v > best_v` is false for every NaN). A heavy
+    // weight-NaN plan poisons the unguarded final norm + LM head, so every
+    // logit the rollout sees is NaN; the engine must count the degraded
+    // rows and fall back to the deterministic `pos % vocab` token instead
+    // of emitting a constant stream of token 0.
+    let _lock = LOCK.lock().unwrap();
+    let shape = ModelShape::tiny_test();
+
+    let _guard = PlanGuard::install(FaultPlan::parse(29, "wnan=0.9").unwrap());
+    let model = SyntheticLlm::generate(&shape, 11);
+    assert!(metrics::faults::INJECTED_WEIGHT_NAN.get() > 0);
+    let reference = model.reference();
+
+    let prompts = vec![tokens(6, shape.vocab, 31)];
+    let steps = 4;
+    let run = || {
+        let sessions = vec![tender_model::engine::DecodeSession::new(&reference)];
+        let mut engine = tender_model::engine::BatchEngine::new(sessions);
+        engine.generate_greedy(&prompts, steps)
+    };
+
+    let before = metrics::faults::DECODE_ARGMAX_SANITIZED.get();
+    let out = run();
+    let sanitized = metrics::faults::DECODE_ARGMAX_SANITIZED.get() - before;
+    assert_eq!(
+        sanitized,
+        (steps + 1) as u64,
+        "every greedy choice (prefill + each step) must be counted as sanitized"
+    );
+    // The fallback is position-dependent: prompt length 6, then 7, 8, 9.
+    let expected: Vec<usize> = (6..6 + steps).map(|p| p % shape.vocab).collect();
+    assert_eq!(out[0], expected);
+
+    // And deterministic: a rerun produces the identical rollout and the
+    // identical count.
+    let rerun = run();
+    assert_eq!(rerun, out);
+    assert_eq!(
+        metrics::faults::DECODE_ARGMAX_SANITIZED.get() - before,
+        2 * sanitized
     );
 }
 

@@ -1,0 +1,74 @@
+//! Property tests for the quantized KV cache: across random model seeds,
+//! head counts, and token streams, INT8/INT4 cached attention must stay
+//! within a per-mode error bound of the exact f32 cache, and each mode
+//! must be bit-deterministic (same inputs → byte-identical logits).
+//!
+//! Thread-count invariance is enforced separately by the CI subprocess
+//! byte-diff (the worker pool is a global OnceLock, so one process can
+//! only ever observe one thread count); these tests pin the numeric and
+//! rerun-determinism halves of the contract.
+
+use proptest::prelude::*;
+use tender_model::engine::{DecodeSession, KvCacheMode};
+use tender_model::{ModelShape, SyntheticLlm};
+use tender_tensor::Matrix;
+
+/// Final-step logits of a prefill + decode rollout under `mode`.
+fn decode_logits(shape: &ModelShape, seed: u64, t: &[usize], mode: KvCacheMode) -> Matrix {
+    let model = SyntheticLlm::generate(shape, seed);
+    let reference = model.reference();
+    let mut s = DecodeSession::with_cache_mode(&reference, mode);
+    let split = (t.len() / 2).max(1);
+    let prefill = s.prefill(&t[..split]);
+    let mut last = Matrix::from_fn(1, prefill.cols(), |_, c| prefill[(prefill.rows() - 1, c)]);
+    for &tok in &t[split..] {
+        last = s.step(tok).expect("in-window step");
+    }
+    last
+}
+
+/// Normalized L2 distance between two logits rows.
+fn rel_err(exact: &Matrix, approx: &Matrix) -> f32 {
+    let norm: f32 = exact.row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
+    let err: f32 = exact
+        .row(0)
+        .iter()
+        .zip(approx.row(0))
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        .sqrt();
+    err / (norm + 1e-6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Quantized cached attention stays within a per-mode bound of the f32
+    /// cache, and every mode is bit-deterministic on a rerun.
+    #[test]
+    fn quantized_cache_tracks_f32_across_shapes_and_seeds(
+        seed in any::<u64>(),
+        heads in 2_usize..5,
+        raw in proptest::collection::vec(0_usize..128, 6..24),
+    ) {
+        let mut shape = ModelShape::tiny_test();
+        shape.heads = heads;
+        shape.d_model = heads * 16; // keep head_dim = 16
+        shape.ffn_dim = 2 * shape.d_model;
+
+        let exact = decode_logits(&shape, seed, &raw, KvCacheMode::F32);
+        for (mode, bound) in [(KvCacheMode::Int8, 0.10_f32), (KvCacheMode::Int4, 0.45_f32)] {
+            let approx = decode_logits(&shape, seed, &raw, mode);
+            let err = rel_err(&exact, &approx);
+            prop_assert!(
+                err <= bound,
+                "{} cache drifted: relative error {} > {} (seed {}, heads {}, len {})",
+                mode.label(), err, bound, seed, heads, raw.len()
+            );
+            // Bit-determinism: the same rollout reproduces byte-identical
+            // logits — quantization is approximate, never nondeterministic.
+            let rerun = decode_logits(&shape, seed, &raw, mode);
+            prop_assert_eq!(approx.row(0), rerun.row(0));
+        }
+    }
+}

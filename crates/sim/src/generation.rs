@@ -11,7 +11,7 @@
 use crate::config::TenderHwConfig;
 use crate::dataflow::{decode_gemm_cycles, Dataflow};
 use crate::workload::Gemm;
-use tender_model::ModelShape;
+use tender_model::{KvCacheMode, ModelShape};
 
 /// The GEMMs of one decode step at KV-cache length `cache_len` with
 /// `batch` concurrent sequences.
@@ -138,6 +138,18 @@ pub fn decode_utilization(
 pub fn kv_cache_bytes(shape: &ModelShape, cache_len: usize, bits: u32) -> u64 {
     // K and V, each cache_len × d_model, per layer.
     2 * (cache_len as u64) * (shape.d_model as u64) * (shape.layers as u64) * bits as u64 / 8
+}
+
+/// KV-cache footprint of the engine's storage modes, including per-head
+/// quantization constants (`TMax` + f16 bias per quantized plane). This is
+/// the exact byte count `tender_model::KvCache::bytes` reports at
+/// `cache_len` positions — the engine/simulator crosscheck relies on the
+/// two staying equal. The plain [`kv_cache_bytes`] remains the
+/// constant-free capacity model used by the batching analyses.
+pub fn kv_cache_mode_bytes(shape: &ModelShape, cache_len: usize, mode: KvCacheMode) -> u64 {
+    let dh = shape.head_dim();
+    let planes = 2 * (shape.layers as u64) * (shape.heads as u64);
+    planes * (cache_len as u64 * mode.position_bytes(dh) + mode.head_overhead_bytes(dh))
 }
 
 /// Largest decode batch whose KV cache fits an HBM budget of

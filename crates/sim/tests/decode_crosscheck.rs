@@ -1,14 +1,20 @@
-//! Cross-check: the decode engine's *measured* per-step MACs must equal the
-//! simulator's analytic `decode_step_gemms` prediction.
+//! Cross-check: the decode engine's *measured* per-step MACs and KV-cache
+//! bytes must equal the simulator's analytic predictions.
 //!
 //! The engine counts multiply-accumulates from the operand shapes of the
 //! matmuls it actually executes; the simulator predicts the same quantity
 //! from the model shape and cache length. Agreement at several cache
 //! lengths proves the simulated decode workload models the code that runs.
+//! The same discipline applies to memory: `KvCache::bytes` (resident) and
+//! `KvCache::allocated_bytes` (preallocated) must match the simulator's
+//! `kv_cache_mode_bytes` at the cache length and capacity respectively,
+//! for every storage mode.
 
-use tender_model::engine::DecodeSession;
+use tender_model::engine::{DecodeSession, KvCacheMode};
 use tender_model::{ModelShape, SyntheticLlm};
-use tender_sim::generation::{decode_step_flops, decode_step_macs};
+use tender_sim::generation::{
+    decode_step_flops, decode_step_macs, kv_cache_bytes, kv_cache_mode_bytes,
+};
 
 #[test]
 fn measured_decode_macs_match_simulated_workload() {
@@ -24,7 +30,7 @@ fn measured_decode_macs_match_simulated_workload() {
     // the engine reports the MACs it just executed. ≥ 3 cache lengths.
     let mut checked = 0;
     for s in 0..5 {
-        session.step((s * 5 + 1) % shape.vocab);
+        session.step((s * 5 + 1) % shape.vocab).expect("in-window");
         let cache_len = session.len();
         let predicted = shape.layers as u64 * decode_step_macs(&shape, cache_len, 1);
         assert_eq!(
@@ -50,11 +56,50 @@ fn gated_ffn_decode_macs_include_the_gate_gemm() {
 
     let mut session = DecodeSession::new(&reference);
     session.prefill(&[1, 2, 3]);
-    session.step(4);
+    session.step(4).expect("in-window");
     let predicted = shape.layers as u64 * decode_step_macs(&shape, session.len(), 1);
     assert_eq!(session.last_step_macs(), predicted);
     assert_eq!(
         shape.layers as u64 * decode_step_flops(&shape, session.len(), 1),
         2 * session.last_step_macs()
+    );
+}
+
+#[test]
+fn measured_kv_bytes_match_simulated_accounting_in_every_mode() {
+    let shape = ModelShape::tiny_test();
+    let model = SyntheticLlm::generate(&shape, 29);
+    let reference = model.reference();
+    let prompt: Vec<usize> = (0..5).map(|i| (i * 7 + 3) % shape.vocab).collect();
+
+    for mode in KvCacheMode::ALL {
+        let mut session = DecodeSession::with_cache_mode(&reference, mode);
+        session.prefill(&prompt);
+        for s in 0..4 {
+            session.step((s * 5 + 1) % shape.vocab).expect("in-window");
+            let cache = session.cache();
+            // Resident bytes track the cache length (like with like)…
+            assert_eq!(
+                cache.bytes(),
+                kv_cache_mode_bytes(&shape, cache.len(), mode),
+                "resident bytes diverge from sim at len {} in {} mode",
+                cache.len(),
+                mode.label()
+            );
+            // …while allocated bytes track the preallocated capacity.
+            assert_eq!(
+                cache.allocated_bytes(),
+                kv_cache_mode_bytes(&shape, cache.capacity(), mode),
+                "allocated bytes diverge from sim in {} mode",
+                mode.label()
+            );
+        }
+    }
+
+    // In f32 mode the constant-free capacity model agrees exactly with the
+    // mode-aware accounting (no per-head metadata to amortize).
+    assert_eq!(
+        kv_cache_mode_bytes(&shape, 9, KvCacheMode::F32),
+        kv_cache_bytes(&shape, 9, 32)
     );
 }

@@ -10,6 +10,8 @@
 //!   softmax, LayerNorm, GeLU, …).
 //! * [`IMatrix`] — a dense integer matrix holding quantized values (INT4/INT8
 //!   elements, INT32 accumulators) with exact integer GEMM.
+//! * [`QuantRows`] — packed, growable quantized row storage (INT4/INT8
+//!   values plus 2-bit group indices) backing the quantized KV cache.
 //! * [`stats`] — per-row/per-column absolute-maximum scans, error metrics
 //!   (MSE, SQNR, KL divergence) used throughout the evaluation.
 //! * [`rng`] — deterministic random sampling (normal / log-normal /
@@ -42,9 +44,11 @@ mod imatrix;
 mod matrix;
 pub mod ops;
 pub mod pool;
+pub mod qrows;
 pub mod rng;
 pub mod stats;
 
 pub use error::ShapeError;
 pub use imatrix::IMatrix;
 pub use matrix::Matrix;
+pub use qrows::QuantRows;

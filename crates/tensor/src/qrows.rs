@@ -1,0 +1,357 @@
+//! Packed, growable quantized row storage for the KV cache.
+//!
+//! [`QuantRows`] holds a `rows × cols` table of signed quantized values at
+//! 4 or 8 bits per element, packed densely (two INT4 values per byte), plus
+//! an optional 2-bit group index per element (four groups, packed four per
+//! byte). Rows are appended one at a time and are byte-aligned, so resident
+//! and allocated footprints are exact multiples of the per-row byte counts.
+//!
+//! The store is deliberately dumb about *numerics*: it keeps integers and
+//! group indices, nothing else. Scales, biases, and the quantize/dequantize
+//! rules live with the caller (the decode engine's KV cache), which also
+//! owns the Tender runtime-requantization policy. The one numeric operation
+//! provided here is [`QuantRows::requant_shift`], the paper's "1-bit shift"
+//! primitive: when the caller's `TMax` doubles `k` times, every element's
+//! group index advances by `k`, and elements already pinned at the last
+//! group have their stored values arithmetically shifted right (with
+//! round-half-away-from-zero) by the doublings the index could not absorb.
+
+/// Bits per packed group index (supports up to four groups).
+pub const GROUP_INDEX_BITS: usize = 2;
+
+/// Maximum group count representable by the packed 2-bit index.
+pub const MAX_PACKED_GROUPS: usize = 1 << GROUP_INDEX_BITS;
+
+/// A growable table of packed signed quantized values with optional
+/// per-element group indices. See the module docs for the storage model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantRows {
+    cols: usize,
+    bits: u32,
+    rows: usize,
+    /// Packed two's-complement values, `val_row_bytes` per row.
+    vals: Vec<u8>,
+    /// Packed 2-bit group indices, `group_row_bytes` per row (grouped mode).
+    groups: Option<Vec<u8>>,
+}
+
+/// Signed-integer right shift rounding half away from zero, the hardware
+/// requantization rule: `shift_round(5, 1) == 3`, `shift_round(-5, 1) == -3`.
+fn shift_round(q: i32, s: u32) -> i32 {
+    if s == 0 {
+        return q;
+    }
+    if s >= 31 {
+        return 0;
+    }
+    let half = 1i32 << (s - 1);
+    if q >= 0 {
+        (q + half) >> s
+    } else {
+        -((-q + half) >> s)
+    }
+}
+
+impl QuantRows {
+    /// An empty store for `cols`-wide rows of `bits`-bit values, with space
+    /// reserved for `row_capacity` rows. `grouped` adds the packed 2-bit
+    /// group index plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0` or `bits` is not 4 or 8.
+    pub fn with_row_capacity(cols: usize, bits: u32, grouped: bool, row_capacity: usize) -> Self {
+        assert!(cols > 0, "rows must have at least one column");
+        assert!(bits == 4 || bits == 8, "unsupported element width {bits}");
+        let mut s = Self {
+            cols,
+            bits,
+            rows: 0,
+            vals: Vec::new(),
+            groups: grouped.then(Vec::new),
+        };
+        s.vals.reserve_exact(row_capacity * s.val_row_bytes());
+        if let Some(g) = &mut s.groups {
+            g.reserve_exact(row_capacity * Self::group_row_bytes(cols));
+        }
+        s
+    }
+
+    /// Packed value bytes per row.
+    fn val_row_bytes(&self) -> usize {
+        (self.cols * self.bits as usize).div_ceil(8)
+    }
+
+    /// Packed group-index bytes per row.
+    fn group_row_bytes(cols: usize) -> usize {
+        (cols * GROUP_INDEX_BITS).div_ceil(8)
+    }
+
+    /// Stored rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width in elements.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Whether the store carries a group-index plane.
+    pub fn grouped(&self) -> bool {
+        self.groups.is_some()
+    }
+
+    /// Whether no rows are stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Rows the current allocation can hold before growing.
+    pub fn row_capacity(&self) -> usize {
+        self.vals.capacity() / self.val_row_bytes()
+    }
+
+    /// Bytes occupied by the `rows` stored rows (values + group indices).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.rows * self.bytes_per_row()) as u64
+    }
+
+    /// Bytes the allocation could hold at [`row_capacity`] rows.
+    ///
+    /// [`row_capacity`]: QuantRows::row_capacity
+    pub fn allocated_bytes(&self) -> u64 {
+        (self.row_capacity() * self.bytes_per_row()) as u64
+    }
+
+    /// Packed bytes per stored row (values plus group indices, if any).
+    pub fn bytes_per_row(&self) -> usize {
+        self.val_row_bytes()
+            + if self.groups.is_some() {
+                Self::group_row_bytes(self.cols)
+            } else {
+                0
+            }
+    }
+
+    /// Appends one row of quantized values (and, in grouped mode, their
+    /// group indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qs.len() != cols`, a value exceeds the signed range of
+    /// `bits`, grouped mode is on but `gs.len() != cols`, or a group index
+    /// exceeds [`MAX_PACKED_GROUPS`].
+    pub fn push_row(&mut self, qs: &[i32], gs: &[u8]) {
+        assert_eq!(qs.len(), self.cols, "row width mismatch");
+        let lim = 1i32 << (self.bits - 1);
+        let base = self.vals.len();
+        self.vals.resize(base + self.val_row_bytes(), 0);
+        for (c, &q) in qs.iter().enumerate() {
+            assert!(
+                (-lim..lim).contains(&q),
+                "value {q} outside {}-bit range",
+                self.bits
+            );
+            let bit = c * self.bits as usize;
+            let mask = (1u32 << self.bits) - 1;
+            self.vals[base + bit / 8] |= ((q as u32 & mask) << (bit % 8)) as u8;
+        }
+        if let Some(groups) = &mut self.groups {
+            assert_eq!(gs.len(), self.cols, "group row width mismatch");
+            let gbase = groups.len();
+            groups.resize(gbase + Self::group_row_bytes(self.cols), 0);
+            for (c, &g) in gs.iter().enumerate() {
+                assert!(
+                    (g as usize) < MAX_PACKED_GROUPS,
+                    "group index {g} exceeds the packed 2-bit range"
+                );
+                let bit = c * GROUP_INDEX_BITS;
+                groups[gbase + bit / 8] |= g << (bit % 8);
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// The quantized value and group index at `(r, c)` (group 0 when the
+    /// store is ungrouped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn get(&self, r: usize, c: usize) -> (i32, usize) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        let bit = r * self.val_row_bytes() * 8 + c * self.bits as usize;
+        let raw = (self.vals[bit / 8] >> (bit % 8)) & ((1u16 << self.bits) - 1) as u8;
+        // Sign-extend from `bits` via a shift pair on i8.
+        let shift = 8 - self.bits;
+        let q = (((raw << shift) as i8) >> shift) as i32;
+        let g = match &self.groups {
+            Some(groups) => {
+                let gbit = r * Self::group_row_bytes(self.cols) * 8 + c * GROUP_INDEX_BITS;
+                ((groups[gbit / 8] >> (gbit % 8)) & (MAX_PACKED_GROUPS - 1) as u8) as usize
+            }
+            None => 0,
+        };
+        (q, g)
+    }
+
+    /// Overwrites the value at `(r, c)`, keeping its group index.
+    fn set_val(&mut self, r: usize, c: usize, q: i32) {
+        let lim = 1i32 << (self.bits - 1);
+        debug_assert!((-lim..lim).contains(&q));
+        let bit = r * self.val_row_bytes() * 8 + c * self.bits as usize;
+        let mask = ((1u32 << self.bits) - 1) as u8;
+        let shifted_mask = mask << (bit % 8);
+        let byte = &mut self.vals[bit / 8];
+        *byte = (*byte & !shifted_mask) | (((q as u32 & mask as u32) << (bit % 8)) as u8);
+    }
+
+    /// Overwrites the group index at `(r, c)` (grouped mode only).
+    fn set_group(&mut self, r: usize, c: usize, g: usize) {
+        debug_assert!(g < MAX_PACKED_GROUPS);
+        let groups = self.groups.as_mut().expect("grouped store");
+        let bit = r * Self::group_row_bytes(self.cols) * 8 + c * GROUP_INDEX_BITS;
+        let mask = (MAX_PACKED_GROUPS - 1) as u8;
+        let shifted_mask = mask << (bit % 8);
+        let byte = &mut groups[bit / 8];
+        *byte = (*byte & !shifted_mask) | ((g as u8 & mask) << (bit % 8));
+    }
+
+    /// Applies `k` caller-side `TMax` doublings to every stored element
+    /// (Tender's runtime requantization, Eq. 3 / §IV of the paper).
+    ///
+    /// With power-of-two group scales, doubling `TMax` makes old group `g`
+    /// and new group `g + 1` share the same absolute scale, so most
+    /// elements requantize by *index increment alone* — no value change.
+    /// Only the doublings the index cannot absorb (it saturates at
+    /// `group_cap - 1`; in ungrouped stores that is every doubling) fall
+    /// through to an arithmetic right shift of the stored value, rounded
+    /// half away from zero — the 1-bit-shift-per-doubling hardware rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_cap == 0` or exceeds [`MAX_PACKED_GROUPS`].
+    pub fn requant_shift(&mut self, k: u32, group_cap: usize) {
+        assert!(
+            (1..=MAX_PACKED_GROUPS).contains(&group_cap),
+            "group cap {group_cap} outside the packed range"
+        );
+        if k == 0 || self.rows == 0 {
+            return;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let (q, g) = self.get(r, c);
+                let target = (g as u64).saturating_add(k as u64);
+                let new_g = target.min(group_cap as u64 - 1) as usize;
+                let leftover = (target - new_g as u64).min(31) as u32;
+                if self.groups.is_some() && new_g != g {
+                    self.set_group(r, c, new_g);
+                }
+                if leftover > 0 && q != 0 {
+                    self.set_val(r, c, shift_round(q, leftover));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_and_round_trips_int8() {
+        let mut s = QuantRows::with_row_capacity(3, 8, false, 4);
+        s.push_row(&[-128, 0, 127], &[]);
+        s.push_row(&[5, -5, 77], &[]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.get(0, 0), (-128, 0));
+        assert_eq!(s.get(0, 2), (127, 0));
+        assert_eq!(s.get(1, 1), (-5, 0));
+        assert_eq!(s.bytes_per_row(), 3);
+        assert_eq!(s.resident_bytes(), 6);
+    }
+
+    #[test]
+    fn packs_and_round_trips_int4_with_groups() {
+        let mut s = QuantRows::with_row_capacity(5, 4, true, 4);
+        s.push_row(&[-8, 7, -1, 3, 0], &[0, 1, 2, 3, 1]);
+        assert_eq!(s.get(0, 0), (-8, 0));
+        assert_eq!(s.get(0, 1), (7, 1));
+        assert_eq!(s.get(0, 2), (-1, 2));
+        assert_eq!(s.get(0, 3), (3, 3));
+        assert_eq!(s.get(0, 4), (0, 1));
+        // 5 nibbles → 3 value bytes; 5 × 2-bit indices → 2 group bytes.
+        assert_eq!(s.bytes_per_row(), 5);
+    }
+
+    #[test]
+    fn capacity_is_preallocated_and_growable() {
+        let mut s = QuantRows::with_row_capacity(4, 8, false, 2);
+        assert!(s.row_capacity() >= 2);
+        for _ in 0..5 {
+            s.push_row(&[1, 2, 3, 4], &[]);
+        }
+        assert_eq!(s.rows(), 5);
+        assert!(s.row_capacity() >= 5, "push past capacity must grow");
+        assert!(s.allocated_bytes() >= s.resident_bytes());
+    }
+
+    #[test]
+    fn requant_shift_increments_groups_before_shifting_values() {
+        let mut s = QuantRows::with_row_capacity(3, 4, true, 2);
+        s.push_row(&[7, -6, 5], &[0, 2, 3]);
+        s.requant_shift(1, 4);
+        // Group 0 → 1 and 2 → 3 absorb the doubling; group 3 is pinned, so
+        // its value shifts: round(5/2) half away from zero = 3.
+        assert_eq!(s.get(0, 0), (7, 1));
+        assert_eq!(s.get(0, 1), (-6, 3));
+        assert_eq!(s.get(0, 2), (3, 3));
+    }
+
+    #[test]
+    fn ungrouped_requant_shifts_every_value() {
+        let mut s = QuantRows::with_row_capacity(4, 8, false, 1);
+        s.push_row(&[100, -100, 3, -3], &[]);
+        s.requant_shift(1, 1);
+        assert_eq!(s.get(0, 0).0, 50);
+        assert_eq!(s.get(0, 1).0, -50);
+        // Half away from zero: 3 → 2 (1.5 rounds to 2), -3 → -2.
+        assert_eq!(s.get(0, 2).0, 2);
+        assert_eq!(s.get(0, 3).0, -2);
+    }
+
+    #[test]
+    fn huge_shift_zeroes_values() {
+        let mut s = QuantRows::with_row_capacity(2, 8, false, 1);
+        s.push_row(&[127, -127], &[]);
+        s.requant_shift(130, 1);
+        assert_eq!(s.get(0, 0).0, 0);
+        assert_eq!(s.get(0, 1).0, 0);
+    }
+
+    #[test]
+    fn shift_round_is_half_away_from_zero() {
+        assert_eq!(shift_round(5, 1), 3);
+        assert_eq!(shift_round(-5, 1), -3);
+        assert_eq!(shift_round(4, 1), 2);
+        assert_eq!(shift_round(6, 2), 2); // 1.5 → 2
+        assert_eq!(shift_round(-6, 2), -2);
+        assert_eq!(shift_round(0, 7), 0);
+        assert_eq!(shift_round(9, 0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 4-bit range")]
+    fn rejects_out_of_range_values() {
+        let mut s = QuantRows::with_row_capacity(1, 4, false, 1);
+        s.push_row(&[8], &[]);
+    }
+}
