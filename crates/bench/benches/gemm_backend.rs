@@ -1,0 +1,63 @@
+//! Reference vs blocked GEMM backend A/B comparison.
+//!
+//! The `blocked` backend exists purely for speed — cache-blocked panels,
+//! `NR`-wide register tiles, manual unrolling — under a byte-identity
+//! contract with `reference` (pinned by `tests/backend_diff.rs` in
+//! `tender-tensor` and `tender-quant`). This bench quantifies the payoff
+//! on the two kernels the decode hot loop spends its time in: the f32
+//! matmul and the i32 integer matmul, at a small (tile-edge dominated),
+//! medium, and large (cache-pressure dominated) square shape.
+//!
+//! Every pair is checked for exact equality before it is timed, so a
+//! regression in the identity contract fails the bench rather than
+//! producing a fast-but-wrong number.
+//!
+//! Snapshot: `BENCH_SNAPSHOT=BENCH_gemm.json cargo bench --bench gemm_backend`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tender_tensor::gemm::BackendKind;
+use tender_tensor::rng::DetRng;
+use tender_tensor::IMatrix;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_backend");
+    for &n in &[128_usize, 512, 1024] {
+        let mut rng = DetRng::new(11);
+        let a = rng.normal_matrix(n, n, 0.0, 1.0);
+        let b = rng.normal_matrix(n, n, 0.0, 1.0);
+        let ia = IMatrix::from_fn(n, n, |_, _| rng.below(255) as i32 - 127);
+        let ib = IMatrix::from_fn(n, n, |_, _| rng.below(255) as i32 - 127);
+
+        // Sanity: the backends must agree bit-for-bit before we time them.
+        let reference = a.matmul_with(&b, BackendKind::Reference).expect("shapes");
+        let blocked = a.matmul_with(&b, BackendKind::Blocked).expect("shapes");
+        assert_eq!(
+            reference.as_slice(),
+            blocked.as_slice(),
+            "f32 backends disagree at n={n}"
+        );
+        assert_eq!(
+            ia.matmul_with(&ib, BackendKind::Reference).expect("shapes"),
+            ia.matmul_with(&ib, BackendKind::Blocked).expect("shapes"),
+            "i32 backends disagree at n={n}"
+        );
+
+        group.bench_with_input(BenchmarkId::new("f32_reference", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_with(&b, BackendKind::Reference).expect("shapes")))
+        });
+        group.bench_with_input(BenchmarkId::new("f32_blocked", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_with(&b, BackendKind::Blocked).expect("shapes")))
+        });
+        group.bench_with_input(BenchmarkId::new("i32_reference", n), &n, |bch, _| {
+            bch.iter(|| black_box(ia.matmul_with(&ib, BackendKind::Reference).expect("shapes")))
+        });
+        group.bench_with_input(BenchmarkId::new("i32_blocked", n), &n, |bch, _| {
+            bch.iter(|| black_box(ia.matmul_with(&ib, BackendKind::Blocked).expect("shapes")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

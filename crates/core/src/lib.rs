@@ -53,6 +53,9 @@ pub use tender_quant as quant;
 pub use tender_sim as sim;
 pub use tender_tensor as tensor;
 
+/// GEMM kernel backends (re-exported so embedders and the CLI can select one
+/// via [`gemm::set_backend`] without depending on `tender-tensor` directly).
+pub use tender_tensor::gemm;
 /// The shared worker pool (re-exported so embedders and the CLI can size it
 /// via [`pool::set_threads`] without depending on `tender-tensor` directly).
 pub use tender_tensor::pool;

@@ -6,7 +6,7 @@
 //! valid JSON by construction — the bench suite re-parses it with an
 //! independent minimal parser to keep this honest.
 
-use crate::{engine, faults, kernel, model, pool, runner, sim, Counter, Timer};
+use crate::{engine, faults, gemm, kernel, model, pool, runner, sim, Counter, Timer};
 
 /// A single exported metric value.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +22,8 @@ pub enum Value {
 /// One named subsystem in the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Section {
-    /// Subsystem name (`pool`, `kernel`, `model`, `engine`, `sim`, `faults`,
-    /// `runner`).
+    /// Subsystem name (`pool`, `kernel`, `gemm`, `model`, `engine`, `sim`,
+    /// `faults`, `runner`).
     pub name: &'static str,
     /// Ordered metric fields.
     pub fields: Vec<(String, Value)>,
@@ -197,6 +197,31 @@ pub(crate) fn build() -> Report {
             ),
         ],
     };
+    let gemm_section = Section {
+        name: "gemm",
+        fields: vec![
+            (
+                "reference_gemms".into(),
+                Value::U64(gemm::REFERENCE_GEMMS.get()),
+            ),
+            (
+                "blocked_gemms".into(),
+                Value::U64(gemm::BLOCKED_GEMMS.get()),
+            ),
+            (
+                "tiles_dispatched".into(),
+                Value::U64(gemm::TILES_DISPATCHED.get()),
+            ),
+            (
+                "tiles_fast_path".into(),
+                Value::U64(gemm::TILES_FAST_PATH.get()),
+            ),
+            (
+                "tiles_checked".into(),
+                Value::U64(gemm::TILES_CHECKED.get()),
+            ),
+        ],
+    };
     // Per-layer timers: export only layers that actually ran, as an array of
     // {layer, count, total_ns, mean_ns, max_ns} objects.
     let layers: Vec<(String, Value)> = model::LAYER_FORWARD
@@ -354,6 +379,7 @@ pub(crate) fn build() -> Report {
         sections: vec![
             pool_section,
             kernel_section,
+            gemm_section,
             model_section,
             engine_section,
             sim_section,
@@ -373,7 +399,7 @@ mod tests {
         let names: Vec<&str> = r.sections.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            vec!["pool", "kernel", "model", "engine", "sim", "faults", "runner"]
+            vec!["pool", "kernel", "gemm", "model", "engine", "sim", "faults", "runner"]
         );
     }
 

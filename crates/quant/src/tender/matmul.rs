@@ -36,7 +36,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use tender_metrics::gemm as gemm_metrics;
 use tender_metrics::kernel as metrics;
+use tender_tensor::gemm::{self, BackendKind, NR};
 use tender_tensor::pool;
 use tender_tensor::{stats, IMatrix, Matrix};
 
@@ -159,7 +161,7 @@ fn bias_correction(bias: &[f32], w_deq: &Matrix) -> Vec<f32> {
 
 /// Integer accumulation of one chunk with *implicit* requantization:
 /// groups in ascending index (descending scale), accumulator multiplied by
-/// α between groups.
+/// α between groups. Runs through the process-wide GEMM backend.
 #[doc(hidden)]
 pub fn accumulate_chunk_implicit(
     x_chunk: &Matrix,
@@ -167,9 +169,65 @@ pub fn accumulate_chunk_implicit(
     w: &QuantizedWeight,
     config: &TenderConfig,
 ) -> (Vec<i64>, usize) {
+    accumulate_chunk_recorded(x_chunk, cc, w, config, gemm::current())
+}
+
+/// [`accumulate_chunk_implicit`] plus metrics recording, for an explicit
+/// backend choice.
+fn accumulate_chunk_recorded(
+    x_chunk: &Matrix,
+    cc: &super::calib::ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+    kind: BackendKind,
+) -> (Vec<i64>, usize) {
     let m = x_chunk.rows();
     let n = w.q.cols();
-    let alpha = config.alpha as i64;
+    let check_steps = !chunk_cannot_overflow(cc, w.bits, config);
+    if check_steps {
+        metrics::CHUNKS_CHECKED.incr();
+    } else {
+        metrics::CHUNKS_FAST_PATH.incr();
+    }
+    if kind == BackendKind::Blocked && n > 0 {
+        // One register tile per (row, NR-wide column band); the chunk's
+        // overflow bound gates the check-free path for every tile of the
+        // chunk at once.
+        let tiles = (m * n.div_ceil(NR)) as u64;
+        gemm_metrics::TILES_DISPATCHED.add(tiles);
+        if check_steps {
+            gemm_metrics::TILES_CHECKED.add(tiles);
+        } else {
+            gemm_metrics::TILES_FAST_PATH.add(tiles);
+        }
+    }
+    let (acc, overflow, saturated) = accumulate_chunk_implicit_with(x_chunk, cc, w, config, kind);
+    // Every (row, channel) pair is quantized exactly once per chunk — on
+    // both backends (the blocked kernel pre-quantizes each row once and
+    // re-reads the buffer per tile).
+    for (g, chans) in cc.order.iter().enumerate() {
+        metrics::GROUP_QUANTIZED.add(g, (m * chans.len()) as u64);
+    }
+    metrics::QUANTIZED_VALUES.add((m * cc.num_channels()) as u64);
+    metrics::SATURATED_VALUES.add(saturated as u64);
+    metrics::OVERFLOW_EVENTS.add(overflow as u64);
+    (acc, overflow)
+}
+
+/// Metrics-free implicit accumulation through an explicit backend; returns
+/// `(accumulator, overflow events, saturation events)`. Exposed for the
+/// cross-backend differential tests, which compare the counts directly
+/// without racing on the process-global metric statics.
+#[doc(hidden)]
+pub fn accumulate_chunk_implicit_with(
+    x_chunk: &Matrix,
+    cc: &super::calib::ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+    kind: BackendKind,
+) -> (Vec<i64>, usize, usize) {
+    let m = x_chunk.rows();
+    let n = w.q.cols();
     let mut acc = vec![0_i64; m * n];
     let overflow = AtomicUsize::new(0);
     let saturated = AtomicUsize::new(0);
@@ -177,54 +235,21 @@ pub fn accumulate_chunk_implicit(
     // 32 bits, no step can overflow and per-step checks are skipped — the
     // count of zero is then *exact*, not unsampled.
     let check_steps = !chunk_cannot_overflow(cc, w.bits, config);
-    if check_steps {
-        metrics::CHUNKS_CHECKED.incr();
-    } else {
-        metrics::CHUNKS_FAST_PATH.incr();
-    }
     // Each accumulator row depends only on its own activation row, so the
     // computation is expressed as a per-row kernel: group ascending, α-shift
     // between groups, channels in Index-Buffer order. Row partitioning plus
     // commutative integer overflow/saturation sums keeps the result
-    // (accumulator bits *and* the counts) identical at any thread count.
+    // (accumulator bits *and* the counts) identical at any thread count —
+    // and across backends, which only re-tile the per-row work.
     let row_kernel = |r: usize, a_row: &mut [i64]| {
-        let mut row_overflow = 0_usize;
-        let mut row_saturated = 0_usize;
-        for g in 0..config.num_groups {
-            if g > 0 {
-                if check_steps {
-                    for a in a_row.iter_mut() {
-                        *a *= alpha;
-                        row_overflow += outside_i32(*a) as usize;
-                    }
-                } else {
-                    for a in a_row.iter_mut() {
-                        *a *= alpha;
-                    }
-                }
+        let (row_overflow, row_saturated) = match kind {
+            BackendKind::Reference => {
+                implicit_row_reference(x_chunk, cc, w, config, check_steps, r, a_row)
             }
-            let s_g = cc.scales[g];
-            for &ch in &cc.order[g] {
-                let b = cc.bias[ch];
-                let w_row = w.q.row(ch);
-                let (xq, sat) = quantize_value_saturating(x_chunk[(r, ch)] - b, s_g, config.bits);
-                row_saturated += sat as usize;
-                let xq = xq as i64;
-                if xq == 0 {
-                    continue;
-                }
-                if check_steps {
-                    for (a, &wv) in a_row.iter_mut().zip(w_row) {
-                        *a += xq * wv as i64;
-                        row_overflow += outside_i32(*a) as usize;
-                    }
-                } else {
-                    for (a, &wv) in a_row.iter_mut().zip(w_row) {
-                        *a += xq * wv as i64;
-                    }
-                }
+            BackendKind::Blocked => {
+                implicit_row_blocked(x_chunk, cc, w, config, check_steps, r, a_row)
             }
-        }
+        };
         overflow.fetch_add(row_overflow, Ordering::Relaxed);
         saturated.fetch_add(row_saturated, Ordering::Relaxed);
     };
@@ -235,15 +260,172 @@ pub fn accumulate_chunk_implicit(
     } else {
         pool::par_chunks_mut(&mut acc, n, row_kernel);
     }
-    // Every (row, channel) pair is quantized exactly once per chunk.
-    for (g, chans) in cc.order.iter().enumerate() {
-        metrics::GROUP_QUANTIZED.add(g, (m * chans.len()) as u64);
+    (acc, overflow.into_inner(), saturated.into_inner())
+}
+
+/// Reference order for one accumulator row: the original loops, verbatim.
+/// Returns `(overflow events, saturation events)` for the row.
+fn implicit_row_reference(
+    x_chunk: &Matrix,
+    cc: &ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+    check_steps: bool,
+    r: usize,
+    a_row: &mut [i64],
+) -> (usize, usize) {
+    let alpha = config.alpha as i64;
+    let mut row_overflow = 0_usize;
+    let mut row_saturated = 0_usize;
+    for g in 0..config.num_groups {
+        if g > 0 {
+            if check_steps {
+                for a in a_row.iter_mut() {
+                    *a *= alpha;
+                    row_overflow += outside_i32(*a) as usize;
+                }
+            } else {
+                for a in a_row.iter_mut() {
+                    *a *= alpha;
+                }
+            }
+        }
+        let s_g = cc.scales[g];
+        for &ch in &cc.order[g] {
+            let b = cc.bias[ch];
+            let w_row = w.q.row(ch);
+            let (xq, sat) = quantize_value_saturating(x_chunk[(r, ch)] - b, s_g, config.bits);
+            row_saturated += sat as usize;
+            let xq = xq as i64;
+            if xq == 0 {
+                continue;
+            }
+            if check_steps {
+                for (a, &wv) in a_row.iter_mut().zip(w_row) {
+                    *a += xq * wv as i64;
+                    row_overflow += outside_i32(*a) as usize;
+                }
+            } else {
+                for (a, &wv) in a_row.iter_mut().zip(w_row) {
+                    *a += xq * wv as i64;
+                }
+            }
+        }
     }
-    metrics::QUANTIZED_VALUES.add((m * cc.num_channels()) as u64);
-    metrics::SATURATED_VALUES.add(saturated.into_inner() as u64);
-    let overflow = overflow.into_inner();
-    metrics::OVERFLOW_EVENTS.add(overflow as u64);
-    (acc, overflow)
+    (row_overflow, row_saturated)
+}
+
+/// Blocked order for one accumulator row: the activation row is quantized
+/// once per channel into a buffer, then each `NR`-column register tile
+/// replays the full group walk — `k` order, α-shift points, zero-skips and
+/// overflow checks exactly as the reference executes them per element, just
+/// restricted to the tile's columns. Overflow/saturation totals are
+/// commutative sums over the same (element, step) events, so they match the
+/// reference exactly.
+fn implicit_row_blocked(
+    x_chunk: &Matrix,
+    cc: &ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+    check_steps: bool,
+    r: usize,
+    a_row: &mut [i64],
+) -> (usize, usize) {
+    let n = a_row.len();
+    let alpha = config.alpha as i64;
+    let mut row_overflow = 0_usize;
+    let mut row_saturated = 0_usize;
+    // Quantize each (row, channel) exactly once, in group walk order.
+    let total: usize = cc.order.iter().map(|chans| chans.len()).sum();
+    let mut xq_row = Vec::with_capacity(total);
+    for g in 0..config.num_groups {
+        let s_g = cc.scales[g];
+        for &ch in &cc.order[g] {
+            let (xq, sat) =
+                quantize_value_saturating(x_chunk[(r, ch)] - cc.bias[ch], s_g, config.bits);
+            row_saturated += sat as usize;
+            xq_row.push(xq as i64);
+        }
+    }
+    let full = n - n % NR;
+    let mut j0 = 0;
+    while j0 < full {
+        let mut regs = [0_i64; NR];
+        let mut pos = 0;
+        for g in 0..config.num_groups {
+            if g > 0 {
+                for a in regs.iter_mut() {
+                    *a *= alpha;
+                }
+                if check_steps {
+                    for &a in regs.iter() {
+                        row_overflow += outside_i32(a) as usize;
+                    }
+                }
+            }
+            for &ch in &cc.order[g] {
+                let xq = xq_row[pos];
+                pos += 1;
+                if xq == 0 {
+                    continue;
+                }
+                let wp: &[i32; NR] = (&w.q.row(ch)[j0..j0 + NR])
+                    .try_into()
+                    .expect("panel width NR");
+                regs[0] += xq * wp[0] as i64;
+                regs[1] += xq * wp[1] as i64;
+                regs[2] += xq * wp[2] as i64;
+                regs[3] += xq * wp[3] as i64;
+                regs[4] += xq * wp[4] as i64;
+                regs[5] += xq * wp[5] as i64;
+                regs[6] += xq * wp[6] as i64;
+                regs[7] += xq * wp[7] as i64;
+                if check_steps {
+                    for &a in regs.iter() {
+                        row_overflow += outside_i32(a) as usize;
+                    }
+                }
+            }
+        }
+        a_row[j0..j0 + NR].copy_from_slice(&regs);
+        j0 += NR;
+    }
+    if j0 < n {
+        // Edge tile (n % NR columns): scalar bank, identical step order.
+        let jw = n - j0;
+        let mut regs = [0_i64; NR];
+        let mut pos = 0;
+        for g in 0..config.num_groups {
+            if g > 0 {
+                for a in regs[..jw].iter_mut() {
+                    *a *= alpha;
+                }
+                if check_steps {
+                    for &a in regs[..jw].iter() {
+                        row_overflow += outside_i32(a) as usize;
+                    }
+                }
+            }
+            for &ch in &cc.order[g] {
+                let xq = xq_row[pos];
+                pos += 1;
+                if xq == 0 {
+                    continue;
+                }
+                let wp = &w.q.row(ch)[j0..j0 + jw];
+                for (a, &wv) in regs[..jw].iter_mut().zip(wp) {
+                    *a += xq * wv as i64;
+                }
+                if check_steps {
+                    for &a in regs[..jw].iter() {
+                        row_overflow += outside_i32(a) as usize;
+                    }
+                }
+            }
+        }
+        a_row[j0..j0 + jw].copy_from_slice(&regs[..jw]);
+    }
+    (row_overflow, row_saturated)
 }
 
 /// Integer accumulation of one chunk with *explicit* shifted accumulation:
@@ -343,6 +525,19 @@ pub fn implicit_requant_matmul(
     calib: &TenderCalibration,
     config: &TenderConfig,
 ) -> MatmulStats {
+    implicit_requant_matmul_with(x, w, calib, config, gemm::current())
+}
+
+/// [`implicit_requant_matmul`] through an explicit backend. Exposed for the
+/// cross-backend differential tests.
+#[doc(hidden)]
+pub fn implicit_requant_matmul_with(
+    x: &Matrix,
+    w: &QuantizedWeight,
+    calib: &TenderCalibration,
+    config: &TenderConfig,
+    kind: BackendKind,
+) -> MatmulStats {
     check_shapes(x, w, calib);
     metrics::IMPLICIT_MATMULS.incr();
     let n = w.q.cols();
@@ -357,7 +552,7 @@ pub fn implicit_requant_matmul(
         let m = out_chunk.len() / n;
         let cc = calib.chunk_for_row(r0);
         let x_chunk = x.slice_rows(r0, r0 + m);
-        let (acc, overflow) = accumulate_chunk_implicit(&x_chunk, cc, w, config);
+        let (acc, overflow) = accumulate_chunk_recorded(&x_chunk, cc, w, config, kind);
         overflow_events.fetch_add(overflow, Ordering::Relaxed);
         dequant_chunk(&acc, cc, w, config, out_chunk);
     };
@@ -387,15 +582,51 @@ fn explicit_chunk(
     w: &QuantizedWeight,
     config: &TenderConfig,
     out_chunk: &mut [f32],
+    kind: BackendKind,
+) -> usize {
+    let m = x_chunk.rows();
+    let n = w.q.cols();
+    for (g, chans) in cc.order.iter().enumerate() {
+        metrics::GROUP_QUANTIZED.add(g, (m * chans.len()) as u64);
+    }
+    metrics::QUANTIZED_VALUES.add((m * cc.num_channels()) as u64);
+    if kind == BackendKind::Blocked && n > 0 {
+        gemm_metrics::TILES_DISPATCHED.add((m * n.div_ceil(NR)) as u64);
+    }
+    explicit_chunk_with(x_chunk, cc, w, config, out_chunk, kind)
+}
+
+/// Metrics-free explicit chunk through an explicit backend; `out_chunk`
+/// must be zero-initialized (both backends build each element's f32
+/// accumulation chain from `+0.0`, so a pre-existing value would break the
+/// cross-backend bit-identity contract). Exposed for the differential tests.
+#[doc(hidden)]
+pub fn explicit_chunk_with(
+    x_chunk: &Matrix,
+    cc: &ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+    out_chunk: &mut [f32],
+    kind: BackendKind,
+) -> usize {
+    match kind {
+        BackendKind::Reference => explicit_chunk_reference(x_chunk, cc, w, config, out_chunk),
+        BackendKind::Blocked => explicit_chunk_blocked(x_chunk, cc, w, config, out_chunk),
+    }
+}
+
+/// Reference order for one explicit chunk: the original loops, verbatim.
+fn explicit_chunk_reference(
+    x_chunk: &Matrix,
+    cc: &ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+    out_chunk: &mut [f32],
 ) -> usize {
     let m = x_chunk.rows();
     let n = w.q.cols();
     let corr = bias_correction(&cc.bias, &w.deq);
     let mut chunk_saturated = 0_usize;
-    for (g, chans) in cc.order.iter().enumerate() {
-        metrics::GROUP_QUANTIZED.add(g, (m * chans.len()) as u64);
-    }
-    metrics::QUANTIZED_VALUES.add((m * cc.num_channels()) as u64);
     for g in 0..config.num_groups {
         let s_g = cc.scales[g];
         for &ch in &cc.order[g] {
@@ -419,6 +650,98 @@ fn explicit_chunk(
         let out_row = &mut out_chunk[r * n..(r + 1) * n];
         for (o, &c) in out_row.iter_mut().zip(&corr) {
             *o += c;
+        }
+    }
+    chunk_saturated
+}
+
+/// Blocked order for one explicit chunk: activations are quantized once per
+/// (row, channel) into a buffer — keeping the saturation count identical to
+/// the reference — then each `NR`-column register tile replays one row's
+/// full (group, channel) walk with the same zero-skip, and adds the
+/// bias-correction entries before storing. Per output element the f32
+/// addition chain is exactly the reference chain (`+0.0`, the channel terms
+/// in group-walk order, then the correction), so the result is
+/// byte-identical.
+fn explicit_chunk_blocked(
+    x_chunk: &Matrix,
+    cc: &ChunkCalibration,
+    w: &QuantizedWeight,
+    config: &TenderConfig,
+    out_chunk: &mut [f32],
+) -> usize {
+    let m = x_chunk.rows();
+    let n = w.q.cols();
+    let corr = bias_correction(&cc.bias, &w.deq);
+    let mut chunk_saturated = 0_usize;
+    let chans_flat: Vec<usize> = cc.order.iter().flatten().copied().collect();
+    let total = chans_flat.len();
+    // xf[(r, pos)]: dequantized activation; zero entries are skipped below
+    // via the quantized value, matching the reference's `xq == 0` skip.
+    let mut xq_all = vec![0_i32; m * total];
+    let mut xf_all = vec![0.0_f32; m * total];
+    let mut pos = 0;
+    for g in 0..config.num_groups {
+        let s_g = cc.scales[g];
+        for &ch in &cc.order[g] {
+            let b = cc.bias[ch];
+            for r in 0..m {
+                let (xq, sat) = quantize_value_saturating(x_chunk[(r, ch)] - b, s_g, config.bits);
+                chunk_saturated += sat as usize;
+                xq_all[r * total + pos] = xq;
+                xf_all[r * total + pos] = xq as f32 * s_g;
+            }
+            pos += 1;
+        }
+    }
+    let full = n - n % NR;
+    for r in 0..m {
+        let xq_row = &xq_all[r * total..(r + 1) * total];
+        let xf_row = &xf_all[r * total..(r + 1) * total];
+        let out_row = &mut out_chunk[r * n..(r + 1) * n];
+        let mut j0 = 0;
+        while j0 < full {
+            let mut regs = [0.0_f32; NR];
+            for (pos, (&xq, &xf)) in xq_row.iter().zip(xf_row).enumerate() {
+                if xq == 0 {
+                    continue;
+                }
+                let ch = chans_flat[pos];
+                let wp: &[f32; NR] = (&w.deq.row(ch)[j0..j0 + NR])
+                    .try_into()
+                    .expect("panel width NR");
+                regs[0] += xf * wp[0];
+                regs[1] += xf * wp[1];
+                regs[2] += xf * wp[2];
+                regs[3] += xf * wp[3];
+                regs[4] += xf * wp[4];
+                regs[5] += xf * wp[5];
+                regs[6] += xf * wp[6];
+                regs[7] += xf * wp[7];
+            }
+            for (a, &c) in regs.iter_mut().zip(&corr[j0..j0 + NR]) {
+                *a += c;
+            }
+            out_row[j0..j0 + NR].copy_from_slice(&regs);
+            j0 += NR;
+        }
+        if j0 < n {
+            let jw = n - j0;
+            let mut regs = [0.0_f32; NR];
+            for (pos, (&xq, &xf)) in xq_row.iter().zip(xf_row).enumerate() {
+                if xq == 0 {
+                    continue;
+                }
+                let ch = chans_flat[pos];
+                let wp = &w.deq.row(ch)[j0..j0 + jw];
+                for (a, &wd) in regs[..jw].iter_mut().zip(wp) {
+                    *a += xf * wd;
+                }
+            }
+            for (a, &c) in regs[..jw].iter_mut().zip(&corr[j0..j0 + jw]) {
+                *a += c;
+            }
+            out_row[j0..j0 + jw].copy_from_slice(&regs[..jw]);
         }
     }
     chunk_saturated
@@ -480,8 +803,9 @@ pub fn implicit_requant_matmul_at(
     calib: &TenderCalibration,
     config: &TenderConfig,
 ) -> MatmulStats {
+    let kind = gemm::current();
     if row0 == 0 {
-        return implicit_requant_matmul(x, w, calib, config);
+        return implicit_requant_matmul_with(x, w, calib, config, kind);
     }
     check_shapes(x, w, calib);
     metrics::IMPLICIT_MATMULS.incr();
@@ -494,7 +818,7 @@ pub fn implicit_requant_matmul_at(
     for (r0, r1) in chunk_runs(x.rows(), row0, calib) {
         let cc = calib.chunk_for_row(row0 + r0);
         let x_chunk = x.slice_rows(r0, r1);
-        let (acc, overflow) = accumulate_chunk_implicit(&x_chunk, cc, w, config);
+        let (acc, overflow) = accumulate_chunk_recorded(&x_chunk, cc, w, config, kind);
         overflow_events += overflow;
         chunks_processed += 1;
         dequant_chunk(
@@ -527,8 +851,9 @@ pub fn explicit_requant_matmul_at(
     calib: &TenderCalibration,
     config: &TenderConfig,
 ) -> MatmulStats {
+    let kind = gemm::current();
     if row0 == 0 {
-        return explicit_requant_matmul(x, w, calib, config);
+        return explicit_requant_matmul_with(x, w, calib, config, kind);
     }
     check_shapes(x, w, calib);
     metrics::EXPLICIT_MATMULS.incr();
@@ -545,6 +870,7 @@ pub fn explicit_requant_matmul_at(
             w,
             config,
             &mut result.as_mut_slice()[r0 * n..r1 * n],
+            kind,
         );
         chunks_processed += 1;
     }
@@ -574,6 +900,19 @@ pub fn explicit_requant_matmul(
     calib: &TenderCalibration,
     config: &TenderConfig,
 ) -> MatmulStats {
+    explicit_requant_matmul_with(x, w, calib, config, gemm::current())
+}
+
+/// [`explicit_requant_matmul`] through an explicit backend. Exposed for the
+/// cross-backend differential tests.
+#[doc(hidden)]
+pub fn explicit_requant_matmul_with(
+    x: &Matrix,
+    w: &QuantizedWeight,
+    calib: &TenderCalibration,
+    config: &TenderConfig,
+    kind: BackendKind,
+) -> MatmulStats {
     check_shapes(x, w, calib);
     metrics::EXPLICIT_MATMULS.incr();
     let n = w.q.cols();
@@ -588,7 +927,7 @@ pub fn explicit_requant_matmul(
         let m = out_chunk.len() / n;
         let cc = calib.chunk_for_row(r0);
         let x_chunk = x.slice_rows(r0, r0 + m);
-        let chunk_saturated = explicit_chunk(&x_chunk, cc, w, config, out_chunk);
+        let chunk_saturated = explicit_chunk(&x_chunk, cc, w, config, out_chunk, kind);
         saturated.fetch_add(chunk_saturated, Ordering::Relaxed);
     };
     if chunks_processed < 2 || x.rows() * x.cols() * n < pool::PAR_THRESHOLD {

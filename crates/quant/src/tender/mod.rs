@@ -28,8 +28,9 @@ pub use config::TenderConfig;
 pub use decompose::{classify_channels, group_scales, DecompositionError};
 #[doc(hidden)]
 pub use matmul::{
-    accumulate_chunk_explicit_shifted, accumulate_chunk_implicit, chunk_accumulator_bound,
-    chunk_cannot_overflow,
+    accumulate_chunk_explicit_shifted, accumulate_chunk_implicit, accumulate_chunk_implicit_with,
+    chunk_accumulator_bound, chunk_cannot_overflow, explicit_chunk_with,
+    explicit_requant_matmul_with, implicit_requant_matmul_with,
 };
 pub use matmul::{
     explicit_requant_matmul, explicit_requant_matmul_at, implicit_requant_matmul,

@@ -1,0 +1,628 @@
+//! Pluggable GEMM kernel backends with a strict bit-identity contract.
+//!
+//! Every matrix product in the workspace runs through a [`GemmBackend`].
+//! Two implementations exist:
+//!
+//! * [`ReferenceBackend`] — the original row-at-a-time i-k-j loops, kept
+//!   verbatim as the semantic definition.
+//! * [`BlockedBackend`] — a cache-blocked, register-tiled kernel: each
+//!   output row is produced `NR` columns at a time in a bank of register
+//!   accumulators, and pooled dispatch hands each worker [`MR`] rows so the
+//!   `k × NR` panel of the right-hand operand stays cache-resident across
+//!   the block.
+//!
+//! # Determinism contract
+//!
+//! Backends may reorder *which* output elements are computed when, but not
+//! the accumulation chain *within* one output element. Both backends visit
+//! `k` in ascending order per element, apply the identical zero-skip on the
+//! left operand, and keep a single accumulator per element (f32 register
+//! values round-trip exactly through memory), so `Blocked` output is
+//! byte-identical to `Reference` at any thread count. The cross-backend
+//! differential harness (`tests/backend_diff.rs` and its quant-level twin)
+//! pins this property over random shapes.
+//!
+//! # Selection
+//!
+//! The process-wide backend starts unresolved; the first [`current`] call
+//! resolves the `TENDER_BACKEND` environment variable (`reference` or
+//! `blocked`, defaulting to `reference`). [`set_backend`] — reached from the
+//! CLI `--backend` flag — overrides the selection at any time. Kernels that
+//! must compare backends directly (the differential tests) bypass the global
+//! via [`backend`].
+
+use crate::pool;
+use std::sync::atomic::{AtomicU8, Ordering};
+use tender_metrics::gemm as metrics;
+
+/// Output columns per register tile of the blocked kernel.
+pub const NR: usize = 8;
+
+/// Rows per pooled work item for the blocked kernel: one worker computes
+/// `MR` output rows against the same `k × NR` panels, so panel loads from
+/// the right-hand operand amortize across the block.
+pub const MR: usize = 16;
+
+/// Identifies a GEMM backend implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The original row-partitioned i-k-j loops (semantic definition).
+    Reference,
+    /// Cache-blocked, register-tiled kernel (bit-identical, faster).
+    Blocked,
+}
+
+impl BackendKind {
+    /// Parses a backend name as accepted by `TENDER_BACKEND` and the CLI
+    /// `--backend` flag (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reference" | "ref" => Some(Self::Reference),
+            "blocked" => Some(Self::Blocked),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Reference => "reference",
+            Self::Blocked => "blocked",
+        }
+    }
+}
+
+/// 0 = unresolved, 1 = Reference, 2 = Blocked.
+static SELECTED: AtomicU8 = AtomicU8::new(0);
+
+fn encode(kind: BackendKind) -> u8 {
+    match kind {
+        BackendKind::Reference => 1,
+        BackendKind::Blocked => 2,
+    }
+}
+
+/// Selects the process-wide GEMM backend (overrides `TENDER_BACKEND`).
+pub fn set_backend(kind: BackendKind) {
+    SELECTED.store(encode(kind), Ordering::Relaxed);
+}
+
+/// The currently selected process-wide backend.
+///
+/// Unresolved state reads `TENDER_BACKEND` (unknown values fall back to
+/// `Reference`); afterwards the choice is sticky until [`set_backend`].
+pub fn current() -> BackendKind {
+    match SELECTED.load(Ordering::Relaxed) {
+        1 => BackendKind::Reference,
+        2 => BackendKind::Blocked,
+        _ => {
+            let kind = std::env::var("TENDER_BACKEND")
+                .ok()
+                .and_then(|s| BackendKind::parse(&s))
+                .unwrap_or(BackendKind::Reference);
+            // Resolve exactly once; a concurrent set_backend still wins.
+            let _ =
+                SELECTED.compare_exchange(0, encode(kind), Ordering::Relaxed, Ordering::Relaxed);
+            match SELECTED.load(Ordering::Relaxed) {
+                2 => BackendKind::Blocked,
+                _ => BackendKind::Reference,
+            }
+        }
+    }
+}
+
+/// A GEMM kernel implementation.
+///
+/// Each `*_block` method computes `out = a · b` for a block of output rows:
+/// `a` is `rows × k` row-major (with `rows = a.len() / k`), `b` is `k × n`
+/// row-major, and `out` (`rows × n`, zero-initialized by the caller) receives
+/// the product. Implementations must preserve the per-element accumulation
+/// order documented at the module level.
+pub trait GemmBackend: Sync {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Output rows per pooled work item when a matmul partitions rows.
+    fn rows_per_block(&self) -> usize;
+
+    /// Packs the full-width tiles of `b` into this backend's panel layout,
+    /// or returns an empty `Vec` when the backend consumes `b` in place.
+    /// Entry points call this **once per matmul** and hand the result to
+    /// every `*_block` call, so pooled workers share one packing pass.
+    fn pack_f32(&self, _b: &[f32], _k: usize, _n: usize) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Integer twin of [`Self::pack_f32`] (shared by the i32 and i64
+    /// kernels, whose right-hand operand is `i32` either way).
+    fn pack_i32(&self, _b: &[i32], _k: usize, _n: usize) -> Vec<i32> {
+        Vec::new()
+    }
+
+    /// f32 block product. `packed` is this backend's [`Self::pack_f32`]
+    /// output for `b` (pass `&[]` to let the backend pack privately).
+    fn f32_block(&self, a: &[f32], k: usize, b: &[f32], n: usize, packed: &[f32], out: &mut [f32]);
+
+    /// i32 block product (i32 accumulation, hardware datapath semantics).
+    fn i32_block(&self, a: &[i32], k: usize, b: &[i32], n: usize, packed: &[i32], out: &mut [i32]);
+
+    /// i32 operands with i64 accumulation (overflow-safety analysis).
+    fn i64_block(&self, a: &[i32], k: usize, b: &[i32], n: usize, packed: &[i32], out: &mut [i64]);
+}
+
+/// Panel-major packing of `b`'s full-width tiles: panel `t` holds columns
+/// `t*NR..t*NR+NR` as `k` consecutive NR-wide rows. A pure copy — packing
+/// cannot perturb a single bit of the arithmetic. The kk-outer loop reads
+/// `b` sequentially; the strided writes land in at most `n/NR` cache lines
+/// at a time.
+fn pack_panels<T: Copy>(b: &[T], k: usize, n: usize, zero: T) -> Vec<T> {
+    let full = n - n % NR;
+    let mut packed = vec![zero; k * full];
+    for kk in 0..k {
+        for (t, chunk) in b[kk * n..kk * n + full].chunks_exact(NR).enumerate() {
+            packed[t * k * NR + kk * NR..][..NR].copy_from_slice(chunk);
+        }
+    }
+    packed
+}
+
+/// The original row-at-a-time i-k-j loops, unchanged semantics.
+pub struct ReferenceBackend;
+
+impl GemmBackend for ReferenceBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Reference
+    }
+
+    fn rows_per_block(&self) -> usize {
+        1
+    }
+
+    fn f32_block(
+        &self,
+        a: &[f32],
+        k: usize,
+        b: &[f32],
+        n: usize,
+        _packed: &[f32],
+        out: &mut [f32],
+    ) {
+        if k == 0 || n == 0 {
+            return;
+        }
+        for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    fn i32_block(
+        &self,
+        a: &[i32],
+        k: usize,
+        b: &[i32],
+        n: usize,
+        _packed: &[i32],
+        out: &mut [i32],
+    ) {
+        if k == 0 || n == 0 {
+            return;
+        }
+        for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    fn i64_block(
+        &self,
+        a: &[i32],
+        k: usize,
+        b: &[i32],
+        n: usize,
+        _packed: &[i32],
+        out: &mut [i64],
+    ) {
+        if k == 0 || n == 0 {
+            return;
+        }
+        for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0 {
+                    continue;
+                }
+                let av = av as i64;
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv as i64;
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked, register-tiled kernel.
+///
+/// Operates on `b` **packed** into panel-major layout — tile `t` becomes a
+/// contiguous `k × NR` panel, packed once per matmul via [`pack_panels`]
+/// and shared by every pooled worker — and produces each output row `NR`
+/// columns at a time: a bank of `NR` register accumulators runs the full
+/// `k` loop (ascending, with the reference zero-skip) against one
+/// sequential panel, then stores once. Packing is a pure copy, so it
+/// cannot perturb a single bit of the arithmetic.
+///
+/// The speedup has two sources. The reference kernel re-streams all of `b`
+/// (n-wide rows) for every output row and rewrites the n-wide output row on
+/// every `k` step; the blocked kernel touches `b` once to pack, walks L1-hot
+/// panels for the rest of the block (panels are revisited row after row
+/// within an [`MR`]-row work item), and writes each output element exactly
+/// once. Without packing the tile walk would stride `4·n` bytes per `k`
+/// step — a page per access at large `n`, defeating the prefetchers — which
+/// measures *slower* than the reference streams.
+pub struct BlockedBackend;
+
+/// One register tile: `NR` columns of one output row against one packed
+/// `k × NR` panel, `k` ascending, manually unrolled over the accumulator
+/// bank.
+macro_rules! blocked_tile {
+    ($a_row:expr, $panel:expr, $j0:expr, $out_row:expr,
+     $acc_ty:ty, $zero:expr, $skip:expr, $mac:expr) => {{
+        let mut acc: [$acc_ty; NR] = [$zero; NR];
+        for (&av, bp) in $a_row.iter().zip($panel.chunks_exact(NR)) {
+            if $skip(av) {
+                continue;
+            }
+            let bp: &[_; NR] = bp.try_into().expect("panel width NR");
+            acc[0] = $mac(acc[0], av, bp[0]);
+            acc[1] = $mac(acc[1], av, bp[1]);
+            acc[2] = $mac(acc[2], av, bp[2]);
+            acc[3] = $mac(acc[3], av, bp[3]);
+            acc[4] = $mac(acc[4], av, bp[4]);
+            acc[5] = $mac(acc[5], av, bp[5]);
+            acc[6] = $mac(acc[6], av, bp[6]);
+            acc[7] = $mac(acc[7], av, bp[7]);
+        }
+        $out_row[$j0..$j0 + NR].copy_from_slice(&acc);
+    }};
+}
+
+/// Two register tiles sharing one panel walk: `NR` columns of **two**
+/// output rows advance through the packed panel in lockstep, so every
+/// panel line loaded from cache feeds two accumulator banks. Each row
+/// keeps its own bank and its own zero-skip, so each output element's
+/// accumulation chain is exactly the single-row chain.
+macro_rules! blocked_tile2 {
+    ($a0:expr, $a1:expr, $panel:expr, $j0:expr, $o0:expr, $o1:expr,
+     $acc_ty:ty, $zero:expr, $skip:expr, $mac:expr) => {{
+        let mut acc0: [$acc_ty; NR] = [$zero; NR];
+        let mut acc1: [$acc_ty; NR] = [$zero; NR];
+        for (kk, bp) in $panel.chunks_exact(NR).enumerate() {
+            let bp: &[_; NR] = bp.try_into().expect("panel width NR");
+            let av0 = $a0[kk];
+            if !$skip(av0) {
+                acc0[0] = $mac(acc0[0], av0, bp[0]);
+                acc0[1] = $mac(acc0[1], av0, bp[1]);
+                acc0[2] = $mac(acc0[2], av0, bp[2]);
+                acc0[3] = $mac(acc0[3], av0, bp[3]);
+                acc0[4] = $mac(acc0[4], av0, bp[4]);
+                acc0[5] = $mac(acc0[5], av0, bp[5]);
+                acc0[6] = $mac(acc0[6], av0, bp[6]);
+                acc0[7] = $mac(acc0[7], av0, bp[7]);
+            }
+            let av1 = $a1[kk];
+            if !$skip(av1) {
+                acc1[0] = $mac(acc1[0], av1, bp[0]);
+                acc1[1] = $mac(acc1[1], av1, bp[1]);
+                acc1[2] = $mac(acc1[2], av1, bp[2]);
+                acc1[3] = $mac(acc1[3], av1, bp[3]);
+                acc1[4] = $mac(acc1[4], av1, bp[4]);
+                acc1[5] = $mac(acc1[5], av1, bp[5]);
+                acc1[6] = $mac(acc1[6], av1, bp[6]);
+                acc1[7] = $mac(acc1[7], av1, bp[7]);
+            }
+        }
+        $o0[$j0..$j0 + NR].copy_from_slice(&acc0);
+        $o1[$j0..$j0 + NR].copy_from_slice(&acc1);
+    }};
+}
+
+/// Edge columns (`n % NR`): scalar accumulators over the unpacked operand,
+/// identical k order. Edge tiles are never zero-padded to `NR` — an
+/// `acc + av·0.0` pad step could turn a `-0.0` accumulator into `+0.0`.
+macro_rules! blocked_edge {
+    ($a_row:expr, $b:expr, $n:expr, $j0:expr, $jw:expr, $out_row:expr,
+     $acc_ty:ty, $zero:expr, $skip:expr, $mac:expr) => {{
+        for jj in 0..$jw {
+            let mut acc: $acc_ty = $zero;
+            for (kk, &av) in $a_row.iter().enumerate() {
+                if $skip(av) {
+                    continue;
+                }
+                acc = $mac(acc, av, $b[kk * $n + $j0 + jj]);
+            }
+            $out_row[$j0 + jj] = acc;
+        }
+    }};
+}
+
+macro_rules! blocked_block {
+    ($a:expr, $k:expr, $b:expr, $n:expr, $packed:expr, $out:expr, $pair:expr,
+     $b_zero:expr, $acc_ty:ty, $zero:expr, $skip:expr, $mac:expr) => {{
+        if $k == 0 || $n == 0 {
+            return;
+        }
+        let full = $n - $n % NR;
+        let rows = $a.len() / $k;
+        metrics::TILES_DISPATCHED.add(($n.div_ceil(NR) * rows) as u64);
+        // Entry points pack once per matmul and share the panels across all
+        // pooled blocks; a direct call with `&[]` packs privately here.
+        let owned;
+        let packed = if $packed.is_empty() && full > 0 {
+            owned = pack_panels($b, $k, $n, $b_zero);
+            &owned[..]
+        } else {
+            $packed
+        };
+        debug_assert_eq!(packed.len(), $k * full, "packed panels for wrong shape");
+        for (t, panel) in packed.chunks_exact($k * NR).enumerate() {
+            let j0 = t * NR;
+            // Row pairs share each panel walk where the datapath profits
+            // from it (f32 FMA ports keep up with two banks; the integer
+            // multipliers do not). Chains per element are identical either
+            // way, so `$pair` is purely a tuning knob.
+            let even = if $pair { rows - rows % 2 } else { 0 };
+            let mut r = 0;
+            while r < even {
+                let (lo, hi) = $out.split_at_mut((r + 1) * $n);
+                blocked_tile2!(
+                    &$a[r * $k..(r + 1) * $k],
+                    &$a[(r + 1) * $k..(r + 2) * $k],
+                    panel,
+                    j0,
+                    &mut lo[r * $n..],
+                    hi,
+                    $acc_ty,
+                    $zero,
+                    $skip,
+                    $mac
+                );
+                r += 2;
+            }
+            while r < rows {
+                blocked_tile!(
+                    &$a[r * $k..(r + 1) * $k],
+                    panel,
+                    j0,
+                    &mut $out[r * $n..],
+                    $acc_ty,
+                    $zero,
+                    $skip,
+                    $mac
+                );
+                r += 1;
+            }
+        }
+        if full < $n {
+            for (a_row, out_row) in $a.chunks_exact($k).zip($out.chunks_exact_mut($n)) {
+                blocked_edge!(
+                    a_row,
+                    $b,
+                    $n,
+                    full,
+                    $n - full,
+                    out_row,
+                    $acc_ty,
+                    $zero,
+                    $skip,
+                    $mac
+                );
+            }
+        }
+    }};
+}
+
+impl GemmBackend for BlockedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Blocked
+    }
+
+    fn rows_per_block(&self) -> usize {
+        MR
+    }
+
+    fn pack_f32(&self, b: &[f32], k: usize, n: usize) -> Vec<f32> {
+        pack_panels(b, k, n, 0.0_f32)
+    }
+
+    fn pack_i32(&self, b: &[i32], k: usize, n: usize) -> Vec<i32> {
+        pack_panels(b, k, n, 0_i32)
+    }
+
+    fn f32_block(&self, a: &[f32], k: usize, b: &[f32], n: usize, packed: &[f32], out: &mut [f32]) {
+        blocked_block!(
+            a,
+            k,
+            b,
+            n,
+            packed,
+            out,
+            true,
+            0.0_f32,
+            f32,
+            0.0_f32,
+            |av: f32| av == 0.0,
+            |acc: f32, av: f32, bv: f32| acc + av * bv
+        );
+    }
+
+    fn i32_block(&self, a: &[i32], k: usize, b: &[i32], n: usize, packed: &[i32], out: &mut [i32]) {
+        blocked_block!(
+            a,
+            k,
+            b,
+            n,
+            packed,
+            out,
+            false,
+            0_i32,
+            i32,
+            0_i32,
+            |av: i32| av == 0,
+            |acc: i32, av: i32, bv: i32| acc + av * bv
+        );
+    }
+
+    fn i64_block(&self, a: &[i32], k: usize, b: &[i32], n: usize, packed: &[i32], out: &mut [i64]) {
+        blocked_block!(
+            a,
+            k,
+            b,
+            n,
+            packed,
+            out,
+            false,
+            0_i32,
+            i64,
+            0_i64,
+            |av: i32| av == 0,
+            |acc: i64, av: i32, bv: i32| acc + av as i64 * bv as i64
+        );
+    }
+}
+
+static REFERENCE: ReferenceBackend = ReferenceBackend;
+static BLOCKED: BlockedBackend = BlockedBackend;
+
+/// The backend implementation for `kind`.
+pub fn backend(kind: BackendKind) -> &'static dyn GemmBackend {
+    match kind {
+        BackendKind::Reference => &REFERENCE,
+        BackendKind::Blocked => &BLOCKED,
+    }
+}
+
+/// The implementation for the process-wide selection ([`current`]).
+pub fn active_backend() -> &'static dyn GemmBackend {
+    backend(current())
+}
+
+/// The reference implementation, independent of the global selection.
+pub fn reference_backend() -> &'static dyn GemmBackend {
+    &REFERENCE
+}
+
+/// The blocked implementation, independent of the global selection.
+pub fn blocked_backend() -> &'static dyn GemmBackend {
+    &BLOCKED
+}
+
+/// Records one matmul dispatch in the per-backend counters.
+pub(crate) fn record_dispatch(kind: BackendKind) {
+    match kind {
+        BackendKind::Reference => metrics::REFERENCE_GEMMS.incr(),
+        BackendKind::Blocked => metrics::BLOCKED_GEMMS.incr(),
+    }
+}
+
+/// Runs a block-partitioned matmul through `backend`: serial when the work
+/// is small, otherwise `rows_per_block()`-row chunks across the pool. Shared
+/// by the `Matrix`/`IMatrix` entry points.
+pub(crate) fn dispatch_blocks<T: Send, F>(
+    backend: &dyn GemmBackend,
+    rows: usize,
+    k: usize,
+    n: usize,
+    out: &mut [T],
+    block: F,
+) where
+    F: Fn(&dyn GemmBackend, usize, usize, &mut [T]) + Sync,
+{
+    let work = rows * k * n;
+    if work < pool::PAR_THRESHOLD || rows < 2 {
+        block(backend, 0, rows, out);
+    } else {
+        let rpb = backend.rows_per_block();
+        pool::par_chunks_mut(out, rpb * n, |bi, out_block| {
+            let r0 = bi * rpb;
+            let block_rows = out_block.len() / n;
+            block(backend, r0, block_rows, out_block);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_names() {
+        assert_eq!(
+            BackendKind::parse("reference"),
+            Some(BackendKind::Reference)
+        );
+        assert_eq!(BackendKind::parse("REF"), Some(BackendKind::Reference));
+        assert_eq!(BackendKind::parse(" Blocked "), Some(BackendKind::Blocked));
+        assert_eq!(BackendKind::parse("fancy"), None);
+        assert_eq!(BackendKind::Blocked.label(), "blocked");
+    }
+
+    #[test]
+    fn blocks_agree_on_small_fixed_case() {
+        // 3 rows, k = 5, n = NR + 3 → one full tile and one edge tile per row.
+        let k = 5;
+        let n = NR + 3;
+        let a: Vec<f32> = (0..3 * k).map(|i| (i as f32 - 7.0) * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 7) % 11) as f32 - 5.0).collect();
+        let mut ref_out = vec![0.0_f32; 3 * n];
+        let mut blk_out = vec![0.0_f32; 3 * n];
+        reference_backend().f32_block(&a, k, &b, n, &[], &mut ref_out);
+        blocked_backend().f32_block(&a, k, &b, n, &[], &mut blk_out);
+        for (r, bl) in ref_out.iter().zip(&blk_out) {
+            assert_eq!(r.to_bits(), bl.to_bits());
+        }
+    }
+
+    #[test]
+    fn integer_blocks_agree_with_zero_skip_rows() {
+        let k = 9;
+        let n = 2 * NR; // full tiles only
+        let mut a: Vec<i32> = (0..4 * k).map(|i| (i as i32 % 13) - 6).collect();
+        // A zero in the left operand exercises the skip on both paths.
+        a[k + 2] = 0;
+        let b: Vec<i32> = (0..k * n).map(|i| (i as i32 % 17) - 8).collect();
+        let mut ref32 = vec![0_i32; 4 * n];
+        let mut blk32 = vec![0_i32; 4 * n];
+        reference_backend().i32_block(&a, k, &b, n, &[], &mut ref32);
+        blocked_backend().i32_block(&a, k, &b, n, &[], &mut blk32);
+        assert_eq!(ref32, blk32);
+        let mut ref64 = vec![0_i64; 4 * n];
+        let mut blk64 = vec![0_i64; 4 * n];
+        reference_backend().i64_block(&a, k, &b, n, &[], &mut ref64);
+        blocked_backend().i64_block(&a, k, &b, n, &[], &mut blk64);
+        assert_eq!(ref64, blk64);
+    }
+
+    #[test]
+    fn degenerate_shapes_are_no_ops() {
+        let mut out: Vec<f32> = vec![];
+        reference_backend().f32_block(&[], 0, &[], 4, &[], &mut out);
+        blocked_backend().f32_block(&[], 0, &[], 4, &[], &mut out);
+        let mut out1 = vec![0.0_f32; 0];
+        blocked_backend().f32_block(&[1.0, 2.0], 2, &[], 0, &[], &mut out1);
+        assert!(out1.is_empty());
+    }
+}

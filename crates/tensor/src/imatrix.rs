@@ -1,6 +1,5 @@
 //! Dense integer matrix for quantized values and accumulators.
 
-use crate::pool::PAR_THRESHOLD;
 use crate::{Matrix, ShapeError};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -125,31 +124,44 @@ impl IMatrix {
     ///
     /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &IMatrix) -> Result<IMatrix, ShapeError> {
+        self.matmul_with(rhs, crate::gemm::current())
+    }
+
+    /// [`IMatrix::matmul`] through an explicitly chosen backend. Exposed for
+    /// the cross-backend differential tests.
+    #[doc(hidden)]
+    pub fn matmul_with(
+        &self,
+        rhs: &IMatrix,
+        kind: crate::gemm::BackendKind,
+    ) -> Result<IMatrix, ShapeError> {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
         let mut out = IMatrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
-        let row_product = |i: usize, out_row: &mut [i32]| {
-            let a_row = self.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        };
+        let k = self.cols;
+        crate::gemm::record_dispatch(kind);
         // Row-partitioned: identical op order per row at any thread count.
-        if self.rows * self.cols * n < PAR_THRESHOLD || self.rows < 2 {
-            for i in 0..self.rows {
-                row_product(i, &mut out.data[i * n..(i + 1) * n]);
-            }
-        } else {
-            crate::pool::par_chunks_mut(&mut out.data, n, row_product);
-        }
+        // Packed once here, shared read-only by every pooled worker.
+        let packed = crate::gemm::backend(kind).pack_i32(&rhs.data, k, n);
+        crate::gemm::dispatch_blocks(
+            crate::gemm::backend(kind),
+            self.rows,
+            k,
+            n,
+            &mut out.data,
+            |backend, r0, rows, out_block| {
+                backend.i32_block(
+                    &self.data[r0 * k..(r0 + rows) * k],
+                    k,
+                    &rhs.data,
+                    n,
+                    &packed,
+                    out_block,
+                );
+            },
+        );
         Ok(out)
     }
 
@@ -159,29 +171,43 @@ impl IMatrix {
     ///
     /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
     pub fn matmul_wide(&self, rhs: &IMatrix) -> Result<Vec<i64>, ShapeError> {
+        self.matmul_wide_with(rhs, crate::gemm::current())
+    }
+
+    /// [`IMatrix::matmul_wide`] through an explicitly chosen backend.
+    /// Exposed for the cross-backend differential tests.
+    #[doc(hidden)]
+    pub fn matmul_wide_with(
+        &self,
+        rhs: &IMatrix,
+        kind: crate::gemm::BackendKind,
+    ) -> Result<Vec<i64>, ShapeError> {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul_wide", self.shape(), rhs.shape()));
         }
         let n = rhs.cols;
+        let k = self.cols;
         let mut out = vec![0_i64; self.rows * n];
-        let row_product = |i: usize, out_row: &mut [i64]| {
-            for k in 0..self.cols {
-                let a = self[(i, k)] as i64;
-                if a == 0 {
-                    continue;
-                }
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    *o += a * rhs[(k, j)] as i64;
-                }
-            }
-        };
-        if self.rows * self.cols * n < PAR_THRESHOLD || self.rows < 2 {
-            for i in 0..self.rows {
-                row_product(i, &mut out[i * n..(i + 1) * n]);
-            }
-        } else {
-            crate::pool::par_chunks_mut(&mut out, n, row_product);
-        }
+        crate::gemm::record_dispatch(kind);
+        // Packed once here, shared read-only by every pooled worker.
+        let packed = crate::gemm::backend(kind).pack_i32(&rhs.data, k, n);
+        crate::gemm::dispatch_blocks(
+            crate::gemm::backend(kind),
+            self.rows,
+            k,
+            n,
+            &mut out,
+            |backend, r0, rows, out_block| {
+                backend.i64_block(
+                    &self.data[r0 * k..(r0 + rows) * k],
+                    k,
+                    &rhs.data,
+                    n,
+                    &packed,
+                    out_block,
+                );
+            },
+        );
         Ok(out)
     }
 

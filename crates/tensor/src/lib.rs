@@ -20,6 +20,9 @@
 //! * [`pool`] — a persistent worker pool with a strict determinism contract
 //!   (bit-identical results at any thread count) that every data-parallel
 //!   hot path in the workspace shares.
+//! * [`gemm`] — pluggable GEMM kernel backends (the reference loops and a
+//!   cache-blocked, register-tiled kernel) sharing one per-element
+//!   accumulation order, so backends are byte-identical to each other.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod gemm;
 mod imatrix;
 mod matrix;
 pub mod ops;

@@ -1,6 +1,5 @@
 //! Dense row-major `f32` matrix.
 
-use crate::pool::PAR_THRESHOLD;
 use crate::ShapeError;
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -192,46 +191,57 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs` through the process-wide GEMM backend
+    /// ([`crate::gemm::current`]).
     ///
-    /// Uses an i-k-j loop order over the row-major layout (vectorizable
-    /// contiguous inner loop); large products are split row-wise across
-    /// threads.
+    /// The reference backend uses an i-k-j loop order over the row-major
+    /// layout (vectorizable contiguous inner loop); the blocked backend
+    /// register-tiles the output. Both keep the per-element accumulation
+    /// order fixed, so the result is byte-identical across backends and
+    /// thread counts; large products are split row-wise across threads.
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        self.matmul_with(rhs, crate::gemm::current())
+    }
+
+    /// [`Matrix::matmul`] through an explicitly chosen backend. Exposed for
+    /// the cross-backend differential tests; everything else should rely on
+    /// the process-wide selection.
+    #[doc(hidden)]
+    pub fn matmul_with(
+        &self,
+        rhs: &Matrix,
+        kind: crate::gemm::BackendKind,
+    ) -> Result<Matrix, ShapeError> {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
         let n = rhs.cols;
+        let k = self.cols;
         let mut out = Matrix::zeros(self.rows, n);
-
-        let row_product = |i: usize, out_row: &mut [f32]| {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        };
-
-        // Parallelize only when the work amortizes pool dispatch cost. Each
-        // output row is produced by exactly one thread with the serial loop's
-        // operation order, so the result is bit-identical at any thread count.
-        let work = self.rows * self.cols * n;
-        if work < PAR_THRESHOLD || self.rows < 2 {
-            for i in 0..self.rows {
-                row_product(i, &mut out.data[i * n..(i + 1) * n]);
-            }
-        } else {
-            crate::pool::par_chunks_mut(&mut out.data, n, row_product);
-        }
+        crate::gemm::record_dispatch(kind);
+        // Packed once here, shared read-only by every pooled worker.
+        let packed = crate::gemm::backend(kind).pack_f32(&rhs.data, k, n);
+        crate::gemm::dispatch_blocks(
+            crate::gemm::backend(kind),
+            self.rows,
+            k,
+            n,
+            &mut out.data,
+            |backend, r0, rows, out_block| {
+                backend.f32_block(
+                    &self.data[r0 * k..(r0 + rows) * k],
+                    k,
+                    &rhs.data,
+                    n,
+                    &packed,
+                    out_block,
+                );
+            },
+        );
         Ok(out)
     }
 

@@ -1,0 +1,172 @@
+//! Cross-backend differential tests: the `Blocked` GEMM backend must be
+//! **byte-identical** to `Reference` for every kernel (f32, i32, i64-wide)
+//! at every shape, on both sides of `pool::PAR_THRESHOLD`.
+//!
+//! Why bitwise equality is even possible: the backends may reorder which
+//! *output elements* are computed when (register tiles walk `NR` columns at
+//! once), but within one element both walk `k` ascending with a single
+//! accumulator and the same zero-skip, and f32 registers round-trip exactly
+//! through memory. Reordering across elements cannot change any element's
+//! value, so `to_bits` equality must hold everywhere — including signed
+//! zeros, which is why the blocked kernel *stores* (not adds) its registers.
+//!
+//! The pool is pinned to 4 threads; shapes straddling the dispatch
+//! threshold exercise both the serial (single-thread) and pooled paths of
+//! each backend in one process. Cross-process 1-vs-4-thread byte-equality
+//! is covered by the bench suite's subprocess determinism tests.
+
+use std::sync::Once;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use tender_tensor::gemm::BackendKind;
+use tender_tensor::pool::{self, PAR_THRESHOLD};
+use tender_tensor::rng::DetRng;
+use tender_tensor::{IMatrix, Matrix};
+
+fn init_pool() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| pool::set_threads(4));
+}
+
+fn int_matrix(rng: &mut DetRng, rows: usize, cols: usize) -> IMatrix {
+    IMatrix::from_fn(rows, cols, |_, _| rng.below(255) as i32 - 127)
+}
+
+/// Asserts `to_bits` equality of the two backends on an f32 product,
+/// with a shape-and-path label on failure.
+fn assert_f32_diff(a: &Matrix, b: &Matrix) -> Result<(), TestCaseError> {
+    let reference = a.matmul_with(b, BackendKind::Reference).unwrap();
+    let blocked = a.matmul_with(b, BackendKind::Blocked).unwrap();
+    let (rows, inner) = a.shape();
+    let cols = b.shape().1;
+    let work = rows * inner * cols;
+    for r in 0..rows {
+        for c in 0..cols {
+            prop_assert_eq!(
+                reference[(r, c)].to_bits(),
+                blocked[(r, c)].to_bits(),
+                "({}, {}) of {}x{}x{} (work {}, parallel: {})",
+                r,
+                c,
+                rows,
+                inner,
+                cols,
+                work,
+                work >= PAR_THRESHOLD,
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// f32: Blocked == Reference bit-for-bit across the dispatch threshold.
+    /// The ranges also straddle the `NR` tile width so full tiles, edge
+    /// columns, and edge rows all occur.
+    #[test]
+    fn f32_backends_bit_identical_across_threshold(
+        rows in 96_usize..152,
+        inner in 96_usize..152,
+        cols in 96_usize..152,
+        seed in any::<u64>(),
+    ) {
+        init_pool();
+        prop_assert!(96 * 96 * 96 < PAR_THRESHOLD && 151 * 151 * 151 > PAR_THRESHOLD);
+        let mut rng = DetRng::new(seed);
+        let a = rng.normal_matrix(rows, inner, 0.0, 1.0);
+        let b = rng.normal_matrix(inner, cols, 0.0, 1.0);
+        assert_f32_diff(&a, &b)?;
+    }
+
+    /// i32: Blocked == Reference exactly across the dispatch threshold.
+    #[test]
+    fn i32_backends_exact_across_threshold(
+        rows in 96_usize..152,
+        inner in 96_usize..152,
+        cols in 96_usize..152,
+        seed in any::<u64>(),
+    ) {
+        init_pool();
+        let mut rng = DetRng::new(seed);
+        let a = int_matrix(&mut rng, rows, inner);
+        let b = int_matrix(&mut rng, inner, cols);
+        prop_assert_eq!(
+            a.matmul_with(&b, BackendKind::Reference).unwrap(),
+            a.matmul_with(&b, BackendKind::Blocked).unwrap()
+        );
+    }
+
+    /// i64 wide accumulators: Blocked == Reference exactly across the
+    /// dispatch threshold.
+    #[test]
+    fn i64_wide_backends_exact_across_threshold(
+        rows in 96_usize..152,
+        inner in 96_usize..152,
+        cols in 96_usize..152,
+        seed in any::<u64>(),
+    ) {
+        init_pool();
+        let mut rng = DetRng::new(seed);
+        let a = int_matrix(&mut rng, rows, inner);
+        let b = int_matrix(&mut rng, inner, cols);
+        prop_assert_eq!(
+            a.matmul_wide_with(&b, BackendKind::Reference).unwrap(),
+            a.matmul_wide_with(&b, BackendKind::Blocked).unwrap()
+        );
+    }
+
+    /// Tiny/degenerate shapes (pure edge tiles, serial dispatch): all three
+    /// kernels agree bit-for-bit. Columns below `NR` mean the blocked kernel
+    /// runs only its scalar edge loop; this pins that path too.
+    #[test]
+    fn tiny_shapes_backends_bit_identical(
+        rows in 1_usize..6,
+        inner in 1_usize..6,
+        cols in 1_usize..6,
+        seed in any::<u64>(),
+    ) {
+        init_pool();
+        let mut rng = DetRng::new(seed);
+        let a = rng.normal_matrix(rows, inner, 0.0, 1.0);
+        let b = rng.normal_matrix(inner, cols, 0.0, 1.0);
+        assert_f32_diff(&a, &b)?;
+        let ia = int_matrix(&mut rng, rows, inner);
+        let ib = int_matrix(&mut rng, inner, cols);
+        prop_assert_eq!(
+            ia.matmul_with(&ib, BackendKind::Reference).unwrap(),
+            ia.matmul_with(&ib, BackendKind::Blocked).unwrap()
+        );
+        prop_assert_eq!(
+            ia.matmul_wide_with(&ib, BackendKind::Reference).unwrap(),
+            ia.matmul_wide_with(&ib, BackendKind::Blocked).unwrap()
+        );
+    }
+
+    /// Column counts bracketing multiples of the tile width (edge tiles of
+    /// every remainder 0..NR-1), including signed-zero-heavy inputs where a
+    /// `+=`-style store would flip sign bits.
+    #[test]
+    fn tile_edge_columns_bit_identical(
+        rows in 1_usize..20,
+        inner in 1_usize..20,
+        cols in 1_usize..26,
+        seed in any::<u64>(),
+    ) {
+        init_pool();
+        let mut rng = DetRng::new(seed);
+        // Sprinkle exact zeros (skip path) and negative zeros (sign bits).
+        let a = Matrix::from_fn(rows, inner, |_, _| match rng.below(4) {
+            0 => 0.0,
+            1 => -0.0,
+            _ => rng.normal(0.0, 1.0),
+        });
+        let b = Matrix::from_fn(inner, cols, |_, _| match rng.below(4) {
+            0 => -0.0,
+            _ => rng.normal(0.0, 1.0),
+        });
+        assert_f32_diff(&a, &b)?;
+    }
+}
