@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tender_model::engine::{DecodeSession, KvCacheMode};
+use tender_model::engine::DecodeSession;
 use tender_model::{ModelShape, QuantizedModel, SyntheticLlm};
 use tender_quant::tender::{TenderConfig, TenderScheme};
 
@@ -67,20 +67,8 @@ fn bench_decode_step(c: &mut Criterion) {
                 });
             },
         );
-        // Same reference model, INT8-quantized KV cache: measures the
-        // dequantize-on-read overhead against the f32-cache baseline above.
-        let mut kvbase = DecodeSession::with_cache_mode(&reference, KvCacheMode::Int8);
-        kvbase.prefill(&tokens(cache_len, shape.vocab, 2));
-        group.bench_with_input(
-            BenchmarkId::new("reference_kv_int8", cache_len),
-            &cache_len,
-            |b, _| {
-                b.iter(|| {
-                    let mut s = kvbase.clone();
-                    black_box(s.step(7).expect("step"))
-                });
-            },
-        );
+        // Quantized-KV-cache step latency lives in `benches/kv_read.rs`,
+        // which A/Bs the integer read path against dequantize-on-read.
     }
     group.finish();
 }

@@ -448,6 +448,13 @@ pub mod engine {
     /// exceeded the head's running `TMax`, forcing stored rows through the
     /// group-index / 1-bit-shift requantization path.
     pub static KV_REQUANTS: Counter = Counter::new();
+    /// Integer-domain KV dot products: attention score/value rows computed
+    /// directly on packed cache codes (no dequantize-on-read).
+    pub static KV_INT_DOTS: Counter = Counter::new();
+    /// Multiply-accumulates executed by integer-domain KV dots (a subset
+    /// of `DECODE_MACS`, cross-checked against the simulator's
+    /// `kv_int_dot_macs` model).
+    pub static KV_INT_DOT_MACS: Counter = Counter::new();
 }
 
 /// Hardware-simulator metrics (`tender_sim`).
@@ -562,6 +569,8 @@ pub fn reset_all() {
     engine::KV_CACHE_ALLOCATED_BYTES.reset();
     engine::KV_CACHE_PEAK_BYTES.reset();
     engine::KV_REQUANTS.reset();
+    engine::KV_INT_DOTS.reset();
+    engine::KV_INT_DOT_MACS.reset();
     sim::DRAM_ROW_HITS.reset();
     sim::DRAM_ROW_MISSES.reset();
     sim::DRAM_BYTES.reset();

@@ -272,6 +272,11 @@ pub(crate) fn build() -> Report {
                 Value::U64(engine::KV_CACHE_PEAK_BYTES.get()),
             ),
             ("kv_requants".into(), Value::U64(engine::KV_REQUANTS.get())),
+            ("kv_int_dots".into(), Value::U64(engine::KV_INT_DOTS.get())),
+            (
+                "kv_int_dot_macs".into(),
+                Value::U64(engine::KV_INT_DOT_MACS.get()),
+            ),
         ],
     };
     let sim_section = Section {

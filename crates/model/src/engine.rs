@@ -11,13 +11,23 @@
 //! [`KvCacheMode`]s: `f32` (exact, the default), `int8`, or `int4` with the
 //! paper's per-head power-of-two group decomposition. Quantized modes
 //! quantize each row at append time against the head's running `TMax`
-//! (per-channel bias subtracted, as in the calibration path) and
-//! dequantize on read, so decode arithmetic — and thus thread-count
-//! determinism — is unchanged; only the cached values are approximate.
-//! When a new row's residual magnitude exceeds `TMax`, the head
-//! requantizes its stored rows by the paper's runtime rule: double `TMax`,
-//! advance every element's group index, and 1-bit-shift only the values
-//! the index cannot absorb (see [`tender_tensor::QuantRows`]).
+//! (per-channel bias subtracted, as in the calibration path). When a new
+//! row's residual magnitude exceeds `TMax`, the head requantizes its
+//! stored rows by the paper's runtime rule: double `TMax`, advance every
+//! element's group index, and 1-bit-shift only the values the index cannot
+//! absorb (see [`tender_tensor::QuantRows`]).
+//!
+//! **Read paths.** Quantized planes are *read* in the integer domain by
+//! default ([`KvReadPath::Integer`]): decode attention quantizes the query
+//! (and attention-probability) row to 8-bit codes and dots it against the
+//! packed K/V codes directly, accumulating per power-of-two group in i64
+//! and applying each group's scale once per dot via the α = 2
+//! shift-combine — never materializing an f32 plane. The legacy
+//! [`KvReadPath::Dequant`] path (dequantize the whole plane, then run f32
+//! attention) is kept for A/B benchmarking and differential tests. Either
+//! way decode stays bit-deterministic at any thread count and GEMM
+//! backend; the two read paths are numerically close but not bit-equal
+//! (the integer path rounds the query/probability rows).
 //!
 //! **Parity guarantee.** In `f32` mode, `prefill(&t[..n]); step(t[n]); …;
 //! step(t[m-1])` produces logits bit-identical to the last row of a
@@ -37,9 +47,10 @@ use std::fmt;
 use std::sync::Mutex;
 
 use tender_metrics::engine as metrics;
-use tender_quant::quantizer::{f16_round, quantize_value};
+use tender_metrics::kernel as kernel_metrics;
+use tender_quant::quantizer::{f16_round, quantize_value, symmetric_scale};
 use tender_quant::tender::{classify_channels, group_scales};
-use tender_tensor::{pool, Matrix, QuantRows};
+use tender_tensor::{gemm, pool, Matrix, QuantRows};
 
 use crate::forward::{QuantizedModel, ReferenceModel};
 use crate::pipeline::{self, Exec};
@@ -50,6 +61,35 @@ use crate::weights::TransformerWeights;
 /// choice that makes runtime requantization a group-index bump / 1-bit
 /// shift.
 const ALPHA: u32 = 2;
+
+/// Activation-side precision of the integer read path: query and
+/// attention-probability rows are quantized to this many bits before
+/// being dotted against the packed cache codes (the paper's INT8
+/// activation datapath).
+const KV_ACT_BITS: u32 = 8;
+
+/// How quantized cache planes are read during decode attention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KvReadPath {
+    /// Dot the packed codes directly: per-group i64 accumulation plus the
+    /// α = 2 shift-combine, one scale application per dot (the fast path).
+    #[default]
+    Integer,
+    /// Legacy dequantize-on-read: materialize the f32 plane, then run the
+    /// ordinary f32 attention product. Kept for A/B benchmarks and
+    /// differential tests.
+    Dequant,
+}
+
+impl KvReadPath {
+    /// Canonical lower-case name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Integer => "integer",
+            Self::Dequant => "dequant",
+        }
+    }
+}
 
 /// Storage precision of the KV cache.
 ///
@@ -257,10 +297,147 @@ impl QuantHead {
     }
 
     fn dequant(&self) -> Matrix {
-        Matrix::from_fn(self.rows.rows(), self.rows.cols(), |r, c| {
-            let (q, g) = self.rows.get(r, c);
-            q as f32 * self.scales[g] + self.bias[c]
-        })
+        let mut qs = vec![0i32; self.rows.cols()];
+        let mut gs = vec![0u8; self.rows.cols()];
+        let mut out = Matrix::with_row_capacity(self.rows.cols(), self.rows.rows());
+        let mut row = vec![0.0f32; self.rows.cols()];
+        for r in 0..self.rows.rows() {
+            self.rows.decode_row_into(r, &mut qs, &mut gs);
+            for (c, o) in row.iter_mut().enumerate() {
+                *o = qs[c] as f32 * self.scales[gs[c] as usize] + self.bias[c];
+            }
+            out.push_row(&row);
+        }
+        out
+    }
+
+    /// Quantizes an f32 activation row to `KV_ACT_BITS` codes, returning
+    /// the codes and the scale. Non-finite entries are excluded from the
+    /// range estimate and clamp deterministically in `quantize_value`.
+    fn quantize_act(xs: &[f32]) -> (Vec<i32>, f32) {
+        let mut amax = 0.0f32;
+        for &x in xs {
+            if x.is_finite() {
+                amax = amax.max(x.abs());
+            }
+        }
+        let scale = symmetric_scale(amax, KV_ACT_BITS);
+        let codes = xs
+            .iter()
+            .map(|&x| quantize_value(x, scale, KV_ACT_BITS))
+            .collect();
+        (codes, scale)
+    }
+
+    /// Folds the per-group i64 partial sums of one dot into a single value
+    /// with the α = 2 shift-combine (groups ascending: `acc ← acc·2 + S_g`),
+    /// mirroring the implicit-requantization kernels. With `check` set,
+    /// every shift and add is tested against the i32 datapath range and
+    /// excursions are counted into `events`.
+    fn combine_groups(accs: &[i64], check: bool, events: &mut u64) -> i64 {
+        let mut acc = accs[0];
+        for &s in &accs[1..] {
+            acc *= ALPHA as i64;
+            if check && (acc > i32::MAX as i64 || acc < i32::MIN as i64) {
+                *events += 1;
+            }
+            acc += s;
+            if check && (acc > i32::MAX as i64 || acc < i32::MIN as i64) {
+                *events += 1;
+            }
+        }
+        acc
+    }
+
+    /// Records one plane walk of `dots` integer dot products in the kernel
+    /// overflow-machinery counters.
+    fn record_dot_metrics(dots: usize, check: bool, events: u64) {
+        if check {
+            kernel_metrics::CHUNKS_CHECKED.add(dots as u64);
+        } else {
+            kernel_metrics::CHUNKS_FAST_PATH.add(dots as u64);
+        }
+        if events > 0 {
+            kernel_metrics::OVERFLOW_EVENTS.add(events);
+        }
+    }
+
+    /// Integer-domain attention scores: `out[j] = qh · dequant(row j)`
+    /// computed without dequantizing. The scaled query row is quantized to
+    /// 8-bit codes once; the packed-dot kernel accumulates per group in
+    /// i64; the shift-combine applies each power-of-two scale once per dot;
+    /// a single f32 expression per row applies `x_scale · s_last` and adds
+    /// the bias dot (`Σ_c qh[c]·bias[c]`, computed in full f32 precision).
+    /// The accumulation chain is fixed (columns ascending, zero-skip on the
+    /// query code) and integer sums are exact, so the result is
+    /// bit-identical across GEMM backends and thread counts.
+    fn score_int(&self, qh: &[f32]) -> Vec<f32> {
+        let len = self.rows.rows();
+        let dh = self.rows.cols();
+        debug_assert_eq!(qh.len(), dh);
+        if len == 0 {
+            return Vec::new();
+        }
+        let (xq, x_scale) = Self::quantize_act(qh);
+        let mut bias_dot = 0.0f32;
+        for (x, b) in qh.iter().zip(&self.bias) {
+            bias_dot += x * b;
+        }
+        let check = !gemm::kv_dot_cannot_overflow(dh, KV_ACT_BITS, self.bits, self.groups);
+        let mut acc = vec![0i64; len * self.groups];
+        let mut events =
+            gemm::active_backend().kv_score_block(&self.rows, &xq, self.groups, check, &mut acc);
+        let s_last = *self.scales.last().expect("scales fixed at first append");
+        let factor = x_scale * s_last;
+        let mut out = vec![0.0f32; len];
+        for (j, o) in out.iter_mut().enumerate() {
+            let combined = Self::combine_groups(
+                &acc[j * self.groups..(j + 1) * self.groups],
+                check,
+                &mut events,
+            );
+            *o = combined as f32 * factor + bias_dot;
+        }
+        Self::record_dot_metrics(len, check, events);
+        out
+    }
+
+    /// Integer-domain attention-value product: `out[c] = Σ_j probs[j] ·
+    /// dequant(row j)[c]` without dequantizing. The probability row is
+    /// quantized to 8-bit codes; per-(group, column) i64 accumulation plus
+    /// the shift-combine applies each scale once per output channel; the
+    /// bias contributes `bias[c] · Σ_j probs[j]` with the probability sum
+    /// folded serially in f32. Deterministic for the same reasons as
+    /// [`QuantHead::score_int`].
+    fn attn_int(&self, probs: &[f32]) -> Vec<f32> {
+        let len = self.rows.rows();
+        let dh = self.rows.cols();
+        debug_assert_eq!(probs.len(), len);
+        if len == 0 {
+            return vec![0.0; dh];
+        }
+        let (pq, p_scale) = Self::quantize_act(probs);
+        let mut psum = 0.0f32;
+        for &p in probs {
+            psum += p;
+        }
+        let check = !gemm::kv_dot_cannot_overflow(len, KV_ACT_BITS, self.bits, self.groups);
+        let mut acc = vec![0i64; self.groups * dh];
+        let mut events =
+            gemm::active_backend().kv_attn_block(&self.rows, &pq, self.groups, check, &mut acc);
+        let s_last = *self.scales.last().expect("scales fixed at first append");
+        let factor = p_scale * s_last;
+        let mut out = vec![0.0f32; dh];
+        let mut col_accs = vec![0i64; self.groups];
+        for (c, o) in out.iter_mut().enumerate() {
+            for g in 0..self.groups {
+                col_accs[g] = acc[g * dh + c];
+            }
+            let combined = Self::combine_groups(&col_accs, check, &mut events);
+            *o = combined as f32 * factor + self.bias[c] * psum;
+        }
+        Self::record_dot_metrics(dh, check, events);
+        out
     }
 }
 
@@ -349,6 +526,8 @@ pub struct KvCache {
     heads: usize,
     head_dim: usize,
     mode: KvCacheMode,
+    /// How quantized planes are read during decode attention.
+    read_path: KvReadPath,
     /// `layers × heads` K planes, indexed `li * heads + head`.
     k: Vec<HeadStore>,
     /// `layers × heads` V planes, same indexing.
@@ -392,6 +571,7 @@ impl KvCache {
             heads: shape.heads,
             head_dim: dh,
             mode,
+            read_path: KvReadPath::default(),
             k: make(),
             v: make(),
         }
@@ -480,16 +660,91 @@ impl KvCache {
         }
     }
 
+    /// The configured read path for quantized planes.
+    pub fn read_path(&self) -> KvReadPath {
+        self.read_path
+    }
+
+    /// Selects how quantized planes are read (the integer fast path by
+    /// default; [`KvReadPath::Dequant`] restores the legacy
+    /// dequantize-on-read behaviour for A/B comparison). No-op for `f32`
+    /// caches, which have a single exact path.
+    pub fn set_read_path(&mut self, path: KvReadPath) {
+        self.read_path = path;
+    }
+
     /// Cached keys for `(li, head)`: a `len × head_dim` matrix. Borrowed
-    /// in `f32` mode; dequantized on the fly in quantized modes.
+    /// in `f32` mode; dequantized on the fly in quantized modes (the
+    /// legacy read path — decode attention uses
+    /// [`KvCache::attn_scores_quant`] instead).
     pub fn head_k(&self, li: usize, head: usize) -> Cow<'_, Matrix> {
         self.k[li * self.heads + head].matrix()
     }
 
     /// Cached values for `(li, head)`: a `len × head_dim` matrix. Borrowed
-    /// in `f32` mode; dequantized on the fly in quantized modes.
+    /// in `f32` mode; dequantized on the fly in quantized modes (the
+    /// legacy read path — decode attention uses
+    /// [`KvCache::attn_values_quant`] instead).
     pub fn head_v(&self, li: usize, head: usize) -> Cow<'_, Matrix> {
         self.v[li * self.heads + head].matrix()
+    }
+
+    /// The packed K codes for `(li, head)`, or `None` for an `f32` plane.
+    /// This is the borrowed view the integer read path walks; no dequant,
+    /// no copy.
+    pub fn head_k_codes(&self, li: usize, head: usize) -> Option<&QuantRows> {
+        match &self.k[li * self.heads + head] {
+            HeadStore::Quant(q) => Some(&q.rows),
+            HeadStore::F32(_) => None,
+        }
+    }
+
+    /// The packed V codes for `(li, head)`, or `None` for an `f32` plane.
+    pub fn head_v_codes(&self, li: usize, head: usize) -> Option<&QuantRows> {
+        match &self.v[li * self.heads + head] {
+            HeadStore::Quant(q) => Some(&q.rows),
+            HeadStore::F32(_) => None,
+        }
+    }
+
+    /// Integer-domain attention scores of the (already scaled) query row
+    /// `qh` against the cached K plane of `(li, head)`: a `1 × len` row,
+    /// computed directly on the packed codes. Returns `None` when the
+    /// plane is `f32` or the read path is [`KvReadPath::Dequant`] — the
+    /// caller then falls back to the f32 product.
+    pub fn attn_scores_quant(&self, li: usize, head: usize, qh: &[f32]) -> Option<Matrix> {
+        if self.read_path != KvReadPath::Integer {
+            return None;
+        }
+        match &self.k[li * self.heads + head] {
+            HeadStore::Quant(q) => {
+                let out = q.score_int(qh);
+                metrics::KV_INT_DOTS.add(out.len() as u64);
+                metrics::KV_INT_DOT_MACS.add((out.len() * self.head_dim) as u64);
+                let len = out.len();
+                Some(Matrix::from_vec(1, len, out).expect("score row shape"))
+            }
+            HeadStore::F32(_) => None,
+        }
+    }
+
+    /// Integer-domain attention-value product of the probability row
+    /// `probs` (length `len`) against the cached V plane of `(li, head)`:
+    /// a `1 × head_dim` row computed directly on the packed codes. Same
+    /// `None` contract as [`KvCache::attn_scores_quant`].
+    pub fn attn_values_quant(&self, li: usize, head: usize, probs: &[f32]) -> Option<Matrix> {
+        if self.read_path != KvReadPath::Integer {
+            return None;
+        }
+        match &self.v[li * self.heads + head] {
+            HeadStore::Quant(q) => {
+                let out = q.attn_int(probs);
+                metrics::KV_INT_DOTS.add(out.len() as u64);
+                metrics::KV_INT_DOT_MACS.add((probs.len() * self.head_dim) as u64);
+                Some(Matrix::from_vec(1, self.head_dim, out).expect("attn row shape"))
+            }
+            HeadStore::F32(_) => None,
+        }
     }
 }
 
@@ -586,6 +841,7 @@ pub struct DecodeSession<'m> {
     model: ModelRef<'m>,
     cache: KvCache,
     last_step_macs: u64,
+    last_step_kv_int_macs: u64,
     /// Resident bytes this session has added to `KV_CACHE_BYTES`.
     published_bytes: u64,
     /// Allocated bytes this session has added to `KV_CACHE_ALLOCATED_BYTES`.
@@ -607,11 +863,18 @@ impl<'m> DecodeSession<'m> {
             model,
             cache,
             last_step_macs: 0,
+            last_step_kv_int_macs: 0,
             published_bytes: 0,
             published_allocated: 0,
         };
         session.publish_cache_metrics();
         session
+    }
+
+    /// Selects the quantized-cache read path (integer-domain by default);
+    /// see [`KvCache::set_read_path`].
+    pub fn set_kv_read_path(&mut self, path: KvReadPath) {
+        self.cache.set_read_path(path);
     }
 
     /// Folds the session's current footprint into the aggregate gauges by
@@ -696,12 +959,24 @@ impl<'m> DecodeSession<'m> {
         let _span = metrics::DECODE_STEP_TIME.span();
         let exec = self.model.exec();
         let mut macs = 0u64;
+        let mut int_macs = 0u64;
         let mut h = pipeline::embed(w, &[token], pos);
         for (li, layer) in w.layers.iter().enumerate() {
-            h = pipeline::layer_decode(w, li, layer, h, &exec, &mut self.cache, pos, &mut macs);
+            h = pipeline::layer_decode(
+                w,
+                li,
+                layer,
+                h,
+                &exec,
+                &mut self.cache,
+                pos,
+                &mut macs,
+                &mut int_macs,
+            );
         }
         let hidden = pipeline::apply_norm(&h, &w.final_gamma, &w.final_beta, shape.norm);
         self.last_step_macs = macs;
+        self.last_step_kv_int_macs = int_macs;
         metrics::DECODE_STEPS.incr();
         metrics::DECODE_MACS.add(macs);
         self.publish_cache_metrics();
@@ -732,6 +1007,18 @@ impl<'m> DecodeSession<'m> {
     pub fn last_step_macs(&self) -> u64 {
         self.last_step_macs
     }
+
+    /// Multiply-accumulates the most recent [`step`] executed in the
+    /// integer domain on packed KV codes (a subset of
+    /// [`last_step_macs`]; zero in `f32` mode or on the legacy dequantize
+    /// read path). Cross-checked against the simulator's
+    /// `kv_int_dot_macs` model.
+    ///
+    /// [`step`]: DecodeSession::step
+    /// [`last_step_macs`]: DecodeSession::last_step_macs
+    pub fn last_step_kv_int_macs(&self) -> u64 {
+        self.last_step_kv_int_macs
+    }
 }
 
 impl Clone for DecodeSession<'_> {
@@ -745,6 +1032,7 @@ impl Clone for DecodeSession<'_> {
             model: self.model,
             cache: self.cache.clone(),
             last_step_macs: self.last_step_macs,
+            last_step_kv_int_macs: self.last_step_kv_int_macs,
             published_bytes: self.published_bytes,
             published_allocated: self.published_allocated,
         }

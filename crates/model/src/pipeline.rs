@@ -89,6 +89,17 @@ impl Exec<'_> {
             Exec::Quantized { scheme, .. } => scheme.act_act_matmul(a, b),
         }
     }
+
+    /// Whether [`Exec::act_act`] is the plain f32 matmul (the scheme does
+    /// not quantize activation×activation products). When true, the
+    /// transpose-free [`ops::row_dot_nt`] may substitute for
+    /// `act_act(q, kᵀ)` bit-for-bit.
+    pub(crate) fn act_act_is_exact(&self) -> bool {
+        match self {
+            Exec::Reference => true,
+            Exec::Quantized { scheme, .. } => !scheme.quantizes_act_act(),
+        }
+    }
 }
 
 pub(crate) fn apply_norm(x: &Matrix, gamma: &[f32], beta: &[f32], norm: NormKind) -> Matrix {
@@ -278,7 +289,18 @@ fn guard_decode_activation(li: usize, a: Matrix) -> Matrix {
 /// holds `pos + 1` rows for this layer), and attention runs over the whole
 /// cache — no mask needed, every cached position is in the past. `macs`
 /// accrues the multiply-accumulates actually executed, measured from the
-/// operand shapes of each matmul performed.
+/// operand shapes of each matmul performed; `int_macs` accrues the subset
+/// executed in the integer domain on packed KV codes.
+///
+/// **Attention read paths.** Quantized cache planes dot the query and
+/// probability rows against the packed codes directly
+/// ([`KvCache::attn_scores_quant`] / [`KvCache::attn_values_quant`]) — no
+/// dequantized plane, no transpose copy. f32 planes (and the legacy
+/// dequantize read path) use the transpose-free [`ops::row_dot_nt`] when
+/// the scheme's act×act product is the plain f32 matmul, which reproduces
+/// `act_act(q, kᵀ)` bit-for-bit; only schemes that *quantize* act×act
+/// still pay the explicit transpose, since their operator consumes the
+/// transposed matrix.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn layer_decode(
     w: &TransformerWeights,
@@ -289,6 +311,7 @@ pub(crate) fn layer_decode(
     cache: &mut KvCache,
     pos: usize,
     macs: &mut u64,
+    int_macs: &mut u64,
 ) -> Matrix {
     let shape = &w.shape;
     let dh = shape.head_dim();
@@ -308,21 +331,36 @@ pub(crate) fn layer_decode(
     mac(1, a.cols(), k.cols());
     mac(1, a.cols(), v.cols());
     cache.append(li, &k, &v);
+    let len = pos + 1; // cache rows for this layer after the append
 
     let mut ao = Matrix::zeros(1, shape.d_model);
     for head in 0..shape.heads {
         let c0 = head * dh;
         let c1 = c0 + dh;
         let qh = q.slice_cols(c0, c1).scale(scale);
-        let kh_t = cache.head_k(li, head).as_ref().transpose();
-        let scores = exec.act_act(&qh, &kh_t);
-        mac(1, qh.cols(), kh_t.cols());
+        let scores = match cache.attn_scores_quant(li, head, qh.row(0)) {
+            Some(s) => {
+                *int_macs += (dh * len) as u64;
+                s
+            }
+            None if exec.act_act_is_exact() => {
+                ops::row_dot_nt(&qh, cache.head_k(li, head).as_ref())
+            }
+            None => exec.act_act(&qh, &cache.head_k(li, head).as_ref().transpose()),
+        };
+        mac(1, dh, len);
         // Every cached position is ≤ pos: nothing to mask. The softmax and
         // the value product below see exactly the live columns the full
         // pass sees at row `pos`, in the same order.
         let probs = ops::softmax_rows(&scores);
-        let attn = exec.act_act(&probs, cache.head_v(li, head).as_ref());
-        mac(1, probs.cols(), dh);
+        let attn = match cache.attn_values_quant(li, head, probs.row(0)) {
+            Some(a) => {
+                *int_macs += (dh * len) as u64;
+                a
+            }
+            None => exec.act_act(&probs, cache.head_v(li, head).as_ref()),
+        };
+        mac(1, len, dh);
         for c in 0..dh {
             ao[(0, c0 + c)] = attn[(0, c)];
         }

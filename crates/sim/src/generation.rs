@@ -95,6 +95,43 @@ pub fn decode_step_macs(shape: &ModelShape, cache_len: usize, batch: usize) -> u
         .sum()
 }
 
+/// Multiply-accumulates of one decode step on one layer that run in the
+/// **integer domain** on packed KV codes when the cache is quantized with
+/// the integer read path: the Score and AttnV products (`2 · head_dim ·
+/// cache_len` per head; every other GEMM keeps the scheme's own datapath).
+/// Zero for an `f32` cache. Cross-checked against the engine's measured
+/// `last_step_kv_int_macs` the same way [`decode_step_macs`] is checked
+/// against `last_step_macs`.
+pub fn kv_int_dot_macs(
+    shape: &ModelShape,
+    cache_len: usize,
+    batch: usize,
+    mode: KvCacheMode,
+) -> u64 {
+    shape.validate();
+    assert!(cache_len > 0 && batch > 0);
+    match mode {
+        KvCacheMode::F32 => 0,
+        KvCacheMode::Int8 | KvCacheMode::Int4 => {
+            (batch * shape.heads * 2 * shape.head_dim() * cache_len) as u64
+        }
+    }
+}
+
+/// Integer-domain KV dot products of one decode step on one layer (score
+/// rows + attention-value channels per head), the analytic twin of the
+/// engine's `kv_int_dots` counter. Zero for an `f32` cache.
+pub fn kv_int_dots(shape: &ModelShape, cache_len: usize, batch: usize, mode: KvCacheMode) -> u64 {
+    shape.validate();
+    assert!(cache_len > 0 && batch > 0);
+    match mode {
+        KvCacheMode::F32 => 0,
+        KvCacheMode::Int8 | KvCacheMode::Int4 => {
+            (batch * shape.heads * (cache_len + shape.head_dim())) as u64
+        }
+    }
+}
+
 /// Floating-point operations of one decode step on one layer (two per MAC).
 pub fn decode_step_flops(shape: &ModelShape, cache_len: usize, batch: usize) -> u64 {
     2 * decode_step_macs(shape, cache_len, batch)

@@ -10,10 +10,10 @@
 //! `kv_cache_mode_bytes` at the cache length and capacity respectively,
 //! for every storage mode.
 
-use tender_model::engine::{DecodeSession, KvCacheMode};
+use tender_model::engine::{DecodeSession, KvCacheMode, KvReadPath};
 use tender_model::{ModelShape, SyntheticLlm};
 use tender_sim::generation::{
-    decode_step_flops, decode_step_macs, kv_cache_bytes, kv_cache_mode_bytes,
+    decode_step_flops, decode_step_macs, kv_cache_bytes, kv_cache_mode_bytes, kv_int_dot_macs,
 };
 
 #[test]
@@ -63,6 +63,48 @@ fn gated_ffn_decode_macs_include_the_gate_gemm() {
         shape.layers as u64 * decode_step_flops(&shape, session.len(), 1),
         2 * session.last_step_macs()
     );
+}
+
+#[test]
+fn measured_integer_dot_macs_match_simulated_workload() {
+    // The integer-domain attention MACs (packed-code dots) must match the
+    // analytic model in every cache mode: zero for f32 or the legacy
+    // dequantize read path, `2·heads·head_dim·len` per layer otherwise.
+    // The *total* per-step MACs stay on the shape-based model either way.
+    let shape = ModelShape::tiny_test();
+    let model = SyntheticLlm::generate(&shape, 41);
+    let reference = model.reference();
+    let prompt: Vec<usize> = (0..6).map(|i| (i * 7 + 3) % shape.vocab).collect();
+
+    for mode in KvCacheMode::ALL {
+        for path in [KvReadPath::Integer, KvReadPath::Dequant] {
+            let mut session = DecodeSession::with_cache_mode(&reference, mode);
+            session.set_kv_read_path(path);
+            session.prefill(&prompt);
+            for s in 0..3 {
+                session.step((s * 5 + 1) % shape.vocab).expect("in-window");
+                let len = session.len();
+                let predicted_int = if path == KvReadPath::Integer {
+                    shape.layers as u64 * kv_int_dot_macs(&shape, len, 1, mode)
+                } else {
+                    0
+                };
+                assert_eq!(
+                    session.last_step_kv_int_macs(),
+                    predicted_int,
+                    "integer-dot MACs diverge from sim at len {len} in {} mode ({} path)",
+                    mode.label(),
+                    path.label()
+                );
+                assert_eq!(
+                    session.last_step_macs(),
+                    shape.layers as u64 * decode_step_macs(&shape, len, 1),
+                    "total MACs must stay on the shape model in {} mode",
+                    mode.label()
+                );
+            }
+        }
+    }
 }
 
 #[test]

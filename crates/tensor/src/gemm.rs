@@ -32,6 +32,7 @@
 //! via [`backend`].
 
 use crate::pool;
+use crate::qrows::QuantRows;
 use std::sync::atomic::{AtomicU8, Ordering};
 use tender_metrics::gemm as metrics;
 
@@ -148,6 +149,76 @@ pub trait GemmBackend: Sync {
 
     /// i32 operands with i64 accumulation (overflow-safety analysis).
     fn i64_block(&self, a: &[i32], k: usize, b: &[i32], n: usize, packed: &[i32], out: &mut [i64]);
+
+    /// Integer-domain KV **score** kernel: the quantized query row `xq`
+    /// (length `kv.cols()`) dotted against every packed row of `kv`
+    /// without dequantizing, keeping one i64 partial sum per
+    /// `(row, group)`: `acc[j * groups + g] += Σ_{c ∈ group g} xq[c] ·
+    /// code(j, c)`. `acc` must be zeroed, `kv.rows() * groups` long; the
+    /// caller applies the α-shift combine across groups and the f32
+    /// scales/bias afterwards. Columns walk ascending. With `check` true
+    /// each MAC's accumulator is tested against the i32 range (the
+    /// hardware datapath width), left-operand zeros are skipped (the
+    /// fixed-chain discipline shared with the f32 kernels), and the
+    /// excursion count is returned. The fast path gated by
+    /// [`kv_dot_cannot_overflow`] returns 0 and is free to accumulate
+    /// densely in i32 — the bound certifies every partial stays in range,
+    /// and integer addition is exact, so skipping nothing and narrowing
+    /// the accumulator both leave the sums bit-identical across backends
+    /// and check modes.
+    fn kv_score_block(
+        &self,
+        kv: &QuantRows,
+        xq: &[i32],
+        groups: usize,
+        check: bool,
+        acc: &mut [i64],
+    ) -> u64;
+
+    /// Integer-domain KV **value** kernel: the quantized probability row
+    /// `pq` (length `kv.rows()`) against the packed rows of `kv`,
+    /// accumulating per `(group, column)`: `acc[g * kv.cols() + c] +=
+    /// Σ_j pq[j] · code(j, c)`. `acc` must be zeroed, `groups * kv.cols()`
+    /// long. Rows walk ascending; check-mode and fast-path semantics match
+    /// [`kv_score_block`](GemmBackend::kv_score_block).
+    fn kv_attn_block(
+        &self,
+        kv: &QuantRows,
+        pq: &[i32],
+        groups: usize,
+        check: bool,
+        acc: &mut [i64],
+    ) -> u64;
+}
+
+/// Largest quantized magnitude representable at `bits` (the push-row
+/// limit, conservative for schemes that clamp one tighter).
+fn kv_qmax(bits: u32) -> u128 {
+    1u128 << (bits - 1)
+}
+
+/// Worst-case |accumulator| of an integer KV dot: `terms` MACs of
+/// `x_qmax · kv_qmax` into one group partial, then the α = 2 shift-combine
+/// across `groups` (`acc ← acc·2 + S_g`, groups ascending), whose worst
+/// intermediate is `per_group · (2^groups − 1)`. Saturating u128, the same
+/// analysis style as the Tender chunk accumulator bound.
+pub fn kv_dot_bound(terms: usize, x_bits: u32, kv_bits: u32, groups: usize) -> u128 {
+    let step = kv_qmax(x_bits) * kv_qmax(kv_bits);
+    (terms as u128)
+        .saturating_mul(step)
+        .saturating_mul((1u128 << groups) - 1)
+}
+
+/// Whether the integer KV dot provably stays inside the i32 datapath for
+/// this shape, admitting the check-free fast path.
+pub fn kv_dot_cannot_overflow(terms: usize, x_bits: u32, kv_bits: u32, groups: usize) -> bool {
+    kv_dot_bound(terms, x_bits, kv_bits, groups) <= i32::MAX as u128
+}
+
+/// Whether an i64 accumulator has left the i32 datapath range.
+#[inline]
+fn outside_i32(v: i64) -> bool {
+    v > i32::MAX as i64 || v < i32::MIN as i64
 }
 
 /// Panel-major packing of `b`'s full-width tiles: panel `t` holds columns
@@ -252,6 +323,143 @@ impl GemmBackend for ReferenceBackend {
                 }
             }
         }
+    }
+
+    fn kv_score_block(
+        &self,
+        kv: &QuantRows,
+        xq: &[i32],
+        groups: usize,
+        check: bool,
+        acc: &mut [i64],
+    ) -> u64 {
+        assert_eq!(xq.len(), kv.cols(), "query width mismatch");
+        assert_eq!(acc.len(), kv.rows() * groups, "accumulator bank mismatch");
+        let mut events = 0u64;
+        if check {
+            for j in 0..kv.rows() {
+                let accs = &mut acc[j * groups..(j + 1) * groups];
+                for (&xv, (q, g)) in xq.iter().zip(kv.row_iter(j)) {
+                    if xv == 0 {
+                        continue;
+                    }
+                    let a = &mut accs[g];
+                    *a += xv as i64 * q as i64;
+                    if outside_i32(*a) {
+                        events += 1;
+                    }
+                }
+            }
+            return events;
+        }
+        // Check-free: the caller's bound certifies i32 partials, so
+        // accumulate densely in i32 (no zero-skip — exact integer sums
+        // are identical either way). Rows are only `head_dim` wide, so
+        // per-row fixed costs matter: INT8 ungrouped dots the
+        // sign-extended bytes in place; other shapes bulk-decode each row
+        // once.
+        if groups == 1 && kv.bits() == 8 {
+            for (j, a) in acc.iter_mut().enumerate() {
+                let mut s = 0i32;
+                for (&xv, &b) in xq.iter().zip(kv.row_vals(j)) {
+                    s += xv * (b as i8 as i32);
+                }
+                *a += s as i64;
+            }
+            return 0;
+        }
+        let cols = kv.cols();
+        let mut qs = vec![0i32; cols];
+        let mut gs = vec![0u8; cols];
+        if groups == 4 {
+            // Four-group (Tender INT4) rows: a register bank indexed by
+            // the 2-bit group code (`g & 3` proves the index in range).
+            for j in 0..kv.rows() {
+                kv.decode_row_into(j, &mut qs, &mut gs);
+                let mut local = [0i32; 4];
+                for ((&xv, &q), &g) in xq.iter().zip(&qs).zip(&gs) {
+                    local[(g & 3) as usize] += xv * q;
+                }
+                for (a, &l) in acc[j * 4..(j + 1) * 4].iter_mut().zip(&local) {
+                    *a += l as i64;
+                }
+            }
+            return 0;
+        }
+        let mut local = vec![0i32; groups];
+        for j in 0..kv.rows() {
+            kv.decode_row_into(j, &mut qs, &mut gs);
+            let accs = &mut acc[j * groups..(j + 1) * groups];
+            local.fill(0);
+            for ((&xv, &q), &g) in xq.iter().zip(&qs).zip(&gs) {
+                local[g as usize] += xv * q;
+            }
+            for (a, &l) in accs.iter_mut().zip(&local) {
+                *a += l as i64;
+            }
+        }
+        events
+    }
+
+    fn kv_attn_block(
+        &self,
+        kv: &QuantRows,
+        pq: &[i32],
+        groups: usize,
+        check: bool,
+        acc: &mut [i64],
+    ) -> u64 {
+        assert_eq!(pq.len(), kv.rows(), "probability width mismatch");
+        assert_eq!(acc.len(), groups * kv.cols(), "accumulator bank mismatch");
+        let cols = kv.cols();
+        let mut events = 0u64;
+        if check {
+            for (j, &pv) in pq.iter().enumerate() {
+                if pv == 0 {
+                    continue;
+                }
+                let pv = pv as i64;
+                for (c, (q, g)) in kv.row_iter(j).enumerate() {
+                    let a = &mut acc[g * cols + c];
+                    *a += pv * q as i64;
+                    if outside_i32(*a) {
+                        events += 1;
+                    }
+                }
+            }
+        } else if groups == 1 && kv.bits() == 8 {
+            // Check-free INT8 ungrouped: dense i32 column bank swept
+            // directly over the sign-extended bytes, widened once.
+            let mut local = vec![0i32; cols];
+            for (j, &pv) in pq.iter().enumerate() {
+                for (l, &b) in local.iter_mut().zip(kv.row_vals(j)) {
+                    *l += pv * (b as i8 as i32);
+                }
+            }
+            for (a, &l) in acc.iter_mut().zip(&local) {
+                *a += l as i64;
+            }
+        } else {
+            // Check-free: bulk-decode each row once and sweep dense i32
+            // banks, widened once at the end (the caller's bound certifies
+            // every partial stays in i32 range).
+            let mut qs = vec![0i32; cols];
+            let mut gs = vec![0u8; cols];
+            let mut local = vec![0i32; groups * cols];
+            for (j, &pv) in pq.iter().enumerate() {
+                if pv == 0 {
+                    continue;
+                }
+                kv.decode_row_into(j, &mut qs, &mut gs);
+                for (c, (&q, &g)) in qs.iter().zip(&gs).enumerate() {
+                    local[g as usize * cols + c] += pv * q;
+                }
+            }
+            for (a, &l) in acc.iter_mut().zip(&local) {
+                *a += l as i64;
+            }
+        }
+        events
     }
 }
 
@@ -502,6 +710,150 @@ impl GemmBackend for BlockedBackend {
             |acc: i64, av: i32, bv: i32| acc + av as i64 * bv as i64
         );
     }
+
+    /// The blocked KV kernels avoid per-MAC bit extraction: INT8 ungrouped
+    /// check-free dots run directly over the sign-extended code bytes with
+    /// dense i32 accumulators (the caller's bound certifies i32 partials);
+    /// every other shape bulk-decodes each packed row into scratch once and
+    /// runs dense loops over the decoded values. The checked path keeps the
+    /// reference chain exactly (left-operand zero-skip, per-MAC i32-range
+    /// test on the i64 accumulator). Integer arithmetic is exact, so the
+    /// sums — and the overflow-event counts, which test the same
+    /// accumulator values at the same points — are bit-identical to
+    /// [`ReferenceBackend`] by construction.
+    fn kv_score_block(
+        &self,
+        kv: &QuantRows,
+        xq: &[i32],
+        groups: usize,
+        check: bool,
+        acc: &mut [i64],
+    ) -> u64 {
+        assert_eq!(xq.len(), kv.cols(), "query width mismatch");
+        assert_eq!(acc.len(), kv.rows() * groups, "accumulator bank mismatch");
+        let cols = kv.cols();
+        if !check && groups == 1 && kv.bits() == 8 {
+            // INT8 ungrouped fast path: dot the sign-extended bytes in
+            // place — no scratch, one dense i32 register accumulator per
+            // row (the caller's bound certifies i32 partials; dense vs
+            // zero-skip cannot change an exact integer sum).
+            for (j, a) in acc.iter_mut().enumerate() {
+                let vals = kv.row_vals(j);
+                let mut s = 0i32;
+                for (&xv, &b) in xq.iter().zip(vals) {
+                    s += xv * (b as i8 as i32);
+                }
+                *a += s as i64;
+            }
+            return 0;
+        }
+        let mut qs = vec![0i32; cols];
+        let mut gs = vec![0u8; cols];
+        let mut local = vec![0i32; groups];
+        let mut events = 0u64;
+        for j in 0..kv.rows() {
+            kv.decode_row_into(j, &mut qs, &mut gs);
+            let accs = &mut acc[j * groups..(j + 1) * groups];
+            if check {
+                for ((&xv, &q), &g) in xq.iter().zip(&qs).zip(&gs) {
+                    if xv == 0 {
+                        continue;
+                    }
+                    let a = &mut accs[g as usize];
+                    *a += xv as i64 * q as i64;
+                    if outside_i32(*a) {
+                        events += 1;
+                    }
+                }
+            } else if groups == 4 {
+                // Four-group (Tender INT4) rows: a register bank indexed
+                // by the 2-bit group code (`g & 3` proves the index in
+                // range).
+                let mut bank = [0i32; 4];
+                for ((&xv, &q), &g) in xq.iter().zip(&qs).zip(&gs) {
+                    bank[(g & 3) as usize] += xv * q;
+                }
+                for (a, &l) in accs.iter_mut().zip(&bank) {
+                    *a += l as i64;
+                }
+            } else {
+                // Grouped check-free path: dense i32 group accumulators,
+                // widened once per row.
+                local.fill(0);
+                for ((&xv, &q), &g) in xq.iter().zip(&qs).zip(&gs) {
+                    local[g as usize] += xv * q;
+                }
+                for (a, &l) in accs.iter_mut().zip(&local) {
+                    *a += l as i64;
+                }
+            }
+        }
+        events
+    }
+
+    fn kv_attn_block(
+        &self,
+        kv: &QuantRows,
+        pq: &[i32],
+        groups: usize,
+        check: bool,
+        acc: &mut [i64],
+    ) -> u64 {
+        assert_eq!(pq.len(), kv.rows(), "probability width mismatch");
+        assert_eq!(acc.len(), groups * kv.cols(), "accumulator bank mismatch");
+        let cols = kv.cols();
+        if !check && groups == 1 && kv.bits() == 8 {
+            // INT8 ungrouped fast path: dense i32 column bank swept
+            // directly over the sign-extended bytes, widened once.
+            let mut local = vec![0i32; cols];
+            for (j, &pv) in pq.iter().enumerate() {
+                let vals = kv.row_vals(j);
+                for (l, &b) in local.iter_mut().zip(vals) {
+                    *l += pv * (b as i8 as i32);
+                }
+            }
+            for (a, &l) in acc.iter_mut().zip(&local) {
+                *a += l as i64;
+            }
+            return 0;
+        }
+        let mut qs = vec![0i32; cols];
+        let mut gs = vec![0u8; cols];
+        let mut events = 0u64;
+        if check {
+            for (j, &pv) in pq.iter().enumerate() {
+                if pv == 0 {
+                    continue;
+                }
+                kv.decode_row_into(j, &mut qs, &mut gs);
+                let pv = pv as i64;
+                for (c, (&q, &g)) in qs.iter().zip(&gs).enumerate() {
+                    let a = &mut acc[g as usize * cols + c];
+                    *a += pv * q as i64;
+                    if outside_i32(*a) {
+                        events += 1;
+                    }
+                }
+            }
+        } else {
+            // Grouped check-free path: dense i32 banks over the bulk-decoded
+            // row, widened once at the end.
+            let mut local = vec![0i32; groups * cols];
+            for (j, &pv) in pq.iter().enumerate() {
+                if pv == 0 {
+                    continue;
+                }
+                kv.decode_row_into(j, &mut qs, &mut gs);
+                for (c, (&q, &g)) in qs.iter().zip(&gs).enumerate() {
+                    local[g as usize * cols + c] += pv * q;
+                }
+            }
+            for (a, &l) in acc.iter_mut().zip(&local) {
+                *a += l as i64;
+            }
+        }
+        events
+    }
 }
 
 static REFERENCE: ReferenceBackend = ReferenceBackend;
@@ -614,6 +966,100 @@ mod tests {
         reference_backend().i64_block(&a, k, &b, n, &[], &mut ref64);
         blocked_backend().i64_block(&a, k, &b, n, &[], &mut blk64);
         assert_eq!(ref64, blk64);
+    }
+
+    /// Builds a grouped INT4 / ungrouped INT8 store with deterministic
+    /// pseudo-random contents for kernel agreement tests.
+    fn kv_fixture(rows: usize, cols: usize, bits: u32, grouped: bool) -> QuantRows {
+        let lim = 1i32 << (bits - 1);
+        let mut s = QuantRows::with_row_capacity(cols, bits, grouped, rows);
+        for r in 0..rows {
+            let qs: Vec<i32> = (0..cols)
+                .map(|c| ((r * 31 + c * 17 + 5) as i32 % (2 * lim)) - lim)
+                .collect();
+            let gs: Vec<u8> = if grouped {
+                (0..cols).map(|c| ((r + c * 7) % 4) as u8).collect()
+            } else {
+                Vec::new()
+            };
+            s.push_row(&qs, &gs);
+        }
+        s
+    }
+
+    #[test]
+    fn kv_kernels_agree_across_backends_and_check_modes() {
+        for (bits, grouped, groups) in [(8, false, 1usize), (4, true, 4)] {
+            let kv = kv_fixture(13, 19, bits, grouped);
+            let xq: Vec<i32> = (0..19).map(|c| (c % 9) - 4).collect();
+            let pq: Vec<i32> = (0..13).map(|j| (j % 7) - 3).collect();
+            for check in [false, true] {
+                let mut rs = vec![0i64; kv.rows() * groups];
+                let mut bs = vec![0i64; kv.rows() * groups];
+                let er = reference_backend().kv_score_block(&kv, &xq, groups, check, &mut rs);
+                let eb = blocked_backend().kv_score_block(&kv, &xq, groups, check, &mut bs);
+                assert_eq!(rs, bs, "score sums diverge (bits {bits}, check {check})");
+                assert_eq!(er, eb, "score event counts diverge");
+                assert_eq!(er, 0, "tiny shapes cannot overflow i32");
+                let mut ra = vec![0i64; groups * kv.cols()];
+                let mut ba = vec![0i64; groups * kv.cols()];
+                let ea = reference_backend().kv_attn_block(&kv, &pq, groups, check, &mut ra);
+                let eab = blocked_backend().kv_attn_block(&kv, &pq, groups, check, &mut ba);
+                assert_eq!(ra, ba, "attn sums diverge (bits {bits}, check {check})");
+                assert_eq!(ea, eab, "attn event counts diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn kv_score_matches_scalar_definition() {
+        let kv = kv_fixture(5, 7, 4, true);
+        let xq: Vec<i32> = vec![3, 0, -2, 1, 4, -1, 2];
+        let groups = 4;
+        let mut acc = vec![0i64; kv.rows() * groups];
+        reference_backend().kv_score_block(&kv, &xq, groups, false, &mut acc);
+        for j in 0..kv.rows() {
+            let mut want = vec![0i64; groups];
+            for (c, &xv) in xq.iter().enumerate() {
+                let (q, g) = kv.get(j, c);
+                want[g] += xv as i64 * q as i64;
+            }
+            assert_eq!(&acc[j * groups..(j + 1) * groups], &want[..]);
+        }
+    }
+
+    #[test]
+    fn kv_overflow_bound_gates_realistic_shapes() {
+        // INT8 query × INT8 cache, head_dim 128: provably in-range.
+        assert!(kv_dot_cannot_overflow(128, 8, 8, 1));
+        // INT8 query × INT4 grouped cache at long contexts: still in-range.
+        assert!(kv_dot_cannot_overflow(4096, 8, 4, 4));
+        // Absurd term counts exceed the i32 datapath and force checks.
+        assert!(!kv_dot_cannot_overflow(1 << 22, 8, 8, 1));
+        assert!(kv_dot_bound(0, 8, 8, 1) == 0);
+    }
+
+    #[test]
+    fn kv_checked_path_counts_excursions() {
+        // One column, max-magnitude codes: 8-bit query value 128 would be
+        // out of spec, so drive with repeated rows instead — every MAC adds
+        // 127·(−8) to the same (group, column) accumulator; after enough
+        // rows the running value must cross −2^31 and start counting.
+        let rows = i32::MAX as usize / (127 * 8) + 2;
+        let cols = 1;
+        let mut kv = QuantRows::with_row_capacity(cols, 4, false, rows);
+        for _ in 0..rows {
+            kv.push_row(&[-8], &[]);
+        }
+        let pq = vec![127i32; rows];
+        assert!(!kv_dot_cannot_overflow(rows, 8, 4, 1));
+        let mut acc = vec![0i64; cols];
+        let events = reference_backend().kv_attn_block(&kv, &pq, 1, true, &mut acc);
+        assert!(events > 0, "saturated walk must record excursions");
+        let mut blk = vec![0i64; cols];
+        let eb = blocked_backend().kv_attn_block(&kv, &pq, 1, true, &mut blk);
+        assert_eq!(acc, blk);
+        assert_eq!(events, eb);
     }
 
     #[test]

@@ -37,19 +37,24 @@ pub struct QuantRows {
 
 /// Signed-integer right shift rounding half away from zero, the hardware
 /// requantization rule: `shift_round(5, 1) == 3`, `shift_round(-5, 1) == -3`.
+///
+/// Internally widens to i64: both the negate (for `i32::MIN`) and the
+/// rounding-bias add (for values near `i32::MAX`) would overflow in i32.
+/// Shifts of 32+ still round the largest magnitudes to zero, but a 31-bit
+/// shift of `i32::MIN` correctly yields `-1`, not `0`.
 fn shift_round(q: i32, s: u32) -> i32 {
     if s == 0 {
         return q;
     }
-    if s >= 31 {
-        return 0;
-    }
-    let half = 1i32 << (s - 1);
-    if q >= 0 {
+    let q = q as i64;
+    let s = s.min(62);
+    let half = 1i64 << (s - 1);
+    let r = if q >= 0 {
         (q + half) >> s
     } else {
         -((-q + half) >> s)
-    }
+    };
+    r as i32
 }
 
 impl QuantRows {
@@ -223,6 +228,83 @@ impl QuantRows {
         *byte = (*byte & !shifted_mask) | ((g as u8 & mask) << (bit % 8));
     }
 
+    /// Packed value bytes of row `r` (`val_row_bytes` of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_vals(&self, r: usize) -> &[u8] {
+        assert!(r < self.rows, "row {r} out of range");
+        let w = self.val_row_bytes();
+        &self.vals[r * w..(r + 1) * w]
+    }
+
+    /// Packed 2-bit group-index bytes of row `r`, `None` when ungrouped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_groups(&self, r: usize) -> Option<&[u8]> {
+        assert!(r < self.rows, "row {r} out of range");
+        let w = Self::group_row_bytes(self.cols);
+        self.groups.as_ref().map(|g| &g[r * w..(r + 1) * w])
+    }
+
+    /// Iterator over `(value, group)` pairs of row `r`, in column order.
+    ///
+    /// Equivalent to `(0..cols).map(|c| self.get(r, c))` but pays the row
+    /// bounds check once instead of per element — this is the read primitive
+    /// the integer-domain attention kernels walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_iter(&self, r: usize) -> RowIter<'_> {
+        RowIter {
+            vals: self.row_vals(r),
+            groups: self.row_groups(r),
+            bits: self.bits,
+            cols: self.cols,
+            c: 0,
+        }
+    }
+
+    /// Decodes row `r` into caller scratch: `qs` receives the sign-extended
+    /// values and `gs` the group indices (0 when ungrouped). Both slices
+    /// must hold exactly `cols` elements. This is the amortized bulk form
+    /// of [`row_iter`](QuantRows::row_iter) used by blocked kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or a slice length is not `cols`.
+    pub fn decode_row_into(&self, r: usize, qs: &mut [i32], gs: &mut [u8]) {
+        assert_eq!(qs.len(), self.cols, "value scratch width mismatch");
+        assert_eq!(gs.len(), self.cols, "group scratch width mismatch");
+        let vals = self.row_vals(r);
+        match self.bits {
+            8 => {
+                for (q, &b) in qs.iter_mut().zip(vals) {
+                    *q = b as i8 as i32;
+                }
+            }
+            _ => {
+                for (c, q) in qs.iter_mut().enumerate() {
+                    let raw = (vals[c / 2] >> ((c % 2) * 4)) & 0xF;
+                    *q = (((raw << 4) as i8) >> 4) as i32;
+                }
+            }
+        }
+        match self.row_groups(r) {
+            Some(groups) => {
+                for (c, g) in gs.iter_mut().enumerate() {
+                    let bit = c * GROUP_INDEX_BITS;
+                    *g = (groups[bit / 8] >> (bit % 8)) & (MAX_PACKED_GROUPS - 1) as u8;
+                }
+            }
+            None => gs.fill(0),
+        }
+    }
+
     /// Applies `k` caller-side `TMax` doublings to every stored element
     /// (Tender's runtime requantization, Eq. 3 / §IV of the paper).
     ///
@@ -261,6 +343,48 @@ impl QuantRows {
         }
     }
 }
+
+/// Borrowed `(value, group)` walk over one packed row; see
+/// [`QuantRows::row_iter`].
+#[derive(Debug, Clone)]
+pub struct RowIter<'a> {
+    vals: &'a [u8],
+    groups: Option<&'a [u8]>,
+    bits: u32,
+    cols: usize,
+    c: usize,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = (i32, usize);
+
+    fn next(&mut self) -> Option<(i32, usize)> {
+        if self.c >= self.cols {
+            return None;
+        }
+        let c = self.c;
+        self.c += 1;
+        let bit = c * self.bits as usize;
+        let raw = (self.vals[bit / 8] >> (bit % 8)) & ((1u16 << self.bits) - 1) as u8;
+        let shift = 8 - self.bits;
+        let q = (((raw << shift) as i8) >> shift) as i32;
+        let g = match self.groups {
+            Some(groups) => {
+                let gbit = c * GROUP_INDEX_BITS;
+                ((groups[gbit / 8] >> (gbit % 8)) & (MAX_PACKED_GROUPS - 1) as u8) as usize
+            }
+            None => 0,
+        };
+        Some((q, g))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cols - self.c;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -346,6 +470,45 @@ mod tests {
         assert_eq!(shift_round(-6, 2), -2);
         assert_eq!(shift_round(0, 7), 0);
         assert_eq!(shift_round(9, 0), 9);
+    }
+
+    #[test]
+    fn shift_round_survives_i32_extremes() {
+        // The i32-internal version overflowed on `-q` for `i32::MIN` and on
+        // `q + half` near `i32::MAX`; the i64-internal rule must not.
+        assert_eq!(shift_round(i32::MIN, 1), -(1 << 30));
+        assert_eq!(shift_round(i32::MAX, 1), 1 << 30);
+        // s == 31 used to early-return 0; i32::MIN / 2^31 = -1 exactly.
+        assert_eq!(shift_round(i32::MIN, 31), -1);
+        assert_eq!(shift_round(i32::MAX, 31), 1);
+        // Past the value width everything rounds to zero.
+        assert_eq!(shift_round(i32::MIN, 32), -1);
+        assert_eq!(shift_round(i32::MAX, 32), 0);
+        assert_eq!(shift_round(i32::MIN, 62), 0);
+        assert_eq!(shift_round(i32::MAX, u32::MAX), 0);
+    }
+
+    #[test]
+    fn row_iter_matches_get_and_decode_row_into() {
+        let mut s8 = QuantRows::with_row_capacity(5, 8, false, 2);
+        s8.push_row(&[-128, 0, 127, 5, -5], &[]);
+        s8.push_row(&[1, -2, 3, -4, 5], &[]);
+        let mut s4 = QuantRows::with_row_capacity(5, 4, true, 2);
+        s4.push_row(&[-8, 7, -1, 3, 0], &[0, 1, 2, 3, 1]);
+        s4.push_row(&[2, -3, 4, -5, 6], &[3, 0, 1, 2, 0]);
+        for s in [&s8, &s4] {
+            for r in 0..s.rows() {
+                let walked: Vec<(i32, usize)> = s.row_iter(r).collect();
+                let gotten: Vec<(i32, usize)> = (0..s.cols()).map(|c| s.get(r, c)).collect();
+                assert_eq!(walked, gotten, "row_iter diverges from get at row {r}");
+                let mut qs = vec![0i32; s.cols()];
+                let mut gs = vec![0u8; s.cols()];
+                s.decode_row_into(r, &mut qs, &mut gs);
+                for c in 0..s.cols() {
+                    assert_eq!((qs[c], gs[c] as usize), gotten[c]);
+                }
+            }
+        }
     }
 
     #[test]
