@@ -14,7 +14,8 @@
 //!   with this seed (same seed ⇒ same faults ⇒ same stdout at any thread
 //!   count).
 //! * `--fault-plan <spec>` — override per-site fault rates, e.g.
-//!   `blob=0.25,anan=0.05,exp=0.3` (sites: blob wnan anan dram pool exp);
+//!   `blob=0.25,anan=0.05,exp=0.3` (sites: blob wnan anan dram pool exp
+//!   sched);
 //!   seeded by `--fault-seed` (default 0).
 //! * `--halt-after <n>` — stop after executing `n` new experiments (exit
 //!   code 3): a deterministic stand-in for an interrupt, for testing

@@ -12,6 +12,7 @@ use tender::model::zeroshot;
 use tender::model::{ModelShape, QuantizedModel, SyntheticLlm};
 use tender::quant::scheme::Scheme;
 use tender::quant::tender::{TenderConfig, TenderScheme};
+use tender::serve::{build_or_degrade, kv_reserve_bytes, Scheduler, ServeConfig};
 use tender::sim::accel::{speedups_over, AcceleratorKind};
 use tender::sim::area::AreaModel;
 use tender::sim::config::TenderHwConfig;
@@ -981,6 +982,104 @@ pub fn kv_cache() -> Vec<Table> {
         ]);
     }
     t.note("decode-path ppl: logits collected from prefill(1)+steps; f32 row checks bit-parity vs the full forward");
+    vec![t]
+}
+
+/// Serve — the continuous-batching scheduler under synthetic load: 64
+/// requests through admission control (queue cap + KV-byte budget),
+/// chunked prefill mixed with in-flight decode, per-request deadlines, and
+/// per-session failure isolation.
+///
+/// The serving stack rides the degradation ladder twice. At setup, the
+/// Tender-INT8 quantization runs under `build_or_degrade`: an injected
+/// fault that panics mid-calibration drops the server to the FP32
+/// reference model instead of killing it before the first request. At
+/// runtime, injected `pool`/`anan`/`sched` faults fail or slow individual
+/// requests while the batch keeps decoding. Every table value comes from
+/// the run-local [`ServeReport`], never from the process-global metrics
+/// bank, so the output is identical under `--only serve` and a full-suite
+/// run, at any thread count. CI greps the verdict row: a healthy run
+/// prints `all admitted requests reached a terminal status`; a wedged one
+/// prints `STUCK`.
+pub fn serve() -> Vec<Table> {
+    let shape = eval_shape(ModelShape::opt_6_7b());
+    let exp = Experiment::new(&shape, options());
+    let opts = exp.options();
+
+    let quantized: Option<QuantizedModel> =
+        build_or_degrade(|| exp.quantize(tender_scheme(8, opts.seq_len, false)));
+    let (model, served_on): (ModelRef<'_>, &str) = match &quantized {
+        Some(qm) => (ModelRef::from(qm), "Tender-INT8"),
+        None => (
+            ModelRef::from(exp.reference()),
+            "FP32 reference (setup degraded)",
+        ),
+    };
+
+    let mut cfg = ServeConfig::new(64, opts.seed ^ 0x5E);
+    cfg.kv_mode = KvCacheMode::Int8;
+    cfg.queue_cap = 6;
+    // A budget of ~8 full-window sessions: loose enough that the run makes
+    // steady progress, tight enough that admission control has teeth when
+    // failures and stalls back the queue up.
+    cfg.kv_budget_bytes = 8 * kv_reserve_bytes(&shape, cfg.kv_mode, shape.max_seq);
+    let report = Scheduler::new(model, cfg).run();
+
+    let mut t = Table::new(
+        format!(
+            "Serve: continuous batching under load (64 requests, {served_on}, d={}, {} layers)",
+            shape.d_model, shape.layers
+        ),
+        &["Metric", "Value"],
+    );
+    let mut row = |k: &str, v: String| {
+        t.row(vec![k.to_string(), v]);
+    };
+    row("submitted", "64".to_string());
+    row("admitted", report.admitted.to_string());
+    row(
+        "rejected",
+        format!(
+            "{} (queue {}, kv {})",
+            report.rejected_queue + report.rejected_kv,
+            report.rejected_queue,
+            report.rejected_kv
+        ),
+    );
+    row(
+        "completed",
+        format!("{} (truncated {})", report.completed, report.truncated),
+    );
+    row("deadline exceeded", report.expired.to_string());
+    row("failed (isolated)", report.failed.to_string());
+    row(
+        "iterations",
+        format!(
+            "{} (stalled {})",
+            report.iterations, report.stalled_iterations
+        ),
+    );
+    row("queue depth max", report.queue_depth_max.to_string());
+    row(
+        "batch occupancy max",
+        report.batch_occupancy_max.to_string(),
+    );
+    row(
+        "kv reserved peak",
+        format!("{} bytes", report.kv_reserved_peak),
+    );
+    row(
+        "latency (iters)",
+        format!(
+            "p50 {} p99 {}",
+            report.latency_iters_p50, report.latency_iters_p99
+        ),
+    );
+    row("verdict", report.verdict());
+    t.note(
+        "all values from the run-local ServeReport (logical time only); \
+         wall-clock latency and tokens/s live in the metrics JSON serve section",
+    );
     vec![t]
 }
 

@@ -109,6 +109,10 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             name: "kv_cache",
             run: e::kv_cache,
         },
+        ExperimentSpec {
+            name: "serve",
+            run: e::serve,
+        },
     ]
 }
 

@@ -241,3 +241,161 @@ fn injected_experiment_failure_is_isolated_from_the_rest_of_the_suite() {
         "failure tables must carry the isolation note"
     );
 }
+
+/// The `"serve"` section's deterministic counters (the wall-clock keys —
+/// `latency_*_ns`, `tokens_per_sec_milli`, `request_latency` — are
+/// excluded on purpose: they measure real time and legitimately differ
+/// between runs).
+fn serve_counters(json: &str) -> Vec<(&'static str, u64)> {
+    // Scope the key search to the serve section: some names (e.g.
+    // `queue_depth_max`) also exist in earlier sections like `pool`,
+    // whose values legitimately depend on the thread count.
+    let json = &json[json.find("\"serve\"").expect("serve section present")..];
+    [
+        "submitted",
+        "admitted",
+        "rejected_queue_full",
+        "rejected_kv_budget",
+        "completed",
+        "expired",
+        "failed",
+        "iterations",
+        "stalled_iterations",
+        "prefill_chunk_tokens",
+        "decode_tokens",
+        "queue_depth_max",
+        "batch_occupancy_max",
+        "kv_reserved_peak_bytes",
+        "latency_iters_p50",
+        "latency_iters_p99",
+    ]
+    .into_iter()
+    .map(|k| (k, counter(json, k)))
+    .collect()
+}
+
+#[test]
+fn serve_chaos_run_is_byte_identical_across_thread_counts() {
+    // The ISSUE's acceptance bar: under a seeded plan covering the sched,
+    // pool, anan, and blob sites, a serve run completes with every
+    // admitted request terminal, and both the transcript and the
+    // deterministic serve counters are identical at 1 vs 4 threads.
+    let plan = "sched=0.05,pool=0.01,anan=0.01,blob=0.25";
+    let m1 = scratch("serve-chaos-1.json");
+    let m4 = scratch("serve-chaos-4.json");
+    let a = run_with(
+        &[
+            "--only",
+            "serve",
+            "--fault-plan",
+            plan,
+            "--fault-seed",
+            "7",
+            "--metrics-json",
+            m1.to_str().unwrap(),
+        ],
+        "1",
+    );
+    let b = run_with(
+        &[
+            "--only",
+            "serve",
+            "--fault-plan",
+            plan,
+            "--fault-seed",
+            "7",
+            "--metrics-json",
+            m4.to_str().unwrap(),
+        ],
+        "4",
+    );
+    for (out, label) in [(&a, "1 thread"), (&b, "4 threads")] {
+        assert!(
+            out.status.success(),
+            "serve chaos run ({label}) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert_eq!(
+        stdout,
+        String::from_utf8_lossy(&b.stdout),
+        "serve transcript must not depend on the thread count"
+    );
+    assert!(
+        stdout.contains("all admitted requests reached a terminal status"),
+        "liveness verdict missing:\n{stdout}"
+    );
+    assert!(!stdout.contains("STUCK"), "scheduler wedged:\n{stdout}");
+
+    let j1 = std::fs::read_to_string(&m1).expect("metrics json written");
+    let j4 = std::fs::read_to_string(&m4).expect("metrics json written");
+    let _ = std::fs::remove_file(&m1);
+    let _ = std::fs::remove_file(&m4);
+    assert_eq!(
+        serve_counters(&j1),
+        serve_counters(&j4),
+        "deterministic serve counters must match across thread counts"
+    );
+    assert_eq!(faults_section(&j1), faults_section(&j4));
+    // The plan must actually bite: scheduler stalls injected, and every
+    // submitted request accounted for by exactly one terminal counter.
+    assert!(counter(&j1, "injected_sched") > 0, "no sched faults fired");
+    let terminal = counter(&j1, "rejected_queue_full")
+        + counter(&j1, "rejected_kv_budget")
+        + counter(&j1, "completed")
+        + counter(&j1, "expired")
+        + counter(&j1, "failed");
+    assert_eq!(
+        terminal,
+        counter(&j1, "submitted"),
+        "every request must reach exactly one terminal status"
+    );
+}
+
+#[test]
+fn degradation_ladder_fires_under_serving_load() {
+    // Corrupt calibration blobs + weight NaNs while the serve experiment
+    // quantizes and then drives traffic: the Tender→INT8 ladder must fire
+    // (degraded_sites / fallback_int8 nonzero) and the server must still
+    // bring every admitted request to a terminal status.
+    let m = scratch("serve-ladder.json");
+    let out = run_with(
+        &[
+            "--only",
+            "serve",
+            "--fault-plan",
+            "blob=0.5,wnan=0.02",
+            "--fault-seed",
+            "11",
+            "--metrics-json",
+            m.to_str().unwrap(),
+        ],
+        "2",
+    );
+    assert!(
+        out.status.success(),
+        "serve under ladder faults failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("all admitted requests reached a terminal status"),
+        "liveness verdict missing:\n{stdout}"
+    );
+    let json = std::fs::read_to_string(&m).expect("metrics json written");
+    let _ = std::fs::remove_file(&m);
+    assert!(
+        counter(&json, "injected_blob") > 0,
+        "blob faults must be injected"
+    );
+    assert!(
+        counter(&json, "degraded_sites") > 0,
+        "degradation must fire under load"
+    );
+    assert!(
+        counter(&json, "fallback_int8") > 0,
+        "degraded Tender groups must land on the INT8 rung"
+    );
+    assert!(counter(&json, "admitted") > 0, "traffic must be served");
+}

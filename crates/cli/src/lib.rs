@@ -13,6 +13,7 @@ use std::fmt;
 use tender::model::calibration::{token_batches, CorpusKind};
 use tender::model::engine::{BatchEngine, DecodeSession, KvCacheMode, ModelRef};
 use tender::model::{ModelShape, QuantizedModel};
+use tender::serve::{build_or_degrade, Scheduler, ServeConfig};
 use tender::sim::accel::{speedups_over_with_hbm, AcceleratorKind, SimConfigError};
 use tender::sim::config::TenderHwConfig;
 use tender::sim::dataflow::Dataflow;
@@ -407,6 +408,105 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `tender-cli serve --model M [--scheme S] [--requests N]
+/// [--arrival-seed N] [--deadline-steps N] [--queue-cap N]
+/// [--kv-budget-bytes N] [--batch B] [--prefill-chunk N]
+/// [--kv-cache f32|int8|int4] [--seed N] [--fast true]` — run the
+/// continuous-batching scheduler over seeded synthetic traffic.
+///
+/// The transcript on stdout is a pure function of the flags and the fault
+/// seed — byte-identical at any `--threads` count. Wall-clock latency
+/// percentiles and tokens/s go to the `serve` section of the
+/// `--metrics-json` report only.
+///
+/// If quantization panics under an injected fault, the server degrades to
+/// the FP32 reference model (counted in `faults.degraded_sites` /
+/// `faults.fallback_fp16`) instead of dying before taking a request.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown model/scheme/cache mode or a zero
+/// `--requests`, `--queue-cap`, `--batch`, or `--prefill-chunk`.
+pub fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    let model_name = flags
+        .get("model")
+        .ok_or_else(|| err("--model is required"))?;
+    let base_shape = model_by_name(model_name)?;
+    let fast: bool = flag_parse(flags, "fast", false)?;
+    let shape = if fast {
+        base_shape.scaled_for_eval(32, 2)
+    } else {
+        base_shape.eval_preset()
+    };
+    let opts = if fast {
+        ExperimentOptions::fast()
+    } else {
+        ExperimentOptions::standard()
+    };
+    let opts = opts.with_seed(flag_parse(flags, "seed", opts.seed)?);
+
+    let mut cfg = ServeConfig::new(
+        flag_parse(flags, "requests", 16)?,
+        flag_parse(flags, "arrival-seed", 42)?,
+    );
+    cfg.deadline_steps = flag_parse(flags, "deadline-steps", cfg.deadline_steps)?;
+    cfg.queue_cap = flag_parse(flags, "queue-cap", cfg.queue_cap)?;
+    cfg.kv_budget_bytes = flag_parse(flags, "kv-budget-bytes", cfg.kv_budget_bytes)?;
+    cfg.max_batch = flag_parse(flags, "batch", cfg.max_batch)?;
+    cfg.prefill_chunk = flag_parse(flags, "prefill-chunk", cfg.prefill_chunk)?;
+    if cfg.requests == 0 {
+        return Err(err("--requests must be at least 1"));
+    }
+    if cfg.queue_cap == 0 {
+        return Err(err("--queue-cap must be at least 1"));
+    }
+    if cfg.max_batch == 0 {
+        return Err(err("--batch must be at least 1"));
+    }
+    if cfg.prefill_chunk == 0 {
+        return Err(err("--prefill-chunk must be at least 1"));
+    }
+    let kv_name = flags.get("kv-cache").map(String::as_str).unwrap_or("f32");
+    cfg.kv_mode = KvCacheMode::parse(kv_name).ok_or_else(|| {
+        err(format!(
+            "unknown --kv-cache mode '{kv_name}' (f32, int8, int4)"
+        ))
+    })?;
+
+    let scheme_name = flags.get("scheme").map(String::as_str).unwrap_or("FP32");
+    let exp = Experiment::new(&shape, opts);
+    let mut degraded_setup = false;
+    // The quantized model must outlive the scheduler's sessions. A panic
+    // during calibration/quantization (e.g. an injected fault) degrades
+    // the server to the FP32 reference model instead of killing it.
+    let quantized: Option<QuantizedModel> = if scheme_name.eq_ignore_ascii_case("reference") {
+        None
+    } else {
+        let scheme = scheme_by_name(scheme_name)
+            .ok_or_else(|| err(format!("unknown scheme '{scheme_name}'")))?;
+        let built = build_or_degrade(|| exp.quantize(scheme));
+        if built.is_none() {
+            degraded_setup = true;
+        }
+        built
+    };
+    let model: ModelRef<'_> = match &quantized {
+        Some(qm) => ModelRef::from(qm),
+        None => ModelRef::from(exp.reference()),
+    };
+
+    let report = Scheduler::new(model, cfg).run();
+    let mut out = format!(
+        "serve {} (eval scale d={}, {} layers), scheme {scheme_name}\n",
+        shape.name, shape.d_model, shape.layers
+    );
+    if degraded_setup {
+        out.push_str("setup degraded: quantization failed, serving on the FP32 reference model\n");
+    }
+    out.push_str(&report.transcript);
+    Ok(out)
+}
+
 /// Top-level usage text.
 pub fn usage() -> String {
     "tender-cli — Tender (ISCA 2024) reproduction toolkit\n\
@@ -427,7 +527,7 @@ pub fn usage() -> String {
      \x20                                 same faults, same output)\n\
      \x20 --fault-plan SPEC               override per-site fault rates, e.g.\n\
      \x20                                 blob=0.25,anan=0.05 (sites: blob wnan\n\
-     \x20                                 anan dram pool exp)\n\
+     \x20                                 anan dram pool exp sched)\n\
      \n\
      COMMANDS:\n\
      \x20 models                          list synthetic model presets\n\
@@ -445,7 +545,16 @@ pub fn usage() -> String {
      \x20 generate --model M [--scheme S] greedy generation through the\n\
      \x20          [--prompt N]            prefill + KV-cache decode engine\n\
      \x20          [--kv-cache f32|int8|int4]  cache storage precision\n\
-     \x20          [--generate N] [--batch B] [--seed N] [--fast true]\n"
+     \x20          [--generate N] [--batch B] [--seed N] [--fast true]\n\
+     \x20 serve    --model M [--scheme S]  continuous-batching scheduler over\n\
+     \x20          [--requests N]          seeded synthetic traffic: admission\n\
+     \x20          [--arrival-seed N]      control, chunked prefill, deadlines,\n\
+     \x20          [--deadline-steps N]    per-request failure isolation; the\n\
+     \x20          [--queue-cap N]         transcript is byte-identical at any\n\
+     \x20          [--kv-budget-bytes N]   thread count (latency percentiles\n\
+     \x20          [--batch B]             and tokens/s go to --metrics-json)\n\
+     \x20          [--prefill-chunk N] [--kv-cache f32|int8|int4]\n\
+     \x20          [--seed N] [--fast true]\n"
         .to_string()
 }
 
@@ -616,6 +725,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => cmd_simulate(&flags),
         "decode" => cmd_decode(&flags),
         "generate" => cmd_generate(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command '{other}'\n\n{}", usage()))),
     }?;
@@ -824,11 +934,78 @@ mod tests {
     }
 
     #[test]
+    fn serve_transcript_is_deterministic() {
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--fast",
+            "true",
+            "--requests",
+            "6",
+            "--arrival-seed",
+            "9",
+        ]))
+        .unwrap();
+        let a = cmd_serve(&f).expect("serves");
+        let b = cmd_serve(&f).expect("serves again");
+        assert_eq!(a, b, "same flags, same transcript bytes");
+        assert!(a.contains("serve: 6 requests, arrival seed 9"), "{a}");
+        assert!(
+            a.contains("all admitted requests reached a terminal status"),
+            "{a}"
+        );
+    }
+
+    #[test]
+    fn serve_admission_flags_reject_typed() {
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--fast",
+            "true",
+            "--requests",
+            "5",
+            "--kv-budget-bytes",
+            "1",
+        ]))
+        .unwrap();
+        let out = cmd_serve(&f).expect("serves");
+        assert!(out.contains("reject r0: kv budget"), "{out}");
+        assert!(out.contains("rejected 5 (queue 0, kv 5)"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        for (key, val) in [
+            ("requests", "0"),
+            ("queue-cap", "0"),
+            ("batch", "0"),
+            ("prefill-chunk", "0"),
+            ("kv-cache", "int2"),
+            ("scheme", "nope"),
+        ] {
+            let f = parse_flags(&args(&[
+                "--model",
+                "OPT-6.7B",
+                "--fast",
+                "true",
+                &format!("--{key}"),
+                val,
+            ]))
+            .unwrap();
+            assert!(cmd_serve(&f).is_err(), "--{key} {val} must error");
+        }
+        assert!(cmd_serve(&Flags::new()).is_err(), "--model is required");
+    }
+
+    #[test]
     fn dispatch_and_usage() {
         assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
         assert!(run(&args(&["bogus"])).is_err());
         assert!(run(&[]).is_err());
         assert!(run(&args(&["models"])).is_ok());
+        assert!(usage().contains("serve"));
+        assert!(usage().contains("sched"));
     }
 
     #[test]

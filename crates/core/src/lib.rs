@@ -21,7 +21,11 @@
 //!   exported as one JSON report via `tender-cli --metrics-json <path>`.
 //! * [`faults`] — seeded deterministic fault injection (bit-flipped
 //!   calibration blobs, NaN weights/activations, DRAM read errors, task
-//!   panics) driving the graceful-degradation paths.
+//!   panics, scheduler stalls) driving the graceful-degradation paths.
+//! * [`serve`] — continuous-batching serving layer: admission control,
+//!   chunked prefill mixed with in-flight decode, per-request deadlines,
+//!   and per-session failure isolation over a seeded synthetic traffic
+//!   generator.
 //! * [`Experiment`] — an end-to-end harness tying them together:
 //!   generate a model, calibrate a scheme, evaluate perplexity.
 //!
@@ -50,6 +54,7 @@ pub use tender_faults as faults;
 pub use tender_metrics as metrics;
 pub use tender_model as model;
 pub use tender_quant as quant;
+pub use tender_serve as serve;
 pub use tender_sim as sim;
 pub use tender_tensor as tensor;
 

@@ -16,6 +16,7 @@
 //! | `dram` | burst address             | DRAM read bit-error (ECC retry cost) |
 //! | `pool` | (batch size, item index)  | panic inside a pool task             |
 //! | `exp`  | (experiment name, attempt)| panic at the start of an experiment  |
+//! | `sched`| (run key, iteration)      | drop one scheduler iteration's work  |
 //!
 //! The plan is installed process-globally with [`install`]; hot paths gate on
 //! the lock-free [`active`] flag so the fault-free configuration costs one
@@ -76,6 +77,9 @@ pub struct FaultPlan {
     pub pool_rate: f64,
     /// Per-(experiment, attempt) probability of an injected experiment panic.
     pub exp_rate: f64,
+    /// Per-(run key, iteration) probability that the serving scheduler
+    /// drops one iteration's worth of work (deadlines still advance).
+    pub sched_rate: f64,
 }
 
 /// Error from parsing a `--fault-plan` spec string.
@@ -101,6 +105,7 @@ impl FaultPlan {
             dram_rate: 0.0,
             pool_rate: 0.0,
             exp_rate: 0.0,
+            sched_rate: 0.0,
         }
     }
 
@@ -125,7 +130,7 @@ impl FaultPlan {
 
     /// Parses a comma-separated `site=rate` spec, e.g.
     /// `"blob=0.5,anan=0.1,pool=0.001"`. Unlisted sites stay at rate zero.
-    /// Sites: `blob`, `wnan`, `anan`, `dram`, `pool`, `exp`.
+    /// Sites: `blob`, `wnan`, `anan`, `dram`, `pool`, `exp`, `sched`.
     pub fn parse(seed: u64, spec: &str) -> Result<Self, PlanParseError> {
         let mut plan = Self::new(seed);
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -148,9 +153,10 @@ impl FaultPlan {
                 "dram" => plan.dram_rate = rate,
                 "pool" => plan.pool_rate = rate,
                 "exp" => plan.exp_rate = rate,
+                "sched" => plan.sched_rate = rate,
                 other => {
                     return Err(PlanParseError(format!(
-                        "unknown site `{other}` (expected blob|wnan|anan|dram|pool|exp)"
+                        "unknown site `{other}` (expected blob|wnan|anan|dram|pool|exp|sched)"
                     )))
                 }
             }
@@ -256,6 +262,21 @@ impl FaultPlan {
         let hit = self.chance("pool", &[n as u64, i as u64], self.pool_rate);
         if hit {
             metrics::faults::INJECTED_POOL.incr();
+        }
+        hit
+    }
+
+    /// Whether the serving scheduler should drop (stall) iteration
+    /// `iteration` of the run identified by `run_key` — one iteration's
+    /// worth of prefill/decode work is skipped while admission and
+    /// deadline bookkeeping still advance. Keyed on logical scheduler
+    /// time plus a config-derived run key, never on wall-clock or thread
+    /// interleaving, so the stall pattern is byte-identical at any thread
+    /// count.
+    pub fn sched_stall(&self, run_key: u64, iteration: u64) -> bool {
+        let hit = self.chance("sched", &[run_key, iteration], self.sched_rate);
+        if hit {
+            metrics::faults::INJECTED_SCHED.incr();
         }
         hit
     }
@@ -425,6 +446,20 @@ mod tests {
             }
         }
         assert!(saw_flip);
+    }
+
+    #[test]
+    fn sched_stalls_are_pure_and_keyed_on_run_and_iteration() {
+        let a = FaultPlan::parse(5, "sched=0.25").unwrap();
+        let b = FaultPlan::parse(5, "sched=0.25").unwrap();
+        let va: Vec<bool> = (0..256).map(|t| a.sched_stall(11, t)).collect();
+        let vb: Vec<bool> = (0..256).map(|t| b.sched_stall(11, t)).collect();
+        assert_eq!(va, vb, "same (seed, run key) must stall identically");
+        let other_run: Vec<bool> = (0..256).map(|t| a.sched_stall(12, t)).collect();
+        assert_ne!(va, other_run, "distinct runs must stall independently");
+        let hits = va.iter().filter(|&&h| h).count();
+        assert!(hits > 32 && hits < 128, "rate 0.25 wildly off: {hits}/256");
+        assert!((0..64).all(|t| !FaultPlan::new(5).sched_stall(11, t)));
     }
 
     #[test]

@@ -455,6 +455,9 @@ pub mod engine {
     /// of `DECODE_MACS`, cross-checked against the simulator's
     /// `kv_int_dot_macs` model).
     pub static KV_INT_DOT_MACS: Counter = Counter::new();
+    /// Greedy rollouts truncated at a `StepError` (typically the context
+    /// window) instead of completing their requested step budget.
+    pub static DECODE_TRUNCATED: Counter = Counter::new();
 }
 
 /// Hardware-simulator metrics (`tender_sim`).
@@ -499,6 +502,9 @@ pub mod faults {
     pub static INJECTED_POOL: Counter = Counter::new();
     /// Experiment attempts made to panic by the fault plan.
     pub static INJECTED_EXP: Counter = Counter::new();
+    /// Scheduler iterations stalled (work dropped for one iteration) by
+    /// the fault plan's `sched` site.
+    pub static INJECTED_SCHED: Counter = Counter::new();
     /// Matmul sites degraded off the primary scheme (any rung).
     pub static DEGRADED_SITES: Counter = Counter::new();
     /// Sites that settled on the per-tensor INT8 fallback rung.
@@ -512,6 +518,60 @@ pub mod faults {
     /// Greedy-argmax rows with no finite logit (e.g. NaN-poisoned weights),
     /// replaced by the deterministic fallback token instead of token 0.
     pub static DECODE_ARGMAX_SANITIZED: Counter = Counter::new();
+}
+
+/// Serving-layer metrics (`tender_serve`): admission control, the
+/// continuous-batching iteration loop, and per-request outcomes. The
+/// counters, max-gauges, and logical-latency percentiles are pure
+/// functions of the scheduler's seeded inputs, so they are identical at
+/// any thread count; the wall-clock latency/throughput values vary run to
+/// run and appear only in the JSON report, never on stdout.
+pub mod serve {
+    use super::*;
+
+    /// Requests offered to the scheduler by the traffic generator.
+    pub static SUBMITTED: Counter = Counter::new();
+    /// Requests accepted past admission control.
+    pub static ADMITTED: Counter = Counter::new();
+    /// Requests rejected because the waiting queue was at capacity.
+    pub static REJECTED_QUEUE_FULL: Counter = Counter::new();
+    /// Requests rejected because the KV-byte budget could not cover them.
+    pub static REJECTED_KV_BUDGET: Counter = Counter::new();
+    /// Admitted requests that reached their full decode target (window
+    /// truncations included; see `engine::DECODE_TRUNCATED`).
+    pub static COMPLETED: Counter = Counter::new();
+    /// Admitted requests whose deadline expired before completion.
+    pub static EXPIRED: Counter = Counter::new();
+    /// Admitted requests that failed in isolation (a `StepError` other
+    /// than window exhaustion, or an injected/organic panic).
+    pub static FAILED: Counter = Counter::new();
+    /// Scheduler iterations executed.
+    pub static ITERATIONS: Counter = Counter::new();
+    /// Iterations whose work was dropped by an injected `sched` fault.
+    pub static STALLED_ITERATIONS: Counter = Counter::new();
+    /// Prompt tokens ingested through chunked prefill.
+    pub static PREFILL_CHUNK_TOKENS: Counter = Counter::new();
+    /// Decode tokens emitted across all requests.
+    pub static DECODE_TOKENS: Counter = Counter::new();
+    /// Deepest waiting queue observed.
+    pub static QUEUE_DEPTH_MAX: MaxGauge = MaxGauge::new();
+    /// Most sessions simultaneously active in the batch.
+    pub static BATCH_OCCUPANCY_MAX: MaxGauge = MaxGauge::new();
+    /// Peak KV bytes reserved under the admission budget.
+    pub static KV_RESERVED_PEAK_BYTES: MaxGauge = MaxGauge::new();
+    /// p50 per-request latency in scheduler iterations (admission →
+    /// terminal; logical time, deterministic).
+    pub static LATENCY_ITERS_P50: Gauge = Gauge::new();
+    /// p99 per-request latency in scheduler iterations.
+    pub static LATENCY_ITERS_P99: Gauge = Gauge::new();
+    /// p50 per-request wall-clock latency, ns (JSON report only).
+    pub static LATENCY_P50_NS: Gauge = Gauge::new();
+    /// p99 per-request wall-clock latency, ns (JSON report only).
+    pub static LATENCY_P99_NS: Gauge = Gauge::new();
+    /// Decode throughput over the run, tokens/s × 1000 (JSON report only).
+    pub static TOKENS_PER_SEC_MILLI: Gauge = Gauge::new();
+    /// Wall-clock per admitted request, admission → terminal status.
+    pub static REQUEST_LATENCY: Timer = Timer::new();
 }
 
 /// Experiment-runner metrics (`tender_bench::runner`).
@@ -571,6 +631,7 @@ pub fn reset_all() {
     engine::KV_REQUANTS.reset();
     engine::KV_INT_DOTS.reset();
     engine::KV_INT_DOT_MACS.reset();
+    engine::DECODE_TRUNCATED.reset();
     sim::DRAM_ROW_HITS.reset();
     sim::DRAM_ROW_MISSES.reset();
     sim::DRAM_BYTES.reset();
@@ -586,12 +647,33 @@ pub fn reset_all() {
     faults::INJECTED_DRAM.reset();
     faults::INJECTED_POOL.reset();
     faults::INJECTED_EXP.reset();
+    faults::INJECTED_SCHED.reset();
     faults::DEGRADED_SITES.reset();
     faults::FALLBACK_INT8.reset();
     faults::FALLBACK_FP16.reset();
     faults::RUNTIME_FALLBACKS.reset();
     faults::DECODE_SANITIZED.reset();
     faults::DECODE_ARGMAX_SANITIZED.reset();
+    serve::SUBMITTED.reset();
+    serve::ADMITTED.reset();
+    serve::REJECTED_QUEUE_FULL.reset();
+    serve::REJECTED_KV_BUDGET.reset();
+    serve::COMPLETED.reset();
+    serve::EXPIRED.reset();
+    serve::FAILED.reset();
+    serve::ITERATIONS.reset();
+    serve::STALLED_ITERATIONS.reset();
+    serve::PREFILL_CHUNK_TOKENS.reset();
+    serve::DECODE_TOKENS.reset();
+    serve::QUEUE_DEPTH_MAX.reset();
+    serve::BATCH_OCCUPANCY_MAX.reset();
+    serve::KV_RESERVED_PEAK_BYTES.reset();
+    serve::LATENCY_ITERS_P50.reset();
+    serve::LATENCY_ITERS_P99.reset();
+    serve::LATENCY_P50_NS.reset();
+    serve::LATENCY_P99_NS.reset();
+    serve::TOKENS_PER_SEC_MILLI.reset();
+    serve::REQUEST_LATENCY.reset();
     runner::EXPERIMENTS_RUN.reset();
     runner::EXPERIMENTS_PANICKED.reset();
     runner::EXPERIMENTS_RETRIED.reset();

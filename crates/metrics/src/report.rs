@@ -6,7 +6,7 @@
 //! valid JSON by construction — the bench suite re-parses it with an
 //! independent minimal parser to keep this honest.
 
-use crate::{engine, faults, gemm, kernel, model, pool, runner, sim, Counter, Timer};
+use crate::{engine, faults, gemm, kernel, model, pool, runner, serve, sim, Counter, Timer};
 
 /// A single exported metric value.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,7 +23,7 @@ pub enum Value {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Section {
     /// Subsystem name (`pool`, `kernel`, `gemm`, `model`, `engine`, `sim`,
-    /// `faults`, `runner`).
+    /// `faults`, `runner`, `serve`).
     pub name: &'static str,
     /// Ordered metric fields.
     pub fields: Vec<(String, Value)>,
@@ -277,6 +277,10 @@ pub(crate) fn build() -> Report {
                 "kv_int_dot_macs".into(),
                 Value::U64(engine::KV_INT_DOT_MACS.get()),
             ),
+            (
+                "decode_truncated".into(),
+                Value::U64(engine::DECODE_TRUNCATED.get()),
+            ),
         ],
     };
     let sim_section = Section {
@@ -330,6 +334,10 @@ pub(crate) fn build() -> Report {
                 Value::U64(faults::INJECTED_EXP.get()),
             ),
             (
+                "injected_sched".into(),
+                Value::U64(faults::INJECTED_SCHED.get()),
+            ),
+            (
                 "degraded_sites".into(),
                 Value::U64(faults::DEGRADED_SITES.get()),
             ),
@@ -352,6 +360,73 @@ pub(crate) fn build() -> Report {
             (
                 "decode_argmax_sanitized".into(),
                 Value::U64(faults::DECODE_ARGMAX_SANITIZED.get()),
+            ),
+        ],
+    };
+    let serve_section = Section {
+        name: "serve",
+        fields: vec![
+            ("submitted".into(), Value::U64(serve::SUBMITTED.get())),
+            ("admitted".into(), Value::U64(serve::ADMITTED.get())),
+            (
+                "rejected_queue_full".into(),
+                Value::U64(serve::REJECTED_QUEUE_FULL.get()),
+            ),
+            (
+                "rejected_kv_budget".into(),
+                Value::U64(serve::REJECTED_KV_BUDGET.get()),
+            ),
+            ("completed".into(), Value::U64(serve::COMPLETED.get())),
+            ("expired".into(), Value::U64(serve::EXPIRED.get())),
+            ("failed".into(), Value::U64(serve::FAILED.get())),
+            ("iterations".into(), Value::U64(serve::ITERATIONS.get())),
+            (
+                "stalled_iterations".into(),
+                Value::U64(serve::STALLED_ITERATIONS.get()),
+            ),
+            (
+                "prefill_chunk_tokens".into(),
+                Value::U64(serve::PREFILL_CHUNK_TOKENS.get()),
+            ),
+            (
+                "decode_tokens".into(),
+                Value::U64(serve::DECODE_TOKENS.get()),
+            ),
+            (
+                "queue_depth_max".into(),
+                Value::U64(serve::QUEUE_DEPTH_MAX.get()),
+            ),
+            (
+                "batch_occupancy_max".into(),
+                Value::U64(serve::BATCH_OCCUPANCY_MAX.get()),
+            ),
+            (
+                "kv_reserved_peak_bytes".into(),
+                Value::U64(serve::KV_RESERVED_PEAK_BYTES.get()),
+            ),
+            (
+                "latency_iters_p50".into(),
+                Value::U64(serve::LATENCY_ITERS_P50.get()),
+            ),
+            (
+                "latency_iters_p99".into(),
+                Value::U64(serve::LATENCY_ITERS_P99.get()),
+            ),
+            (
+                "latency_p50_ns".into(),
+                Value::U64(serve::LATENCY_P50_NS.get()),
+            ),
+            (
+                "latency_p99_ns".into(),
+                Value::U64(serve::LATENCY_P99_NS.get()),
+            ),
+            (
+                "tokens_per_sec_milli".into(),
+                Value::U64(serve::TOKENS_PER_SEC_MILLI.get()),
+            ),
+            (
+                "request_latency".into(),
+                timer_value(&serve::REQUEST_LATENCY),
             ),
         ],
     };
@@ -389,6 +464,7 @@ pub(crate) fn build() -> Report {
             engine_section,
             sim_section,
             faults_section,
+            serve_section,
             runner_section,
         ],
     }
@@ -404,7 +480,7 @@ mod tests {
         let names: Vec<&str> = r.sections.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            vec!["pool", "kernel", "gemm", "model", "engine", "sim", "faults", "runner"]
+            vec!["pool", "kernel", "gemm", "model", "engine", "sim", "faults", "serve", "runner"]
         );
     }
 

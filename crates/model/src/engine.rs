@@ -771,6 +771,13 @@ impl<'m> From<&'m QuantizedModel> for ModelRef<'m> {
 }
 
 impl<'m> ModelRef<'m> {
+    /// The model's shape — public so layers above the engine (the serving
+    /// scheduler) can size traffic, KV budgets, and vocab-bounded token
+    /// streams without reaching into the weights.
+    pub fn shape(&self) -> &'m ModelShape {
+        &self.weights().shape
+    }
+
     fn weights(&self) -> &'m TransformerWeights {
         match self {
             Self::Reference(m) => m.weights(),
@@ -829,6 +836,46 @@ impl fmt::Display for StepError {
 }
 
 impl Error for StepError {}
+
+/// Why a [`BatchEngine`] call could not run as a whole.
+///
+/// Per-session failures (a single slot's [`StepError`]) are *not* batch
+/// errors — [`BatchEngine::try_step_all`] reports those per slot so one
+/// full session cannot discard every other session's logits. `BatchError`
+/// covers the two batch-level cases: a structurally malformed call
+/// (argument length ≠ session count) and, for the legacy collapsed
+/// [`BatchEngine::step_all`] signature, the lowest-indexed slot's error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// The caller passed one argument per session but the counts differ.
+    LengthMismatch {
+        /// Sessions under management.
+        expected: usize,
+        /// Arguments actually supplied.
+        got: usize,
+    },
+    /// A per-session step failed (collapsed form; see [`BatchEngine::step_all`]).
+    Step(StepError),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { expected, got } => {
+                write!(f, "batch call expects {expected} arguments, got {got}")
+            }
+            Self::Step(e) => write!(f, "batch step failed: {e}"),
+        }
+    }
+}
+
+impl Error for BatchError {}
+
+impl From<StepError> for BatchError {
+    fn from(e: StepError) -> Self {
+        Self::Step(e)
+    }
+}
 
 /// One in-flight generation: a model reference plus its KV cache.
 ///
@@ -1070,7 +1117,10 @@ fn argmax_row(logits: &Matrix, row: usize) -> Option<usize> {
 /// (`decode_argmax_sanitized`) and yields the deterministic token
 /// `pos % vocab` — position-dependent (so a poisoned rollout does not
 /// repeat one token forever) and independent of thread count.
-fn greedy_token(logits: &Matrix, row: usize, pos: usize, vocab: usize) -> usize {
+///
+/// Public so decode loops outside this crate (the serving scheduler)
+/// share the exact fallback semantics instead of re-deriving them.
+pub fn greedy_token(logits: &Matrix, row: usize, pos: usize, vocab: usize) -> usize {
     match argmax_row(logits, row) {
         Some(t) => t,
         None => {
@@ -1111,50 +1161,85 @@ impl<'m> BatchEngine<'m> {
     /// Prefills session `i` with `prompts[i]` in parallel, returning each
     /// session's full-prompt logits in session order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the prompt count differs from the session count.
-    pub fn prefill_all(&mut self, prompts: &[Vec<usize>]) -> Vec<Matrix> {
-        assert_eq!(prompts.len(), self.slots.len(), "one prompt per session");
-        pool::par_map(self.slots.len(), |i| {
+    /// Returns [`BatchError::LengthMismatch`] when the prompt count
+    /// differs from the session count — a malformed caller must not be
+    /// able to abort a serving loop with a panic.
+    pub fn prefill_all(&mut self, prompts: &[Vec<usize>]) -> Result<Vec<Matrix>, BatchError> {
+        if prompts.len() != self.slots.len() {
+            return Err(BatchError::LengthMismatch {
+                expected: self.slots.len(),
+                got: prompts.len(),
+            });
+        }
+        Ok(pool::par_map(self.slots.len(), |i| {
             self.slots[i]
                 .lock()
                 .expect("session lock")
                 .prefill(&prompts[i])
-        })
+        }))
     }
 
     /// Steps session `i` with `tokens[i]` in parallel, returning each
-    /// session's logits in session order, or the first session's error in
-    /// session order.
+    /// session's own `Result` in session order: one slot hitting
+    /// `SequenceFull` (or any other [`StepError`]) no longer discards the
+    /// logits every other session just computed.
     ///
     /// # Errors
     ///
-    /// Returns the [`StepError`] of the lowest-indexed failing session.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the token count differs from the session count.
-    pub fn step_all(&mut self, tokens: &[usize]) -> Result<Vec<Matrix>, StepError> {
-        assert_eq!(tokens.len(), self.slots.len(), "one token per session");
-        pool::par_map(self.slots.len(), |i| {
+    /// Returns [`BatchError::LengthMismatch`] when the token count differs
+    /// from the session count; per-session failures come back inside the
+    /// `Vec`.
+    #[allow(clippy::type_complexity)]
+    pub fn try_step_all(
+        &mut self,
+        tokens: &[usize],
+    ) -> Result<Vec<Result<Matrix, StepError>>, BatchError> {
+        if tokens.len() != self.slots.len() {
+            return Err(BatchError::LengthMismatch {
+                expected: self.slots.len(),
+                got: tokens.len(),
+            });
+        }
+        Ok(pool::par_map(self.slots.len(), |i| {
             self.slots[i].lock().expect("session lock").step(tokens[i])
-        })
-        .into_iter()
-        .collect()
+        }))
     }
 
-    /// Prefills every session with its prompt, then greedily decodes
+    /// Collapsed form of [`BatchEngine::try_step_all`]: all logits in
+    /// session order, or the lowest-indexed failing session's error.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::LengthMismatch`] for a malformed call, or
+    /// [`BatchError::Step`] carrying the lowest-indexed slot's
+    /// [`StepError`]. Callers that need the surviving sessions' logits
+    /// should use [`BatchEngine::try_step_all`].
+    pub fn step_all(&mut self, tokens: &[usize]) -> Result<Vec<Matrix>, BatchError> {
+        self.try_step_all(tokens)?
+            .into_iter()
+            .map(|r| r.map_err(BatchError::from))
+            .collect()
+    }
+
+    /// Prefills every session with its prompt, then greedily decodes up to
     /// `steps` tokens per session (argmax, ties to the lowest id; a row
     /// with no finite logit degrades to the deterministic fallback token
     /// and is counted — see `decode_argmax_sanitized`). Each session's
     /// whole rollout runs as one pool task, so rollouts proceed
     /// independently and results come back in session order.
     ///
+    /// A rollout that hits a [`StepError`] (typically `SequenceFull` when
+    /// the prompt plus rollout would exceed the context window) is
+    /// *truncated* at the failing step rather than panicking inside the
+    /// pool task: the session keeps the tokens decoded so far and the
+    /// truncation is counted in `metrics::engine::DECODE_TRUNCATED`, so
+    /// one over-long rollout cannot poison the batch.
+    ///
     /// # Panics
     ///
-    /// Panics if the prompt count differs from the session count, or if a
-    /// rollout would exceed `max_seq`.
+    /// Panics if the prompt count differs from the session count.
     pub fn generate_greedy(&mut self, prompts: &[Vec<usize>], steps: usize) -> Vec<Vec<usize>> {
         assert_eq!(prompts.len(), self.slots.len(), "one prompt per session");
         pool::par_map(self.slots.len(), |i| {
@@ -1165,10 +1250,13 @@ impl<'m> BatchEngine<'m> {
             let mut out = Vec::with_capacity(steps);
             for _ in 0..steps {
                 out.push(next);
-                let logits = session
-                    .step(next)
-                    .expect("rollout exceeds the model's context window");
-                next = greedy_token(&logits, 0, session.len(), vocab);
+                match session.step(next) {
+                    Ok(logits) => next = greedy_token(&logits, 0, session.len(), vocab),
+                    Err(_) => {
+                        metrics::DECODE_TRUNCATED.incr();
+                        break;
+                    }
+                }
             }
             out
         })
@@ -1496,6 +1584,104 @@ mod tests {
         for (i, s) in engine.into_sessions().into_iter().enumerate() {
             assert_eq!(s.len(), prompts[i].len() + 5);
         }
+    }
+
+    #[test]
+    fn try_step_all_isolates_per_session_errors() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        // Session 0 is at the context window; session 1 has room.
+        let full = tokens(shape.max_seq, shape.vocab, 7);
+        let short = tokens(4, shape.vocab, 3);
+
+        let mut serial = DecodeSession::new(&reference);
+        serial.prefill(&short);
+        let expected = serial.step(1).expect("in-window step");
+
+        let mut s0 = DecodeSession::new(&reference);
+        s0.prefill(&full);
+        let mut s1 = DecodeSession::new(&reference);
+        s1.prefill(&short);
+        let mut engine = BatchEngine::new(vec![s0, s1]);
+        let results = engine.try_step_all(&[1, 1]).expect("well-formed call");
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0],
+            Err(StepError::SequenceFull {
+                max_seq: shape.max_seq
+            })
+        );
+        // The surviving session's logits are not discarded and match the
+        // serial rollout bit-for-bit.
+        let logits = results[1].as_ref().expect("session 1 survives");
+        assert_eq!(logits.shape(), expected.shape());
+        for c in 0..expected.cols() {
+            assert_eq!(logits[(0, c)], expected[(0, c)]);
+        }
+
+        // The collapsed legacy form reports the lowest-indexed error.
+        let mut s0 = DecodeSession::new(&reference);
+        s0.prefill(&full);
+        let mut s1 = DecodeSession::new(&reference);
+        s1.prefill(&short);
+        let mut engine = BatchEngine::new(vec![s0, s1]);
+        assert_eq!(
+            engine.step_all(&[1, 1]),
+            Err(BatchError::Step(StepError::SequenceFull {
+                max_seq: shape.max_seq
+            }))
+        );
+    }
+
+    #[test]
+    fn batch_calls_report_length_mismatch_instead_of_panicking() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let mut engine = BatchEngine::new(vec![
+            DecodeSession::new(&reference),
+            DecodeSession::new(&reference),
+        ]);
+        let mismatch = BatchError::LengthMismatch {
+            expected: 2,
+            got: 1,
+        };
+        assert_eq!(
+            engine
+                .prefill_all(&[tokens(3, shape.vocab, 1)])
+                .expect_err("mismatched prefill must fail"),
+            mismatch
+        );
+        assert_eq!(engine.try_step_all(&[0]).err(), Some(mismatch));
+        assert_eq!(engine.step_all(&[0]).err(), Some(mismatch));
+        assert!(mismatch.to_string().contains("expects 2 arguments"));
+    }
+
+    #[test]
+    fn generate_greedy_truncates_at_context_window() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        // Session 0's prompt leaves room for only 4 cache appends; session
+        // 1 has plenty. The over-long rollout truncates instead of
+        // panicking inside the pool task, and the batch survives.
+        let prompts = vec![
+            tokens(shape.max_seq - 4, shape.vocab, 5),
+            tokens(6, shape.vocab, 2),
+        ];
+        let sessions = prompts
+            .iter()
+            .map(|_| DecodeSession::new(&reference))
+            .collect();
+        let mut engine = BatchEngine::new(sessions);
+        let before = metrics::DECODE_TRUNCATED.get();
+        let out = engine.generate_greedy(&prompts, 10);
+        assert_eq!(metrics::DECODE_TRUNCATED.get(), before + 1);
+        // 4 in-window extensions plus the final predicted-but-unappended
+        // token; the healthy session decodes all 10.
+        assert_eq!(out[0].len(), 5);
+        assert_eq!(out[1].len(), 10);
+        let sessions = engine.into_sessions();
+        assert_eq!(sessions[0].len(), shape.max_seq);
+        assert_eq!(sessions[1].len(), 16);
     }
 
     #[test]

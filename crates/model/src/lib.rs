@@ -48,7 +48,9 @@ pub mod synthetic;
 pub mod weights;
 pub mod zeroshot;
 
-pub use engine::{BatchEngine, DecodeSession, KvCache, KvCacheMode, ModelRef, StepError};
+pub use engine::{
+    greedy_token, BatchEngine, BatchError, DecodeSession, KvCache, KvCacheMode, ModelRef, StepError,
+};
 pub use forward::{DegradedSite, QuantizedModel, ReferenceModel, Site};
 pub use shape::{Activation, ModelKind, ModelShape, NormKind};
 pub use synthetic::SyntheticLlm;

@@ -1,0 +1,1002 @@
+//! Continuous-batching serving layer over the decode engine.
+//!
+//! The [`Scheduler`] owns a request queue with admission control and runs
+//! an iteration loop that mixes **chunked prefill** with in-flight decode
+//! steps — the continuous-batching shape real serving systems use.
+//! Sessions join the batch the moment a slot frees up and leave the moment
+//! they finish; the batch never drains to make room.
+//!
+//! **Admission control.** Two bounds, both enforced *before* a request
+//! allocates anything: a queue-depth cap and a per-mode KV-byte budget
+//! (the worst-case cache footprint of prompt + decode target, computed
+//! from [`KvCacheMode`]'s exact per-position byte formulas). A request
+//! that would exceed either is rejected with a typed [`AdmissionError`]
+//! instead of OOMing the process.
+//!
+//! **Deadlines.** Every admitted request carries a deadline in scheduler
+//! iterations (logical time). Expiry is checked at the top of every
+//! iteration — waiting or active, a request past its deadline completes
+//! with [`TerminalStatus::DeadlineExceeded`] while the rest of the batch
+//! keeps decoding.
+//!
+//! **Failure isolation.** Each per-session work item runs under
+//! `catch_unwind`: a [`StepError`], an injected `pool` task fault (the
+//! scheduler treats each per-session work item as a pool task and consults
+//! the same `pool` fault site, so chaos plans bite even when the model is
+//! too small for the inner GEMMs to dispatch pool items), or any organic
+//! panic retires *that* request as [`TerminalStatus::Failed`] — never the
+//! batch. A `SequenceFull` mid-decode is not a failure: the rollout
+//! truncates at the window (counted in `engine::decode_truncated`) and the
+//! request completes as `Done`.
+//!
+//! **Determinism.** Traffic (arrivals, prompts, decode targets) comes from
+//! a [`DetRng`] seeded by the config; scheduling decisions use logical
+//! iteration time only; fault decisions are content-keyed. The transcript
+//! is therefore byte-identical at any thread count for a fixed config and
+//! fault seed. Wall-clock values (latency percentiles in ns, tokens/s) are
+//! published to the `metrics::serve` bank for the JSON report and never
+//! appear in the transcript.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use tender_faults as faults;
+use tender_metrics::engine as engine_metrics;
+use tender_metrics::serve as metrics;
+use tender_model::engine::{greedy_token, DecodeSession, KvCacheMode, ModelRef, StepError};
+use tender_model::shape::ModelShape;
+use tender_tensor::rng::DetRng;
+
+/// Everything the scheduler needs to generate and serve one synthetic run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Total synthetic requests the traffic generator submits.
+    pub requests: usize,
+    /// Seed for the arrival process, prompts, and decode targets.
+    pub arrival_seed: u64,
+    /// Per-request deadline in scheduler iterations, measured from
+    /// admission. `0` expires everything instantly.
+    pub deadline_steps: u64,
+    /// Admission bound: maximum requests waiting for a batch slot.
+    pub queue_cap: usize,
+    /// Admission bound: total KV bytes reservable across waiting + active
+    /// requests (worst-case footprint of prompt + decode target).
+    pub kv_budget_bytes: u64,
+    /// Maximum sessions decoding concurrently (batch slots).
+    pub max_batch: usize,
+    /// Prompt tokens ingested per request per iteration during prefill.
+    pub prefill_chunk: usize,
+    /// KV-cache storage mode for every session.
+    pub kv_mode: KvCacheMode,
+    /// Inclusive prompt-length range for synthetic requests.
+    pub prompt_len: (usize, usize),
+    /// Inclusive decode-target range for synthetic requests.
+    pub decode_len: (usize, usize),
+    /// Maximum iterations between consecutive arrivals.
+    pub max_arrival_gap: u64,
+}
+
+impl ServeConfig {
+    /// A config with the serving defaults used by the CLI and the chaos
+    /// experiment: small batch, chunked prefill, effectively-unbounded KV
+    /// budget (callers set a real one to exercise admission).
+    pub fn new(requests: usize, arrival_seed: u64) -> Self {
+        Self {
+            requests,
+            arrival_seed,
+            deadline_steps: 64,
+            queue_cap: 8,
+            kv_budget_bytes: u64::MAX,
+            max_batch: 4,
+            prefill_chunk: 4,
+            kv_mode: KvCacheMode::F32,
+            prompt_len: (4, 12),
+            decode_len: (4, 16),
+            max_arrival_gap: 2,
+        }
+    }
+}
+
+/// One synthetic request produced by [`synthetic_traffic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Stable identity (submission order).
+    pub id: usize,
+    /// Iteration at which the request reaches the scheduler.
+    pub arrival: u64,
+    /// Prompt token ids (all within the model's vocab).
+    pub prompt: Vec<usize>,
+    /// Decode tokens requested. May exceed the remaining context window —
+    /// such rollouts truncate at the window and still complete.
+    pub decode_target: usize,
+}
+
+/// Why admission control refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The waiting queue is at its configured depth cap.
+    QueueFull {
+        /// The configured cap.
+        cap: usize,
+    },
+    /// Admitting the request would exceed the KV-byte budget.
+    KvBudgetExceeded {
+        /// Worst-case bytes the request would reserve.
+        needed: u64,
+        /// Bytes still unreserved under the budget.
+        available: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { cap } => write!(f, "queue full (cap {cap})"),
+            Self::KvBudgetExceeded {
+                needed,
+                available,
+                budget,
+            } => write!(
+                f,
+                "kv budget (need {needed}, available {available}, budget {budget})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// How a request ended. Every submitted request reaches exactly one of
+/// these — the scheduler's liveness contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TerminalStatus {
+    /// The request decoded its target (or as much as the context window
+    /// allowed — `truncated` marks window-capped rollouts).
+    Done {
+        /// Decode tokens emitted.
+        tokens: usize,
+        /// True when the rollout hit `SequenceFull` before its target.
+        truncated: bool,
+    },
+    /// Admission control refused the request; it never held a session.
+    Rejected(AdmissionError),
+    /// The per-request deadline passed before completion.
+    DeadlineExceeded {
+        /// Decode tokens emitted before expiry.
+        decoded: usize,
+    },
+    /// The request's session failed in isolation (a `StepError` other than
+    /// window exhaustion, or a panic caught at the session boundary).
+    Failed {
+        /// Deterministic description of the failure.
+        reason: String,
+    },
+}
+
+/// One request's final record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// The request's id.
+    pub id: usize,
+    /// How it ended.
+    pub status: TerminalStatus,
+    /// Iteration of admission (`None` for rejected requests).
+    pub admitted_at: Option<u64>,
+    /// Iteration at which the terminal status was assigned.
+    pub finished_at: u64,
+}
+
+/// Aggregate result of one scheduler run. All fields are pure functions of
+/// the config and fault seed (wall-clock values go to the metrics bank
+/// only), so two runs at any thread count produce identical reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// The deterministic, line-oriented event log of the run.
+    pub transcript: String,
+    /// Per-request outcomes in id order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Scheduler iterations executed.
+    pub iterations: u64,
+    /// Iterations whose work was dropped by an injected `sched` fault.
+    pub stalled_iterations: u64,
+    /// Requests past admission control.
+    pub admitted: u64,
+    /// Requests refused for queue depth.
+    pub rejected_queue: u64,
+    /// Requests refused for KV budget.
+    pub rejected_kv: u64,
+    /// Admitted requests that completed (`Done`, truncations included).
+    pub completed: u64,
+    /// Completions that truncated at the context window.
+    pub truncated: u64,
+    /// Admitted requests that hit their deadline.
+    pub expired: u64,
+    /// Admitted requests that failed in isolation.
+    pub failed: u64,
+    /// Requests left unresolved by the safety cap (0 on any healthy run).
+    pub unresolved: u64,
+    /// Decode tokens emitted across all requests.
+    pub decode_tokens: u64,
+    /// Deepest waiting queue observed.
+    pub queue_depth_max: u64,
+    /// Most sessions simultaneously active.
+    pub batch_occupancy_max: u64,
+    /// Peak KV bytes reserved under the admission budget.
+    pub kv_reserved_peak: u64,
+    /// p50 per-request latency, admission → terminal, in iterations.
+    pub latency_iters_p50: u64,
+    /// p99 per-request latency, admission → terminal, in iterations.
+    pub latency_iters_p99: u64,
+}
+
+impl ServeReport {
+    /// The pass/fail liveness verdict the chaos harness asserts on.
+    pub fn verdict(&self) -> String {
+        if self.unresolved == 0 {
+            "all admitted requests reached a terminal status".into()
+        } else {
+            format!("STUCK ({} unresolved)", self.unresolved)
+        }
+    }
+}
+
+/// Worst-case KV-cache bytes a session holding `positions` cached
+/// positions costs in `mode` — the admission-control reservation unit.
+/// Mirrors the cache's own accounting: 2 planes (K and V) per layer per
+/// head, each `position_bytes` per position plus a constant per-head
+/// quantization-metadata overhead.
+pub fn kv_reserve_bytes(shape: &ModelShape, mode: KvCacheMode, positions: usize) -> u64 {
+    let dh = shape.head_dim();
+    let planes = 2 * (shape.layers * shape.heads) as u64;
+    planes * (mode.position_bytes(dh) * positions as u64 + mode.head_overhead_bytes(dh))
+}
+
+/// Generates the run's synthetic traffic: a seeded arrival process with
+/// bounded inter-arrival gaps, prompts drawn uniformly from the vocab, and
+/// decode targets in the configured range. Every 8th request deliberately
+/// overshoots the context window so window truncation is exercised under
+/// load. Pure function of (config, shape) — byte-identical at any thread
+/// count.
+pub fn synthetic_traffic(cfg: &ServeConfig, shape: &ModelShape) -> Vec<Request> {
+    let mut rng = DetRng::new(cfg.arrival_seed);
+    let max_prompt = shape.max_seq.saturating_sub(2).max(1);
+    let (plo, phi) = cfg.prompt_len;
+    let (dlo, dhi) = cfg.decode_len;
+    let mut arrival = 0u64;
+    let mut out = Vec::with_capacity(cfg.requests);
+    for id in 0..cfg.requests {
+        if id > 0 {
+            arrival += rng.below(cfg.max_arrival_gap as usize + 1) as u64;
+        }
+        let plen = (plo + rng.below(phi.saturating_sub(plo) + 1)).clamp(1, max_prompt);
+        let prompt: Vec<usize> = (0..plen).map(|_| rng.below(shape.vocab)).collect();
+        let mut decode_target = (dlo + rng.below(dhi.saturating_sub(dlo) + 1)).max(1);
+        if id % 8 == 7 {
+            decode_target = decode_target.max(shape.max_seq - plen + 2);
+        }
+        out.push(Request {
+            id,
+            arrival,
+            prompt,
+            decode_target,
+        });
+    }
+    out
+}
+
+/// Runs `build` (typically scheme calibration + quantization) under
+/// `catch_unwind` so an injected fault that panics mid-setup — e.g. a pool
+/// task fault during calibration — degrades the serving stack to the
+/// caller's fallback model instead of killing the server before it takes
+/// a single request. A degraded setup counts one `degraded_sites` and one
+/// `fallback_fp16` (the caller's fallback is the unquantized reference
+/// model, the ladder's last rung).
+pub fn build_or_degrade<T>(build: impl FnOnce() -> T) -> Option<T> {
+    match catch_unwind(AssertUnwindSafe(build)) {
+        Ok(v) => Some(v),
+        Err(_) => {
+            tender_metrics::faults::DEGRADED_SITES.incr();
+            tender_metrics::faults::FALLBACK_FP16.incr();
+            None
+        }
+    }
+}
+
+/// A request that passed admission and is waiting for or holding a slot.
+struct Admitted {
+    req: Request,
+    admitted_at: u64,
+    reserve: u64,
+    clock: Instant,
+}
+
+/// An admitted request bound to a live decode session.
+struct Active<'m> {
+    adm: Admitted,
+    session: DecodeSession<'m>,
+    /// Prompt tokens ingested so far.
+    fed: usize,
+    /// The next token to emit + feed once prefill completes.
+    pending: Option<usize>,
+    /// Decode tokens emitted.
+    emitted: usize,
+}
+
+enum Progress {
+    InFlight,
+    Terminal(TerminalStatus),
+}
+
+/// The continuous-batching scheduler. See the crate docs for the contract.
+pub struct Scheduler<'m> {
+    model: ModelRef<'m>,
+    cfg: ServeConfig,
+}
+
+impl<'m> Scheduler<'m> {
+    /// A scheduler serving synthetic traffic against `model`.
+    pub fn new(model: impl Into<ModelRef<'m>>, cfg: ServeConfig) -> Self {
+        Self {
+            model: model.into(),
+            cfg,
+        }
+    }
+
+    /// Runs the whole synthetic workload to completion and returns the
+    /// deterministic report. Publishes the `metrics::serve` bank as it
+    /// goes (counters inline, gauges at the end).
+    pub fn run(&mut self) -> ServeReport {
+        let shape = self.model.shape();
+        let cfg = self.cfg.clone();
+        let vocab = shape.vocab;
+        let run_start = Instant::now();
+
+        let header = format!(
+            "serve: {} requests, arrival seed {}, deadline {} iters, queue cap {}, \
+             kv budget {} bytes, batch {}, prefill chunk {}, kv {}",
+            cfg.requests,
+            cfg.arrival_seed,
+            cfg.deadline_steps,
+            cfg.queue_cap,
+            cfg.kv_budget_bytes,
+            cfg.max_batch,
+            cfg.prefill_chunk,
+            cfg.kv_mode.label(),
+        );
+        // Content-keyed run identity for the `sched` and serve-level
+        // `pool` fault streams: distinct configs fault independently.
+        let run_key = faults::hash_bytes(header.as_bytes());
+
+        let mut transcript = String::with_capacity(4096);
+        let mut line = |s: String| {
+            transcript.push_str(&s);
+            transcript.push('\n');
+        };
+        line(header.clone());
+
+        let traffic = synthetic_traffic(&cfg, shape);
+        metrics::SUBMITTED.add(traffic.len() as u64);
+        let last_arrival = traffic.last().map_or(0, |r| r.arrival);
+        // Defensive horizon: admission resolves by the last arrival and
+        // deadlines bound every admitted request, so a healthy run always
+        // exits well inside this cap. Breaching it marks the leftovers
+        // unresolved (a STUCK verdict) instead of hanging.
+        let work_bound: u64 = traffic
+            .iter()
+            .map(|r| (r.prompt.len().div_ceil(cfg.prefill_chunk.max(1)) + r.decode_target) as u64)
+            .sum();
+        let horizon = last_arrival + cfg.deadline_steps.min(1_000_000) + work_bound * 4 + 16;
+
+        let mut pending: VecDeque<Request> = traffic.into();
+        let mut waiting: VecDeque<Admitted> = VecDeque::new();
+        let mut active: Vec<Active<'m>> = Vec::new();
+        let mut outcomes: Vec<RequestOutcome> = Vec::new();
+        let mut reserved: u64 = 0;
+        let mut latencies_iters: Vec<u64> = Vec::new();
+        let mut latencies_ns: Vec<u64> = Vec::new();
+
+        let mut admitted = 0u64;
+        let mut rejected_queue = 0u64;
+        let mut rejected_kv = 0u64;
+        let mut completed = 0u64;
+        let mut truncated = 0u64;
+        let mut expired = 0u64;
+        let mut failed = 0u64;
+        let mut unresolved = 0u64;
+        let mut stalled = 0u64;
+        let mut queue_depth_max = 0u64;
+        let mut batch_occupancy_max = 0u64;
+        let mut kv_reserved_peak = 0u64;
+        let mut iterations = 0u64;
+
+        let finish = |slot: Admitted,
+                      status: TerminalStatus,
+                      t: u64,
+                      reserved: &mut u64,
+                      outcomes: &mut Vec<RequestOutcome>,
+                      latencies_iters: &mut Vec<u64>,
+                      latencies_ns: &mut Vec<u64>| {
+            *reserved -= slot.reserve;
+            latencies_iters.push(t - slot.admitted_at);
+            let ns = slot.clock.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            latencies_ns.push(ns);
+            metrics::REQUEST_LATENCY.record_ns(ns);
+            outcomes.push(RequestOutcome {
+                id: slot.req.id,
+                status,
+                admitted_at: Some(slot.admitted_at),
+                finished_at: t,
+            });
+        };
+
+        let mut t = 0u64;
+        while !(pending.is_empty() && waiting.is_empty() && active.is_empty()) {
+            if t > horizon {
+                unresolved = (pending.len() + waiting.len() + active.len()) as u64;
+                line(format!(
+                    "[iter {t}] safety horizon reached with {unresolved} unresolved"
+                ));
+                break;
+            }
+            iterations += 1;
+            metrics::ITERATIONS.incr();
+
+            // 1. Arrivals → admission control. A request is admitted or
+            // rejected the iteration it arrives; rejection is typed and
+            // immediate, never a silent drop.
+            while pending.front().is_some_and(|r| r.arrival <= t) {
+                let req = pending.pop_front().expect("checked non-empty");
+                let positions = (req.prompt.len() + req.decode_target).min(shape.max_seq);
+                let need = kv_reserve_bytes(shape, cfg.kv_mode, positions);
+                let err = if waiting.len() >= cfg.queue_cap {
+                    Some(AdmissionError::QueueFull { cap: cfg.queue_cap })
+                } else if need > cfg.kv_budget_bytes - cfg.kv_budget_bytes.min(reserved) {
+                    Some(AdmissionError::KvBudgetExceeded {
+                        needed: need,
+                        available: cfg.kv_budget_bytes - cfg.kv_budget_bytes.min(reserved),
+                        budget: cfg.kv_budget_bytes,
+                    })
+                } else {
+                    None
+                };
+                match err {
+                    Some(e) => {
+                        match e {
+                            AdmissionError::QueueFull { .. } => {
+                                rejected_queue += 1;
+                                metrics::REJECTED_QUEUE_FULL.incr();
+                            }
+                            AdmissionError::KvBudgetExceeded { .. } => {
+                                rejected_kv += 1;
+                                metrics::REJECTED_KV_BUDGET.incr();
+                            }
+                        }
+                        line(format!("[iter {t}] reject r{}: {e}", req.id));
+                        outcomes.push(RequestOutcome {
+                            id: req.id,
+                            status: TerminalStatus::Rejected(e),
+                            admitted_at: None,
+                            finished_at: t,
+                        });
+                    }
+                    None => {
+                        admitted += 1;
+                        metrics::ADMITTED.incr();
+                        reserved += need;
+                        kv_reserved_peak = kv_reserved_peak.max(reserved);
+                        metrics::KV_RESERVED_PEAK_BYTES.observe(reserved);
+                        line(format!(
+                            "[iter {t}] admit r{} (prompt {}, decode {}, kv {})",
+                            req.id,
+                            req.prompt.len(),
+                            req.decode_target,
+                            need
+                        ));
+                        waiting.push_back(Admitted {
+                            req,
+                            admitted_at: t,
+                            reserve: need,
+                            clock: Instant::now(),
+                        });
+                    }
+                }
+            }
+            queue_depth_max = queue_depth_max.max(waiting.len() as u64);
+            metrics::QUEUE_DEPTH_MAX.observe(waiting.len() as u64);
+
+            // 2. Join: fill free batch slots from the queue — sessions
+            // join mid-flight, the batch never drains first.
+            while active.len() < cfg.max_batch {
+                let Some(adm) = waiting.pop_front() else {
+                    break;
+                };
+                line(format!("[iter {t}] start r{}", adm.req.id));
+                let session = DecodeSession::with_cache_mode(self.model, cfg.kv_mode);
+                active.push(Active {
+                    adm,
+                    session,
+                    fed: 0,
+                    pending: None,
+                    emitted: 0,
+                });
+            }
+            batch_occupancy_max = batch_occupancy_max.max(active.len() as u64);
+            metrics::BATCH_OCCUPANCY_MAX.observe(active.len() as u64);
+
+            // 3. Watchdog: expire deadlines, waiting and active alike.
+            let mut i = 0;
+            while i < waiting.len() {
+                if t - waiting[i].admitted_at >= cfg.deadline_steps {
+                    let slot = waiting.remove(i).expect("index in range");
+                    expired += 1;
+                    metrics::EXPIRED.incr();
+                    line(format!(
+                        "[iter {t}] r{} deadline exceeded after 0 tokens",
+                        slot.req.id
+                    ));
+                    finish(
+                        slot,
+                        TerminalStatus::DeadlineExceeded { decoded: 0 },
+                        t,
+                        &mut reserved,
+                        &mut outcomes,
+                        &mut latencies_iters,
+                        &mut latencies_ns,
+                    );
+                } else {
+                    i += 1;
+                }
+            }
+            let mut i = 0;
+            while i < active.len() {
+                if t - active[i].adm.admitted_at >= cfg.deadline_steps {
+                    let slot = active.remove(i);
+                    expired += 1;
+                    metrics::EXPIRED.incr();
+                    line(format!(
+                        "[iter {t}] r{} deadline exceeded after {} tokens",
+                        slot.adm.req.id, slot.emitted
+                    ));
+                    finish(
+                        slot.adm,
+                        TerminalStatus::DeadlineExceeded {
+                            decoded: slot.emitted,
+                        },
+                        t,
+                        &mut reserved,
+                        &mut outcomes,
+                        &mut latencies_iters,
+                        &mut latencies_ns,
+                    );
+                } else {
+                    i += 1;
+                }
+            }
+
+            let plan = faults::plan();
+
+            // 4. Injected scheduler stall: drop this iteration's work.
+            // Deadlines (absolute time) keep ticking, so a stalled server
+            // degrades to slower service, never to a hang.
+            if !active.is_empty() && plan.as_ref().is_some_and(|p| p.sched_stall(run_key, t)) {
+                stalled += 1;
+                metrics::STALLED_ITERATIONS.incr();
+                line(format!("[iter {t}] sched stall (injected)"));
+                t += 1;
+                continue;
+            }
+
+            // 5. Work: advance every active session one quantum — a
+            // prefill chunk or one decode step. Each item is isolated
+            // under catch_unwind: a panic (injected pool fault inside the
+            // session's GEMMs, or the serve-level consult below) retires
+            // that request alone. AssertUnwindSafe is sound because a
+            // slot that panics mid-step is retired immediately — its
+            // possibly-inconsistent session is dropped, never re-stepped.
+            let mut idx = 0;
+            while idx < active.len() {
+                let slot = &mut active[idx];
+                let injected = plan
+                    .as_ref()
+                    .is_some_and(|p| p.pool_panic((run_key ^ t) as usize, slot.adm.req.id));
+                let chunk = cfg.prefill_chunk.max(1);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if injected {
+                        panic!("injected pool task fault (serve)");
+                    }
+                    advance(slot, chunk, vocab)
+                }));
+                let progress = match result {
+                    Ok(p) => p,
+                    Err(payload) => Progress::Terminal(TerminalStatus::Failed {
+                        reason: panic_reason(payload.as_ref()),
+                    }),
+                };
+                match progress {
+                    Progress::InFlight => idx += 1,
+                    Progress::Terminal(status) => {
+                        let slot = active.remove(idx);
+                        match &status {
+                            TerminalStatus::Done {
+                                tokens,
+                                truncated: trunc,
+                            } => {
+                                completed += 1;
+                                metrics::COMPLETED.incr();
+                                if *trunc {
+                                    truncated += 1;
+                                }
+                                line(format!(
+                                    "[iter {t}] r{} done: {} tokens in {} iters{}",
+                                    slot.adm.req.id,
+                                    tokens,
+                                    t - slot.adm.admitted_at,
+                                    if *trunc { " (truncated at window)" } else { "" }
+                                ));
+                            }
+                            TerminalStatus::Failed { reason } => {
+                                failed += 1;
+                                metrics::FAILED.incr();
+                                line(format!("[iter {t}] r{} failed: {reason}", slot.adm.req.id));
+                            }
+                            _ => unreachable!("work phase only completes or fails"),
+                        }
+                        finish(
+                            slot.adm,
+                            status,
+                            t,
+                            &mut reserved,
+                            &mut outcomes,
+                            &mut latencies_iters,
+                            &mut latencies_ns,
+                        );
+                    }
+                }
+            }
+            t += 1;
+        }
+
+        // Deterministic summary. Latency percentiles in *iterations* are
+        // logical time, so they belong in the transcript; wall-clock
+        // percentiles go to the metrics bank only.
+        latencies_iters.sort_unstable();
+        latencies_ns.sort_unstable();
+        let p50_iters = percentile(&latencies_iters, 50);
+        let p99_iters = percentile(&latencies_iters, 99);
+        metrics::LATENCY_ITERS_P50.set(p50_iters);
+        metrics::LATENCY_ITERS_P99.set(p99_iters);
+        metrics::LATENCY_P50_NS.set(percentile(&latencies_ns, 50));
+        metrics::LATENCY_P99_NS.set(percentile(&latencies_ns, 99));
+        let elapsed_ns = run_start.elapsed().as_nanos().max(1);
+        let total_decoded: u64 = outcomes
+            .iter()
+            .map(|o| match &o.status {
+                TerminalStatus::Done { tokens, .. } => *tokens as u64,
+                TerminalStatus::DeadlineExceeded { decoded } => *decoded as u64,
+                _ => 0,
+            })
+            .sum();
+        let decode_tokens = total_decoded;
+        metrics::TOKENS_PER_SEC_MILLI.set(
+            ((total_decoded as u128 * 1_000_000_000_000) / elapsed_ns).min(u64::MAX as u128) as u64,
+        );
+
+        outcomes.sort_by_key(|o| o.id);
+        line(format!(
+            "summary: submitted {} admitted {admitted} rejected {} (queue {rejected_queue}, \
+             kv {rejected_kv}) done {completed} (truncated {truncated}) expired {expired} \
+             failed {failed}",
+            cfg.requests,
+            rejected_queue + rejected_kv,
+        ));
+        line(format!(
+            "latency iters p50 {p50_iters} p99 {p99_iters}, max queue depth {queue_depth_max}, \
+             max batch {batch_occupancy_max}, kv reserved peak {kv_reserved_peak}, \
+             iterations {iterations} (stalled {stalled})"
+        ));
+        let report = ServeReport {
+            transcript: String::new(),
+            outcomes,
+            iterations,
+            stalled_iterations: stalled,
+            admitted,
+            rejected_queue,
+            rejected_kv,
+            completed,
+            truncated,
+            expired,
+            failed,
+            unresolved,
+            decode_tokens,
+            queue_depth_max,
+            batch_occupancy_max,
+            kv_reserved_peak,
+            latency_iters_p50: p50_iters,
+            latency_iters_p99: p99_iters,
+        };
+        line(format!("verdict: {}", report.verdict()));
+        ServeReport {
+            transcript,
+            ..report
+        }
+    }
+}
+
+/// Advances one active request by one scheduling quantum.
+fn advance(slot: &mut Active<'_>, chunk: usize, vocab: usize) -> Progress {
+    let prompt_len = slot.adm.req.prompt.len();
+    if slot.fed < prompt_len {
+        // Chunked prefill: up to `chunk` prompt tokens this iteration.
+        let take = chunk.min(prompt_len - slot.fed);
+        let logits = if slot.fed == 0 {
+            slot.session.prefill(&slot.adm.req.prompt[..take])
+        } else {
+            let mut logits = None;
+            for &tok in &slot.adm.req.prompt[slot.fed..slot.fed + take] {
+                match slot.session.step(tok) {
+                    Ok(l) => logits = Some(l),
+                    Err(e) => {
+                        return Progress::Terminal(TerminalStatus::Failed {
+                            reason: format!("prompt ingestion failed: {e}"),
+                        })
+                    }
+                }
+            }
+            logits.expect("chunk is non-empty")
+        };
+        slot.fed += take;
+        metrics::PREFILL_CHUNK_TOKENS.add(take as u64);
+        if slot.fed == prompt_len {
+            let row = logits.rows() - 1;
+            slot.pending = Some(greedy_token(&logits, row, slot.session.len(), vocab));
+        }
+        return Progress::InFlight;
+    }
+
+    // Decode: emit the pending token, then (if more are needed) step the
+    // session to produce the next one. `SequenceFull` truncates the
+    // rollout at the window — a completion, not a failure.
+    let tok = slot.pending.expect("decode phase has a pending token");
+    slot.emitted += 1;
+    metrics::DECODE_TOKENS.incr();
+    if slot.emitted >= slot.adm.req.decode_target {
+        return Progress::Terminal(TerminalStatus::Done {
+            tokens: slot.emitted,
+            truncated: false,
+        });
+    }
+    match slot.session.step(tok) {
+        Ok(logits) => {
+            slot.pending = Some(greedy_token(&logits, 0, slot.session.len(), vocab));
+            Progress::InFlight
+        }
+        Err(StepError::SequenceFull { .. }) => {
+            engine_metrics::DECODE_TRUNCATED.incr();
+            Progress::Terminal(TerminalStatus::Done {
+                tokens: slot.emitted,
+                truncated: true,
+            })
+        }
+        Err(e) => Progress::Terminal(TerminalStatus::Failed {
+            reason: format!("step failed: {e}"),
+        }),
+    }
+}
+
+/// Stable panic description: injected pool faults collapse to a fixed
+/// string because the payload that wins an inner batch's first-panic race
+/// can differ across thread counts; everything else keeps its message.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic".into());
+    if msg.starts_with("injected pool task fault") {
+        "injected pool task fault".into()
+    } else {
+        msg
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice (0 for an empty slice).
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (pct * n).div_ceil(100).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+    use tender_faults::{FaultPlan, PlanGuard};
+    use tender_model::synthetic::SyntheticLlm;
+    use tender_model::ReferenceModel;
+
+    /// Serializes tests: the fault plan and the metrics bank are global.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn tiny() -> ReferenceModel {
+        let shape = ModelShape::tiny_test();
+        SyntheticLlm::generate(&shape, 11).reference()
+    }
+
+    #[test]
+    fn same_config_runs_are_byte_identical() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let model = tiny();
+        let cfg = ServeConfig::new(12, 42);
+        let a = Scheduler::new(&model, cfg.clone()).run();
+        let b = Scheduler::new(&model, cfg).run();
+        assert_eq!(a.transcript, b.transcript);
+        assert_eq!(a, b);
+        assert_eq!(a.unresolved, 0);
+        assert_eq!(
+            a.verdict(),
+            "all admitted requests reached a terminal status"
+        );
+        assert_eq!(a.outcomes.len(), 12, "every request reaches a terminal");
+        // The byte-equality above is also the wall-clock guard: the two
+        // runs took different real time, so any leaked timing would have
+        // already diverged the transcripts.
+    }
+
+    #[test]
+    fn queue_cap_rejections_are_typed_and_immediate() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let model = tiny();
+        let mut cfg = ServeConfig::new(6, 7);
+        cfg.queue_cap = 1;
+        cfg.max_batch = 1;
+        cfg.max_arrival_gap = 0; // everyone arrives at iteration 0
+        let report = Scheduler::new(&model, cfg).run();
+        assert_eq!(report.admitted, 1);
+        assert_eq!(report.rejected_queue, 5);
+        assert_eq!(report.unresolved, 0);
+        let rejected: Vec<_> = report
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.status,
+                    TerminalStatus::Rejected(AdmissionError::QueueFull { cap: 1 })
+                )
+            })
+            .collect();
+        assert_eq!(rejected.len(), 5);
+        assert!(rejected.iter().all(|o| o.admitted_at.is_none()));
+        assert!(rejected.iter().all(|o| o.finished_at == 0), "immediate");
+    }
+
+    #[test]
+    fn kv_budget_rejections_are_typed() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let model = tiny();
+        let mut cfg = ServeConfig::new(4, 9);
+        cfg.kv_budget_bytes = 1; // nothing fits
+        let report = Scheduler::new(&model, cfg).run();
+        assert_eq!(report.admitted, 0);
+        assert_eq!(report.rejected_kv, 4);
+        assert_eq!(report.unresolved, 0);
+        assert!(report.outcomes.iter().all(|o| matches!(
+            o.status,
+            TerminalStatus::Rejected(AdmissionError::KvBudgetExceeded { budget: 1, .. })
+        )));
+    }
+
+    #[test]
+    fn kv_reserve_bytes_shrinks_with_quantized_modes() {
+        let shape = ModelShape::tiny_test();
+        let f32b = kv_reserve_bytes(&shape, KvCacheMode::F32, 32);
+        let i8b = kv_reserve_bytes(&shape, KvCacheMode::Int8, 32);
+        let i4b = kv_reserve_bytes(&shape, KvCacheMode::Int4, 32);
+        assert!(f32b > i8b, "f32 {f32b} vs int8 {i8b}");
+        assert!(i8b > i4b, "int8 {i8b} vs int4 {i4b}");
+    }
+
+    #[test]
+    fn deadlines_expire_but_every_request_is_terminal() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let model = tiny();
+        let mut cfg = ServeConfig::new(8, 3);
+        cfg.deadline_steps = 1; // nothing can finish in one iteration
+        cfg.decode_len = (30, 30);
+        let report = Scheduler::new(&model, cfg).run();
+        assert!(report.admitted > 0);
+        assert_eq!(report.expired, report.admitted);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.unresolved, 0);
+        assert_eq!(report.outcomes.len(), 8);
+    }
+
+    #[test]
+    fn injected_pool_faults_fail_requests_in_isolation() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let model = tiny();
+        let _guard = PlanGuard::install(FaultPlan::parse(5, "pool=1").unwrap());
+        let report = Scheduler::new(&model, ServeConfig::new(6, 21)).run();
+        assert!(report.admitted > 0);
+        assert_eq!(report.failed, report.admitted, "every work item faults");
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.unresolved, 0, "failures never wedge the loop");
+        assert!(report.transcript.contains("injected pool task fault"));
+        assert!(report.outcomes.iter().all(|o| matches!(
+            &o.status,
+            TerminalStatus::Failed { reason } if reason == "injected pool task fault"
+        ) || matches!(
+            o.status,
+            TerminalStatus::Rejected(_)
+        )));
+    }
+
+    #[test]
+    fn injected_sched_stalls_slow_service_without_hanging_it() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let model = tiny();
+        let _guard = PlanGuard::install(FaultPlan::parse(5, "sched=1").unwrap());
+        let mut cfg = ServeConfig::new(6, 33);
+        cfg.deadline_steps = 4;
+        let report = Scheduler::new(&model, cfg).run();
+        assert!(report.stalled_iterations > 0);
+        assert!(report.admitted > 0);
+        // A total stall means no request can make progress, so deadlines
+        // are the only exit — and they fire.
+        assert_eq!(report.expired, report.admitted);
+        assert_eq!(report.unresolved, 0);
+        assert!(report.transcript.contains("sched stall (injected)"));
+    }
+
+    #[test]
+    fn window_overshoot_truncates_as_done_not_failed() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let model = tiny();
+        let before = engine_metrics::DECODE_TRUNCATED.get();
+        let mut cfg = ServeConfig::new(8, 64); // request id 7 overshoots
+        cfg.deadline_steps = 500;
+        let report = Scheduler::new(&model, cfg).run();
+        assert_eq!(report.unresolved, 0);
+        assert!(report.truncated >= 1, "the overshoot request truncated");
+        assert_eq!(report.completed, report.admitted);
+        assert_eq!(report.failed, 0);
+        assert!(engine_metrics::DECODE_TRUNCATED.get() > before);
+        assert!(report.transcript.contains("(truncated at window)"));
+    }
+
+    #[test]
+    fn build_or_degrade_counts_the_fallback() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = tender_metrics::faults::DEGRADED_SITES.get();
+        assert_eq!(build_or_degrade(|| 7), Some(7));
+        assert_eq!(tender_metrics::faults::DEGRADED_SITES.get(), before);
+        let degraded: Option<u32> = build_or_degrade(|| panic!("setup blew up"));
+        assert_eq!(degraded, None);
+        assert_eq!(tender_metrics::faults::DEGRADED_SITES.get(), before + 1);
+    }
+
+    #[test]
+    fn traffic_is_deterministic_and_in_vocab() {
+        let shape = ModelShape::tiny_test();
+        let cfg = ServeConfig::new(32, 5);
+        let a = synthetic_traffic(&cfg, &shape);
+        let b = synthetic_traffic(&cfg, &shape);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a.iter().all(|r| r.prompt.iter().all(|&t| t < shape.vocab)));
+        assert!(a
+            .iter()
+            .all(|r| !r.prompt.is_empty() && r.decode_target > 0));
+        // Every 8th request overshoots the window on purpose.
+        let r7 = &a[7];
+        assert!(r7.prompt.len() + r7.decode_target > shape.max_seq);
+    }
+}
