@@ -68,9 +68,9 @@ fn read_dequant(cache: &KvCache, heads: usize, qh: &Matrix, probs: &Matrix) -> f
     let mut acc = 0.0f32;
     for head in 0..heads {
         let k = cache.head_k(0, head);
-        let scores = ops::row_dot_nt(qh, k.as_ref());
+        let scores = ops::row_dot_nt(qh, &k);
         let v = cache.head_v(0, head);
-        let attn = probs.matmul(v.as_ref()).expect("1×len · len×dh");
+        let attn = probs.matmul(&v).expect("1×len · len×dh");
         acc += scores[(0, 0)] + attn[(0, 0)];
     }
     acc

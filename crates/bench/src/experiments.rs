@@ -4,12 +4,14 @@
 //! experiments use the full-size shapes through the analytic hardware
 //! models. See `EXPERIMENTS.md` for paper-vs-measured records.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use tender::model::calibration::{token_batches, CorpusKind};
-use tender::model::engine::{BatchEngine, DecodeSession, KvCacheMode, ModelRef};
+use tender::model::engine::{greedy_token, BatchEngine, DecodeSession, KvCacheMode, ModelRef};
 use tender::model::eval::{perplexity, EvalSet};
 use tender::model::glue::GlueTask;
 use tender::model::zeroshot;
-use tender::model::{ModelShape, QuantizedModel, SyntheticLlm};
+use tender::model::{ArenaConfig, KvArena, ModelShape, QuantizedModel, SyntheticLlm};
 use tender::quant::scheme::Scheme;
 use tender::quant::tender::{TenderConfig, TenderScheme};
 use tender::serve::{build_or_degrade, kv_reserve_bytes, Scheduler, ServeConfig};
@@ -17,10 +19,13 @@ use tender::sim::accel::{speedups_over, AcceleratorKind};
 use tender::sim::area::AreaModel;
 use tender::sim::config::TenderHwConfig;
 use tender::sim::energy::efficiency_over;
-use tender::sim::generation::{decode_step_macs, kv_cache_bytes, kv_cache_mode_bytes};
+use tender::sim::generation::{
+    decode_step_macs, kv_cache_bytes, kv_paged_allocated_bytes, kv_paged_mode_bytes,
+};
 use tender::sim::gpu::{normalized_latency, GpuConfig, GpuScheme};
 use tender::sim::perf::{workload_cost, RequantMode};
 use tender::sim::workload::PrefillWorkload;
+use tender::tensor::arena::DEFAULT_PAGE_ROWS;
 use tender::tensor::stats;
 use tender::{scheme_by_name, Experiment};
 
@@ -862,7 +867,8 @@ pub fn generate() -> Vec<Table> {
 /// `f32` row doubles as a parity check: its decode perplexity must equal
 /// the full-forward perplexity bit for bit. Memory is measured on a
 /// separate 32-position rollout and cross-checked against the simulator's
-/// `kv_cache_mode_bytes`. A row whose INT8 perplexity delta exceeds 1.0 or
+/// paged-storage formula `kv_paged_mode_bytes` (quantized pages carry
+/// per-page scale snapshots). A row whose INT8 perplexity delta exceeds 1.0 or
 /// whose resident ratio exceeds 0.3× prints `EXCEEDS`, which CI greps for.
 pub fn kv_cache() -> Vec<Table> {
     const PPL_DELTA_BOUND: f64 = 1.0; // INT8 accuracy budget vs the f32 cache
@@ -935,7 +941,7 @@ pub fn kv_cache() -> Vec<Table> {
             decode_ppl(mode)
         };
         let (resident, allocated, requants) = measure(mode);
-        let sim = kv_cache_mode_bytes(&shape, mem_len, mode);
+        let sim = kv_paged_mode_bytes(&shape, mem_len, mode, DEFAULT_PAGE_ROWS);
         let resident_s = if resident == sim {
             format!("{resident} (=sim)")
         } else {
@@ -983,6 +989,229 @@ pub fn kv_cache() -> Vec<Table> {
     }
     t.note("decode-path ppl: logits collected from prefill(1)+steps; f32 row checks bit-parity vs the full forward");
     vec![t]
+}
+
+/// KV paging — the arena-backed cache against the preallocated baseline.
+///
+/// Three tables: (1) sessions per GB with a 64-token shared system prompt
+/// prefilled once and forked copy-on-write — the paged arena must fit at
+/// least 10× more concurrent sessions per GB than a baseline that
+/// preallocates the full context window per session, while a fork replays
+/// bit-identically to a private unshared session; (2) watermark-forced
+/// tier demotion (f32→int8→int4 on cold sealed pages) under the
+/// decode-path Wiki perplexity budget; (3) the resident/allocated byte
+/// crosscheck against the simulator's paged formulas in every cache mode.
+///
+/// CI greps the verdicts: `≥10x: ok`, `bit-exact`, `ok`, `(=sim)` are
+/// healthy; `FAIL`, `DIVERGED`, `EXCEEDS`, `MISMATCH` fail the job.
+pub fn kv_page() -> Vec<Table> {
+    const GAIN_BOUND: f64 = 10.0;
+    const PPL_DELTA_BOUND: f64 = 1.0; // same accuracy budget as kv_cache int8
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    let shape = eval_shape(ModelShape::opt_6_7b());
+    let exp = Experiment::new(&shape, options());
+    let opts = exp.options();
+    let reference = exp.reference();
+    let eval = exp.eval_set(CorpusKind::Wiki);
+    let planes = 2 * (shape.layers * shape.heads) as u64;
+    let dh = shape.head_dim();
+
+    // ---- Sessions per GB: shared prefix prefilled once, CoW forks. ----
+    let prefix_len = 64usize.min(shape.max_seq / 2);
+    let forks = 32usize;
+    let decode_steps = 4usize;
+    let arena = KvArena::new(ArenaConfig::default());
+    let prompt = token_batches(
+        CorpusKind::Wiki,
+        shape.vocab,
+        1,
+        prefix_len,
+        opts.seed ^ 0x9A,
+    )
+    .remove(0);
+    let mut template = DecodeSession::with_arena(reference, KvCacheMode::F32, &arena);
+    template.prefill(&prompt);
+    let seeds: Vec<usize> = (0..forks).map(|i| (i * 7 + 1) % shape.vocab).collect();
+    let mut engine = BatchEngine::forked(&template, forks);
+    let rollouts = engine.resume_greedy(&seeds, decode_steps);
+    assert_eq!(rollouts.len(), forks);
+    drop(engine);
+    let per_session_paged = arena.allocated_bytes() as f64 / forks as f64;
+    let prealloc = kv_reserve_bytes(&shape, KvCacheMode::F32, shape.max_seq) as f64;
+    let gain = prealloc / per_session_paged;
+
+    // Paged f32 parity: a fork must replay bit-identically to a private
+    // unshared session over the same tokens.
+    let mut fork = template.fork();
+    let mut solo = DecodeSession::new(reference);
+    solo.prefill(&prompt);
+    let mut bit_exact = true;
+    let mut next = seeds[0];
+    for _ in 0..decode_steps {
+        let a = fork.step(next).expect("fork step in window");
+        let b = solo.step(next).expect("solo step in window");
+        if a.row(0) != b.row(0) {
+            bit_exact = false;
+            break;
+        }
+        next = greedy_token(&a, 0, fork.len(), shape.vocab);
+    }
+
+    let mut t1 = Table::new(
+        format!(
+            "KV paging: sessions per GB ({prefix_len}-token shared prefix, {forks} CoW forks, {decode_steps} decode steps)"
+        ),
+        &["Storage", "Bytes/session", "Sessions/GB", "Gain", "Verdict"],
+    );
+    t1.row(vec![
+        "preallocated f32 window".to_string(),
+        format!("{prealloc:.0}"),
+        format!("{:.1}", GB / prealloc),
+        fmt_ratio(1.0),
+        "baseline".to_string(),
+    ]);
+    t1.row(vec![
+        format!("paged f32 (page rows {})", arena.page_rows()),
+        format!("{per_session_paged:.0}"),
+        format!("{:.1}", GB / per_session_paged),
+        fmt_ratio(gain),
+        if gain >= GAIN_BOUND {
+            format!("≥{GAIN_BOUND:.0}x: ok")
+        } else {
+            format!("≥{GAIN_BOUND:.0}x: FAIL ({gain:.1}x)")
+        },
+    ]);
+    t1.row(vec![
+        "fork vs unshared replay".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        if bit_exact { "bit-exact" } else { "DIVERGED" }.to_string(),
+    ]);
+    t1.note(
+        "the baseline reserves the full context window per session (the pre-arena admission price)",
+    );
+
+    // ---- Watermark demotion under the decode-path ppl budget. ----
+    // Each eval context gets a private arena whose capacity holds its full
+    // f32 footprint; the watermark alone decides how far down the ladder
+    // cold sealed pages go (0.5 reaches int8, 0.1 pushes on to int4).
+    let decode_ppl = |bounded: bool, watermark: f64, d8: &AtomicU64, d4: &AtomicU64| -> f64 {
+        perplexity(
+            |tk| {
+                let cap = if bounded {
+                    Some(planes * tk.len() as u64 * dh as u64 * 4)
+                } else {
+                    None
+                };
+                let arena = KvArena::new(ArenaConfig {
+                    page_rows: 4,
+                    capacity_bytes: cap,
+                    watermark,
+                });
+                let mut s = DecodeSession::with_arena(reference, KvCacheMode::F32, &arena);
+                let mut rows: Vec<Vec<f32>> = Vec::with_capacity(tk.len());
+                let first = s.prefill(&tk[..1]);
+                rows.push(first.row(0).to_vec());
+                for &tok in &tk[1..] {
+                    let logits = s.step(tok).expect("eval context inside max_seq");
+                    rows.push(logits.row(0).to_vec());
+                }
+                let st = arena.stats();
+                d8.fetch_add(st.demoted_int8, Ordering::Relaxed);
+                d4.fetch_add(st.demoted_int4, Ordering::Relaxed);
+                tender::tensor::Matrix::from_fn(rows.len(), rows[0].len(), |r, c| rows[r][c])
+            },
+            eval,
+        )
+    };
+    let full_ppl = perplexity(|tk| reference.forward(tk), eval);
+    let zero = AtomicU64::new(0);
+    let f32_ppl = decode_ppl(false, 1.0, &zero, &zero);
+
+    let mut t2 = Table::new(
+        "KV paging: watermark demotion (decode-path Wiki ppl, f32 planes, page rows 4)".to_string(),
+        &["Arena", "Wiki ppl", "Δ vs f32", "Demoted", "Verdict"],
+    );
+    t2.row(vec![
+        "unbounded f32".to_string(),
+        fmt_ppl(f32_ppl),
+        format!("{:+.4}", 0.0),
+        "0".to_string(),
+        // Paged f32 decode must reproduce the full forward bit-exactly,
+        // so the perplexities are equal as f64s, not merely close.
+        if f32_ppl == full_ppl {
+            "bit-exact"
+        } else {
+            "DIVERGED"
+        }
+        .to_string(),
+    ]);
+    for (watermark, floor_int4) in [(0.5, false), (0.1, true)] {
+        let d8 = AtomicU64::new(0);
+        let d4 = AtomicU64::new(0);
+        let ppl = decode_ppl(true, watermark, &d8, &d4);
+        let (d8, d4) = (d8.into_inner(), d4.into_inner());
+        let delta = ppl - f32_ppl;
+        let verdict = if floor_int4 {
+            // The int4 rung is the aggressive point: reported, not gated —
+            // except that the watermark must actually have reached it.
+            if d4 > 0 {
+                "report".to_string()
+            } else {
+                "EXCEEDS (no int4 demotion)".to_string()
+            }
+        } else if delta.abs() <= PPL_DELTA_BOUND && d8 > 0 {
+            "ok".to_string()
+        } else {
+            format!("EXCEEDS (|Δ|≤{PPL_DELTA_BOUND}, demoted>0)")
+        };
+        t2.row(vec![
+            format!("watermark {watermark}"),
+            fmt_ppl(ppl),
+            format!("{delta:+.4}"),
+            format!("{d8}+{d4}"),
+            verdict,
+        ]);
+    }
+    t2.note("capacity holds each context's full f32 footprint; the watermark alone forces cold pages down the ladder");
+
+    // ---- Byte accounting vs the simulator's paged formulas. ----
+    let mem_len = 32usize.min(shape.max_seq - 1);
+    let mem_tokens =
+        token_batches(CorpusKind::Wiki, shape.vocab, 1, mem_len, opts.seed ^ 0x52).remove(0);
+    let mut t3 = Table::new(
+        "KV paging: resident/allocated bytes vs simulator paged formulas".to_string(),
+        &["Cache", "Resident", "Allocated", "Page rows"],
+    );
+    for mode in KvCacheMode::ALL {
+        let mut s = DecodeSession::with_cache_mode(reference, mode);
+        s.prefill(&mem_tokens[..8]);
+        for &tok in &mem_tokens[8..] {
+            s.step(tok).expect("rollout inside max_seq");
+        }
+        let pr = s.cache().page_rows();
+        let resident = s.cache().bytes();
+        let allocated = s.cache().allocated_bytes();
+        let sim_r = kv_paged_mode_bytes(&shape, mem_len, mode, pr);
+        let sim_a = kv_paged_allocated_bytes(&shape, mem_len, mode, pr);
+        t3.row(vec![
+            mode.label().to_string(),
+            if resident == sim_r {
+                format!("{resident} (=sim)")
+            } else {
+                format!("{resident} (MISMATCH sim {sim_r})")
+            },
+            if allocated == sim_a {
+                format!("{allocated} (=sim)")
+            } else {
+                format!("{allocated} (MISMATCH sim {sim_a})")
+            },
+            pr.to_string(),
+        ]);
+    }
+    vec![t1, t2, t3]
 }
 
 /// Serve — the continuous-batching scheduler under synthetic load: 64

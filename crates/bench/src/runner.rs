@@ -110,6 +110,10 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             run: e::kv_cache,
         },
         ExperimentSpec {
+            name: "kv_page",
+            run: e::kv_page,
+        },
+        ExperimentSpec {
             name: "serve",
             run: e::serve,
         },

@@ -49,9 +49,9 @@ fn read_dequant(cache: &KvCache, heads: usize, qh: &Matrix, probs: &Matrix) -> f
     let mut acc = 0.0f32;
     for head in 0..heads {
         let k = cache.head_k(0, head);
-        let scores = ops::row_dot_nt(qh, k.as_ref());
+        let scores = ops::row_dot_nt(qh, &k);
         let v = cache.head_v(0, head);
-        let attn = probs.matmul(v.as_ref()).expect("1×len · len×dh");
+        let attn = probs.matmul(&v).expect("1×len · len×dh");
         acc += scores[(0, 0)] + attn[(0, 0)];
     }
     acc
@@ -93,7 +93,7 @@ fn integer_read_path_beats_dequantize_on_read() {
     // against a loose absolute bound scaled to the score magnitudes.
     for head in 0..shape.heads {
         let int_scores = cache.attn_scores_quant(0, head, &qh).expect("quant plane");
-        let deq_scores = ops::row_dot_nt(&qh_m, cache.head_k(0, head).as_ref());
+        let deq_scores = ops::row_dot_nt(&qh_m, &cache.head_k(0, head));
         let max_mag = deq_scores
             .row(0)
             .iter()

@@ -12,7 +12,7 @@ use std::fmt;
 
 use tender::model::calibration::{token_batches, CorpusKind};
 use tender::model::engine::{BatchEngine, DecodeSession, KvCacheMode, ModelRef};
-use tender::model::{ModelShape, QuantizedModel};
+use tender::model::{ArenaConfig, KvArena, ModelShape, QuantizedModel};
 use tender::serve::{build_or_degrade, Scheduler, ServeConfig};
 use tender::sim::accel::{speedups_over_with_hbm, AcceleratorKind, SimConfigError};
 use tender::sim::config::TenderHwConfig;
@@ -20,6 +20,7 @@ use tender::sim::dataflow::Dataflow;
 use tender::sim::dram::HbmConfig;
 use tender::sim::generation::{decode_tokens_per_second, decode_utilization};
 use tender::sim::workload::PrefillWorkload;
+use tender::tensor::arena::DEFAULT_PAGE_ROWS;
 use tender::{scheme_by_name, Experiment, ExperimentOptions};
 
 /// Error for bad command-line input.
@@ -288,6 +289,7 @@ pub fn cmd_decode(flags: &Flags) -> Result<String, CliError> {
 }
 
 /// `tender-cli generate --model M [--scheme S] [--kv-cache f32|int8|int4]
+/// [--kv-page-rows N] [--kv-arena-bytes N] [--kv-watermark F]
 /// [--prompt N] [--generate N] [--batch B] [--seed N] [--fast true]` —
 /// greedy generation through the prefill + KV-cache decode engine on a
 /// scaled synthetic model.
@@ -299,11 +301,19 @@ pub fn cmd_decode(flags: &Flags) -> Result<String, CliError> {
 /// power-of-two groups) trade that bit-parity for a packed cache; they stay
 /// bit-deterministic at any thread count.
 ///
+/// Cache storage is paged: `--kv-page-rows` sets the rows per page, and
+/// `--kv-arena-bytes` caps each session's arena. Past
+/// `--kv-watermark × capacity`, cold sealed pages are demoted
+/// f32→int8→int4 in place before any hard eviction. Each session gets a
+/// private arena, so the output stays byte-identical at any thread count.
+/// When the arena is bounded or the watermark is below 1, a `kv tiers:`
+/// line reports the per-tier page/byte split and the demotion counters.
+///
 /// # Errors
 ///
 /// Returns [`CliError`] on unknown model/scheme/cache mode, a zero
-/// `--prompt` or `--batch`, or a rollout longer than the model's context
-/// window.
+/// `--prompt`, `--batch`, or `--kv-page-rows`, a `--kv-watermark` outside
+/// `(0, 1]`, or a rollout longer than the model's context window.
 pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     let model_name = flags
         .get("model")
@@ -344,6 +354,21 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
             "unknown --kv-cache mode '{kv_name}' (f32, int8, int4)"
         ))
     })?;
+    let page_rows: usize = flag_parse(flags, "kv-page-rows", DEFAULT_PAGE_ROWS)?;
+    let arena_bytes: u64 = flag_parse(flags, "kv-arena-bytes", u64::MAX)?;
+    let watermark: f64 = flag_parse(flags, "kv-watermark", 1.0)?;
+    if page_rows == 0 {
+        return Err(err("--kv-page-rows must be at least 1"));
+    }
+    if !(watermark > 0.0 && watermark <= 1.0) {
+        return Err(err("--kv-watermark must be in (0, 1]"));
+    }
+    let arena_cfg = ArenaConfig {
+        page_rows,
+        capacity_bytes: (arena_bytes != u64::MAX).then_some(arena_bytes),
+        watermark,
+    };
+    let bounded_arena = arena_cfg.capacity_bytes.is_some() || watermark < 1.0;
     let exp = Experiment::new(&shape, opts);
     let seed = exp.options().seed;
     let prompts = token_batches(
@@ -367,9 +392,26 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
         None => ModelRef::from(exp.reference()),
     };
 
+    // A byte budget that cannot hold the prompt even at the int4 floor is
+    // a usage error, not a panic: probe one prefill against the same
+    // config (footprint depends only on prompt length, so one probe
+    // decides for the whole batch).
+    if arena_cfg.capacity_bytes.is_some() {
+        let probe = KvArena::new(arena_cfg);
+        let mut s = DecodeSession::with_arena(model, kv_mode, &probe);
+        if let Err(e) = s.try_prefill(&prompts[0]) {
+            return Err(err(format!(
+                "--kv-arena-bytes {arena_bytes} cannot hold the \
+                 {prompt_len}-token prompt even fully demoted: {e}"
+            )));
+        }
+    }
+
+    // One private arena per session: a shared arena would make demotion
+    // order depend on cross-session allocation interleaving under par_map.
     let sessions = prompts
         .iter()
-        .map(|_| DecodeSession::with_cache_mode(model, kv_mode))
+        .map(|_| DecodeSession::with_arena(model, kv_mode, &KvArena::new(arena_cfg)))
         .collect();
     let mut engine = BatchEngine::new(sessions);
     let generated = engine.generate_greedy(&prompts, steps);
@@ -404,15 +446,38 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
         if s.cache().requants() > 0 {
             out.push_str(&format!("runtime requants: {}\n", s.cache().requants()));
         }
+        if bounded_arena {
+            let t = s.cache().tier_stats();
+            let a = s.arena().stats();
+            out.push_str(&format!(
+                "kv tiers: f32 {}p/{}B, int8 {}p/{}B, int4 {}p/{}B; \
+                 demoted {}+{}, evict failures {}\n",
+                t.pages[0],
+                t.resident[0],
+                t.pages[1],
+                t.resident[1],
+                t.pages[2],
+                t.resident[2],
+                a.demoted_int8,
+                a.demoted_int4,
+                a.evict_failures,
+            ));
+        }
     }
     Ok(out)
 }
 
 /// `tender-cli serve --model M [--scheme S] [--requests N]
 /// [--arrival-seed N] [--deadline-steps N] [--queue-cap N]
-/// [--kv-budget-bytes N] [--batch B] [--prefill-chunk N]
+/// [--kv-budget-bytes N] [--kv-page-rows N] [--kv-arena-bytes N]
+/// [--shared-prefix N] [--batch B] [--prefill-chunk N]
 /// [--kv-cache f32|int8|int4] [--seed N] [--fast true]` — run the
 /// continuous-batching scheduler over seeded synthetic traffic.
+///
+/// Admission is priced at page granularity (`--kv-page-rows` rows per
+/// page) and grows per step, `--kv-arena-bytes` caps the shared
+/// copy-on-write arena backing `--shared-prefix` tokens of common prompt
+/// prefix, and `--kv-budget-bytes` bounds the fleet's total grant.
 ///
 /// The transcript on stdout is a pure function of the flags and the fault
 /// seed — byte-identical at any `--threads` count. Wall-clock latency
@@ -452,10 +517,16 @@ pub fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     cfg.deadline_steps = flag_parse(flags, "deadline-steps", cfg.deadline_steps)?;
     cfg.queue_cap = flag_parse(flags, "queue-cap", cfg.queue_cap)?;
     cfg.kv_budget_bytes = flag_parse(flags, "kv-budget-bytes", cfg.kv_budget_bytes)?;
+    cfg.page_rows = flag_parse(flags, "kv-page-rows", cfg.page_rows)?;
+    cfg.kv_arena_bytes = flag_parse(flags, "kv-arena-bytes", cfg.kv_arena_bytes)?;
+    cfg.shared_prefix = flag_parse(flags, "shared-prefix", cfg.shared_prefix)?;
     cfg.max_batch = flag_parse(flags, "batch", cfg.max_batch)?;
     cfg.prefill_chunk = flag_parse(flags, "prefill-chunk", cfg.prefill_chunk)?;
     if cfg.requests == 0 {
         return Err(err("--requests must be at least 1"));
+    }
+    if cfg.page_rows == 0 {
+        return Err(err("--kv-page-rows must be at least 1"));
     }
     if cfg.queue_cap == 0 {
         return Err(err("--queue-cap must be at least 1"));
@@ -545,6 +616,10 @@ pub fn usage() -> String {
      \x20 generate --model M [--scheme S] greedy generation through the\n\
      \x20          [--prompt N]            prefill + KV-cache decode engine\n\
      \x20          [--kv-cache f32|int8|int4]  cache storage precision\n\
+     \x20          [--kv-page-rows N]      cached rows per arena page\n\
+     \x20          [--kv-arena-bytes N]    per-session arena capacity; cold\n\
+     \x20          [--kv-watermark F]      pages demote f32->int8->int4 past\n\
+     \x20                                  F x capacity (default 1.0)\n\
      \x20          [--generate N] [--batch B] [--seed N] [--fast true]\n\
      \x20 serve    --model M [--scheme S]  continuous-batching scheduler over\n\
      \x20          [--requests N]          seeded synthetic traffic: admission\n\
@@ -552,7 +627,10 @@ pub fn usage() -> String {
      \x20          [--deadline-steps N]    per-request failure isolation; the\n\
      \x20          [--queue-cap N]         transcript is byte-identical at any\n\
      \x20          [--kv-budget-bytes N]   thread count (latency percentiles\n\
-     \x20          [--batch B]             and tokens/s go to --metrics-json)\n\
+     \x20          [--kv-page-rows N]      and tokens/s go to --metrics-json);\n\
+     \x20          [--kv-arena-bytes N]    admission is priced in pages and a\n\
+     \x20          [--shared-prefix N]     common prompt prefix is prefilled\n\
+     \x20          [--batch B]             once and shared copy-on-write\n\
      \x20          [--prefill-chunk N] [--kv-cache f32|int8|int4]\n\
      \x20          [--seed N] [--fast true]\n"
         .to_string()
@@ -868,6 +946,99 @@ mod tests {
             "int8 {int8_bytes} vs f32 {f32_bytes}: ratio above 0.3"
         );
         assert!(f32_out.contains("kv-cache f32"));
+    }
+
+    #[test]
+    fn generate_bounded_arena_demotes_and_reports_tiers() {
+        let base = [
+            "--model",
+            "OPT-6.7B",
+            "--prompt",
+            "12",
+            "--generate",
+            "4",
+            "--fast",
+            "true",
+            "--kv-page-rows",
+            "2",
+            "--kv-watermark",
+            "0.25",
+        ];
+        let f = parse_flags(&args(&base)).unwrap();
+        let a = cmd_generate(&f).expect("runs");
+        let b = cmd_generate(&f).expect("runs again");
+        assert_eq!(a, b, "bounded arena must stay deterministic");
+        assert!(a.contains("kv tiers:"), "{a}");
+        // An unbounded watermark-1.0 arena never demotes and reports no
+        // tier line.
+        let plain = cmd_generate(&parse_flags(&args(&base[..10])).unwrap()).expect("runs");
+        assert!(!plain.contains("kv tiers:"), "{plain}");
+    }
+
+    #[test]
+    fn generate_rejects_bad_watermark_and_zero_page_rows() {
+        let base = ["--model", "OPT-6.7B", "--fast", "true"];
+        let mut a: Vec<&str> = base.to_vec();
+        a.extend_from_slice(&["--kv-watermark", "1.5"]);
+        let e = cmd_generate(&parse_flags(&args(&a)).unwrap()).expect_err("out of range");
+        assert!(e.to_string().contains("--kv-watermark"));
+        let mut a: Vec<&str> = base.to_vec();
+        a.extend_from_slice(&["--kv-page-rows", "0"]);
+        let e = cmd_generate(&parse_flags(&args(&a)).unwrap()).expect_err("zero page rows");
+        assert!(e.to_string().contains("--kv-page-rows"));
+    }
+
+    #[test]
+    fn generate_rejects_arena_budget_below_prompt_floor() {
+        // 4 KiB cannot hold a 12-token prompt even fully demoted to int4:
+        // the probe prefill must surface a clean usage error, not a panic.
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--prompt",
+            "12",
+            "--generate",
+            "4",
+            "--fast",
+            "true",
+            "--kv-page-rows",
+            "2",
+            "--kv-arena-bytes",
+            "4096",
+            "--kv-watermark",
+            "0.5",
+        ]))
+        .unwrap();
+        let e = cmd_generate(&f).expect_err("infeasible byte budget");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("--kv-arena-bytes") && msg.contains("fully demoted"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn serve_shared_prefix_flag_is_deterministic_and_reported() {
+        let f = parse_flags(&args(&[
+            "--model",
+            "OPT-6.7B",
+            "--scheme",
+            "reference",
+            "--requests",
+            "4",
+            "--shared-prefix",
+            "8",
+            "--kv-page-rows",
+            "4",
+            "--fast",
+            "true",
+        ]))
+        .unwrap();
+        let a = cmd_serve(&f).expect("runs");
+        let b = cmd_serve(&f).expect("runs again");
+        assert_eq!(a, b, "shared-prefix serve must stay deterministic");
+        assert!(a.contains("shared prefix: 8 tokens"), "{a}");
+        assert!(a.contains("page rows 4"), "{a}");
     }
 
     #[test]

@@ -460,6 +460,49 @@ pub mod engine {
     pub static DECODE_TRUNCATED: Counter = Counter::new();
 }
 
+/// Paged KV-arena metrics (`tender_tensor::arena`): per-tier page and
+/// byte gauges plus demotion / copy-on-write / eviction counters. Shared
+/// pages are counted exactly once regardless of how many forked sessions
+/// retain them.
+pub mod kv_arena {
+    use super::*;
+
+    /// Live arenas (every decode session owns or shares one).
+    pub static ARENAS: Gauge = Gauge::new();
+    /// Pages handed out over the process lifetime.
+    pub static PAGE_ALLOCS: Counter = Counter::new();
+    /// Pages freed when their last owner released them.
+    pub static PAGE_FREES: Counter = Counter::new();
+    /// Live pages at the exact f32 tier.
+    pub static PAGES_F32: Gauge = Gauge::new();
+    /// Live pages at the int8 tier.
+    pub static PAGES_INT8: Gauge = Gauge::new();
+    /// Live pages at the int4 tier (the demotion floor).
+    pub static PAGES_INT4: Gauge = Gauge::new();
+    /// Resident bytes held by f32 pages.
+    pub static RESIDENT_F32: Gauge = Gauge::new();
+    /// Resident bytes held by int8 pages.
+    pub static RESIDENT_INT8: Gauge = Gauge::new();
+    /// Resident bytes held by int4 pages.
+    pub static RESIDENT_INT4: Gauge = Gauge::new();
+    /// Allocated (full-page-granularity) bytes held by f32 pages.
+    pub static ALLOCATED_F32: Gauge = Gauge::new();
+    /// Allocated bytes held by int8 pages.
+    pub static ALLOCATED_INT8: Gauge = Gauge::new();
+    /// Allocated bytes held by int4 pages.
+    pub static ALLOCATED_INT4: Gauge = Gauge::new();
+    /// Cold pages requantized in place to int8 under memory pressure.
+    pub static DEMOTED_INT8: Counter = Counter::new();
+    /// Cold pages requantized in place to int4 (the last rung before a
+    /// typed `EvictError`).
+    pub static DEMOTED_INT4: Counter = Counter::new();
+    /// Copy-on-write page copies triggered by divergent appends onto
+    /// shared prefix pages.
+    pub static COW_COPIES: Counter = Counter::new();
+    /// Allocations refused at the arena's hard byte cap.
+    pub static EVICT_FAILURES: Counter = Counter::new();
+}
+
 /// Hardware-simulator metrics (`tender_sim`).
 pub mod sim {
     use super::*;
@@ -632,6 +675,22 @@ pub fn reset_all() {
     engine::KV_INT_DOTS.reset();
     engine::KV_INT_DOT_MACS.reset();
     engine::DECODE_TRUNCATED.reset();
+    kv_arena::ARENAS.reset();
+    kv_arena::PAGE_ALLOCS.reset();
+    kv_arena::PAGE_FREES.reset();
+    kv_arena::PAGES_F32.reset();
+    kv_arena::PAGES_INT8.reset();
+    kv_arena::PAGES_INT4.reset();
+    kv_arena::RESIDENT_F32.reset();
+    kv_arena::RESIDENT_INT8.reset();
+    kv_arena::RESIDENT_INT4.reset();
+    kv_arena::ALLOCATED_F32.reset();
+    kv_arena::ALLOCATED_INT8.reset();
+    kv_arena::ALLOCATED_INT4.reset();
+    kv_arena::DEMOTED_INT8.reset();
+    kv_arena::DEMOTED_INT4.reset();
+    kv_arena::COW_COPIES.reset();
+    kv_arena::EVICT_FAILURES.reset();
     sim::DRAM_ROW_HITS.reset();
     sim::DRAM_ROW_MISSES.reset();
     sim::DRAM_BYTES.reset();

@@ -6,7 +6,9 @@
 //! valid JSON by construction — the bench suite re-parses it with an
 //! independent minimal parser to keep this honest.
 
-use crate::{engine, faults, gemm, kernel, model, pool, runner, serve, sim, Counter, Timer};
+use crate::{
+    engine, faults, gemm, kernel, kv_arena, model, pool, runner, serve, sim, Counter, Timer,
+};
 
 /// A single exported metric value.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +24,8 @@ pub enum Value {
 /// One named subsystem in the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Section {
-    /// Subsystem name (`pool`, `kernel`, `gemm`, `model`, `engine`, `sim`,
-    /// `faults`, `runner`, `serve`).
+    /// Subsystem name (`pool`, `kernel`, `gemm`, `model`, `engine`,
+    /// `kv_arena`, `sim`, `faults`, `runner`, `serve`).
     pub name: &'static str,
     /// Ordered metric fields.
     pub fields: Vec<(String, Value)>,
@@ -283,6 +285,54 @@ pub(crate) fn build() -> Report {
             ),
         ],
     };
+    let kv_arena_section = Section {
+        name: "kv_arena",
+        fields: vec![
+            ("arenas".into(), Value::U64(kv_arena::ARENAS.get())),
+            (
+                "page_allocs".into(),
+                Value::U64(kv_arena::PAGE_ALLOCS.get()),
+            ),
+            ("page_frees".into(), Value::U64(kv_arena::PAGE_FREES.get())),
+            (
+                "pages".into(),
+                Value::Array(vec![
+                    kv_arena::PAGES_F32.get(),
+                    kv_arena::PAGES_INT8.get(),
+                    kv_arena::PAGES_INT4.get(),
+                ]),
+            ),
+            (
+                "resident_bytes".into(),
+                Value::Array(vec![
+                    kv_arena::RESIDENT_F32.get(),
+                    kv_arena::RESIDENT_INT8.get(),
+                    kv_arena::RESIDENT_INT4.get(),
+                ]),
+            ),
+            (
+                "allocated_bytes".into(),
+                Value::Array(vec![
+                    kv_arena::ALLOCATED_F32.get(),
+                    kv_arena::ALLOCATED_INT8.get(),
+                    kv_arena::ALLOCATED_INT4.get(),
+                ]),
+            ),
+            (
+                "demoted_int8".into(),
+                Value::U64(kv_arena::DEMOTED_INT8.get()),
+            ),
+            (
+                "demoted_int4".into(),
+                Value::U64(kv_arena::DEMOTED_INT4.get()),
+            ),
+            ("cow_copies".into(), Value::U64(kv_arena::COW_COPIES.get())),
+            (
+                "evict_failures".into(),
+                Value::U64(kv_arena::EVICT_FAILURES.get()),
+            ),
+        ],
+    };
     let sim_section = Section {
         name: "sim",
         fields: vec![
@@ -462,6 +512,7 @@ pub(crate) fn build() -> Report {
             gemm_section,
             model_section,
             engine_section,
+            kv_arena_section,
             sim_section,
             faults_section,
             serve_section,
@@ -480,7 +531,10 @@ mod tests {
         let names: Vec<&str> = r.sections.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            vec!["pool", "kernel", "gemm", "model", "engine", "sim", "faults", "serve", "runner"]
+            vec![
+                "pool", "kernel", "gemm", "model", "engine", "kv_arena", "sim", "faults", "serve",
+                "runner"
+            ]
         );
     }
 

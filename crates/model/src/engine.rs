@@ -1,4 +1,4 @@
-//! Prefill + incremental-decode inference engine with a real KV cache.
+//! Prefill + incremental-decode inference engine over a paged KV cache.
 //!
 //! [`DecodeSession`] wraps a model (reference or quantized) and exposes the
 //! two-phase inference shape real serving systems use: [`prefill`] ingests
@@ -7,50 +7,70 @@
 //! the cache instead of re-running the whole prefix. [`BatchEngine`] runs
 //! many sessions through the shared worker pool deterministically.
 //!
+//! **Paged storage.** Cache rows live in fixed-size pages allocated from a
+//! [`KvArena`] (default 16 positions per page). A session created through
+//! [`DecodeSession::new`] / [`with_cache_mode`] gets a private, unbounded
+//! arena; sessions created with [`DecodeSession::with_arena`] share one
+//! arena, and [`DecodeSession::fork`] clones a prefilled session by
+//! *retaining* its pages instead of copying them — the shared prompt prefix
+//! is stored once, and a fork copies only the page it diverges on
+//! (copy-on-write). Under a configured arena byte cap, cold (sealed,
+//! exclusively-owned) pages are demoted f32 → int8 → int4 in place via the
+//! paper's requantization recipe before any allocation is refused; at the
+//! floor the typed [`EvictError`] surfaces as [`StepError::KvExhausted`].
+//!
 //! **Cache modes.** The cache stores K/V rows in one of three
 //! [`KvCacheMode`]s: `f32` (exact, the default), `int8`, or `int4` with the
 //! paper's per-head power-of-two group decomposition. Quantized modes
-//! quantize each row at append time against the head's running `TMax`
+//! quantize each row at append time against the plane's running `TMax`
 //! (per-channel bias subtracted, as in the calibration path). When a new
-//! row's residual magnitude exceeds `TMax`, the head requantizes its
-//! stored rows by the paper's runtime rule: double `TMax`, advance every
-//! element's group index, and 1-bit-shift only the values the index cannot
-//! absorb (see [`tender_tensor::QuantRows`]).
+//! row's residual magnitude exceeds `TMax`, the plane requantizes by the
+//! paper's runtime rule: double `TMax`, advance every element's group
+//! index, and 1-bit-shift only the values the index cannot absorb (see
+//! [`tender_tensor::QuantRows`]) — applied to the live tail page only;
+//! sealed pages keep the scale snapshot they were written under, which is
+//! self-consistent and strictly more accurate than reshifting them.
 //!
 //! **Read paths.** Quantized planes are *read* in the integer domain by
 //! default ([`KvReadPath::Integer`]): decode attention quantizes the query
 //! (and attention-probability) row to 8-bit codes and dots it against the
-//! packed K/V codes directly, accumulating per power-of-two group in i64
-//! and applying each group's scale once per dot via the α = 2
+//! packed K/V codes page by page, accumulating per power-of-two group in
+//! i64 and applying each page's scale once per dot via the α = 2
 //! shift-combine — never materializing an f32 plane. The legacy
-//! [`KvReadPath::Dequant`] path (dequantize the whole plane, then run f32
+//! [`KvReadPath::Dequant`] path (gather the dequantized plane, then run f32
 //! attention) is kept for A/B benchmarking and differential tests. Either
 //! way decode stays bit-deterministic at any thread count and GEMM
 //! backend; the two read paths are numerically close but not bit-equal
 //! (the integer path rounds the query/probability rows).
 //!
-//! **Parity guarantee.** In `f32` mode, `prefill(&t[..n]); step(t[n]); …;
-//! step(t[m-1])` produces logits bit-identical to the last row of a
-//! full-sequence `forward(&t[..m])` for every row-independent scheme
-//! (reference, FP32, FP16, integer granularities, Tender
-//! implicit/explicit), at any thread count. See `crate::pipeline` for the
-//! op-order argument and the decode parity suite for the enforcement.
-//! Quantized cache modes trade that bit-parity for footprint by design;
-//! they remain bit-deterministic for a fixed mode at any thread count.
+//! **Parity guarantee.** In `f32` mode with an unbounded arena,
+//! `prefill(&t[..n]); step(t[n]); …; step(t[m-1])` produces logits
+//! bit-identical to the last row of a full-sequence `forward(&t[..m])` for
+//! every row-independent scheme (reference, FP32, FP16, integer
+//! granularities, Tender implicit/explicit), at any thread count: f32 pages
+//! store the exact appended rows and the gathered read concatenates them in
+//! order, so paging is invisible to the numerics. Forked sessions inherit
+//! the guarantee — a CoW copy is byte-identical to the page it replaces.
+//! Quantized cache modes (and capacity-forced demotion) trade bit-parity
+//! for footprint by design; they remain bit-deterministic for a fixed mode
+//! at any thread count.
 //!
 //! [`prefill`]: DecodeSession::prefill
 //! [`step`]: DecodeSession::step
+//! [`with_cache_mode`]: DecodeSession::with_cache_mode
 
-use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use tender_metrics::engine as metrics;
 use tender_metrics::kernel as kernel_metrics;
 use tender_quant::quantizer::{f16_round, quantize_value, symmetric_scale};
 use tender_quant::tender::{classify_channels, group_scales};
-use tender_tensor::{gemm, pool, Matrix, QuantRows};
+use tender_tensor::arena::QuantPage;
+use tender_tensor::{
+    gemm, pool, EvictError, KvArena, Matrix, PageId, PagePayload, PageTier, QuantRows,
+};
 
 use crate::forward::{QuantizedModel, ReferenceModel};
 use crate::pipeline::{self, Exec};
@@ -95,15 +115,17 @@ impl KvReadPath {
 ///
 /// Byte accounting (per cached position, per head, per K or V plane):
 ///
-/// | mode | payload                                  | per-head constants |
-/// |------|------------------------------------------|--------------------|
-/// | f32  | `4 × head_dim`                           | none               |
+/// | mode | payload                                  | per-plane constants |
+/// |------|------------------------------------------|---------------------|
+/// | f32  | `4 × head_dim`                           | none                |
 /// | int8 | `head_dim`                               | `TMax` (4) + f16 bias (`2 × head_dim`) |
-/// | int4 | `⌈head_dim/2⌉ + ⌈head_dim/4⌉` (2-bit group indices) | same |
+/// | int4 | `⌈head_dim/2⌉ + `⌈head_dim/4⌉` (2-bit group indices) | same |
 ///
-/// Group scales are derived from `TMax` on demand and therefore not
-/// counted; the bias is kept at f16 precision (values are rounded through
-/// [`f16_round`]) and counted at two bytes per channel.
+/// With paged storage each page additionally carries its frozen group-scale
+/// snapshot (4 bytes per group); demoted pages also carry a page-local
+/// bias/`TMax` (they re-derive both from their own rows). The plane bias is
+/// kept at f16 precision (values are rounded through [`f16_round`]) and
+/// counted at two bytes per channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KvCacheMode {
     /// Exact `f32` rows — the bit-parity path.
@@ -163,7 +185,7 @@ impl KvCacheMode {
         }
     }
 
-    /// Per-head constant bytes (quantization metadata), per K or V plane.
+    /// Per-plane constant bytes (quantization metadata), per K or V plane.
     pub fn head_overhead_bytes(self, head_dim: usize) -> u64 {
         match self {
             Self::F32 => 0,
@@ -172,70 +194,214 @@ impl KvCacheMode {
     }
 }
 
-/// One head's quantized K or V plane: packed rows plus the per-head
-/// quantization state (fixed per-channel bias, running `TMax`, derived
-/// group scales).
+/// Quantizes an f32 activation row to `KV_ACT_BITS` codes, returning the
+/// codes and the scale. Non-finite entries are excluded from the range
+/// estimate and clamp deterministically in `quantize_value`.
+fn quantize_act(xs: &[f32]) -> (Vec<i32>, f32) {
+    let mut amax = 0.0f32;
+    for &x in xs {
+        if x.is_finite() {
+            amax = amax.max(x.abs());
+        }
+    }
+    let scale = symmetric_scale(amax, KV_ACT_BITS);
+    let codes = xs
+        .iter()
+        .map(|&x| quantize_value(x, scale, KV_ACT_BITS))
+        .collect();
+    (codes, scale)
+}
+
+/// Folds the per-group i64 partial sums of one dot into a single value
+/// with the α = 2 shift-combine (groups ascending: `acc ← acc·2 + S_g`),
+/// mirroring the implicit-requantization kernels. With `check` set,
+/// every shift and add is tested against the i32 datapath range and
+/// excursions are counted into `events`.
+fn combine_groups(accs: &[i64], check: bool, events: &mut u64) -> i64 {
+    let mut acc = accs[0];
+    for &s in &accs[1..] {
+        acc *= ALPHA as i64;
+        if check && (acc > i32::MAX as i64 || acc < i32::MIN as i64) {
+            *events += 1;
+        }
+        acc += s;
+        if check && (acc > i32::MAX as i64 || acc < i32::MIN as i64) {
+            *events += 1;
+        }
+    }
+    acc
+}
+
+/// Records one plane walk of `dots` integer dot products in the kernel
+/// overflow-machinery counters.
+fn record_dot_metrics(dots: usize, check: bool, events: u64) {
+    if check {
+        kernel_metrics::CHUNKS_CHECKED.add(dots as u64);
+    } else {
+        kernel_metrics::CHUNKS_FAST_PATH.add(dots as u64);
+    }
+    if events > 0 {
+        kernel_metrics::OVERFLOW_EVENTS.add(events);
+    }
+}
+
+/// Per-channel bias `(lo + hi)/2` over a batch of rows, f16-rounded,
+/// non-finite values excluded (the prompt acts as the calibration set,
+/// mirroring `ChunkCalibration::from_activation`).
+fn plane_bias(rows: &[&[f32]], head_dim: usize) -> Vec<f32> {
+    let mut bias = vec![0.0f32; head_dim];
+    for (c, b) in bias.iter_mut().enumerate() {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for row in rows {
+            let x = row[c];
+            if x.is_finite() {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        if lo <= hi {
+            *b = f16_round(0.5 * (lo + hi));
+        }
+    }
+    bias
+}
+
+/// Re-quantizes a page's rows from scratch at a lower storage tier (the
+/// demotion step of the eviction ladder).
+///
+/// The page's rows are reconstructed to f32 (exact for an f32 page; the
+/// page's own frozen scale snapshot for a quantized page), then quantized
+/// exactly as an append-time plane would quantize them — page-local bias
+/// `(lo + hi)/2` f16-rounded per channel, residual `TMax`, power-of-two
+/// group scales, [`classify_channels`] group assignment — so a demoted page
+/// is bit-identical to quantizing the same rows from scratch. The returned
+/// payload carries `page_local = true`: its bias/`TMax` are its own and
+/// counted against the page.
+///
+/// # Panics
+///
+/// Panics if `target` is [`KvCacheMode::F32`] — demotion only moves down
+/// the ladder.
+pub fn demote_payload(payload: &PagePayload, target: KvCacheMode) -> PagePayload {
+    assert!(
+        target != KvCacheMode::F32,
+        "demotion target must be a quantized tier"
+    );
+    let bits = target.bits();
+    let groups = target.num_groups();
+    let nrows = payload.rows();
+    let dh = payload.cols();
+
+    // Reconstruct the stored rows in f32.
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(nrows);
+    match payload {
+        PagePayload::F32(m) => {
+            for r in 0..nrows {
+                rows.push(m.row(r).to_vec());
+            }
+        }
+        PagePayload::Quant(q) => {
+            let mut qs = vec![0i32; dh];
+            let mut gs = vec![0u8; dh];
+            for r in 0..nrows {
+                q.rows.decode_row_into(r, &mut qs, &mut gs);
+                rows.push(
+                    (0..dh)
+                        .map(|c| qs[c] as f32 * q.scales[gs[c] as usize] + q.bias[c])
+                        .collect(),
+                );
+            }
+        }
+    }
+
+    // Page-local calibration: bias, residual TMax, group scales.
+    let row_refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+    let bias = plane_bias(&row_refs, dh);
+    let mut tmax = 0.0f32;
+    for row in &rows {
+        for (c, &x) in row.iter().enumerate() {
+            let resid = x - bias[c];
+            if resid.is_finite() {
+                tmax = tmax.max(resid.abs());
+            }
+        }
+    }
+    let tmax = tmax.max(f32::MIN_POSITIVE);
+    let scales = group_scales(tmax, groups, ALPHA, bits);
+
+    let mut out = QuantRows::with_row_capacity(dh, bits, groups > 1, nrows);
+    for row in &rows {
+        let resid: Vec<f32> = row.iter().zip(&bias).map(|(x, b)| x - b).collect();
+        let mags: Vec<f32> = resid
+            .iter()
+            .map(|&x| if x.is_finite() { x.abs() } else { f32::MAX })
+            .collect();
+        let gs: Vec<u8> = if groups > 1 {
+            classify_channels(&mags, tmax, groups, ALPHA)
+                .expect("magnitudes are finite by construction")
+                .into_iter()
+                .map(|g| g as u8)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let qs: Vec<i32> = resid
+            .iter()
+            .enumerate()
+            .map(|(c, &x)| {
+                let g = gs.get(c).copied().unwrap_or(0) as usize;
+                quantize_value(x, scales[g], bits)
+            })
+            .collect();
+        out.push_row(&qs, &gs);
+    }
+    PagePayload::Quant(QuantPage {
+        rows: out,
+        scales,
+        bias: Arc::new(bias),
+        tmax,
+        page_local: true,
+    })
+}
+
+/// One quantized plane's append-time state: fixed per-channel bias,
+/// running `TMax`, derived group scales. The packed codes themselves live
+/// in arena pages; this struct is what quantizes new rows into the tail
+/// page and freezes a scale snapshot onto it after every write.
 #[derive(Debug, Clone)]
-struct QuantHead {
-    bits: u32,
-    groups: usize,
-    rows: QuantRows,
-    /// Per-channel bias `(lo + hi)/2`, f16-rounded, fixed at first append
-    /// from the rows of that append (the prompt acts as the calibration
-    /// set, mirroring `ChunkCalibration::from_activation`).
-    bias: Vec<f32>,
-    /// Running per-head residual absolute maximum; doubles on requant.
+struct PlaneQuant {
+    /// Per-channel bias, fixed at first append. Shared (`Arc`) with every
+    /// non-demoted page of the plane.
+    bias: Arc<Vec<f32>>,
+    /// Running per-plane residual absolute maximum; doubles on requant.
     tmax: f32,
     /// `group_scales(tmax, groups, ALPHA, bits)`, cached.
     scales: Vec<f32>,
-    /// Runtime requantization events this head has performed.
+    /// Runtime requantization events this plane has performed.
     requants: u64,
 }
 
-impl QuantHead {
-    fn new(head_dim: usize, mode: KvCacheMode, row_capacity: usize) -> Self {
-        let groups = mode.num_groups();
+impl PlaneQuant {
+    fn new() -> Self {
         Self {
-            bits: mode.bits(),
-            groups,
-            rows: QuantRows::with_row_capacity(head_dim, mode.bits(), groups > 1, row_capacity),
-            bias: Vec::new(),
+            bias: Arc::new(Vec::new()),
             tmax: 0.0,
             scales: Vec::new(),
             requants: 0,
         }
     }
 
-    fn append_rows(&mut self, new_rows: &[&[f32]]) {
-        if new_rows.is_empty() {
-            return;
-        }
-        if self.bias.is_empty() {
-            let dh = self.rows.cols();
-            let mut bias = vec![0.0f32; dh];
-            for (c, b) in bias.iter_mut().enumerate() {
-                let mut lo = f32::INFINITY;
-                let mut hi = f32::NEG_INFINITY;
-                for row in new_rows {
-                    let x = row[c];
-                    if x.is_finite() {
-                        lo = lo.min(x);
-                        hi = hi.max(x);
-                    }
-                }
-                if lo <= hi {
-                    *b = f16_round(0.5 * (lo + hi));
-                }
-            }
-            self.bias = bias;
-        }
-        for row in new_rows {
-            self.push_row(row);
-        }
-    }
-
-    fn push_row(&mut self, row: &[f32]) {
-        let resid: Vec<f32> = row.iter().zip(&self.bias).map(|(x, b)| x - b).collect();
+    /// Quantizes one row into the live tail page against the running
+    /// `TMax`, requantizing the *tail page only* when the row exceeds it
+    /// (sealed pages keep their frozen snapshots), then commits the current
+    /// plane state onto the page as its scale snapshot.
+    fn push_into(&mut self, page: &mut QuantPage, row: &[f32], bits: u32, groups: usize) {
+        let resid: Vec<f32> = row
+            .iter()
+            .zip(self.bias.iter())
+            .map(|(x, b)| x - b)
+            .collect();
         // Magnitudes for classification: a non-finite residual degrades to
         // group 0 via a MAX sentinel (the calibration path's rule) but is
         // excluded from TMax growth so one NaN cannot inflate every scale.
@@ -256,10 +422,12 @@ impl QuantHead {
             } else {
                 f32::MIN_POSITIVE
             };
-            self.scales = group_scales(self.tmax, self.groups, ALPHA, self.bits);
+            self.scales = group_scales(self.tmax, groups, ALPHA, bits);
         } else if row_max > self.tmax {
             // Runtime requantization: double TMax until it covers the new
-            // row, then apply the same number of doublings to stored rows.
+            // row, then apply the same number of doublings to the tail
+            // page's stored rows (it is the only page still written under
+            // the current scales).
             let mut doublings = 0u32;
             let mut t = self.tmax;
             while t < row_max {
@@ -271,13 +439,13 @@ impl QuantHead {
                 }
             }
             self.tmax = t;
-            self.rows.requant_shift(doublings, self.groups);
-            self.scales = group_scales(self.tmax, self.groups, ALPHA, self.bits);
+            page.rows.requant_shift(doublings, groups);
+            self.scales = group_scales(self.tmax, groups, ALPHA, bits);
             self.requants += 1;
             metrics::KV_REQUANTS.incr();
         }
-        let gs: Vec<u8> = if self.groups > 1 {
-            classify_channels(&mags, self.tmax, self.groups, ALPHA)
+        let gs: Vec<u8> = if groups > 1 {
+            classify_channels(&mags, self.tmax, groups, ALPHA)
                 .expect("magnitudes are finite by construction")
                 .into_iter()
                 .map(|g| g as u8)
@@ -290,237 +458,93 @@ impl QuantHead {
             .enumerate()
             .map(|(c, &x)| {
                 let g = gs.get(c).copied().unwrap_or(0) as usize;
-                quantize_value(x, self.scales[g], self.bits)
+                quantize_value(x, self.scales[g], bits)
             })
             .collect();
-        self.rows.push_row(&qs, &gs);
-    }
-
-    fn dequant(&self) -> Matrix {
-        let mut qs = vec![0i32; self.rows.cols()];
-        let mut gs = vec![0u8; self.rows.cols()];
-        let mut out = Matrix::with_row_capacity(self.rows.cols(), self.rows.rows());
-        let mut row = vec![0.0f32; self.rows.cols()];
-        for r in 0..self.rows.rows() {
-            self.rows.decode_row_into(r, &mut qs, &mut gs);
-            for (c, o) in row.iter_mut().enumerate() {
-                *o = qs[c] as f32 * self.scales[gs[c] as usize] + self.bias[c];
-            }
-            out.push_row(&row);
-        }
-        out
-    }
-
-    /// Quantizes an f32 activation row to `KV_ACT_BITS` codes, returning
-    /// the codes and the scale. Non-finite entries are excluded from the
-    /// range estimate and clamp deterministically in `quantize_value`.
-    fn quantize_act(xs: &[f32]) -> (Vec<i32>, f32) {
-        let mut amax = 0.0f32;
-        for &x in xs {
-            if x.is_finite() {
-                amax = amax.max(x.abs());
-            }
-        }
-        let scale = symmetric_scale(amax, KV_ACT_BITS);
-        let codes = xs
-            .iter()
-            .map(|&x| quantize_value(x, scale, KV_ACT_BITS))
-            .collect();
-        (codes, scale)
-    }
-
-    /// Folds the per-group i64 partial sums of one dot into a single value
-    /// with the α = 2 shift-combine (groups ascending: `acc ← acc·2 + S_g`),
-    /// mirroring the implicit-requantization kernels. With `check` set,
-    /// every shift and add is tested against the i32 datapath range and
-    /// excursions are counted into `events`.
-    fn combine_groups(accs: &[i64], check: bool, events: &mut u64) -> i64 {
-        let mut acc = accs[0];
-        for &s in &accs[1..] {
-            acc *= ALPHA as i64;
-            if check && (acc > i32::MAX as i64 || acc < i32::MIN as i64) {
-                *events += 1;
-            }
-            acc += s;
-            if check && (acc > i32::MAX as i64 || acc < i32::MIN as i64) {
-                *events += 1;
-            }
-        }
-        acc
-    }
-
-    /// Records one plane walk of `dots` integer dot products in the kernel
-    /// overflow-machinery counters.
-    fn record_dot_metrics(dots: usize, check: bool, events: u64) {
-        if check {
-            kernel_metrics::CHUNKS_CHECKED.add(dots as u64);
-        } else {
-            kernel_metrics::CHUNKS_FAST_PATH.add(dots as u64);
-        }
-        if events > 0 {
-            kernel_metrics::OVERFLOW_EVENTS.add(events);
-        }
-    }
-
-    /// Integer-domain attention scores: `out[j] = qh · dequant(row j)`
-    /// computed without dequantizing. The scaled query row is quantized to
-    /// 8-bit codes once; the packed-dot kernel accumulates per group in
-    /// i64; the shift-combine applies each power-of-two scale once per dot;
-    /// a single f32 expression per row applies `x_scale · s_last` and adds
-    /// the bias dot (`Σ_c qh[c]·bias[c]`, computed in full f32 precision).
-    /// The accumulation chain is fixed (columns ascending, zero-skip on the
-    /// query code) and integer sums are exact, so the result is
-    /// bit-identical across GEMM backends and thread counts.
-    fn score_int(&self, qh: &[f32]) -> Vec<f32> {
-        let len = self.rows.rows();
-        let dh = self.rows.cols();
-        debug_assert_eq!(qh.len(), dh);
-        if len == 0 {
-            return Vec::new();
-        }
-        let (xq, x_scale) = Self::quantize_act(qh);
-        let mut bias_dot = 0.0f32;
-        for (x, b) in qh.iter().zip(&self.bias) {
-            bias_dot += x * b;
-        }
-        let check = !gemm::kv_dot_cannot_overflow(dh, KV_ACT_BITS, self.bits, self.groups);
-        let mut acc = vec![0i64; len * self.groups];
-        let mut events =
-            gemm::active_backend().kv_score_block(&self.rows, &xq, self.groups, check, &mut acc);
-        let s_last = *self.scales.last().expect("scales fixed at first append");
-        let factor = x_scale * s_last;
-        let mut out = vec![0.0f32; len];
-        for (j, o) in out.iter_mut().enumerate() {
-            let combined = Self::combine_groups(
-                &acc[j * self.groups..(j + 1) * self.groups],
-                check,
-                &mut events,
-            );
-            *o = combined as f32 * factor + bias_dot;
-        }
-        Self::record_dot_metrics(len, check, events);
-        out
-    }
-
-    /// Integer-domain attention-value product: `out[c] = Σ_j probs[j] ·
-    /// dequant(row j)[c]` without dequantizing. The probability row is
-    /// quantized to 8-bit codes; per-(group, column) i64 accumulation plus
-    /// the shift-combine applies each scale once per output channel; the
-    /// bias contributes `bias[c] · Σ_j probs[j]` with the probability sum
-    /// folded serially in f32. Deterministic for the same reasons as
-    /// [`QuantHead::score_int`].
-    fn attn_int(&self, probs: &[f32]) -> Vec<f32> {
-        let len = self.rows.rows();
-        let dh = self.rows.cols();
-        debug_assert_eq!(probs.len(), len);
-        if len == 0 {
-            return vec![0.0; dh];
-        }
-        let (pq, p_scale) = Self::quantize_act(probs);
-        let mut psum = 0.0f32;
-        for &p in probs {
-            psum += p;
-        }
-        let check = !gemm::kv_dot_cannot_overflow(len, KV_ACT_BITS, self.bits, self.groups);
-        let mut acc = vec![0i64; self.groups * dh];
-        let mut events =
-            gemm::active_backend().kv_attn_block(&self.rows, &pq, self.groups, check, &mut acc);
-        let s_last = *self.scales.last().expect("scales fixed at first append");
-        let factor = p_scale * s_last;
-        let mut out = vec![0.0f32; dh];
-        let mut col_accs = vec![0i64; self.groups];
-        for (c, o) in out.iter_mut().enumerate() {
-            for g in 0..self.groups {
-                col_accs[g] = acc[g * dh + c];
-            }
-            let combined = Self::combine_groups(&col_accs, check, &mut events);
-            *o = combined as f32 * factor + self.bias[c] * psum;
-        }
-        Self::record_dot_metrics(dh, check, events);
-        out
+        page.rows.push_row(&qs, &gs);
+        // Commit the snapshot the page's rows are now consistent with.
+        page.scales = self.scales.clone();
+        page.tmax = self.tmax;
+        page.bias = self.bias.clone();
+        page.page_local = false;
     }
 }
 
-/// One head's K or V plane in the configured storage mode.
+/// One head's K or V plane: an ordered page list plus (for quantized
+/// modes) the append-time quantization state.
 #[derive(Debug, Clone)]
-enum HeadStore {
-    F32(Matrix),
-    Quant(QuantHead),
+struct Plane {
+    /// Arena pages in position order; all full except possibly the last.
+    pages: Vec<PageId>,
+    /// Cached positions across the pages.
+    len: usize,
+    /// Append-time quantization state (`None` for f32 planes).
+    quant: Option<PlaneQuant>,
 }
 
-impl HeadStore {
-    fn new(head_dim: usize, mode: KvCacheMode, row_capacity: usize) -> Self {
-        match mode {
-            KvCacheMode::F32 => Self::F32(Matrix::with_row_capacity(head_dim, row_capacity)),
-            KvCacheMode::Int8 | KvCacheMode::Int4 => {
-                Self::Quant(QuantHead::new(head_dim, mode, row_capacity))
-            }
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Self::F32(m) => m.rows(),
-            Self::Quant(q) => q.rows.rows(),
-        }
-    }
-
-    fn row_capacity(&self) -> usize {
-        match self {
-            Self::F32(m) => m.row_capacity(),
-            Self::Quant(q) => q.rows.row_capacity(),
-        }
-    }
-
-    fn append_rows(&mut self, new_rows: &[&[f32]]) {
-        match self {
-            Self::F32(m) => {
-                for row in new_rows {
-                    m.push_row(row);
-                }
-            }
-            Self::Quant(q) => q.append_rows(new_rows),
-        }
-    }
-
-    fn matrix(&self) -> Cow<'_, Matrix> {
-        match self {
-            Self::F32(m) => Cow::Borrowed(m),
-            Self::Quant(q) => Cow::Owned(q.dequant()),
-        }
-    }
-
-    fn resident_bytes(&self, mode: KvCacheMode, head_dim: usize) -> u64 {
-        self.len() as u64 * mode.position_bytes(head_dim) + mode.head_overhead_bytes(head_dim)
-    }
-
-    fn allocated_bytes(&self, mode: KvCacheMode, head_dim: usize) -> u64 {
-        self.row_capacity() as u64 * mode.position_bytes(head_dim)
-            + mode.head_overhead_bytes(head_dim)
-    }
-
-    fn requants(&self) -> u64 {
-        match self {
-            Self::F32(_) => 0,
-            Self::Quant(q) => q.requants,
+impl Plane {
+    fn new(mode: KvCacheMode) -> Self {
+        Self {
+            pages: Vec::new(),
+            len: 0,
+            quant: (mode != KvCacheMode::F32).then(PlaneQuant::new),
         }
     }
 }
 
-/// Per-layer, per-head K/V row storage with preallocated capacity.
+/// Session-local per-tier page accounting (this cache's own view: a page
+/// shared with forked sessions is counted here by every owner, unlike the
+/// arena's global stats, which count it once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvTierStats {
+    /// Pages this cache references per tier (`PageTier::index` order:
+    /// f32, int8, int4).
+    pub pages: [u64; 3],
+    /// Resident bytes of those pages per tier.
+    pub resident: [u64; 3],
+    /// Allocated (full-page) bytes of those pages per tier.
+    pub allocated: [u64; 3],
+}
+
+impl KvTierStats {
+    /// Total pages across tiers.
+    pub fn pages_total(&self) -> u64 {
+        self.pages.iter().sum()
+    }
+
+    /// Total resident bytes across tiers.
+    pub fn resident_total(&self) -> u64 {
+        self.resident.iter().sum()
+    }
+
+    /// Total allocated bytes across tiers.
+    pub fn allocated_total(&self) -> u64 {
+        self.allocated.iter().sum()
+    }
+}
+
+/// Per-layer, per-head K/V row storage, paged out of a [`KvArena`].
 ///
-/// Each (layer, head) pair owns two growable `len × head_dim` planes built
-/// by row appends; all `layers × heads` pairs always hold the same number
-/// of rows (one per cached sequence position). Storage precision is chosen
-/// by [`KvCacheMode`]; quantized planes quantize at append and dequantize
-/// on read.
+/// Each (layer, head) pair owns two page-list planes built by row appends;
+/// all `layers × heads` pairs always hold the same number of positions.
+/// Storage precision is chosen by [`KvCacheMode`]; quantized planes
+/// quantize at append and are read either in the integer domain or by
+/// gathering a dequantized matrix.
 ///
-/// **Growth policy.** The cache itself grows transparently past its
-/// preallocated capacity — it is plain storage and enforces no sequence
-/// limit. The *model's* positional limit (`max_seq` rows of positional
-/// embeddings) is enforced one level up by [`DecodeSession::step`], which
-/// returns [`StepError::SequenceFull`] instead of appending past it.
-#[derive(Debug, Clone)]
+/// **Growth policy.** The cache grows page by page with no sequence limit
+/// of its own — the *model's* positional limit (`max_seq` rows of
+/// positional embeddings) is enforced one level up by
+/// [`DecodeSession::step`], which returns [`StepError::SequenceFull`]
+/// instead of appending past it. What can stop an append is the arena's
+/// byte cap: [`KvCache::append`] demotes this cache's cold pages down the
+/// f32 → int8 → int4 ladder to make room and returns [`EvictError`] only
+/// at the floor.
+///
+/// **Sharing.** `clone()` retains every page (copy-on-write fork): the
+/// clone shares the prefix physically and copies a page only when one
+/// owner appends to it. The arena's gauges count shared pages once;
+/// [`KvCache::bytes`] is this cache's own (session-local) view.
+#[derive(Debug)]
 pub struct KvCache {
     layers: usize,
     heads: usize,
@@ -528,53 +552,44 @@ pub struct KvCache {
     mode: KvCacheMode,
     /// How quantized planes are read during decode attention.
     read_path: KvReadPath,
+    /// The arena every page is allocated from.
+    arena: KvArena,
     /// `layers × heads` K planes, indexed `li * heads + head`.
-    k: Vec<HeadStore>,
+    k: Vec<Plane>,
     /// `layers × heads` V planes, same indexing.
-    v: Vec<HeadStore>,
+    v: Vec<Plane>,
 }
 
 impl KvCache {
-    /// An empty `f32` cache for `shape`, preallocated for `shape.max_seq`
-    /// rows.
+    /// An empty `f32` cache for `shape` over a private, unbounded arena
+    /// with the default page size.
     pub fn new(shape: &ModelShape) -> Self {
-        Self::with_mode_and_capacity(shape, KvCacheMode::F32, shape.max_seq)
+        Self::with_mode(shape, KvCacheMode::F32)
     }
 
-    /// An empty cache in `mode`, preallocated for `shape.max_seq` rows.
+    /// An empty cache in `mode` over a private, unbounded arena.
     pub fn with_mode(shape: &ModelShape, mode: KvCacheMode) -> Self {
-        Self::with_mode_and_capacity(shape, mode, shape.max_seq)
+        Self::with_arena(shape, mode, &KvArena::default())
     }
 
-    /// An empty `f32` cache preallocated for `row_capacity` positions per
-    /// head. Appending beyond the capacity grows the storage transparently
-    /// (see the growth policy in the type docs).
-    pub fn with_capacity(shape: &ModelShape, row_capacity: usize) -> Self {
-        Self::with_mode_and_capacity(shape, KvCacheMode::F32, row_capacity)
-    }
-
-    /// An empty cache in `mode` preallocated for `row_capacity` positions.
-    pub fn with_mode_and_capacity(
-        shape: &ModelShape,
-        mode: KvCacheMode,
-        row_capacity: usize,
-    ) -> Self {
+    /// An empty cache in `mode` drawing pages from `arena` (shared with
+    /// every other cache holding a handle to it).
+    pub fn with_arena(shape: &ModelShape, mode: KvCacheMode, arena: &KvArena) -> Self {
         let dh = shape.head_dim();
         let slots = shape.layers * shape.heads;
-        let make = || -> Vec<HeadStore> {
-            (0..slots)
-                .map(|_| HeadStore::new(dh, mode, row_capacity))
-                .collect()
-        };
-        Self {
+        let make = || -> Vec<Plane> { (0..slots).map(|_| Plane::new(mode)).collect() };
+        let cache = Self {
             layers: shape.layers,
             heads: shape.heads,
             head_dim: dh,
             mode,
             read_path: KvReadPath::default(),
+            arena: arena.clone(),
             k: make(),
             v: make(),
-        }
+        };
+        cache.publish_overhead(true);
+        cache
     }
 
     /// The storage precision this cache was built with.
@@ -582,9 +597,19 @@ impl KvCache {
         self.mode
     }
 
+    /// The arena this cache draws pages from.
+    pub fn arena(&self) -> &KvArena {
+        &self.arena
+    }
+
+    /// Cached positions per page.
+    pub fn page_rows(&self) -> usize {
+        self.arena.page_rows()
+    }
+
     /// Cached sequence positions (identical across layers and heads).
     pub fn len(&self) -> usize {
-        self.k.first().map_or(0, HeadStore::len)
+        self.k.first().map_or(0, |p| p.len)
     }
 
     /// Whether the cache holds no positions yet.
@@ -592,9 +617,12 @@ impl KvCache {
         self.len() == 0
     }
 
-    /// Positions each head can hold before its storage reallocates.
+    /// Positions each head's current page list can hold before another
+    /// page is allocated.
     pub fn capacity(&self) -> usize {
-        self.k.first().map_or(0, HeadStore::row_capacity)
+        self.k
+            .first()
+            .map_or(0, |p| p.pages.len() * self.arena.page_rows())
     }
 
     /// Layers the cache spans.
@@ -607,45 +635,116 @@ impl KvCache {
         self.heads
     }
 
-    /// **Resident** K+V bytes: what the `len` cached positions occupy,
-    /// including per-head quantization constants. In `f32` mode this is
-    /// `2 × len × d_model × layers` elements at 4 bytes; quantized modes
-    /// store packed payloads (see [`KvCacheMode`]). Preallocated-but-unused
-    /// capacity is *not* counted — see [`KvCache::allocated_bytes`].
+    /// Per-plane constant bytes this cache publishes outside the arena
+    /// (quantization metadata: bias + `TMax` per plane in quantized modes).
+    fn overhead_bytes(&self) -> u64 {
+        2 * (self.layers * self.heads) as u64 * self.mode.head_overhead_bytes(self.head_dim)
+    }
+
+    /// Adds or removes the plane-constant overhead from the aggregate
+    /// gauges (page bytes are accounted by the arena itself).
+    fn publish_overhead(&self, add: bool) {
+        let b = self.overhead_bytes();
+        if b == 0 {
+            return;
+        }
+        if add {
+            metrics::KV_CACHE_BYTES.add(b);
+            metrics::KV_CACHE_ALLOCATED_BYTES.add(b);
+            metrics::KV_CACHE_PEAK_BYTES.observe(metrics::KV_CACHE_BYTES.get());
+        } else {
+            metrics::KV_CACHE_BYTES.sub(b);
+            metrics::KV_CACHE_ALLOCATED_BYTES.sub(b);
+        }
+    }
+
+    /// **Resident** K+V bytes, session-local view: what this cache's pages
+    /// occupy (pages shared with forks counted in full), plus per-plane
+    /// quantization constants. Preallocated-but-unwritten page tails are
+    /// *not* counted — see [`KvCache::allocated_bytes`].
     pub fn bytes(&self) -> u64 {
-        self.k
-            .iter()
-            .chain(&self.v)
-            .map(|s| s.resident_bytes(self.mode, self.head_dim))
-            .sum()
+        self.page_sum(|p| p.resident_bytes()) + self.overhead_bytes()
     }
 
-    /// **Allocated** K+V bytes: what the preallocated storage could hold
-    /// at the current capacity, plus per-head constants. Always ≥
-    /// [`KvCache::bytes`].
+    /// **Allocated** K+V bytes, session-local view: the full-page
+    /// footprint of every page this cache references, plus per-plane
+    /// constants. Always ≥ [`KvCache::bytes`].
     pub fn allocated_bytes(&self) -> u64 {
+        let page_rows = self.arena.page_rows();
+        self.page_sum(|p| p.allocated_bytes(page_rows)) + self.overhead_bytes()
+    }
+
+    fn page_sum(&self, f: impl Fn(&PagePayload) -> u64) -> u64 {
         self.k
             .iter()
             .chain(&self.v)
-            .map(|s| s.allocated_bytes(self.mode, self.head_dim))
+            .flat_map(|plane| &plane.pages)
+            .map(|&pid| f(&self.arena.payload(pid)))
             .sum()
     }
 
-    /// Runtime requantization events summed across every head plane.
+    /// Session-local per-tier page accounting (pages shared with forks are
+    /// counted by every owner; the arena's [`KvArena::stats`] count each
+    /// page once).
+    pub fn tier_stats(&self) -> KvTierStats {
+        let page_rows = self.arena.page_rows();
+        let mut out = KvTierStats::default();
+        for plane in self.k.iter().chain(&self.v) {
+            for &pid in &plane.pages {
+                let p = self.arena.payload(pid);
+                let t = p.tier().index();
+                out.pages[t] += 1;
+                out.resident[t] += p.resident_bytes();
+                out.allocated[t] += p.allocated_bytes(page_rows);
+            }
+        }
+        out
+    }
+
+    /// Runtime requantization events summed across every plane.
     pub fn requants(&self) -> u64 {
-        self.k.iter().chain(&self.v).map(HeadStore::requants).sum()
+        self.k
+            .iter()
+            .chain(&self.v)
+            .filter_map(|p| p.quant.as_ref())
+            .map(|q| q.requants)
+            .sum()
+    }
+
+    fn plane(&self, is_k: bool, slot: usize) -> &Plane {
+        if is_k {
+            &self.k[slot]
+        } else {
+            &self.v[slot]
+        }
+    }
+
+    fn plane_mut(&mut self, is_k: bool, slot: usize) -> &mut Plane {
+        if is_k {
+            &mut self.k[slot]
+        } else {
+            &mut self.v[slot]
+        }
     }
 
     /// Appends layer `li`'s freshly projected K/V rows (`n × d_model`
     /// each), splitting the model dimension across heads. In quantized
-    /// modes the rows are quantized here, against each head's running
-    /// `TMax` (first append also fixes the head's per-channel bias).
+    /// modes the rows are quantized here, against each plane's running
+    /// `TMax` (first append also fixes the plane's per-channel bias).
+    /// Afterwards, while the arena sits above its high-watermark, cold
+    /// pages are demoted down the tier ladder.
+    ///
+    /// # Errors
+    ///
+    /// [`EvictError`] when the arena is at its byte cap and every page of
+    /// this cache is already at the int4 floor (or shared/unsealed, hence
+    /// not demotable).
     ///
     /// # Panics
     ///
     /// Panics if `li` is out of range, the shapes disagree with the cache
     /// geometry, or `k` and `v` have different row counts.
-    pub fn append(&mut self, li: usize, k: &Matrix, v: &Matrix) {
+    pub fn append(&mut self, li: usize, k: &Matrix, v: &Matrix) -> Result<(), EvictError> {
         assert!(li < self.layers, "layer {li} out of cache range");
         assert_eq!(k.shape(), v.shape(), "K/V row mismatch");
         assert_eq!(k.cols(), self.heads * self.head_dim, "d_model mismatch");
@@ -655,9 +754,159 @@ impl KvCache {
             let slot = li * self.heads + head;
             let k_rows: Vec<&[f32]> = (0..k.rows()).map(|r| &k.row(r)[c0..c1]).collect();
             let v_rows: Vec<&[f32]> = (0..v.rows()).map(|r| &v.row(r)[c0..c1]).collect();
-            self.k[slot].append_rows(&k_rows);
-            self.v[slot].append_rows(&v_rows);
+            self.append_plane(true, slot, &k_rows)?;
+            self.append_plane(false, slot, &v_rows)?;
         }
+        while self.arena.over_watermark() {
+            if !self.demote_one() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn append_plane(&mut self, is_k: bool, slot: usize, rows: &[&[f32]]) -> Result<(), EvictError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let dh = self.head_dim;
+        if let Some(q) = &mut self.plane_mut(is_k, slot).quant {
+            if q.bias.is_empty() {
+                q.bias = Arc::new(plane_bias(rows, dh));
+            }
+        }
+        for row in rows {
+            self.push_row(is_k, slot, row)?;
+        }
+        Ok(())
+    }
+
+    fn push_row(&mut self, is_k: bool, slot: usize, row: &[f32]) -> Result<(), EvictError> {
+        let page_rows = self.arena.page_rows();
+        let (len, n_pages) = {
+            let plane = self.plane(is_k, slot);
+            (plane.len, plane.pages.len())
+        };
+        if len == n_pages * page_rows {
+            // Every page is full (or there are none): open a new tail page.
+            let id = self.alloc_or_demote(is_k, slot)?;
+            self.plane_mut(is_k, slot).pages.push(id);
+        } else {
+            // Partial tail page; copy-on-write if a fork still shares it.
+            let tail = *self.plane(is_k, slot).pages.last().expect("partial tail");
+            if self.arena.refs(tail) > 1 {
+                let new_id = self.cow_or_demote(tail)?;
+                *self
+                    .plane_mut(is_k, slot)
+                    .pages
+                    .last_mut()
+                    .expect("partial tail") = new_id;
+            }
+        }
+        let arena = self.arena.clone();
+        let mode = self.mode;
+        let plane = self.plane_mut(is_k, slot);
+        let tail = *plane.pages.last().expect("tail page");
+        match &mut plane.quant {
+            None => arena.with_page_mut(tail, |p| {
+                let PagePayload::F32(m) = p else {
+                    panic!("f32 plane holds a quantized tail page");
+                };
+                m.push_row(row);
+            }),
+            Some(q) => {
+                let bits = mode.bits();
+                let groups = mode.num_groups();
+                arena.with_page_mut(tail, |p| {
+                    let PagePayload::Quant(page) = p else {
+                        panic!("quantized plane holds an f32 tail page");
+                    };
+                    q.push_into(page, row, bits, groups);
+                });
+            }
+        }
+        plane.len += 1;
+        Ok(())
+    }
+
+    /// An empty page payload at this plane's append tier.
+    fn fresh_payload(&self, is_k: bool, slot: usize) -> PagePayload {
+        let page_rows = self.arena.page_rows();
+        match &self.plane(is_k, slot).quant {
+            None => PagePayload::F32(Matrix::with_row_capacity(self.head_dim, page_rows)),
+            Some(q) => PagePayload::Quant(QuantPage {
+                rows: QuantRows::with_row_capacity(
+                    self.head_dim,
+                    self.mode.bits(),
+                    self.mode.num_groups() > 1,
+                    page_rows,
+                ),
+                scales: q.scales.clone(),
+                bias: q.bias.clone(),
+                tmax: q.tmax,
+                page_local: false,
+            }),
+        }
+    }
+
+    fn alloc_or_demote(&self, is_k: bool, slot: usize) -> Result<PageId, EvictError> {
+        loop {
+            match self.arena.alloc(self.fresh_payload(is_k, slot)) {
+                Ok(id) => return Ok(id),
+                Err(e) => {
+                    if !self.demote_one() {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+
+    fn cow_or_demote(&self, tail: PageId) -> Result<PageId, EvictError> {
+        loop {
+            match self.arena.cow_clone(tail) {
+                Ok(id) => return Ok(id),
+                Err(e) => {
+                    if !self.demote_one() {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Demotes this cache's coldest eligible page one tier down the
+    /// f32 → int8 → int4 ladder, in place. Eligible pages are *sealed*
+    /// (full — the live tail is still being written under plane scales)
+    /// and *exclusively owned* (a fork sharing the page may still need its
+    /// exact bytes). Scan order is deterministic: tier-major (all f32
+    /// candidates before any int8), then K planes before V, layer/head
+    /// ascending, oldest page first — so the coldest exact page goes
+    /// first. Returns `false` when nothing is demotable (the floor).
+    fn demote_one(&self) -> bool {
+        let page_rows = self.arena.page_rows();
+        for (tier, target) in [
+            (PageTier::F32, KvCacheMode::Int8),
+            (PageTier::Int8, KvCacheMode::Int4),
+        ] {
+            for plane in self.k.iter().chain(&self.v) {
+                for (idx, &pid) in plane.pages.iter().enumerate() {
+                    if plane.len < (idx + 1) * page_rows {
+                        continue; // unsealed tail
+                    }
+                    if self.arena.refs(pid) > 1 {
+                        continue; // shared with a fork
+                    }
+                    if self.arena.payload(pid).tier() != tier {
+                        continue;
+                    }
+                    self.arena
+                        .with_page_mut(pid, |p| *p = demote_payload(p, target));
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// The configured read path for quantized planes.
@@ -673,78 +922,203 @@ impl KvCache {
         self.read_path = path;
     }
 
-    /// Cached keys for `(li, head)`: a `len × head_dim` matrix. Borrowed
-    /// in `f32` mode; dequantized on the fly in quantized modes (the
-    /// legacy read path — decode attention uses
-    /// [`KvCache::attn_scores_quant`] instead).
-    pub fn head_k(&self, li: usize, head: usize) -> Cow<'_, Matrix> {
-        self.k[li * self.heads + head].matrix()
-    }
-
-    /// Cached values for `(li, head)`: a `len × head_dim` matrix. Borrowed
-    /// in `f32` mode; dequantized on the fly in quantized modes (the
-    /// legacy read path — decode attention uses
-    /// [`KvCache::attn_values_quant`] instead).
-    pub fn head_v(&self, li: usize, head: usize) -> Cow<'_, Matrix> {
-        self.v[li * self.heads + head].matrix()
-    }
-
-    /// The packed K codes for `(li, head)`, or `None` for an `f32` plane.
-    /// This is the borrowed view the integer read path walks; no dequant,
-    /// no copy.
-    pub fn head_k_codes(&self, li: usize, head: usize) -> Option<&QuantRows> {
-        match &self.k[li * self.heads + head] {
-            HeadStore::Quant(q) => Some(&q.rows),
-            HeadStore::F32(_) => None,
+    /// Gathers one plane's pages into a `len × head_dim` matrix: f32 pages
+    /// are copied row-for-row (bit-identical to the appended rows),
+    /// quantized pages are dequantized under their own frozen snapshot.
+    fn gather(&self, plane: &Plane) -> Matrix {
+        let mut out = Matrix::with_row_capacity(self.head_dim, plane.len);
+        for &pid in &plane.pages {
+            let payload = self.arena.payload(pid);
+            match &*payload {
+                PagePayload::F32(m) => {
+                    for r in 0..m.rows() {
+                        out.push_row(m.row(r));
+                    }
+                }
+                PagePayload::Quant(q) => {
+                    let dh = q.rows.cols();
+                    let mut qs = vec![0i32; dh];
+                    let mut gs = vec![0u8; dh];
+                    let mut row = vec![0.0f32; dh];
+                    for r in 0..q.rows.rows() {
+                        q.rows.decode_row_into(r, &mut qs, &mut gs);
+                        for (c, o) in row.iter_mut().enumerate() {
+                            *o = qs[c] as f32 * q.scales[gs[c] as usize] + q.bias[c];
+                        }
+                        out.push_row(&row);
+                    }
+                }
+            }
         }
+        out
     }
 
-    /// The packed V codes for `(li, head)`, or `None` for an `f32` plane.
-    pub fn head_v_codes(&self, li: usize, head: usize) -> Option<&QuantRows> {
-        match &self.v[li * self.heads + head] {
-            HeadStore::Quant(q) => Some(&q.rows),
-            HeadStore::F32(_) => None,
-        }
+    /// Cached keys for `(li, head)`: a `len × head_dim` matrix gathered
+    /// from the plane's page list (exact rows in `f32` mode; dequantized
+    /// under each page's frozen snapshot otherwise — the legacy read path:
+    /// decode attention uses [`KvCache::attn_scores_quant`] instead).
+    pub fn head_k(&self, li: usize, head: usize) -> Matrix {
+        self.gather(&self.k[li * self.heads + head])
+    }
+
+    /// Cached values for `(li, head)`: a `len × head_dim` matrix gathered
+    /// from the plane's page list. Same contract as [`KvCache::head_k`].
+    pub fn head_v(&self, li: usize, head: usize) -> Matrix {
+        self.gather(&self.v[li * self.heads + head])
     }
 
     /// Integer-domain attention scores of the (already scaled) query row
     /// `qh` against the cached K plane of `(li, head)`: a `1 × len` row,
-    /// computed directly on the packed codes. Returns `None` when the
-    /// plane is `f32` or the read path is [`KvReadPath::Dequant`] — the
-    /// caller then falls back to the f32 product.
+    /// computed directly on the packed codes page by page. Each page's dot
+    /// accumulates per power-of-two group in i64; the α = 2 shift-combine
+    /// applies the page's own frozen scales once per dot, and the page's
+    /// bias dot (`Σ_c qh[c]·bias[c]`, full f32 precision) is added per
+    /// row. The accumulation chain is fixed (pages ascending, columns
+    /// ascending, zero-skip on the query code) and integer sums are exact,
+    /// so the result is bit-identical across GEMM backends and thread
+    /// counts.
+    ///
+    /// Returns `None` when the cache mode is `f32` or the read path is
+    /// [`KvReadPath::Dequant`] — the caller then falls back to the f32
+    /// product over the gathered plane.
     pub fn attn_scores_quant(&self, li: usize, head: usize, qh: &[f32]) -> Option<Matrix> {
-        if self.read_path != KvReadPath::Integer {
+        if self.read_path != KvReadPath::Integer || self.mode == KvCacheMode::F32 {
             return None;
         }
-        match &self.k[li * self.heads + head] {
-            HeadStore::Quant(q) => {
-                let out = q.score_int(qh);
-                metrics::KV_INT_DOTS.add(out.len() as u64);
-                metrics::KV_INT_DOT_MACS.add((out.len() * self.head_dim) as u64);
-                let len = out.len();
-                Some(Matrix::from_vec(1, len, out).expect("score row shape"))
+        let plane = &self.k[li * self.heads + head];
+        let dh = self.head_dim;
+        debug_assert_eq!(qh.len(), dh);
+        let (xq, x_scale) = quantize_act(qh);
+        let mut out = Vec::with_capacity(plane.len);
+        for &pid in &plane.pages {
+            let payload = self.arena.payload(pid);
+            let PagePayload::Quant(qp) = &*payload else {
+                unreachable!("quantized plane holds an f32 page");
+            };
+            let plen = qp.rows.rows();
+            if plen == 0 {
+                continue;
             }
-            HeadStore::F32(_) => None,
+            let groups = qp.scales.len();
+            let bits = qp.rows.bits();
+            let mut bias_dot = 0.0f32;
+            for (x, b) in qh.iter().zip(qp.bias.iter()) {
+                bias_dot += x * b;
+            }
+            let check = !gemm::kv_dot_cannot_overflow(dh, KV_ACT_BITS, bits, groups);
+            let mut acc = vec![0i64; plen * groups];
+            let mut events =
+                gemm::active_backend().kv_score_block(&qp.rows, &xq, groups, check, &mut acc);
+            let s_last = *qp.scales.last().expect("page scale snapshot");
+            let factor = x_scale * s_last;
+            for j in 0..plen {
+                let combined =
+                    combine_groups(&acc[j * groups..(j + 1) * groups], check, &mut events);
+                out.push(combined as f32 * factor + bias_dot);
+            }
+            record_dot_metrics(plen, check, events);
         }
+        metrics::KV_INT_DOTS.add(out.len() as u64);
+        metrics::KV_INT_DOT_MACS.add((out.len() * dh) as u64);
+        let len = out.len();
+        Some(Matrix::from_vec(1, len, out).expect("score row shape"))
     }
 
     /// Integer-domain attention-value product of the probability row
     /// `probs` (length `len`) against the cached V plane of `(li, head)`:
-    /// a `1 × head_dim` row computed directly on the packed codes. Same
-    /// `None` contract as [`KvCache::attn_scores_quant`].
+    /// a `1 × head_dim` row computed directly on the packed codes page by
+    /// page (each page contributes its slice of the probability row under
+    /// its own frozen scales; contributions sum in page order). Same
+    /// `None` contract and determinism argument as
+    /// [`KvCache::attn_scores_quant`].
     pub fn attn_values_quant(&self, li: usize, head: usize, probs: &[f32]) -> Option<Matrix> {
-        if self.read_path != KvReadPath::Integer {
+        if self.read_path != KvReadPath::Integer || self.mode == KvCacheMode::F32 {
             return None;
         }
-        match &self.v[li * self.heads + head] {
-            HeadStore::Quant(q) => {
-                let out = q.attn_int(probs);
-                metrics::KV_INT_DOTS.add(out.len() as u64);
-                metrics::KV_INT_DOT_MACS.add((probs.len() * self.head_dim) as u64);
-                Some(Matrix::from_vec(1, self.head_dim, out).expect("attn row shape"))
+        let plane = &self.v[li * self.heads + head];
+        let dh = self.head_dim;
+        debug_assert_eq!(probs.len(), plane.len);
+        let mut out = vec![0.0f32; dh];
+        if plane.len > 0 {
+            let (pq, p_scale) = quantize_act(probs);
+            let mut off = 0usize;
+            for &pid in &plane.pages {
+                let payload = self.arena.payload(pid);
+                let PagePayload::Quant(qp) = &*payload else {
+                    unreachable!("quantized plane holds an f32 page");
+                };
+                let plen = qp.rows.rows();
+                if plen == 0 {
+                    continue;
+                }
+                let groups = qp.scales.len();
+                let bits = qp.rows.bits();
+                let mut psum = 0.0f32;
+                for &p in &probs[off..off + plen] {
+                    psum += p;
+                }
+                let check = !gemm::kv_dot_cannot_overflow(plen, KV_ACT_BITS, bits, groups);
+                let mut acc = vec![0i64; groups * dh];
+                let mut events = gemm::active_backend().kv_attn_block(
+                    &qp.rows,
+                    &pq[off..off + plen],
+                    groups,
+                    check,
+                    &mut acc,
+                );
+                let s_last = *qp.scales.last().expect("page scale snapshot");
+                let factor = p_scale * s_last;
+                let mut col_accs = vec![0i64; groups];
+                for (c, o) in out.iter_mut().enumerate() {
+                    for (g, ca) in col_accs.iter_mut().enumerate() {
+                        *ca = acc[g * dh + c];
+                    }
+                    let combined = combine_groups(&col_accs, check, &mut events);
+                    *o += combined as f32 * factor + qp.bias[c] * psum;
+                }
+                record_dot_metrics(dh, check, events);
+                off += plen;
             }
-            HeadStore::F32(_) => None,
         }
+        metrics::KV_INT_DOTS.add(dh as u64);
+        metrics::KV_INT_DOT_MACS.add((probs.len() * dh) as u64);
+        Some(Matrix::from_vec(1, dh, out).expect("attn row shape"))
+    }
+}
+
+impl Clone for KvCache {
+    /// Copy-on-write fork: retains every page (the fork shares the prefix
+    /// physically) and re-publishes only the plane-constant overhead. The
+    /// first divergent append onto a shared page copies it.
+    fn clone(&self) -> Self {
+        for plane in self.k.iter().chain(&self.v) {
+            for &pid in &plane.pages {
+                self.arena.retain(pid);
+            }
+        }
+        let cache = Self {
+            layers: self.layers,
+            heads: self.heads,
+            head_dim: self.head_dim,
+            mode: self.mode,
+            read_path: self.read_path,
+            arena: self.arena.clone(),
+            k: self.k.clone(),
+            v: self.v.clone(),
+        };
+        cache.publish_overhead(true);
+        cache
+    }
+}
+
+impl Drop for KvCache {
+    fn drop(&mut self) {
+        for plane in self.k.iter().chain(&self.v) {
+            for &pid in &plane.pages {
+                self.arena.release(pid);
+            }
+        }
+        self.publish_overhead(false);
     }
 }
 
@@ -819,6 +1193,10 @@ pub enum StepError {
         /// The model's vocabulary size.
         vocab: usize,
     },
+    /// The KV arena is at its byte cap and the session's demotion ladder
+    /// has reached the int4 floor — no page could be allocated for the
+    /// appended position.
+    KvExhausted(EvictError),
 }
 
 impl fmt::Display for StepError {
@@ -831,6 +1209,7 @@ impl fmt::Display for StepError {
             Self::TokenOutOfVocab { token, vocab } => {
                 write!(f, "token id {token} out of vocabulary (size {vocab})")
             }
+            Self::KvExhausted(e) => write!(f, "kv cache append failed: {e}"),
         }
     }
 }
@@ -877,71 +1256,75 @@ impl From<StepError> for BatchError {
     }
 }
 
-/// One in-flight generation: a model reference plus its KV cache.
+/// One in-flight generation: a model reference plus its paged KV cache.
 ///
-/// The session publishes its cache footprint into the aggregate
-/// `metrics::engine` gauges by delta: every prefill/step adds the growth,
-/// cloning re-adds the clone's bytes, and dropping subtracts what the
-/// session had published — so `KV_CACHE_BYTES` is the summed resident
-/// bytes across *live* sessions, not the last writer's value.
+/// The aggregate footprint gauges (`metrics::engine::KV_CACHE_BYTES` /
+/// `KV_CACHE_ALLOCATED_BYTES`) are maintained by the arena (page bytes,
+/// shared pages counted once) and the cache (per-plane constants), so they
+/// track live physical bytes across sessions — forking a session adds only
+/// what it physically adds.
+///
+/// `clone()` (and its named alias [`DecodeSession::fork`]) is a
+/// copy-on-write fork: the clone shares the cache's pages and copies a
+/// page only on divergent append.
+#[derive(Clone)]
 pub struct DecodeSession<'m> {
     model: ModelRef<'m>,
     cache: KvCache,
     last_step_macs: u64,
     last_step_kv_int_macs: u64,
-    /// Resident bytes this session has added to `KV_CACHE_BYTES`.
-    published_bytes: u64,
-    /// Allocated bytes this session has added to `KV_CACHE_ALLOCATED_BYTES`.
-    published_allocated: u64,
 }
 
 impl<'m> DecodeSession<'m> {
-    /// A fresh session over `model` with an empty, `max_seq`-capacity
-    /// `f32` cache (the bit-parity path).
+    /// A fresh session over `model` with an empty `f32` cache on a
+    /// private, unbounded arena (the bit-parity path).
     pub fn new(model: impl Into<ModelRef<'m>>) -> Self {
         Self::with_cache_mode(model, KvCacheMode::F32)
     }
 
-    /// A fresh session whose cache stores K/V in `mode`.
+    /// A fresh session whose cache stores K/V in `mode`, on a private,
+    /// unbounded arena.
     pub fn with_cache_mode(model: impl Into<ModelRef<'m>>, mode: KvCacheMode) -> Self {
         let model = model.into();
         let cache = KvCache::with_mode(&model.weights().shape, mode);
-        let mut session = Self {
+        Self {
             model,
             cache,
             last_step_macs: 0,
             last_step_kv_int_macs: 0,
-            published_bytes: 0,
-            published_allocated: 0,
-        };
-        session.publish_cache_metrics();
-        session
+        }
+    }
+
+    /// A fresh session drawing cache pages from a shared `arena` —
+    /// the serving configuration: many sessions, one page pool, prefix
+    /// sharing via [`DecodeSession::fork`].
+    pub fn with_arena(model: impl Into<ModelRef<'m>>, mode: KvCacheMode, arena: &KvArena) -> Self {
+        let model = model.into();
+        let cache = KvCache::with_arena(&model.weights().shape, mode, arena);
+        Self {
+            model,
+            cache,
+            last_step_macs: 0,
+            last_step_kv_int_macs: 0,
+        }
+    }
+
+    /// Copy-on-write fork (a named alias for `clone()`): the fork shares
+    /// every cache page with this session and copies a page only when one
+    /// owner appends to it — the prefill-once, fork-many serving shape.
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// The arena this session's cache draws pages from.
+    pub fn arena(&self) -> &KvArena {
+        self.cache.arena()
     }
 
     /// Selects the quantized-cache read path (integer-domain by default);
     /// see [`KvCache::set_read_path`].
     pub fn set_kv_read_path(&mut self, path: KvReadPath) {
         self.cache.set_read_path(path);
-    }
-
-    /// Folds the session's current footprint into the aggregate gauges by
-    /// delta, and observes the aggregate peak.
-    fn publish_cache_metrics(&mut self) {
-        let resident = self.cache.bytes();
-        if resident >= self.published_bytes {
-            metrics::KV_CACHE_BYTES.add(resident - self.published_bytes);
-        } else {
-            metrics::KV_CACHE_BYTES.sub(self.published_bytes - resident);
-        }
-        self.published_bytes = resident;
-        let allocated = self.cache.allocated_bytes();
-        if allocated >= self.published_allocated {
-            metrics::KV_CACHE_ALLOCATED_BYTES.add(allocated - self.published_allocated);
-        } else {
-            metrics::KV_CACHE_ALLOCATED_BYTES.sub(self.published_allocated - allocated);
-        }
-        self.published_allocated = allocated;
-        metrics::KV_CACHE_PEAK_BYTES.observe(metrics::KV_CACHE_BYTES.get());
     }
 
     /// Ingests the prompt in one full-sequence pass, filling the KV cache,
@@ -954,11 +1337,27 @@ impl<'m> DecodeSession<'m> {
     ///
     /// # Panics
     ///
-    /// Panics if the session already holds cached positions, or on the
-    /// same token-validation conditions as the full forward pass.
+    /// Panics if the session already holds cached positions, if the arena
+    /// reaches its eviction floor mid-prompt (use
+    /// [`DecodeSession::try_prefill`] to handle that as a value), or on
+    /// the same token-validation conditions as the full forward pass.
     ///
     /// [`step`]: DecodeSession::step
     pub fn prefill(&mut self, tokens: &[usize]) -> Matrix {
+        self.try_prefill(tokens)
+            .unwrap_or_else(|e| panic!("kv arena exhausted during prefill: {e}"))
+    }
+
+    /// [`DecodeSession::prefill`], but an arena at its eviction floor
+    /// comes back as a typed [`EvictError`] instead of a panic (the
+    /// admission-control path).
+    ///
+    /// # Errors
+    ///
+    /// [`EvictError`] when a page allocation fails at the arena's byte cap
+    /// with nothing left to demote. The session's cache may hold a partial
+    /// prompt afterwards; callers should drop it.
+    pub fn try_prefill(&mut self, tokens: &[usize]) -> Result<Matrix, EvictError> {
         assert!(
             self.cache.is_empty(),
             "prefill requires an empty session; this one holds {} positions",
@@ -967,11 +1366,10 @@ impl<'m> DecodeSession<'m> {
         let _span = metrics::PREFILL_TIME.span();
         let w = self.model.weights();
         let exec = self.model.exec();
-        let hidden = pipeline::forward_internal(w, tokens, &exec, None, Some(&mut self.cache));
+        let hidden = pipeline::forward_internal(w, tokens, &exec, None, Some(&mut self.cache))?;
         metrics::PREFILLS.incr();
         metrics::PREFILL_TOKENS.add(tokens.len() as u64);
-        self.publish_cache_metrics();
-        pipeline::lm_head(w, self.model.emb_t(), &hidden)
+        Ok(pipeline::lm_head(w, self.model.emb_t(), &hidden))
     }
 
     /// Feeds one token at the next sequence position and returns its
@@ -982,8 +1380,10 @@ impl<'m> DecodeSession<'m> {
     /// Returns [`StepError::NotPrefilled`] on an empty session,
     /// [`StepError::SequenceFull`] when the next position would exceed the
     /// model's `max_seq` positional-embedding table (the cache storage
-    /// could grow further, the model cannot embed the position), and
-    /// [`StepError::TokenOutOfVocab`] for an out-of-range token id.
+    /// could grow further, the model cannot embed the position),
+    /// [`StepError::TokenOutOfVocab`] for an out-of-range token id, and
+    /// [`StepError::KvExhausted`] when the arena is at its byte cap with
+    /// nothing left to demote.
     pub fn step(&mut self, token: usize) -> Result<Matrix, StepError> {
         let w = self.model.weights();
         let shape = &w.shape;
@@ -1019,14 +1419,14 @@ impl<'m> DecodeSession<'m> {
                 pos,
                 &mut macs,
                 &mut int_macs,
-            );
+            )
+            .map_err(StepError::KvExhausted)?;
         }
         let hidden = pipeline::apply_norm(&h, &w.final_gamma, &w.final_beta, shape.norm);
         self.last_step_macs = macs;
         self.last_step_kv_int_macs = int_macs;
         metrics::DECODE_STEPS.incr();
         metrics::DECODE_MACS.add(macs);
-        self.publish_cache_metrics();
         Ok(pipeline::lm_head(w, self.model.emb_t(), &hidden))
     }
 
@@ -1065,31 +1465,6 @@ impl<'m> DecodeSession<'m> {
     /// [`last_step_macs`]: DecodeSession::last_step_macs
     pub fn last_step_kv_int_macs(&self) -> u64 {
         self.last_step_kv_int_macs
-    }
-}
-
-impl Clone for DecodeSession<'_> {
-    fn clone(&self) -> Self {
-        // The clone owns a full copy of the cache, so its footprint joins
-        // the aggregate gauges alongside the original's.
-        metrics::KV_CACHE_BYTES.add(self.published_bytes);
-        metrics::KV_CACHE_ALLOCATED_BYTES.add(self.published_allocated);
-        metrics::KV_CACHE_PEAK_BYTES.observe(metrics::KV_CACHE_BYTES.get());
-        Self {
-            model: self.model,
-            cache: self.cache.clone(),
-            last_step_macs: self.last_step_macs,
-            last_step_kv_int_macs: self.last_step_kv_int_macs,
-            published_bytes: self.published_bytes,
-            published_allocated: self.published_allocated,
-        }
-    }
-}
-
-impl Drop for DecodeSession<'_> {
-    fn drop(&mut self) {
-        metrics::KV_CACHE_BYTES.sub(self.published_bytes);
-        metrics::KV_CACHE_ALLOCATED_BYTES.sub(self.published_allocated);
     }
 }
 
@@ -1146,6 +1521,13 @@ impl<'m> BatchEngine<'m> {
         Self {
             slots: sessions.into_iter().map(Mutex::new).collect(),
         }
+    }
+
+    /// `n` copy-on-write forks of a prefilled template session — the
+    /// shared-prefix batch shape: the template's prompt is prefilled once
+    /// and every fork shares its pages until it diverges.
+    pub fn forked(template: &DecodeSession<'m>, n: usize) -> Self {
+        Self::new((0..n).map(|_| template.fork()).collect())
     }
 
     /// Sessions under management.
@@ -1262,6 +1644,35 @@ impl<'m> BatchEngine<'m> {
         })
     }
 
+    /// Greedy decode for *already prefilled* sessions (typically forks of
+    /// a shared-prefix template): session `i` starts from seed token
+    /// `seeds[i]` and decodes up to `steps` tokens, with the same
+    /// truncation semantics as [`BatchEngine::generate_greedy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed count differs from the session count.
+    pub fn resume_greedy(&mut self, seeds: &[usize], steps: usize) -> Vec<Vec<usize>> {
+        assert_eq!(seeds.len(), self.slots.len(), "one seed token per session");
+        pool::par_map(self.slots.len(), |i| {
+            let mut session = self.slots[i].lock().expect("session lock");
+            let vocab = session.model.weights().shape.vocab;
+            let mut next = seeds[i];
+            let mut out = Vec::with_capacity(steps);
+            for _ in 0..steps {
+                out.push(next);
+                match session.step(next) {
+                    Ok(logits) => next = greedy_token(&logits, 0, session.len(), vocab),
+                    Err(_) => {
+                        metrics::DECODE_TRUNCATED.incr();
+                        break;
+                    }
+                }
+            }
+            out
+        })
+    }
+
     /// Consumes the engine, returning its sessions in order.
     pub fn into_sessions(self) -> Vec<DecodeSession<'m>> {
         self.slots
@@ -1276,6 +1687,8 @@ mod tests {
     use super::*;
     use crate::shape::ModelShape;
     use crate::synthetic::SyntheticLlm;
+    use tender_tensor::arena::DEFAULT_PAGE_ROWS;
+    use tender_tensor::ArenaConfig;
 
     fn tiny() -> (ModelShape, SyntheticLlm) {
         let shape = ModelShape::tiny_test();
@@ -1288,51 +1701,57 @@ mod tests {
     }
 
     #[test]
-    fn kv_cache_grows_past_preallocated_capacity() {
-        // Growth policy: the cache is plain storage and grows freely past
-        // its preallocation; the max_seq limit is the *session's* concern
-        // (see `step_past_max_seq_is_sequence_full`).
+    fn kv_cache_grows_by_pages_past_initial_allocation() {
+        // Growth policy: storage is paged, allocated on demand from the
+        // arena; the max_seq limit is the *session's* concern (see
+        // `step_past_max_seq_is_sequence_full`).
         let (shape, _) = tiny();
-        let mut cache = KvCache::with_capacity(&shape, 2);
-        assert_eq!(cache.capacity(), 2);
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 2,
+            ..ArenaConfig::default()
+        });
+        let mut cache = KvCache::with_arena(&shape, KvCacheMode::F32, &arena);
+        assert_eq!(cache.capacity(), 0, "no pages before the first append");
         assert!(cache.is_empty());
-        let k = Matrix::filled(4, shape.d_model, 1.0);
-        let v = Matrix::filled(4, shape.d_model, 2.0);
+        let k = Matrix::filled(3, shape.d_model, 1.0);
+        let v = Matrix::filled(3, shape.d_model, 2.0);
         for li in 0..shape.layers {
-            cache.append(li, &k, &v);
+            cache.append(li, &k, &v).expect("uncapped arena");
         }
-        assert_eq!(cache.len(), 4);
-        assert!(cache.capacity() >= 4, "append past capacity must grow");
+        assert_eq!(cache.len(), 3);
+        // 3 rows on 2-row pages: two pages per plane, capacity 4.
+        assert_eq!(cache.capacity(), 4, "pages are allocated on demand");
         assert_eq!(
             cache.bytes(),
-            (2 * 4 * shape.d_model * shape.layers * 4) as u64
+            (2 * 3 * shape.d_model * shape.layers * 4) as u64
         );
-        // Resident counts rows; allocated counts the grown capacity.
+        // Resident counts rows; allocated counts whole pages.
         assert_eq!(
             cache.allocated_bytes(),
-            (2 * cache.capacity() * shape.d_model * shape.layers * 4) as u64
+            (2 * 4 * shape.d_model * shape.layers * 4) as u64
         );
         assert!(cache.allocated_bytes() >= cache.bytes());
     }
 
     #[test]
-    fn resident_and_allocated_bytes_are_distinct_when_preallocated() {
+    fn resident_and_allocated_bytes_are_distinct_on_a_partial_page() {
         // The original accounting bug: `bytes()` reported len-based bytes
-        // while storage was preallocated to max_seq. The two quantities
-        // must be reported separately and differ until the cache is full.
+        // while storage was allocated in larger units. The two quantities
+        // must be reported separately and differ until the page is full.
         let (shape, model) = tiny();
         let reference = model.reference();
         let mut session = DecodeSession::new(&reference);
         session.prefill(&tokens(5, shape.vocab, 1));
         let cache = session.cache();
-        assert_eq!(cache.capacity(), shape.max_seq);
+        // 5 rows fit in the first default-size page of every plane.
+        assert_eq!(cache.capacity(), DEFAULT_PAGE_ROWS);
         assert_eq!(
             cache.bytes(),
             (2 * 5 * shape.d_model * shape.layers * 4) as u64
         );
         assert_eq!(
             cache.allocated_bytes(),
-            (2 * shape.max_seq * shape.d_model * shape.layers * 4) as u64
+            (2 * DEFAULT_PAGE_ROWS * shape.d_model * shape.layers * 4) as u64
         );
         assert!(cache.allocated_bytes() > cache.bytes());
     }
@@ -1345,7 +1764,7 @@ mod tests {
         // Column c carries value c so each head slice is recognizable.
         let k = Matrix::from_fn(1, shape.d_model, |_, c| c as f32);
         let v = Matrix::from_fn(1, shape.d_model, |_, c| -(c as f32));
-        cache.append(0, &k, &v);
+        cache.append(0, &k, &v).expect("uncapped arena");
         for head in 0..shape.heads {
             let hk = cache.head_k(0, head);
             let hv = cache.head_v(0, head);
@@ -1363,7 +1782,7 @@ mod tests {
         let (shape, _) = tiny();
         let mut cache = KvCache::new(&shape);
         let bad = Matrix::zeros(1, shape.d_model + 1);
-        cache.append(0, &bad, &bad);
+        let _ = cache.append(0, &bad, &bad);
     }
 
     #[test]
@@ -1400,10 +1819,18 @@ mod tests {
             let mut s = DecodeSession::with_cache_mode(&reference, mode);
             s.prefill(&tokens(7, shape.vocab, 3));
             let planes = 2 * (shape.layers * shape.heads) as u64;
-            let expect = planes * (7 * mode.position_bytes(dh) + mode.head_overhead_bytes(dh));
+            // 7 rows on default 16-row pages: one page per plane, carrying
+            // one scale snapshot per group.
+            let pages = 7usize.div_ceil(DEFAULT_PAGE_ROWS) as u64;
+            let expect = planes
+                * (7 * mode.position_bytes(dh)
+                    + pages * mode.num_groups() as u64 * 4
+                    + mode.head_overhead_bytes(dh));
             assert_eq!(s.cache().bytes(), expect);
             let expect_alloc = planes
-                * (s.cache().capacity() as u64 * mode.position_bytes(dh)
+                * (pages
+                    * (DEFAULT_PAGE_ROWS as u64 * mode.position_bytes(dh)
+                        + mode.num_groups() as u64 * 4)
                     + mode.head_overhead_bytes(dh));
             assert_eq!(s.cache().allocated_bytes(), expect_alloc);
         }
@@ -1455,7 +1882,7 @@ mod tests {
             let k = Matrix::filled(1, shape.d_model, mag);
             let v = Matrix::filled(1, shape.d_model, -mag);
             for li in 0..shape.layers {
-                cache.append(li, &k, &v);
+                cache.append(li, &k, &v).expect("uncapped arena");
             }
         }
         assert!(
@@ -1465,7 +1892,7 @@ mod tests {
         // The dequantized view still approximates the stored magnitudes.
         let hk = cache.head_k(0, 0);
         assert_eq!(hk.rows(), 4);
-        assert!(hk.as_ref().is_finite());
+        assert!(hk.is_finite());
     }
 
     #[test]
@@ -1499,6 +1926,136 @@ mod tests {
         }
         let full = reference.forward(&t);
         assert_eq!(last.row(0), full.row(11), "decode must be bit-identical");
+    }
+
+    #[test]
+    fn forked_sessions_share_prefix_pages_and_diverge_bit_exactly() {
+        // The serving shape: one template prefill, copy-on-write forks.
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 4,
+            ..ArenaConfig::default()
+        });
+        let prompt = tokens(6, shape.vocab, 4);
+
+        let mut template = DecodeSession::with_arena(&reference, KvCacheMode::F32, &arena);
+        template.prefill(&prompt);
+        let pages_after_prefill = arena.stats().pages_total();
+        assert!(pages_after_prefill > 0);
+
+        // Forks share every page: no new allocation at fork time.
+        let mut a = template.fork();
+        let mut b = template.fork();
+        assert_eq!(arena.stats().pages_total(), pages_after_prefill);
+
+        // Divergent appends copy only the shared tail page.
+        let la = a.step(1 % shape.vocab).expect("in-window step");
+        let lb = b.step(2 % shape.vocab).expect("in-window step");
+        assert!(
+            arena.stats().cow_copies > 0,
+            "divergence must copy-on-write"
+        );
+
+        // Each fork's logits are bit-identical to a fresh session that
+        // replayed the same tokens without any sharing.
+        for (tok, logits) in [(1 % shape.vocab, &la), (2 % shape.vocab, &lb)] {
+            let mut fresh = DecodeSession::new(&reference);
+            fresh.prefill(&prompt);
+            let expect = fresh.step(tok).expect("in-window step");
+            assert_eq!(
+                logits.row(0),
+                expect.row(0),
+                "fork diverged from the unshared rollout"
+            );
+        }
+
+        // Dropping every owner returns all pages to the arena.
+        drop(template);
+        drop(a);
+        drop(b);
+        assert_eq!(arena.stats().pages_total(), 0, "refcount leak");
+    }
+
+    #[test]
+    fn watermark_demotes_cold_pages_and_accounting_tracks_tiers() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let dh = shape.head_dim();
+        let planes = 2 * (shape.layers * shape.heads) as u64;
+        // Capacity holds the full f32 prompt exactly; a 0.5 watermark
+        // forces sealed pages down the demotion ladder during prefill.
+        let page_rows = 2usize;
+        let prompt_len = 8usize;
+        let full_f32 = planes * (prompt_len as u64) * (dh as u64) * 4;
+        let arena = KvArena::new(ArenaConfig {
+            page_rows,
+            capacity_bytes: Some(full_f32),
+            watermark: 0.5,
+        });
+        let mut s = DecodeSession::with_arena(&reference, KvCacheMode::F32, &arena);
+        s.prefill(&tokens(prompt_len, shape.vocab, 6));
+
+        let stats = arena.stats();
+        assert!(stats.demoted_int8 > 0, "watermark never demoted a page");
+        let tiers = s.cache().tier_stats();
+        assert_eq!(tiers.pages_total(), stats.pages_total());
+        assert_eq!(tiers.resident_total(), stats.resident_total());
+        assert_eq!(tiers.allocated_total(), stats.allocated_total());
+        assert!(
+            stats.allocated_total() <= full_f32,
+            "demotion must keep the arena under its cap"
+        );
+
+        // Demoted pages still decode to finite values and the session can
+        // keep stepping.
+        assert!(s.cache().head_k(0, 0).is_finite());
+        s.step(1 % shape.vocab).expect("post-demotion step");
+    }
+
+    #[test]
+    fn arena_floor_is_a_typed_error() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 4,
+            capacity_bytes: Some(8),
+            watermark: 1.0,
+        });
+        let mut s = DecodeSession::with_arena(&reference, KvCacheMode::Int4, &arena);
+        let err = s
+            .try_prefill(&tokens(4, shape.vocab, 2))
+            .expect_err("an 8-byte arena cannot hold a page");
+        assert!(err.to_string().contains("kv arena exhausted"), "{err}");
+        assert!(arena.stats().evict_failures > 0);
+    }
+
+    #[test]
+    fn step_surfaces_kv_exhaustion_as_typed_error() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let dh = shape.head_dim();
+        let planes = 2 * (shape.layers * shape.heads) as u64;
+        let mode = KvCacheMode::Int4;
+        // Capacity admits exactly one full int4 page per plane (rows plus
+        // the committed per-group scale snapshot). Int4 is the ladder
+        // floor, so the decode append that needs a second page has nothing
+        // to demote and must surface the typed error.
+        let page_rows = 4usize;
+        let cap =
+            planes * (page_rows as u64 * mode.position_bytes(dh) + mode.num_groups() as u64 * 4);
+        let arena = KvArena::new(ArenaConfig {
+            page_rows,
+            capacity_bytes: Some(cap),
+            watermark: 1.0,
+        });
+        let mut s = DecodeSession::with_arena(&reference, mode, &arena);
+        s.try_prefill(&tokens(page_rows, shape.vocab, 3))
+            .expect("the prompt fits exactly");
+        assert!(matches!(
+            s.step(1 % shape.vocab),
+            Err(StepError::KvExhausted(_))
+        ));
     }
 
     #[test]
@@ -1584,6 +2141,40 @@ mod tests {
         for (i, s) in engine.into_sessions().into_iter().enumerate() {
             assert_eq!(s.len(), prompts[i].len() + 5);
         }
+    }
+
+    #[test]
+    fn forked_batch_matches_unshared_rollouts() {
+        // BatchEngine::forked + resume_greedy must reproduce the exact
+        // transcripts of sessions that never shared a page.
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 4,
+            ..ArenaConfig::default()
+        });
+        let prompt = tokens(6, shape.vocab, 9);
+        let seeds: Vec<usize> = (0..3).map(|s| (s * 13 + 1) % shape.vocab).collect();
+
+        let mut serial = Vec::new();
+        for &seed in &seeds {
+            let mut session = DecodeSession::new(&reference);
+            session.prefill(&prompt);
+            let mut next = seed;
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                out.push(next);
+                let logits = session.step(next).expect("in-window step");
+                next = argmax_row(&logits, 0).expect("finite logits");
+            }
+            serial.push(out);
+        }
+
+        let mut template = DecodeSession::with_arena(&reference, KvCacheMode::F32, &arena);
+        template.prefill(&prompt);
+        let mut engine = BatchEngine::forked(&template, seeds.len());
+        let shared = engine.resume_greedy(&seeds, 4);
+        assert_eq!(shared, serial, "prefix sharing changed a transcript");
     }
 
     #[test]

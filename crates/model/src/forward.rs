@@ -98,13 +98,15 @@ impl ReferenceModel {
     /// Panics if `tokens` is empty, longer than `max_seq`, or contains an
     /// out-of-vocabulary id.
     pub fn forward(&self, tokens: &[usize]) -> Matrix {
-        let hidden = forward_internal(&self.w, tokens, &Exec::Reference, None, None);
+        let hidden = forward_internal(&self.w, tokens, &Exec::Reference, None, None)
+            .expect("forward without a kv cache cannot exhaust the arena");
         lm_head(&self.w, &self.emb_t, &hidden)
     }
 
     /// Final hidden states (after the last norm), `n × d_model`.
     pub fn forward_hidden(&self, tokens: &[usize]) -> Matrix {
         forward_internal(&self.w, tokens, &Exec::Reference, None, None)
+            .expect("forward without a kv cache cannot exhaust the arena")
     }
 
     /// Captures the activations entering every matmul site.
@@ -117,7 +119,8 @@ impl ReferenceModel {
         // traversal.
         let maps = pool::par_map(batches.len(), |i| {
             let mut cap = CaptureMap::new();
-            forward_internal(&self.w, &batches[i], &Exec::Reference, Some(&mut cap), None);
+            forward_internal(&self.w, &batches[i], &Exec::Reference, Some(&mut cap), None)
+                .expect("forward without a kv cache cannot exhaust the arena");
             cap
         });
         let mut merged = CaptureMap::new();
@@ -138,7 +141,8 @@ impl ReferenceModel {
     pub fn qkv_input_activation(&self, tokens: &[usize], layer: usize) -> Matrix {
         assert!(layer < self.w.shape.layers, "layer out of range");
         let mut cap = CaptureMap::new();
-        forward_internal(&self.w, tokens, &Exec::Reference, Some(&mut cap), None);
+        forward_internal(&self.w, tokens, &Exec::Reference, Some(&mut cap), None)
+            .expect("forward without a kv cache cannot exhaust the arena");
         cap.remove(&(layer, Site::Q)).expect("captured").remove(0)
     }
 }
@@ -334,13 +338,15 @@ impl QuantizedModel {
     ///
     /// Panics on the same conditions as [`ReferenceModel::forward`].
     pub fn forward(&self, tokens: &[usize]) -> Matrix {
-        let hidden = forward_internal(&self.w, tokens, &self.exec(), None, None);
+        let hidden = forward_internal(&self.w, tokens, &self.exec(), None, None)
+            .expect("forward without a kv cache cannot exhaust the arena");
         lm_head(&self.w, &self.emb_t, &hidden)
     }
 
     /// Final hidden states (after the last norm), `n × d_model`.
     pub fn forward_hidden(&self, tokens: &[usize]) -> Matrix {
         forward_internal(&self.w, tokens, &self.exec(), None, None)
+            .expect("forward without a kv cache cannot exhaust the arena")
     }
 }
 

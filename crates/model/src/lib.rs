@@ -49,9 +49,11 @@ pub mod weights;
 pub mod zeroshot;
 
 pub use engine::{
-    greedy_token, BatchEngine, BatchError, DecodeSession, KvCache, KvCacheMode, ModelRef, StepError,
+    demote_payload, greedy_token, BatchEngine, BatchError, DecodeSession, KvCache, KvCacheMode,
+    KvTierStats, ModelRef, StepError,
 };
 pub use forward::{DegradedSite, QuantizedModel, ReferenceModel, Site};
 pub use shape::{Activation, ModelKind, ModelShape, NormKind};
 pub use synthetic::SyntheticLlm;
+pub use tender_tensor::{ArenaConfig, ArenaStats, EvictError, KvArena, PageTier};
 pub use weights::{LayerWeights, ShapeError, TransformerWeights};

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use tender_metrics::model as metrics;
 use tender_quant::scheme::{QuantMatmul, Scheme};
-use tender_tensor::{ops, Matrix};
+use tender_tensor::{ops, EvictError, Matrix};
 
 use crate::engine::KvCache;
 use crate::forward::Site;
@@ -176,6 +176,11 @@ pub(crate) fn lm_head(w: &TransformerWeights, emb_t: &Matrix, hidden: &Matrix) -
 /// When `kv` is given, the freshly projected K/V rows are appended to the
 /// cache (the prefill path); the returned hidden states are unchanged by
 /// caching.
+///
+/// # Errors
+///
+/// [`EvictError`] when the cache's arena is at its byte cap with nothing
+/// left to demote. Passes without a cache cannot fail.
 pub(crate) fn layer_full(
     w: &TransformerWeights,
     li: usize,
@@ -184,7 +189,7 @@ pub(crate) fn layer_full(
     exec: &Exec<'_>,
     mut capture: Option<&mut CaptureMap>,
     kv: Option<&mut KvCache>,
-) -> Matrix {
+) -> Result<Matrix, EvictError> {
     let shape = &w.shape;
     let n = h.rows();
     let dh = shape.head_dim();
@@ -203,7 +208,7 @@ pub(crate) fn layer_full(
     let k = exec.mm(li, Site::K, &a, &layer.wk);
     let v = exec.mm(li, Site::V, &a, &layer.wv);
     if let Some(cache) = kv {
-        cache.append(li, &k, &v);
+        cache.append(li, &k, &v)?;
     }
 
     let mut ao = Matrix::zeros(n, shape.d_model);
@@ -256,7 +261,7 @@ pub(crate) fn layer_full(
             .push(capture_clone(li, &f));
     }
     let ffn_out = exec.mm(li, Site::Fc2, &f, &layer.w_fc2);
-    h.add(&ffn_out).expect("residual shapes")
+    Ok(h.add(&ffn_out).expect("residual shapes"))
 }
 
 /// Decode-path runtime guard: routes a live single-row activation through
@@ -292,6 +297,11 @@ fn guard_decode_activation(li: usize, a: Matrix) -> Matrix {
 /// operand shapes of each matmul performed; `int_macs` accrues the subset
 /// executed in the integer domain on packed KV codes.
 ///
+/// # Errors
+///
+/// [`EvictError`] when the cache's arena is at its byte cap with nothing
+/// left to demote for the appended position.
+///
 /// **Attention read paths.** Quantized cache planes dot the query and
 /// probability rows against the packed codes directly
 /// ([`KvCache::attn_scores_quant`] / [`KvCache::attn_values_quant`]) — no
@@ -312,7 +322,7 @@ pub(crate) fn layer_decode(
     pos: usize,
     macs: &mut u64,
     int_macs: &mut u64,
-) -> Matrix {
+) -> Result<Matrix, EvictError> {
     let shape = &w.shape;
     let dh = shape.head_dim();
     let scale = 1.0 / (dh as f32).sqrt();
@@ -330,7 +340,7 @@ pub(crate) fn layer_decode(
     mac(1, a.cols(), q.cols());
     mac(1, a.cols(), k.cols());
     mac(1, a.cols(), v.cols());
-    cache.append(li, &k, &v);
+    cache.append(li, &k, &v)?;
     let len = pos + 1; // cache rows for this layer after the append
 
     let mut ao = Matrix::zeros(1, shape.d_model);
@@ -343,10 +353,8 @@ pub(crate) fn layer_decode(
                 *int_macs += (dh * len) as u64;
                 s
             }
-            None if exec.act_act_is_exact() => {
-                ops::row_dot_nt(&qh, cache.head_k(li, head).as_ref())
-            }
-            None => exec.act_act(&qh, &cache.head_k(li, head).as_ref().transpose()),
+            None if exec.act_act_is_exact() => ops::row_dot_nt(&qh, &cache.head_k(li, head)),
+            None => exec.act_act(&qh, &cache.head_k(li, head).transpose()),
         };
         mac(1, dh, len);
         // Every cached position is ≤ pos: nothing to mask. The softmax and
@@ -358,7 +366,7 @@ pub(crate) fn layer_decode(
                 *int_macs += (dh * len) as u64;
                 a
             }
-            None => exec.act_act(&probs, cache.head_v(li, head).as_ref()),
+            None => exec.act_act(&probs, &cache.head_v(li, head)),
         };
         mac(1, len, dh);
         for c in 0..dh {
@@ -396,18 +404,23 @@ pub(crate) fn layer_decode(
     };
     let ffn_out = exec.mm_at(li, Site::Fc2, &f, &layer.w_fc2, pos);
     mac(1, f.cols(), ffn_out.cols());
-    h.add(&ffn_out).expect("residual shapes")
+    Ok(h.add(&ffn_out).expect("residual shapes"))
 }
 
 /// The shared full-sequence forward pass. Returns the final (normed)
 /// hidden states; fills `kv` with every layer's K/V rows when given.
+///
+/// # Errors
+///
+/// [`EvictError`] when the cache's arena reaches its eviction floor
+/// mid-prompt. Passes without a cache cannot fail.
 pub(crate) fn forward_internal(
     w: &TransformerWeights,
     tokens: &[usize],
     exec: &Exec<'_>,
     mut capture: Option<&mut CaptureMap>,
     mut kv: Option<&mut KvCache>,
-) -> Matrix {
+) -> Result<Matrix, EvictError> {
     let shape = &w.shape;
     let n = tokens.len();
     assert!(n > 0, "empty token sequence");
@@ -431,8 +444,8 @@ pub(crate) fn forward_internal(
             exec,
             capture.as_deref_mut(),
             kv.as_deref_mut(),
-        );
+        )?;
     }
 
-    apply_norm(&h, &w.final_gamma, &w.final_beta, shape.norm)
+    Ok(apply_norm(&h, &w.final_gamma, &w.final_beta, shape.norm))
 }

@@ -3,10 +3,12 @@
 //! Regression for the last-writer-wins bug: `prefill`/`step` used to
 //! `set()` the `KV_CACHE_BYTES` gauge to their own session's footprint, so
 //! with several live sessions the gauge reported whichever session
-//! happened to publish last instead of the fleet's total. Sessions now
-//! publish by delta (and un-publish on drop), so the gauge is the summed
-//! resident bytes across live sessions and the peak gauge tracks the
-//! aggregate high-water mark.
+//! happened to publish last instead of the fleet's total. With the paged
+//! arena, pages publish by delta at allocation/free time and per-plane
+//! constants at session creation/drop, so the gauge is the *physical*
+//! resident total across live sessions: pages shared copy-on-write by
+//! forked sessions are counted exactly once, and every fork/clone/drop
+//! sequence nets the gauge back to its baseline.
 //!
 //! These tests assert exact global gauge values, so they live in their own
 //! test binary (one process) and serialize on a local lock.
@@ -15,7 +17,7 @@ use std::sync::Mutex;
 
 use tender_metrics::engine as metrics;
 use tender_model::engine::{DecodeSession, KvCacheMode};
-use tender_model::{ModelShape, SyntheticLlm};
+use tender_model::{ArenaConfig, KvArena, ModelShape, SyntheticLlm};
 
 static LOCK: Mutex<()> = Mutex::new(());
 
@@ -55,21 +57,71 @@ fn kv_gauges_sum_resident_bytes_across_live_sessions() {
     assert!(b2_grown > b2);
     assert_eq!(metrics::KV_CACHE_BYTES.get(), base + b1 + b2_grown);
 
-    // A clone owns a full cache copy and joins the aggregate…
+    // A clone shares every page copy-on-write: the physical aggregate is
+    // unchanged (f32 planes carry no per-session constants), and the peak
+    // keeps its high-water mark.
     let s3 = s1.clone();
-    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + 2 * b1 + b2_grown);
-    let peak_with_clone = metrics::KV_CACHE_PEAK_BYTES.get();
-    assert!(peak_with_clone >= base + 2 * b1 + b2_grown);
-
-    // …and leaves it on drop, while the peak keeps the high-water mark.
-    drop(s3);
     assert_eq!(metrics::KV_CACHE_BYTES.get(), base + b1 + b2_grown);
-    assert_eq!(metrics::KV_CACHE_PEAK_BYTES.get(), peak_with_clone);
+    let peak = metrics::KV_CACHE_PEAK_BYTES.get();
+    assert!(peak >= base + b1 + b2_grown);
 
+    // Dropping one owner of shared pages frees nothing — the pages are
+    // still resident in the surviving clone…
     drop(s1);
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + b1 + b2_grown);
+    assert_eq!(metrics::KV_CACHE_PEAK_BYTES.get(), peak);
+
+    // …and the last owner's drop returns the aggregate to baseline.
+    drop(s3);
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + b2_grown);
     drop(s2);
     assert_eq!(metrics::KV_CACHE_BYTES.get(), base);
     assert_eq!(metrics::KV_CACHE_ALLOCATED_BYTES.get(), base_alloc);
+}
+
+#[test]
+fn prefix_shared_forks_count_shared_pages_once() {
+    let _lock = LOCK.lock().unwrap();
+    let shape = ModelShape::tiny_test();
+    let model = SyntheticLlm::generate(&shape, 17);
+    let reference = model.reference();
+
+    let base = metrics::KV_CACHE_BYTES.get();
+    let arena = KvArena::new(ArenaConfig {
+        page_rows: 4,
+        ..ArenaConfig::default()
+    });
+    let mut tpl = DecodeSession::with_arena(&reference, KvCacheMode::F32, &arena);
+    tpl.prefill(&tokens(6, shape.vocab, 5));
+    let shared = arena.resident_bytes();
+    assert!(shared > 0);
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + shared);
+
+    // Forks add nothing until they diverge…
+    let mut a = tpl.fork();
+    let mut b = tpl.fork();
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + shared);
+
+    // …and after divergence the gauge tracks the arena's *physical*
+    // resident bytes, not the sum of per-session views (which each count
+    // the shared prefix pages in full).
+    a.step(1 % shape.vocab).expect("in-window step");
+    b.step(2 % shape.vocab).expect("in-window step");
+    let physical = arena.resident_bytes();
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base + physical);
+    let per_session_sum = tpl.cache().bytes() + a.cache().bytes() + b.cache().bytes();
+    assert!(
+        physical < per_session_sum,
+        "shared pages must be counted once ({physical} vs summed views {per_session_sum})"
+    );
+
+    // Fork/clone/drop deltas sum to zero: dropping every owner returns
+    // the gauge exactly to its baseline.
+    drop(tpl);
+    drop(a);
+    drop(b);
+    assert_eq!(arena.resident_bytes(), 0);
+    assert_eq!(metrics::KV_CACHE_BYTES.get(), base);
 }
 
 #[test]

@@ -7,11 +7,24 @@
 //! they finish; the batch never drains to make room.
 //!
 //! **Admission control.** Two bounds, both enforced *before* a request
-//! allocates anything: a queue-depth cap and a per-mode KV-byte budget
-//! (the worst-case cache footprint of prompt + decode target, computed
-//! from [`KvCacheMode`]'s exact per-position byte formulas). A request
-//! that would exceed either is rejected with a typed [`AdmissionError`]
-//! instead of OOMing the process.
+//! allocates anything: a queue-depth cap and a per-mode KV-byte budget.
+//! Reservations are priced at **page granularity and grow per step**: a
+//! request is admitted against its prompt pages plus one decode page
+//! ([`kv_admit_bytes`]), and each decode step that opens a fresh page
+//! grows the reservation by one page ([`kv_page_bytes`]) — not the
+//! worst-case footprint of prompt + decode target. A request that would
+//! exceed either bound at admission is rejected with a typed
+//! [`AdmissionError`]; a request whose *growth* exceeds the budget
+//! mid-decode completes as `Done { truncated: true }` with the tokens it
+//! has. Pages demoted down the arena's quantization ladder shrink the
+//! session's measured allocation, and the freed bytes are returned to the
+//! budget at the session's next growth check.
+//!
+//! **Prefix sharing.** With `shared_prefix > 0` the scheduler prefills a
+//! seeded system prompt once into a template session on the run's shared
+//! [`KvArena`], then starts every request as a copy-on-write fork of the
+//! template: the prefix pages are physically resident once, whatever the
+//! batch size.
 //!
 //! **Deadlines.** Every admitted request carries a deadline in scheduler
 //! iterations (logical time). Expiry is checked at the top of every
@@ -49,7 +62,9 @@ use tender_metrics::engine as engine_metrics;
 use tender_metrics::serve as metrics;
 use tender_model::engine::{greedy_token, DecodeSession, KvCacheMode, ModelRef, StepError};
 use tender_model::shape::ModelShape;
+use tender_tensor::arena::DEFAULT_PAGE_ROWS;
 use tender_tensor::rng::DetRng;
+use tender_tensor::{ArenaConfig, KvArena};
 
 /// Everything the scheduler needs to generate and serve one synthetic run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +93,16 @@ pub struct ServeConfig {
     pub decode_len: (usize, usize),
     /// Maximum iterations between consecutive arrivals.
     pub max_arrival_gap: u64,
+    /// Rows per KV arena page — the admission pricing unit.
+    pub page_rows: usize,
+    /// Tokens of seeded system prompt prefilled once and shared
+    /// copy-on-write by every request's session (`0` disables sharing).
+    pub shared_prefix: usize,
+    /// Byte cap on the run's shared KV arena (`u64::MAX` = unbounded).
+    /// Distinct from `kv_budget_bytes`: the budget is the admission
+    /// bookkeeping bound, the cap is the arena's hard allocation wall
+    /// behind the demotion ladder.
+    pub kv_arena_bytes: u64,
 }
 
 impl ServeConfig {
@@ -97,6 +122,9 @@ impl ServeConfig {
             prompt_len: (4, 12),
             decode_len: (4, 16),
             max_arrival_gap: 2,
+            page_rows: DEFAULT_PAGE_ROWS,
+            shared_prefix: 0,
+            kv_arena_bytes: u64::MAX,
         }
     }
 }
@@ -247,14 +275,50 @@ impl ServeReport {
 }
 
 /// Worst-case KV-cache bytes a session holding `positions` cached
-/// positions costs in `mode` — the admission-control reservation unit.
-/// Mirrors the cache's own accounting: 2 planes (K and V) per layer per
+/// positions costs in `mode` — the *flat* (pre-paging) reservation model,
+/// kept as the baseline the page-granular admission is measured against.
+/// Mirrors the cache's row accounting: 2 planes (K and V) per layer per
 /// head, each `position_bytes` per position plus a constant per-head
 /// quantization-metadata overhead.
 pub fn kv_reserve_bytes(shape: &ModelShape, mode: KvCacheMode, positions: usize) -> u64 {
     let dh = shape.head_dim();
     let planes = 2 * (shape.layers * shape.heads) as u64;
     planes * (mode.position_bytes(dh) * positions as u64 + mode.head_overhead_bytes(dh))
+}
+
+/// Allocated bytes of **one arena page per plane** across the whole model
+/// (2 planes per layer per head), in `mode` at `page_rows` rows — the
+/// admission-control pricing unit. Quantized pages carry one `f32` scale
+/// snapshot per group.
+pub fn kv_page_bytes(shape: &ModelShape, mode: KvCacheMode, page_rows: usize) -> u64 {
+    let dh = shape.head_dim();
+    let planes = 2 * (shape.layers * shape.heads) as u64;
+    let scales = match mode {
+        KvCacheMode::F32 => 0,
+        _ => mode.num_groups() as u64 * 4,
+    };
+    planes * (page_rows as u64 * mode.position_bytes(dh) + scales)
+}
+
+/// Bytes a request reserves at admission: the pages its own prompt rows
+/// occupy past the fully-sealed shared-prefix pages, plus one decode page
+/// of headroom, plus the per-plane quantization constants its session
+/// carries. Further decode pages are reserved as the rollout grows.
+pub fn kv_admit_bytes(
+    shape: &ModelShape,
+    mode: KvCacheMode,
+    page_rows: usize,
+    shared_prefix: usize,
+    prompt_len: usize,
+) -> u64 {
+    let page_rows = page_rows.max(1);
+    // Sealed prefix pages are shared copy-on-write; the prefix tail page
+    // (if partial) is copied by the fork's first append, so it bills to
+    // the request.
+    let shared_pages = shared_prefix / page_rows;
+    let own_pages = (shared_prefix + prompt_len).div_ceil(page_rows) - shared_pages;
+    kv_reserve_bytes(shape, mode, 0)
+        + kv_page_bytes(shape, mode, page_rows) * (own_pages as u64 + 1)
 }
 
 /// Generates the run's synthetic traffic: a seeded arrival process with
@@ -265,7 +329,7 @@ pub fn kv_reserve_bytes(shape: &ModelShape, mode: KvCacheMode, positions: usize)
 /// count.
 pub fn synthetic_traffic(cfg: &ServeConfig, shape: &ModelShape) -> Vec<Request> {
     let mut rng = DetRng::new(cfg.arrival_seed);
-    let max_prompt = shape.max_seq.saturating_sub(2).max(1);
+    let max_prompt = shape.max_seq.saturating_sub(2 + cfg.shared_prefix).max(1);
     let (plo, phi) = cfg.prompt_len;
     let (dlo, dhi) = cfg.decode_len;
     let mut arrival = 0u64;
@@ -359,7 +423,8 @@ impl<'m> Scheduler<'m> {
 
         let header = format!(
             "serve: {} requests, arrival seed {}, deadline {} iters, queue cap {}, \
-             kv budget {} bytes, batch {}, prefill chunk {}, kv {}",
+             kv budget {} bytes, batch {}, prefill chunk {}, kv {}, page rows {}, \
+             shared prefix {}",
             cfg.requests,
             cfg.arrival_seed,
             cfg.deadline_steps,
@@ -368,6 +433,8 @@ impl<'m> Scheduler<'m> {
             cfg.max_batch,
             cfg.prefill_chunk,
             cfg.kv_mode.label(),
+            cfg.page_rows,
+            cfg.shared_prefix,
         );
         // Content-keyed run identity for the `sched` and serve-level
         // `pool` fault streams: distinct configs fault independently.
@@ -379,6 +446,41 @@ impl<'m> Scheduler<'m> {
             transcript.push('\n');
         };
         line(header.clone());
+
+        // One shared page arena for every session in the run: forks share
+        // prefix pages, demotion (under a capped arena) frees budget.
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: cfg.page_rows.max(1),
+            capacity_bytes: (cfg.kv_arena_bytes != u64::MAX).then_some(cfg.kv_arena_bytes),
+            watermark: 1.0,
+        });
+        let page_bytes = kv_page_bytes(shape, cfg.kv_mode, cfg.page_rows.max(1));
+        let template = if cfg.shared_prefix > 0 {
+            let take = cfg
+                .shared_prefix
+                .min(shape.max_seq.saturating_sub(2))
+                .max(1);
+            let mut rng = DetRng::new(cfg.arrival_seed ^ 0x5eed_caf3);
+            let prefix: Vec<usize> = (0..take).map(|_| rng.below(vocab)).collect();
+            let mut s = DecodeSession::with_arena(self.model, cfg.kv_mode, &arena);
+            match s.try_prefill(&prefix) {
+                Ok(_) => {
+                    line(format!(
+                        "shared prefix: {} tokens, {} pages/plane",
+                        take,
+                        s.cache().capacity() / cfg.page_rows.max(1)
+                    ));
+                    Some(s)
+                }
+                Err(e) => {
+                    line(format!("shared prefix: disabled ({e})"));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let prefix_len = template.as_ref().map_or(0, |s| s.len());
 
         let traffic = synthetic_traffic(&cfg, shape);
         metrics::SUBMITTED.add(traffic.len() as u64);
@@ -452,8 +554,16 @@ impl<'m> Scheduler<'m> {
             // immediate, never a silent drop.
             while pending.front().is_some_and(|r| r.arrival <= t) {
                 let req = pending.pop_front().expect("checked non-empty");
-                let positions = (req.prompt.len() + req.decode_target).min(shape.max_seq);
-                let need = kv_reserve_bytes(shape, cfg.kv_mode, positions);
+                // Page-granular pricing: prompt pages + one decode page,
+                // not the worst-case prompt + decode-target footprint.
+                // Later decode pages are reserved as the rollout grows.
+                let need = kv_admit_bytes(
+                    shape,
+                    cfg.kv_mode,
+                    cfg.page_rows,
+                    prefix_len,
+                    req.prompt.len(),
+                );
                 let err = if waiting.len() >= cfg.queue_cap {
                     Some(AdmissionError::QueueFull { cap: cfg.queue_cap })
                 } else if need > cfg.kv_budget_bytes - cfg.kv_budget_bytes.min(reserved) {
@@ -517,7 +627,10 @@ impl<'m> Scheduler<'m> {
                     break;
                 };
                 line(format!("[iter {t}] start r{}", adm.req.id));
-                let session = DecodeSession::with_cache_mode(self.model, cfg.kv_mode);
+                let session = match &template {
+                    Some(tpl) => tpl.fork(),
+                    None => DecodeSession::with_arena(self.model, cfg.kv_mode, &arena),
+                };
                 active.push(Active {
                     adm,
                     session,
@@ -601,6 +714,57 @@ impl<'m> Scheduler<'m> {
             // possibly-inconsistent session is dropped, never re-stepped.
             let mut idx = 0;
             while idx < active.len() {
+                let slot = &mut active[idx];
+                // Page-growth check: a decode step whose append would open
+                // a fresh page must grow the reservation first. The grant
+                // is re-synced to the session's *measured* allocation, so
+                // bytes freed by arena demotion flow back into the budget
+                // here. A growth the budget cannot cover completes the
+                // request with the tokens it has — truncation, not
+                // failure.
+                let needs_step = slot.fed >= slot.adm.req.prompt.len()
+                    && slot.pending.is_some()
+                    && slot.emitted + 1 < slot.adm.req.decode_target;
+                let opens_page = !slot.session.is_empty()
+                    && slot.session.len().is_multiple_of(cfg.page_rows.max(1))
+                    && slot.session.len() < shape.max_seq;
+                if needs_step && opens_page {
+                    let actual = slot.session.cache().allocated_bytes();
+                    if actual + page_bytes > slot.adm.reserve {
+                        let extra = actual + page_bytes - slot.adm.reserve;
+                        if reserved + extra <= cfg.kv_budget_bytes {
+                            reserved += extra;
+                            slot.adm.reserve += extra;
+                            kv_reserved_peak = kv_reserved_peak.max(reserved);
+                            metrics::KV_RESERVED_PEAK_BYTES.observe(reserved);
+                        } else {
+                            let slot = active.remove(idx);
+                            completed += 1;
+                            truncated += 1;
+                            metrics::COMPLETED.incr();
+                            line(format!(
+                                "[iter {t}] r{} done: {} tokens in {} iters \
+                                 (truncated at kv budget)",
+                                slot.adm.req.id,
+                                slot.emitted,
+                                t - slot.adm.admitted_at
+                            ));
+                            finish(
+                                slot.adm,
+                                TerminalStatus::Done {
+                                    tokens: slot.emitted,
+                                    truncated: true,
+                                },
+                                t,
+                                &mut reserved,
+                                &mut outcomes,
+                                &mut latencies_iters,
+                                &mut latencies_ns,
+                            );
+                            continue;
+                        }
+                    }
+                }
                 let slot = &mut active[idx];
                 let injected = plan
                     .as_ref()
@@ -732,9 +896,11 @@ impl<'m> Scheduler<'m> {
 fn advance(slot: &mut Active<'_>, chunk: usize, vocab: usize) -> Progress {
     let prompt_len = slot.adm.req.prompt.len();
     if slot.fed < prompt_len {
-        // Chunked prefill: up to `chunk` prompt tokens this iteration.
+        // Chunked prefill: up to `chunk` prompt tokens this iteration. A
+        // session forked from a shared-prefix template is already
+        // prefilled, so its own prompt extends it token by token.
         let take = chunk.min(prompt_len - slot.fed);
-        let logits = if slot.fed == 0 {
+        let logits = if slot.session.is_empty() {
             slot.session.prefill(&slot.adm.req.prompt[..take])
         } else {
             let mut logits = None;
@@ -892,6 +1058,63 @@ mod tests {
             o.status,
             TerminalStatus::Rejected(AdmissionError::KvBudgetExceeded { budget: 1, .. })
         )));
+    }
+
+    #[test]
+    fn page_granular_admission_prices_pages_and_truncates_growth_at_budget() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let model = tiny();
+        let shape = ModelShape::tiny_test();
+        let mut cfg = ServeConfig::new(1, 9);
+        cfg.prompt_len = (4, 4);
+        cfg.decode_len = (10, 10);
+        cfg.page_rows = 4;
+        cfg.deadline_steps = 500;
+        let req = synthetic_traffic(&cfg, &shape).remove(0);
+
+        // One 4-row prompt page + one decode page, vs the flat worst case
+        // of prompt + full decode target.
+        let admit = kv_admit_bytes(&shape, KvCacheMode::F32, 4, 0, req.prompt.len());
+        let worst = kv_reserve_bytes(
+            &shape,
+            KvCacheMode::F32,
+            req.prompt.len() + req.decode_target,
+        );
+        assert!(
+            admit < worst,
+            "page pricing {admit} must undercut worst-case {worst}"
+        );
+
+        // A budget of exactly the page-granular price admits the request
+        // the worst-case pricing would have rejected…
+        cfg.kv_budget_bytes = admit;
+        let report = Scheduler::new(&model, cfg).run();
+        assert_eq!(report.admitted, 1);
+        assert_eq!(report.rejected_kv, 0);
+        // …and the rollout completes as a truncation when its page growth
+        // outruns the budget — never a failure, never unresolved.
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.truncated, 1);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.unresolved, 0);
+        assert!(report.transcript.contains("truncated at kv budget"));
+    }
+
+    #[test]
+    fn shared_prefix_runs_are_deterministic_and_terminal() {
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let model = tiny();
+        let mut cfg = ServeConfig::new(8, 42);
+        cfg.shared_prefix = 8;
+        cfg.page_rows = 4;
+        cfg.deadline_steps = 500;
+        let a = Scheduler::new(&model, cfg.clone()).run();
+        let b = Scheduler::new(&model, cfg).run();
+        assert_eq!(a, b, "shared-prefix forking broke determinism");
+        assert_eq!(a.unresolved, 0);
+        assert!(a.transcript.contains("shared prefix: 8 tokens"));
+        assert!(a.admitted > 0);
+        assert_eq!(a.completed + a.expired + a.failed, a.admitted);
     }
 
     #[test]

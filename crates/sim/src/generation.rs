@@ -178,15 +178,70 @@ pub fn kv_cache_bytes(shape: &ModelShape, cache_len: usize, bits: u32) -> u64 {
 }
 
 /// KV-cache footprint of the engine's storage modes, including per-head
-/// quantization constants (`TMax` + f16 bias per quantized plane). This is
-/// the exact byte count `tender_model::KvCache::bytes` reports at
-/// `cache_len` positions — the engine/simulator crosscheck relies on the
-/// two staying equal. The plain [`kv_cache_bytes`] remains the
-/// constant-free capacity model used by the batching analyses.
+/// quantization constants (`TMax` + f16 bias per quantized plane) but not
+/// the paged layout's per-page scale snapshots — the *flat* storage model.
+/// The engine's paged cache reports [`kv_paged_mode_bytes`], which adds
+/// those snapshots; the two coincide for `f32` planes (whose pages carry
+/// no snapshots). The plain [`kv_cache_bytes`] remains the constant-free
+/// capacity model used by the batching analyses.
 pub fn kv_cache_mode_bytes(shape: &ModelShape, cache_len: usize, mode: KvCacheMode) -> u64 {
     let dh = shape.head_dim();
     let planes = 2 * (shape.layers as u64) * (shape.heads as u64);
     planes * (cache_len as u64 * mode.position_bytes(dh) + mode.head_overhead_bytes(dh))
+}
+
+/// Per-page scale-snapshot bytes a quantized page carries (one `f32` per
+/// group); `f32` pages carry none.
+fn page_scale_bytes(mode: KvCacheMode) -> u64 {
+    match mode {
+        KvCacheMode::F32 => 0,
+        _ => mode.num_groups() as u64 * 4,
+    }
+}
+
+/// *Resident* bytes of the engine's paged KV cache at `cache_len`
+/// positions on `page_rows`-row pages: row payloads plus one frozen scale
+/// snapshot per quantized page plus the per-plane quantization constants.
+/// This is the exact byte count `tender_model::KvCache::bytes` reports
+/// for a cache that has not demoted any page — the engine/simulator
+/// crosscheck relies on the two staying equal. Demoted pages carry
+/// page-local constants the flat formula cannot see, so caches under
+/// memory pressure are compared against live [`ArenaStats`] instead.
+///
+/// [`ArenaStats`]: tender_model::ArenaStats
+pub fn kv_paged_mode_bytes(
+    shape: &ModelShape,
+    cache_len: usize,
+    mode: KvCacheMode,
+    page_rows: usize,
+) -> u64 {
+    let dh = shape.head_dim();
+    let planes = 2 * (shape.layers as u64) * (shape.heads as u64);
+    let pages = cache_len.div_ceil(page_rows.max(1)) as u64;
+    planes
+        * (cache_len as u64 * mode.position_bytes(dh)
+            + pages * page_scale_bytes(mode)
+            + mode.head_overhead_bytes(dh))
+}
+
+/// *Allocated* bytes of the engine's paged KV cache at `cache_len`
+/// positions: whole pages (each sized for `page_rows` rows plus its scale
+/// snapshot) plus the per-plane constants. Exceeds
+/// [`kv_paged_mode_bytes`] by the unfilled tail-page rows; the two meet
+/// exactly when `cache_len` is a multiple of `page_rows`. Matches
+/// `tender_model::KvCache::allocated_bytes` for an undemoted cache.
+pub fn kv_paged_allocated_bytes(
+    shape: &ModelShape,
+    cache_len: usize,
+    mode: KvCacheMode,
+    page_rows: usize,
+) -> u64 {
+    let dh = shape.head_dim();
+    let planes = 2 * (shape.layers as u64) * (shape.heads as u64);
+    let pages = cache_len.div_ceil(page_rows.max(1)) as u64;
+    planes
+        * (pages * (page_rows as u64 * mode.position_bytes(dh) + page_scale_bytes(mode))
+            + mode.head_overhead_bytes(dh))
 }
 
 /// Largest decode batch whose KV cache fits an HBM budget of

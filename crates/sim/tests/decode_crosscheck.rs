@@ -6,14 +6,16 @@
 //! from the model shape and cache length. Agreement at several cache
 //! lengths proves the simulated decode workload models the code that runs.
 //! The same discipline applies to memory: `KvCache::bytes` (resident) and
-//! `KvCache::allocated_bytes` (preallocated) must match the simulator's
-//! `kv_cache_mode_bytes` at the cache length and capacity respectively,
-//! for every storage mode.
+//! `KvCache::allocated_bytes` (whole pages) must match the simulator's
+//! paged formulas `kv_paged_mode_bytes` / `kv_paged_allocated_bytes` at
+//! the cache length, for every storage mode — like with like: resident
+//! against rows, allocated against pages.
 
 use tender_model::engine::{DecodeSession, KvCacheMode, KvReadPath};
 use tender_model::{ModelShape, SyntheticLlm};
 use tender_sim::generation::{
     decode_step_flops, decode_step_macs, kv_cache_bytes, kv_cache_mode_bytes, kv_int_dot_macs,
+    kv_paged_allocated_bytes, kv_paged_mode_bytes,
 };
 
 #[test]
@@ -117,25 +119,38 @@ fn measured_kv_bytes_match_simulated_accounting_in_every_mode() {
     for mode in KvCacheMode::ALL {
         let mut session = DecodeSession::with_cache_mode(&reference, mode);
         session.prefill(&prompt);
+        let page_rows = session.cache().page_rows();
         for s in 0..4 {
             session.step((s * 5 + 1) % shape.vocab).expect("in-window");
             let cache = session.cache();
             // Resident bytes track the cache length (like with like)…
             assert_eq!(
                 cache.bytes(),
-                kv_cache_mode_bytes(&shape, cache.len(), mode),
+                kv_paged_mode_bytes(&shape, cache.len(), mode, page_rows),
                 "resident bytes diverge from sim at len {} in {} mode",
                 cache.len(),
                 mode.label()
             );
-            // …while allocated bytes track the preallocated capacity.
+            // …while allocated bytes track whole pages.
             assert_eq!(
                 cache.allocated_bytes(),
-                kv_cache_mode_bytes(&shape, cache.capacity(), mode),
+                kv_paged_allocated_bytes(&shape, cache.len(), mode, page_rows),
                 "allocated bytes diverge from sim in {} mode",
                 mode.label()
             );
+            // The paged resident count exceeds the flat storage model by
+            // exactly the per-page scale snapshots (zero for f32).
+            assert!(cache.bytes() >= kv_cache_mode_bytes(&shape, cache.len(), mode));
         }
+    }
+
+    // f32 pages carry no snapshots: the paged and flat resident models
+    // coincide at every length.
+    for len in [1usize, 5, 16, 17] {
+        assert_eq!(
+            kv_paged_mode_bytes(&shape, len, KvCacheMode::F32, 16),
+            kv_cache_mode_bytes(&shape, len, KvCacheMode::F32)
+        );
     }
 
     // In f32 mode the constant-free capacity model agrees exactly with the

@@ -1,0 +1,769 @@
+//! Paged KV-cache storage: a shared arena of fixed-size row pages with
+//! refcounted copy-on-write sharing and tiered f32 → int8 → int4 demotion
+//! accounting.
+//!
+//! [`KvArena`] hands out [`PageId`]s for pages of `page_rows` cached
+//! positions each; a page's payload is either an exact f32 row block or a
+//! packed quantized block ([`QuantRows`] plus the page-local scale
+//! snapshot). Pages are *storage only* — the quantize/dequantize recipes,
+//! the per-plane bias/TMax state, and the demotion policy live with the
+//! caller (the decode engine's `KvCache`). What the arena owns is what must
+//! be global to be meaningful:
+//!
+//! * **Refcounts.** Forked sessions retain the pages of their shared
+//!   prefix; a page is freed when its last owner releases it. Mutation is
+//!   only legal on exclusively-owned pages — callers copy-on-write first
+//!   ([`KvArena::cow_clone`]).
+//! * **Exact accounting.** Per-tier resident/allocated byte and page
+//!   totals, demotion/CoW/eviction counters, kept under one lock so the
+//!   aggregate gauges (`metrics::engine::KV_CACHE_BYTES` and the
+//!   `metrics::kv_arena` bank) count every shared page exactly once.
+//! * **Capacity.** An optional hard byte cap: an allocation that would
+//!   exceed it fails with a typed [`EvictError`] (the caller demotes cold
+//!   pages and retries before giving up), and a configurable high-watermark
+//!   fraction below the cap at which callers start demoting proactively.
+//!
+//! Every arena operation is a short critical section on one mutex; numeric
+//! work (quantization, attention) happens outside the lock on payload
+//! snapshots (`Arc<PagePayload>`), so reads never block appends for long.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use tender_metrics::engine as engine_metrics;
+use tender_metrics::kv_arena as metrics;
+
+use crate::{Matrix, QuantRows};
+
+/// Default page height: cached positions per page.
+pub const DEFAULT_PAGE_ROWS: usize = 16;
+
+/// Storage precision tier of one page — the demotion ladder, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PageTier {
+    /// Exact f32 rows (the bit-parity tier).
+    F32,
+    /// INT8 codes, one group.
+    Int8,
+    /// INT4 codes with packed 2-bit group indices — the demotion floor.
+    Int4,
+}
+
+impl PageTier {
+    /// All tiers in ladder order.
+    pub const ALL: [PageTier; 3] = [PageTier::F32, PageTier::Int8, PageTier::Int4];
+
+    /// Index into per-tier accounting arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Self::F32 => 0,
+            Self::Int8 => 1,
+            Self::Int4 => 2,
+        }
+    }
+
+    /// Canonical lower-case name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::F32 => "f32",
+            Self::Int8 => "int8",
+            Self::Int4 => "int4",
+        }
+    }
+
+    /// The next-lower tier, or `None` at the int4 floor.
+    pub fn demoted(self) -> Option<PageTier> {
+        match self {
+            Self::F32 => Some(Self::Int8),
+            Self::Int8 => Some(Self::Int4),
+            Self::Int4 => None,
+        }
+    }
+}
+
+/// A quantized page payload: packed codes plus the page's frozen scale
+/// snapshot. Sealed pages keep the scales they were written under forever
+/// (later plane-level requantizations touch only the live tail page), so a
+/// page is always self-consistent: `value = code × scales[group] + bias`.
+#[derive(Debug, Clone)]
+pub struct QuantPage {
+    /// Packed codes, one row per cached position.
+    pub rows: QuantRows,
+    /// Power-of-two group scales frozen at the page's last write.
+    pub scales: Vec<f32>,
+    /// Per-channel bias. Plane-owned (shared `Arc`) for pages quantized at
+    /// append time; page-local for demoted pages, which re-derive it from
+    /// their own rows.
+    pub bias: Arc<Vec<f32>>,
+    /// The `TMax` the scales were derived from.
+    pub tmax: f32,
+    /// Whether `bias`/`tmax` are page-local (a demoted page) and therefore
+    /// counted against this page rather than the plane.
+    pub page_local: bool,
+}
+
+/// One page's stored rows: exact f32 or packed quantized codes.
+#[derive(Debug, Clone)]
+pub enum PagePayload {
+    /// Exact f32 rows.
+    F32(Matrix),
+    /// Packed quantized rows with the page-local scale snapshot.
+    Quant(QuantPage),
+}
+
+impl PagePayload {
+    /// The payload's storage tier.
+    pub fn tier(&self) -> PageTier {
+        match self {
+            Self::F32(_) => PageTier::F32,
+            Self::Quant(q) => {
+                if q.rows.bits() == 8 {
+                    PageTier::Int8
+                } else {
+                    PageTier::Int4
+                }
+            }
+        }
+    }
+
+    /// Cached positions stored in the page.
+    pub fn rows(&self) -> usize {
+        match self {
+            Self::F32(m) => m.rows(),
+            Self::Quant(q) => q.rows.rows(),
+        }
+    }
+
+    /// Row width in elements.
+    pub fn cols(&self) -> usize {
+        match self {
+            Self::F32(m) => m.cols(),
+            Self::Quant(q) => q.rows.cols(),
+        }
+    }
+
+    /// Bytes the stored rows occupy, including the page's own quantization
+    /// metadata (scale snapshot; bias + `TMax` too when page-local).
+    pub fn resident_bytes(&self) -> u64 {
+        match self {
+            Self::F32(m) => (m.rows() * m.cols() * 4) as u64,
+            Self::Quant(q) => q.rows.resident_bytes() + Self::quant_meta_bytes(q),
+        }
+    }
+
+    /// Bytes a full page of `page_rows` positions occupies at this tier
+    /// (the arena's allocation-granularity unit).
+    pub fn allocated_bytes(&self, page_rows: usize) -> u64 {
+        match self {
+            Self::F32(m) => (page_rows * m.cols() * 4) as u64,
+            Self::Quant(q) => {
+                (page_rows * q.rows.bytes_per_row()) as u64 + Self::quant_meta_bytes(q)
+            }
+        }
+    }
+
+    /// Scale snapshot (4 bytes per group) plus, for demoted pages, the
+    /// page-local `TMax` (4) and f16 bias (2 per channel) — the same
+    /// metadata rates `KvCacheMode::head_overhead_bytes` charges per plane.
+    fn quant_meta_bytes(q: &QuantPage) -> u64 {
+        let mut b = (q.scales.len() * 4) as u64;
+        if q.page_local {
+            b += 4 + 2 * q.rows.cols() as u64;
+        }
+        b
+    }
+}
+
+/// Arena sizing and demotion thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArenaConfig {
+    /// Cached positions per page.
+    pub page_rows: usize,
+    /// Hard cap on total allocated bytes (`None` = unbounded).
+    pub capacity_bytes: Option<u64>,
+    /// High-watermark fraction of the capacity at which callers start
+    /// demoting cold pages (1.0 = only demote when allocation fails).
+    pub watermark: f64,
+}
+
+impl Default for ArenaConfig {
+    fn default() -> Self {
+        Self {
+            page_rows: DEFAULT_PAGE_ROWS,
+            capacity_bytes: None,
+            watermark: 1.0,
+        }
+    }
+}
+
+/// Allocation refused: the arena is at its byte cap and the caller's
+/// demotion ladder has reached its floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictError {
+    /// Bytes the refused allocation needed.
+    pub needed: u64,
+    /// Bytes currently allocated across all tiers.
+    pub allocated: u64,
+    /// The configured hard cap.
+    pub capacity: u64,
+}
+
+impl fmt::Display for EvictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kv arena exhausted (need {}, allocated {}, capacity {})",
+            self.needed, self.allocated, self.capacity
+        )
+    }
+}
+
+impl Error for EvictError {}
+
+/// A handle to one page in a [`KvArena`]. Plain data — dropping an id does
+/// not release the page; owners call [`KvArena::release`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId(u32);
+
+/// Point-in-time arena accounting, per tier plus event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Live pages per tier (`PageTier::index` order).
+    pub pages: [u64; 3],
+    /// Resident bytes per tier.
+    pub resident: [u64; 3],
+    /// Allocated bytes per tier.
+    pub allocated: [u64; 3],
+    /// Pages demoted into int8.
+    pub demoted_int8: u64,
+    /// Pages demoted into int4.
+    pub demoted_int4: u64,
+    /// Copy-on-write page copies (divergent appends onto shared pages).
+    pub cow_copies: u64,
+    /// Allocations refused at the hard cap.
+    pub evict_failures: u64,
+}
+
+impl ArenaStats {
+    /// Total resident bytes across tiers.
+    pub fn resident_total(&self) -> u64 {
+        self.resident.iter().sum()
+    }
+
+    /// Total allocated bytes across tiers.
+    pub fn allocated_total(&self) -> u64 {
+        self.allocated.iter().sum()
+    }
+
+    /// Total live pages across tiers.
+    pub fn pages_total(&self) -> u64 {
+        self.pages.iter().sum()
+    }
+}
+
+struct PageSlot {
+    payload: Arc<PagePayload>,
+    refs: u32,
+}
+
+struct Inner {
+    cfg: ArenaConfig,
+    slots: Vec<Option<PageSlot>>,
+    free: Vec<u32>,
+    stats: ArenaStats,
+}
+
+impl Inner {
+    fn slot(&self, id: PageId) -> &PageSlot {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .expect("live page id")
+    }
+
+    /// Adds (`+1`) or removes (`-1`) one page's footprint from the per-tier
+    /// totals and the global gauges.
+    fn account(&mut self, payload: &PagePayload, sign: i64) {
+        let t = payload.tier().index();
+        let res = payload.resident_bytes();
+        let alloc = payload.allocated_bytes(self.cfg.page_rows);
+        let (pages_g, res_g, alloc_g) = tier_gauges(payload.tier());
+        if sign > 0 {
+            self.stats.pages[t] += 1;
+            self.stats.resident[t] += res;
+            self.stats.allocated[t] += alloc;
+            pages_g.add(1);
+            res_g.add(res);
+            alloc_g.add(alloc);
+            engine_metrics::KV_CACHE_BYTES.add(res);
+            engine_metrics::KV_CACHE_ALLOCATED_BYTES.add(alloc);
+            engine_metrics::KV_CACHE_PEAK_BYTES.observe(engine_metrics::KV_CACHE_BYTES.get());
+        } else {
+            self.stats.pages[t] -= 1;
+            self.stats.resident[t] -= res;
+            self.stats.allocated[t] -= alloc;
+            pages_g.sub(1);
+            res_g.sub(res);
+            alloc_g.sub(alloc);
+            engine_metrics::KV_CACHE_BYTES.sub(res);
+            engine_metrics::KV_CACHE_ALLOCATED_BYTES.sub(alloc);
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Leaked pages (a cache abandoned without release) must not leave
+        // the global gauges permanently inflated.
+        let ids: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&i| self.slots[i as usize].is_some())
+            .collect();
+        for i in ids {
+            let slot = self.slots[i as usize].take().expect("checked live");
+            self.account(&slot.payload, -1);
+            metrics::PAGE_FREES.incr();
+        }
+        metrics::ARENAS.sub(1);
+    }
+}
+
+fn tier_gauges(
+    tier: PageTier,
+) -> (
+    &'static tender_metrics::Gauge,
+    &'static tender_metrics::Gauge,
+    &'static tender_metrics::Gauge,
+) {
+    match tier {
+        PageTier::F32 => (
+            &metrics::PAGES_F32,
+            &metrics::RESIDENT_F32,
+            &metrics::ALLOCATED_F32,
+        ),
+        PageTier::Int8 => (
+            &metrics::PAGES_INT8,
+            &metrics::RESIDENT_INT8,
+            &metrics::ALLOCATED_INT8,
+        ),
+        PageTier::Int4 => (
+            &metrics::PAGES_INT4,
+            &metrics::RESIDENT_INT4,
+            &metrics::ALLOCATED_INT4,
+        ),
+    }
+}
+
+/// A cloneable handle to one shared page arena. See the module docs for
+/// the ownership and accounting contract.
+#[derive(Clone)]
+pub struct KvArena {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for KvArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("KvArena")
+            .field("config", &self.config())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl Default for KvArena {
+    fn default() -> Self {
+        Self::new(ArenaConfig::default())
+    }
+}
+
+impl KvArena {
+    /// An empty arena with the given page size and capacity policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_rows == 0` or the watermark is outside `(0, 1]`.
+    pub fn new(cfg: ArenaConfig) -> Self {
+        assert!(cfg.page_rows > 0, "pages must hold at least one row");
+        assert!(
+            cfg.watermark > 0.0 && cfg.watermark <= 1.0,
+            "watermark {} outside (0, 1]",
+            cfg.watermark
+        );
+        metrics::ARENAS.add(1);
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                cfg,
+                slots: Vec::new(),
+                free: Vec::new(),
+                stats: ArenaStats::default(),
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The arena's configuration.
+    pub fn config(&self) -> ArenaConfig {
+        self.lock().cfg
+    }
+
+    /// Cached positions per page.
+    pub fn page_rows(&self) -> usize {
+        self.lock().cfg.page_rows
+    }
+
+    /// Whether two handles refer to the same arena.
+    pub fn same_arena(&self, other: &KvArena) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Allocates a page holding `payload` with refcount 1.
+    ///
+    /// # Errors
+    ///
+    /// [`EvictError`] when the arena has a hard byte cap and the page's
+    /// allocated footprint would exceed it. The caller is expected to
+    /// demote cold pages and retry before surfacing the error.
+    pub fn alloc(&self, payload: PagePayload) -> Result<PageId, EvictError> {
+        let mut inner = self.lock();
+        let add = payload.allocated_bytes(inner.cfg.page_rows);
+        if let Some(cap) = inner.cfg.capacity_bytes {
+            let total = inner.stats.allocated_total();
+            if total + add > cap {
+                inner.stats.evict_failures += 1;
+                metrics::EVICT_FAILURES.incr();
+                return Err(EvictError {
+                    needed: add,
+                    allocated: total,
+                    capacity: cap,
+                });
+            }
+        }
+        inner.account(&payload, 1);
+        metrics::PAGE_ALLOCS.incr();
+        let slot = PageSlot {
+            payload: Arc::new(payload),
+            refs: 1,
+        };
+        let id = match inner.free.pop() {
+            Some(i) => {
+                inner.slots[i as usize] = Some(slot);
+                i
+            }
+            None => {
+                inner.slots.push(Some(slot));
+                (inner.slots.len() - 1) as u32
+            }
+        };
+        Ok(PageId(id))
+    }
+
+    /// Adds one owner to a live page (prefix sharing).
+    pub fn retain(&self, id: PageId) {
+        let mut inner = self.lock();
+        let slot = inner
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("live page id");
+        slot.refs += 1;
+    }
+
+    /// Drops one owner; the page is freed (and unaccounted) when the last
+    /// owner releases it.
+    pub fn release(&self, id: PageId) {
+        let mut inner = self.lock();
+        let slot = inner
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("live page id");
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            let slot = inner.slots[id.0 as usize].take().expect("checked live");
+            inner.account(&slot.payload, -1);
+            inner.free.push(id.0);
+            metrics::PAGE_FREES.incr();
+        }
+    }
+
+    /// Current owner count of a live page.
+    pub fn refs(&self, id: PageId) -> u32 {
+        self.lock().slot(id).refs
+    }
+
+    /// A snapshot of the page's payload. Cheap (`Arc` clone); numeric work
+    /// on the snapshot happens outside the arena lock.
+    pub fn payload(&self, id: PageId) -> Arc<PagePayload> {
+        self.lock().slot(id).payload.clone()
+    }
+
+    /// Mutates a page's payload in place under the arena lock, keeping the
+    /// per-tier accounting exact across the edit (including tier changes —
+    /// a demotion is an in-place mutation to a lower tier).
+    ///
+    /// Callers must hold the page exclusively (refs == 1); copy-on-write
+    /// first via [`KvArena::cow_clone`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is shared.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut PagePayload) -> R) -> R {
+        let mut inner = self.lock();
+        let slot = inner
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("live page id");
+        assert_eq!(slot.refs, 1, "mutating a shared page (copy-on-write first)");
+        // Readers may still hold payload snapshots; make_mut leaves those
+        // snapshots untouched and gives us an exclusive copy to edit.
+        let mut payload = slot.payload.clone();
+        let before = (*payload).clone();
+        let r = f(Arc::make_mut(&mut payload));
+        let demoted_to = (payload.tier() != before.tier()).then(|| payload.tier());
+        inner.account(&before, -1);
+        inner.account(&payload, 1);
+        let slot = inner
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("live page id");
+        slot.payload = payload;
+        match demoted_to {
+            Some(PageTier::Int8) => {
+                inner.stats.demoted_int8 += 1;
+                metrics::DEMOTED_INT8.incr();
+            }
+            Some(PageTier::Int4) => {
+                inner.stats.demoted_int4 += 1;
+                metrics::DEMOTED_INT4.incr();
+            }
+            _ => {}
+        }
+        r
+    }
+
+    /// Copy-on-write: allocates a private copy of a shared page, releases
+    /// the caller's ownership of the original, and returns the copy's id.
+    ///
+    /// # Errors
+    ///
+    /// [`EvictError`] when the copy cannot be allocated; the caller's
+    /// ownership of the original is unchanged in that case.
+    pub fn cow_clone(&self, id: PageId) -> Result<PageId, EvictError> {
+        let payload = (*self.payload(id)).clone();
+        let new_id = self.alloc(payload)?;
+        self.release(id);
+        let mut inner = self.lock();
+        inner.stats.cow_copies += 1;
+        metrics::COW_COPIES.incr();
+        Ok(new_id)
+    }
+
+    /// Point-in-time accounting snapshot.
+    pub fn stats(&self) -> ArenaStats {
+        self.lock().stats
+    }
+
+    /// Total allocated bytes across tiers.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.lock().stats.allocated_total()
+    }
+
+    /// Total resident bytes across tiers.
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock().stats.resident_total()
+    }
+
+    /// Whether allocated bytes sit above the high-watermark fraction of
+    /// the capacity. Always `false` for an uncapped arena.
+    pub fn over_watermark(&self) -> bool {
+        let inner = self.lock();
+        match inner.cfg.capacity_bytes {
+            None => false,
+            Some(cap) => {
+                let mark = (cap as f64 * inner.cfg.watermark) as u64;
+                inner.stats.allocated_total() > mark
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f32_page(rows: usize, cols: usize, fill: f32) -> PagePayload {
+        let mut m = Matrix::with_row_capacity(cols, rows);
+        for _ in 0..rows {
+            m.push_row(&vec![fill; cols]);
+        }
+        PagePayload::F32(m)
+    }
+
+    fn quant_page(rows: usize, cols: usize, page_local: bool) -> PagePayload {
+        let mut q = QuantRows::with_row_capacity(cols, 8, false, rows);
+        for _ in 0..rows {
+            q.push_row(&vec![1i32; cols], &[]);
+        }
+        PagePayload::Quant(QuantPage {
+            rows: q,
+            scales: vec![0.5],
+            bias: Arc::new(vec![0.0; cols]),
+            tmax: 1.0,
+            page_local,
+        })
+    }
+
+    #[test]
+    fn alloc_retain_release_track_refcounts_and_bytes() {
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 4,
+            ..ArenaConfig::default()
+        });
+        let id = arena.alloc(f32_page(2, 8, 1.0)).expect("uncapped");
+        assert_eq!(arena.refs(id), 1);
+        assert_eq!(arena.resident_bytes(), 2 * 8 * 4);
+        assert_eq!(arena.allocated_bytes(), 4 * 8 * 4);
+        arena.retain(id);
+        assert_eq!(arena.refs(id), 2);
+        // Shared pages are counted once regardless of owners.
+        assert_eq!(arena.resident_bytes(), 2 * 8 * 4);
+        arena.release(id);
+        assert_eq!(arena.refs(id), 1);
+        arena.release(id);
+        assert_eq!(arena.resident_bytes(), 0);
+        assert_eq!(arena.allocated_bytes(), 0);
+        assert_eq!(arena.stats().pages_total(), 0);
+    }
+
+    #[test]
+    fn page_ids_are_reused_after_free() {
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 2,
+            ..ArenaConfig::default()
+        });
+        let a = arena.alloc(f32_page(1, 4, 1.0)).unwrap();
+        arena.release(a);
+        let b = arena.alloc(f32_page(1, 4, 2.0)).unwrap();
+        assert_eq!(a, b, "freed slot is recycled");
+        if let PagePayload::F32(m) = &*arena.payload(b) {
+            assert_eq!(m[(0, 0)], 2.0);
+        } else {
+            panic!("expected f32 payload");
+        }
+    }
+
+    #[test]
+    fn capacity_cap_yields_typed_evict_error() {
+        let cols = 8;
+        let page_bytes = (2 * cols * 4) as u64; // page_rows = 2
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 2,
+            capacity_bytes: Some(page_bytes),
+            watermark: 1.0,
+        });
+        let id = arena.alloc(f32_page(1, cols, 1.0)).expect("first fits");
+        let err = arena.alloc(f32_page(1, cols, 2.0)).expect_err("cap hit");
+        assert_eq!(err.needed, page_bytes);
+        assert_eq!(err.allocated, page_bytes);
+        assert_eq!(err.capacity, page_bytes);
+        assert!(err.to_string().contains("kv arena exhausted"));
+        assert_eq!(arena.stats().evict_failures, 1);
+        arena.release(id);
+        arena
+            .alloc(f32_page(1, cols, 3.0))
+            .expect("fits after free");
+    }
+
+    #[test]
+    fn with_page_mut_reaccounts_and_counts_demotions() {
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 4,
+            ..ArenaConfig::default()
+        });
+        let id = arena.alloc(f32_page(4, 8, 1.0)).unwrap();
+        let f32_alloc = arena.allocated_bytes();
+        // In-place demotion: swap the payload for a quantized block.
+        arena.with_page_mut(id, |p| *p = quant_page(4, 8, true));
+        let stats = arena.stats();
+        assert_eq!(stats.pages, [0, 1, 0]);
+        assert_eq!(stats.demoted_int8, 1);
+        assert!(arena.allocated_bytes() < f32_alloc, "demotion shrinks");
+        // Per-tier accounting matches the payload's own arithmetic.
+        let p = arena.payload(id);
+        assert_eq!(stats.resident[1], p.resident_bytes());
+        assert_eq!(stats.allocated[1], p.allocated_bytes(4));
+        arena.release(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy-on-write first")]
+    fn mutating_a_shared_page_panics() {
+        let arena = KvArena::default();
+        let id = arena.alloc(f32_page(1, 4, 1.0)).unwrap();
+        arena.retain(id);
+        arena.with_page_mut(id, |_| ());
+    }
+
+    #[test]
+    fn cow_clone_detaches_a_shared_page() {
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 2,
+            ..ArenaConfig::default()
+        });
+        let shared = arena.alloc(f32_page(2, 4, 7.0)).unwrap();
+        arena.retain(shared); // two owners
+        let private = arena.cow_clone(shared).expect("uncapped");
+        assert_ne!(shared, private);
+        assert_eq!(arena.refs(shared), 1);
+        assert_eq!(arena.refs(private), 1);
+        assert_eq!(arena.stats().cow_copies, 1);
+        // The copy diverges without touching the original.
+        arena.with_page_mut(private, |p| {
+            if let PagePayload::F32(m) = p {
+                m.push_row(&[9.0; 4]);
+            }
+        });
+        assert_eq!(arena.payload(shared).rows(), 2);
+        assert_eq!(arena.payload(private).rows(), 3);
+        arena.release(shared);
+        arena.release(private);
+    }
+
+    #[test]
+    fn watermark_trips_on_allocated_fraction() {
+        let cols = 4;
+        let page_bytes = (2 * cols * 4) as u64;
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 2,
+            capacity_bytes: Some(4 * page_bytes),
+            watermark: 0.5,
+        });
+        assert!(!arena.over_watermark());
+        let a = arena.alloc(f32_page(2, cols, 1.0)).unwrap();
+        let b = arena.alloc(f32_page(2, cols, 1.0)).unwrap();
+        assert!(!arena.over_watermark(), "exactly at the mark is not over");
+        let c = arena.alloc(f32_page(2, cols, 1.0)).unwrap();
+        assert!(arena.over_watermark());
+        for id in [a, b, c] {
+            arena.release(id);
+        }
+    }
+
+    #[test]
+    fn payload_accounting_matches_quant_formulas() {
+        let page_local = quant_page(3, 10, true);
+        let shared_meta = quant_page(3, 10, false);
+        // int8 ungrouped: 10 bytes/row; +4 scale bytes; page-local adds
+        // tmax (4) + f16 bias (2 × 10).
+        assert_eq!(shared_meta.resident_bytes(), 30 + 4);
+        assert_eq!(page_local.resident_bytes(), 30 + 4 + 4 + 20);
+        assert_eq!(shared_meta.allocated_bytes(8), 80 + 4);
+        assert_eq!(page_local.allocated_bytes(8), 80 + 4 + 4 + 20);
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`gemm`] — pluggable GEMM kernel backends (the reference loops and a
 //!   cache-blocked, register-tiled kernel) sharing one per-element
 //!   accumulation order, so backends are byte-identical to each other.
+//! * [`arena`] — a paged KV-cache storage arena ([`KvArena`]) with
+//!   refcounted copy-on-write pages and tiered f32 → int8 → int4 demotion
+//!   accounting, backing prefix-shared decode sessions.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod error;
 pub mod gemm;
 mod imatrix;
@@ -52,6 +56,7 @@ pub mod qrows;
 pub mod rng;
 pub mod stats;
 
+pub use arena::{ArenaConfig, ArenaStats, EvictError, KvArena, PageId, PagePayload, PageTier};
 pub use error::ShapeError;
 pub use imatrix::IMatrix;
 pub use matrix::Matrix;
