@@ -7,7 +7,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tender::model::calibration::{token_batches, CorpusKind};
-use tender::model::engine::{greedy_token, BatchEngine, DecodeSession, KvCacheMode, ModelRef};
+use tender::model::engine::{
+    drain_demotions, greedy_token, BatchEngine, DecodeSession, KvCacheMode, ModelRef,
+};
 use tender::model::eval::{perplexity, EvalSet};
 use tender::model::glue::GlueTask;
 use tender::model::zeroshot;
@@ -21,6 +23,7 @@ use tender::sim::config::TenderHwConfig;
 use tender::sim::energy::efficiency_over;
 use tender::sim::generation::{
     decode_step_macs, kv_cache_bytes, kv_paged_allocated_bytes, kv_paged_mode_bytes,
+    kv_shared_paged_allocated_bytes,
 };
 use tender::sim::gpu::{normalized_latency, GpuConfig, GpuScheme};
 use tender::sim::perf::{workload_cost, RequantMode};
@@ -1000,7 +1003,10 @@ pub fn kv_cache() -> Vec<Table> {
 /// bit-identically to a private unshared session; (2) watermark-forced
 /// tier demotion (f32→int8→int4 on cold sealed pages) under the
 /// decode-path Wiki perplexity budget; (3) the resident/allocated byte
-/// crosscheck against the simulator's paged formulas in every cache mode.
+/// crosscheck against the simulator's paged formulas in every cache mode;
+/// (4) the shared-budget regime — every fork billed against one capped
+/// arena with boundary-drained demotion, gated on sessions/GB, the sim
+/// byte formula, and run-to-run determinism.
 ///
 /// CI greps the verdicts: `≥10x: ok`, `bit-exact`, `ok`, `(=sim)` are
 /// healthy; `FAIL`, `DIVERGED`, `EXCEEDS`, `MISMATCH` fail the job.
@@ -1097,38 +1103,47 @@ pub fn kv_page() -> Vec<Table> {
     // Each eval context gets a private arena whose capacity holds its full
     // f32 footprint; the watermark alone decides how far down the ladder
     // cold sealed pages go (0.5 reaches int8, 0.1 pushes on to int4).
-    let decode_ppl = |bounded: bool, watermark: f64, d8: &AtomicU64, d4: &AtomicU64| -> f64 {
-        perplexity(
-            |tk| {
-                let cap = if bounded {
-                    Some(planes * tk.len() as u64 * dh as u64 * 4)
-                } else {
-                    None
-                };
-                let arena = KvArena::new(ArenaConfig {
-                    page_rows: 4,
-                    capacity_bytes: cap,
-                    watermark,
-                });
-                let mut s = DecodeSession::with_arena(reference, KvCacheMode::F32, &arena);
-                let mut rows: Vec<Vec<f32>> = Vec::with_capacity(tk.len());
-                let first = s.prefill(&tk[..1]);
-                rows.push(first.row(0).to_vec());
-                for &tok in &tk[1..] {
-                    let logits = s.step(tok).expect("eval context inside max_seq");
-                    rows.push(logits.row(0).to_vec());
-                }
-                let st = arena.stats();
-                d8.fetch_add(st.demoted_int8, Ordering::Relaxed);
-                d4.fetch_add(st.demoted_int4, Ordering::Relaxed);
-                tender::tensor::Matrix::from_fn(rows.len(), rows[0].len(), |r, c| rows[r][c])
-            },
-            eval,
-        )
-    };
+    let decode_ppl =
+        |bounded: bool, watermark: f64, deferred: bool, d8: &AtomicU64, d4: &AtomicU64| -> f64 {
+            perplexity(
+                |tk| {
+                    let cap = if bounded {
+                        Some(planes * tk.len() as u64 * dh as u64 * 4)
+                    } else {
+                        None
+                    };
+                    let arena = KvArena::new(ArenaConfig {
+                        page_rows: 4,
+                        capacity_bytes: cap,
+                        watermark,
+                        deferred_demotion: deferred,
+                        ..ArenaConfig::default()
+                    });
+                    let mut s = DecodeSession::with_arena(reference, KvCacheMode::F32, &arena);
+                    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(tk.len());
+                    let first = s.prefill(&tk[..1]);
+                    rows.push(first.row(0).to_vec());
+                    for &tok in &tk[1..] {
+                        let logits = s.step(tok).expect("eval context inside max_seq");
+                        rows.push(logits.row(0).to_vec());
+                        if deferred {
+                            // Boundary drain: demotion happens between steps,
+                            // never on the append path itself.
+                            arena.advance_clock();
+                            drain_demotions(&arena, 0);
+                        }
+                    }
+                    let st = arena.stats();
+                    d8.fetch_add(st.demoted_int8, Ordering::Relaxed);
+                    d4.fetch_add(st.demoted_int4, Ordering::Relaxed);
+                    tender::tensor::Matrix::from_fn(rows.len(), rows[0].len(), |r, c| rows[r][c])
+                },
+                eval,
+            )
+        };
     let full_ppl = perplexity(|tk| reference.forward(tk), eval);
     let zero = AtomicU64::new(0);
-    let f32_ppl = decode_ppl(false, 1.0, &zero, &zero);
+    let f32_ppl = decode_ppl(false, 1.0, false, &zero, &zero);
 
     let mut t2 = Table::new(
         "KV paging: watermark demotion (decode-path Wiki ppl, f32 planes, page rows 4)".to_string(),
@@ -1151,7 +1166,7 @@ pub fn kv_page() -> Vec<Table> {
     for (watermark, floor_int4) in [(0.5, false), (0.1, true)] {
         let d8 = AtomicU64::new(0);
         let d4 = AtomicU64::new(0);
-        let ppl = decode_ppl(true, watermark, &d8, &d4);
+        let ppl = decode_ppl(true, watermark, false, &d8, &d4);
         let (d8, d4) = (d8.into_inner(), d4.into_inner());
         let delta = ppl - f32_ppl;
         let verdict = if floor_int4 {
@@ -1173,6 +1188,27 @@ pub fn kv_page() -> Vec<Table> {
             format!("{delta:+.4}"),
             format!("{d8}+{d4}"),
             verdict,
+        ]);
+    }
+    {
+        // The same watermark pressure through the deferred path: appends
+        // only enqueue, demotion runs at step boundaries in clock order.
+        // Same accuracy budget as the inline scan.
+        let d8 = AtomicU64::new(0);
+        let d4 = AtomicU64::new(0);
+        let ppl = decode_ppl(true, 0.5, true, &d8, &d4);
+        let (d8, d4) = (d8.into_inner(), d4.into_inner());
+        let delta = ppl - f32_ppl;
+        t2.row(vec![
+            "watermark 0.5, boundary drain".to_string(),
+            fmt_ppl(ppl),
+            format!("{delta:+.4}"),
+            format!("{d8}+{d4}"),
+            if delta.abs() <= PPL_DELTA_BOUND && d8 > 0 {
+                "ok".to_string()
+            } else {
+                format!("EXCEEDS (|Δ|≤{PPL_DELTA_BOUND}, demoted>0)")
+            },
         ]);
     }
     t2.note("capacity holds each context's full f32 footprint; the watermark alone forces cold pages down the ladder");
@@ -1211,7 +1247,95 @@ pub fn kv_page() -> Vec<Table> {
             pr.to_string(),
         ]);
     }
-    vec![t1, t2, t3]
+
+    // ---- Shared budget: N sessions under one capped arena. ----
+    // Every fork bills the same global byte budget; the cap equals the
+    // batch's exact f32 page footprint (so the rollout is feasible without
+    // truncation) and the 0.5 watermark forces the boundary drain to walk
+    // sealed per-fork pages down the ladder mid-rollout. Page rows 4 so
+    // each fork seals several of its own pages inside the rollout.
+    let shared_pr = 4usize;
+    let shared_steps = 17usize;
+    let shared_len = prefix_len + shared_steps;
+    let sim_total = kv_shared_paged_allocated_bytes(
+        &shape,
+        forks,
+        prefix_len,
+        shared_len,
+        KvCacheMode::F32,
+        shared_pr,
+    );
+    let shared_rollout = |cap: Option<u64>| -> (Vec<Vec<usize>>, u64, u64) {
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: shared_pr,
+            capacity_bytes: cap,
+            watermark: 0.5,
+            deferred_demotion: true,
+            ..ArenaConfig::default()
+        });
+        let mut template = DecodeSession::with_arena(reference, KvCacheMode::F32, &arena);
+        template.prefill(&prompt);
+        let mut engine = BatchEngine::forked(&template, forks);
+        let outs = engine.resume_greedy(&seeds, shared_steps);
+        let st = arena.stats();
+        (
+            outs,
+            arena.allocated_bytes(),
+            st.demoted_int8 + st.demoted_int4,
+        )
+    };
+
+    let (_, uncapped_bytes, _) = shared_rollout(None);
+    let (capped_a, capped_bytes, demoted) = shared_rollout(Some(sim_total));
+    let (capped_b, _, _) = shared_rollout(Some(sim_total));
+    let deterministic = capped_a == capped_b;
+
+    let mut t4 = Table::new(
+        format!(
+            "KV paging: shared budget ({forks} forks under one cap, {shared_steps} decode steps, page rows {shared_pr})"
+        ),
+        &["Arena", "Bytes/session", "Sessions/GB", "Gain", "Verdict"],
+    );
+    t4.row(vec![
+        "preallocated f32 window".to_string(),
+        format!("{prealloc:.0}"),
+        format!("{:.1}", GB / prealloc),
+        fmt_ratio(1.0),
+        "baseline".to_string(),
+    ]);
+    let unc_per = uncapped_bytes as f64 / forks as f64;
+    t4.row(vec![
+        "shared arena, uncapped".to_string(),
+        format!("{unc_per:.0}"),
+        format!("{:.1}", GB / unc_per),
+        fmt_ratio(prealloc / unc_per),
+        if uncapped_bytes == sim_total {
+            format!("{uncapped_bytes} B (=sim)")
+        } else {
+            format!("{uncapped_bytes} B (MISMATCH sim {sim_total})")
+        },
+    ]);
+    let cap_per = capped_bytes as f64 / forks as f64;
+    let cap_gain = prealloc / cap_per;
+    t4.row(vec![
+        format!("shared cap {sim_total} B, watermark 0.5"),
+        format!("{cap_per:.0}"),
+        format!("{:.1}", GB / cap_per),
+        fmt_ratio(cap_gain),
+        if !deterministic {
+            "DIVERGED".to_string()
+        } else if capped_bytes > sim_total {
+            format!("EXCEEDS (cap {sim_total}, allocated {capped_bytes})")
+        } else if demoted == 0 {
+            "EXCEEDS (no demotion under cap)".to_string()
+        } else if cap_gain >= GAIN_BOUND {
+            format!("≥{GAIN_BOUND:.0}x: ok ({demoted} demoted)")
+        } else {
+            format!("≥{GAIN_BOUND:.0}x: FAIL ({cap_gain:.1}x)")
+        },
+    ]);
+    t4.note("one atomic budget prices every fork; the boundary drain demotes sealed cold pages in clock order, so repeated runs emit identical rollouts");
+    vec![t1, t2, t3, t4]
 }
 
 /// Serve — the continuous-batching scheduler under synthetic load: 64
@@ -1252,6 +1376,13 @@ pub fn serve() -> Vec<Table> {
     // steady progress, tight enough that admission control has teeth when
     // failures and stalls back the queue up.
     cfg.kv_budget_bytes = 8 * kv_reserve_bytes(&shape, cfg.kv_mode, shape.max_seq);
+    // The shared arena itself is capped at an eighth of that — one full
+    // decode window shared by every resident session — with the boundary
+    // drain demoting cold int8 pages at a 0.25 watermark, so the capped
+    // shared-budget regime (DESIGN.md §15) runs in the catalog transcript,
+    // byte-diffed across thread counts and GEMM backends by CI.
+    cfg.kv_arena_bytes = cfg.kv_budget_bytes / 8;
+    cfg.kv_watermark = 0.25;
     let report = Scheduler::new(model, cfg).run();
 
     let mut t = Table::new(
@@ -1296,6 +1427,13 @@ pub fn serve() -> Vec<Table> {
     row(
         "kv reserved peak",
         format!("{} bytes", report.kv_reserved_peak),
+    );
+    row(
+        "kv drain demoted",
+        format!(
+            "{} pages ({} bytes freed)",
+            report.kv_demoted_pages, report.kv_demoted_bytes
+        ),
     );
     row(
         "latency (iters)",

@@ -302,10 +302,12 @@ pub fn cmd_decode(flags: &Flags) -> Result<String, CliError> {
 /// bit-deterministic at any thread count.
 ///
 /// Cache storage is paged: `--kv-page-rows` sets the rows per page, and
-/// `--kv-arena-bytes` caps each session's arena. Past
-/// `--kv-watermark × capacity`, cold sealed pages are demoted
-/// f32→int8→int4 in place before any hard eviction. Each session gets a
-/// private arena, so the output stays byte-identical at any thread count.
+/// `--kv-arena-bytes` caps the arena. Past `--kv-watermark × capacity`,
+/// cold sealed pages are demoted f32→int8→int4 before any hard eviction.
+/// By default the whole batch shares **one** arena under a single byte
+/// budget (demotion deferred to deterministic iteration boundaries, so
+/// output stays byte-identical at any thread count);
+/// `--kv-shared-arena false` restores one private arena per session.
 /// When the arena is bounded or the watermark is below 1, a `kv tiers:`
 /// line reports the per-tier page/byte split and the demotion counters.
 ///
@@ -363,10 +365,12 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
     if !(watermark > 0.0 && watermark <= 1.0) {
         return Err(err("--kv-watermark must be in (0, 1]"));
     }
+    let shared_arena_flag: bool = flag_parse(flags, "kv-shared-arena", true)?;
     let arena_cfg = ArenaConfig {
         page_rows,
         capacity_bytes: (arena_bytes != u64::MAX).then_some(arena_bytes),
         watermark,
+        ..ArenaConfig::default()
     };
     let bounded_arena = arena_cfg.capacity_bytes.is_some() || watermark < 1.0;
     let exp = Experiment::new(&shape, opts);
@@ -407,11 +411,23 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
         }
     }
 
-    // One private arena per session: a shared arena would make demotion
-    // order depend on cross-session allocation interleaving under par_map.
+    // Default: every session shares one arena under a single byte budget.
+    // Demotion is deferred to engine iteration boundaries (drained in
+    // clock order), so the shared budget cannot make demotion order
+    // depend on cross-session allocation interleaving under par_map.
+    // `--kv-shared-arena false` restores one private arena per session.
+    let shared_arena = shared_arena_flag.then(|| {
+        KvArena::new(ArenaConfig {
+            deferred_demotion: true,
+            ..arena_cfg
+        })
+    });
     let sessions = prompts
         .iter()
-        .map(|_| DecodeSession::with_arena(model, kv_mode, &KvArena::new(arena_cfg)))
+        .map(|_| match &shared_arena {
+            Some(a) => DecodeSession::with_arena(model, kv_mode, a),
+            None => DecodeSession::with_arena(model, kv_mode, &KvArena::new(arena_cfg)),
+        })
         .collect();
     let mut engine = BatchEngine::new(sessions);
     let generated = engine.generate_greedy(&prompts, steps);
@@ -464,20 +480,35 @@ pub fn cmd_generate(flags: &Flags) -> Result<String, CliError> {
             ));
         }
     }
+    if let Some(a) = &shared_arena {
+        if bounded_arena {
+            let st = a.stats();
+            out.push_str(&format!(
+                "kv shared arena: {batch} sessions under one budget, {} bytes allocated; \
+                 alloc retries {}, demotion queue {}\n",
+                a.allocated_bytes(),
+                st.alloc_retries,
+                a.demotion_queue_len(),
+            ));
+        }
+    }
     Ok(out)
 }
 
 /// `tender-cli serve --model M [--scheme S] [--requests N]
 /// [--arrival-seed N] [--deadline-steps N] [--queue-cap N]
 /// [--kv-budget-bytes N] [--kv-page-rows N] [--kv-arena-bytes N]
-/// [--shared-prefix N] [--batch B] [--prefill-chunk N]
+/// [--kv-watermark F] [--shared-prefix N] [--batch B] [--prefill-chunk N]
 /// [--kv-cache f32|int8|int4] [--seed N] [--fast true]` — run the
 /// continuous-batching scheduler over seeded synthetic traffic.
 ///
 /// Admission is priced at page granularity (`--kv-page-rows` rows per
 /// page) and grows per step, `--kv-arena-bytes` caps the shared
 /// copy-on-write arena backing `--shared-prefix` tokens of common prompt
-/// prefix, and `--kv-budget-bytes` bounds the fleet's total grant.
+/// prefix, and `--kv-budget-bytes` bounds the fleet's total grant. Past
+/// `--kv-watermark × --kv-arena-bytes`, cold sealed pages are requantized
+/// by the iteration-boundary drain (off the per-step critical path), and
+/// the freed bytes flow back into the admission budget.
 ///
 /// The transcript on stdout is a pure function of the flags and the fault
 /// seed — byte-identical at any `--threads` count. Wall-clock latency
@@ -519,6 +550,10 @@ pub fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     cfg.kv_budget_bytes = flag_parse(flags, "kv-budget-bytes", cfg.kv_budget_bytes)?;
     cfg.page_rows = flag_parse(flags, "kv-page-rows", cfg.page_rows)?;
     cfg.kv_arena_bytes = flag_parse(flags, "kv-arena-bytes", cfg.kv_arena_bytes)?;
+    cfg.kv_watermark = flag_parse(flags, "kv-watermark", cfg.kv_watermark)?;
+    if !(cfg.kv_watermark > 0.0 && cfg.kv_watermark <= 1.0) {
+        return Err(err("--kv-watermark must be in (0, 1]"));
+    }
     cfg.shared_prefix = flag_parse(flags, "shared-prefix", cfg.shared_prefix)?;
     cfg.max_batch = flag_parse(flags, "batch", cfg.max_batch)?;
     cfg.prefill_chunk = flag_parse(flags, "prefill-chunk", cfg.prefill_chunk)?;
@@ -617,9 +652,12 @@ pub fn usage() -> String {
      \x20          [--prompt N]            prefill + KV-cache decode engine\n\
      \x20          [--kv-cache f32|int8|int4]  cache storage precision\n\
      \x20          [--kv-page-rows N]      cached rows per arena page\n\
-     \x20          [--kv-arena-bytes N]    per-session arena capacity; cold\n\
-     \x20          [--kv-watermark F]      pages demote f32->int8->int4 past\n\
+     \x20          [--kv-arena-bytes N]    arena capacity; cold pages\n\
+     \x20          [--kv-watermark F]      demote f32->int8->int4 past\n\
      \x20                                  F x capacity (default 1.0)\n\
+     \x20          [--kv-shared-arena B]   one arena shared by the batch\n\
+     \x20                                  (default true; false = private\n\
+     \x20                                  per-session arenas)\n\
      \x20          [--generate N] [--batch B] [--seed N] [--fast true]\n\
      \x20 serve    --model M [--scheme S]  continuous-batching scheduler over\n\
      \x20          [--requests N]          seeded synthetic traffic: admission\n\
@@ -629,8 +667,10 @@ pub fn usage() -> String {
      \x20          [--kv-budget-bytes N]   thread count (latency percentiles\n\
      \x20          [--kv-page-rows N]      and tokens/s go to --metrics-json);\n\
      \x20          [--kv-arena-bytes N]    admission is priced in pages and a\n\
-     \x20          [--shared-prefix N]     common prompt prefix is prefilled\n\
-     \x20          [--batch B]             once and shared copy-on-write\n\
+     \x20          [--kv-watermark F]      common prompt prefix is prefilled\n\
+     \x20          [--shared-prefix N]     once and shared copy-on-write;\n\
+     \x20          [--batch B]             cold pages requantize at the\n\
+     \x20                                  boundary drain past F x capacity\n\
      \x20          [--prefill-chunk N] [--kv-cache f32|int8|int4]\n\
      \x20          [--seed N] [--fast true]\n"
         .to_string()
@@ -973,6 +1013,46 @@ mod tests {
         // tier line.
         let plain = cmd_generate(&parse_flags(&args(&base[..10])).unwrap()).expect("runs");
         assert!(!plain.contains("kv tiers:"), "{plain}");
+    }
+
+    #[test]
+    fn generate_shared_arena_is_deterministic_and_reports_budget() {
+        // One capped arena for the whole batch: lockstep decode with
+        // boundary-drained demotion must be byte-identical across runs,
+        // and the shared-budget report line must appear.
+        let base = [
+            "--model",
+            "OPT-6.7B",
+            "--prompt",
+            "12",
+            "--generate",
+            "6",
+            "--batch",
+            "3",
+            "--fast",
+            "true",
+            "--kv-page-rows",
+            "2",
+            "--kv-watermark",
+            "0.5",
+            "--kv-arena-bytes",
+            "98304",
+        ];
+        let f = parse_flags(&args(&base)).unwrap();
+        let a = cmd_generate(&f).expect("runs");
+        let b = cmd_generate(&f).expect("runs again");
+        assert_eq!(a, b, "shared capped arena must stay deterministic");
+        assert!(
+            a.contains("kv shared arena: 3 sessions under one budget"),
+            "{a}"
+        );
+        assert!(a.contains("evict failures 0"), "{a}");
+        // The escape hatch restores private per-session arenas (and
+        // drops the shared-budget line).
+        let mut private: Vec<&str> = base.to_vec();
+        private.extend_from_slice(&["--kv-shared-arena", "false"]);
+        let p = cmd_generate(&parse_flags(&args(&private)).unwrap()).expect("runs");
+        assert!(!p.contains("kv shared arena:"), "{p}");
     }
 
     #[test]

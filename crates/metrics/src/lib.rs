@@ -499,8 +499,24 @@ pub mod kv_arena {
     /// Copy-on-write page copies triggered by divergent appends onto
     /// shared prefix pages.
     pub static COW_COPIES: Counter = Counter::new();
-    /// Allocations refused at the arena's hard byte cap.
+    /// *Terminal* allocation refusals at the arena's hard byte cap: the
+    /// caller's demotion ladder reached its floor and the append failed.
     pub static EVICT_FAILURES: Counter = Counter::new();
+    /// Interim cap refusals answered by demoting cold pages and retrying
+    /// — requantization work, not failures.
+    pub static ALLOC_RETRIES: Counter = Counter::new();
+    /// Shard lock acquisitions that found the lock held (a `try_lock`
+    /// that would have blocked).
+    pub static SHARD_CONTENTION: Counter = Counter::new();
+    /// Demotion candidates currently queued for the boundary drain.
+    pub static DEMOTION_QUEUE_DEPTH: Gauge = Gauge::new();
+    /// Deepest the demotion queue has been.
+    pub static DEMOTION_QUEUE_PEAK: MaxGauge = MaxGauge::new();
+    /// Pages requantized by the off-critical-path boundary drain (as
+    /// opposed to evict-on-append demotions on the appending thread).
+    pub static ASYNC_DEMOTED_PAGES: Counter = Counter::new();
+    /// Allocated bytes freed by boundary-drain demotions.
+    pub static ASYNC_DEMOTED_BYTES: Counter = Counter::new();
 }
 
 /// Hardware-simulator metrics (`tender_sim`).
@@ -691,6 +707,12 @@ pub fn reset_all() {
     kv_arena::DEMOTED_INT4.reset();
     kv_arena::COW_COPIES.reset();
     kv_arena::EVICT_FAILURES.reset();
+    kv_arena::ALLOC_RETRIES.reset();
+    kv_arena::SHARD_CONTENTION.reset();
+    kv_arena::DEMOTION_QUEUE_DEPTH.reset();
+    kv_arena::DEMOTION_QUEUE_PEAK.reset();
+    kv_arena::ASYNC_DEMOTED_PAGES.reset();
+    kv_arena::ASYNC_DEMOTED_BYTES.reset();
     sim::DRAM_ROW_HITS.reset();
     sim::DRAM_ROW_MISSES.reset();
     sim::DRAM_BYTES.reset();

@@ -331,6 +331,30 @@ pub(crate) fn build() -> Report {
                 "evict_failures".into(),
                 Value::U64(kv_arena::EVICT_FAILURES.get()),
             ),
+            (
+                "alloc_retries".into(),
+                Value::U64(kv_arena::ALLOC_RETRIES.get()),
+            ),
+            (
+                "shard_contention".into(),
+                Value::U64(kv_arena::SHARD_CONTENTION.get()),
+            ),
+            (
+                "demotion_queue_depth".into(),
+                Value::U64(kv_arena::DEMOTION_QUEUE_DEPTH.get()),
+            ),
+            (
+                "demotion_queue_peak".into(),
+                Value::U64(kv_arena::DEMOTION_QUEUE_PEAK.get()),
+            ),
+            (
+                "async_demoted_pages".into(),
+                Value::U64(kv_arena::ASYNC_DEMOTED_PAGES.get()),
+            ),
+            (
+                "async_demoted_bytes".into(),
+                Value::U64(kv_arena::ASYNC_DEMOTED_BYTES.get()),
+            ),
         ],
     };
     let sim_section = Section {

@@ -65,11 +65,12 @@ use std::sync::{Arc, Mutex};
 
 use tender_metrics::engine as metrics;
 use tender_metrics::kernel as kernel_metrics;
+use tender_metrics::kv_arena as arena_metrics;
 use tender_quant::quantizer::{f16_round, quantize_value, symmetric_scale};
 use tender_quant::tender::{classify_channels, group_scales};
 use tender_tensor::arena::QuantPage;
 use tender_tensor::{
-    gemm, pool, EvictError, KvArena, Matrix, PageId, PagePayload, PageTier, QuantRows,
+    gemm, pool, DemoteKey, EvictError, KvArena, Matrix, PageId, PagePayload, PageTier, QuantRows,
 };
 
 use crate::forward::{QuantizedModel, ReferenceModel};
@@ -365,6 +366,92 @@ pub fn demote_payload(payload: &PagePayload, target: KvCacheMode) -> PagePayload
     })
 }
 
+/// Outcome of one boundary drain of an arena's demotion queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Pages requantized down the ladder.
+    pub demoted: usize,
+    /// Allocated bytes freed.
+    pub freed_bytes: u64,
+}
+
+/// Candidates popped per drain round, bounding how far one round can
+/// overshoot the watermark once it frees enough bytes.
+const DRAIN_BATCH: usize = 16;
+
+/// Drains `arena`'s demotion queue at a deterministic iteration boundary:
+/// pops candidates in clock-key order while the arena sits above its
+/// watermark or holds less than `headroom` bytes under its cap, and
+/// requantizes each batch on pool workers from payload snapshots taken
+/// outside any shard lock. A candidate that died, got shared, or changed
+/// tier since it was enqueued is revalidated away (generation-checked);
+/// a page demoted to int8 is re-enqueued under the current clock so a
+/// later drain can take it to the int4 floor.
+///
+/// Which pages end up demoted depends only on the queue's structural keys
+/// and this boundary's byte deficit — never on pool interleaving — so
+/// transcripts stay byte-identical at any thread count.
+pub fn drain_demotions(arena: &KvArena, headroom: u64) -> DrainStats {
+    let mut stats = DrainStats::default();
+    let page_rows = arena.page_rows();
+    loop {
+        if !(arena.over_watermark() || arena.headroom_bytes() < headroom) {
+            break;
+        }
+        let batch = arena.pop_demotions(DRAIN_BATCH);
+        if batch.is_empty() {
+            break;
+        }
+        // Requantize off the shard locks, one pool task per candidate;
+        // `replace_if_exclusive` commits only if the page is still live,
+        // exclusive, and at the snapshot tier.
+        let committed: Vec<Option<(usize, u64, PageTier)>> = pool::par_map(batch.len(), |i| {
+            let cand = batch[i];
+            let target = match cand.tier {
+                PageTier::F32 => KvCacheMode::Int8,
+                PageTier::Int8 => KvCacheMode::Int4,
+                PageTier::Int4 => return None,
+            };
+            let payload = arena.try_payload(cand.id)?;
+            if payload.tier() != cand.tier || payload.rows() != page_rows {
+                return None;
+            }
+            let (refs, _, _) = arena.page_meta(cand.id)?;
+            if refs != 1 {
+                return None;
+            }
+            let demoted = demote_payload(&payload, target);
+            // Demotion exists to free bytes. At tiny head dims the lower
+            // rung's per-group scale snapshot can outweigh its code
+            // savings; a non-shrinking requantization is skipped (and not
+            // re-enqueued) — committing it would grow allocation past the
+            // cap, which the in-place edit path does not re-check.
+            if demoted.allocated_bytes(page_rows) >= payload.allocated_bytes(page_rows) {
+                return None;
+            }
+            let freed = arena.replace_if_exclusive(cand.id, cand.tier, demoted)?;
+            let now_tier = cand.tier.demoted().expect("not at the floor");
+            Some((i, freed, now_tier))
+        });
+        for entry in committed.into_iter().flatten() {
+            let (i, freed, now_tier) = entry;
+            stats.demoted += 1;
+            stats.freed_bytes += freed;
+            arena_metrics::ASYNC_DEMOTED_PAGES.incr();
+            arena_metrics::ASYNC_DEMOTED_BYTES.add(freed);
+            if now_tier != PageTier::Int4 {
+                let cand = batch[i];
+                let key = DemoteKey {
+                    clock: arena.clock(),
+                    ..cand.key
+                };
+                arena.enqueue_demotion(key, cand.id, now_tier);
+            }
+        }
+    }
+    stats
+}
+
 /// One quantized plane's append-time state: fixed per-channel bias,
 /// running `TMax`, derived group scales. The packed codes themselves live
 /// in arena pages; this struct is what quantizes new rows into the tail
@@ -554,6 +641,10 @@ pub struct KvCache {
     read_path: KvReadPath,
     /// The arena every page is allocated from.
     arena: KvArena,
+    /// This cache's owner id within the arena — a component of the
+    /// demotion clock key, registered from single-threaded construction
+    /// code so it is reproducible at any thread count.
+    owner: u64,
     /// `layers × heads` K planes, indexed `li * heads + head`.
     k: Vec<Plane>,
     /// `layers × heads` V planes, same indexing.
@@ -585,11 +676,29 @@ impl KvCache {
             mode,
             read_path: KvReadPath::default(),
             arena: arena.clone(),
+            owner: arena.register_owner(),
             k: make(),
             v: make(),
         };
         cache.publish_overhead(true);
         cache
+    }
+
+    /// Demotion-queue plane key: all K planes (layer/head ascending)
+    /// before all V planes, matching [`KvCache::demote_one`]'s scan order
+    /// so the boundary drain prefers the same "coldest" pages. Also the
+    /// arena shard stripe.
+    fn plane_key(&self, is_k: bool, slot: usize) -> u64 {
+        (if is_k { 0 } else { self.layers * self.heads } + slot) as u64
+    }
+
+    /// The tier rows are appended at in this cache's mode.
+    fn append_tier(&self) -> PageTier {
+        match self.mode {
+            KvCacheMode::F32 => PageTier::F32,
+            KvCacheMode::Int8 => PageTier::Int8,
+            KvCacheMode::Int4 => PageTier::Int4,
+        }
     }
 
     /// The storage precision this cache was built with.
@@ -757,9 +866,14 @@ impl KvCache {
             self.append_plane(true, slot, &k_rows)?;
             self.append_plane(false, slot, &v_rows)?;
         }
-        while self.arena.over_watermark() {
-            if !self.demote_one() {
-                break;
+        // Deferred arenas move this work off the appending thread: pages
+        // were enqueued as demotion candidates when they sealed, and the
+        // engine drains the queue at the next iteration boundary.
+        if !self.arena.deferred_demotion() {
+            while self.arena.over_watermark() {
+                if !self.demote_one() {
+                    break;
+                }
             }
         }
         Ok(())
@@ -826,7 +940,47 @@ impl KvCache {
             }
         }
         plane.len += 1;
+        let sealed = plane.len.is_multiple_of(page_rows);
+        if sealed && arena.deferred_demotion() && self.append_tier() != PageTier::Int4 {
+            // The page just sealed: it becomes a demotion candidate under
+            // a structural clock key, so concurrent enqueues from pool
+            // workers drain in the same order at any thread count.
+            let plane = self.plane(is_k, slot);
+            let page_idx = plane.pages.len() - 1;
+            let key = DemoteKey {
+                clock: arena.clock(),
+                owner: self.owner,
+                plane: self.plane_key(is_k, slot) as u32,
+                page_idx: page_idx as u32,
+            };
+            arena.enqueue_demotion(key, plane.pages[page_idx], self.append_tier());
+        }
         Ok(())
+    }
+
+    /// Exact allocated bytes the next single-position append will newly
+    /// reserve from the arena: a fresh page for every plane whose pages
+    /// are all full, plus a copy-on-write clone of any shared partial
+    /// tail. Zero when the next row lands entirely in exclusive partial
+    /// tails. Used by lockstep batch decode to pre-drain headroom so
+    /// mid-iteration allocations never race the cap.
+    pub fn next_append_alloc_bytes(&self) -> u64 {
+        let page_rows = self.arena.page_rows();
+        let mut need = 0u64;
+        for is_k in [true, false] {
+            for slot in 0..self.layers * self.heads {
+                let plane = self.plane(is_k, slot);
+                if plane.len == plane.pages.len() * page_rows {
+                    need += self.fresh_payload(is_k, slot).allocated_bytes(page_rows);
+                } else {
+                    let tail = *plane.pages.last().expect("partial tail");
+                    if self.arena.refs(tail) > 1 {
+                        need += self.arena.payload(tail).allocated_bytes(page_rows);
+                    }
+                }
+            }
+        }
+        need
     }
 
     /// An empty page payload at this plane's append tier.
@@ -849,12 +1003,17 @@ impl KvCache {
         }
     }
 
+    /// Demote-and-retry allocation. Interim cap refusals are counted by
+    /// the arena as `alloc_retries`; only the terminal refusal — demotion
+    /// ladder at its floor, append about to fail — is an `evict_failure`.
     fn alloc_or_demote(&self, is_k: bool, slot: usize) -> Result<PageId, EvictError> {
+        let key = self.plane_key(is_k, slot);
         loop {
-            match self.arena.alloc(self.fresh_payload(is_k, slot)) {
+            match self.arena.alloc_on(key, self.fresh_payload(is_k, slot)) {
                 Ok(id) => return Ok(id),
                 Err(e) => {
                     if !self.demote_one() {
+                        self.arena.note_evict_failure();
                         return Err(e);
                     }
                 }
@@ -868,6 +1027,7 @@ impl KvCache {
                 Ok(id) => return Ok(id),
                 Err(e) => {
                     if !self.demote_one() {
+                        self.arena.note_evict_failure();
                         return Err(e);
                     }
                 }
@@ -900,9 +1060,22 @@ impl KvCache {
                     if self.arena.payload(pid).tier() != tier {
                         continue;
                     }
-                    self.arena
-                        .with_page_mut(pid, |p| *p = demote_payload(p, target));
-                    return true;
+                    // Shrink-only: at tiny head dims a lower rung's scale
+                    // snapshot can outweigh its code savings, and the
+                    // in-place edit path applies the delta without a cap
+                    // check — a non-shrinking demotion must be skipped.
+                    let shrank = self.arena.with_page_mut(pid, |p| {
+                        let d = demote_payload(p, target);
+                        if d.allocated_bytes(page_rows) < p.allocated_bytes(page_rows) {
+                            *p = d;
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    if shrank {
+                        return true;
+                    }
                 }
             }
         }
@@ -1103,6 +1276,7 @@ impl Clone for KvCache {
             mode: self.mode,
             read_path: self.read_path,
             arena: self.arena.clone(),
+            owner: self.arena.register_owner(),
             k: self.k.clone(),
             v: self.v.clone(),
         };
@@ -1622,8 +1796,40 @@ impl<'m> BatchEngine<'m> {
     /// # Panics
     ///
     /// Panics if the prompt count differs from the session count.
+    ///
+    /// When every session shares one *capped* arena, rollouts are not
+    /// independent (they compete for the byte budget), so the engine
+    /// switches to lockstep decode: sequential prefill, then one parallel
+    /// step per iteration with the demotion queue drained at each
+    /// boundary — see [`BatchEngine::lockstep_decode`].
     pub fn generate_greedy(&mut self, prompts: &[Vec<usize>], steps: usize) -> Vec<Vec<usize>> {
         assert_eq!(prompts.len(), self.slots.len(), "one prompt per session");
+        if let Some(arena) = self.shared_capped_arena() {
+            let n = self.slots.len();
+            let mut next: Vec<Option<usize>> = Vec::with_capacity(n);
+            // Sequential prefill in session order: single-threaded, so
+            // demote-and-retry pressure resolves identically at any
+            // thread count (GEMMs inside each prefill still use the
+            // pool).
+            for (i, prompt) in prompts.iter().enumerate().take(n) {
+                arena.advance_clock();
+                let mut session = self.slots[i].lock().expect("session lock");
+                let vocab = session.model.weights().shape.vocab;
+                match session.try_prefill(prompt) {
+                    Ok(logits) => {
+                        let len = session.len();
+                        next.push(Some(greedy_token(&logits, logits.rows() - 1, len, vocab)));
+                    }
+                    Err(_) => {
+                        metrics::DECODE_TRUNCATED.incr();
+                        next.push(None);
+                    }
+                }
+                drop(session);
+                drain_demotions(&arena, 0);
+            }
+            return self.lockstep_decode(&arena, next, steps);
+        }
         pool::par_map(self.slots.len(), |i| {
             let mut session = self.slots[i].lock().expect("session lock");
             let vocab = session.model.weights().shape.vocab;
@@ -1654,6 +1860,10 @@ impl<'m> BatchEngine<'m> {
     /// Panics if the seed count differs from the session count.
     pub fn resume_greedy(&mut self, seeds: &[usize], steps: usize) -> Vec<Vec<usize>> {
         assert_eq!(seeds.len(), self.slots.len(), "one seed token per session");
+        if let Some(arena) = self.shared_capped_arena() {
+            let next = seeds.iter().map(|&s| Some(s)).collect();
+            return self.lockstep_decode(&arena, next, steps);
+        }
         pool::par_map(self.slots.len(), |i| {
             let mut session = self.slots[i].lock().expect("session lock");
             let vocab = session.model.weights().shape.vocab;
@@ -1671,6 +1881,135 @@ impl<'m> BatchEngine<'m> {
             }
             out
         })
+    }
+
+    /// The one arena every session draws pages from, if it is shared by
+    /// all of them *and* byte-capped. Private arenas, mixed arenas, or an
+    /// uncapped shared arena come back `None` — those rollouts cannot
+    /// starve each other, so the independent per-task path stays correct.
+    fn shared_capped_arena(&self) -> Option<KvArena> {
+        let first = self
+            .slots
+            .first()?
+            .lock()
+            .expect("session lock")
+            .arena()
+            .clone();
+        first.config().capacity_bytes?;
+        if self.slots[1..]
+            .iter()
+            .all(|s| s.lock().expect("session lock").arena().same_arena(&first))
+        {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// Lockstep greedy decode over one shared, byte-capped arena.
+    ///
+    /// Rollouts competing for a single budget are only deterministic if
+    /// the cap is never contended *inside* a parallel phase, so each
+    /// iteration runs a fixed sequence at the boundary before any worker
+    /// steps a session:
+    ///
+    /// 1. advance the arena clock (new demotion epoch);
+    /// 2. price the upcoming step exactly — [`KvCache::next_append_alloc_bytes`]
+    ///    per live session (page opens and shared-tail CoW are the only
+    ///    allocations a single append can make);
+    /// 3. drain the demotion queue ([`drain_demotions`]) until the
+    ///    watermark is respected *and* the whole step fits;
+    /// 4. if it still does not fit, demote each session's own pages in
+    ///    session order, truncating (in session order) any session whose
+    ///    need cannot be covered — the pending token is kept, matching
+    ///    the independent path's truncate-at-failing-step semantics;
+    /// 5. step every surviving session via `pool::par_map` — no append
+    ///    can now hit the cap, so no demotion happens off-schedule.
+    ///
+    /// Every decision in 1–4 depends only on session order, queue keys,
+    /// and byte arithmetic, so transcripts are byte-identical at any
+    /// thread count and under any GEMM backend.
+    fn lockstep_decode(
+        &mut self,
+        arena: &KvArena,
+        mut next: Vec<Option<usize>>,
+        steps: usize,
+    ) -> Vec<Vec<usize>> {
+        let n = self.slots.len();
+        let mut outs: Vec<Vec<usize>> = (0..n).map(|_| Vec::with_capacity(steps)).collect();
+        for _ in 0..steps {
+            if next.iter().all(Option::is_none) {
+                break;
+            }
+            arena.advance_clock();
+            let mut needs = vec![0u64; n];
+            let mut total_need = 0u64;
+            for (i, slot) in self.slots.iter().enumerate() {
+                if next[i].is_some() {
+                    let need = slot
+                        .lock()
+                        .expect("session lock")
+                        .cache()
+                        .next_append_alloc_bytes();
+                    needs[i] = need;
+                    total_need += need;
+                }
+            }
+            drain_demotions(arena, total_need);
+            // Deterministic reservation walk: commit each session's need
+            // against the live headroom in session order; demote that
+            // session's own pages when short, truncate when at the floor.
+            let mut committed = 0u64;
+            for i in 0..n {
+                let Some(tok) = next[i] else { continue };
+                loop {
+                    if committed + needs[i] <= arena.headroom_bytes() {
+                        committed += needs[i];
+                        break;
+                    }
+                    let demoted = {
+                        let session = self.slots[i].lock().expect("session lock");
+                        session.cache.demote_one()
+                    };
+                    if !demoted {
+                        // Keep the pending token (the independent path
+                        // pushes before the failing step), then retire
+                        // the session.
+                        outs[i].push(tok);
+                        next[i] = None;
+                        metrics::DECODE_TRUNCATED.incr();
+                        break;
+                    }
+                }
+            }
+            let stepped: Vec<Option<(usize, Option<usize>)>> = pool::par_map(n, |i| {
+                let tok = next[i]?;
+                let mut session = self.slots[i].lock().expect("session lock");
+                let vocab = session.model.weights().shape.vocab;
+                match session.step(tok) {
+                    Ok(logits) => {
+                        let len = session.len();
+                        Some((tok, Some(greedy_token(&logits, 0, len, vocab))))
+                    }
+                    Err(_) => Some((tok, None)),
+                }
+            });
+            for (i, r) in stepped.into_iter().enumerate() {
+                match r {
+                    Some((tok, Some(nt))) => {
+                        outs[i].push(tok);
+                        next[i] = Some(nt);
+                    }
+                    Some((tok, None)) => {
+                        outs[i].push(tok);
+                        next[i] = None;
+                        metrics::DECODE_TRUNCATED.incr();
+                    }
+                    None => {}
+                }
+            }
+        }
+        outs
     }
 
     /// Consumes the engine, returning its sessions in order.
@@ -1992,6 +2331,7 @@ mod tests {
             page_rows,
             capacity_bytes: Some(full_f32),
             watermark: 0.5,
+            ..ArenaConfig::default()
         });
         let mut s = DecodeSession::with_arena(&reference, KvCacheMode::F32, &arena);
         s.prefill(&tokens(prompt_len, shape.vocab, 6));
@@ -2014,6 +2354,116 @@ mod tests {
     }
 
     #[test]
+    fn drain_skips_demotions_that_would_not_shrink() {
+        let page_rows = 2usize;
+        let cols = 4usize;
+        let f32_page = PagePayload::F32(Matrix::from_fn(page_rows, cols, |r, c| {
+            (r * cols + c) as f32 * 0.1
+        }));
+        let int8_page = demote_payload(&f32_page, KvCacheMode::Int8);
+        let before = int8_page.allocated_bytes(page_rows);
+        // Premise: at 4 columns the int4 rung's per-group scale snapshot
+        // outweighs its code savings, so the next rung would *grow*.
+        assert!(
+            demote_payload(&int8_page, KvCacheMode::Int4).allocated_bytes(page_rows) >= before,
+            "geometry no longer pathological; shrink the column count"
+        );
+        let arena = KvArena::new(ArenaConfig {
+            page_rows,
+            capacity_bytes: Some(before + 8),
+            watermark: 0.5,
+            deferred_demotion: true,
+            ..ArenaConfig::default()
+        });
+        let id = arena.alloc(int8_page).expect("page fits under the cap");
+        assert!(arena.over_watermark(), "the drain must have a byte deficit");
+        arena.enqueue_demotion(
+            DemoteKey {
+                clock: arena.clock(),
+                owner: 0,
+                plane: 0,
+                page_idx: 0,
+            },
+            id,
+            PageTier::Int8,
+        );
+        let stats = drain_demotions(&arena, 0);
+        assert_eq!(stats.demoted, 0, "a non-shrinking demotion must be skipped");
+        assert_eq!(
+            arena.allocated_bytes(),
+            before,
+            "allocation must not grow past the cap"
+        );
+        assert_eq!(arena.payload(id).tier(), PageTier::Int8);
+        arena.release(id);
+    }
+
+    #[test]
+    fn demote_and_retry_counts_retries_not_terminal_failures() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let dh = shape.head_dim();
+        let planes = 2 * (shape.layers * shape.heads) as u64;
+        let page_rows = 2usize;
+        let prompt_len = 8usize;
+        let full_f32 = planes * (prompt_len as u64) * (dh as u64) * 4;
+        // Watermark 1.0 disables proactive demotion: the only way this
+        // prompt fits under 3/4 of its f32 footprint is the append path's
+        // demote-and-retry loop eating refusals at the cap.
+        let arena = KvArena::new(ArenaConfig {
+            page_rows,
+            capacity_bytes: Some(full_f32 * 3 / 4),
+            watermark: 1.0,
+            ..ArenaConfig::default()
+        });
+        let mut s = DecodeSession::with_arena(&reference, KvCacheMode::F32, &arena);
+        s.try_prefill(&tokens(prompt_len, shape.vocab, 11))
+            .expect("demote-and-retry must fit the prompt under a 3/4-f32 cap");
+        let stats = arena.stats();
+        assert!(stats.demoted_int8 > 0, "the cap never forced a demotion");
+        assert!(
+            stats.alloc_retries > 0,
+            "refusals at the cap must count as retries"
+        );
+        assert_eq!(
+            stats.evict_failures, 0,
+            "a prefill that ultimately succeeds must not count terminal evict failures"
+        );
+    }
+
+    #[test]
+    fn shared_capped_batch_matches_independent_rollouts_when_unpressured() {
+        let (shape, model) = tiny();
+        let reference = model.reference();
+        let prompts: Vec<Vec<usize>> = (0..3).map(|s| tokens(5 + s, shape.vocab, 20 + s)).collect();
+        let steps = 6;
+
+        // Independent path: private, unbounded arenas.
+        let solo_sessions: Vec<_> = (0..3).map(|_| DecodeSession::new(&reference)).collect();
+        let mut solo = BatchEngine::new(solo_sessions);
+        let want = solo.generate_greedy(&prompts, steps);
+
+        // One shared, capped (but ample) arena routes through the
+        // lockstep path, which must be byte-identical when the budget is
+        // never contended.
+        let arena = KvArena::new(ArenaConfig {
+            capacity_bytes: Some(64 << 20),
+            deferred_demotion: true,
+            ..ArenaConfig::default()
+        });
+        let shared_sessions: Vec<_> = (0..3)
+            .map(|_| DecodeSession::with_arena(&reference, KvCacheMode::F32, &arena))
+            .collect();
+        let mut shared = BatchEngine::new(shared_sessions);
+        let got = shared.generate_greedy(&prompts, steps);
+        assert_eq!(
+            got, want,
+            "lockstep decode diverged from independent rollouts"
+        );
+        assert_eq!(arena.stats().evict_failures, 0);
+    }
+
+    #[test]
     fn arena_floor_is_a_typed_error() {
         let (shape, model) = tiny();
         let reference = model.reference();
@@ -2021,6 +2471,7 @@ mod tests {
             page_rows: 4,
             capacity_bytes: Some(8),
             watermark: 1.0,
+            ..ArenaConfig::default()
         });
         let mut s = DecodeSession::with_arena(&reference, KvCacheMode::Int4, &arena);
         let err = s
@@ -2048,6 +2499,7 @@ mod tests {
             page_rows,
             capacity_bytes: Some(cap),
             watermark: 1.0,
+            ..ArenaConfig::default()
         });
         let mut s = DecodeSession::with_arena(&reference, mode, &arena);
         s.try_prefill(&tokens(page_rows, shape.vocab, 3))

@@ -218,16 +218,24 @@ proptest! {
             exact = exact_s.step(t).expect("in-window step");
         }
 
-        // (watermark, demotion floor check, bound) per ladder depth: the
-        // capacity always holds the full f32 prompt, a 0.5 watermark
-        // demotes sealed pages to int8, and a 0.1 watermark is below even
-        // the all-int8 footprint, pushing cold pages on to int4.
+        // (watermark, page rows, demotion floor check, bound) per ladder
+        // depth: the capacity always holds the full f32 prompt, a 0.5
+        // watermark demotes sealed pages to int8, and a 0.1 watermark is
+        // below even the all-int8 footprint, pushing cold pages on to
+        // int4. Demotion is shrink-only, and at page rows 2 an int4 page's
+        // group metadata outweighs its code savings over int8 (76 B vs
+        // 72 B at head_dim 16) — so the int8 rung runs at page rows 2
+        // (where the ladder provably *stops* at int8) and the int4-floor
+        // rung at page rows 4 (104 B → 100 B, a real shrink).
         let full_f32 = planes * 8 * dh * 4;
-        for (watermark, want_int4, bound) in [(0.5_f64, false, 0.10_f32), (0.1, true, 0.45)] {
+        for (watermark, page_rows, want_int4, bound) in
+            [(0.5_f64, 2_usize, false, 0.10_f32), (0.1, 4, true, 0.45)]
+        {
             let arena = KvArena::new(ArenaConfig {
-                page_rows: 2,
+                page_rows,
                 capacity_bytes: Some(full_f32),
                 watermark,
+                ..ArenaConfig::default()
             });
             let mut s = DecodeSession::with_arena(&reference, KvCacheMode::F32, &arena);
             s.prefill(&prompt);
@@ -242,6 +250,14 @@ proptest! {
             );
             if want_int4 {
                 prop_assert!(stats.demoted_int4 > 0, "watermark {watermark} must reach int4");
+            } else {
+                // At this geometry int4 would *grow* the page; the
+                // shrink-only rule must hold the ladder at int8 even under
+                // unmet watermark pressure.
+                prop_assert!(
+                    stats.demoted_int4 == 0,
+                    "non-shrinking int4 demotion must be refused at page rows {page_rows}"
+                );
             }
             let err = rel_err(&exact, &approx);
             prop_assert!(

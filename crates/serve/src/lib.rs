@@ -60,14 +60,16 @@ use std::time::Instant;
 use tender_faults as faults;
 use tender_metrics::engine as engine_metrics;
 use tender_metrics::serve as metrics;
-use tender_model::engine::{greedy_token, DecodeSession, KvCacheMode, ModelRef, StepError};
+use tender_model::engine::{
+    drain_demotions, greedy_token, DecodeSession, KvCacheMode, ModelRef, StepError,
+};
 use tender_model::shape::ModelShape;
 use tender_tensor::arena::DEFAULT_PAGE_ROWS;
 use tender_tensor::rng::DetRng;
 use tender_tensor::{ArenaConfig, KvArena};
 
 /// Everything the scheduler needs to generate and serve one synthetic run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Total synthetic requests the traffic generator submits.
     pub requests: usize,
@@ -103,6 +105,11 @@ pub struct ServeConfig {
     /// bookkeeping bound, the cap is the arena's hard allocation wall
     /// behind the demotion ladder.
     pub kv_arena_bytes: u64,
+    /// Demotion watermark on the shared arena, as a fraction of
+    /// `kv_arena_bytes` (`1.0` = demote only at the hard cap). Cold
+    /// sealed pages above the mark are requantized by the boundary
+    /// drain, off the per-step critical path.
+    pub kv_watermark: f64,
 }
 
 impl ServeConfig {
@@ -125,6 +132,7 @@ impl ServeConfig {
             page_rows: DEFAULT_PAGE_ROWS,
             shared_prefix: 0,
             kv_arena_bytes: u64::MAX,
+            kv_watermark: 1.0,
         }
     }
 }
@@ -257,6 +265,10 @@ pub struct ServeReport {
     pub batch_occupancy_max: u64,
     /// Peak KV bytes reserved under the admission budget.
     pub kv_reserved_peak: u64,
+    /// Pages requantized down the ladder by the boundary drain.
+    pub kv_demoted_pages: u64,
+    /// Arena bytes freed by boundary-drain demotion.
+    pub kv_demoted_bytes: u64,
     /// p50 per-request latency, admission → terminal, in iterations.
     pub latency_iters_p50: u64,
     /// p99 per-request latency, admission → terminal, in iterations.
@@ -424,7 +436,7 @@ impl<'m> Scheduler<'m> {
         let header = format!(
             "serve: {} requests, arrival seed {}, deadline {} iters, queue cap {}, \
              kv budget {} bytes, batch {}, prefill chunk {}, kv {}, page rows {}, \
-             shared prefix {}",
+             shared prefix {}, kv watermark {}",
             cfg.requests,
             cfg.arrival_seed,
             cfg.deadline_steps,
@@ -435,6 +447,7 @@ impl<'m> Scheduler<'m> {
             cfg.kv_mode.label(),
             cfg.page_rows,
             cfg.shared_prefix,
+            cfg.kv_watermark,
         );
         // Content-keyed run identity for the `sched` and serve-level
         // `pool` fault streams: distinct configs fault independently.
@@ -449,10 +462,15 @@ impl<'m> Scheduler<'m> {
 
         // One shared page arena for every session in the run: forks share
         // prefix pages, demotion (under a capped arena) frees budget.
+        // Demotion is deferred: appends only *enqueue* candidates, and the
+        // boundary drain below requantizes them in clock order — off the
+        // per-step critical path, independent of slot interleaving.
         let arena = KvArena::new(ArenaConfig {
             page_rows: cfg.page_rows.max(1),
             capacity_bytes: (cfg.kv_arena_bytes != u64::MAX).then_some(cfg.kv_arena_bytes),
-            watermark: 1.0,
+            watermark: cfg.kv_watermark.clamp(0.0, 1.0),
+            deferred_demotion: true,
+            ..ArenaConfig::default()
         });
         let page_bytes = kv_page_bytes(shape, cfg.kv_mode, cfg.page_rows.max(1));
         let template = if cfg.shared_prefix > 0 {
@@ -515,6 +533,8 @@ impl<'m> Scheduler<'m> {
         let mut queue_depth_max = 0u64;
         let mut batch_occupancy_max = 0u64;
         let mut kv_reserved_peak = 0u64;
+        let mut kv_demoted_pages = 0u64;
+        let mut kv_demoted_bytes = 0u64;
         let mut iterations = 0u64;
 
         let finish = |slot: Admitted,
@@ -548,6 +568,38 @@ impl<'m> Scheduler<'m> {
             }
             iterations += 1;
             metrics::ITERATIONS.incr();
+
+            // 0. Boundary drain: advance the demotion clock and requantize
+            // queued cold pages in clock order (off the per-step critical
+            // path), then re-price every fully-fed session's reservation
+            // from the *measured* arena so demotion-freed bytes flow back
+            // into the admission budget before this iteration's arrivals
+            // are priced. The pre-demotion reservation floor keeps one
+            // decode page of headroom plus the per-plane quantization
+            // constants the session carries outside the arena.
+            arena.advance_clock();
+            let drained = drain_demotions(&arena, 0);
+            let session_const = kv_reserve_bytes(shape, cfg.kv_mode, 0);
+            let mut reclaimed = 0u64;
+            for slot in active.iter_mut() {
+                if slot.fed < slot.adm.req.prompt.len() {
+                    continue; // footprint not yet measurable
+                }
+                let floor = slot.session.cache().allocated_bytes() + page_bytes + session_const;
+                if slot.adm.reserve > floor {
+                    reclaimed += slot.adm.reserve - floor;
+                    slot.adm.reserve = floor;
+                }
+            }
+            reserved -= reserved.min(reclaimed);
+            if drained.demoted > 0 {
+                kv_demoted_pages += drained.demoted as u64;
+                kv_demoted_bytes += drained.freed_bytes;
+                line(format!(
+                    "[iter {t}] kv drain: {} pages demoted, {} bytes freed, {} bytes reclaimed",
+                    drained.demoted, drained.freed_bytes, reclaimed
+                ));
+            }
 
             // 1. Arrivals → admission control. A request is admitted or
             // rejected the iteration it arrives; rejection is typed and
@@ -862,6 +914,7 @@ impl<'m> Scheduler<'m> {
         line(format!(
             "latency iters p50 {p50_iters} p99 {p99_iters}, max queue depth {queue_depth_max}, \
              max batch {batch_occupancy_max}, kv reserved peak {kv_reserved_peak}, \
+             kv drain demoted {kv_demoted_pages} pages ({kv_demoted_bytes} bytes), \
              iterations {iterations} (stalled {stalled})"
         ));
         let report = ServeReport {
@@ -881,6 +934,8 @@ impl<'m> Scheduler<'m> {
             queue_depth_max,
             batch_occupancy_max,
             kv_reserved_peak,
+            kv_demoted_pages,
+            kv_demoted_bytes,
             latency_iters_p50: p50_iters,
             latency_iters_p99: p99_iters,
         };

@@ -244,6 +244,34 @@ pub fn kv_paged_allocated_bytes(
             + mode.head_overhead_bytes(dh))
 }
 
+/// *Arena-side* allocated bytes when `sessions` decode sessions share one
+/// paged arena under a single byte budget: whole pages only — the
+/// per-plane quantization constants live in each session's cache, not the
+/// arena, so (unlike [`kv_paged_allocated_bytes`]) no `head_overhead`
+/// term appears. Sessions forked from a common `shared_prefix` count its
+/// *sealed* pages once (copy-on-write sharing); every page past the
+/// sealed prefix is per-session. `cache_len` is each session's total
+/// positions (prefix + own). Exact for an undemoted arena whose prefix is
+/// page-aligned; a partial prefix tail page is copied per session on
+/// first divergence and must be billed to `cache_len` instead. Matches
+/// `KvArena::allocated_bytes` — the shared-budget admission quantity.
+pub fn kv_shared_paged_allocated_bytes(
+    shape: &ModelShape,
+    sessions: usize,
+    shared_prefix: usize,
+    cache_len: usize,
+    mode: KvCacheMode,
+    page_rows: usize,
+) -> u64 {
+    let dh = shape.head_dim();
+    let planes = 2 * (shape.layers as u64) * (shape.heads as u64);
+    let page_rows = page_rows.max(1);
+    let page = page_rows as u64 * mode.position_bytes(dh) + page_scale_bytes(mode);
+    let sealed_shared = (shared_prefix / page_rows) as u64;
+    let per_session = cache_len.div_ceil(page_rows) as u64 - sealed_shared;
+    planes * page * (sealed_shared + sessions as u64 * per_session)
+}
+
 /// Largest decode batch whose KV cache fits an HBM budget of
 /// `hbm_bytes` after reserving space for the (quantized) weights.
 pub fn max_batch_for_memory(

@@ -15,8 +15,9 @@ use tender_model::engine::{DecodeSession, KvCacheMode, KvReadPath};
 use tender_model::{ModelShape, SyntheticLlm};
 use tender_sim::generation::{
     decode_step_flops, decode_step_macs, kv_cache_bytes, kv_cache_mode_bytes, kv_int_dot_macs,
-    kv_paged_allocated_bytes, kv_paged_mode_bytes,
+    kv_paged_allocated_bytes, kv_paged_mode_bytes, kv_shared_paged_allocated_bytes,
 };
+use tender_tensor::{ArenaConfig, KvArena};
 
 #[test]
 fn measured_decode_macs_match_simulated_workload() {
@@ -159,4 +160,75 @@ fn measured_kv_bytes_match_simulated_accounting_in_every_mode() {
         kv_cache_mode_bytes(&shape, 9, KvCacheMode::F32),
         kv_cache_bytes(&shape, 9, 32)
     );
+}
+
+#[test]
+fn measured_shared_arena_bytes_match_simulated_shared_budget() {
+    // N sessions sharing one arena: the arena's measured allocation must
+    // match the shared-budget formula — prefix pages once, divergent
+    // pages per session, no per-plane constants (those live in each
+    // session's cache).
+    let shape = ModelShape::tiny_test();
+    let model = SyntheticLlm::generate(&shape, 37);
+    let reference = model.reference();
+    let page_rows = 4usize;
+    let prefix_len = 8usize; // page-aligned: the formula's exact regime
+
+    for mode in KvCacheMode::ALL {
+        let arena = KvArena::new(ArenaConfig {
+            page_rows,
+            ..ArenaConfig::default()
+        });
+        let mut template = DecodeSession::with_arena(&reference, mode, &arena);
+        let prefix: Vec<usize> = (0..prefix_len).map(|i| (i * 7 + 3) % shape.vocab).collect();
+        template.prefill(&prefix);
+        assert_eq!(
+            arena.allocated_bytes(),
+            kv_shared_paged_allocated_bytes(&shape, 1, prefix_len, prefix_len, mode, page_rows),
+            "template-only arena diverges from sim in {} mode",
+            mode.label()
+        );
+
+        let mut forks: Vec<_> = (0..3).map(|_| template.fork()).collect();
+        for (f, fork) in forks.iter_mut().enumerate() {
+            for s in 0..3 {
+                fork.step((s * 5 + f + 1) % shape.vocab).expect("in-window");
+            }
+        }
+        let cache_len = prefix_len + 3;
+        // The template holds only sealed prefix pages, so it does not add
+        // beyond the shared term; every fork bills its own tail pages.
+        assert_eq!(
+            arena.allocated_bytes(),
+            kv_shared_paged_allocated_bytes(
+                &shape,
+                forks.len(),
+                prefix_len,
+                cache_len,
+                mode,
+                page_rows
+            ),
+            "forked shared arena diverges from sim in {} mode",
+            mode.label()
+        );
+
+        // Independent sessions (no shared prefix) are the degenerate
+        // prefix-0 case: every page is per-session.
+        drop(forks);
+        drop(template);
+        assert_eq!(arena.allocated_bytes(), 0, "refcount leak");
+        let sessions: Vec<_> = (0..3)
+            .map(|_| {
+                let mut s = DecodeSession::with_arena(&reference, mode, &arena);
+                s.prefill(&prefix);
+                s
+            })
+            .collect();
+        assert_eq!(
+            arena.allocated_bytes(),
+            kv_shared_paged_allocated_bytes(&shape, sessions.len(), 0, prefix_len, mode, page_rows),
+            "independent shared arena diverges from sim in {} mode",
+            mode.label()
+        );
+    }
 }

@@ -1,6 +1,6 @@
-//! Paged KV-cache storage: a shared arena of fixed-size row pages with
-//! refcounted copy-on-write sharing and tiered f32 → int8 → int4 demotion
-//! accounting.
+//! Paged KV-cache storage: a sharded arena of fixed-size row pages with
+//! refcounted copy-on-write sharing, one global byte budget, and tiered
+//! f32 → int8 → int4 demotion accounting.
 //!
 //! [`KvArena`] hands out [`PageId`]s for pages of `page_rows` cached
 //! positions each; a page's payload is either an exact f32 row block or a
@@ -15,21 +15,36 @@
 //!   only legal on exclusively-owned pages — callers copy-on-write first
 //!   ([`KvArena::cow_clone`]).
 //! * **Exact accounting.** Per-tier resident/allocated byte and page
-//!   totals, demotion/CoW/eviction counters, kept under one lock so the
-//!   aggregate gauges (`metrics::engine::KV_CACHE_BYTES` and the
-//!   `metrics::kv_arena` bank) count every shared page exactly once.
-//! * **Capacity.** An optional hard byte cap: an allocation that would
-//!   exceed it fails with a typed [`EvictError`] (the caller demotes cold
-//!   pages and retries before giving up), and a configurable high-watermark
-//!   fraction below the cap at which callers start demoting proactively.
+//!   totals are kept per shard; demotion/CoW/eviction counters and the
+//!   budget counter are lock-free atomics, so the aggregate gauges
+//!   (`metrics::engine::KV_CACHE_BYTES` and the `metrics::kv_arena` bank)
+//!   count every shared page exactly once.
+//! * **Capacity.** One *global* hard byte cap across every shard,
+//!   reserved with a compare-and-swap before a page is placed: an
+//!   allocation that would exceed it fails with a typed [`EvictError`]
+//!   (the caller demotes cold pages and retries before giving up), and a
+//!   configurable high-watermark fraction below the cap at which callers
+//!   start demoting proactively.
+//! * **The demotion queue.** Under `deferred_demotion`, callers enqueue
+//!   cold-page candidates keyed by a logical ([`DemoteKey`]) clock instead
+//!   of requantizing on the appending thread; a drain at a deterministic
+//!   iteration boundary pops candidates in key order — which is
+//!   independent of *enqueue* interleaving — and requantizes off the
+//!   decode critical path.
 //!
-//! Every arena operation is a short critical section on one mutex; numeric
-//! work (quantization, attention) happens outside the lock on payload
-//! snapshots (`Arc<PagePayload>`), so reads never block appends for long.
+//! Pages are striped over [`ArenaConfig::shards`] independently-locked
+//! shards by the caller-supplied plane key (layer/head/K-or-V), so
+//! concurrent sessions appending to different planes do not serialize on
+//! one mutex. Every arena operation is a short critical section on one
+//! shard; numeric work (quantization, attention) happens outside the lock
+//! on payload snapshots (`Arc<PagePayload>`), so reads never block appends
+//! for long.
 
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
 use tender_metrics::engine as engine_metrics;
 use tender_metrics::kv_arena as metrics;
@@ -38,6 +53,10 @@ use crate::{Matrix, QuantRows};
 
 /// Default page height: cached positions per page.
 pub const DEFAULT_PAGE_ROWS: usize = 16;
+
+/// Default shard count: enough lanes that a typical (layer, head) plane
+/// spread maps mostly-distinct planes to distinct locks.
+pub const DEFAULT_ARENA_SHARDS: usize = 8;
 
 /// Storage precision tier of one page — the demotion ladder, in order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -180,11 +199,18 @@ impl PagePayload {
 pub struct ArenaConfig {
     /// Cached positions per page.
     pub page_rows: usize,
-    /// Hard cap on total allocated bytes (`None` = unbounded).
+    /// Hard cap on total allocated bytes across every shard (`None` =
+    /// unbounded).
     pub capacity_bytes: Option<u64>,
     /// High-watermark fraction of the capacity at which callers start
     /// demoting cold pages (1.0 = only demote when allocation fails).
     pub watermark: f64,
+    /// Independently-locked page shards; plane keys stripe across them.
+    pub shards: usize,
+    /// When set, watermark pressure *enqueues* demotion candidates on the
+    /// arena's clock-keyed queue instead of requantizing on the appending
+    /// thread; the owner drains the queue at iteration boundaries.
+    pub deferred_demotion: bool,
 }
 
 impl Default for ArenaConfig {
@@ -193,6 +219,8 @@ impl Default for ArenaConfig {
             page_rows: DEFAULT_PAGE_ROWS,
             capacity_bytes: None,
             watermark: 1.0,
+            shards: DEFAULT_ARENA_SHARDS,
+            deferred_demotion: false,
         }
     }
 }
@@ -223,8 +251,35 @@ impl Error for EvictError {}
 
 /// A handle to one page in a [`KvArena`]. Plain data — dropping an id does
 /// not release the page; owners call [`KvArena::release`].
+///
+/// Encodes (shard, generation, slot): the generation counter makes stale
+/// handles (a freed slot that was since reused) detectable, which the
+/// deferred-demotion drain relies on to skip pages that died in the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PageId(u32);
+pub struct PageId(u64);
+
+const GEN_BITS: u64 = 24;
+const SLOT_BITS: u64 = 32;
+const GEN_MASK: u32 = (1 << GEN_BITS) - 1;
+
+impl PageId {
+    fn new(shard: usize, gen: u32, slot: u32) -> Self {
+        debug_assert!(gen <= GEN_MASK);
+        Self(((shard as u64) << (GEN_BITS + SLOT_BITS)) | ((gen as u64) << SLOT_BITS) | slot as u64)
+    }
+
+    fn shard(self) -> usize {
+        (self.0 >> (GEN_BITS + SLOT_BITS)) as usize
+    }
+
+    fn gen(self) -> u32 {
+        ((self.0 >> SLOT_BITS) as u32) & GEN_MASK
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & ((1 << SLOT_BITS) - 1)) as usize
+    }
+}
 
 /// Point-in-time arena accounting, per tier plus event counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -235,14 +290,18 @@ pub struct ArenaStats {
     pub resident: [u64; 3],
     /// Allocated bytes per tier.
     pub allocated: [u64; 3],
-    /// Pages demoted into int8.
+    /// Pages demoted into int8 (downward ladder moves only).
     pub demoted_int8: u64,
-    /// Pages demoted into int4.
+    /// Pages demoted into int4 (downward ladder moves only).
     pub demoted_int4: u64,
     /// Copy-on-write page copies (divergent appends onto shared pages).
     pub cow_copies: u64,
-    /// Allocations refused at the hard cap.
+    /// *Terminal* allocation refusals: the caller's demotion ladder hit
+    /// its floor and the append surfaced the error.
     pub evict_failures: u64,
+    /// Interim allocation refusals that the caller answered by demoting
+    /// cold pages and retrying. Not failures — requantization work.
+    pub alloc_retries: u64,
 }
 
 impl ArenaStats {
@@ -262,37 +321,94 @@ impl ArenaStats {
     }
 }
 
+/// Logical demotion clock key: candidates drain in `(clock, owner, plane,
+/// page_idx)` order, every component of which is derived from session
+/// structure rather than thread timing — so the drain order is identical
+/// at any thread count even though *enqueue* order is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DemoteKey {
+    /// Arena iteration (advanced by the engine at each boundary).
+    pub clock: u64,
+    /// Owner id of the enqueuing cache ([`KvArena::register_owner`]).
+    pub owner: u64,
+    /// Plane key (layer/head/K-or-V) within the owner.
+    pub plane: u32,
+    /// Page index within the plane.
+    pub page_idx: u32,
+}
+
+/// One queued demotion candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemoteCandidate {
+    /// Drain-order key.
+    pub key: DemoteKey,
+    /// The page to demote. May be stale by drain time (freed, CoW'd away,
+    /// shared, or already demoted); drains revalidate via
+    /// [`KvArena::page_meta`].
+    pub id: PageId,
+    /// Tier the page held when enqueued.
+    pub tier: PageTier,
+}
+
 struct PageSlot {
     payload: Arc<PagePayload>,
     refs: u32,
 }
 
-struct Inner {
-    cfg: ArenaConfig,
-    slots: Vec<Option<PageSlot>>,
-    free: Vec<u32>,
-    stats: ArenaStats,
+struct SlotEntry {
+    gen: u32,
+    page: Option<PageSlot>,
 }
 
-impl Inner {
-    fn slot(&self, id: PageId) -> &PageSlot {
+#[derive(Default)]
+struct TierTotals {
+    pages: [u64; 3],
+    resident: [u64; 3],
+    allocated: [u64; 3],
+}
+
+struct Shard {
+    slots: Vec<SlotEntry>,
+    free: Vec<u32>,
+    totals: TierTotals,
+}
+
+impl Shard {
+    fn entry(&self, id: PageId) -> &PageSlot {
+        self.try_entry(id).expect("live page id")
+    }
+
+    fn entry_mut(&mut self, id: PageId) -> &mut PageSlot {
+        let entry = self
+            .slots
+            .get_mut(id.slot())
+            .filter(|e| e.gen == id.gen())
+            .expect("live page id");
+        entry.page.as_mut().expect("live page id")
+    }
+
+    fn try_entry(&self, id: PageId) -> Option<&PageSlot> {
         self.slots
-            .get(id.0 as usize)
-            .and_then(Option::as_ref)
-            .expect("live page id")
+            .get(id.slot())
+            .filter(|e| e.gen == id.gen())
+            .and_then(|e| e.page.as_ref())
     }
 
     /// Adds (`+1`) or removes (`-1`) one page's footprint from the per-tier
-    /// totals and the global gauges.
-    fn account(&mut self, payload: &PagePayload, sign: i64) {
+    /// totals and the global gauges. Deliberately does *not* touch the
+    /// arena's budget atomic: additions spend a reservation made by
+    /// `try_reserve` before any lock was taken (so concurrent allocations
+    /// cannot jointly overshoot the cap), and removals hand bytes back
+    /// explicitly at the call site.
+    fn account(&mut self, global: &Global, payload: &PagePayload, sign: i64) {
         let t = payload.tier().index();
         let res = payload.resident_bytes();
-        let alloc = payload.allocated_bytes(self.cfg.page_rows);
+        let alloc = payload.allocated_bytes(global.cfg.page_rows);
         let (pages_g, res_g, alloc_g) = tier_gauges(payload.tier());
         if sign > 0 {
-            self.stats.pages[t] += 1;
-            self.stats.resident[t] += res;
-            self.stats.allocated[t] += alloc;
+            self.totals.pages[t] += 1;
+            self.totals.resident[t] += res;
+            self.totals.allocated[t] += alloc;
             pages_g.add(1);
             res_g.add(res);
             alloc_g.add(alloc);
@@ -300,9 +416,9 @@ impl Inner {
             engine_metrics::KV_CACHE_ALLOCATED_BYTES.add(alloc);
             engine_metrics::KV_CACHE_PEAK_BYTES.observe(engine_metrics::KV_CACHE_BYTES.get());
         } else {
-            self.stats.pages[t] -= 1;
-            self.stats.resident[t] -= res;
-            self.stats.allocated[t] -= alloc;
+            self.totals.pages[t] -= 1;
+            self.totals.resident[t] -= res;
+            self.totals.allocated[t] -= alloc;
             pages_g.sub(1);
             res_g.sub(res);
             alloc_g.sub(alloc);
@@ -312,18 +428,46 @@ impl Inner {
     }
 }
 
-impl Drop for Inner {
+struct Global {
+    cfg: ArenaConfig,
+    /// Budget source of truth: total allocated bytes across every shard.
+    /// Reserved with a CAS *before* a page is placed so concurrent allocs
+    /// cannot jointly overshoot the cap.
+    allocated: AtomicU64,
+    /// Logical iteration clock for demotion keys.
+    clock: AtomicU64,
+    /// Owner-id dispenser for [`KvArena::register_owner`].
+    owners: AtomicU64,
+    queue: Mutex<BTreeMap<DemoteKey, (PageId, PageTier)>>,
+    demoted_int8: AtomicU64,
+    demoted_int4: AtomicU64,
+    cow_copies: AtomicU64,
+    evict_failures: AtomicU64,
+    alloc_retries: AtomicU64,
+}
+
+struct ArenaShared {
+    global: Global,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Drop for ArenaShared {
     fn drop(&mut self) {
         // Leaked pages (a cache abandoned without release) must not leave
         // the global gauges permanently inflated.
-        let ids: Vec<u32> = (0..self.slots.len() as u32)
-            .filter(|&i| self.slots[i as usize].is_some())
-            .collect();
-        for i in ids {
-            let slot = self.slots[i as usize].take().expect("checked live");
-            self.account(&slot.payload, -1);
-            metrics::PAGE_FREES.incr();
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for i in 0..shard.slots.len() {
+                if let Some(slot) = shard.slots[i].page.take() {
+                    shard.account(&self.global, &slot.payload, -1);
+                    let freed = slot.payload.allocated_bytes(self.global.cfg.page_rows);
+                    self.global.allocated.fetch_sub(freed, Ordering::Relaxed);
+                    metrics::PAGE_FREES.incr();
+                }
+            }
         }
+        let queued = self.global.queue.lock().unwrap_or_else(|e| e.into_inner());
+        metrics::DEMOTION_QUEUE_DEPTH.sub(queued.len() as u64);
         metrics::ARENAS.sub(1);
     }
 }
@@ -354,11 +498,22 @@ fn tier_gauges(
     }
 }
 
+/// The high-watermark byte mark for a capacity and fraction, computed in
+/// u128 integer arithmetic. The fraction is fixed to a binary 32-bit
+/// fractional representation once, so caps beyond 2^53 do not lose low
+/// bits to f64 rounding (and never round toward "over").
+fn watermark_mark(cap: u64, watermark: f64) -> u64 {
+    debug_assert!(watermark > 0.0 && watermark <= 1.0);
+    // 1.0 maps to exactly 2^32/2^32; fractions keep 32 bits of precision.
+    let fp = (watermark * (1u64 << 32) as f64).round() as u128;
+    ((cap as u128 * fp) >> 32) as u64
+}
+
 /// A cloneable handle to one shared page arena. See the module docs for
 /// the ownership and accounting contract.
 #[derive(Clone)]
 pub struct KvArena {
-    inner: Arc<Mutex<Inner>>,
+    shared: Arc<ArenaShared>,
 }
 
 impl fmt::Debug for KvArena {
@@ -382,126 +537,221 @@ impl KvArena {
     ///
     /// # Panics
     ///
-    /// Panics if `page_rows == 0` or the watermark is outside `(0, 1]`.
+    /// Panics if `page_rows == 0`, `shards == 0`, or the watermark is
+    /// outside `(0, 1]`.
     pub fn new(cfg: ArenaConfig) -> Self {
         assert!(cfg.page_rows > 0, "pages must hold at least one row");
+        assert!(cfg.shards > 0, "arena needs at least one shard");
         assert!(
             cfg.watermark > 0.0 && cfg.watermark <= 1.0,
             "watermark {} outside (0, 1]",
             cfg.watermark
         );
         metrics::ARENAS.add(1);
+        let shards = (0..cfg.shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    slots: Vec::new(),
+                    free: Vec::new(),
+                    totals: TierTotals::default(),
+                })
+            })
+            .collect();
         Self {
-            inner: Arc::new(Mutex::new(Inner {
-                cfg,
-                slots: Vec::new(),
-                free: Vec::new(),
-                stats: ArenaStats::default(),
-            })),
+            shared: Arc::new(ArenaShared {
+                global: Global {
+                    cfg,
+                    allocated: AtomicU64::new(0),
+                    clock: AtomicU64::new(0),
+                    owners: AtomicU64::new(0),
+                    queue: Mutex::new(BTreeMap::new()),
+                    demoted_int8: AtomicU64::new(0),
+                    demoted_int4: AtomicU64::new(0),
+                    cow_copies: AtomicU64::new(0),
+                    evict_failures: AtomicU64::new(0),
+                    alloc_retries: AtomicU64::new(0),
+                },
+                shards,
+            }),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn global(&self) -> &Global {
+        &self.shared.global
+    }
+
+    /// Locks one shard, counting contended acquisitions (a `try_lock` that
+    /// would block) in `metrics::kv_arena::SHARD_CONTENTION`.
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, Shard> {
+        match self.shared.shards[shard].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                metrics::SHARD_CONTENTION.incr();
+                self.shared.shards[shard]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+            }
+        }
+    }
+
+    fn lock_page(&self, id: PageId) -> MutexGuard<'_, Shard> {
+        self.lock_shard(id.shard())
     }
 
     /// The arena's configuration.
     pub fn config(&self) -> ArenaConfig {
-        self.lock().cfg
+        self.global().cfg
     }
 
     /// Cached positions per page.
     pub fn page_rows(&self) -> usize {
-        self.lock().cfg.page_rows
+        self.global().cfg.page_rows
+    }
+
+    /// Whether watermark pressure is handled by the clock-keyed demotion
+    /// queue (enqueue + boundary drain) instead of evict-on-append.
+    pub fn deferred_demotion(&self) -> bool {
+        self.global().cfg.deferred_demotion
     }
 
     /// Whether two handles refer to the same arena.
     pub fn same_arena(&self, other: &KvArena) -> bool {
-        Arc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.shared, &other.shared)
     }
 
-    /// Allocates a page holding `payload` with refcount 1.
+    /// Reserves `add` bytes against the global budget, or reports the
+    /// refusal. Interim refusals are the caller's cue to demote and retry;
+    /// they count as `alloc_retries`, not failures (see
+    /// [`KvArena::note_evict_failure`]).
+    fn try_reserve(&self, add: u64) -> Result<(), EvictError> {
+        let global = self.global();
+        let Some(cap) = global.cfg.capacity_bytes else {
+            global.allocated.fetch_add(add, Ordering::Relaxed);
+            return Ok(());
+        };
+        let mut cur = global.allocated.load(Ordering::Relaxed);
+        loop {
+            if cur.saturating_add(add) > cap {
+                global.alloc_retries.fetch_add(1, Ordering::Relaxed);
+                metrics::ALLOC_RETRIES.incr();
+                return Err(EvictError {
+                    needed: add,
+                    allocated: cur,
+                    capacity: cap,
+                });
+            }
+            match global.allocated.compare_exchange_weak(
+                cur,
+                cur + add,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Allocates a page holding `payload` with refcount 1, striped onto
+    /// the shard for `plane` (the caller's layer/head/K-or-V key).
     ///
     /// # Errors
     ///
     /// [`EvictError`] when the arena has a hard byte cap and the page's
     /// allocated footprint would exceed it. The caller is expected to
     /// demote cold pages and retry before surfacing the error.
-    pub fn alloc(&self, payload: PagePayload) -> Result<PageId, EvictError> {
-        let mut inner = self.lock();
-        let add = payload.allocated_bytes(inner.cfg.page_rows);
-        if let Some(cap) = inner.cfg.capacity_bytes {
-            let total = inner.stats.allocated_total();
-            if total + add > cap {
-                inner.stats.evict_failures += 1;
-                metrics::EVICT_FAILURES.incr();
-                return Err(EvictError {
-                    needed: add,
-                    allocated: total,
-                    capacity: cap,
-                });
-            }
-        }
-        inner.account(&payload, 1);
+    pub fn alloc_on(&self, plane: u64, payload: PagePayload) -> Result<PageId, EvictError> {
+        let global = self.global();
+        let add = payload.allocated_bytes(global.cfg.page_rows);
+        self.try_reserve(add)?;
+        let shard_idx = (plane % global.cfg.shards as u64) as usize;
+        let mut shard = self.lock_shard(shard_idx);
+        // The reservation made by try_reserve IS this page's budget entry.
+        shard.account(global, &payload, 1);
         metrics::PAGE_ALLOCS.incr();
         let slot = PageSlot {
             payload: Arc::new(payload),
             refs: 1,
         };
-        let id = match inner.free.pop() {
+        let idx = match shard.free.pop() {
             Some(i) => {
-                inner.slots[i as usize] = Some(slot);
+                let entry = &mut shard.slots[i as usize];
+                entry.gen = (entry.gen + 1) & GEN_MASK;
+                entry.page = Some(slot);
                 i
             }
             None => {
-                inner.slots.push(Some(slot));
-                (inner.slots.len() - 1) as u32
+                shard.slots.push(SlotEntry {
+                    gen: 0,
+                    page: Some(slot),
+                });
+                (shard.slots.len() - 1) as u32
             }
         };
-        Ok(PageId(id))
+        let gen = shard.slots[idx as usize].gen;
+        Ok(PageId::new(shard_idx, gen, idx))
+    }
+
+    /// [`KvArena::alloc_on`] with plane key 0 — for callers that do not
+    /// stripe (single-plane tests, probes).
+    pub fn alloc(&self, payload: PagePayload) -> Result<PageId, EvictError> {
+        self.alloc_on(0, payload)
     }
 
     /// Adds one owner to a live page (prefix sharing).
     pub fn retain(&self, id: PageId) {
-        let mut inner = self.lock();
-        let slot = inner
-            .slots
-            .get_mut(id.0 as usize)
-            .and_then(Option::as_mut)
-            .expect("live page id");
-        slot.refs += 1;
+        let mut shard = self.lock_page(id);
+        shard.entry_mut(id).refs += 1;
     }
 
     /// Drops one owner; the page is freed (and unaccounted) when the last
     /// owner releases it.
     pub fn release(&self, id: PageId) {
-        let mut inner = self.lock();
-        let slot = inner
-            .slots
-            .get_mut(id.0 as usize)
-            .and_then(Option::as_mut)
-            .expect("live page id");
-        slot.refs -= 1;
-        if slot.refs == 0 {
-            let slot = inner.slots[id.0 as usize].take().expect("checked live");
-            inner.account(&slot.payload, -1);
-            inner.free.push(id.0);
+        let mut shard = self.lock_page(id);
+        let entry = shard.entry_mut(id);
+        entry.refs -= 1;
+        if entry.refs == 0 {
+            let global = self.global();
+            let slot = shard.slots[id.slot()].page.take().expect("checked live");
+            shard.account(global, &slot.payload, -1);
+            let freed = slot.payload.allocated_bytes(global.cfg.page_rows);
+            global.allocated.fetch_sub(freed, Ordering::Relaxed);
+            shard.free.push(id.slot() as u32);
             metrics::PAGE_FREES.incr();
         }
     }
 
     /// Current owner count of a live page.
     pub fn refs(&self, id: PageId) -> u32 {
-        self.lock().slot(id).refs
+        self.lock_page(id).entry(id).refs
     }
 
     /// A snapshot of the page's payload. Cheap (`Arc` clone); numeric work
     /// on the snapshot happens outside the arena lock.
     pub fn payload(&self, id: PageId) -> Arc<PagePayload> {
-        self.lock().slot(id).payload.clone()
+        self.lock_page(id).entry(id).payload.clone()
     }
 
-    /// Mutates a page's payload in place under the arena lock, keeping the
+    /// Generation-checked, non-panicking payload snapshot: `None` if the
+    /// handle no longer names a live page. The drain path uses this to
+    /// requantize from a snapshot outside any lock.
+    pub fn try_payload(&self, id: PageId) -> Option<Arc<PagePayload>> {
+        self.lock_page(id).try_entry(id).map(|s| s.payload.clone())
+    }
+
+    /// Generation-checked page introspection for drain revalidation:
+    /// `(refs, tier, rows)` if the handle still names a live page, `None`
+    /// if the page died (or its slot was reused) since the handle was
+    /// taken.
+    pub fn page_meta(&self, id: PageId) -> Option<(u32, PageTier, usize)> {
+        let shard = self.lock_page(id);
+        shard
+            .try_entry(id)
+            .map(|slot| (slot.refs, slot.payload.tier(), slot.payload.rows()))
+    }
+
+    /// Mutates a page's payload in place under the shard lock, keeping the
     /// per-tier accounting exact across the edit (including tier changes —
     /// a demotion is an in-place mutation to a lower tier).
     ///
@@ -512,43 +762,98 @@ impl KvArena {
     ///
     /// Panics if the page is shared.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut PagePayload) -> R) -> R {
-        let mut inner = self.lock();
-        let slot = inner
-            .slots
-            .get_mut(id.0 as usize)
-            .and_then(Option::as_mut)
-            .expect("live page id");
+        let mut shard = self.lock_page(id);
+        let slot = shard.entry_mut(id);
         assert_eq!(slot.refs, 1, "mutating a shared page (copy-on-write first)");
         // Readers may still hold payload snapshots; make_mut leaves those
         // snapshots untouched and gives us an exclusive copy to edit.
         let mut payload = slot.payload.clone();
+        let before_tier = (*payload).tier();
         let before = (*payload).clone();
         let r = f(Arc::make_mut(&mut payload));
-        let demoted_to = (payload.tier() != before.tier()).then(|| payload.tier());
-        inner.account(&before, -1);
-        inner.account(&payload, 1);
-        let slot = inner
-            .slots
-            .get_mut(id.0 as usize)
-            .and_then(Option::as_mut)
-            .expect("live page id");
-        slot.payload = payload;
-        match demoted_to {
-            Some(PageTier::Int8) => {
-                inner.stats.demoted_int8 += 1;
-                metrics::DEMOTED_INT8.incr();
-            }
-            Some(PageTier::Int4) => {
-                inner.stats.demoted_int4 += 1;
-                metrics::DEMOTED_INT4.incr();
-            }
-            _ => {}
+        let global = self.global();
+        let alloc_before = before.allocated_bytes(global.cfg.page_rows);
+        let alloc_after = payload.allocated_bytes(global.cfg.page_rows);
+        shard.account(global, &before, -1);
+        shard.account(global, &payload, 1);
+        // In-place edits bypass the reservation path; mutation growth is
+        // bounded (pages shrink on demotion, appends fill pre-reserved
+        // space) so the budget is adjusted by the delta without a cap
+        // check.
+        if alloc_after >= alloc_before {
+            global
+                .allocated
+                .fetch_add(alloc_after - alloc_before, Ordering::Relaxed);
+        } else {
+            global
+                .allocated
+                .fetch_sub(alloc_before - alloc_after, Ordering::Relaxed);
         }
+        self.count_ladder_move(before_tier, payload.tier());
+        shard.entry_mut(id).payload = payload;
         r
     }
 
-    /// Copy-on-write: allocates a private copy of a shared page, releases
-    /// the caller's ownership of the original, and returns the copy's id.
+    /// Counts a tier transition toward the demotion counters — *downward*
+    /// ladder moves only. Promotions (int4 → int8, quant → f32) re-account
+    /// bytes but are not demotions.
+    fn count_ladder_move(&self, from: PageTier, to: PageTier) {
+        if to.index() <= from.index() {
+            return;
+        }
+        match to {
+            PageTier::Int8 => {
+                self.global().demoted_int8.fetch_add(1, Ordering::Relaxed);
+                metrics::DEMOTED_INT8.incr();
+            }
+            PageTier::Int4 => {
+                self.global().demoted_int4.fetch_add(1, Ordering::Relaxed);
+                metrics::DEMOTED_INT4.incr();
+            }
+            PageTier::F32 => {}
+        }
+    }
+
+    /// Atomically replaces an exclusively-held page's payload if the page
+    /// is still live at the expected tier — the commit step of an
+    /// off-thread demotion whose requantization ran on a payload snapshot
+    /// outside any lock. Returns the allocated bytes freed, or `None` if
+    /// the page died, got shared, or changed tier since the snapshot (the
+    /// replacement is dropped and nothing is counted).
+    pub fn replace_if_exclusive(
+        &self,
+        id: PageId,
+        expect_tier: PageTier,
+        new_payload: PagePayload,
+    ) -> Option<u64> {
+        let global = self.global();
+        let mut shard = self.lock_page(id);
+        let slot = shard.try_entry(id)?;
+        if slot.refs != 1 || slot.payload.tier() != expect_tier {
+            return None;
+        }
+        let before = slot.payload.clone();
+        let alloc_before = before.allocated_bytes(global.cfg.page_rows);
+        let alloc_after = new_payload.allocated_bytes(global.cfg.page_rows);
+        shard.account(global, &before, -1);
+        shard.account(global, &new_payload, 1);
+        if alloc_after >= alloc_before {
+            global
+                .allocated
+                .fetch_add(alloc_after - alloc_before, Ordering::Relaxed);
+        } else {
+            global
+                .allocated
+                .fetch_sub(alloc_before - alloc_after, Ordering::Relaxed);
+        }
+        self.count_ladder_move(before.tier(), new_payload.tier());
+        shard.entry_mut(id).payload = Arc::new(new_payload);
+        Some(alloc_before.saturating_sub(alloc_after))
+    }
+
+    /// Copy-on-write: allocates a private copy of a shared page (on the
+    /// same shard), releases the caller's ownership of the original, and
+    /// returns the copy's id.
     ///
     /// # Errors
     ///
@@ -556,40 +861,134 @@ impl KvArena {
     /// ownership of the original is unchanged in that case.
     pub fn cow_clone(&self, id: PageId) -> Result<PageId, EvictError> {
         let payload = (*self.payload(id)).clone();
-        let new_id = self.alloc(payload)?;
+        let plane = id.shard() as u64;
+        let new_id = self.alloc_on(plane, payload)?;
         self.release(id);
-        let mut inner = self.lock();
-        inner.stats.cow_copies += 1;
+        self.global().cow_copies.fetch_add(1, Ordering::Relaxed);
         metrics::COW_COPIES.incr();
         Ok(new_id)
     }
 
-    /// Point-in-time accounting snapshot.
-    pub fn stats(&self) -> ArenaStats {
-        self.lock().stats
+    /// Records one *terminal* allocation refusal: the caller demoted to
+    /// the floor and still could not place the page. Interim refusals in a
+    /// demote-and-retry loop are `alloc_retries`, not failures.
+    pub fn note_evict_failure(&self) {
+        self.global().evict_failures.fetch_add(1, Ordering::Relaxed);
+        metrics::EVICT_FAILURES.incr();
     }
 
-    /// Total allocated bytes across tiers.
+    /// Point-in-time accounting snapshot, aggregated across shards.
+    pub fn stats(&self) -> ArenaStats {
+        let mut stats = ArenaStats::default();
+        for i in 0..self.shared.shards.len() {
+            let shard = self.lock_shard(i);
+            for t in 0..3 {
+                stats.pages[t] += shard.totals.pages[t];
+                stats.resident[t] += shard.totals.resident[t];
+                stats.allocated[t] += shard.totals.allocated[t];
+            }
+        }
+        let global = self.global();
+        stats.demoted_int8 = global.demoted_int8.load(Ordering::Relaxed);
+        stats.demoted_int4 = global.demoted_int4.load(Ordering::Relaxed);
+        stats.cow_copies = global.cow_copies.load(Ordering::Relaxed);
+        stats.evict_failures = global.evict_failures.load(Ordering::Relaxed);
+        stats.alloc_retries = global.alloc_retries.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// Total allocated bytes across tiers — the lock-free budget counter.
     pub fn allocated_bytes(&self) -> u64 {
-        self.lock().stats.allocated_total()
+        self.global().allocated.load(Ordering::Relaxed)
     }
 
     /// Total resident bytes across tiers.
     pub fn resident_bytes(&self) -> u64 {
-        self.lock().stats.resident_total()
+        (0..self.shared.shards.len())
+            .map(|i| self.lock_shard(i).totals.resident.iter().sum::<u64>())
+            .sum()
     }
 
     /// Whether allocated bytes sit above the high-watermark fraction of
     /// the capacity. Always `false` for an uncapped arena.
     pub fn over_watermark(&self) -> bool {
-        let inner = self.lock();
-        match inner.cfg.capacity_bytes {
+        let global = self.global();
+        match global.cfg.capacity_bytes {
             None => false,
-            Some(cap) => {
-                let mark = (cap as f64 * inner.cfg.watermark) as u64;
-                inner.stats.allocated_total() > mark
-            }
+            Some(cap) => self.allocated_bytes() > watermark_mark(cap, global.cfg.watermark),
         }
+    }
+
+    /// Bytes of headroom left under the hard cap (`u64::MAX` if uncapped).
+    pub fn headroom_bytes(&self) -> u64 {
+        match self.global().cfg.capacity_bytes {
+            None => u64::MAX,
+            Some(cap) => cap.saturating_sub(self.allocated_bytes()),
+        }
+    }
+
+    // --- logical clock, owners, and the demotion queue ------------------
+
+    /// Hands out the next owner id. Callers register once per cache, from
+    /// deterministic (single-threaded) construction code, so owner ids are
+    /// reproducible at any thread count.
+    pub fn register_owner(&self) -> u64 {
+        self.global().owners.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The current logical iteration.
+    pub fn clock(&self) -> u64 {
+        self.global().clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the logical iteration clock (engine/scheduler boundary)
+    /// and returns the new value.
+    pub fn advance_clock(&self) -> u64 {
+        self.global().clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Enqueues a demotion candidate under the given structural key. The
+    /// queue is keyed, not ordered by arrival, so concurrent enqueues from
+    /// `par_map` workers land in the same drain order regardless of
+    /// interleaving. Re-enqueueing an existing key replaces the entry.
+    pub fn enqueue_demotion(&self, key: DemoteKey, id: PageId, tier: PageTier) {
+        let mut queue = self
+            .global()
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if queue.insert(key, (id, tier)).is_none() {
+            metrics::DEMOTION_QUEUE_DEPTH.add(1);
+            metrics::DEMOTION_QUEUE_PEAK.observe(queue.len() as u64);
+        }
+    }
+
+    /// Pops up to `max` candidates in key (clock) order.
+    pub fn pop_demotions(&self, max: usize) -> Vec<DemoteCandidate> {
+        let mut queue = self
+            .global()
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let keys: Vec<DemoteKey> = queue.keys().take(max).copied().collect();
+        let out: Vec<DemoteCandidate> = keys
+            .iter()
+            .map(|&key| {
+                let (id, tier) = queue.remove(&key).expect("key just listed");
+                DemoteCandidate { key, id, tier }
+            })
+            .collect();
+        metrics::DEMOTION_QUEUE_DEPTH.sub(out.len() as u64);
+        out
+    }
+
+    /// Queued demotion candidates.
+    pub fn demotion_queue_len(&self) -> usize {
+        self.global()
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
     }
 }
 
@@ -606,9 +1005,15 @@ mod tests {
     }
 
     fn quant_page(rows: usize, cols: usize, page_local: bool) -> PagePayload {
-        let mut q = QuantRows::with_row_capacity(cols, 8, false, rows);
+        quant_page_bits(rows, cols, page_local, 8)
+    }
+
+    fn quant_page_bits(rows: usize, cols: usize, page_local: bool, bits: u32) -> PagePayload {
+        let grouped = bits == 4;
+        let mut q = QuantRows::with_row_capacity(cols, bits, grouped, rows);
+        let groups = if grouped { vec![0u8; cols] } else { vec![] };
         for _ in 0..rows {
-            q.push_row(&vec![1i32; cols], &[]);
+            q.push_row(&vec![1i32; cols], &groups);
         }
         PagePayload::Quant(QuantPage {
             rows: q,
@@ -642,7 +1047,7 @@ mod tests {
     }
 
     #[test]
-    fn page_ids_are_reused_after_free() {
+    fn page_slots_are_reused_with_a_fresh_generation() {
         let arena = KvArena::new(ArenaConfig {
             page_rows: 2,
             ..ArenaConfig::default()
@@ -650,12 +1055,49 @@ mod tests {
         let a = arena.alloc(f32_page(1, 4, 1.0)).unwrap();
         arena.release(a);
         let b = arena.alloc(f32_page(1, 4, 2.0)).unwrap();
-        assert_eq!(a, b, "freed slot is recycled");
+        assert_eq!(a.slot(), b.slot(), "freed slot is recycled");
+        assert_eq!(a.shard(), b.shard());
+        assert_ne!(a, b, "generation fences off the stale handle");
+        assert!(
+            arena.page_meta(a).is_none(),
+            "stale id does not resolve to the reused slot"
+        );
         if let PagePayload::F32(m) = &*arena.payload(b) {
             assert_eq!(m[(0, 0)], 2.0);
         } else {
             panic!("expected f32 payload");
         }
+        arena.release(b);
+    }
+
+    #[test]
+    fn planes_stripe_across_shards_under_one_budget() {
+        let cols = 8;
+        let page_bytes = (2 * cols * 4) as u64;
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 2,
+            capacity_bytes: Some(3 * page_bytes),
+            shards: 4,
+            ..ArenaConfig::default()
+        });
+        let a = arena.alloc_on(0, f32_page(2, cols, 1.0)).unwrap();
+        let b = arena.alloc_on(1, f32_page(2, cols, 1.0)).unwrap();
+        let c = arena.alloc_on(5, f32_page(2, cols, 1.0)).unwrap();
+        assert_ne!(a.shard(), b.shard());
+        assert_eq!(b.shard(), c.shard(), "plane keys stripe modulo shards");
+        // The cap is global: a fourth page is refused no matter the shard.
+        let err = arena
+            .alloc_on(2, f32_page(2, cols, 1.0))
+            .expect_err("global cap");
+        assert_eq!(err.allocated, 3 * page_bytes);
+        assert_eq!(arena.stats().alloc_retries, 1);
+        assert_eq!(arena.stats().evict_failures, 0);
+        assert_eq!(arena.allocated_bytes(), 3 * page_bytes);
+        assert_eq!(arena.stats().allocated_total(), 3 * page_bytes);
+        for id in [a, b, c] {
+            arena.release(id);
+        }
+        assert_eq!(arena.allocated_bytes(), 0);
     }
 
     #[test]
@@ -666,6 +1108,7 @@ mod tests {
             page_rows: 2,
             capacity_bytes: Some(page_bytes),
             watermark: 1.0,
+            ..ArenaConfig::default()
         });
         let id = arena.alloc(f32_page(1, cols, 1.0)).expect("first fits");
         let err = arena.alloc(f32_page(1, cols, 2.0)).expect_err("cap hit");
@@ -673,6 +1116,11 @@ mod tests {
         assert_eq!(err.allocated, page_bytes);
         assert_eq!(err.capacity, page_bytes);
         assert!(err.to_string().contains("kv arena exhausted"));
+        // A refusal alone is a retry cue, not a terminal failure; the
+        // caller decides when the ladder is exhausted.
+        assert_eq!(arena.stats().alloc_retries, 1);
+        assert_eq!(arena.stats().evict_failures, 0);
+        arena.note_evict_failure();
         assert_eq!(arena.stats().evict_failures, 1);
         arena.release(id);
         arena
@@ -698,6 +1146,33 @@ mod tests {
         let p = arena.payload(id);
         assert_eq!(stats.resident[1], p.resident_bytes());
         assert_eq!(stats.allocated[1], p.allocated_bytes(4));
+        arena.release(id);
+    }
+
+    #[test]
+    fn promotions_reaccount_but_do_not_count_as_demotions() {
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 4,
+            ..ArenaConfig::default()
+        });
+        // int4 → int8 is an upward ladder move: re-accounted, not counted.
+        let id = arena.alloc(quant_page_bits(4, 8, true, 4)).unwrap();
+        arena.with_page_mut(id, |p| *p = quant_page_bits(4, 8, true, 8));
+        let stats = arena.stats();
+        assert_eq!(stats.pages, [0, 1, 0], "re-accounted under int8");
+        assert_eq!(stats.demoted_int8, 0, "a promotion is not a demotion");
+        // quant → f32 likewise.
+        arena.with_page_mut(id, |p| *p = f32_page(4, 8, 1.0));
+        let stats = arena.stats();
+        assert_eq!(stats.pages, [1, 0, 0]);
+        assert_eq!(stats.demoted_int8, 0);
+        assert_eq!(stats.demoted_int4, 0);
+        // And the round trip back down counts exactly once per rung.
+        arena.with_page_mut(id, |p| *p = quant_page_bits(4, 8, true, 8));
+        arena.with_page_mut(id, |p| *p = quant_page_bits(4, 8, true, 4));
+        let stats = arena.stats();
+        assert_eq!(stats.demoted_int8, 1);
+        assert_eq!(stats.demoted_int4, 1);
         arena.release(id);
     }
 
@@ -743,6 +1218,7 @@ mod tests {
             page_rows: 2,
             capacity_bytes: Some(4 * page_bytes),
             watermark: 0.5,
+            ..ArenaConfig::default()
         });
         assert!(!arena.over_watermark());
         let a = arena.alloc(f32_page(2, cols, 1.0)).unwrap();
@@ -753,6 +1229,91 @@ mod tests {
         for id in [a, b, c] {
             arena.release(id);
         }
+    }
+
+    #[test]
+    fn watermark_mark_is_exact_beyond_f64_precision() {
+        // Full-cap watermark is the cap itself, bit for bit — including
+        // caps whose low bits f64 cannot represent.
+        assert_eq!(watermark_mark(u64::MAX, 1.0), u64::MAX);
+        assert_eq!(watermark_mark((1 << 53) + 1, 1.0), (1 << 53) + 1);
+        assert_eq!(watermark_mark((1 << 62) + 4095, 1.0), (1 << 62) + 4095);
+        // Binary fractions stay exact at any magnitude.
+        assert_eq!(watermark_mark(1 << 60, 0.5), 1 << 59);
+        assert_eq!(watermark_mark((1 << 60) + 8, 0.25), (1 << 58) + 2);
+        // Small caps keep the seed behavior (floor of the product).
+        assert_eq!(watermark_mark(64, 0.5), 32);
+        assert_eq!(watermark_mark(3, 1.0), 3);
+        // Never rounds toward "over": the mark of a sub-1.0 fraction is
+        // strictly below the cap even when f64 would have snapped it up.
+        let cap = (1u64 << 62) + 1;
+        assert!(watermark_mark(cap, 0.999_999_999) < cap);
+    }
+
+    #[test]
+    fn demotion_queue_drains_in_clock_order_not_arrival_order() {
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 2,
+            ..ArenaConfig::default()
+        });
+        let a = arena.alloc_on(0, f32_page(2, 4, 1.0)).unwrap();
+        let b = arena.alloc_on(1, f32_page(2, 4, 2.0)).unwrap();
+        let c = arena.alloc_on(2, f32_page(2, 4, 3.0)).unwrap();
+        let key = |clock, owner, plane, page_idx| DemoteKey {
+            clock,
+            owner,
+            plane,
+            page_idx,
+        };
+        // Arrival order scrambled relative to key order.
+        arena.enqueue_demotion(key(2, 0, 1, 0), c, PageTier::F32);
+        arena.enqueue_demotion(key(1, 1, 0, 0), b, PageTier::F32);
+        arena.enqueue_demotion(key(1, 0, 0, 0), a, PageTier::F32);
+        assert_eq!(arena.demotion_queue_len(), 3);
+        let first = arena.pop_demotions(2);
+        assert_eq!(first[0].id, a, "lowest (clock, owner) drains first");
+        assert_eq!(first[1].id, b);
+        let rest = arena.pop_demotions(8);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].id, c);
+        assert_eq!(arena.demotion_queue_len(), 0);
+        for id in [a, b, c] {
+            arena.release(id);
+        }
+    }
+
+    #[test]
+    fn replace_if_exclusive_commits_only_when_page_is_unchanged() {
+        let arena = KvArena::new(ArenaConfig {
+            page_rows: 4,
+            ..ArenaConfig::default()
+        });
+        let id = arena.alloc(f32_page(4, 8, 1.0)).unwrap();
+        // Shared page: the commit is refused.
+        arena.retain(id);
+        assert_eq!(
+            arena.replace_if_exclusive(id, PageTier::F32, quant_page(4, 8, true)),
+            None
+        );
+        arena.release(id);
+        // Wrong expected tier (stale snapshot): refused.
+        assert_eq!(
+            arena.replace_if_exclusive(id, PageTier::Int8, quant_page(4, 8, true)),
+            None
+        );
+        // Exclusive and at the snapshot tier: commits, returns bytes freed.
+        let before = arena.allocated_bytes();
+        let freed = arena
+            .replace_if_exclusive(id, PageTier::F32, quant_page(4, 8, true))
+            .expect("commit");
+        assert_eq!(before - arena.allocated_bytes(), freed);
+        assert_eq!(arena.stats().demoted_int8, 1);
+        // Dead page: refused.
+        arena.release(id);
+        assert_eq!(
+            arena.replace_if_exclusive(id, PageTier::Int8, quant_page(4, 8, true)),
+            None
+        );
     }
 
     #[test]

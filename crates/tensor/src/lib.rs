@@ -56,7 +56,10 @@ pub mod qrows;
 pub mod rng;
 pub mod stats;
 
-pub use arena::{ArenaConfig, ArenaStats, EvictError, KvArena, PageId, PagePayload, PageTier};
+pub use arena::{
+    ArenaConfig, ArenaStats, DemoteCandidate, DemoteKey, EvictError, KvArena, PageId, PagePayload,
+    PageTier, DEFAULT_ARENA_SHARDS,
+};
 pub use error::ShapeError;
 pub use imatrix::IMatrix;
 pub use matrix::Matrix;
